@@ -1,0 +1,33 @@
+//! Environment interface for the BRK baseline.
+
+use rdht_hashing::{HashId, Key};
+
+use rdht_core::UmsError;
+
+use crate::types::VersionedValue;
+
+/// Everything BRK needs from the DHT: plain `put_h` / `get_h` over the
+/// replication hash functions. There is no timestamping service — that is the
+/// point of the baseline.
+///
+/// Errors reuse [`rdht_core::UmsError`] so that simulator and experiment code
+/// can treat both algorithms uniformly.
+pub trait BrkAccess {
+    /// Stores a versioned replica at `rsp(k, h)`.
+    fn put_versioned(
+        &mut self,
+        hash: HashId,
+        key: &Key,
+        value: &VersionedValue,
+    ) -> Result<(), UmsError>;
+
+    /// Reads the replica stored at `rsp(k, h)`.
+    fn get_versioned(
+        &mut self,
+        hash: HashId,
+        key: &Key,
+    ) -> Result<Option<VersionedValue>, UmsError>;
+
+    /// The replication hash function ids, in probe order.
+    fn replication_ids(&self) -> Vec<HashId>;
+}

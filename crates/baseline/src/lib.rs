@@ -1,0 +1,39 @@
+//! **BRK** — the baseline algorithm the paper compares UMS against
+//! (Section 5.1 and 6), modelled on the BRICKS project's replication scheme
+//! (Knezevic, Wombacher, Risse — GLOBE 2005).
+//!
+//! BRICKS replicates a data item under multiple correlated keys and attaches
+//! a *version number* to each replica, incremented on every update. Because
+//! version numbers are assigned by the updating peer (not by a per-key
+//! timestamping service), two properties follow — both of which the paper
+//! criticizes and fixes with UMS/KTS:
+//!
+//! 1. **A retrieve must fetch every replica.** A replica cannot prove it is
+//!    current on its own, so `retrieve` reads all `|Hr|` replicas and keeps
+//!    the one with the highest version — `|Hr|` sequential DHT gets instead
+//!    of UMS's expected `< 1/p_t`.
+//! 2. **Concurrent updates are ambiguous.** Two peers that update
+//!    concurrently read the same current version `v` and both write `v + 1`;
+//!    replicas then disagree about what "version v+1" contains and no reader
+//!    can tell which is the real latest value ([`ConcurrencyAmbiguity`]).
+//!
+//! The crate mirrors the structure of `rdht-core`: [`BrkAccess`] abstracts the
+//! environment (in-memory, simulator, threaded), [`insert`] / [`retrieve`]
+//! are the client-side operations, and [`InMemoryBrk`] is the reference
+//! implementation used in tests and examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+mod memory;
+mod ops;
+mod types;
+
+pub use access::BrkAccess;
+pub use memory::InMemoryBrk;
+pub use ops::{insert, retrieve, BrkInsertReport, BrkRetrieveReport, ConcurrencyAmbiguity};
+pub use types::{Version, VersionedValue};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,273 @@
+//! Client-side BRK operations: version-based insert and fetch-all retrieve.
+
+use rdht_hashing::Key;
+
+use rdht_core::UmsError;
+
+use crate::access::BrkAccess;
+use crate::types::{Version, VersionedValue};
+
+/// Outcome of a BRK [`insert`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BrkInsertReport {
+    /// The version number assigned to this update (previous max + 1).
+    pub version: Version,
+    /// Replicas read to discover the previous maximum version.
+    pub replicas_read: usize,
+    /// Replicas successfully written.
+    pub replicas_written: usize,
+    /// Replicas whose write failed.
+    pub replicas_failed: usize,
+}
+
+/// Outcome of a BRK [`retrieve`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BrkRetrieveReport {
+    /// The payload of (one of) the highest-version replica(s).
+    pub data: Option<Vec<u8>>,
+    /// The highest version observed.
+    pub version: Version,
+    /// Replicas probed — always `|Hr|` for BRK, which is exactly the cost the
+    /// paper's Figures 9–10 show growing linearly with the replica count.
+    pub replicas_probed: usize,
+    /// Probes that failed outright.
+    pub probes_failed: usize,
+    /// Evidence of concurrent-update ambiguity, if any (several distinct
+    /// payloads share the highest version).
+    pub ambiguity: Option<ConcurrencyAmbiguity>,
+}
+
+/// Concurrent updates minted the same version number for different payloads,
+/// so "the current replica" is not well defined — the failure mode of
+/// version-counter replication that KTS timestamps eliminate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConcurrencyAmbiguity {
+    /// The contested version number.
+    pub version: Version,
+    /// The distinct payloads observed under that version.
+    pub conflicting_payloads: Vec<Vec<u8>>,
+}
+
+/// Updates the data associated with `key` using BRK's versioning protocol:
+/// read every replica to learn the current maximum version, then write the
+/// new payload with `max + 1` to every replica.
+pub fn insert<A: BrkAccess + ?Sized>(
+    access: &mut A,
+    key: &Key,
+    data: Vec<u8>,
+) -> Result<BrkInsertReport, UmsError> {
+    let ids = access.replication_ids();
+    let mut max_version = Version::ZERO;
+    let mut replicas_read = 0;
+    for hash in &ids {
+        replicas_read += 1;
+        if let Ok(Some(existing)) = access.get_versioned(*hash, key) {
+            if existing.version > max_version {
+                max_version = existing.version;
+            }
+        }
+    }
+    let version = max_version.next();
+    let value = VersionedValue::new(data, version);
+    let mut replicas_written = 0;
+    let mut replicas_failed = 0;
+    for hash in &ids {
+        match access.put_versioned(*hash, key, &value) {
+            Ok(()) => replicas_written += 1,
+            Err(_) => replicas_failed += 1,
+        }
+    }
+    if replicas_written == 0 {
+        return Err(UmsError::NoReplicaWritten);
+    }
+    Ok(BrkInsertReport {
+        version,
+        replicas_read,
+        replicas_written,
+        replicas_failed,
+    })
+}
+
+/// Retrieves the data associated with `key`: every replica is read and the
+/// one with the highest version number is returned. If several distinct
+/// payloads share that highest version (concurrent updates), the first one
+/// encountered is returned and the ambiguity is reported.
+pub fn retrieve<A: BrkAccess + ?Sized>(
+    access: &mut A,
+    key: &Key,
+) -> Result<BrkRetrieveReport, UmsError> {
+    let ids = access.replication_ids();
+    let mut best: Option<VersionedValue> = None;
+    let mut conflicting: Vec<Vec<u8>> = Vec::new();
+    let mut replicas_probed = 0;
+    let mut probes_failed = 0;
+
+    for hash in &ids {
+        replicas_probed += 1;
+        match access.get_versioned(*hash, key) {
+            Ok(Some(replica)) => match &best {
+                None => best = Some(replica),
+                Some(current_best) => {
+                    if replica.version > current_best.version {
+                        conflicting.clear();
+                        best = Some(replica);
+                    } else if replica.version == current_best.version
+                        && replica.data != current_best.data
+                        && !conflicting.contains(&replica.data)
+                    {
+                        conflicting.push(replica.data);
+                    }
+                }
+            },
+            Ok(None) => {}
+            Err(_) => probes_failed += 1,
+        }
+    }
+
+    let (data, version, ambiguity) = match best {
+        Some(best) => {
+            let ambiguity = if conflicting.is_empty() {
+                None
+            } else {
+                let mut payloads = vec![best.data.clone()];
+                payloads.extend(conflicting);
+                Some(ConcurrencyAmbiguity {
+                    version: best.version,
+                    conflicting_payloads: payloads,
+                })
+            };
+            (Some(best.data), best.version, ambiguity)
+        }
+        None => (None, Version::ZERO, None),
+    };
+
+    Ok(BrkRetrieveReport {
+        data,
+        version,
+        replicas_probed,
+        probes_failed,
+        ambiguity,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemoryBrk;
+    use rdht_hashing::HashId;
+
+    #[test]
+    fn insert_then_retrieve_round_trips() {
+        let mut dht = InMemoryBrk::new(10, 1);
+        let key = Key::new("doc");
+        let report = insert(&mut dht, &key, b"v1".to_vec()).unwrap();
+        assert_eq!(report.version, Version(1));
+        assert_eq!(report.replicas_written, 10);
+        let got = retrieve(&mut dht, &key).unwrap();
+        assert_eq!(got.data.unwrap(), b"v1");
+        assert_eq!(got.version, Version(1));
+        assert!(got.ambiguity.is_none());
+    }
+
+    #[test]
+    fn retrieve_always_probes_all_replicas() {
+        // The defining cost difference with UMS: even when every replica is
+        // current, BRK cannot stop early.
+        let mut dht = InMemoryBrk::new(25, 2);
+        let key = Key::new("doc");
+        insert(&mut dht, &key, b"v1".to_vec()).unwrap();
+        let got = retrieve(&mut dht, &key).unwrap();
+        assert_eq!(got.replicas_probed, 25);
+    }
+
+    #[test]
+    fn versions_increase_across_updates() {
+        let mut dht = InMemoryBrk::new(5, 3);
+        let key = Key::new("doc");
+        for i in 1..=7u64 {
+            let report = insert(&mut dht, &key, format!("v{i}").into_bytes()).unwrap();
+            assert_eq!(report.version, Version(i));
+        }
+        let got = retrieve(&mut dht, &key).unwrap();
+        assert_eq!(got.data.unwrap(), b"v7");
+    }
+
+    #[test]
+    fn retrieve_of_unknown_key_is_empty() {
+        let mut dht = InMemoryBrk::new(5, 4);
+        let got = retrieve(&mut dht, &Key::new("missing")).unwrap();
+        assert!(got.data.is_none());
+        assert_eq!(got.version, Version::ZERO);
+        assert_eq!(got.replicas_probed, 5);
+    }
+
+    #[test]
+    fn stale_replicas_lose_to_higher_versions() {
+        let mut dht = InMemoryBrk::new(6, 5);
+        let key = Key::new("doc");
+        insert(&mut dht, &key, b"old".to_vec()).unwrap();
+        insert(&mut dht, &key, b"new".to_vec()).unwrap();
+        // Roll two replicas back to the old version.
+        let ids = dht.replication_ids_vec();
+        dht.overwrite(ids[0], &key, VersionedValue::new(b"old".to_vec(), Version(1)));
+        dht.overwrite(ids[1], &key, VersionedValue::new(b"old".to_vec(), Version(1)));
+        let got = retrieve(&mut dht, &key).unwrap();
+        assert_eq!(got.data.unwrap(), b"new");
+        assert_eq!(got.version, Version(2));
+    }
+
+    #[test]
+    fn concurrent_updates_produce_ambiguity() {
+        // Two peers update concurrently: both observe version 1 and both mint
+        // version 2, writing to the replicas in opposite orders.
+        let mut dht = InMemoryBrk::new(4, 6);
+        let key = Key::new("doc");
+        insert(&mut dht, &key, b"base".to_vec()).unwrap();
+        let ids = dht.replication_ids_vec();
+        let from_a = VersionedValue::new(b"from A".to_vec(), Version(2));
+        let from_b = VersionedValue::new(b"from B".to_vec(), Version(2));
+        for (i, h) in ids.iter().enumerate() {
+            if i % 2 == 0 {
+                dht.put_versioned(*h, &key, &from_a).unwrap();
+                dht.put_versioned(*h, &key, &from_b).unwrap();
+            } else {
+                dht.put_versioned(*h, &key, &from_b).unwrap();
+                dht.put_versioned(*h, &key, &from_a).unwrap();
+            }
+        }
+        let got = retrieve(&mut dht, &key).unwrap();
+        let ambiguity = got.ambiguity.expect("same version, different payloads");
+        assert_eq!(ambiguity.version, Version(2));
+        assert_eq!(ambiguity.conflicting_payloads.len(), 2);
+    }
+
+    #[test]
+    fn insert_reports_partial_write_failures() {
+        let mut dht = InMemoryBrk::new(6, 7);
+        let ids = dht.replication_ids_vec();
+        dht.fail_puts_for(vec![ids[2]]);
+        let report = insert(&mut dht, &Key::new("doc"), b"x".to_vec()).unwrap();
+        assert_eq!(report.replicas_written, 5);
+        assert_eq!(report.replicas_failed, 1);
+    }
+
+    #[test]
+    fn insert_fails_when_nothing_can_be_written() {
+        let mut dht = InMemoryBrk::new(3, 8);
+        let ids = dht.replication_ids_vec();
+        dht.fail_puts_for(ids);
+        let err = insert(&mut dht, &Key::new("doc"), b"x".to_vec()).unwrap_err();
+        assert_eq!(err, UmsError::NoReplicaWritten);
+    }
+
+    #[test]
+    fn failed_probes_are_counted() {
+        let mut dht = InMemoryBrk::new(4, 9);
+        let key = Key::new("doc");
+        insert(&mut dht, &key, b"v".to_vec()).unwrap();
+        dht.fail_gets_for(vec![HashId(0), HashId(3)]);
+        let got = retrieve(&mut dht, &key).unwrap();
+        assert_eq!(got.probes_failed, 2);
+        assert_eq!(got.data.unwrap(), b"v");
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based tests for the BRK baseline, including the comparison
+//! properties against UMS that motivate the paper.
+
+use proptest::prelude::*;
+
+use rdht_hashing::Key;
+
+use rdht_core::{ums, InMemoryDht};
+
+use crate::memory::InMemoryBrk;
+use crate::{insert, retrieve};
+
+proptest! {
+    /// Sequential (non-concurrent) updates behave correctly in BRK: the last
+    /// written value is returned, like UMS.
+    #[test]
+    fn sequential_updates_agree_with_ums(
+        num_replicas in 1usize..15,
+        seed in any::<u64>(),
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..12), 1..25),
+    ) {
+        let mut brk = InMemoryBrk::new(num_replicas, seed);
+        let mut ums_dht = InMemoryDht::new(num_replicas, seed);
+        let key = Key::new("shared");
+        for payload in &payloads {
+            insert(&mut brk, &key, payload.clone()).unwrap();
+            ums::insert(&mut ums_dht, &key, payload.clone()).unwrap();
+        }
+        let brk_result = retrieve(&mut brk, &key).unwrap();
+        let ums_result = ums::retrieve(&mut ums_dht, &key).unwrap();
+        prop_assert_eq!(brk_result.data.as_ref(), payloads.last());
+        prop_assert_eq!(brk_result.data, ums_result.data);
+        // BRK always pays |Hr| probes; UMS finds a current replica on the
+        // first probe in this failure-free setting.
+        prop_assert_eq!(brk_result.replicas_probed, num_replicas);
+        prop_assert_eq!(ums_result.replicas_probed, 1);
+    }
+
+    /// BRK's version numbers equal the number of updates applied so far.
+    #[test]
+    fn versions_count_updates(
+        seed in any::<u64>(),
+        updates in 1usize..30,
+    ) {
+        let mut brk = InMemoryBrk::new(5, seed);
+        let key = Key::new("doc");
+        let mut last_version = 0;
+        for i in 0..updates {
+            let report = insert(&mut brk, &key, vec![i as u8]).unwrap();
+            last_version = report.version.0;
+        }
+        prop_assert_eq!(last_version, updates as u64);
+    }
+
+    /// Unknown keys never return data, regardless of replica count.
+    #[test]
+    fn unknown_keys_return_nothing(num_replicas in 1usize..30, seed in any::<u64>()) {
+        let mut brk = InMemoryBrk::new(num_replicas, seed);
+        let got = retrieve(&mut brk, &Key::new("never inserted")).unwrap();
+        prop_assert!(got.data.is_none());
+        prop_assert_eq!(got.replicas_probed, num_replicas);
+    }
+}

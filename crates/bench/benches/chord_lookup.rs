@@ -1,0 +1,77 @@
+//! Micro-benchmarks of the Chord substrate: lookups on converged and damaged
+//! rings, joins and stabilization rounds.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rdht_overlay::chord::{ChordConfig, ChordNetwork};
+use rdht_overlay::{NodeId, Overlay};
+
+fn ring(size: usize, seed: u64) -> ChordNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids = std::collections::BTreeSet::new();
+    while ids.len() < size {
+        ids.insert(NodeId(rng.gen()));
+    }
+    ChordNetwork::bootstrap(ids, ChordConfig::default())
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chord_lookup");
+    for &size in &[256usize, 1024, 4096] {
+        let mut network = ring(size, 1);
+        let members = network.alive_ids();
+        let mut rng = StdRng::seed_from_u64(2);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                let origin = members[rng.gen_range(0..members.len())];
+                let target: u64 = rng.gen();
+                black_box(network.lookup(origin, target).unwrap().hops)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup_under_failures(c: &mut Criterion) {
+    let mut network = ring(2048, 3);
+    // Fail a quarter of the ring without stabilizing: lookups pay timeouts
+    // and perform lazy repair.
+    let members = network.alive_ids();
+    for chunk in members.chunks(4) {
+        network.fail(chunk[0]);
+    }
+    let survivors = network.alive_ids();
+    let mut rng = StdRng::seed_from_u64(4);
+    c.bench_function("chord_lookup_25pct_failed", |b| {
+        b.iter(|| {
+            let origin = survivors[rng.gen_range(0..survivors.len())];
+            let target: u64 = rng.gen();
+            black_box(network.lookup(origin, target).unwrap().messages())
+        })
+    });
+}
+
+fn bench_join_and_stabilize(c: &mut Criterion) {
+    c.bench_function("chord_join", |b| {
+        let mut network = ring(1024, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        b.iter(|| {
+            let id = NodeId(rng.gen());
+            black_box(network.join(id).messages)
+        })
+    });
+    c.bench_function("chord_stabilize_round_1024", |b| {
+        let mut network = ring(1024, 7);
+        b.iter(|| black_box(network.stabilize().messages))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lookup,
+    bench_lookup_under_failures,
+    bench_join_and_stabilize
+);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! One Criterion benchmark per figure of the paper's evaluation.
+//!
+//! Each benchmark runs a miniature version of the corresponding experiment
+//! end to end (simulation construction, workload, queries) so that
+//! `cargo bench` exercises every figure-regeneration path and tracks its
+//! cost over time. The full-size sweeps — the ones whose numbers go into
+//! `EXPERIMENTS.md` — are produced by the `experiments` binary instead
+//! (`cargo run --release -p rdht-bench --bin experiments -- all`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use rdht_sim::{Algorithm, SimConfig, Simulation};
+
+fn mini(config: SimConfig) -> f64 {
+    let report = Simulation::new(config).run();
+    report.summary(Algorithm::UmsDirect).mean_response_time
+        + report.summary(Algorithm::Brk).mean_response_time
+}
+
+fn mini_config(peers: usize, seed: u64) -> SimConfig {
+    let mut config = SimConfig::small_test(peers, seed);
+    config.queries = 8;
+    config.duration = 600.0;
+    config
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6_cluster_point", |b| {
+        b.iter(|| {
+            let mut config = SimConfig::cluster(32);
+            config.duration = 600.0;
+            config.queries = 8;
+            black_box(mini(config))
+        })
+    });
+}
+
+fn bench_fig7_fig8(c: &mut Criterion) {
+    c.bench_function("fig7_fig8_scaleup_point", |b| {
+        b.iter(|| black_box(mini(mini_config(128, 1))))
+    });
+}
+
+fn bench_fig9_fig10(c: &mut Criterion) {
+    c.bench_function("fig9_fig10_replicas_point", |b| {
+        b.iter(|| black_box(mini(mini_config(96, 2).with_num_replicas(20))))
+    });
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    c.bench_function("fig11_failure_rate_point", |b| {
+        b.iter(|| black_box(mini(mini_config(96, 3).with_failure_rate(0.8))))
+    });
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    c.bench_function("fig12_update_rate_point", |b| {
+        b.iter(|| black_box(mini(mini_config(96, 4).with_update_rate(0.25))))
+    });
+}
+
+fn bench_ablation_maintenance(c: &mut Criterion) {
+    // Ablation: how much overlay maintenance (stabilization frequency and
+    // fingers refreshed per round) buys under churn. Sparse maintenance
+    // leaves more stale routing entries, so lookups pay more timeouts and the
+    // same end-to-end workload takes longer in simulated time — the measured
+    // quantity here is the harness cost of running that workload.
+    let mut group = c.benchmark_group("ablation_maintenance");
+    group.bench_function("aggressive_stabilization", |b| {
+        b.iter(|| {
+            let mut config = mini_config(96, 6);
+            config.stabilize_interval = 15.0;
+            config.fingers_fixed_per_round = 16;
+            black_box(mini(config))
+        })
+    });
+    group.bench_function("sparse_stabilization", |b| {
+        b.iter(|| {
+            let mut config = mini_config(96, 6);
+            config.stabilize_interval = 120.0;
+            config.fingers_fixed_per_round = 2;
+            black_box(mini(config))
+        })
+    });
+    group.finish();
+}
+
+fn bench_ablation_data_transfer(c: &mut Criterion) {
+    // Ablation: replica hand-off on membership changes (off in the paper's
+    // model) vs on. The measured quantity is the same end-to-end simulation.
+    let mut group = c.benchmark_group("ablation_data_handoff");
+    group.bench_function("without_handoff", |b| {
+        b.iter(|| black_box(mini(mini_config(96, 5))))
+    });
+    group.bench_function("with_handoff", |b| {
+        b.iter(|| {
+            let mut config = mini_config(96, 5);
+            config.transfer_data_on_membership_change = true;
+            black_box(mini(config))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig6, bench_fig7_fig8, bench_fig9_fig10, bench_fig11, bench_fig12,
+              bench_ablation_data_transfer, bench_ablation_maintenance
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Micro-benchmarks of the hash family: key fingerprinting and evaluation of
+//! the replication / timestamping hash functions.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rdht_hashing::{HashFamily, Key};
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let key = Key::new("agenda:room-42/2026-06-14/slot-09");
+    c.bench_function("key_digest", |b| b.iter(|| black_box(&key).digest()));
+}
+
+fn bench_family_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_family_eval_all");
+    for &replicas in &[5usize, 10, 20, 40] {
+        let family = HashFamily::new(replicas, 7);
+        let key = Key::new("auction:item-991");
+        group.bench_with_input(BenchmarkId::from_parameter(replicas), &replicas, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for h in family.replication_functions() {
+                    acc ^= h.eval(black_box(&key));
+                }
+                acc ^ family.eval_timestamp(black_box(&key))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fingerprint, bench_family_eval);
+criterion_main!(benches);

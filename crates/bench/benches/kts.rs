@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the Key-based Timestamping Service: timestamp
+//! generation with a valid counter, with direct transfer, and with the
+//! indirect initialization (the ablation behind UMS-Direct vs UMS-Indirect).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use rdht_core::kts::{IndirectObservation, KtsNode};
+use rdht_core::{LastTsInitPolicy, Timestamp};
+use rdht_hashing::Key;
+
+fn bench_gen_ts_valid_counter(c: &mut Criterion) {
+    let mut node = KtsNode::new(false);
+    let key = Key::new("doc");
+    node.gen_ts(&key, IndirectObservation::nothing);
+    c.bench_function("kts_gen_ts_valid_counter", |b| {
+        b.iter(|| black_box(node.gen_ts(&key, IndirectObservation::nothing).timestamp))
+    });
+}
+
+fn bench_gen_ts_with_indirect_init(c: &mut Criterion) {
+    // Every iteration starts from a fresh responsible (as after a failure),
+    // so the counter must be re-initialized from an observation.
+    let key = Key::new("doc");
+    c.bench_function("kts_gen_ts_indirect_init", |b| {
+        b.iter(|| {
+            let mut node = KtsNode::new(false);
+            black_box(
+                node.gen_ts(&key, || IndirectObservation::observed(Timestamp(41)))
+                    .timestamp,
+            )
+        })
+    });
+}
+
+fn bench_direct_transfer(c: &mut Criterion) {
+    // The direct algorithm: export the departing responsible's counters and
+    // import them at the next responsible, for a realistic number of keys.
+    c.bench_function("kts_direct_transfer_256_keys", |b| {
+        b.iter_batched(
+            || {
+                let mut node = KtsNode::new(false);
+                for i in 0..256 {
+                    node.gen_ts(&Key::new(format!("key-{i}")), IndirectObservation::nothing);
+                }
+                node
+            },
+            |mut departing| {
+                let exported = departing.export_counters_in_range(|_| true);
+                let mut next = KtsNode::new(false);
+                next.receive_transferred_counters(exported);
+                black_box(next.vcs().len())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_last_ts(c: &mut Criterion) {
+    let mut node = KtsNode::new(false);
+    let key = Key::new("doc");
+    node.gen_ts(&key, IndirectObservation::nothing);
+    c.bench_function("kts_last_ts", |b| {
+        b.iter(|| {
+            black_box(
+                node.last_ts(&key, LastTsInitPolicy::ObservedMax, IndirectObservation::nothing)
+                    .timestamp,
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_gen_ts_valid_counter,
+    bench_gen_ts_with_indirect_init,
+    bench_direct_transfer,
+    bench_last_ts
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Head-to-head micro-benchmarks of UMS and BRK client operations over the
+//! in-memory reference DHT, across replica counts — the algorithmic half of
+//! the Figure 9/10 comparison (DHT routing costs excluded).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rdht_baseline::InMemoryBrk;
+use rdht_core::{ums, InMemoryDht};
+use rdht_hashing::Key;
+
+fn bench_retrieve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("retrieve_inmemory");
+    for &replicas in &[5usize, 10, 20, 40] {
+        let key = Key::new("doc");
+        let mut ums_dht = InMemoryDht::new(replicas, 1);
+        ums::insert(&mut ums_dht, &key, b"payload".to_vec()).unwrap();
+        let mut brk_dht = InMemoryBrk::new(replicas, 1);
+        rdht_baseline::insert(&mut brk_dht, &key, b"payload".to_vec()).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("UMS", replicas), &replicas, |b, _| {
+            b.iter(|| black_box(ums::retrieve(&mut ums_dht, &key).unwrap().replicas_probed))
+        });
+        group.bench_with_input(BenchmarkId::new("BRK", replicas), &replicas, |b, _| {
+            b.iter(|| {
+                black_box(
+                    rdht_baseline::retrieve(&mut brk_dht, &key)
+                        .unwrap()
+                        .replicas_probed,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert_inmemory");
+    for &replicas in &[10usize, 40] {
+        let key = Key::new("doc");
+        let mut ums_dht = InMemoryDht::new(replicas, 2);
+        let mut brk_dht = InMemoryBrk::new(replicas, 2);
+        group.bench_with_input(BenchmarkId::new("UMS", replicas), &replicas, |b, _| {
+            b.iter(|| {
+                black_box(
+                    ums::insert(&mut ums_dht, &key, b"v".to_vec())
+                        .unwrap()
+                        .replicas_written,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("BRK", replicas), &replicas, |b, _| {
+            b.iter(|| {
+                black_box(
+                    rdht_baseline::insert(&mut brk_dht, &key, b"v".to_vec())
+                        .unwrap()
+                        .replicas_written,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_retrieve, bench_insert);
+criterion_main!(benches);

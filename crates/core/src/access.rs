@@ -1,0 +1,46 @@
+//! The environment interface UMS operations are written against.
+
+use rdht_hashing::{HashId, Key};
+
+use crate::error::UmsError;
+use crate::types::{ReplicaValue, Timestamp};
+
+/// Everything UMS needs from the DHT it runs on (Section 3 of the paper:
+/// "UMS only requires the DHT's lookup service with `put_h` and `get_h`
+/// operations", plus the two KTS operations).
+///
+/// Implementations:
+///
+/// * [`crate::InMemoryDht`] — a single-process map, used in doctests, unit
+///   tests and the quickstart example;
+/// * `rdht_sim::SimulatedAccess` — cost-accounting access to the simulated
+///   Chord overlay (every call is priced in simulated latency and messages);
+/// * `rdht_net::ClusterClient` — real message exchange with threaded peers.
+///
+/// The `&mut self` receivers exist because implementations mutate their
+/// environment: the simulator advances clocks and repairs routing state, the
+/// threaded client consumes its sockets.
+pub trait UmsAccess {
+    /// Asks the timestamping responsible `rsp(k, h_ts)` to generate a fresh
+    /// timestamp for `key` (KTS `gen_ts`).
+    fn kts_gen_ts(&mut self, key: &Key) -> Result<Timestamp, UmsError>;
+
+    /// Asks the timestamping responsible for the last timestamp generated for
+    /// `key` (KTS `last_ts`). Returns [`Timestamp::ZERO`] when no timestamp
+    /// has ever been generated.
+    fn kts_last_ts(&mut self, key: &Key) -> Result<Timestamp, UmsError>;
+
+    /// Stores a stamped replica at `rsp(k, h)` (the DHT `put_h` operation).
+    /// The receiving peer keeps the write only if the timestamp is newer than
+    /// what it already holds.
+    fn put_replica(&mut self, hash: HashId, key: &Key, value: &ReplicaValue)
+        -> Result<(), UmsError>;
+
+    /// Reads the replica stored at `rsp(k, h)` (the DHT `get_h` operation).
+    /// `Ok(None)` means the responsible peer holds no replica for the key.
+    fn get_replica(&mut self, hash: HashId, key: &Key) -> Result<Option<ReplicaValue>, UmsError>;
+
+    /// The ids of the replication hash functions `Hr`, in the order retrieve
+    /// should probe them.
+    fn replication_ids(&self) -> Vec<HashId>;
+}

@@ -1,0 +1,177 @@
+//! Probabilistic cost analysis of UMS (Section 3.3 and 4.2.2 of the paper).
+//!
+//! The random variable `X` is the number of replicas `retrieve` probes before
+//! finding a current one. With `p_t` the *probability of currency and
+//! availability* at retrieval time (the fraction of the `|Hr|` replica slots
+//! that hold a current, reachable replica), the paper derives:
+//!
+//! * `Prob(X = i) = p_t (1 − p_t)^(i−1)` — Equation (1);
+//! * `E(X) < 1 / p_t` — Equation (4), stated as **Theorem 1**;
+//! * `E(X) ≤ min(1/p_t, |Hr|)` — Equation (5);
+//! * the indirect counter initialization succeeds with probability
+//!   `p_s = 1 − (1 − p_t)^|Hr|` — Section 4.2.2.
+//!
+//! These closed forms are used by the Theorem 1 validation experiment, which
+//! compares them against probe counts measured in the simulator.
+
+/// Expected number of probed replicas per Equation (1): the truncated sum
+/// `Σ_{i=1}^{|Hr|} i · p_t (1 − p_t)^(i−1)`.
+///
+/// This is exactly the series the paper writes down; it ignores the
+/// probability mass of the "no current replica among the |Hr| slots" event
+/// (see [`expected_probes_exact`] for the version that accounts for it).
+///
+/// `p_t` is clamped to `[0, 1]`. Returns 0 for `p_t == 0`.
+pub fn expected_retrievals_eq1(p_t: f64, num_replicas: usize) -> f64 {
+    let p = p_t.clamp(0.0, 1.0);
+    (1..=num_replicas)
+        .map(|i| (i as f64) * p * (1.0 - p).powi(i as i32 - 1))
+        .sum()
+}
+
+/// Exact expected number of `get_h` calls issued by `retrieve`, including the
+/// case where no current replica exists among the `|Hr|` slots and all of
+/// them are probed:
+/// `Σ_{i=1}^{|Hr|} i · p_t (1 − p_t)^(i−1) + |Hr| · (1 − p_t)^{|Hr|}`.
+pub fn expected_probes_exact(p_t: f64, num_replicas: usize) -> f64 {
+    let p = p_t.clamp(0.0, 1.0);
+    expected_retrievals_eq1(p, num_replicas)
+        + (num_replicas as f64) * (1.0 - p).powi(num_replicas as i32)
+}
+
+/// The Theorem 1 upper bound `E(X) < 1 / p_t` (Equation 4). Returns
+/// `f64::INFINITY` when `p_t` is zero.
+pub fn theorem1_upper_bound(p_t: f64) -> f64 {
+    if p_t <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / p_t.min(1.0)
+    }
+}
+
+/// Equation (5): `E(X) ≤ min(1/p_t, |Hr|)` — the number of probed replicas
+/// can never exceed the number of replicas.
+pub fn bounded_expectation(p_t: f64, num_replicas: usize) -> f64 {
+    theorem1_upper_bound(p_t).min(num_replicas as f64)
+}
+
+/// Probability that the indirect initialization finds the latest timestamp:
+/// `p_s = 1 − (1 − p_t)^|Hr|` (Section 4.2.2).
+pub fn indirect_success_probability(p_t: f64, num_replicas: usize) -> f64 {
+    let p = p_t.clamp(0.0, 1.0);
+    1.0 - (1.0 - p).powi(num_replicas as i32)
+}
+
+/// Smallest number of replication hash functions needed for the indirect
+/// algorithm to succeed with probability at least `target_ps`, given `p_t`.
+///
+/// The paper's example: with `p_t ≈ 30%`, 13 replication hash functions give
+/// `p_s > 99%`.
+pub fn replicas_for_indirect_success(p_t: f64, target_ps: f64) -> Option<usize> {
+    let p = p_t.clamp(0.0, 1.0);
+    let target = target_ps.clamp(0.0, 1.0);
+    if target == 0.0 {
+        return Some(0);
+    }
+    if p <= 0.0 {
+        return None; // unreachable target: no replica is ever current
+    }
+    if p >= 1.0 {
+        return Some(1);
+    }
+    // 1 - (1-p)^n >= target  <=>  n >= ln(1-target) / ln(1-p)
+    let n = ((1.0 - target).ln() / (1.0 - p).ln()).ceil();
+    if n.is_finite() {
+        Some(n.max(1.0) as usize)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_35_percent_gives_less_than_three() {
+        // Section 3.3: "if at least 35% of available replicas are current then
+        // the expected number of retrieved replicas is less than 3".
+        let bound = theorem1_upper_bound(0.35);
+        assert!(bound < 3.0, "1/0.35 = {bound}");
+        let expected = expected_probes_exact(0.35, 10);
+        assert!(expected < 3.0, "exact expectation {expected}");
+    }
+
+    #[test]
+    fn eq1_is_below_the_theorem1_bound() {
+        for &p in &[0.05, 0.1, 0.2, 0.35, 0.5, 0.8, 1.0] {
+            for &hr in &[1usize, 5, 10, 20, 40] {
+                let e = expected_retrievals_eq1(p, hr);
+                assert!(
+                    e < theorem1_upper_bound(p) + 1e-12,
+                    "E={e} exceeds bound for p={p}, hr={hr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_expectation_is_bounded_by_eq5() {
+        for &p in &[0.01, 0.05, 0.1, 0.35, 0.9] {
+            for &hr in &[1usize, 5, 10, 40] {
+                let e = expected_probes_exact(p, hr);
+                assert!(
+                    e <= bounded_expectation(p, hr) + 1e-9,
+                    "E={e} exceeds min(1/p, hr) for p={p}, hr={hr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_currency_needs_one_probe() {
+        assert!((expected_probes_exact(1.0, 10) - 1.0).abs() < 1e-12);
+        assert!((expected_retrievals_eq1(1.0, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_currency_probes_everything() {
+        assert_eq!(expected_retrievals_eq1(0.0, 10), 0.0);
+        assert!((expected_probes_exact(0.0, 10) - 10.0).abs() < 1e-12);
+        assert_eq!(theorem1_upper_bound(0.0), f64::INFINITY);
+        assert_eq!(bounded_expectation(0.0, 10), 10.0);
+    }
+
+    #[test]
+    fn paper_example_13_replicas_exceed_99_percent_success() {
+        // Section 4.2.2: "if the probability of currency and availability is
+        // about 30%, then by using 13 replication hash functions, ps is more
+        // than 99%".
+        let ps = indirect_success_probability(0.30, 13);
+        assert!(ps > 0.99, "p_s = {ps}");
+        assert_eq!(replicas_for_indirect_success(0.30, 0.99), Some(13));
+    }
+
+    #[test]
+    fn success_probability_grows_with_replicas() {
+        let mut previous = 0.0;
+        for hr in 1..=40 {
+            let ps = indirect_success_probability(0.2, hr);
+            assert!(ps >= previous);
+            previous = ps;
+        }
+        assert!((indirect_success_probability(1.0, 1) - 1.0).abs() < 1e-12);
+        assert_eq!(indirect_success_probability(0.0, 40), 0.0);
+    }
+
+    #[test]
+    fn replicas_for_success_edge_cases() {
+        assert_eq!(replicas_for_indirect_success(0.0, 0.99), None);
+        assert_eq!(replicas_for_indirect_success(1.0, 0.99), Some(1));
+        assert_eq!(replicas_for_indirect_success(0.5, 0.0), Some(0));
+        // Higher targets never require fewer replicas.
+        let lo = replicas_for_indirect_success(0.25, 0.9).unwrap();
+        let hi = replicas_for_indirect_success(0.25, 0.999).unwrap();
+        assert!(hi >= lo);
+    }
+}

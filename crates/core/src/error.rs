@@ -1,0 +1,75 @@
+//! Error types of the UMS/KTS layer.
+
+use std::fmt;
+
+/// Errors surfaced by UMS operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UmsError {
+    /// The timestamping responsible for the key could not be reached, so no
+    /// timestamp could be generated or read.
+    KtsUnreachable {
+        /// Human-readable reason from the environment (routing failure, peer
+        /// crash mid-request, ...).
+        reason: String,
+    },
+    /// The DHT lookup for a replica holder failed outright (the environment
+    /// exhausted its routing/retry budget).
+    LookupFailed {
+        /// Human-readable reason from the environment.
+        reason: String,
+    },
+    /// `insert` could not write a single replica (every `put_h` failed).
+    NoReplicaWritten,
+    /// The overlay has no live peers to serve the request.
+    EmptyOverlay,
+}
+
+impl fmt::Display for UmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UmsError::KtsUnreachable { reason } => {
+                write!(f, "timestamping responsible unreachable: {reason}")
+            }
+            UmsError::LookupFailed { reason } => write!(f, "DHT lookup failed: {reason}"),
+            UmsError::NoReplicaWritten => write!(f, "insert failed to write any replica"),
+            UmsError::EmptyOverlay => write!(f, "overlay has no live peers"),
+        }
+    }
+}
+
+impl std::error::Error for UmsError {}
+
+impl UmsError {
+    /// Convenience constructor for lookup failures.
+    pub fn lookup(reason: impl Into<String>) -> Self {
+        UmsError::LookupFailed {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for KTS failures.
+    pub fn kts(reason: impl Into<String>) -> Self {
+        UmsError::KtsUnreachable {
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_reason() {
+        let e = UmsError::lookup("no route to responsible");
+        assert!(e.to_string().contains("no route to responsible"));
+        let e = UmsError::kts("timed out");
+        assert!(e.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(UmsError::NoReplicaWritten, UmsError::NoReplicaWritten);
+        assert_ne!(UmsError::NoReplicaWritten, UmsError::EmptyOverlay);
+    }
+}

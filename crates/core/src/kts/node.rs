@@ -1,0 +1,399 @@
+//! Node-side KTS logic: timestamp generation at the responsible of
+//! timestamping.
+
+use rdht_hashing::Key;
+
+use crate::config::LastTsInitPolicy;
+use crate::kts::vcs::ValidCounterSet;
+use crate::types::Timestamp;
+
+/// What an indirect counter initialization observed in the DHT: the largest
+/// timestamp stored along with the key under any replication hash function,
+/// or `None` when no replica (and hence no timestamp) was found
+/// (Section 4.2.2, Figure 5).
+///
+/// The *cost* of producing the observation (`|Hr|` replica reads) is the
+/// environment's business; the environment builds this value and hands it to
+/// [`KtsNode::gen_ts`] / [`KtsNode::last_ts`] through the `observe` closure,
+/// which is only invoked when an initialization is actually needed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndirectObservation {
+    /// Largest timestamp found among the key's replicas.
+    pub max_observed: Option<Timestamp>,
+}
+
+impl IndirectObservation {
+    /// No replica was found for the key.
+    pub fn nothing() -> Self {
+        IndirectObservation { max_observed: None }
+    }
+
+    /// A replica with the given maximum timestamp was found.
+    pub fn observed(ts: Timestamp) -> Self {
+        IndirectObservation {
+            max_observed: Some(ts),
+        }
+    }
+}
+
+/// Result of serving a `gen_ts` request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GenTsOutcome {
+    /// The freshly generated timestamp.
+    pub timestamp: Timestamp,
+    /// Whether the counter had to be initialized with the indirect algorithm
+    /// (costing `|Hr|` replica reads) before generating.
+    pub used_indirect_init: bool,
+}
+
+/// Result of serving a `last_ts` request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LastTsOutcome {
+    /// The last timestamp generated for the key ([`Timestamp::ZERO`] if none
+    /// is known).
+    pub timestamp: Timestamp,
+    /// Whether the counter had to be initialized with the indirect algorithm.
+    pub used_indirect_init: bool,
+}
+
+/// Counters of how much work a KTS node has performed; used by tests,
+/// experiments and the ablation benches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KtsStats {
+    /// Timestamps generated (`gen_ts` requests served).
+    pub timestamps_generated: u64,
+    /// `last_ts` requests served.
+    pub last_ts_served: u64,
+    /// Counters received through the direct transfer.
+    pub counters_received_directly: u64,
+    /// Counters initialized with the indirect algorithm.
+    pub indirect_initializations: u64,
+    /// Counters corrected by recovery or periodic inspection.
+    pub corrections: u64,
+}
+
+/// The KTS state of one peer: the valid counters for the keys it is currently
+/// the responsible of timestamping for.
+#[derive(Clone, Debug, Default)]
+pub struct KtsNode {
+    vcs: ValidCounterSet,
+    rlu_mode: bool,
+    stats: KtsStats,
+}
+
+impl KtsNode {
+    /// Creates the KTS state of a peer that has just joined the system
+    /// (Rule 1: the VCS starts empty).
+    pub fn new(rlu_mode: bool) -> Self {
+        KtsNode {
+            vcs: ValidCounterSet::new(),
+            rlu_mode,
+            stats: KtsStats::default(),
+        }
+    }
+
+    /// Read-only access to the valid counter set.
+    pub fn vcs(&self) -> &ValidCounterSet {
+        &self.vcs
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> KtsStats {
+        self.stats
+    }
+
+    /// Whether a valid counter exists for `key`.
+    pub fn has_counter(&self, key: &Key) -> bool {
+        self.vcs.contains(key)
+    }
+
+    /// Current counter value for `key`, if valid.
+    pub fn counter_value(&self, key: &Key) -> Option<Timestamp> {
+        self.vcs.value(key)
+    }
+
+    /// Serves a `gen_ts(k)` request (Figure 4).
+    ///
+    /// If the counter for `key` is valid it is simply incremented. Otherwise
+    /// the `observe` closure is invoked to run the indirect initialization
+    /// (Figure 5): the counter starts at `ts_m + 1` where `ts_m` is the
+    /// largest timestamp observed in the DHT (or at 0 when no replica
+    /// exists), and is then incremented to produce the new timestamp.
+    pub fn gen_ts(
+        &mut self,
+        key: &Key,
+        observe: impl FnOnce() -> IndirectObservation,
+    ) -> GenTsOutcome {
+        let mut used_indirect_init = false;
+        if !self.vcs.contains(key) {
+            let observation = observe();
+            let initial = match observation.max_observed {
+                Some(ts) => Timestamp(ts.0 + 1),
+                None => Timestamp::ZERO,
+            };
+            self.vcs.initialize(key.clone(), initial);
+            self.stats.indirect_initializations += 1;
+            used_indirect_init = true;
+        }
+        let timestamp = self
+            .vcs
+            .increment(key)
+            .expect("counter was just initialized or already valid");
+        self.stats.timestamps_generated += 1;
+        if self.rlu_mode {
+            // In an RLU DHT the peer cannot detect responsibility loss, so it
+            // conservatively assumes it lost responsibility right after
+            // generating (Section 4.3) and invalidates the counter.
+            self.vcs.remove(key);
+        }
+        GenTsOutcome {
+            timestamp,
+            used_indirect_init,
+        }
+    }
+
+    /// Serves a `last_ts(k)` request: like `gen_ts` but without incrementing
+    /// the counter (Section 4.1.2).
+    pub fn last_ts(
+        &mut self,
+        key: &Key,
+        policy: LastTsInitPolicy,
+        observe: impl FnOnce() -> IndirectObservation,
+    ) -> LastTsOutcome {
+        let mut used_indirect_init = false;
+        if !self.vcs.contains(key) {
+            let observation = observe();
+            let initial = match (observation.max_observed, policy) {
+                (Some(ts), LastTsInitPolicy::ObservedMax) => ts,
+                (Some(ts), LastTsInitPolicy::ObservedMaxPlusOne) => Timestamp(ts.0 + 1),
+                (None, _) => Timestamp::ZERO,
+            };
+            self.vcs.initialize(key.clone(), initial);
+            self.stats.indirect_initializations += 1;
+            used_indirect_init = true;
+        }
+        let timestamp = self.vcs.value(key).unwrap_or(Timestamp::ZERO);
+        self.stats.last_ts_served += 1;
+        LastTsOutcome {
+            timestamp,
+            used_indirect_init,
+        }
+    }
+
+    /// Direct transfer, receiving side: the previous responsible handed over
+    /// the counters for keys this peer is now responsible for (Section
+    /// 4.2.1). Each received counter becomes valid with the transferred
+    /// value, unless a larger value is already known locally.
+    pub fn receive_transferred_counters(
+        &mut self,
+        counters: impl IntoIterator<Item = (Key, Timestamp)>,
+    ) {
+        for (key, value) in counters {
+            match self.vcs.value(&key) {
+                Some(existing) if existing >= value => {}
+                _ => self.vcs.initialize(key, value),
+            }
+            self.stats.counters_received_directly += 1;
+        }
+    }
+
+    /// Direct transfer, sending side: removes and returns the counters for
+    /// every key selected by `covers` (the keys whose responsibility is being
+    /// handed to the next responsible). Removing them also enforces Rule 3 on
+    /// this peer.
+    pub fn export_counters_in_range(
+        &mut self,
+        covers: impl FnMut(&Key) -> bool,
+    ) -> Vec<(Key, Timestamp)> {
+        self.vcs.drain_where(covers)
+    }
+
+    /// RLA enforcement of Rule 3 (Section 4.3): drops every counter whose key
+    /// this peer is no longer responsible for. Returns how many counters were
+    /// invalidated.
+    pub fn drop_lost_responsibilities(
+        &mut self,
+        mut still_responsible: impl FnMut(&Key) -> bool,
+    ) -> usize {
+        self.vcs.drain_where(|k| !still_responsible(k)).len()
+    }
+
+    /// Rule 1: a peer that rejoins the system starts with an empty VCS.
+    pub fn reset(&mut self) {
+        self.vcs.clear();
+    }
+
+    pub(crate) fn vcs_mut(&mut self) -> &mut ValidCounterSet {
+        &mut self.vcs
+    }
+
+    pub(crate) fn note_correction(&mut self) {
+        self.stats.corrections += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_observation() -> IndirectObservation {
+        IndirectObservation::nothing()
+    }
+
+    #[test]
+    fn gen_ts_is_monotonic_for_a_key() {
+        let mut node = KtsNode::new(false);
+        let k = Key::new("doc");
+        let mut previous = Timestamp::ZERO;
+        for _ in 0..100 {
+            let out = node.gen_ts(&k, no_observation);
+            assert!(out.timestamp > previous);
+            previous = out.timestamp;
+        }
+        assert_eq!(node.stats().timestamps_generated, 100);
+        assert_eq!(node.stats().indirect_initializations, 1);
+    }
+
+    #[test]
+    fn first_gen_ts_without_history_is_one() {
+        let mut node = KtsNode::new(false);
+        let out = node.gen_ts(&Key::new("fresh"), no_observation);
+        assert_eq!(out.timestamp, Timestamp(1));
+        assert!(out.used_indirect_init);
+    }
+
+    #[test]
+    fn gen_ts_after_indirect_observation_exceeds_observed() {
+        let mut node = KtsNode::new(false);
+        let out = node.gen_ts(&Key::new("doc"), || {
+            IndirectObservation::observed(Timestamp(41))
+        });
+        // Figure 5 initializes to ts_m + 1 = 42, gen_ts then increments to 43.
+        assert_eq!(out.timestamp, Timestamp(43));
+        assert!(out.timestamp > Timestamp(41));
+        assert!(out.used_indirect_init);
+    }
+
+    #[test]
+    fn second_gen_ts_does_not_invoke_observation() {
+        let mut node = KtsNode::new(false);
+        let k = Key::new("doc");
+        node.gen_ts(&k, no_observation);
+        let out = node.gen_ts(&k, || panic!("observation must not run for a valid counter"));
+        assert!(!out.used_indirect_init);
+    }
+
+    #[test]
+    fn last_ts_returns_last_generated_value() {
+        let mut node = KtsNode::new(false);
+        let k = Key::new("doc");
+        let generated = node.gen_ts(&k, no_observation).timestamp;
+        let last = node.last_ts(&k, LastTsInitPolicy::ObservedMax, no_observation);
+        assert_eq!(last.timestamp, generated);
+        assert!(!last.used_indirect_init);
+        assert_eq!(node.stats().last_ts_served, 1);
+    }
+
+    #[test]
+    fn last_ts_for_unknown_key_initializes_from_observation() {
+        let mut node = KtsNode::new(false);
+        let k = Key::new("doc");
+        let out = node.last_ts(&k, LastTsInitPolicy::ObservedMax, || {
+            IndirectObservation::observed(Timestamp(7))
+        });
+        assert_eq!(out.timestamp, Timestamp(7));
+        assert!(out.used_indirect_init);
+        // The counter is now valid; a later gen_ts continues from it.
+        let gen = node.gen_ts(&k, || panic!("already valid"));
+        assert_eq!(gen.timestamp, Timestamp(8));
+    }
+
+    #[test]
+    fn last_ts_plus_one_policy_matches_figure_5() {
+        let mut node = KtsNode::new(false);
+        let out = node.last_ts(&Key::new("doc"), LastTsInitPolicy::ObservedMaxPlusOne, || {
+            IndirectObservation::observed(Timestamp(7))
+        });
+        assert_eq!(out.timestamp, Timestamp(8));
+    }
+
+    #[test]
+    fn last_ts_without_history_is_zero() {
+        let mut node = KtsNode::new(false);
+        let out = node.last_ts(&Key::new("ghost"), LastTsInitPolicy::ObservedMax, no_observation);
+        assert_eq!(out.timestamp, Timestamp::ZERO);
+    }
+
+    #[test]
+    fn direct_transfer_preserves_continuity() {
+        let mut old_responsible = KtsNode::new(false);
+        let k = Key::new("doc");
+        let mut last = Timestamp::ZERO;
+        for _ in 0..5 {
+            last = old_responsible.gen_ts(&k, no_observation).timestamp;
+        }
+        // Hand the counter to the next responsible (graceful leave).
+        let exported = old_responsible.export_counters_in_range(|_| true);
+        assert!(!old_responsible.has_counter(&k));
+        let mut new_responsible = KtsNode::new(false);
+        new_responsible.receive_transferred_counters(exported);
+        assert_eq!(new_responsible.counter_value(&k), Some(last));
+        let next = new_responsible.gen_ts(&k, || panic!("no indirect init needed"));
+        assert_eq!(next.timestamp, Timestamp(last.0 + 1));
+        assert_eq!(new_responsible.stats().counters_received_directly, 1);
+    }
+
+    #[test]
+    fn transfer_does_not_downgrade_existing_counter() {
+        let mut node = KtsNode::new(false);
+        let k = Key::new("doc");
+        node.vcs_mut().initialize(k.clone(), Timestamp(10));
+        node.receive_transferred_counters(vec![(k.clone(), Timestamp(3))]);
+        assert_eq!(node.counter_value(&k), Some(Timestamp(10)));
+        node.receive_transferred_counters(vec![(k.clone(), Timestamp(30))]);
+        assert_eq!(node.counter_value(&k), Some(Timestamp(30)));
+    }
+
+    #[test]
+    fn export_only_covers_selected_keys() {
+        let mut node = KtsNode::new(false);
+        node.gen_ts(&Key::new("a"), no_observation);
+        node.gen_ts(&Key::new("b"), no_observation);
+        let exported = node.export_counters_in_range(|k| k.as_bytes() == b"a");
+        assert_eq!(exported.len(), 1);
+        assert!(!node.has_counter(&Key::new("a")));
+        assert!(node.has_counter(&Key::new("b")));
+    }
+
+    #[test]
+    fn rla_rule_three_drops_lost_keys() {
+        let mut node = KtsNode::new(false);
+        node.gen_ts(&Key::new("mine"), no_observation);
+        node.gen_ts(&Key::new("lost"), no_observation);
+        let dropped = node.drop_lost_responsibilities(|k| k.as_bytes() == b"mine");
+        assert_eq!(dropped, 1);
+        assert!(node.has_counter(&Key::new("mine")));
+        assert!(!node.has_counter(&Key::new("lost")));
+    }
+
+    #[test]
+    fn rlu_mode_invalidates_counter_after_each_generation() {
+        let mut node = KtsNode::new(true);
+        let k = Key::new("doc");
+        let first = node.gen_ts(&k, no_observation);
+        assert!(!node.has_counter(&k));
+        // The next generation must re-initialize; with the DHT still holding
+        // the previous timestamp, monotonicity is preserved.
+        let second = node.gen_ts(&k, || IndirectObservation::observed(first.timestamp));
+        assert!(second.timestamp > first.timestamp);
+        assert!(second.used_indirect_init);
+    }
+
+    #[test]
+    fn reset_applies_rule_one() {
+        let mut node = KtsNode::new(false);
+        node.gen_ts(&Key::new("a"), no_observation);
+        node.reset();
+        assert!(node.vcs().is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! The Valid Counter Set (VCS).
+
+use std::collections::BTreeMap;
+
+use rdht_hashing::Key;
+
+use crate::types::Timestamp;
+
+/// The set of *valid* per-key counters a timestamping responsible maintains
+/// (Section 4.1.2).
+///
+/// A counter `c_{p,k}` is in the set exactly while peer `p` is responsible
+/// for `k` wrt `h_ts` *and* the counter has been initialized. The paper's
+/// three rules are enforced by the owning [`crate::kts::KtsNode`]:
+///
+/// 1. the set is empty when the peer joins the system;
+/// 2. a counter is added when it is initialized;
+/// 3. a counter is removed when the peer loses responsibility for its key.
+///
+/// The paper asks for a data structure with fast per-key search (it suggests
+/// a binary search tree) and for memory to be released when counters leave
+/// the set; a `BTreeMap` gives both.
+#[derive(Clone, Debug, Default)]
+pub struct ValidCounterSet {
+    counters: BTreeMap<Key, u64>,
+}
+
+impl ValidCounterSet {
+    /// Creates an empty set (Rule 1).
+    pub fn new() -> Self {
+        ValidCounterSet {
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// Number of valid counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the set holds no counters.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Whether a counter for `key` is valid.
+    pub fn contains(&self, key: &Key) -> bool {
+        self.counters.contains_key(key)
+    }
+
+    /// Current value of the counter for `key`, if valid.
+    pub fn value(&self, key: &Key) -> Option<Timestamp> {
+        self.counters.get(key).map(|v| Timestamp(*v))
+    }
+
+    /// Initializes (or overwrites) the counter for `key` (Rule 2).
+    pub fn initialize(&mut self, key: Key, value: Timestamp) {
+        self.counters.insert(key, value.0);
+    }
+
+    /// Increments the counter for `key` and returns the new value — the
+    /// timestamp-generation step. Returns `None` if the counter is not valid.
+    pub fn increment(&mut self, key: &Key) -> Option<Timestamp> {
+        self.counters.get_mut(key).map(|v| {
+            *v += 1;
+            Timestamp(*v)
+        })
+    }
+
+    /// Raises the counter for `key` to at least `value` (used by the recovery
+    /// and periodic-inspection strategies). Returns the previous value if the
+    /// counter existed and was raised.
+    pub fn raise_to(&mut self, key: &Key, value: Timestamp) -> Option<Timestamp> {
+        match self.counters.get_mut(key) {
+            Some(v) if *v < value.0 => {
+                let previous = Timestamp(*v);
+                *v = value.0;
+                Some(previous)
+            }
+            _ => None,
+        }
+    }
+
+    /// Removes the counter for `key` (Rule 3), returning its last value.
+    pub fn remove(&mut self, key: &Key) -> Option<Timestamp> {
+        self.counters.remove(key).map(Timestamp)
+    }
+
+    /// Removes every counter (Rule 1, applied when the peer rejoins).
+    pub fn clear(&mut self) {
+        self.counters.clear();
+    }
+
+    /// Removes every counter whose key does not satisfy `still_responsible`,
+    /// returning the removed `(key, value)` pairs. This is the RLA
+    /// enforcement of Rule 3 (Section 4.3) and the export step of the direct
+    /// transfer (Section 4.2.1): the removed counters can be shipped to the
+    /// next responsible.
+    pub fn drain_where(
+        &mut self,
+        mut should_drain: impl FnMut(&Key) -> bool,
+    ) -> Vec<(Key, Timestamp)> {
+        let keys: Vec<Key> = self
+            .counters
+            .keys()
+            .filter(|k| should_drain(k))
+            .cloned()
+            .collect();
+        keys.into_iter()
+            .map(|k| {
+                let v = self.counters.remove(&k).expect("key just listed");
+                (k, Timestamp(v))
+            })
+            .collect()
+    }
+
+    /// Iterates over the valid counters.
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, Timestamp)> {
+        self.counters.iter().map(|(k, v)| (k, Timestamp(*v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_set_is_empty() {
+        let vcs = ValidCounterSet::new();
+        assert!(vcs.is_empty());
+        assert_eq!(vcs.len(), 0);
+        assert!(!vcs.contains(&Key::new("a")));
+    }
+
+    #[test]
+    fn initialize_then_increment() {
+        let mut vcs = ValidCounterSet::new();
+        let k = Key::new("doc");
+        vcs.initialize(k.clone(), Timestamp(5));
+        assert_eq!(vcs.value(&k), Some(Timestamp(5)));
+        assert_eq!(vcs.increment(&k), Some(Timestamp(6)));
+        assert_eq!(vcs.increment(&k), Some(Timestamp(7)));
+        assert_eq!(vcs.value(&k), Some(Timestamp(7)));
+    }
+
+    #[test]
+    fn increment_of_missing_counter_is_none() {
+        let mut vcs = ValidCounterSet::new();
+        assert_eq!(vcs.increment(&Key::new("missing")), None);
+    }
+
+    #[test]
+    fn raise_to_only_raises() {
+        let mut vcs = ValidCounterSet::new();
+        let k = Key::new("doc");
+        vcs.initialize(k.clone(), Timestamp(5));
+        assert_eq!(vcs.raise_to(&k, Timestamp(3)), None);
+        assert_eq!(vcs.value(&k), Some(Timestamp(5)));
+        assert_eq!(vcs.raise_to(&k, Timestamp(9)), Some(Timestamp(5)));
+        assert_eq!(vcs.value(&k), Some(Timestamp(9)));
+        assert_eq!(vcs.raise_to(&Key::new("missing"), Timestamp(1)), None);
+    }
+
+    #[test]
+    fn remove_returns_last_value() {
+        let mut vcs = ValidCounterSet::new();
+        let k = Key::new("doc");
+        vcs.initialize(k.clone(), Timestamp(2));
+        assert_eq!(vcs.remove(&k), Some(Timestamp(2)));
+        assert_eq!(vcs.remove(&k), None);
+        assert!(vcs.is_empty());
+    }
+
+    #[test]
+    fn drain_where_partitions_by_predicate() {
+        let mut vcs = ValidCounterSet::new();
+        vcs.initialize(Key::new("a"), Timestamp(1));
+        vcs.initialize(Key::new("b"), Timestamp(2));
+        vcs.initialize(Key::new("c"), Timestamp(3));
+        let drained = vcs.drain_where(|k| k.as_bytes() != b"b");
+        assert_eq!(drained.len(), 2);
+        assert_eq!(vcs.len(), 1);
+        assert!(vcs.contains(&Key::new("b")));
+        assert!(drained.iter().any(|(k, v)| k == &Key::new("a") && *v == Timestamp(1)));
+        assert!(drained.iter().any(|(k, v)| k == &Key::new("c") && *v == Timestamp(3)));
+    }
+
+    #[test]
+    fn clear_applies_rule_one() {
+        let mut vcs = ValidCounterSet::new();
+        vcs.initialize(Key::new("a"), Timestamp(1));
+        vcs.clear();
+        assert!(vcs.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_all_counters() {
+        let mut vcs = ValidCounterSet::new();
+        vcs.initialize(Key::new("a"), Timestamp(1));
+        vcs.initialize(Key::new("b"), Timestamp(2));
+        let collected: Vec<_> = vcs.iter().map(|(k, v)| (k.clone(), v)).collect();
+        assert_eq!(collected.len(), 2);
+    }
+}

@@ -1,0 +1,226 @@
+//! A single-process, in-memory [`UmsAccess`] implementation.
+//!
+//! `InMemoryDht` behaves like a perfectly reliable DHT collapsed into one
+//! process: every replica holder and the timestamping responsible are all
+//! "reachable" as plain map entries. It exists for three purposes:
+//!
+//! * unit tests and doctests of the UMS/KTS algorithms, with knobs to inject
+//!   failures (dropping replicas, failing puts/gets, crashing the
+//!   timestamping state);
+//! * the quickstart example, which demonstrates the API without pulling in
+//!   the simulator;
+//! * a correctness oracle in property tests — whatever the simulated or
+//!   threaded deployments return can be compared against this reference.
+
+use std::collections::{HashMap, HashSet};
+
+use rdht_hashing::{HashFamily, HashId, Key};
+
+use crate::access::UmsAccess;
+use crate::config::LastTsInitPolicy;
+use crate::error::UmsError;
+use crate::kts::{IndirectObservation, KtsNode};
+use crate::types::{ReplicaValue, Timestamp};
+
+/// An in-memory DHT with UMS/KTS semantics (see the module docs).
+#[derive(Clone, Debug)]
+pub struct InMemoryDht {
+    family: HashFamily,
+    replicas: HashMap<(HashId, Key), ReplicaValue>,
+    kts: KtsNode,
+    last_ts_policy: LastTsInitPolicy,
+    fail_all_puts: bool,
+    fail_puts_for: HashSet<HashId>,
+    fail_gets_for: HashSet<HashId>,
+}
+
+impl InMemoryDht {
+    /// Creates an in-memory DHT with `num_replicas` replication hash
+    /// functions derived from `seed`.
+    pub fn new(num_replicas: usize, seed: u64) -> Self {
+        InMemoryDht {
+            family: HashFamily::new(num_replicas, seed),
+            replicas: HashMap::new(),
+            kts: KtsNode::new(false),
+            last_ts_policy: LastTsInitPolicy::ObservedMax,
+            fail_all_puts: false,
+            fail_puts_for: HashSet::new(),
+            fail_gets_for: HashSet::new(),
+        }
+    }
+
+    /// The hash family in use.
+    pub fn family(&self) -> &HashFamily {
+        &self.family
+    }
+
+    /// Replication hash ids as a vector (convenience for tests).
+    pub fn replication_ids_vec(&self) -> Vec<HashId> {
+        self.family.replication_ids().collect()
+    }
+
+    /// Number of replicas currently stored (across all keys and hash
+    /// functions).
+    pub fn stored_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Overwrites a replica unconditionally — used by tests to fabricate
+    /// stale replicas (as if the holder had missed updates).
+    pub fn overwrite_replica(&mut self, hash: HashId, key: &Key, value: ReplicaValue) {
+        self.replicas.insert((hash, key.clone()), value);
+    }
+
+    /// Drops the replica stored under one hash function — as if its holder
+    /// had failed and its memory were lost.
+    pub fn drop_replica(&mut self, hash: HashId, key: &Key) {
+        self.replicas.remove(&(hash, key.clone()));
+    }
+
+    /// Simulates a crash of the timestamping responsible: all counters are
+    /// lost, and the next request will have to use the indirect
+    /// initialization against whatever replicas remain.
+    pub fn crash_timestamp_service(&mut self) {
+        self.kts = KtsNode::new(false);
+    }
+
+    /// Access to the embedded KTS node (for assertions on VCS state).
+    pub fn kts(&self) -> &KtsNode {
+        &self.kts
+    }
+
+    /// Makes every `put_replica` fail (simulates a fully unreachable DHT for
+    /// writes).
+    pub fn fail_all_puts(&mut self, fail: bool) {
+        self.fail_all_puts = fail;
+    }
+
+    /// Makes `put_replica` fail for the given hash functions only.
+    pub fn fail_puts_for_hashes(&mut self, hashes: impl IntoIterator<Item = HashId>) {
+        self.fail_puts_for = hashes.into_iter().collect();
+    }
+
+    /// Makes `get_replica` fail for the given hash functions only.
+    pub fn fail_gets_for_hashes(&mut self, hashes: impl IntoIterator<Item = HashId>) {
+        self.fail_gets_for = hashes.into_iter().collect();
+    }
+
+    fn indirect_observation(&self, key: &Key) -> IndirectObservation {
+        let max = self
+            .replicas
+            .iter()
+            .filter(|((_, k), _)| k == key)
+            .map(|(_, v)| v.timestamp)
+            .max();
+        match max {
+            Some(ts) => IndirectObservation::observed(ts),
+            None => IndirectObservation::nothing(),
+        }
+    }
+}
+
+impl UmsAccess for InMemoryDht {
+    fn kts_gen_ts(&mut self, key: &Key) -> Result<Timestamp, UmsError> {
+        let observation = self.indirect_observation(key);
+        Ok(self.kts.gen_ts(key, || observation).timestamp)
+    }
+
+    fn kts_last_ts(&mut self, key: &Key) -> Result<Timestamp, UmsError> {
+        let observation = self.indirect_observation(key);
+        let policy = self.last_ts_policy;
+        Ok(self.kts.last_ts(key, policy, || observation).timestamp)
+    }
+
+    fn put_replica(
+        &mut self,
+        hash: HashId,
+        key: &Key,
+        value: &ReplicaValue,
+    ) -> Result<(), UmsError> {
+        if self.fail_all_puts || self.fail_puts_for.contains(&hash) {
+            return Err(UmsError::lookup("replica holder unreachable (injected)"));
+        }
+        let entry = self.replicas.entry((hash, key.clone()));
+        match entry {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(value.clone());
+            }
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                if value.timestamp > o.get().timestamp {
+                    o.insert(value.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn get_replica(&mut self, hash: HashId, key: &Key) -> Result<Option<ReplicaValue>, UmsError> {
+        if self.fail_gets_for.contains(&hash) {
+            return Err(UmsError::lookup("replica holder unreachable (injected)"));
+        }
+        Ok(self.replicas.get(&(hash, key.clone())).cloned())
+    }
+
+    fn replication_ids(&self) -> Vec<HashId> {
+        self.family.replication_ids().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ums;
+
+    #[test]
+    fn crash_of_timestamp_service_recovers_via_indirect_init() {
+        let mut dht = InMemoryDht::new(10, 11);
+        let key = Key::new("doc");
+        ums::insert(&mut dht, &key, b"v1".to_vec()).unwrap();
+        ums::insert(&mut dht, &key, b"v2".to_vec()).unwrap();
+        dht.crash_timestamp_service();
+        // The next retrieve re-initializes the counter from the replicas and
+        // still returns the latest version.
+        let got = ums::retrieve(&mut dht, &key).unwrap();
+        assert_eq!(got.data.unwrap(), b"v2");
+        assert!(got.is_current);
+        // And the next insert keeps monotonicity: its timestamp exceeds v2's.
+        let report = ums::insert(&mut dht, &key, b"v3".to_vec()).unwrap();
+        assert!(report.timestamp > got.timestamp);
+    }
+
+    #[test]
+    fn dropped_replicas_do_not_break_retrieve() {
+        let mut dht = InMemoryDht::new(6, 12);
+        let key = Key::new("doc");
+        ums::insert(&mut dht, &key, b"v1".to_vec()).unwrap();
+        let ids = dht.replication_ids_vec();
+        for h in ids.iter().take(5) {
+            dht.drop_replica(*h, &key);
+        }
+        let got = ums::retrieve(&mut dht, &key).unwrap();
+        assert_eq!(got.data.unwrap(), b"v1");
+        assert!(got.is_current);
+        assert_eq!(got.replicas_probed, 6);
+    }
+
+    #[test]
+    fn stored_replica_count_tracks_inserts() {
+        let mut dht = InMemoryDht::new(4, 13);
+        assert_eq!(dht.stored_replicas(), 0);
+        ums::insert(&mut dht, &Key::new("a"), b"1".to_vec()).unwrap();
+        ums::insert(&mut dht, &Key::new("b"), b"2".to_vec()).unwrap();
+        assert_eq!(dht.stored_replicas(), 8);
+        // Updating an existing key does not add replicas.
+        ums::insert(&mut dht, &Key::new("a"), b"3".to_vec()).unwrap();
+        assert_eq!(dht.stored_replicas(), 8);
+    }
+
+    #[test]
+    fn kts_state_is_inspectable() {
+        let mut dht = InMemoryDht::new(4, 14);
+        let key = Key::new("doc");
+        ums::insert(&mut dht, &key, b"v".to_vec()).unwrap();
+        assert!(dht.kts().has_counter(&key));
+        assert_eq!(dht.kts().counter_value(&key), Some(Timestamp(1)));
+    }
+}

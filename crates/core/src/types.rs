@@ -1,0 +1,116 @@
+//! Core value types: timestamps and stamped replicas.
+
+use std::fmt;
+
+/// A KTS logical timestamp.
+///
+/// Timestamps are per-key: two timestamps generated for the *same* key are
+/// totally ordered (monotonicity, Definition 2 of the paper); timestamps of
+/// different keys are not comparable in any meaningful way.
+///
+/// The paper generates timestamps from a large local counter ("e.g. 128
+/// bits" to avoid overflow). We use a `u64`, which allows ~1.8 × 10^19
+/// updates per key — far beyond anything a deployment can produce — while
+/// keeping replicas compact. `Timestamp::ZERO` is reserved to mean "no
+/// timestamp has been generated for this key yet".
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The sentinel "no timestamp generated yet".
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Whether this is the "no timestamp yet" sentinel.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The next timestamp (used when a counter is bumped).
+    pub fn next(self) -> Timestamp {
+        Timestamp(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts:{}", self.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Timestamp {
+    fn from(v: u64) -> Self {
+        Timestamp(v)
+    }
+}
+
+/// A stamped replica — the `newData = {data, timestamp}` pair the paper
+/// stores at `rsp(k, h)` for every replication hash function `h`
+/// (Section 3.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplicaValue {
+    /// The application payload.
+    pub data: Vec<u8>,
+    /// The KTS timestamp the payload was inserted with.
+    pub timestamp: Timestamp,
+}
+
+impl ReplicaValue {
+    /// Creates a stamped replica.
+    pub fn new(data: Vec<u8>, timestamp: Timestamp) -> Self {
+        ReplicaValue { data, timestamp }
+    }
+
+    /// Whether this replica is newer than an optional other replica.
+    pub fn is_newer_than(&self, other: Option<&ReplicaValue>) -> bool {
+        match other {
+            None => true,
+            Some(other) => self.timestamp > other.timestamp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_the_default_and_sentinel() {
+        assert_eq!(Timestamp::default(), Timestamp::ZERO);
+        assert!(Timestamp::ZERO.is_zero());
+        assert!(!Timestamp(1).is_zero());
+    }
+
+    #[test]
+    fn next_increments() {
+        assert_eq!(Timestamp(7).next(), Timestamp(8));
+        assert_eq!(Timestamp::ZERO.next(), Timestamp(1));
+    }
+
+    #[test]
+    fn timestamps_order_numerically() {
+        assert!(Timestamp(2) < Timestamp(10));
+        assert!(Timestamp(10) > Timestamp(9));
+    }
+
+    #[test]
+    fn replica_newer_comparison() {
+        let old = ReplicaValue::new(b"v1".to_vec(), Timestamp(1));
+        let new = ReplicaValue::new(b"v2".to_vec(), Timestamp(2));
+        assert!(new.is_newer_than(Some(&old)));
+        assert!(!old.is_newer_than(Some(&new)));
+        assert!(old.is_newer_than(None));
+        assert!(!old.is_newer_than(Some(&old)));
+    }
+
+    #[test]
+    fn display_and_debug_show_value() {
+        assert_eq!(Timestamp(5).to_string(), "5");
+        assert_eq!(format!("{:?}", Timestamp(5)), "ts:5");
+    }
+}

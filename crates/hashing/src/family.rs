@@ -1,0 +1,285 @@
+//! Pairwise-independent hash function families.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::key::{Key, KeyDigest};
+use crate::mix::mix64;
+
+/// The Mersenne prime `2^61 − 1` used as the field modulus of the
+/// 2-universal family `h_{a,b}(x) = ((a·x + b) mod p)`.
+pub const MERSENNE_PRIME_61: u64 = (1u64 << 61) - 1;
+
+/// Identifies one hash function inside a [`HashFamily`].
+///
+/// Replication hash functions are numbered `0..num_replication`; the
+/// timestamping function `h_ts` has the reserved id
+/// [`TIMESTAMP_HASH_ID`]. The paper indexes its set `Hr` the same way and
+/// keeps `h_ts` outside of `Hr`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HashId(pub u32);
+
+/// The reserved [`HashId`] of the timestamping hash function `h_ts`.
+pub const TIMESTAMP_HASH_ID: HashId = HashId(u32::MAX);
+
+impl HashId {
+    /// Whether this id denotes the timestamping function `h_ts`.
+    pub fn is_timestamp(self) -> bool {
+        self == TIMESTAMP_HASH_ID
+    }
+}
+
+impl fmt::Debug for HashId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_timestamp() {
+            write!(f, "h_ts")
+        } else {
+            write!(f, "h{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for HashId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// One member of the 2-universal family
+/// `h_{a,b}(x) = (a·x + b) mod p`, finalized by a 64-bit mixer to cover the
+/// whole identifier space uniformly.
+///
+/// Pairwise independence of the `(a·x + b) mod p` construction is the
+/// property the paper requires of its replication hash functions (Section
+/// 3.1, citing Luby): for any two distinct keys the pair of hash values is
+/// uniformly distributed, so replicas of a key land on independently chosen
+/// peers.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct HashFunction {
+    id: HashId,
+    a: u64,
+    b: u64,
+}
+
+impl HashFunction {
+    /// Creates a hash function with explicit coefficients.
+    ///
+    /// `a` is forced into `1..p` and `b` into `0..p` so that the function is
+    /// a proper member of the family (a = 0 would map every key to `b`).
+    pub fn from_coefficients(id: HashId, a: u64, b: u64) -> Self {
+        let a = (a % (MERSENNE_PRIME_61 - 1)) + 1;
+        let b = b % MERSENNE_PRIME_61;
+        HashFunction { id, a, b }
+    }
+
+    /// The id of this function within its family.
+    pub fn id(&self) -> HashId {
+        self.id
+    }
+
+    /// Evaluates the function on a key digest, producing a DHT identifier.
+    #[inline]
+    pub fn eval_digest(&self, digest: KeyDigest) -> u64 {
+        let x = (digest.0 % MERSENNE_PRIME_61) as u128;
+        let v = (self.a as u128 * x + self.b as u128) % MERSENNE_PRIME_61 as u128;
+        // Final mixing spreads the 61-bit field element over the full 64-bit
+        // identifier space used by the overlays.
+        mix64(v as u64 ^ (u64::from(self.id.0).rotate_left(32)))
+    }
+
+    /// Evaluates the function on a [`Key`].
+    #[inline]
+    pub fn eval(&self, key: &Key) -> u64 {
+        self.eval_digest(key.digest())
+    }
+}
+
+impl fmt::Debug for HashFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HashFunction({:?}, a={}, b={})", self.id, self.a, self.b)
+    }
+}
+
+/// A deterministic family of pairwise-independent hash functions: the
+/// replication functions `Hr` plus the timestamping function `h_ts`.
+///
+/// Families are constructed from a seed so that every peer (simulated or
+/// threaded) derives exactly the same functions, mirroring the paper's
+/// assumption that all peers agree on `Hr` and `h_ts`.
+#[derive(Clone, Debug)]
+pub struct HashFamily {
+    replication: Vec<HashFunction>,
+    timestamp: HashFunction,
+    seed: u64,
+}
+
+impl HashFamily {
+    /// Builds a family with `num_replication` replication functions
+    /// (`|Hr|` in the paper; 10 in Table 1) derived from `seed`.
+    pub fn new(num_replication: usize, seed: u64) -> Self {
+        assert!(num_replication >= 1, "at least one replication hash function is required");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_5eed_5eed_5eed);
+        let mut replication = Vec::with_capacity(num_replication);
+        for i in 0..num_replication {
+            replication.push(HashFunction::from_coefficients(
+                HashId(i as u32),
+                rng.gen(),
+                rng.gen(),
+            ));
+        }
+        let timestamp = HashFunction::from_coefficients(TIMESTAMP_HASH_ID, rng.gen(), rng.gen());
+        HashFamily {
+            replication,
+            timestamp,
+            seed,
+        }
+    }
+
+    /// The seed this family was derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of replication hash functions, `|Hr|`.
+    pub fn num_replication(&self) -> usize {
+        self.replication.len()
+    }
+
+    /// The replication hash functions, in id order.
+    pub fn replication_functions(&self) -> &[HashFunction] {
+        &self.replication
+    }
+
+    /// Iterator over the ids of the replication hash functions.
+    pub fn replication_ids(&self) -> impl Iterator<Item = HashId> + '_ {
+        self.replication.iter().map(|h| h.id())
+    }
+
+    /// The timestamping hash function `h_ts`.
+    pub fn timestamp_function(&self) -> &HashFunction {
+        &self.timestamp
+    }
+
+    /// Looks a function up by id (replication id or [`TIMESTAMP_HASH_ID`]).
+    pub fn function(&self, id: HashId) -> Option<&HashFunction> {
+        if id.is_timestamp() {
+            Some(&self.timestamp)
+        } else {
+            self.replication.get(id.0 as usize)
+        }
+    }
+
+    /// Evaluates the function `id` on `key`, panicking if the id is unknown.
+    pub fn eval(&self, id: HashId, key: &Key) -> u64 {
+        self.function(id)
+            .unwrap_or_else(|| panic!("unknown hash id {id:?}"))
+            .eval(key)
+    }
+
+    /// Evaluates `h_ts` on `key`.
+    pub fn eval_timestamp(&self, key: &Key) -> u64 {
+        self.timestamp.eval(key)
+    }
+
+    /// Returns a family identical to this one except for the number of
+    /// replication functions (used by the replica-count sweeps of Figures 9
+    /// and 10, which vary `|Hr|` with everything else fixed).
+    pub fn with_num_replication(&self, num_replication: usize) -> Self {
+        HashFamily::new(num_replication, self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_is_deterministic_for_seed() {
+        let f1 = HashFamily::new(10, 7);
+        let f2 = HashFamily::new(10, 7);
+        let k = Key::new("some key");
+        for (a, b) in f1.replication_functions().iter().zip(f2.replication_functions()) {
+            assert_eq!(a.eval(&k), b.eval(&k));
+        }
+        assert_eq!(f1.eval_timestamp(&k), f2.eval_timestamp(&k));
+    }
+
+    #[test]
+    fn different_seeds_give_different_functions() {
+        let f1 = HashFamily::new(4, 1);
+        let f2 = HashFamily::new(4, 2);
+        let k = Key::new("key");
+        let same = f1
+            .replication_functions()
+            .iter()
+            .zip(f2.replication_functions())
+            .filter(|(a, b)| a.eval(&k) == b.eval(&k))
+            .count();
+        assert!(same < 4, "independent seeds should not reproduce the family");
+    }
+
+    #[test]
+    fn replication_functions_are_distinct() {
+        let f = HashFamily::new(30, 99);
+        let k = Key::new("a shared document");
+        let mut values: Vec<u64> = f.replication_functions().iter().map(|h| h.eval(&k)).collect();
+        values.sort_unstable();
+        values.dedup();
+        assert_eq!(values.len(), 30, "hash values for one key should be distinct across Hr");
+    }
+
+    #[test]
+    fn timestamp_function_is_not_a_replication_function() {
+        let f = HashFamily::new(10, 5);
+        assert!(f.timestamp_function().id().is_timestamp());
+        assert!(f.replication_ids().all(|id| !id.is_timestamp()));
+    }
+
+    #[test]
+    fn function_lookup_by_id() {
+        let f = HashFamily::new(3, 11);
+        assert!(f.function(HashId(0)).is_some());
+        assert!(f.function(HashId(2)).is_some());
+        assert!(f.function(HashId(3)).is_none());
+        assert!(f.function(TIMESTAMP_HASH_ID).is_some());
+    }
+
+    #[test]
+    fn with_num_replication_keeps_prefix() {
+        // Growing the family keeps the existing functions stable, which means a
+        // deployment can raise |Hr| without remapping existing replicas.
+        let small = HashFamily::new(5, 3);
+        let large = small.with_num_replication(12);
+        let k = Key::new("stable prefix");
+        for i in 0..5 {
+            assert_eq!(small.eval(HashId(i), &k), large.eval(HashId(i), &k));
+        }
+        assert_eq!(large.num_replication(), 12);
+    }
+
+    #[test]
+    fn eval_spreads_over_identifier_space() {
+        // A crude uniformity check: hash 4k keys with one function and make
+        // sure each quarter of the space receives a reasonable share.
+        let f = HashFamily::new(1, 17);
+        let h = &f.replication_functions()[0];
+        let mut buckets = [0usize; 4];
+        for i in 0..4096 {
+            let k = Key::new(format!("key-{i}"));
+            let v = h.eval(&k);
+            buckets[(v >> 62) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!(b > 700, "bucket too small: {buckets:?}");
+            assert!(b < 1400, "bucket too large: {buckets:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication hash function")]
+    fn zero_replication_functions_is_rejected() {
+        let _ = HashFamily::new(0, 1);
+    }
+}

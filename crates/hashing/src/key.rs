@@ -1,0 +1,138 @@
+//! Application-level keys.
+
+use std::borrow::Borrow;
+use std::fmt;
+
+use crate::mix::fingerprint64;
+
+/// An application-level key accepted by the DHT (the set `K` in the paper's
+/// DHT model, Definition 1).
+///
+/// A key is an arbitrary byte string chosen by the application — for example
+/// `"agenda:room-42"` or `"auction:item-991"`. Keys are independent of the
+/// values stored under them (Section 5.1: "the keys do not depend on the data
+/// values, so changing the value of a data does not change its key").
+///
+/// `Key` is cheap to clone (it stores the bytes in an `Arc`-free boxed slice,
+/// typically short) and hashable so it can index per-peer stores and counter
+/// sets.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key {
+    bytes: Box<[u8]>,
+}
+
+impl Key {
+    /// Creates a key from raw bytes.
+    pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
+        Key {
+            bytes: bytes.into().into_boxed_slice(),
+        }
+    }
+
+    /// Creates a key from a string.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Key::from_bytes(s.as_ref().as_bytes().to_vec())
+    }
+
+    /// The raw bytes of the key.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The 64-bit digest of the key, used as the input `x` of every hash
+    /// function in the family.
+    pub fn digest(&self) -> KeyDigest {
+        KeyDigest(fingerprint64(&self.bytes))
+    }
+
+    /// Lossy UTF-8 rendering, for logs and examples.
+    pub fn display_lossy(&self) -> String {
+        String::from_utf8_lossy(&self.bytes).into_owned()
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key({:?})", self.display_lossy())
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_lossy())
+    }
+}
+
+impl From<&str> for Key {
+    fn from(s: &str) -> Self {
+        Key::new(s)
+    }
+}
+
+impl From<String> for Key {
+    fn from(s: String) -> Self {
+        Key::from_bytes(s.into_bytes())
+    }
+}
+
+impl Borrow<[u8]> for Key {
+    fn borrow(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// The 64-bit fingerprint of a [`Key`].
+///
+/// All hash functions in a [`crate::HashFamily`] consume this digest rather
+/// than the raw bytes, so that evaluating `|Hr| + 1` functions on a key costs
+/// one byte-string pass plus `|Hr| + 1` constant-time arithmetic evaluations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyDigest(pub u64);
+
+impl fmt::Debug for KeyDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KeyDigest({:#018x})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_from_str_and_string_agree() {
+        let a = Key::new("meeting:standup");
+        let b: Key = "meeting:standup".into();
+        let c: Key = String::from("meeting:standup").into();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn digest_is_stable() {
+        let k = Key::new("file:report.pdf");
+        assert_eq!(k.digest(), k.digest());
+    }
+
+    #[test]
+    fn different_keys_have_different_digests() {
+        let a = Key::new("a");
+        let b = Key::new("b");
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn display_is_lossy_utf8() {
+        let k = Key::from_bytes(vec![0x66, 0x6f, 0x6f]);
+        assert_eq!(k.to_string(), "foo");
+        assert_eq!(format!("{k:?}"), "Key(\"foo\")");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_bytes() {
+        let a = Key::new("aaa");
+        let b = Key::new("aab");
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,34 @@
+//! Key model and pairwise-independent hash function families.
+//!
+//! The paper replicates each `(k, data)` pair under a set `Hr` of *pairwise
+//! independent* hash functions (its "replication hash functions") plus a
+//! dedicated hash function `h_ts` that selects the peer responsible for
+//! timestamping a key (Section 3.1 and 4.1 of the paper, which cites Luby's
+//! construction of 2-universal families).
+//!
+//! This crate provides:
+//!
+//! * [`Key`] — an application-level key (an arbitrary byte string, e.g. an
+//!   agenda entry id or a file name). Keys never depend on the value stored
+//!   under them, matching the paper's implementation note in Section 5.1.
+//! * [`HashFunction`] — one member of a 2-universal family
+//!   `h(x) = ((a·x + b) mod p) mod 2^64` over the Mersenne prime `p = 2^61 − 1`.
+//! * [`HashFamily`] — a deterministic, seedable family containing the
+//!   `|Hr|` replication functions and the timestamping function `h_ts`.
+//!
+//! All hashing is deterministic for a given seed so that simulations and the
+//! threaded deployment agree on responsibilities.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod family;
+mod key;
+mod mix;
+
+pub use family::{HashFamily, HashFunction, HashId, TIMESTAMP_HASH_ID};
+pub use key::{Key, KeyDigest};
+pub use mix::{fingerprint64, mix64};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,77 @@
+//! Property-based tests for the hashing crate.
+
+use proptest::prelude::*;
+
+use crate::{fingerprint64, HashFamily, HashId, Key};
+
+proptest! {
+    /// Fingerprinting is a pure function of the bytes.
+    #[test]
+    fn fingerprint_is_deterministic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(fingerprint64(&bytes), fingerprint64(&bytes));
+    }
+
+    /// Keys constructed from the same bytes are equal and share a digest.
+    #[test]
+    fn key_equality_follows_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let a = Key::from_bytes(bytes.clone());
+        let b = Key::from_bytes(bytes);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.digest(), b.digest());
+    }
+
+    /// Every hash function of a family maps any key into the full u64 range
+    /// deterministically, and the family evaluation matches per-function
+    /// evaluation.
+    #[test]
+    fn family_eval_matches_function_eval(
+        seed in any::<u64>(),
+        nrep in 1usize..20,
+        key_bytes in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let family = HashFamily::new(nrep, seed);
+        let key = Key::from_bytes(key_bytes);
+        for h in family.replication_functions() {
+            prop_assert_eq!(family.eval(h.id(), &key), h.eval(&key));
+        }
+        prop_assert_eq!(
+            family.eval_timestamp(&key),
+            family.timestamp_function().eval(&key)
+        );
+    }
+
+    /// Two distinct keys rarely collide under a random family member
+    /// (2-universality makes the collision probability ~2^-61; over a proptest
+    /// run it should simply never happen).
+    #[test]
+    fn distinct_keys_do_not_collide(
+        seed in any::<u64>(),
+        a in proptest::collection::vec(any::<u8>(), 1..64),
+        b in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        prop_assume!(a != b);
+        let family = HashFamily::new(1, seed);
+        let ka = Key::from_bytes(a);
+        let kb = Key::from_bytes(b);
+        prop_assert_ne!(family.eval(HashId(0), &ka), family.eval(HashId(0), &kb));
+    }
+
+    /// Growing a family preserves the functions already present.
+    #[test]
+    fn growing_family_preserves_prefix(
+        seed in any::<u64>(),
+        small in 1usize..10,
+        extra in 0usize..10,
+        key_bytes in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let f_small = HashFamily::new(small, seed);
+        let f_large = f_small.with_num_replication(small + extra);
+        let key = Key::from_bytes(key_bytes);
+        for i in 0..small {
+            prop_assert_eq!(
+                f_small.eval(HashId(i as u32), &key),
+                f_large.eval(HashId(i as u32), &key)
+            );
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The client handle: implements [`UmsAccess`] over real message exchange.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::bounded;
+
+use rdht_core::{ReplicaValue, Timestamp, UmsAccess, UmsError};
+use rdht_hashing::{HashId, Key};
+
+use crate::cluster::Directory;
+use crate::message::{Reply, Request};
+
+/// How long a client waits for a peer's reply before treating it as failed.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A client of a [`crate::Cluster`]: resolves responsibilities from the
+/// shared directory and exchanges request/reply messages with peer threads.
+///
+/// `ClusterClient` implements [`UmsAccess`], so the *same* `rdht_core::ums`
+/// insert/retrieve code that runs in the simulator runs here — against real
+/// threads and real races.
+pub struct ClusterClient {
+    directory: Arc<Directory>,
+    /// Messages sent by this client (request + reply counted separately),
+    /// the cluster analogue of the simulator's message metric.
+    messages: u64,
+}
+
+impl ClusterClient {
+    pub(crate) fn new(directory: Arc<Directory>) -> Self {
+        ClusterClient {
+            directory,
+            messages: 0,
+        }
+    }
+
+    /// Number of messages this client has exchanged so far.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    fn request(&mut self, position: u64, build: impl FnOnce(crossbeam::channel::Sender<Reply>) -> Request) -> Result<Reply, UmsError> {
+        let (_peer, mailbox) = self
+            .directory
+            .responsible_for(position)
+            .ok_or(UmsError::EmptyOverlay)?;
+        let (reply_tx, reply_rx) = bounded(1);
+        mailbox
+            .send(build(reply_tx))
+            .map_err(|_| UmsError::lookup("responsible peer's mailbox is closed"))?;
+        self.messages += 1;
+        let reply = reply_rx
+            .recv_timeout(REPLY_TIMEOUT)
+            .map_err(|_| UmsError::lookup("responsible peer did not reply in time"))?;
+        self.messages += 1;
+        Ok(reply)
+    }
+
+    /// Gathers the indirect observation for a key: reads every replica and
+    /// returns the largest timestamp seen (Section 4.2.2), or
+    /// [`Timestamp::ZERO`] when no replica exists.
+    fn gather_observation(&mut self, key: &Key) -> Result<Timestamp, UmsError> {
+        let mut max = Timestamp::ZERO;
+        for hash in self.replication_ids() {
+            if let Ok(Some(replica)) = self.get_replica(hash, key) {
+                if replica.timestamp > max {
+                    max = replica.timestamp;
+                }
+            }
+        }
+        Ok(max)
+    }
+
+    fn timestamp_request(&mut self, key: &Key, generate: bool) -> Result<Timestamp, UmsError> {
+        let position = self.directory.family.eval_timestamp(key);
+        let first = self.request(position, |reply| Request::Timestamp {
+            key: key.clone(),
+            generate,
+            observation_hint: None,
+            reply,
+        })?;
+        match first {
+            Reply::Timestamp(ts) => Ok(ts),
+            Reply::NeedsInitialization => {
+                // The responsible has no valid counter (it took over after a
+                // crash): run the indirect initialization and retry.
+                let observed = self.gather_observation(key)?;
+                let second = self.request(position, |reply| Request::Timestamp {
+                    key: key.clone(),
+                    generate,
+                    observation_hint: Some(observed),
+                    reply,
+                })?;
+                match second {
+                    Reply::Timestamp(ts) => Ok(ts),
+                    other => Err(UmsError::kts(format!(
+                        "unexpected reply to initialized timestamp request: {other:?}"
+                    ))),
+                }
+            }
+            other => Err(UmsError::kts(format!(
+                "unexpected reply to timestamp request: {other:?}"
+            ))),
+        }
+    }
+}
+
+impl UmsAccess for ClusterClient {
+    fn kts_gen_ts(&mut self, key: &Key) -> Result<Timestamp, UmsError> {
+        self.timestamp_request(key, true)
+    }
+
+    fn kts_last_ts(&mut self, key: &Key) -> Result<Timestamp, UmsError> {
+        self.timestamp_request(key, false)
+    }
+
+    fn put_replica(
+        &mut self,
+        hash: HashId,
+        key: &Key,
+        value: &ReplicaValue,
+    ) -> Result<(), UmsError> {
+        let position = self.directory.family.eval(hash, key);
+        let reply = self.request(position, |reply| Request::PutReplica {
+            hash,
+            key: key.clone(),
+            payload: value.data.clone(),
+            timestamp: value.timestamp,
+            reply,
+        })?;
+        match reply {
+            Reply::PutAck => Ok(()),
+            other => Err(UmsError::lookup(format!(
+                "unexpected reply to put: {other:?}"
+            ))),
+        }
+    }
+
+    fn get_replica(&mut self, hash: HashId, key: &Key) -> Result<Option<ReplicaValue>, UmsError> {
+        let position = self.directory.family.eval(hash, key);
+        let reply = self.request(position, |reply| Request::GetReplica {
+            hash,
+            key: key.clone(),
+            reply,
+        })?;
+        match reply {
+            Reply::Replica(stored) => {
+                Ok(stored.map(|(payload, timestamp)| ReplicaValue::new(payload, timestamp)))
+            }
+            other => Err(UmsError::lookup(format!(
+                "unexpected reply to get: {other:?}"
+            ))),
+        }
+    }
+
+    fn replication_ids(&self) -> Vec<HashId> {
+        self.directory.family.replication_ids().collect()
+    }
+}

@@ -1,0 +1,291 @@
+//! The cluster: peer threads, the shared membership directory and lifecycle
+//! management.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rdht_core::kts::{IndirectObservation, KtsNode};
+use rdht_core::{LastTsInitPolicy, Timestamp};
+use rdht_hashing::{HashFamily, HashId, Key};
+
+use crate::client::ClusterClient;
+use crate::message::{Reply, Request};
+
+/// Identifier of a peer on the cluster ring (the same 64-bit space keys are
+/// hashed into).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeerId(pub u64);
+
+/// Tunables of a cluster deployment.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of peer threads.
+    pub num_peers: usize,
+    /// Number of replication hash functions `|Hr|`.
+    pub num_replicas: usize,
+    /// Seed for peer identifiers and the hash family.
+    pub seed: u64,
+    /// Artificial delay injected before a peer processes each message,
+    /// modelling network latency. Zero by default so tests run fast.
+    pub message_delay: Duration,
+}
+
+impl ClusterConfig {
+    /// A configuration with `num_peers` peers, `num_replicas` replication
+    /// functions and no artificial delay.
+    pub fn new(num_peers: usize, num_replicas: usize, seed: u64) -> Self {
+        ClusterConfig {
+            num_peers,
+            num_replicas,
+            seed,
+            message_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Shared, read-mostly view of cluster membership: which peers exist, which
+/// are alive, and how to reach them.
+pub(crate) struct Directory {
+    pub(crate) family: HashFamily,
+    /// Peer ring: id -> (mailbox, alive flag).
+    pub(crate) peers: RwLock<BTreeMap<PeerId, (Sender<Request>, bool)>>,
+    pub(crate) message_delay: Duration,
+}
+
+impl Directory {
+    /// The peer currently responsible for a position: the first *alive* peer
+    /// clockwise from it (successor-on-the-ring responsibility).
+    pub(crate) fn responsible_for(&self, position: u64) -> Option<(PeerId, Sender<Request>)> {
+        let peers = self.peers.read();
+        peers
+            .range(PeerId(position)..)
+            .chain(peers.iter())
+            .find(|(_, (_, alive))| *alive)
+            .map(|(id, (sender, _))| (*id, sender.clone()))
+    }
+
+    /// Marks a peer as dead (its mailbox stays but is never selected again).
+    pub(crate) fn mark_dead(&self, peer: PeerId) {
+        if let Some(entry) = self.peers.write().get_mut(&peer) {
+            entry.1 = false;
+        }
+    }
+
+    /// Number of live peers.
+    pub(crate) fn live_count(&self) -> usize {
+        self.peers.read().values().filter(|(_, alive)| *alive).count()
+    }
+}
+
+/// A running cluster of peer threads.
+pub struct Cluster {
+    directory: Arc<Directory>,
+    handles: Vec<(PeerId, JoinHandle<()>)>,
+    config: ClusterConfig,
+}
+
+impl Cluster {
+    /// Spawns a cluster with `num_peers` peers and `num_replicas` replication
+    /// hash functions, with no artificial message delay.
+    pub fn spawn(num_peers: usize, num_replicas: usize, seed: u64) -> Self {
+        Cluster::spawn_with(ClusterConfig::new(num_peers, num_replicas, seed))
+    }
+
+    /// Spawns a cluster from an explicit configuration.
+    pub fn spawn_with(config: ClusterConfig) -> Self {
+        assert!(config.num_peers > 0, "a cluster needs at least one peer");
+        let family = HashFamily::new(config.num_replicas, config.seed);
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xc1u64);
+        let mut ring: BTreeMap<PeerId, (Sender<Request>, bool)> = BTreeMap::new();
+        let mut receivers: Vec<(PeerId, Receiver<Request>)> = Vec::new();
+        while ring.len() < config.num_peers {
+            let id = PeerId(rng.gen());
+            if ring.contains_key(&id) {
+                continue;
+            }
+            let (sender, receiver) = unbounded();
+            ring.insert(id, (sender, true));
+            receivers.push((id, receiver));
+        }
+        let directory = Arc::new(Directory {
+            family,
+            peers: RwLock::new(ring),
+            message_delay: config.message_delay,
+        });
+        let handles = receivers
+            .into_iter()
+            .map(|(id, receiver)| {
+                let directory = Arc::clone(&directory);
+                let handle = std::thread::spawn(move || peer_main(id, receiver, directory));
+                (id, handle)
+            })
+            .collect();
+        Cluster {
+            directory,
+            handles,
+            config,
+        }
+    }
+
+    /// The configuration the cluster was spawned with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Creates a client handle. Clients are cheap; create one per thread that
+    /// wants to issue operations.
+    pub fn client(&self) -> ClusterClient {
+        ClusterClient::new(Arc::clone(&self.directory))
+    }
+
+    /// All peer identifiers, in ring order.
+    pub fn peer_ids(&self) -> Vec<PeerId> {
+        self.directory.peers.read().keys().copied().collect()
+    }
+
+    /// Number of live peers.
+    pub fn live_peers(&self) -> usize {
+        self.directory.live_count()
+    }
+
+    /// The peer currently responsible for timestamping `key` — useful for
+    /// tests that want to crash exactly that peer.
+    pub fn timestamp_responsible(&self, key: &Key) -> Option<PeerId> {
+        let position = self.directory.family.eval_timestamp(key);
+        self.directory.responsible_for(position).map(|(id, _)| id)
+    }
+
+    /// The peer currently responsible for `key` under replication function
+    /// `hash`.
+    pub fn replica_responsible(&self, hash: HashId, key: &Key) -> Option<PeerId> {
+        let position = self.directory.family.eval(hash, key);
+        self.directory.responsible_for(position).map(|(id, _)| id)
+    }
+
+    /// Crashes a peer: it is marked dead in the directory (so it stops being
+    /// responsible for anything) and its thread is told to stop. Its stored
+    /// replicas and counters are lost, exactly like a fail-stop failure.
+    pub fn crash_peer(&self, peer: PeerId) {
+        let sender = {
+            let peers = self.directory.peers.read();
+            peers.get(&peer).map(|(sender, _)| sender.clone())
+        };
+        self.directory.mark_dead(peer);
+        if let Some(sender) = sender {
+            let _ = sender.send(Request::Shutdown);
+        }
+    }
+
+    /// Stops every peer thread and waits for them to finish.
+    pub fn shutdown(self) {
+        {
+            let peers = self.directory.peers.read();
+            for (sender, _) in peers.values() {
+                let _ = sender.send(Request::Shutdown);
+            }
+        }
+        for (_, handle) in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// State owned by one peer thread.
+struct PeerRuntime {
+    store: BTreeMap<(HashId, Key), (Vec<u8>, Timestamp)>,
+    kts: KtsNode,
+}
+
+/// The peer thread main loop: drain the mailbox, answer requests, stop on
+/// `Shutdown`.
+fn peer_main(_id: PeerId, mailbox: Receiver<Request>, directory: Arc<Directory>) {
+    let mut runtime = PeerRuntime {
+        store: BTreeMap::new(),
+        kts: KtsNode::new(false),
+    };
+    while let Ok(request) = mailbox.recv() {
+        if !directory.message_delay.is_zero() {
+            std::thread::sleep(directory.message_delay);
+        }
+        match request {
+            Request::PutReplica {
+                hash,
+                key,
+                payload,
+                timestamp,
+                reply,
+            } => {
+                let entry = runtime.store.entry((hash, key));
+                match entry {
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        v.insert((payload, timestamp));
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut o) => {
+                        if timestamp > o.get().1 {
+                            o.insert((payload, timestamp));
+                        }
+                    }
+                }
+                let _ = reply.send(Reply::PutAck);
+            }
+            Request::GetReplica { hash, key, reply } => {
+                let stored = runtime.store.get(&(hash, key)).cloned();
+                let _ = reply.send(Reply::Replica(stored));
+            }
+            Request::Timestamp {
+                key,
+                generate,
+                observation_hint,
+                reply,
+            } => {
+                let answer = if runtime.kts.has_counter(&key) {
+                    let ts = if generate {
+                        runtime
+                            .kts
+                            .gen_ts(&key, IndirectObservation::nothing)
+                            .timestamp
+                    } else {
+                        runtime
+                            .kts
+                            .last_ts(
+                                &key,
+                                LastTsInitPolicy::ObservedMax,
+                                IndirectObservation::nothing,
+                            )
+                            .timestamp
+                    };
+                    Reply::Timestamp(ts)
+                } else {
+                    match observation_hint {
+                        None => Reply::NeedsInitialization,
+                        Some(observed) => {
+                            let observation = if observed.is_zero() {
+                                IndirectObservation::nothing()
+                            } else {
+                                IndirectObservation::observed(observed)
+                            };
+                            let ts = if generate {
+                                runtime.kts.gen_ts(&key, || observation).timestamp
+                            } else {
+                                runtime
+                                    .kts
+                                    .last_ts(&key, LastTsInitPolicy::ObservedMax, || observation)
+                                    .timestamp
+                            };
+                            Reply::Timestamp(ts)
+                        }
+                    }
+                };
+                let _ = reply.send(answer);
+            }
+            Request::Shutdown => break,
+        }
+    }
+}

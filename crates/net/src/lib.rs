@@ -1,0 +1,57 @@
+//! A threaded, message-passing deployment of UMS/KTS — the in-process
+//! analogue of the paper's 64-node cluster experiment (Section 5.2).
+//!
+//! Every peer of a [`Cluster`] is a real OS thread with a mailbox
+//! (crossbeam channels). Clients ([`ClusterClient`]) talk to peers only by
+//! sending messages: replica reads and writes go to the peer currently
+//! responsible for the key, timestamp requests go to the responsible of
+//! timestamping, and an optional artificial per-message delay models network
+//! latency. Unlike the discrete-event simulator, nothing here is virtual
+//! time: concurrency, interleavings and races are real, which is what this
+//! crate is for — validating that the UMS/KTS logic (which is the *same*
+//! `rdht-core` code the simulator runs) behaves correctly when updates and
+//! retrievals genuinely race and when the timestamping responsible genuinely
+//! crashes mid-workload.
+//!
+//! ## Deployment model
+//!
+//! The cluster uses a static membership list (all peers know the sorted peer
+//! identifiers, as on a real 64-node cluster) with successor-on-the-ring
+//! responsibility, i.e. a one-hop DHT: clients resolve `rsp(k, h)` locally
+//! and send one message. The full multi-hop Chord routing is exercised by
+//! `rdht-overlay` and `rdht-sim`; this crate focuses on real concurrency.
+//! When the KTS responsible finds no valid counter, it answers
+//! `NeedsInitialization` and the *client* gathers the indirect observation
+//! (reading the replicas) before retrying — functionally the indirect
+//! algorithm of Section 4.2.2, restructured so that peer threads never block
+//! on each other.
+//!
+//! ```
+//! use rdht_core::ums;
+//! use rdht_hashing::Key;
+//! use rdht_net::Cluster;
+//!
+//! let cluster = Cluster::spawn(8, 5, 42);
+//! let mut client = cluster.client();
+//! let key = Key::new("agenda:kickoff");
+//! ums::insert(&mut client, &key, b"10:00".to_vec()).unwrap();
+//! ums::insert(&mut client, &key, b"11:00".to_vec()).unwrap();
+//! let got = ums::retrieve(&mut client, &key).unwrap();
+//! assert!(got.is_current);
+//! assert_eq!(got.data.unwrap(), b"11:00");
+//! cluster.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod cluster;
+mod message;
+
+pub use client::ClusterClient;
+pub use cluster::{Cluster, ClusterConfig, PeerId};
+pub use message::{Reply, Request};
+
+#[cfg(test)]
+mod tests;

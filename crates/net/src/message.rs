@@ -1,0 +1,67 @@
+//! Wire messages exchanged between clients and peer threads.
+
+use crossbeam::channel::Sender;
+
+use rdht_core::Timestamp;
+use rdht_hashing::{HashId, Key};
+
+/// A request sent to a peer's mailbox. Every request carries the channel the
+/// peer should answer on (a one-shot reply channel owned by the caller).
+#[derive(Debug)]
+pub enum Request {
+    /// Store a stamped replica; the peer keeps it only if the stamp is newer
+    /// than what it already holds (UMS `put_h` semantics).
+    PutReplica {
+        /// Replication hash function the replica is stored under.
+        hash: HashId,
+        /// The application key.
+        key: Key,
+        /// Replica payload.
+        payload: Vec<u8>,
+        /// KTS timestamp of the payload.
+        timestamp: Timestamp,
+        /// Where to send the acknowledgement.
+        reply: Sender<Reply>,
+    },
+    /// Read the replica stored under `(hash, key)`.
+    GetReplica {
+        /// Replication hash function to read under.
+        hash: HashId,
+        /// The application key.
+        key: Key,
+        /// Where to send the result.
+        reply: Sender<Reply>,
+    },
+    /// KTS `gen_ts` / `last_ts` request. If the peer has no valid counter for
+    /// the key it answers [`Reply::NeedsInitialization`] and the client
+    /// gathers the indirect observation before retrying with
+    /// `observation_hint`.
+    Timestamp {
+        /// The application key.
+        key: Key,
+        /// True for `gen_ts`, false for `last_ts`.
+        generate: bool,
+        /// Largest timestamp the client observed among the key's replicas
+        /// (the indirect initialization of Section 4.2.2), if it already
+        /// gathered one.
+        observation_hint: Option<Timestamp>,
+        /// Where to send the timestamp.
+        reply: Sender<Reply>,
+    },
+    /// Ask the peer to stop after draining its mailbox.
+    Shutdown,
+}
+
+/// A peer's answer to a [`Request`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// Write acknowledged (whether or not it overwrote existing state).
+    PutAck,
+    /// Result of a read: the stored payload and timestamp, if any.
+    Replica(Option<(Vec<u8>, Timestamp)>),
+    /// A timestamp, from `gen_ts` or `last_ts`.
+    Timestamp(Timestamp),
+    /// The peer has no valid counter for the key and needs the client to run
+    /// the indirect initialization first.
+    NeedsInitialization,
+}

@@ -1,0 +1,224 @@
+//! Tests of the threaded deployment: real concurrency, real failover.
+
+use std::sync::Arc;
+
+use rdht_core::{ums, UmsAccess};
+use rdht_hashing::Key;
+
+use crate::{Cluster, ClusterConfig};
+
+#[test]
+fn insert_and_retrieve_round_trip() {
+    let cluster = Cluster::spawn(8, 5, 1);
+    let mut client = cluster.client();
+    let key = Key::new("doc");
+    let report = ums::insert(&mut client, &key, b"v1".to_vec()).unwrap();
+    assert_eq!(report.replicas_written, 5);
+    let got = ums::retrieve(&mut client, &key).unwrap();
+    assert!(got.is_current);
+    assert_eq!(got.data.unwrap(), b"v1");
+    assert!(client.messages() > 0);
+    cluster.shutdown();
+}
+
+#[test]
+fn updates_supersede_older_values() {
+    let cluster = Cluster::spawn(6, 4, 2);
+    let mut client = cluster.client();
+    let key = Key::new("doc");
+    for i in 0..10u32 {
+        ums::insert(&mut client, &key, format!("v{i}").into_bytes()).unwrap();
+    }
+    let got = ums::retrieve(&mut client, &key).unwrap();
+    assert!(got.is_current);
+    assert_eq!(got.data.unwrap(), b"v9");
+    cluster.shutdown();
+}
+
+#[test]
+fn retrieve_of_unknown_key_returns_nothing() {
+    let cluster = Cluster::spawn(4, 3, 3);
+    let mut client = cluster.client();
+    let got = ums::retrieve(&mut client, &Key::new("nothing here")).unwrap();
+    assert!(got.data.is_none());
+    assert!(!got.is_current);
+    cluster.shutdown();
+}
+
+#[test]
+fn concurrent_writers_converge_to_single_latest_value() {
+    // Many threads update the same key concurrently through their own
+    // clients; afterwards, a retrieve returns one of the written values, it
+    // is certified current, and its timestamp equals the last timestamp KTS
+    // generated (the race resolved deterministically via timestamps).
+    let cluster = Arc::new(Cluster::spawn(12, 6, 4));
+    let key = Key::new("contended");
+    let writers = 8;
+    let updates_per_writer = 25;
+
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let cluster = Arc::clone(&cluster);
+            let key = key.clone();
+            scope.spawn(move || {
+                let mut client = cluster.client();
+                for i in 0..updates_per_writer {
+                    let payload = format!("writer-{w}-update-{i}").into_bytes();
+                    ums::insert(&mut client, &key, payload).unwrap();
+                }
+            });
+        }
+    });
+
+    let mut client = cluster.client();
+    let got = ums::retrieve(&mut client, &key).unwrap();
+    assert!(got.is_current, "after all writers finish the retrieve must be certified current");
+    let data = got.data.unwrap();
+    assert!(String::from_utf8_lossy(&data).starts_with("writer-"));
+    // The winning timestamp is the total number of generated timestamps.
+    assert_eq!(got.timestamp.0, (writers * updates_per_writer) as u64);
+
+    // Every replica slot now stores that same winning timestamp (mutual
+    // consistency of replicas after the race).
+    let last = got.timestamp;
+    for hash in client.replication_ids() {
+        let replica = client.get_replica(hash, &key).unwrap().unwrap();
+        assert_eq!(replica.timestamp, last);
+        assert_eq!(replica.data, data);
+    }
+
+    match Arc::try_unwrap(cluster) {
+        Ok(cluster) => cluster.shutdown(),
+        Err(_) => panic!("cluster still shared"),
+    }
+}
+
+#[test]
+fn readers_and_writers_race_without_stale_certified_answers() {
+    let cluster = Arc::new(Cluster::spawn(10, 5, 5));
+    let key = Key::new("live feed");
+    {
+        let mut client = cluster.client();
+        ums::insert(&mut client, &key, b"seed".to_vec()).unwrap();
+    }
+
+    std::thread::scope(|scope| {
+        let writer_cluster = Arc::clone(&cluster);
+        let writer_key = key.clone();
+        scope.spawn(move || {
+            let mut client = writer_cluster.client();
+            for i in 0..50u32 {
+                ums::insert(&mut client, &writer_key, format!("rev-{i}").into_bytes()).unwrap();
+            }
+        });
+        for _ in 0..3 {
+            let reader_cluster = Arc::clone(&cluster);
+            let reader_key = key.clone();
+            scope.spawn(move || {
+                let mut client = reader_cluster.client();
+                for _ in 0..30 {
+                    let got = ums::retrieve(&mut client, &reader_key).unwrap();
+                    // A certified answer must carry the timestamp KTS reported
+                    // as the latest at that moment — never older.
+                    if got.is_current {
+                        assert_eq!(got.timestamp, got.last_timestamp);
+                    }
+                    assert!(got.data.is_some());
+                }
+            });
+        }
+    });
+
+    match Arc::try_unwrap(cluster) {
+        Ok(cluster) => cluster.shutdown(),
+        Err(_) => panic!("cluster still shared"),
+    }
+}
+
+#[test]
+fn crash_of_timestamp_responsible_triggers_indirect_initialization() {
+    let cluster = Cluster::spawn(10, 6, 6);
+    let key = Key::new("important doc");
+    let mut client = cluster.client();
+    for i in 0..5u32 {
+        ums::insert(&mut client, &key, format!("v{i}").into_bytes()).unwrap();
+    }
+    let before = ums::retrieve(&mut client, &key).unwrap();
+    assert!(before.is_current);
+
+    // Kill the peer that generates timestamps for this key; its counters die
+    // with it. The next responsible must re-initialize from the replicas.
+    let responsible = cluster.timestamp_responsible(&key).unwrap();
+    cluster.crash_peer(responsible);
+    assert!(cluster.live_peers() < 10);
+
+    let after = ums::retrieve(&mut client, &key).unwrap();
+    assert_eq!(after.data.unwrap(), b"v4", "latest surviving value is still returned");
+
+    // Updates keep working and remain monotonic after the failover.
+    let report = ums::insert(&mut client, &key, b"v5".to_vec()).unwrap();
+    assert!(report.timestamp > before.timestamp);
+    let finally = ums::retrieve(&mut client, &key).unwrap();
+    assert!(finally.is_current);
+    assert_eq!(finally.data.unwrap(), b"v5");
+    cluster.shutdown();
+}
+
+#[test]
+fn crash_of_replica_holders_degrades_availability_not_correctness() {
+    let cluster = Cluster::spawn(12, 8, 7);
+    let key = Key::new("doc");
+    let mut client = cluster.client();
+    ums::insert(&mut client, &key, b"v1".to_vec()).unwrap();
+    ums::insert(&mut client, &key, b"v2".to_vec()).unwrap();
+
+    // Crash holders of the first few replicas.
+    for hash in client.replication_ids().into_iter().take(4) {
+        if let Some(peer) = cluster.replica_responsible(hash, &key) {
+            cluster.crash_peer(peer);
+        }
+    }
+    let got = ums::retrieve(&mut client, &key).unwrap();
+    assert_eq!(got.data.unwrap(), b"v2", "surviving replicas still serve the latest value");
+    cluster.shutdown();
+}
+
+#[test]
+fn artificial_delay_slows_operations_down() {
+    let fast = Cluster::spawn(4, 3, 8);
+    let mut config = ClusterConfig::new(4, 3, 8);
+    config.message_delay = std::time::Duration::from_millis(2);
+    let slow = Cluster::spawn_with(config);
+
+    let key = Key::new("doc");
+    let mut fast_client = fast.client();
+    let mut slow_client = slow.client();
+
+    let t0 = std::time::Instant::now();
+    ums::insert(&mut fast_client, &key, b"v".to_vec()).unwrap();
+    let fast_elapsed = t0.elapsed();
+
+    let t1 = std::time::Instant::now();
+    ums::insert(&mut slow_client, &key, b"v".to_vec()).unwrap();
+    let slow_elapsed = t1.elapsed();
+
+    assert!(slow_elapsed > fast_elapsed);
+    fast.shutdown();
+    slow.shutdown();
+}
+
+#[test]
+fn peer_ids_are_stable_and_sorted() {
+    let cluster = Cluster::spawn(16, 4, 9);
+    let ids = cluster.peer_ids();
+    assert_eq!(ids.len(), 16);
+    assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    assert_eq!(cluster.live_peers(), 16);
+    cluster.shutdown();
+}
+
+#[test]
+#[should_panic(expected = "at least one peer")]
+fn empty_cluster_is_rejected() {
+    let _ = Cluster::spawn(0, 3, 10);
+}

@@ -1,0 +1,290 @@
+//! CAN coordinate-space geometry: Morton-coded canonical zones.
+
+/// A point of the 2-dimensional CAN coordinate space, with 32-bit
+/// coordinates per dimension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CanPoint {
+    /// X coordinate.
+    pub x: u32,
+    /// Y coordinate.
+    pub y: u32,
+}
+
+impl CanPoint {
+    /// Decodes a 64-bit Morton (Z-order) code into its two coordinates.
+    ///
+    /// Bit `63` of the code is bit `31` of `x`, bit `62` is bit `31` of `y`,
+    /// bit `61` is bit `30` of `x`, and so on.
+    pub fn from_code(code: u64) -> Self {
+        let mut x = 0u32;
+        let mut y = 0u32;
+        for i in 0..32 {
+            x |= (((code >> (2 * i + 1)) & 1) as u32) << i;
+            y |= (((code >> (2 * i)) & 1) as u32) << i;
+        }
+        CanPoint { x, y }
+    }
+
+    /// Re-encodes the point into its Morton code.
+    pub fn to_code(self) -> u64 {
+        let mut code = 0u64;
+        for i in 0..32 {
+            code |= (((self.x >> i) & 1) as u64) << (2 * i + 1);
+            code |= (((self.y >> i) & 1) as u64) << (2 * i);
+        }
+        code
+    }
+}
+
+/// A CAN zone: a canonical cell of the 2-d space produced by repeatedly
+/// halving along alternating dimensions.
+///
+/// A zone of `level` ℓ fixes the top ℓ bits of the Morton code, so it covers
+/// the contiguous code range `[prefix, prefix + 2^(64-ℓ))`. Geometrically it
+/// is an axis-aligned rectangle whose x-extent fixes `ceil(ℓ/2)` high bits
+/// and whose y-extent fixes `floor(ℓ/2)` high bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CanZone {
+    prefix: u64,
+    level: u8,
+}
+
+impl CanZone {
+    /// The zone covering the entire coordinate space.
+    pub fn full_space() -> Self {
+        CanZone { prefix: 0, level: 0 }
+    }
+
+    /// Creates a zone from a prefix and level, normalizing the prefix (bits
+    /// below the level are cleared).
+    pub fn new(prefix: u64, level: u8) -> Self {
+        assert!(level <= 64, "zone level cannot exceed 64");
+        let normalized = if level == 0 {
+            0
+        } else {
+            prefix & (!0u64 << (64 - u32::from(level)))
+        };
+        CanZone {
+            prefix: normalized,
+            level,
+        }
+    }
+
+    /// Split depth of the zone (0 = whole space).
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// First Morton code covered by the zone.
+    pub fn start(&self) -> u64 {
+        self.prefix
+    }
+
+    /// Number of Morton codes covered, as a u128 (the full space covers 2^64).
+    pub fn extent(&self) -> u128 {
+        1u128 << (64 - u32::from(self.level))
+    }
+
+    /// Number of covered codes as a wrapping u64 (0 encodes 2^64).
+    pub fn extent_u64(&self) -> u64 {
+        if self.level == 0 {
+            0
+        } else {
+            1u64 << (64 - u32::from(self.level))
+        }
+    }
+
+    /// Last Morton code covered by the zone.
+    pub fn end_inclusive(&self) -> u64 {
+        self.prefix.wrapping_add(self.extent_u64().wrapping_sub(1))
+    }
+
+    /// Whether a Morton code falls inside the zone.
+    pub fn contains(&self, code: u64) -> bool {
+        if self.level == 0 {
+            true
+        } else {
+            (code >> (64 - u32::from(self.level))) == (self.prefix >> (64 - u32::from(self.level)))
+        }
+    }
+
+    /// Splits the zone in half. Returns `(kept, given)` where `given` is the
+    /// half containing `toward` (the joining node's chosen point) and `kept`
+    /// the other half. Returns `None` when the zone is a single code and can
+    /// no longer be split.
+    pub fn split(&self, toward: u64) -> Option<(CanZone, CanZone)> {
+        if self.level >= 64 {
+            return None;
+        }
+        let child_level = self.level + 1;
+        let low = CanZone::new(self.prefix, child_level);
+        let high = CanZone::new(self.prefix | (1u64 << (63 - u32::from(self.level))), child_level);
+        if high.contains(toward) {
+            Some((low, high))
+        } else {
+            Some((high, low))
+        }
+    }
+
+    /// The rectangle covered by the zone: `(x0, y0, width, height)` with
+    /// 33-bit-safe u64 widths (the full space has width 2^32).
+    pub fn rect(&self) -> (u64, u64, u64, u64) {
+        let point = CanPoint::from_code(self.prefix);
+        let x_bits = u32::from(self.level).div_ceil(2);
+        let y_bits = u32::from(self.level) / 2;
+        let width = 1u64 << (32 - x_bits);
+        let height = 1u64 << (32 - y_bits);
+        let x0 = u64::from(point.x) & !(width - 1);
+        let y0 = u64::from(point.y) & !(height - 1);
+        (x0, y0, width, height)
+    }
+
+    /// Whether two zones share a (positive-length) border segment. Zones that
+    /// only touch at a corner are not adjacent, matching CAN's definition of
+    /// neighbors (zones overlapping in d−1 dimensions and abutting in one).
+    pub fn is_adjacent(&self, other: &CanZone) -> bool {
+        let (ax, ay, aw, ah) = self.rect();
+        let (bx, by, bw, bh) = other.rect();
+        let x_touch = ax + aw == bx || bx + bw == ax;
+        let y_touch = ay + ah == by || by + bh == ay;
+        let x_overlap = ax < bx + bw && bx < ax + aw;
+        let y_overlap = ay < by + bh && by < ay + ah;
+        (x_touch && y_overlap) || (y_touch && x_overlap)
+    }
+
+    /// Squared Euclidean distance from the zone's rectangle to a point
+    /// (zero if the point lies inside).
+    pub fn distance_sq_to(&self, point: CanPoint) -> u128 {
+        let (x0, y0, w, h) = self.rect();
+        let px = u64::from(point.x);
+        let py = u64::from(point.y);
+        let dx = if px < x0 {
+            x0 - px
+        } else if px >= x0 + w {
+            px - (x0 + w - 1)
+        } else {
+            0
+        };
+        let dy = if py < y0 {
+            y0 - py
+        } else if py >= y0 + h {
+            py - (y0 + h - 1)
+        } else {
+            0
+        };
+        (dx as u128) * (dx as u128) + (dy as u128) * (dy as u128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morton_roundtrip() {
+        for code in [0u64, 1, 42, u64::MAX, 0x1234_5678_9abc_def0] {
+            assert_eq!(CanPoint::from_code(code).to_code(), code);
+        }
+    }
+
+    #[test]
+    fn full_space_contains_everything() {
+        let z = CanZone::full_space();
+        assert!(z.contains(0));
+        assert!(z.contains(u64::MAX));
+        assert_eq!(z.extent(), 1u128 << 64);
+        assert_eq!(z.end_inclusive(), u64::MAX);
+        let (x0, y0, w, h) = z.rect();
+        assert_eq!((x0, y0), (0, 0));
+        assert_eq!((w, h), (1 << 32, 1 << 32));
+    }
+
+    #[test]
+    fn split_produces_disjoint_cover() {
+        let z = CanZone::full_space();
+        let (kept, given) = z.split(u64::MAX).unwrap();
+        assert_eq!(kept.extent() + given.extent(), z.extent());
+        assert!(given.contains(u64::MAX));
+        assert!(!kept.contains(u64::MAX));
+        assert!(kept.contains(0));
+        // The two halves split the x dimension (level 1 fixes one x bit).
+        let (_, _, wk, hk) = kept.rect();
+        assert_eq!(wk, 1 << 31);
+        assert_eq!(hk, 1 << 32);
+    }
+
+    #[test]
+    fn split_alternates_dimensions() {
+        let z = CanZone::full_space();
+        let (_, first) = z.split(0).unwrap();
+        let (_, second) = first.split(0).unwrap();
+        let (_, _, w1, h1) = first.rect();
+        let (_, _, w2, h2) = second.rect();
+        assert_eq!(w1, 1 << 31);
+        assert_eq!(h1, 1 << 32);
+        assert_eq!(w2, 1 << 31);
+        assert_eq!(h2, 1 << 31);
+    }
+
+    #[test]
+    fn contains_matches_code_range() {
+        let z = CanZone::new(0x8000_0000_0000_0000, 1);
+        assert!(z.contains(0x8000_0000_0000_0000));
+        assert!(z.contains(u64::MAX));
+        assert!(!z.contains(0x7fff_ffff_ffff_ffff));
+        assert_eq!(z.start(), 0x8000_0000_0000_0000);
+        assert_eq!(z.end_inclusive(), u64::MAX);
+    }
+
+    #[test]
+    fn adjacency_requires_shared_border() {
+        let z = CanZone::full_space();
+        let (left, right) = z.split(u64::MAX).unwrap();
+        assert!(left.is_adjacent(&right));
+        assert!(right.is_adjacent(&left));
+        // Split the left half again (y split); both children stay adjacent to
+        // the right half.
+        let (bottom, top) = left.split(0).unwrap();
+        assert!(bottom.is_adjacent(&top));
+        assert!(bottom.is_adjacent(&right));
+        assert!(top.is_adjacent(&right));
+    }
+
+    #[test]
+    fn corner_only_contact_is_not_adjacent() {
+        // The four level-2 quadrants; diagonal quadrants only touch at the
+        // center point and therefore are not neighbors.
+        let q00 = CanZone::new(0x0000_0000_0000_0000, 2); // x low,  y low
+        let q01 = CanZone::new(0x4000_0000_0000_0000, 2); // x low,  y high
+        let q10 = CanZone::new(0x8000_0000_0000_0000, 2); // x high, y low
+        let q11 = CanZone::new(0xc000_0000_0000_0000, 2); // x high, y high
+        assert!(q00.is_adjacent(&q01));
+        assert!(q00.is_adjacent(&q10));
+        assert!(q11.is_adjacent(&q01));
+        assert!(q11.is_adjacent(&q10));
+        assert!(!q00.is_adjacent(&q11));
+        assert!(!q01.is_adjacent(&q10));
+    }
+
+    #[test]
+    fn distance_is_zero_inside_and_positive_outside() {
+        let z = CanZone::new(0, 2); // one quadrant
+        let inside = CanPoint { x: 10, y: 10 };
+        assert_eq!(z.distance_sq_to(inside), 0);
+        let outside = CanPoint { x: u32::MAX, y: u32::MAX };
+        assert!(z.distance_sq_to(outside) > 0);
+    }
+
+    #[test]
+    fn new_normalizes_prefix() {
+        let z = CanZone::new(0xffff_ffff_ffff_ffff, 4);
+        assert_eq!(z.start(), 0xf000_0000_0000_0000);
+        assert_eq!(z.level(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "level cannot exceed 64")]
+    fn level_above_64_is_rejected() {
+        let _ = CanZone::new(0, 65);
+    }
+}

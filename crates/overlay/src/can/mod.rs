@@ -1,0 +1,430 @@
+//! A from-scratch CAN implementation (Ratnasamy et al., SIGCOMM 2001).
+//!
+//! The paper uses CAN (together with Chord) to argue that the *direct*
+//! counter-initialization algorithm applies to real DHTs: in CAN, when a peer
+//! joins it splits the zone of an existing peer (who thereby becomes its
+//! neighbor), and when a peer leaves or fails its zone is taken over by one
+//! of its neighbors — so the next responsible of a key is always a neighbor
+//! of the current responsible (Section 4.2.1.1).
+//!
+//! This implementation uses a 2-dimensional coordinate space. Zones are
+//! *canonical cells*: the full space is split exactly in half along
+//! alternating dimensions, which means every zone corresponds to a contiguous
+//! range of the Morton (Z-order) encoding of the coordinates. Key positions
+//! (the 64-bit outputs of the hash functions) are interpreted directly as
+//! Morton codes, so zone ownership translates to contiguous identifier ranges
+//! and the same [`ResponsibilityChange`](crate::ResponsibilityChange)
+//! machinery as Chord drives replica and counter hand-off.
+
+mod geometry;
+mod routing;
+
+#[cfg(test)]
+mod tests;
+
+pub use geometry::{CanPoint, CanZone};
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::cost::{
+    LookupError, LookupOutcome, MembershipEventKind, MembershipOutcome, ResponsibilityChange,
+    StabilizeOutcome,
+};
+use crate::id::NodeId;
+use crate::traits::{Overlay, OverlayKind};
+
+/// Tuning parameters of the CAN overlay.
+#[derive(Clone, Debug)]
+pub struct CanConfig {
+    /// Upper bound on routing steps before a lookup is declared exhausted.
+    pub max_routing_steps: u32,
+}
+
+impl Default for CanConfig {
+    fn default() -> Self {
+        CanConfig {
+            max_routing_steps: 512,
+        }
+    }
+}
+
+/// Per-node CAN state: the zones a node owns and the neighbors it knows.
+#[derive(Clone, Debug, Default)]
+pub struct CanNode {
+    /// Zones currently owned (more than one right after taking over a
+    /// departed neighbor's zone, as in CAN's takeover protocol).
+    pub zones: Vec<CanZone>,
+    /// Peers owning zones adjacent to any of this node's zones.
+    pub neighbors: Vec<NodeId>,
+}
+
+/// The CAN overlay: a full partition of the 2-d space into zones.
+#[derive(Clone, Debug)]
+pub struct CanNetwork {
+    config: CanConfig,
+    nodes: HashMap<NodeId, CanNode>,
+    /// Ground truth: zone start (Morton code) -> (zone, owner). Because zones
+    /// partition the space, the zone containing a code is the last entry
+    /// whose start is <= the code.
+    zones: BTreeMap<u64, (CanZone, NodeId)>,
+}
+
+impl CanNetwork {
+    /// Creates an empty overlay.
+    pub fn new(config: CanConfig) -> Self {
+        CanNetwork {
+            config,
+            nodes: HashMap::new(),
+            zones: BTreeMap::new(),
+        }
+    }
+
+    /// Creates an overlay containing `ids`, joined one by one (CAN has no
+    /// meaningful "perfectly converged" shortcut: the zone layout depends on
+    /// the join order, as in the real protocol).
+    pub fn bootstrap(ids: impl IntoIterator<Item = NodeId>, config: CanConfig) -> Self {
+        let mut network = CanNetwork::new(config);
+        for id in ids {
+            network.do_join(id);
+        }
+        network
+    }
+
+    /// The zone (and its owner) containing a Morton code.
+    pub fn zone_containing(&self, code: u64) -> Option<(&CanZone, NodeId)> {
+        self.zones
+            .range(..=code)
+            .next_back()
+            .map(|(_, (zone, owner))| (zone, *owner))
+            .filter(|(zone, _)| zone.contains(code))
+            .or_else(|| {
+                // Codes below the first start can only appear transiently; the
+                // partition always starts at 0, so this is a defensive check.
+                self.zones
+                    .values()
+                    .find(|(zone, _)| zone.contains(code))
+                    .map(|(zone, owner)| (zone, *owner))
+            })
+    }
+
+    /// Immutable access to one node's CAN state.
+    pub fn node(&self, id: NodeId) -> Option<&CanNode> {
+        self.nodes.get(&id)
+    }
+
+    /// Checks that the zones exactly partition the space and that ownership
+    /// maps are consistent.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.zones.is_empty() {
+            if self.nodes.is_empty() {
+                return Ok(());
+            }
+            return Err("nodes exist but no zones are assigned".into());
+        }
+        let mut expected_start = 0u64;
+        let mut total: u128 = 0;
+        for (start, (zone, owner)) in &self.zones {
+            if *start != zone.start() {
+                return Err(format!("zone index key {start} != zone start {}", zone.start()));
+            }
+            if zone.start() != expected_start {
+                return Err(format!(
+                    "gap or overlap: expected zone start {expected_start}, found {}",
+                    zone.start()
+                ));
+            }
+            if !self.nodes.contains_key(owner) {
+                return Err(format!("zone {zone:?} owned by dead node {owner:?}"));
+            }
+            if !self
+                .nodes
+                .get(owner)
+                .map(|n| n.zones.contains(zone))
+                .unwrap_or(false)
+            {
+                return Err(format!("owner {owner:?} does not list zone {zone:?}"));
+            }
+            expected_start = zone.start().wrapping_add(zone.extent_u64());
+            total += zone.extent();
+        }
+        if total != (u64::MAX as u128) + 1 {
+            return Err(format!("zones cover {total} of 2^64 codes"));
+        }
+        for (id, node) in &self.nodes {
+            for zone in &node.zones {
+                match self.zones.get(&zone.start()) {
+                    Some((z, owner)) if z == zone && owner == id => {}
+                    _ => return Err(format!("node {id:?} lists zone {zone:?} it does not own")),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Recomputes the neighbor sets of `ids` (and prunes references to them
+    /// from other nodes where adjacency disappeared).
+    fn refresh_neighbors_of(&mut self, ids: &[NodeId]) {
+        let affected: HashSet<NodeId> = ids
+            .iter()
+            .copied()
+            .filter(|id| self.nodes.contains_key(id))
+            .collect();
+        // Also refresh everyone who currently lists an affected node, or is
+        // adjacent to one, so both sides of each adjacency stay consistent.
+        let mut to_refresh: HashSet<NodeId> = affected.clone();
+        for (id, node) in &self.nodes {
+            if node.neighbors.iter().any(|n| affected.contains(n)) {
+                to_refresh.insert(*id);
+            }
+        }
+        for (id, _) in self.adjacent_to_set(&affected) {
+            to_refresh.insert(id);
+        }
+        for id in to_refresh {
+            let neighbors = self.compute_neighbors(id);
+            if let Some(node) = self.nodes.get_mut(&id) {
+                node.neighbors = neighbors;
+            }
+        }
+    }
+
+    fn adjacent_to_set(&self, set: &HashSet<NodeId>) -> Vec<(NodeId, ())> {
+        let mut out = Vec::new();
+        for (id, node) in &self.nodes {
+            if set.contains(id) {
+                continue;
+            }
+            'outer: for zone in &node.zones {
+                for target in set {
+                    if let Some(other) = self.nodes.get(target) {
+                        if other.zones.iter().any(|z| z.is_adjacent(zone)) {
+                            out.push((*id, ()));
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn compute_neighbors(&self, id: NodeId) -> Vec<NodeId> {
+        let node = match self.nodes.get(&id) {
+            Some(n) => n,
+            None => return Vec::new(),
+        };
+        let mut neighbors = Vec::new();
+        for (other_id, other) in &self.nodes {
+            if *other_id == id {
+                continue;
+            }
+            let adjacent = node
+                .zones
+                .iter()
+                .any(|z| other.zones.iter().any(|o| o.is_adjacent(z)));
+            if adjacent {
+                neighbors.push(*other_id);
+            }
+        }
+        neighbors.sort_unstable();
+        neighbors
+    }
+
+    fn do_join(&mut self, id: NodeId) -> MembershipOutcome {
+        if self.nodes.contains_key(&id) {
+            return MembershipOutcome::default();
+        }
+        // First member: owns the whole space.
+        if self.zones.is_empty() {
+            let zone = CanZone::full_space();
+            self.zones.insert(zone.start(), (zone, id));
+            self.nodes.insert(
+                id,
+                CanNode {
+                    zones: vec![zone],
+                    neighbors: Vec::new(),
+                },
+            );
+            return MembershipOutcome::default();
+        }
+
+        // The joining node picks the point derived from its identifier and
+        // asks the owner of that point to split its zone.
+        let point_code = id.0;
+        let (zone, owner) = match self.zone_containing(point_code) {
+            Some((zone, owner)) => (*zone, owner),
+            None => return MembershipOutcome::default(),
+        };
+        let (kept, given) = match zone.split(point_code) {
+            Some(halves) => halves,
+            None => {
+                // The zone is a single code wide and cannot be split; in
+                // practice unreachable (2^64 codes vs thousands of peers).
+                return MembershipOutcome::default();
+            }
+        };
+
+        // Re-assign zones.
+        self.zones.remove(&zone.start());
+        self.zones.insert(kept.start(), (kept, owner));
+        self.zones.insert(given.start(), (given, id));
+        if let Some(owner_node) = self.nodes.get_mut(&owner) {
+            owner_node.zones.retain(|z| *z != zone);
+            owner_node.zones.push(kept);
+        }
+        self.nodes.insert(
+            id,
+            CanNode {
+                zones: vec![given],
+                neighbors: Vec::new(),
+            },
+        );
+        self.refresh_neighbors_of(&[id, owner]);
+
+        let messages = 2 + self
+            .nodes
+            .get(&id)
+            .map(|n| n.neighbors.len() as u32)
+            .unwrap_or(0);
+
+        MembershipOutcome {
+            changes: vec![ResponsibilityChange {
+                from: owner,
+                to: id,
+                range_start: given.start().wrapping_sub(1),
+                range_end: given.end_inclusive(),
+                handover_possible: true,
+                kind: MembershipEventKind::Join,
+            }],
+            messages,
+        }
+    }
+
+    fn remove_node(&mut self, id: NodeId, kind: MembershipEventKind) -> MembershipOutcome {
+        let node = match self.nodes.remove(&id) {
+            Some(n) => n,
+            None => return MembershipOutcome::default(),
+        };
+        let mut outcome = MembershipOutcome::default();
+        if self.nodes.is_empty() {
+            // Last member gone: the space is unowned until someone joins.
+            self.zones.clear();
+            return outcome;
+        }
+
+        // Each zone is taken over by the live neighbor owning the smallest
+        // total volume (CAN's takeover rule); falls back to any live node if
+        // the neighbor list was empty or entirely dead.
+        let handover_possible = kind == MembershipEventKind::Leave;
+        for zone in node.zones {
+            let takeover = self
+                .best_takeover_candidate(&node.neighbors, &zone)
+                .or_else(|| self.nodes.keys().next().copied());
+            let takeover = match takeover {
+                Some(t) => t,
+                None => break,
+            };
+            self.zones.insert(zone.start(), (zone, takeover));
+            if let Some(t) = self.nodes.get_mut(&takeover) {
+                t.zones.push(zone);
+            }
+            outcome.messages += if handover_possible { 2 } else { 0 };
+            outcome.changes.push(ResponsibilityChange {
+                from: id,
+                to: takeover,
+                range_start: zone.start().wrapping_sub(1),
+                range_end: zone.end_inclusive(),
+                handover_possible,
+                kind,
+            });
+        }
+
+        let mut affected: Vec<NodeId> = node.neighbors.clone();
+        affected.extend(outcome.changes.iter().map(|c| c.to));
+        self.refresh_neighbors_of(&affected);
+        outcome
+    }
+
+    fn best_takeover_candidate(&self, neighbors: &[NodeId], zone: &CanZone) -> Option<NodeId> {
+        neighbors
+            .iter()
+            .copied()
+            .filter(|n| {
+                self.nodes
+                    .get(n)
+                    .map(|node| node.zones.iter().any(|z| z.is_adjacent(zone)))
+                    .unwrap_or(false)
+            })
+            .min_by_key(|n| {
+                self.nodes
+                    .get(n)
+                    .map(|node| node.zones.iter().map(|z| z.extent()).sum::<u128>())
+                    .unwrap_or(u128::MAX)
+            })
+    }
+}
+
+impl Overlay for CanNetwork {
+    fn kind(&self) -> OverlayKind {
+        OverlayKind::Can
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn is_alive(&self, node: NodeId) -> bool {
+        self.nodes.contains_key(&node)
+    }
+
+    fn alive_ids(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn responsible_for(&self, position: u64) -> Option<NodeId> {
+        self.zone_containing(position).map(|(_, owner)| owner)
+    }
+
+    fn lookup(&mut self, origin: NodeId, position: u64) -> Result<LookupOutcome, LookupError> {
+        self.route_lookup(origin, position)
+    }
+
+    fn join(&mut self, id: NodeId) -> MembershipOutcome {
+        self.do_join(id)
+    }
+
+    fn leave(&mut self, id: NodeId) -> MembershipOutcome {
+        self.remove_node(id, MembershipEventKind::Leave)
+    }
+
+    fn fail(&mut self, id: NodeId) -> MembershipOutcome {
+        self.remove_node(id, MembershipEventKind::Fail)
+    }
+
+    fn stabilize(&mut self) -> StabilizeOutcome {
+        // Neighbor sets are refreshed eagerly on membership changes in this
+        // implementation, so a stabilization round only re-verifies them.
+        let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        let mut outcome = StabilizeOutcome::default();
+        for id in ids {
+            let neighbors = self.compute_neighbors(id);
+            if let Some(node) = self.nodes.get_mut(&id) {
+                if node.neighbors != neighbors {
+                    outcome.repaired_successors += 1;
+                    node.neighbors = neighbors;
+                }
+                outcome.messages += 1;
+            }
+        }
+        outcome
+    }
+
+    fn neighbors(&self, id: NodeId) -> Vec<NodeId> {
+        self.nodes
+            .get(&id)
+            .map(|n| n.neighbors.clone())
+            .unwrap_or_default()
+    }
+}

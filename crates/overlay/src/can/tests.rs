@@ -1,0 +1,215 @@
+//! Unit and property tests for the CAN overlay.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::{CanConfig, CanNetwork};
+use crate::cost::MembershipEventKind;
+use crate::id::NodeId;
+use crate::traits::Overlay;
+
+fn ids(seed: u64, count: usize) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = std::collections::BTreeSet::new();
+    while set.len() < count {
+        set.insert(NodeId(rng.gen()));
+    }
+    set.into_iter().collect()
+}
+
+#[test]
+fn bootstrap_partitions_the_space() {
+    let network = CanNetwork::bootstrap(ids(1, 40), CanConfig::default());
+    assert_eq!(network.len(), 40);
+    network.check_invariants().unwrap();
+}
+
+#[test]
+fn every_position_has_exactly_one_owner() {
+    let network = CanNetwork::bootstrap(ids(2, 25), CanConfig::default());
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..200 {
+        let position: u64 = rng.gen();
+        let owner = network.responsible_for(position).unwrap();
+        let (zone, zone_owner) = network.zone_containing(position).unwrap();
+        assert_eq!(owner, zone_owner);
+        assert!(zone.contains(position));
+    }
+}
+
+#[test]
+fn lookup_reaches_the_owner() {
+    let mut network = CanNetwork::bootstrap(ids(4, 64), CanConfig::default());
+    let members = network.alive_ids();
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..200 {
+        let origin = members[rng.gen_range(0..members.len())];
+        let position: u64 = rng.gen();
+        let expected = network.responsible_for(position).unwrap();
+        let outcome = network.lookup(origin, position).unwrap();
+        assert_eq!(outcome.responsible, expected);
+    }
+}
+
+#[test]
+fn lookup_from_owner_is_free() {
+    let mut network = CanNetwork::bootstrap(ids(6, 16), CanConfig::default());
+    let position = 0x1234_5678_9abc_def0u64;
+    let owner = network.responsible_for(position).unwrap();
+    let outcome = network.lookup(owner, position).unwrap();
+    assert_eq!(outcome.hops, 0);
+    assert_eq!(outcome.responsible, owner);
+}
+
+#[test]
+fn join_splits_the_covering_zone() {
+    let mut network = CanNetwork::bootstrap(ids(7, 10), CanConfig::default());
+    let new_id = NodeId(0xdead_beef_cafe_f00d);
+    let previous_owner = network.responsible_for(new_id.0).unwrap();
+    let outcome = network.join(new_id);
+    assert_eq!(outcome.changes.len(), 1);
+    let change = &outcome.changes[0];
+    assert_eq!(change.kind, MembershipEventKind::Join);
+    assert_eq!(change.from, previous_owner);
+    assert_eq!(change.to, new_id);
+    assert!(change.handover_possible);
+    assert!(change.covers(new_id.0));
+    assert_eq!(network.responsible_for(new_id.0), Some(new_id));
+    network.check_invariants().unwrap();
+}
+
+#[test]
+fn joining_node_becomes_neighbor_of_split_owner() {
+    // The property the paper needs from CAN: after a join the previous owner
+    // and the new owner are neighbors, so counters can be handed over
+    // directly (Section 4.2.1.1).
+    let mut network = CanNetwork::bootstrap(ids(8, 12), CanConfig::default());
+    let new_id = NodeId(0x0123_4567_89ab_cdef);
+    let previous_owner = network.responsible_for(new_id.0).unwrap();
+    network.join(new_id);
+    assert!(network.neighbors(new_id).contains(&previous_owner));
+    assert!(network.neighbors(previous_owner).contains(&new_id));
+}
+
+#[test]
+fn leave_hands_zone_to_a_neighbor() {
+    let mut network = CanNetwork::bootstrap(ids(9, 20), CanConfig::default());
+    let leaving = network.alive_ids()[7];
+    let neighbors_before = network.neighbors(leaving);
+    let outcome = network.leave(leaving);
+    assert!(!outcome.changes.is_empty());
+    for change in &outcome.changes {
+        assert_eq!(change.kind, MembershipEventKind::Leave);
+        assert!(change.handover_possible);
+        assert!(
+            neighbors_before.contains(&change.to),
+            "zone should be taken over by a neighbor"
+        );
+    }
+    assert!(!network.is_alive(leaving));
+    network.check_invariants().unwrap();
+}
+
+#[test]
+fn fail_reassigns_zone_without_handover() {
+    let mut network = CanNetwork::bootstrap(ids(10, 20), CanConfig::default());
+    let failing = network.alive_ids()[3];
+    let outcome = network.fail(failing);
+    assert!(!outcome.changes.is_empty());
+    for change in &outcome.changes {
+        assert_eq!(change.kind, MembershipEventKind::Fail);
+        assert!(!change.handover_possible);
+    }
+    network.check_invariants().unwrap();
+}
+
+#[test]
+fn last_member_leaving_empties_the_overlay() {
+    let mut network = CanNetwork::bootstrap(vec![NodeId(5)], CanConfig::default());
+    let outcome = network.leave(NodeId(5));
+    assert!(outcome.changes.is_empty());
+    assert!(network.is_empty());
+    assert_eq!(network.responsible_for(42), None);
+}
+
+#[test]
+fn lookups_still_work_after_churn() {
+    let mut network = CanNetwork::bootstrap(ids(11, 60), CanConfig::default());
+    let mut rng = StdRng::seed_from_u64(12);
+    for round in 0..30 {
+        let members = network.alive_ids();
+        if round % 3 == 0 {
+            network.join(NodeId(rng.gen()));
+        } else if round % 3 == 1 && members.len() > 4 {
+            let victim = members[rng.gen_range(0..members.len())];
+            network.fail(victim);
+        } else if members.len() > 4 {
+            let victim = members[rng.gen_range(0..members.len())];
+            network.leave(victim);
+        }
+    }
+    network.check_invariants().unwrap();
+    let members = network.alive_ids();
+    for _ in 0..100 {
+        let origin = members[rng.gen_range(0..members.len())];
+        let position: u64 = rng.gen();
+        let expected = network.responsible_for(position).unwrap();
+        let outcome = network.lookup(origin, position).unwrap();
+        assert_eq!(outcome.responsible, expected);
+    }
+}
+
+#[test]
+fn stabilize_reports_consistent_neighbor_sets() {
+    let mut network = CanNetwork::bootstrap(ids(13, 30), CanConfig::default());
+    let outcome = network.stabilize();
+    // Neighbor sets are maintained eagerly, so a stabilization round right
+    // after bootstrap should find nothing to repair.
+    assert_eq!(outcome.repaired_successors, 0);
+    assert!(outcome.messages > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// After arbitrary churn the zones still partition the space and lookups
+    /// agree with ground truth.
+    #[test]
+    fn churn_preserves_partition_invariant(
+        seed in any::<u64>(),
+        initial in 2usize..20,
+        operations in proptest::collection::vec((any::<u8>(), any::<u64>()), 0..40),
+    ) {
+        let mut network = CanNetwork::bootstrap(ids(seed, initial), CanConfig::default());
+        for (op, value) in operations {
+            match op % 3 {
+                0 => { network.join(NodeId(value)); },
+                1 => {
+                    let members = network.alive_ids();
+                    if members.len() > 2 {
+                        network.leave(members[(value as usize) % members.len()]);
+                    }
+                }
+                _ => {
+                    let members = network.alive_ids();
+                    if members.len() > 2 {
+                        network.fail(members[(value as usize) % members.len()]);
+                    }
+                }
+            }
+        }
+        network.check_invariants().map_err(TestCaseError::fail)?;
+        let members = network.alive_ids();
+        prop_assume!(!members.is_empty());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..5 {
+            let origin = members[rng.gen_range(0..members.len())];
+            let position: u64 = rng.gen();
+            let expected = network.responsible_for(position).unwrap();
+            let outcome = network.lookup(origin, position).unwrap();
+            prop_assert_eq!(outcome.responsible, expected);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Per-node Chord routing state.
+
+use crate::id::NodeId;
+
+/// The routing state one Chord node maintains about the rest of the ring.
+///
+/// Everything here is the node's *belief*, not ground truth: successor-list
+/// and finger entries may point at peers that have already failed, and such
+/// stale entries are only corrected by stabilization rounds or lazily after a
+/// lookup times out on them. That distinction is what makes lookup cost grow
+/// with the failure rate.
+#[derive(Clone, Debug)]
+pub struct ChordNode {
+    /// This node's identifier.
+    pub id: NodeId,
+    /// Believed predecessor on the ring.
+    pub predecessor: Option<NodeId>,
+    /// Successor list; the first entry is the immediate successor.
+    pub successors: Vec<NodeId>,
+    /// Finger table: `fingers[i]` is the believed successor of
+    /// `id + 2^i (mod 2^64)`. Entries may be missing (`None`) right after a
+    /// join until the first refresh, or stale after failures.
+    pub fingers: Vec<Option<NodeId>>,
+    /// Round-robin cursor of the next finger index to refresh during
+    /// stabilization (mirrors Chord's `fix_fingers`).
+    pub next_finger_to_fix: usize,
+}
+
+impl ChordNode {
+    /// Creates a node with empty routing state.
+    pub fn new(id: NodeId) -> Self {
+        ChordNode {
+            id,
+            predecessor: None,
+            successors: Vec::new(),
+            fingers: Vec::new(),
+            next_finger_to_fix: 0,
+        }
+    }
+
+    /// The node's immediate successor belief, if it has one.
+    pub fn successor(&self) -> Option<NodeId> {
+        self.successors.first().copied()
+    }
+
+    /// Iterates over the finger entries from the *largest* interval to the
+    /// smallest — the order in which `closest_preceding_node` scans them.
+    pub fn fingers_high_to_low(&self) -> impl Iterator<Item = (usize, NodeId)> + '_ {
+        self.fingers
+            .iter()
+            .enumerate()
+            .rev()
+            .filter_map(|(i, f)| f.map(|n| (i, n)))
+    }
+
+    /// Removes every reference to `dead` from this node's routing state.
+    /// Returns how many entries were dropped.
+    pub fn purge_reference(&mut self, dead: NodeId) -> u32 {
+        let mut purged = 0;
+        let before = self.successors.len();
+        self.successors.retain(|n| *n != dead);
+        purged += (before - self.successors.len()) as u32;
+        if self.predecessor == Some(dead) {
+            self.predecessor = None;
+            purged += 1;
+        }
+        for finger in self.fingers.iter_mut() {
+            if *finger == Some(dead) {
+                *finger = None;
+                purged += 1;
+            }
+        }
+        purged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_node_has_no_routing_state() {
+        let n = ChordNode::new(NodeId(42));
+        assert_eq!(n.successor(), None);
+        assert_eq!(n.predecessor, None);
+        assert!(n.fingers.is_empty());
+    }
+
+    #[test]
+    fn fingers_iterate_high_to_low_skipping_gaps() {
+        let mut n = ChordNode::new(NodeId(0));
+        n.fingers = vec![Some(NodeId(1)), None, Some(NodeId(3)), Some(NodeId(4))];
+        let order: Vec<_> = n.fingers_high_to_low().collect();
+        assert_eq!(
+            order,
+            vec![(3, NodeId(4)), (2, NodeId(3)), (0, NodeId(1))]
+        );
+    }
+
+    #[test]
+    fn purge_removes_all_references() {
+        let mut n = ChordNode::new(NodeId(0));
+        n.predecessor = Some(NodeId(9));
+        n.successors = vec![NodeId(9), NodeId(5)];
+        n.fingers = vec![Some(NodeId(9)), Some(NodeId(5)), Some(NodeId(9))];
+        let purged = n.purge_reference(NodeId(9));
+        assert_eq!(purged, 4);
+        assert_eq!(n.successors, vec![NodeId(5)]);
+        assert_eq!(n.predecessor, None);
+        assert_eq!(n.fingers, vec![None, Some(NodeId(5)), None]);
+    }
+
+    #[test]
+    fn purge_of_unknown_node_is_noop() {
+        let mut n = ChordNode::new(NodeId(0));
+        n.successors = vec![NodeId(5)];
+        assert_eq!(n.purge_reference(NodeId(77)), 0);
+        assert_eq!(n.successors, vec![NodeId(5)]);
+    }
+}

@@ -1,0 +1,240 @@
+//! Per-peer replica storage.
+//!
+//! Every peer stores the `(k, {data, stamp})` pairs it is responsible for,
+//! one entry per `(hash function, key)` pair (a peer can be responsible for
+//! the same key under several replication hash functions). The *stamp* is an
+//! opaque `u64` interpreted by the layer above: UMS stores KTS timestamps in
+//! it, the BRK baseline stores version numbers.
+
+use std::collections::HashMap;
+
+use rdht_hashing::{HashId, Key};
+
+/// How a write should treat an existing entry for the same `(hash, key)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// Keep whichever record has the greater stamp (UMS semantics: a peer
+    /// receiving `(k, {data, ts})` only overwrites if `ts > ts0`,
+    /// Section 3.2).
+    KeepNewest,
+    /// Unconditionally overwrite (used by maintenance/transfer paths and by
+    /// stores that have no ordering, such as a naive DHT without currency).
+    Overwrite,
+}
+
+/// One stored replica: the payload plus its stamp and the position of the
+/// key under the hash function it was stored with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Record {
+    /// Application payload.
+    pub payload: Vec<u8>,
+    /// Ordering stamp (KTS timestamp for UMS, version counter for BRK).
+    pub stamp: u64,
+    /// Position of the key in the identifier space under the hash function
+    /// the record was stored with; used to decide which records move when
+    /// responsibility for a ring interval changes hands.
+    pub position: u64,
+}
+
+/// The replica store of a single peer.
+#[derive(Clone, Debug, Default)]
+pub struct PeerStore {
+    entries: HashMap<(HashId, Key), Record>,
+}
+
+impl PeerStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        PeerStore {
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts or merges a record according to `policy`. Returns `true` if
+    /// the store was modified.
+    pub fn put(&mut self, hash: HashId, key: Key, record: Record, policy: WritePolicy) -> bool {
+        use std::collections::hash_map::Entry;
+        match self.entries.entry((hash, key)) {
+            Entry::Vacant(v) => {
+                v.insert(record);
+                true
+            }
+            Entry::Occupied(mut o) => match policy {
+                WritePolicy::Overwrite => {
+                    o.insert(record);
+                    true
+                }
+                WritePolicy::KeepNewest => {
+                    if record.stamp > o.get().stamp {
+                        o.insert(record);
+                        true
+                    } else {
+                        false
+                    }
+                }
+            },
+        }
+    }
+
+    /// Reads the record stored for `(hash, key)`, if any.
+    pub fn get(&self, hash: HashId, key: &Key) -> Option<&Record> {
+        self.entries.get(&(hash, key.clone()))
+    }
+
+    /// Removes the record stored for `(hash, key)`, returning it.
+    pub fn remove(&mut self, hash: HashId, key: &Key) -> Option<Record> {
+        self.entries.remove(&(hash, key.clone()))
+    }
+
+    /// Iterates over all records.
+    pub fn iter(&self) -> impl Iterator<Item = (&(HashId, Key), &Record)> {
+        self.entries.iter()
+    }
+
+    /// Drains every record whose position falls inside the half-open ring
+    /// interval `(range_start, range_end]`. Used when responsibility for that
+    /// interval moves to another peer (join / graceful leave).
+    pub fn drain_range(&mut self, range_start: u64, range_end: u64) -> Vec<(HashId, Key, Record)> {
+        let moving: Vec<(HashId, Key)> = self
+            .entries
+            .iter()
+            .filter(|(_, rec)| {
+                crate::id::in_open_closed_interval(range_start, range_end, rec.position)
+            })
+            .map(|((h, k), _)| (*h, k.clone()))
+            .collect();
+        moving
+            .into_iter()
+            .map(|(h, k)| {
+                let rec = self.entries.remove(&(h, k.clone())).expect("key just seen");
+                (h, k, rec)
+            })
+            .collect()
+    }
+
+    /// Removes every record (used when a peer fails and its memory is lost).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The greatest stamp stored for `key` under any hash function, if any.
+    /// This is what the *indirect* counter-initialization algorithm inspects
+    /// locally on each replica holder.
+    pub fn max_stamp_for_key(&self, key: &Key) -> Option<u64> {
+        self.entries
+            .iter()
+            .filter(|((_, k), _)| k == key)
+            .map(|(_, rec)| rec.stamp)
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(stamp: u64, position: u64) -> Record {
+        Record {
+            payload: vec![stamp as u8],
+            stamp,
+            position,
+        }
+    }
+
+    #[test]
+    fn keep_newest_rejects_stale_writes() {
+        let mut store = PeerStore::new();
+        let k = Key::new("doc");
+        assert!(store.put(HashId(0), k.clone(), rec(5, 10), WritePolicy::KeepNewest));
+        assert!(!store.put(HashId(0), k.clone(), rec(3, 10), WritePolicy::KeepNewest));
+        assert_eq!(store.get(HashId(0), &k).unwrap().stamp, 5);
+        assert!(store.put(HashId(0), k.clone(), rec(9, 10), WritePolicy::KeepNewest));
+        assert_eq!(store.get(HashId(0), &k).unwrap().stamp, 9);
+    }
+
+    #[test]
+    fn keep_newest_rejects_equal_stamp() {
+        // Equal timestamps must not overwrite: the stored replica already
+        // reflects that update and the payloads are identical by construction.
+        let mut store = PeerStore::new();
+        let k = Key::new("doc");
+        store.put(HashId(0), k.clone(), rec(5, 10), WritePolicy::KeepNewest);
+        assert!(!store.put(HashId(0), k.clone(), rec(5, 10), WritePolicy::KeepNewest));
+    }
+
+    #[test]
+    fn overwrite_policy_always_wins() {
+        let mut store = PeerStore::new();
+        let k = Key::new("doc");
+        store.put(HashId(0), k.clone(), rec(5, 10), WritePolicy::KeepNewest);
+        assert!(store.put(HashId(0), k.clone(), rec(1, 10), WritePolicy::Overwrite));
+        assert_eq!(store.get(HashId(0), &k).unwrap().stamp, 1);
+    }
+
+    #[test]
+    fn same_key_different_hash_functions_are_independent() {
+        let mut store = PeerStore::new();
+        let k = Key::new("doc");
+        store.put(HashId(0), k.clone(), rec(5, 10), WritePolicy::KeepNewest);
+        store.put(HashId(1), k.clone(), rec(7, 20), WritePolicy::KeepNewest);
+        assert_eq!(store.get(HashId(0), &k).unwrap().stamp, 5);
+        assert_eq!(store.get(HashId(1), &k).unwrap().stamp, 7);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn drain_range_moves_only_covered_positions() {
+        let mut store = PeerStore::new();
+        store.put(HashId(0), Key::new("a"), rec(1, 100), WritePolicy::Overwrite);
+        store.put(HashId(0), Key::new("b"), rec(2, 200), WritePolicy::Overwrite);
+        store.put(HashId(0), Key::new("c"), rec(3, 300), WritePolicy::Overwrite);
+        let moved = store.drain_range(150, 250);
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved[0].1, Key::new("b"));
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn drain_range_handles_wraparound() {
+        let mut store = PeerStore::new();
+        store.put(HashId(0), Key::new("hi"), rec(1, u64::MAX - 2), WritePolicy::Overwrite);
+        store.put(HashId(0), Key::new("lo"), rec(2, 3), WritePolicy::Overwrite);
+        store.put(HashId(0), Key::new("mid"), rec(3, 1 << 40), WritePolicy::Overwrite);
+        let moved = store.drain_range(u64::MAX - 10, 10);
+        let keys: Vec<_> = moved.iter().map(|(_, k, _)| k.clone()).collect();
+        assert!(keys.contains(&Key::new("hi")));
+        assert!(keys.contains(&Key::new("lo")));
+        assert_eq!(moved.len(), 2);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn max_stamp_for_key_spans_hash_functions() {
+        let mut store = PeerStore::new();
+        let k = Key::new("doc");
+        store.put(HashId(0), k.clone(), rec(5, 10), WritePolicy::Overwrite);
+        store.put(HashId(3), k.clone(), rec(12, 99), WritePolicy::Overwrite);
+        store.put(HashId(1), Key::new("other"), rec(100, 7), WritePolicy::Overwrite);
+        assert_eq!(store.max_stamp_for_key(&k), Some(12));
+        assert_eq!(store.max_stamp_for_key(&Key::new("missing")), None);
+    }
+
+    #[test]
+    fn clear_empties_the_store() {
+        let mut store = PeerStore::new();
+        store.put(HashId(0), Key::new("x"), rec(1, 1), WritePolicy::Overwrite);
+        assert!(!store.is_empty());
+        store.clear();
+        assert!(store.is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! The [`Overlay`] abstraction shared by Chord and CAN.
+
+use crate::cost::{LookupError, LookupOutcome, MembershipOutcome, StabilizeOutcome};
+use crate::id::NodeId;
+
+/// Which overlay protocol an implementation speaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverlayKind {
+    /// The Chord ring (Stoica et al., SIGCOMM 2001).
+    Chord,
+    /// The Content-Addressable Network (Ratnasamy et al., SIGCOMM 2001).
+    Can,
+}
+
+impl std::fmt::Display for OverlayKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OverlayKind::Chord => write!(f, "Chord"),
+            OverlayKind::Can => write!(f, "CAN"),
+        }
+    }
+}
+
+/// A structured overlay: responsibility resolution, cost-accounted routing and
+/// churn handling.
+///
+/// The trait models the paper's *DHT mapping function* `m(k, h, t)`
+/// (Definition 1): at any time, `responsible_for(h(k))` is the peer
+/// responsible for key `k` wrt hash function `h`. `lookup` is the DHT's
+/// lookup service, which locates that peer in `O(log n)` hops from any origin
+/// while charging for the stale routing state produced by churn.
+pub trait Overlay {
+    /// The protocol implemented by this overlay.
+    fn kind(&self) -> OverlayKind;
+
+    /// Number of live peers.
+    fn len(&self) -> usize;
+
+    /// True when the overlay has no live peers.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `node` is currently a live member.
+    fn is_alive(&self, node: NodeId) -> bool;
+
+    /// All live members (unspecified order).
+    fn alive_ids(&self) -> Vec<NodeId>;
+
+    /// Ground-truth responsible peer for an identifier-space position — the
+    /// value of the mapping function `m(k, h, now)`. Returns `None` for an
+    /// empty overlay.
+    fn responsible_for(&self, position: u64) -> Option<NodeId>;
+
+    /// Routes a lookup for `position` starting at `origin`, returning the
+    /// responsible peer and the cost incurred (hops, timeouts).
+    fn lookup(&mut self, origin: NodeId, position: u64) -> Result<LookupOutcome, LookupError>;
+
+    /// Adds a peer. The returned [`MembershipOutcome`] lists the
+    /// responsibility ranges the new peer takes over (from peers that are
+    /// still alive, so state hand-off is possible).
+    fn join(&mut self, id: NodeId) -> MembershipOutcome;
+
+    /// Gracefully removes a peer; it announces its departure and hands its
+    /// responsibility ranges over.
+    fn leave(&mut self, id: NodeId) -> MembershipOutcome;
+
+    /// Fail-stop removal of a peer: no hand-off, and other peers keep stale
+    /// references to it until maintenance notices.
+    fn fail(&mut self, id: NodeId) -> MembershipOutcome;
+
+    /// Runs one maintenance round (successor/neighbor repair, finger refresh).
+    fn stabilize(&mut self) -> StabilizeOutcome;
+
+    /// The peers `id` currently knows as neighbors (successor list +
+    /// predecessor for Chord, zone neighbors for CAN). Empty if `id` is dead.
+    fn neighbors(&self, id: NodeId) -> Vec<NodeId>;
+}

@@ -1,0 +1,200 @@
+//! Query samples and aggregate statistics produced by a simulation run.
+
+use crate::algo::Algorithm;
+
+/// One measured retrieve operation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuerySample {
+    /// Simulated time at which the query was issued.
+    pub time: f64,
+    /// Algorithm the query was executed with.
+    pub algorithm: Algorithm,
+    /// Index of the queried data item in the workload key set.
+    pub key_index: usize,
+    /// Simulated response time, in seconds (what Figures 6, 7, 9, 11 and 12
+    /// plot).
+    pub response_time: f64,
+    /// Total messages used to answer the query (what Figures 8 and 10 plot).
+    pub messages: u64,
+    /// Replica probes issued (`get_h` calls) — the random variable `X` of the
+    /// Theorem 1 analysis.
+    pub replicas_probed: usize,
+    /// Whether the algorithm certified the returned replica as current (UMS's
+    /// timestamp match). BRK can never certify currency, so this is always
+    /// false for it.
+    pub certified_current: bool,
+    /// Whether the returned payload actually equals the latest committed
+    /// update for the key — the ground-truth currency check the simulator can
+    /// do because it knows the full update history.
+    pub returned_latest: bool,
+    /// The measured probability of currency and availability `p_t` for this
+    /// key at query time (fraction of replica slots whose ground-truth
+    /// responsible holds the latest payload).
+    pub currency_availability: f64,
+}
+
+/// Aggregate statistics for one algorithm over a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SummaryStatistics {
+    /// Number of samples aggregated.
+    pub count: usize,
+    /// Mean response time (seconds).
+    pub mean_response_time: f64,
+    /// Maximum response time (seconds).
+    pub max_response_time: f64,
+    /// Mean number of messages per query.
+    pub mean_messages: f64,
+    /// Mean number of replica probes per query.
+    pub mean_replicas_probed: f64,
+    /// Fraction of queries whose returned payload was the latest committed
+    /// update.
+    pub returned_latest_fraction: f64,
+    /// Fraction of queries the algorithm certified as current.
+    pub certified_current_fraction: f64,
+    /// Mean measured probability of currency and availability at query time.
+    pub mean_currency_availability: f64,
+}
+
+/// Operational counters of a run (how much churn and update activity the
+/// workload generated).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Graceful leaves processed.
+    pub leaves: u64,
+    /// Failures processed.
+    pub failures: u64,
+    /// Joins processed (equals leaves + failures in the constant-population
+    /// model, plus the initial bootstrap is not counted).
+    pub joins: u64,
+    /// Update events applied.
+    pub updates: u64,
+    /// Stabilization rounds executed.
+    pub stabilize_rounds: u64,
+    /// Periodic-inspection rounds executed.
+    pub inspection_rounds: u64,
+    /// Counters corrected by periodic inspection (across both UMS universes).
+    pub inspection_corrections: u64,
+    /// Query events executed (each runs every algorithm once).
+    pub queries: u64,
+}
+
+/// The full outcome of a simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimulationReport {
+    /// Every measured query.
+    pub samples: Vec<QuerySample>,
+    /// Workload counters.
+    pub stats: RunStats,
+    /// Number of peers in the overlay (constant over the run).
+    pub num_peers: usize,
+    /// Number of replication hash functions used.
+    pub num_replicas: usize,
+    /// Simulated duration in seconds.
+    pub duration: f64,
+}
+
+impl SimulationReport {
+    /// Samples for one algorithm.
+    pub fn samples_for(&self, algorithm: Algorithm) -> impl Iterator<Item = &QuerySample> {
+        self.samples.iter().filter(move |s| s.algorithm == algorithm)
+    }
+
+    /// Aggregates the samples of one algorithm.
+    pub fn summary(&self, algorithm: Algorithm) -> SummaryStatistics {
+        let samples: Vec<&QuerySample> = self.samples_for(algorithm).collect();
+        if samples.is_empty() {
+            return SummaryStatistics::default();
+        }
+        let count = samples.len();
+        let n = count as f64;
+        SummaryStatistics {
+            count,
+            mean_response_time: samples.iter().map(|s| s.response_time).sum::<f64>() / n,
+            max_response_time: samples
+                .iter()
+                .map(|s| s.response_time)
+                .fold(f64::MIN, f64::max),
+            mean_messages: samples.iter().map(|s| s.messages as f64).sum::<f64>() / n,
+            mean_replicas_probed: samples
+                .iter()
+                .map(|s| s.replicas_probed as f64)
+                .sum::<f64>()
+                / n,
+            returned_latest_fraction: samples.iter().filter(|s| s.returned_latest).count() as f64
+                / n,
+            certified_current_fraction: samples.iter().filter(|s| s.certified_current).count()
+                as f64
+                / n,
+            mean_currency_availability: samples
+                .iter()
+                .map(|s| s.currency_availability)
+                .sum::<f64>()
+                / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(algorithm: Algorithm, response_time: f64, messages: u64, latest: bool) -> QuerySample {
+        QuerySample {
+            time: 1.0,
+            algorithm,
+            key_index: 0,
+            response_time,
+            messages,
+            replicas_probed: 2,
+            certified_current: latest,
+            returned_latest: latest,
+            currency_availability: 0.8,
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_per_algorithm() {
+        let report = SimulationReport {
+            samples: vec![
+                sample(Algorithm::UmsDirect, 2.0, 10, true),
+                sample(Algorithm::UmsDirect, 4.0, 20, true),
+                sample(Algorithm::Brk, 10.0, 100, false),
+            ],
+            stats: RunStats::default(),
+            num_peers: 100,
+            num_replicas: 10,
+            duration: 60.0,
+        };
+        let ums = report.summary(Algorithm::UmsDirect);
+        assert_eq!(ums.count, 2);
+        assert!((ums.mean_response_time - 3.0).abs() < 1e-12);
+        assert!((ums.max_response_time - 4.0).abs() < 1e-12);
+        assert!((ums.mean_messages - 15.0).abs() < 1e-12);
+        assert!((ums.returned_latest_fraction - 1.0).abs() < 1e-12);
+        let brk = report.summary(Algorithm::Brk);
+        assert_eq!(brk.count, 1);
+        assert!((brk.mean_response_time - 10.0).abs() < 1e-12);
+        assert_eq!(brk.returned_latest_fraction, 0.0);
+    }
+
+    #[test]
+    fn summary_of_missing_algorithm_is_default() {
+        let report = SimulationReport::default();
+        let s = report.summary(Algorithm::UmsIndirect);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_response_time, 0.0);
+    }
+
+    #[test]
+    fn samples_for_filters_by_algorithm() {
+        let report = SimulationReport {
+            samples: vec![
+                sample(Algorithm::UmsDirect, 1.0, 1, true),
+                sample(Algorithm::Brk, 2.0, 2, true),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(report.samples_for(Algorithm::Brk).count(), 1);
+        assert_eq!(report.samples_for(Algorithm::UmsIndirect).count(), 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! The network cost model: how simulated time and messages are charged.
+
+use rand::Rng;
+
+use crate::rng::Normal;
+
+/// Prices messages exchanged between peers.
+///
+/// Every routing hop, request and response is one message. Its delay is
+/// `latency + bits / bandwidth`; latency and bandwidth are drawn per message
+/// from the normal distributions of Table 1 (or of the cluster profile for
+/// the Figure 6 experiment). Probing a peer that has failed costs a timeout
+/// instead — the prober waits `timeout` seconds before giving up on it.
+#[derive(Clone, Debug)]
+pub struct NetworkModel {
+    /// Per-message one-way latency distribution, in seconds.
+    pub latency: Normal,
+    /// Bandwidth distribution, in kilobits per second.
+    pub bandwidth_kbps: Normal,
+    /// Size of a control message (lookup step, timestamp request, ack), in
+    /// bytes.
+    pub control_bytes: u64,
+    /// Size of a message carrying a data replica, in bytes.
+    pub data_bytes: u64,
+    /// How long a peer waits before concluding that a probed peer is dead,
+    /// in seconds.
+    pub timeout: f64,
+}
+
+impl NetworkModel {
+    /// The wide-area model of Table 1: latency ~ N(200 ms, 100 ms), bandwidth
+    /// ~ N(56 kbps, 32 kbps), 1 KiB data payloads.
+    pub fn internet() -> Self {
+        NetworkModel {
+            latency: Normal::new(0.200, 0.100, 0.010),
+            bandwidth_kbps: Normal::new(56.0, 32.0, 8.0),
+            control_bytes: 128,
+            data_bytes: 1024,
+            timeout: 1.0,
+        }
+    }
+
+    /// The 64-node cluster of Section 5.2: 1 Gbps links, sub-millisecond
+    /// latency, but a per-message processing overhead comparable to the
+    /// authors' implementation (their measured per-hop cost on the cluster is
+    /// tens of milliseconds).
+    pub fn cluster() -> Self {
+        NetworkModel {
+            latency: Normal::new(0.030, 0.010, 0.001),
+            bandwidth_kbps: Normal::new(1_000_000.0, 0.0, 1_000_000.0),
+            control_bytes: 128,
+            data_bytes: 1024,
+            timeout: 0.5,
+        }
+    }
+
+    /// Delay of one control message (seconds).
+    pub fn control_delay(&self, rng: &mut impl Rng) -> f64 {
+        self.message_delay(self.control_bytes, rng)
+    }
+
+    /// Delay of one message carrying a data replica (seconds).
+    pub fn data_delay(&self, rng: &mut impl Rng) -> f64 {
+        self.message_delay(self.data_bytes, rng)
+    }
+
+    /// Delay of a message of `bytes` bytes (seconds).
+    pub fn message_delay(&self, bytes: u64, rng: &mut impl Rng) -> f64 {
+        let latency = self.latency.sample(rng);
+        let bandwidth_bps = self.bandwidth_kbps.sample(rng) * 1000.0;
+        latency + (bytes as f64 * 8.0) / bandwidth_bps
+    }
+
+    /// The penalty paid when a probed peer turns out to be dead.
+    pub fn timeout_penalty(&self) -> f64 {
+        self.timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn internet_delays_are_in_a_plausible_range() {
+        let model = NetworkModel::internet();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut total = 0.0;
+        for _ in 0..2000 {
+            let d = model.data_delay(&mut rng);
+            assert!(d > 0.0 && d < 5.0, "delay {d}");
+            total += d;
+        }
+        let mean = total / 2000.0;
+        // ~200 ms latency + 8192 bits / 56 kbps ≈ 0.2 + 0.15 ≈ 0.35 s.
+        assert!(mean > 0.25 && mean < 0.6, "mean data delay {mean}");
+    }
+
+    #[test]
+    fn control_messages_are_cheaper_than_data_messages() {
+        let model = NetworkModel::internet();
+        let mut rng = StdRng::seed_from_u64(2);
+        let control: f64 = (0..2000).map(|_| model.control_delay(&mut rng)).sum();
+        let data: f64 = (0..2000).map(|_| model.data_delay(&mut rng)).sum();
+        assert!(control < data);
+    }
+
+    #[test]
+    fn cluster_is_much_faster_than_internet() {
+        let cluster = NetworkModel::cluster();
+        let internet = NetworkModel::internet();
+        let mut rng = StdRng::seed_from_u64(3);
+        let c: f64 = (0..500).map(|_| cluster.data_delay(&mut rng)).sum();
+        let i: f64 = (0..500).map(|_| internet.data_delay(&mut rng)).sum();
+        assert!(c * 3.0 < i, "cluster {c} vs internet {i}");
+    }
+
+    #[test]
+    fn timeout_penalty_exceeds_typical_latency() {
+        let model = NetworkModel::internet();
+        assert!(model.timeout_penalty() > model.latency.mean);
+    }
+}

@@ -1,0 +1,125 @@
+//! Random distributions used by the simulator.
+//!
+//! The paper's Table 1 draws latencies and bandwidths from normal
+//! distributions and times churn and updates with Poisson processes. Rather
+//! than pulling in an extra dependency for three small distributions, they
+//! are implemented here on top of the `rand` crate:
+//!
+//! * [`Normal`] — Box–Muller transform, with a floor so physical quantities
+//!   (latency, bandwidth) never go non-positive;
+//! * [`Exponential`] — inverse-CDF sampling of inter-arrival times, which is
+//!   exactly how a Poisson process is generated event by event.
+
+use rand::Rng;
+
+/// A normal distribution `N(mean, std_dev²)` clamped below at `min`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Normal {
+    /// Mean of the distribution.
+    pub mean: f64,
+    /// Standard deviation.
+    pub std_dev: f64,
+    /// Samples are clamped to be at least this value (physical quantities
+    /// such as latency cannot be negative).
+    pub min: f64,
+}
+
+impl Normal {
+    /// Creates a clamped normal distribution.
+    pub fn new(mean: f64, std_dev: f64, min: f64) -> Self {
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        Normal { mean, std_dev, min }
+    }
+
+    /// Draws one sample using the Box–Muller transform.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        if self.std_dev == 0.0 {
+            return self.mean.max(self.min);
+        }
+        // Box–Muller: u1 must be strictly positive.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mean + self.std_dev * z).max(self.min)
+    }
+}
+
+/// An exponential distribution with the given rate (events per unit time).
+/// Sampling it repeatedly yields the inter-arrival times of a Poisson
+/// process with that rate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exponential {
+    /// Rate parameter λ (expected number of events per unit time).
+    pub rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `rate` (> 0).
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        Exponential { rate }
+    }
+
+    /// Draws one inter-arrival time.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -u.ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_mean_and_spread_are_respected() {
+        let dist = Normal::new(200.0, 30.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..20_000).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 200.0).abs() < 2.0, "mean {mean}");
+        assert!((var.sqrt() - 30.0).abs() < 2.0, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_respects_floor() {
+        let dist = Normal::new(1.0, 50.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..5_000 {
+            assert!(dist.sample(&mut rng) >= 0.5);
+        }
+    }
+
+    #[test]
+    fn normal_with_zero_std_is_constant() {
+        let dist = Normal::new(7.0, 0.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(dist.sample(&mut rng), 7.0);
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let dist = Exponential::new(0.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples: Vec<f64> = (0..50_000).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!(samples.iter().all(|s| *s > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        let _ = Exponential::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "standard deviation must be non-negative")]
+    fn normal_rejects_negative_std() {
+        let _ = Normal::new(0.0, -1.0, 0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! The discrete-event scheduler: a virtual clock and a time-ordered event
+//! queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The kinds of events driving a simulation run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A peer departs (graceful leave or failure, decided when the event
+    /// fires) and a fresh peer joins to keep the population constant.
+    PeerDeparture,
+    /// The data item with this index is updated by a random peer.
+    UpdateData {
+        /// Index of the data item in the workload key set.
+        key_index: usize,
+    },
+    /// A periodic overlay stabilization round.
+    Stabilize,
+    /// A periodic-inspection round (Section 4.2.2): timestamping responsibles
+    /// compare their counters with the timestamps stored in the DHT.
+    PeriodicInspection,
+    /// A retrieve query is issued from a random peer for a random key, for
+    /// every algorithm under test.
+    Query,
+}
+
+/// One scheduled event.
+#[derive(Clone, Debug)]
+struct Scheduled {
+    time: f64,
+    sequence: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.sequence == other.sequence
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        // Ties are broken by insertion order to keep runs deterministic.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue with a virtual clock.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    now: f64,
+    next_sequence: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `time`. Events scheduled in the
+    /// past are clamped to the current time (they fire immediately, after
+    /// already-pending events at that time).
+    pub fn schedule_at(&mut self, time: f64, event: Event) {
+        let time = time.max(self.now);
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        self.heap.push(Scheduled {
+            time,
+            sequence,
+            event,
+        });
+    }
+
+    /// Schedules `event` `delay` seconds from now.
+    pub fn schedule_in(&mut self, delay: f64, event: Event) {
+        self.schedule_at(self.now + delay.max(0.0), event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(f64, Event)> {
+        self.heap.pop().map(|scheduled| {
+            self.now = scheduled.time;
+            (scheduled.time, scheduled.event)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut queue = EventQueue::new();
+        queue.schedule_at(5.0, Event::Stabilize);
+        queue.schedule_at(1.0, Event::PeerDeparture);
+        queue.schedule_at(3.0, Event::Query);
+        let times: Vec<f64> = std::iter::from_fn(|| queue.pop().map(|(t, _)| t)).collect();
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut queue = EventQueue::new();
+        queue.schedule_at(2.0, Event::Stabilize);
+        assert_eq!(queue.now(), 0.0);
+        queue.pop();
+        assert_eq!(queue.now(), 2.0);
+    }
+
+    #[test]
+    fn ties_resolve_in_insertion_order() {
+        let mut queue = EventQueue::new();
+        queue.schedule_at(1.0, Event::UpdateData { key_index: 1 });
+        queue.schedule_at(1.0, Event::UpdateData { key_index: 2 });
+        queue.schedule_at(1.0, Event::UpdateData { key_index: 3 });
+        let order: Vec<Event> = std::iter::from_fn(|| queue.pop().map(|(_, e)| e)).collect();
+        assert_eq!(
+            order,
+            vec![
+                Event::UpdateData { key_index: 1 },
+                Event::UpdateData { key_index: 2 },
+                Event::UpdateData { key_index: 3 },
+            ]
+        );
+    }
+
+    #[test]
+    fn past_events_are_clamped_to_now() {
+        let mut queue = EventQueue::new();
+        queue.schedule_at(10.0, Event::Stabilize);
+        queue.pop();
+        queue.schedule_at(3.0, Event::Query);
+        let (time, event) = queue.pop().unwrap();
+        assert_eq!(time, 10.0);
+        assert_eq!(event, Event::Query);
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut queue = EventQueue::new();
+        queue.schedule_at(4.0, Event::Stabilize);
+        queue.pop();
+        queue.schedule_in(2.5, Event::Query);
+        assert_eq!(queue.pop().unwrap().0, 6.5);
+    }
+
+    #[test]
+    fn len_and_is_empty_track_contents() {
+        let mut queue = EventQueue::new();
+        assert!(queue.is_empty());
+        queue.schedule_in(1.0, Event::Query);
+        assert_eq!(queue.len(), 1);
+        queue.pop();
+        assert!(queue.is_empty());
+    }
+}

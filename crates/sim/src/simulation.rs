@@ -1,0 +1,404 @@
+//! The simulation engine: state, workload processes and the run loop.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rdht_hashing::{HashFamily, Key};
+use rdht_overlay::chord::{ChordConfig, ChordNetwork};
+use rdht_overlay::{NodeId, Overlay};
+
+use rdht_core::{ums, LastTsInitPolicy};
+
+use crate::access::SimAccess;
+use crate::algo::Algorithm;
+use crate::config::SimConfig;
+use crate::metrics::{QuerySample, RunStats, SimulationReport};
+use crate::network::NetworkModel;
+use crate::peer::PeerState;
+use crate::rng::Exponential;
+use crate::scheduler::{Event, EventQueue};
+
+/// A full simulation run: the overlay, the per-peer state of the three
+/// algorithm universes, the workload processes and the metric collection.
+///
+/// Construction bootstraps a converged Chord ring of `num_peers` peers and
+/// performs one initial insert of every data item; [`Simulation::run`] then
+/// processes churn, update, stabilization and query events until the
+/// configured duration and returns a [`SimulationReport`].
+pub struct Simulation {
+    pub(crate) config: SimConfig,
+    pub(crate) family: HashFamily,
+    pub(crate) network: NetworkModel,
+    pub(crate) overlay: ChordNetwork,
+    pub(crate) peers: HashMap<NodeId, PeerState>,
+    pub(crate) keys: Vec<Key>,
+    /// Sequence number of the latest update applied to each key.
+    pub(crate) update_sequence: Vec<u64>,
+    /// Payload of the latest committed update for each key (ground truth for
+    /// the currency checks).
+    pub(crate) latest_payload: Vec<Vec<u8>>,
+    pub(crate) rng: StdRng,
+    pub(crate) queue: EventQueue,
+    pub(crate) stats: RunStats,
+    pub(crate) last_ts_policy: LastTsInitPolicy,
+    samples: Vec<QuerySample>,
+}
+
+impl Simulation {
+    /// Builds a simulation from a configuration. Panics if the configuration
+    /// is invalid (see [`SimConfig::validate`]).
+    pub fn new(config: SimConfig) -> Self {
+        if let Err(problem) = config.validate() {
+            panic!("invalid simulation configuration: {problem}");
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let family = HashFamily::new(config.num_replicas, config.seed ^ 0x00ff_00ff_00ff_00ff);
+        let network = config.network.model();
+
+        // Bootstrap a converged ring with `num_peers` random identifiers.
+        let mut ids = std::collections::BTreeSet::new();
+        while ids.len() < config.num_peers {
+            ids.insert(NodeId(rng.gen()));
+        }
+        let chord_config = ChordConfig {
+            successor_list_len: config.successor_list_len,
+            finger_bits: 64,
+            fingers_fixed_per_round: config.fingers_fixed_per_round,
+            max_routing_steps: 512,
+        };
+        let overlay = ChordNetwork::bootstrap(ids.iter().copied(), chord_config);
+        let peers = ids.iter().map(|id| (*id, PeerState::new())).collect();
+
+        let keys: Vec<Key> = (0..config.num_keys)
+            .map(|i| Key::new(format!("data-{i}")))
+            .collect();
+        let update_sequence = vec![0; config.num_keys];
+        let latest_payload = vec![Vec::new(); config.num_keys];
+
+        Simulation {
+            family,
+            network,
+            overlay,
+            peers,
+            keys,
+            update_sequence,
+            latest_payload,
+            rng,
+            queue: EventQueue::new(),
+            stats: RunStats::default(),
+            last_ts_policy: LastTsInitPolicy::ObservedMax,
+            samples: Vec::new(),
+            config,
+        }
+    }
+
+    /// The configuration this simulation was built from.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The shared hash family.
+    pub fn family(&self) -> &HashFamily {
+        &self.family
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
+        self.queue.now()
+    }
+
+    /// Number of live peers (constant over a run by construction).
+    pub fn live_peers(&self) -> usize {
+        self.overlay.len()
+    }
+
+    /// The workload keys.
+    pub fn keys(&self) -> &[Key] {
+        &self.keys
+    }
+
+    /// Picks a uniformly random live peer.
+    pub(crate) fn random_alive_peer(&mut self) -> Option<NodeId> {
+        let members = self.overlay.alive_ids();
+        if members.is_empty() {
+            return None;
+        }
+        let index = self.rng.gen_range(0..members.len());
+        Some(members[index])
+    }
+
+    /// Runs the simulation to completion and returns the collected report.
+    pub fn run(&mut self) -> SimulationReport {
+        self.initial_load();
+        self.schedule_initial_events();
+
+        while let Some((time, event)) = self.queue.pop() {
+            if time > self.config.duration {
+                break;
+            }
+            match event {
+                Event::PeerDeparture => self.handle_departure(),
+                Event::UpdateData { key_index } => self.handle_update(key_index),
+                Event::Stabilize => self.handle_stabilize(),
+                Event::PeriodicInspection => self.handle_inspection(),
+                Event::Query => self.handle_query(),
+            }
+        }
+
+        SimulationReport {
+            samples: std::mem::take(&mut self.samples),
+            stats: self.stats,
+            num_peers: self.config.num_peers,
+            num_replicas: self.config.num_replicas,
+            duration: self.config.duration,
+        }
+    }
+
+    /// Inserts every data item once so that queries issued early in the run
+    /// have something to retrieve (the paper's workload starts from a
+    /// populated DHT).
+    fn initial_load(&mut self) {
+        for key_index in 0..self.keys.len() {
+            self.apply_update(key_index);
+        }
+        // The initial population is not part of the measured workload.
+        self.stats.updates = 0;
+    }
+
+    fn schedule_initial_events(&mut self) {
+        let duration = self.config.duration;
+        // Churn process.
+        if self.config.churn_rate_per_second > 0.0 && self.config.num_peers > 2 {
+            let inter = Exponential::new(self.config.churn_rate_per_second).sample(&mut self.rng);
+            self.queue.schedule_at(inter, Event::PeerDeparture);
+        }
+        // Update process per data item.
+        if self.config.update_rate_per_hour > 0.0 {
+            let rate_per_second = self.config.update_rate_per_hour / 3600.0;
+            for key_index in 0..self.keys.len() {
+                let inter = Exponential::new(rate_per_second).sample(&mut self.rng);
+                self.queue.schedule_at(inter, Event::UpdateData { key_index });
+            }
+        }
+        // Stabilization rounds.
+        if self.config.stabilize_interval > 0.0 {
+            self.queue
+                .schedule_at(self.config.stabilize_interval, Event::Stabilize);
+        }
+        // Periodic-inspection rounds (Section 4.2.2).
+        if self.config.inspection_interval > 0.0 {
+            self.queue
+                .schedule_at(self.config.inspection_interval, Event::PeriodicInspection);
+        }
+        // Queries at uniformly random times.
+        for _ in 0..self.config.queries {
+            let t = self.rng.gen_range(0.0..duration);
+            self.queue.schedule_at(t, Event::Query);
+        }
+    }
+
+    fn handle_stabilize(&mut self) {
+        self.overlay.stabilize();
+        self.stats.stabilize_rounds += 1;
+        self.queue
+            .schedule_in(self.config.stabilize_interval, Event::Stabilize);
+    }
+
+    /// Periodic inspection (Section 4.2.2): the current responsible of
+    /// timestamping for each key compares its counter with the largest
+    /// timestamp stored among the key's replicas and raises it if it is
+    /// behind. This is the background safety net for the rare cases where the
+    /// indirect initialization missed the latest timestamp after a failure.
+    fn handle_inspection(&mut self) {
+        self.stats.inspection_rounds += 1;
+        for key_index in 0..self.keys.len() {
+            let key = self.keys[key_index].clone();
+            let ts_position = self.family.eval_timestamp(&key);
+            let Some(responsible) = self.overlay.responsible_for(ts_position) else {
+                continue;
+            };
+            for algorithm in [Algorithm::UmsDirect, Algorithm::UmsIndirect] {
+                // Largest timestamp stored at the ground-truth replica holders
+                // in this universe.
+                let mut observed: Option<u64> = None;
+                for hash in self.family.replication_ids() {
+                    let position = self.family.eval(hash, &key);
+                    let Some(holder) = self.overlay.responsible_for(position) else {
+                        continue;
+                    };
+                    if let Some(record) = self
+                        .peers
+                        .get(&holder)
+                        .and_then(|peer| peer.store(algorithm).get(hash, &key))
+                    {
+                        observed = Some(observed.map_or(record.stamp, |m| m.max(record.stamp)));
+                    }
+                }
+                let Some(observed) = observed else { continue };
+                if let Some(kts) = self
+                    .peers
+                    .get_mut(&responsible)
+                    .and_then(|peer| peer.kts_mut(algorithm))
+                {
+                    if kts
+                        .inspect_key(&key, rdht_core::Timestamp(observed))
+                        .is_some()
+                    {
+                        self.stats.inspection_corrections += 1;
+                    }
+                }
+            }
+        }
+        self.queue
+            .schedule_in(self.config.inspection_interval, Event::PeriodicInspection);
+    }
+
+    /// Applies one update to `key_index` in all three universes, with a
+    /// shared per-replica write-failure plan so that the universes stay
+    /// comparable, and records the committed payload.
+    pub(crate) fn apply_update(&mut self, key_index: usize) {
+        let Some(origin) = self.random_alive_peer() else {
+            return;
+        };
+        self.update_sequence[key_index] += 1;
+        let sequence = self.update_sequence[key_index];
+        let key = self.keys[key_index].clone();
+        let payload = format!("{}#{}", key.display_lossy(), sequence).into_bytes();
+
+        // Decide once which replica writes are lost (transiently unreachable
+        // holders), and apply the same plan to every universe.
+        let failure_probability = self.config.put_failure_probability;
+        let forced_failures: std::collections::HashSet<rdht_hashing::HashId> = self
+            .family
+            .replication_ids()
+            .filter(|_| self.rng.gen_bool(failure_probability))
+            .collect();
+
+        let mut committed = false;
+        for algorithm in [Algorithm::UmsDirect, Algorithm::UmsIndirect] {
+            let mut access = SimAccess::new(self, origin, algorithm)
+                .with_forced_put_failures(forced_failures.clone());
+            if let Ok(report) = ums::insert(&mut access, &key, payload.clone()) {
+                committed |= report.replicas_written > 0;
+            }
+        }
+        {
+            let mut access = SimAccess::new(self, origin, Algorithm::Brk)
+                .with_forced_put_failures(forced_failures.clone());
+            if let Ok(report) = rdht_baseline::insert(&mut access, &key, payload.clone()) {
+                committed |= report.replicas_written > 0;
+            }
+        }
+        if committed {
+            self.latest_payload[key_index] = payload;
+        }
+        self.stats.updates += 1;
+    }
+
+    fn handle_update(&mut self, key_index: usize) {
+        self.apply_update(key_index);
+        if self.config.update_rate_per_hour > 0.0 {
+            let rate_per_second = self.config.update_rate_per_hour / 3600.0;
+            let inter = Exponential::new(rate_per_second).sample(&mut self.rng);
+            self.queue.schedule_in(inter, Event::UpdateData { key_index });
+        }
+    }
+
+    fn handle_query(&mut self) {
+        let Some(origin) = self.random_alive_peer() else {
+            return;
+        };
+        let key_index = self.rng.gen_range(0..self.keys.len());
+        let key = self.keys[key_index].clone();
+        let time = self.now();
+        self.stats.queries += 1;
+
+        for algorithm in Algorithm::ALL {
+            let currency = self.measure_currency(key_index, algorithm);
+            let sample = match algorithm {
+                Algorithm::UmsDirect | Algorithm::UmsIndirect => {
+                    let mut access = SimAccess::new(self, origin, algorithm);
+                    match ums::retrieve(&mut access, &key) {
+                        Ok(report) => {
+                            let (elapsed, messages) = access.cost();
+                            let returned_latest = report.data.as_deref()
+                                == Some(self.latest_payload[key_index].as_slice());
+                            Some(QuerySample {
+                                time,
+                                algorithm,
+                                key_index,
+                                response_time: elapsed,
+                                messages,
+                                replicas_probed: report.replicas_probed,
+                                certified_current: report.is_current,
+                                returned_latest,
+                                currency_availability: currency,
+                            })
+                        }
+                        Err(_) => None,
+                    }
+                }
+                Algorithm::Brk => {
+                    let mut access = SimAccess::new(self, origin, algorithm);
+                    match rdht_baseline::retrieve(&mut access, &key) {
+                        Ok(report) => {
+                            let (elapsed, messages) = access.cost();
+                            let returned_latest = report.data.as_deref()
+                                == Some(self.latest_payload[key_index].as_slice());
+                            Some(QuerySample {
+                                time,
+                                algorithm,
+                                key_index,
+                                response_time: elapsed,
+                                messages,
+                                replicas_probed: report.replicas_probed,
+                                certified_current: false,
+                                returned_latest,
+                                currency_availability: currency,
+                            })
+                        }
+                        Err(_) => None,
+                    }
+                }
+            };
+            if let Some(sample) = sample {
+                self.samples.push(sample);
+            }
+        }
+    }
+
+    /// Measures the probability of currency and availability `p_t` for one
+    /// key in one universe: the fraction of replica slots whose ground-truth
+    /// responsible currently stores the latest committed payload.
+    pub fn measure_currency(&self, key_index: usize, algorithm: Algorithm) -> f64 {
+        let key = &self.keys[key_index];
+        let latest = &self.latest_payload[key_index];
+        if latest.is_empty() {
+            return 0.0;
+        }
+        let mut current = 0usize;
+        let mut total = 0usize;
+        for hash in self.family.replication_ids() {
+            total += 1;
+            let position = self.family.eval(hash, key);
+            let Some(responsible) = self.overlay.responsible_for(position) else {
+                continue;
+            };
+            let Some(peer) = self.peers.get(&responsible) else {
+                continue;
+            };
+            if let Some(record) = peer.store(algorithm).get(hash, key) {
+                if record.payload == *latest {
+                    current += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            current as f64 / total as f64
+        }
+    }
+}

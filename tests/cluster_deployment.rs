@@ -1,0 +1,98 @@
+//! Integration test of the threaded deployment through the facade crate:
+//! the same `rdht::ums` code that runs in the simulator runs against real
+//! threads, and the overlays' neighbour-handoff property (which justifies the
+//! direct algorithm) holds for both Chord and CAN.
+
+use rdht::core::ums;
+use rdht::hashing::Key;
+use rdht::net::Cluster;
+use rdht::overlay::can::{CanConfig, CanNetwork};
+use rdht::overlay::chord::{ChordConfig, ChordNetwork};
+use rdht::overlay::{NodeId, Overlay};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn cluster_round_trip_through_facade() {
+    let cluster = Cluster::spawn(12, 6, 2026);
+    let mut client = cluster.client();
+    let key = Key::new("facade-check");
+    ums::insert(&mut client, &key, b"one".to_vec()).unwrap();
+    ums::insert(&mut client, &key, b"two".to_vec()).unwrap();
+    let got = ums::retrieve(&mut client, &key).unwrap();
+    assert!(got.is_current);
+    assert_eq!(got.data.unwrap(), b"two");
+    cluster.shutdown();
+}
+
+fn random_ids(seed: u64, count: usize) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids = std::collections::BTreeSet::new();
+    while ids.len() < count {
+        ids.insert(NodeId(rng.gen()));
+    }
+    ids.into_iter().collect()
+}
+
+/// Section 4.2.1.1: in Chord, when the responsible for a key departs, the
+/// next responsible is one of its neighbours — the property that makes the
+/// O(1)-message direct counter transfer possible.
+#[test]
+fn chord_next_responsible_is_a_neighbor() {
+    let mut overlay = ChordNetwork::bootstrap(random_ids(3, 80), ChordConfig::default());
+    let position = 0x0123_4567_89ab_cdefu64;
+    for _ in 0..20 {
+        let responsible = overlay.responsible_for(position).unwrap();
+        let neighbors = overlay.neighbors(responsible);
+        overlay.leave(responsible);
+        match overlay.responsible_for(position) {
+            Some(next) => assert!(neighbors.contains(&next)),
+            None => break,
+        }
+    }
+}
+
+/// The same property for CAN: a departing owner's zone is taken over by one
+/// of its neighbours.
+#[test]
+fn can_next_responsible_is_a_neighbor() {
+    let mut overlay = CanNetwork::bootstrap(random_ids(4, 40), CanConfig::default());
+    let position = 0xfedc_ba98_7654_3210u64;
+    for _ in 0..10 {
+        let responsible = overlay.responsible_for(position).unwrap();
+        let neighbors = overlay.neighbors(responsible);
+        if neighbors.is_empty() {
+            break;
+        }
+        overlay.leave(responsible);
+        match overlay.responsible_for(position) {
+            Some(next) => assert!(
+                neighbors.contains(&next),
+                "CAN zone takeover must go to a neighbour"
+            ),
+            None => break,
+        }
+    }
+}
+
+/// Both overlays agree with each other about the abstract Overlay contract:
+/// every position always has exactly one live responsible.
+#[test]
+fn overlays_always_have_a_unique_responsible() {
+    let mut chord = ChordNetwork::bootstrap(random_ids(5, 30), ChordConfig::default());
+    let mut can = CanNetwork::bootstrap(random_ids(6, 30), CanConfig::default());
+    let mut rng = StdRng::seed_from_u64(7);
+    for round in 0..40 {
+        let position: u64 = rng.gen();
+        for overlay in [&mut chord as &mut dyn Overlay, &mut can as &mut dyn Overlay] {
+            let responsible = overlay.responsible_for(position).unwrap();
+            assert!(overlay.is_alive(responsible));
+        }
+        if round % 4 == 0 {
+            let id = NodeId(rng.gen());
+            chord.join(id);
+            can.join(id);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! End-to-end integration tests across crates: the simulated DHT (overlay +
+//! core + baseline + sim) must uphold the paper's currency guarantees and
+//! cost ordering.
+
+use rdht::sim::{Algorithm, SimConfig, Simulation};
+
+#[test]
+fn certified_answers_are_always_really_current() {
+    // Whenever UMS certifies an answer (timestamp matches KTS's last
+    // timestamp), the returned payload must be the latest committed update.
+    for seed in [11u64, 12, 13] {
+        let report = Simulation::new(SimConfig::small_test(96, seed)).run();
+        for algorithm in [Algorithm::UmsDirect, Algorithm::UmsIndirect] {
+            for sample in report.samples_for(algorithm) {
+                if sample.certified_current {
+                    assert!(
+                        sample.returned_latest,
+                        "seed {seed}: {algorithm} certified a stale answer at t={}",
+                        sample.time
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ums_beats_brk_on_both_metrics_across_seeds() {
+    let mut ums_wins_time = 0;
+    let mut ums_wins_messages = 0;
+    let runs = 3;
+    for seed in 0..runs {
+        let report = Simulation::new(SimConfig::small_test(80, 100 + seed)).run();
+        let ums = report.summary(Algorithm::UmsDirect);
+        let brk = report.summary(Algorithm::Brk);
+        if ums.mean_response_time < brk.mean_response_time {
+            ums_wins_time += 1;
+        }
+        if ums.mean_messages < brk.mean_messages {
+            ums_wins_messages += 1;
+        }
+    }
+    assert_eq!(ums_wins_time, runs, "UMS-Direct should win on response time in every run");
+    assert_eq!(ums_wins_messages, runs, "UMS-Direct should win on messages in every run");
+}
+
+#[test]
+fn ums_direct_never_probes_more_than_ums_indirect_on_average() {
+    let report = Simulation::new(SimConfig::small_test(120, 7)).run();
+    let direct = report.summary(Algorithm::UmsDirect);
+    let indirect = report.summary(Algorithm::UmsIndirect);
+    // The direct counter transfer can only reduce work (it avoids indirect
+    // initializations); allow equality for runs where no hand-off happened.
+    assert!(
+        direct.mean_messages <= indirect.mean_messages + 1e-9,
+        "direct {} vs indirect {}",
+        direct.mean_messages,
+        indirect.mean_messages
+    );
+}
+
+#[test]
+fn population_and_replica_invariants_hold_under_churn() {
+    let config = SimConfig::small_test(64, 21);
+    let peers = config.num_peers;
+    let replicas = config.num_replicas;
+    let mut simulation = Simulation::new(config);
+    let report = simulation.run();
+    assert_eq!(simulation.live_peers(), peers, "population must stay constant");
+    for sample in &report.samples {
+        assert!(sample.replicas_probed <= replicas);
+        assert!(sample.messages as usize >= sample.replicas_probed);
+    }
+}
+
+#[test]
+fn disabling_data_handoff_reduces_currency() {
+    // Ablation: with replica hand-off disabled, responsibility changes leave
+    // holes, so the measured probability of currency and availability drops.
+    let mut with_handoff = SimConfig::small_test(96, 31);
+    with_handoff.churn_rate_per_second *= 4.0;
+    let mut without_handoff = with_handoff.clone();
+    without_handoff.transfer_data_on_membership_change = false;
+
+    let report_with = Simulation::new(with_handoff).run();
+    let report_without = Simulation::new(without_handoff).run();
+    let pt_with = report_with.summary(Algorithm::UmsDirect).mean_currency_availability;
+    let pt_without = report_without
+        .summary(Algorithm::UmsDirect)
+        .mean_currency_availability;
+    assert!(
+        pt_without <= pt_with + 1e-9,
+        "hand-off disabled should not improve currency ({pt_without} vs {pt_with})"
+    );
+}
