@@ -110,7 +110,9 @@ mod tests {
         let second = VersionedValue::new(b"second".to_vec(), Version(1));
         BrkAccess::put_versioned(&mut dht, h, &key, &first).unwrap();
         BrkAccess::put_versioned(&mut dht, h, &key, &second).unwrap();
-        let got = BrkAccess::get_versioned(&mut dht, h, &key).unwrap().unwrap();
+        let got = BrkAccess::get_versioned(&mut dht, h, &key)
+            .unwrap()
+            .unwrap();
         assert_eq!(got.data, b"second");
     }
 
@@ -119,9 +121,23 @@ mod tests {
         let mut dht = InMemoryBrk::new(2, 2);
         let key = Key::new("doc");
         let h = dht.replication_ids_vec()[0];
-        BrkAccess::put_versioned(&mut dht, h, &key, &VersionedValue::new(b"v2".to_vec(), Version(2))).unwrap();
-        BrkAccess::put_versioned(&mut dht, h, &key, &VersionedValue::new(b"v1".to_vec(), Version(1))).unwrap();
-        let got = BrkAccess::get_versioned(&mut dht, h, &key).unwrap().unwrap();
+        BrkAccess::put_versioned(
+            &mut dht,
+            h,
+            &key,
+            &VersionedValue::new(b"v2".to_vec(), Version(2)),
+        )
+        .unwrap();
+        BrkAccess::put_versioned(
+            &mut dht,
+            h,
+            &key,
+            &VersionedValue::new(b"v1".to_vec(), Version(1)),
+        )
+        .unwrap();
+        let got = BrkAccess::get_versioned(&mut dht, h, &key)
+            .unwrap()
+            .unwrap();
         assert_eq!(got.data, b"v2");
         assert_eq!(got.version, Version(2));
     }

@@ -209,8 +209,16 @@ mod tests {
         insert(&mut dht, &key, b"new".to_vec()).unwrap();
         // Roll two replicas back to the old version.
         let ids = dht.replication_ids_vec();
-        dht.overwrite(ids[0], &key, VersionedValue::new(b"old".to_vec(), Version(1)));
-        dht.overwrite(ids[1], &key, VersionedValue::new(b"old".to_vec(), Version(1)));
+        dht.overwrite(
+            ids[0],
+            &key,
+            VersionedValue::new(b"old".to_vec(), Version(1)),
+        );
+        dht.overwrite(
+            ids[1],
+            &key,
+            VersionedValue::new(b"old".to_vec(), Version(1)),
+        );
         let got = retrieve(&mut dht, &key).unwrap();
         assert_eq!(got.data.unwrap(), b"new");
         assert_eq!(got.version, Version(2));

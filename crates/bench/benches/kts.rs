@@ -62,8 +62,12 @@ fn bench_last_ts(c: &mut Criterion) {
     c.bench_function("kts_last_ts", |b| {
         b.iter(|| {
             black_box(
-                node.last_ts(&key, LastTsInitPolicy::ObservedMax, IndirectObservation::nothing)
-                    .timestamp,
+                node.last_ts(
+                    &key,
+                    LastTsInitPolicy::ObservedMax,
+                    IndirectObservation::nothing,
+                )
+                .timestamp,
             )
         })
     });

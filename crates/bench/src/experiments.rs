@@ -1,7 +1,7 @@
 //! One function per table/figure of the paper's evaluation.
 
 use rdht_core::analysis;
-use rdht_sim::{Algorithm, SimConfig, SimulationReport, Simulation};
+use rdht_sim::{Algorithm, SimConfig, Simulation, SimulationReport};
 
 use crate::result::{ExperimentResult, Series};
 use crate::Scale;
@@ -39,11 +39,7 @@ fn scale_note(scale: Scale) -> String {
     }
 }
 
-fn algorithm_series<F>(
-    xs: &[f64],
-    reports: &[SimulationReport],
-    metric: F,
-) -> Vec<Series>
+fn algorithm_series<F>(xs: &[f64], reports: &[SimulationReport], metric: F) -> Vec<Series>
 where
     F: Fn(&SimulationReport, Algorithm) -> f64,
 {
@@ -257,7 +253,11 @@ pub fn theorem1(scale: Scale) -> ExperimentResult {
         }
         let n = samples.len() as f64;
         let mean_pt = samples.iter().map(|s| s.currency_availability).sum::<f64>() / n;
-        let mean_probes = samples.iter().map(|s| s.replicas_probed as f64).sum::<f64>() / n;
+        let mean_probes = samples
+            .iter()
+            .map(|s| s.replicas_probed as f64)
+            .sum::<f64>()
+            / n;
         let hits: Vec<_> = samples.iter().filter(|s| s.certified_current).collect();
         let mean_probes_hits = if hits.is_empty() {
             mean_probes
@@ -271,7 +271,13 @@ pub fn theorem1(scale: Scale) -> ExperimentResult {
         bound.push(x, analysis::theorem1_upper_bound(mean_pt));
         eq5.push(x, analysis::bounded_expectation(mean_pt, replicas));
     }
-    for series in [&mut measured, &mut measured_hits, &mut eq1, &mut bound, &mut eq5] {
+    for series in [
+        &mut measured,
+        &mut measured_hits,
+        &mut eq1,
+        &mut bound,
+        &mut eq5,
+    ] {
         series.points.sort_by(|a, b| a.0.total_cmp(&b.0));
     }
 

@@ -33,8 +33,12 @@ pub trait UmsAccess {
     /// Stores a stamped replica at `rsp(k, h)` (the DHT `put_h` operation).
     /// The receiving peer keeps the write only if the timestamp is newer than
     /// what it already holds.
-    fn put_replica(&mut self, hash: HashId, key: &Key, value: &ReplicaValue)
-        -> Result<(), UmsError>;
+    fn put_replica(
+        &mut self,
+        hash: HashId,
+        key: &Key,
+        value: &ReplicaValue,
+    ) -> Result<(), UmsError>;
 
     /// Reads the replica stored at `rsp(k, h)` (the DHT `get_h` operation).
     /// `Ok(None)` means the responsible peer holds no replica for the key.

@@ -85,7 +85,9 @@ mod tests {
 
     #[test]
     fn builders_modify_single_fields() {
-        let cfg = UmsConfig::default().with_num_replicas(30).with_rlu_mode(true);
+        let cfg = UmsConfig::default()
+            .with_num_replicas(30)
+            .with_rlu_mode(true);
         assert_eq!(cfg.num_replicas, 30);
         assert!(cfg.rlu_mode);
         assert_eq!(cfg.last_ts_init, LastTsInitPolicy::ObservedMax);

@@ -279,7 +279,9 @@ mod tests {
         let mut node = KtsNode::new(false);
         let k = Key::new("doc");
         node.gen_ts(&k, no_observation);
-        let out = node.gen_ts(&k, || panic!("observation must not run for a valid counter"));
+        let out = node.gen_ts(&k, || {
+            panic!("observation must not run for a valid counter")
+        });
         assert!(!out.used_indirect_init);
     }
 
@@ -311,16 +313,22 @@ mod tests {
     #[test]
     fn last_ts_plus_one_policy_matches_figure_5() {
         let mut node = KtsNode::new(false);
-        let out = node.last_ts(&Key::new("doc"), LastTsInitPolicy::ObservedMaxPlusOne, || {
-            IndirectObservation::observed(Timestamp(7))
-        });
+        let out = node.last_ts(
+            &Key::new("doc"),
+            LastTsInitPolicy::ObservedMaxPlusOne,
+            || IndirectObservation::observed(Timestamp(7)),
+        );
         assert_eq!(out.timestamp, Timestamp(8));
     }
 
     #[test]
     fn last_ts_without_history_is_zero() {
         let mut node = KtsNode::new(false);
-        let out = node.last_ts(&Key::new("ghost"), LastTsInitPolicy::ObservedMax, no_observation);
+        let out = node.last_ts(
+            &Key::new("ghost"),
+            LastTsInitPolicy::ObservedMax,
+            no_observation,
+        );
         assert_eq!(out.timestamp, Timestamp::ZERO);
     }
 

@@ -121,8 +121,7 @@ mod tests {
         // first generated = 5.
         node.gen_ts(&k, || IndirectObservation::observed(Timestamp(3)));
         // The failed responsible restarts knowing it had generated ts=9.
-        let corrections =
-            node.reconcile_with_recovered_counters(vec![(k.clone(), Timestamp(9))]);
+        let corrections = node.reconcile_with_recovered_counters(vec![(k.clone(), Timestamp(9))]);
         assert_eq!(corrections.len(), 1);
         assert_eq!(corrections[0].corrected_to, Timestamp(9));
         assert_eq!(node.counter_value(&k), Some(Timestamp(9)));
@@ -137,8 +136,7 @@ mod tests {
         let mut node = KtsNode::new(false);
         let k = Key::new("doc");
         node.gen_ts(&k, || IndirectObservation::observed(Timestamp(20)));
-        let corrections =
-            node.reconcile_with_recovered_counters(vec![(k.clone(), Timestamp(5))]);
+        let corrections = node.reconcile_with_recovered_counters(vec![(k.clone(), Timestamp(5))]);
         assert!(corrections.is_empty());
         assert!(node.counter_value(&k).unwrap() > Timestamp(20));
     }
@@ -147,8 +145,7 @@ mod tests {
     fn recovery_adopts_unknown_counters_silently() {
         let mut node = KtsNode::new(false);
         let k = Key::new("doc");
-        let corrections =
-            node.reconcile_with_recovered_counters(vec![(k.clone(), Timestamp(7))]);
+        let corrections = node.reconcile_with_recovered_counters(vec![(k.clone(), Timestamp(7))]);
         assert!(corrections.is_empty(), "adoption is not a correction");
         assert_eq!(node.counter_value(&k), Some(Timestamp(7)));
     }
@@ -170,14 +167,20 @@ mod tests {
         let k = Key::new("doc");
         node.gen_ts(&k, || IndirectObservation::observed(Timestamp(10)));
         assert!(node.inspect_key(&k, Timestamp(5)).is_none());
-        assert!(node.inspect_key(&Key::new("unknown"), Timestamp(5)).is_none());
+        assert!(node
+            .inspect_key(&Key::new("unknown"), Timestamp(5))
+            .is_none());
     }
 
     #[test]
     fn periodic_inspection_covers_all_counters() {
         let mut node = KtsNode::new(false);
-        node.gen_ts(&Key::new("a"), || IndirectObservation::observed(Timestamp(1)));
-        node.gen_ts(&Key::new("b"), || IndirectObservation::observed(Timestamp(1)));
+        node.gen_ts(&Key::new("a"), || {
+            IndirectObservation::observed(Timestamp(1))
+        });
+        node.gen_ts(&Key::new("b"), || {
+            IndirectObservation::observed(Timestamp(1))
+        });
         let corrections = node.periodic_inspection(|k| {
             if k.as_bytes() == b"a" {
                 Some(Timestamp(50))

@@ -181,8 +181,12 @@ mod tests {
         assert_eq!(drained.len(), 2);
         assert_eq!(vcs.len(), 1);
         assert!(vcs.contains(&Key::new("b")));
-        assert!(drained.iter().any(|(k, v)| k == &Key::new("a") && *v == Timestamp(1)));
-        assert!(drained.iter().any(|(k, v)| k == &Key::new("c") && *v == Timestamp(3)));
+        assert!(drained
+            .iter()
+            .any(|(k, v)| k == &Key::new("a") && *v == Timestamp(1)));
+        assert!(drained
+            .iter()
+            .any(|(k, v)| k == &Key::new("c") && *v == Timestamp(3)));
     }
 
     #[test]

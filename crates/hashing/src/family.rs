@@ -119,7 +119,10 @@ impl HashFamily {
     /// Builds a family with `num_replication` replication functions
     /// (`|Hr|` in the paper; 10 in Table 1) derived from `seed`.
     pub fn new(num_replication: usize, seed: u64) -> Self {
-        assert!(num_replication >= 1, "at least one replication hash function is required");
+        assert!(
+            num_replication >= 1,
+            "at least one replication hash function is required"
+        );
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_5eed_5eed_5eed);
         let mut replication = Vec::with_capacity(num_replication);
         for i in 0..num_replication {
@@ -200,7 +203,11 @@ mod tests {
         let f1 = HashFamily::new(10, 7);
         let f2 = HashFamily::new(10, 7);
         let k = Key::new("some key");
-        for (a, b) in f1.replication_functions().iter().zip(f2.replication_functions()) {
+        for (a, b) in f1
+            .replication_functions()
+            .iter()
+            .zip(f2.replication_functions())
+        {
             assert_eq!(a.eval(&k), b.eval(&k));
         }
         assert_eq!(f1.eval_timestamp(&k), f2.eval_timestamp(&k));
@@ -217,17 +224,28 @@ mod tests {
             .zip(f2.replication_functions())
             .filter(|(a, b)| a.eval(&k) == b.eval(&k))
             .count();
-        assert!(same < 4, "independent seeds should not reproduce the family");
+        assert!(
+            same < 4,
+            "independent seeds should not reproduce the family"
+        );
     }
 
     #[test]
     fn replication_functions_are_distinct() {
         let f = HashFamily::new(30, 99);
         let k = Key::new("a shared document");
-        let mut values: Vec<u64> = f.replication_functions().iter().map(|h| h.eval(&k)).collect();
+        let mut values: Vec<u64> = f
+            .replication_functions()
+            .iter()
+            .map(|h| h.eval(&k))
+            .collect();
         values.sort_unstable();
         values.dedup();
-        assert_eq!(values.len(), 30, "hash values for one key should be distinct across Hr");
+        assert_eq!(
+            values.len(),
+            30,
+            "hash values for one key should be distinct across Hr"
+        );
     }
 
     #[test]

@@ -54,7 +54,7 @@ mod tests {
     fn mix64_zero_is_not_zero() {
         // A fixed point at zero would make empty keys collide with the zero id.
         assert_eq!(mix64(0), 0); // splitmix64 finalizer maps 0 -> 0 ...
-        // ... which is why fingerprint64 never feeds a raw 0 into it.
+                                 // ... which is why fingerprint64 never feeds a raw 0 into it.
         assert_ne!(fingerprint64(b""), 0);
     }
 

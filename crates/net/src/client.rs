@@ -40,7 +40,11 @@ impl ClusterClient {
         self.messages
     }
 
-    fn request(&mut self, position: u64, build: impl FnOnce(crossbeam::channel::Sender<Reply>) -> Request) -> Result<Reply, UmsError> {
+    fn request(
+        &mut self,
+        position: u64,
+        build: impl FnOnce(crossbeam::channel::Sender<Reply>) -> Request,
+    ) -> Result<Reply, UmsError> {
         let (_peer, mailbox) = self
             .directory
             .responsible_for(position)

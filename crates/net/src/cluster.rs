@@ -80,7 +80,11 @@ impl Directory {
 
     /// Number of live peers.
     pub(crate) fn live_count(&self) -> usize {
-        self.peers.read().values().filter(|(_, alive)| *alive).count()
+        self.peers
+            .read()
+            .values()
+            .filter(|(_, alive)| *alive)
+            .count()
     }
 }
 

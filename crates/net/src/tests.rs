@@ -72,7 +72,10 @@ fn concurrent_writers_converge_to_single_latest_value() {
 
     let mut client = cluster.client();
     let got = ums::retrieve(&mut client, &key).unwrap();
-    assert!(got.is_current, "after all writers finish the retrieve must be certified current");
+    assert!(
+        got.is_current,
+        "after all writers finish the retrieve must be certified current"
+    );
     let data = got.data.unwrap();
     assert!(String::from_utf8_lossy(&data).starts_with("writer-"));
     // The winning timestamp is the total number of generated timestamps.
@@ -153,7 +156,11 @@ fn crash_of_timestamp_responsible_triggers_indirect_initialization() {
     assert!(cluster.live_peers() < 10);
 
     let after = ums::retrieve(&mut client, &key).unwrap();
-    assert_eq!(after.data.unwrap(), b"v4", "latest surviving value is still returned");
+    assert_eq!(
+        after.data.unwrap(),
+        b"v4",
+        "latest surviving value is still returned"
+    );
 
     // Updates keep working and remain monotonic after the failover.
     let report = ums::insert(&mut client, &key, b"v5".to_vec()).unwrap();
@@ -179,7 +186,11 @@ fn crash_of_replica_holders_degrades_availability_not_correctness() {
         }
     }
     let got = ums::retrieve(&mut client, &key).unwrap();
-    assert_eq!(got.data.unwrap(), b"v2", "surviving replicas still serve the latest value");
+    assert_eq!(
+        got.data.unwrap(),
+        b"v2",
+        "surviving replicas still serve the latest value"
+    );
     cluster.shutdown();
 }
 

@@ -52,7 +52,10 @@ pub struct CanZone {
 impl CanZone {
     /// The zone covering the entire coordinate space.
     pub fn full_space() -> Self {
-        CanZone { prefix: 0, level: 0 }
+        CanZone {
+            prefix: 0,
+            level: 0,
+        }
     }
 
     /// Creates a zone from a prefix and level, normalizing the prefix (bits
@@ -118,7 +121,10 @@ impl CanZone {
         }
         let child_level = self.level + 1;
         let low = CanZone::new(self.prefix, child_level);
-        let high = CanZone::new(self.prefix | (1u64 << (63 - u32::from(self.level))), child_level);
+        let high = CanZone::new(
+            self.prefix | (1u64 << (63 - u32::from(self.level))),
+            child_level,
+        );
         if high.contains(toward) {
             Some((low, high))
         } else {
@@ -271,7 +277,10 @@ mod tests {
         let z = CanZone::new(0, 2); // one quadrant
         let inside = CanPoint { x: 10, y: 10 };
         assert_eq!(z.distance_sq_to(inside), 0);
-        let outside = CanPoint { x: u32::MAX, y: u32::MAX };
+        let outside = CanPoint {
+            x: u32::MAX,
+            y: u32::MAX,
+        };
         assert!(z.distance_sq_to(outside) > 0);
     }
 

@@ -125,7 +125,10 @@ impl CanNetwork {
         let mut total: u128 = 0;
         for (start, (zone, owner)) in &self.zones {
             if *start != zone.start() {
-                return Err(format!("zone index key {start} != zone start {}", zone.start()));
+                return Err(format!(
+                    "zone index key {start} != zone start {}",
+                    zone.start()
+                ));
             }
             if zone.start() != expected_start {
                 return Err(format!(

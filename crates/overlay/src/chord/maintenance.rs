@@ -1,9 +1,7 @@
 //! Chord membership changes and stabilization.
 
 use super::{ChordNetwork, ChordNode};
-use crate::cost::{
-    MembershipEventKind, MembershipOutcome, ResponsibilityChange, StabilizeOutcome,
-};
+use crate::cost::{MembershipEventKind, MembershipOutcome, ResponsibilityChange, StabilizeOutcome};
 use crate::id::NodeId;
 
 impl ChordNetwork {
@@ -85,7 +83,9 @@ impl ChordNetwork {
         if let Some(pred_node) = self.nodes.get_mut(&predecessor) {
             if pred_node.successors.first() == Some(&successor) || pred_node.successors.is_empty() {
                 pred_node.successors.insert(0, id);
-                pred_node.successors.truncate(self.config.successor_list_len);
+                pred_node
+                    .successors
+                    .truncate(self.config.successor_list_len);
             }
         }
 

@@ -135,10 +135,7 @@ impl ChordNetwork {
             return None;
         }
         self.ring
-            .range((
-                std::ops::Bound::Excluded(id),
-                std::ops::Bound::Unbounded,
-            ))
+            .range((std::ops::Bound::Excluded(id), std::ops::Bound::Unbounded))
             .next()
             .or_else(|| self.ring.iter().next())
             .copied()

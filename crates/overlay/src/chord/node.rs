@@ -91,10 +91,7 @@ mod tests {
         let mut n = ChordNode::new(NodeId(0));
         n.fingers = vec![Some(NodeId(1)), None, Some(NodeId(3)), Some(NodeId(4))];
         let order: Vec<_> = n.fingers_high_to_low().collect();
-        assert_eq!(
-            order,
-            vec![(3, NodeId(4)), (2, NodeId(3)), (0, NodeId(1))]
-        );
+        assert_eq!(order, vec![(3, NodeId(4)), (2, NodeId(3)), (0, NodeId(1))]);
     }
 
     #[test]

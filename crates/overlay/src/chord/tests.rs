@@ -51,7 +51,10 @@ fn lookup_finds_ground_truth_responsible() {
         let expected = network.responsible_for(target).unwrap();
         let outcome = network.lookup(origin, target).unwrap();
         assert_eq!(outcome.responsible, expected);
-        assert_eq!(outcome.timeouts, 0, "stabilized ring should have no timeouts");
+        assert_eq!(
+            outcome.timeouts, 0,
+            "stabilized ring should have no timeouts"
+        );
     }
 }
 

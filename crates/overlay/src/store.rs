@@ -195,9 +195,24 @@ mod tests {
     #[test]
     fn drain_range_moves_only_covered_positions() {
         let mut store = PeerStore::new();
-        store.put(HashId(0), Key::new("a"), rec(1, 100), WritePolicy::Overwrite);
-        store.put(HashId(0), Key::new("b"), rec(2, 200), WritePolicy::Overwrite);
-        store.put(HashId(0), Key::new("c"), rec(3, 300), WritePolicy::Overwrite);
+        store.put(
+            HashId(0),
+            Key::new("a"),
+            rec(1, 100),
+            WritePolicy::Overwrite,
+        );
+        store.put(
+            HashId(0),
+            Key::new("b"),
+            rec(2, 200),
+            WritePolicy::Overwrite,
+        );
+        store.put(
+            HashId(0),
+            Key::new("c"),
+            rec(3, 300),
+            WritePolicy::Overwrite,
+        );
         let moved = store.drain_range(150, 250);
         assert_eq!(moved.len(), 1);
         assert_eq!(moved[0].1, Key::new("b"));
@@ -207,9 +222,19 @@ mod tests {
     #[test]
     fn drain_range_handles_wraparound() {
         let mut store = PeerStore::new();
-        store.put(HashId(0), Key::new("hi"), rec(1, u64::MAX - 2), WritePolicy::Overwrite);
+        store.put(
+            HashId(0),
+            Key::new("hi"),
+            rec(1, u64::MAX - 2),
+            WritePolicy::Overwrite,
+        );
         store.put(HashId(0), Key::new("lo"), rec(2, 3), WritePolicy::Overwrite);
-        store.put(HashId(0), Key::new("mid"), rec(3, 1 << 40), WritePolicy::Overwrite);
+        store.put(
+            HashId(0),
+            Key::new("mid"),
+            rec(3, 1 << 40),
+            WritePolicy::Overwrite,
+        );
         let moved = store.drain_range(u64::MAX - 10, 10);
         let keys: Vec<_> = moved.iter().map(|(_, k, _)| k.clone()).collect();
         assert!(keys.contains(&Key::new("hi")));
@@ -224,7 +249,12 @@ mod tests {
         let k = Key::new("doc");
         store.put(HashId(0), k.clone(), rec(5, 10), WritePolicy::Overwrite);
         store.put(HashId(3), k.clone(), rec(12, 99), WritePolicy::Overwrite);
-        store.put(HashId(1), Key::new("other"), rec(100, 7), WritePolicy::Overwrite);
+        store.put(
+            HashId(1),
+            Key::new("other"),
+            rec(100, 7),
+            WritePolicy::Overwrite,
+        );
         assert_eq!(store.max_stamp_for_key(&k), Some(12));
         assert_eq!(store.max_stamp_for_key(&Key::new("missing")), None);
     }

@@ -238,7 +238,10 @@ impl UmsAccess for SimAccess<'_> {
         match record {
             Some(record) => {
                 self.charge_data();
-                Ok(Some(ReplicaValue::new(record.payload, Timestamp(record.stamp))))
+                Ok(Some(ReplicaValue::new(
+                    record.payload,
+                    Timestamp(record.stamp),
+                )))
             }
             None => {
                 self.charge_control();
@@ -302,7 +305,10 @@ impl BrkAccess for SimAccess<'_> {
         match record {
             Some(record) => {
                 self.charge_data();
-                Ok(Some(VersionedValue::new(record.payload, Version(record.stamp))))
+                Ok(Some(VersionedValue::new(
+                    record.payload,
+                    Version(record.stamp),
+                )))
             }
             None => {
                 self.charge_control();

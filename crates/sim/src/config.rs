@@ -247,7 +247,10 @@ mod tests {
     fn validation_rejects_bad_values() {
         assert!(SimConfig::table1().with_num_peers(0).validate().is_err());
         assert!(SimConfig::table1().with_num_replicas(0).validate().is_err());
-        assert!(SimConfig::table1().with_failure_rate(1.5).validate().is_err());
+        assert!(SimConfig::table1()
+            .with_failure_rate(1.5)
+            .validate()
+            .is_err());
         let mut c = SimConfig::table1();
         c.duration = 0.0;
         assert!(c.validate().is_err());
@@ -255,6 +258,9 @@ mod tests {
 
     #[test]
     fn profiles_produce_models() {
-        assert!(NetworkProfile::Internet.model().latency.mean > NetworkProfile::Cluster.model().latency.mean);
+        assert!(
+            NetworkProfile::Internet.model().latency.mean
+                > NetworkProfile::Cluster.model().latency.mean
+        );
     }
 }

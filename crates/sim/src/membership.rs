@@ -53,8 +53,7 @@ impl Simulation {
         }
 
         if self.config.churn_rate_per_second > 0.0 {
-            let inter =
-                Exponential::new(self.config.churn_rate_per_second).sample(&mut self.rng);
+            let inter = Exponential::new(self.config.churn_rate_per_second).sample(&mut self.rng);
             self.queue.schedule_in(inter, Event::PeerDeparture);
         }
     }
@@ -145,9 +144,12 @@ impl Simulation {
                 .kts_direct
                 .receive_transferred_counters(exported_counters);
             for (algorithm, hash, key, record) in moved_records {
-                new_responsible
-                    .store_mut(algorithm)
-                    .put(hash, key, record, WritePolicy::KeepNewest);
+                new_responsible.store_mut(algorithm).put(
+                    hash,
+                    key,
+                    record,
+                    WritePolicy::KeepNewest,
+                );
             }
         }
     }

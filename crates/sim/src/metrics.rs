@@ -96,7 +96,9 @@ pub struct SimulationReport {
 impl SimulationReport {
     /// Samples for one algorithm.
     pub fn samples_for(&self, algorithm: Algorithm) -> impl Iterator<Item = &QuerySample> {
-        self.samples.iter().filter(move |s| s.algorithm == algorithm)
+        self.samples
+            .iter()
+            .filter(move |s| s.algorithm == algorithm)
     }
 
     /// Aggregates the samples of one algorithm.
@@ -138,7 +140,12 @@ impl SimulationReport {
 mod tests {
     use super::*;
 
-    fn sample(algorithm: Algorithm, response_time: f64, messages: u64, latest: bool) -> QuerySample {
+    fn sample(
+        algorithm: Algorithm,
+        response_time: f64,
+        messages: u64,
+        latest: bool,
+    ) -> QuerySample {
         QuerySample {
             time: 1.0,
             algorithm,

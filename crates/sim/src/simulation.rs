@@ -179,7 +179,8 @@ impl Simulation {
             let rate_per_second = self.config.update_rate_per_hour / 3600.0;
             for key_index in 0..self.keys.len() {
                 let inter = Exponential::new(rate_per_second).sample(&mut self.rng);
-                self.queue.schedule_at(inter, Event::UpdateData { key_index });
+                self.queue
+                    .schedule_at(inter, Event::UpdateData { key_index });
             }
         }
         // Stabilization rounds.
@@ -302,7 +303,8 @@ impl Simulation {
         if self.config.update_rate_per_hour > 0.0 {
             let rate_per_second = self.config.update_rate_per_hour / 3600.0;
             let inter = Exponential::new(rate_per_second).sample(&mut self.rng);
-            self.queue.schedule_in(inter, Event::UpdateData { key_index });
+            self.queue
+                .schedule_in(inter, Event::UpdateData { key_index });
         }
     }
 

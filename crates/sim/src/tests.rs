@@ -89,7 +89,10 @@ fn ums_returns_latest_committed_data() {
                 );
             }
         }
-        assert!(certified > 0, "no certified-current answers for {algorithm}");
+        assert!(
+            certified > 0,
+            "no certified-current answers for {algorithm}"
+        );
     }
 }
 
@@ -112,8 +115,14 @@ fn population_stays_constant_under_churn() {
     let mut sim = Simulation::new(config);
     let report = sim.run();
     assert_eq!(sim.live_peers(), peers);
-    assert_eq!(report.stats.joins, report.stats.leaves + report.stats.failures);
-    assert!(report.stats.joins > 0, "the churn process should have fired");
+    assert_eq!(
+        report.stats.joins,
+        report.stats.leaves + report.stats.failures
+    );
+    assert!(
+        report.stats.joins > 0,
+        "the churn process should have fired"
+    );
 }
 
 #[test]

@@ -55,7 +55,10 @@ fn main() {
     for slot in SLOTS {
         let key = Key::new(format!("agenda:{slot}"));
         let got = ums::retrieve(&mut client, &key).expect("retrieve failed");
-        assert!(got.is_current, "agenda slot {slot} returned a non-current booking");
+        assert!(
+            got.is_current,
+            "agenda slot {slot} returned a non-current booking"
+        );
         total_probes += got.replicas_probed;
         println!(
             "  {slot}: {} [ts {}] ({} replica probe(s))",

@@ -12,8 +12,8 @@
 //! ```
 
 use rdht::baseline::{self, InMemoryBrk, Version, VersionedValue};
-use rdht::core::{ums, InMemoryDht, UmsAccess};
 use rdht::core::ReplicaValue;
+use rdht::core::{ums, InMemoryDht, UmsAccess};
 use rdht::hashing::Key;
 
 fn main() {

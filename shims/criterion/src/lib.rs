@@ -1,0 +1,258 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset used by `crates/bench`: [`Criterion`],
+//! [`criterion_group!`] / [`criterion_main!`], benchmark groups,
+//! [`BenchmarkId`] and [`black_box`]. Measurement is intentionally simple —
+//! a timed loop reporting mean wall-clock time per iteration — but the
+//! harness shape (and therefore `cargo bench --no-run` compile coverage)
+//! matches the real crate.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An opaque identity function that prevents the optimizer from deleting a
+/// benchmarked computation.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver: holds configuration and runs benchmarks.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        assert!(samples > 0, "sample_size must be positive");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.sample_size, &mut routine);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A set of related benchmarks reported under a common prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &format!("{}/{id}", self.name),
+            self.sample_size,
+            &mut routine,
+        );
+        self
+    }
+
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{id}", self.name), self.sample_size, &mut |b| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Finishes the group (kept for API compatibility; reporting is
+    /// per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Identifier of a parameterised benchmark: a function name plus the
+/// parameter value it ran with.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// The per-benchmark timing handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    total: Duration,
+    iterations: u64,
+}
+
+/// How batched inputs are sized in [`Bencher::iter_batched`]; only a hint in
+/// this shim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup output per iteration.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it once per sample after a short warm-up.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..3.min(self.sample_size) {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iterations = self.sample_size as u64;
+    }
+
+    /// Times `routine` over fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+        self.iterations = self.sample_size as u64;
+    }
+}
+
+fn run_one<F>(label: &str, sample_size: usize, routine: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        sample_size,
+        total: Duration::ZERO,
+        iterations: 0,
+    };
+    routine(&mut bencher);
+    let per_iter = if bencher.iterations == 0 {
+        Duration::ZERO
+    } else {
+        bencher.total / u32::try_from(bencher.iterations).unwrap_or(u32::MAX)
+    };
+    println!(
+        "{label:<50} time: [{per_iter:?}/iter over {} iters]",
+        bencher.iterations
+    );
+}
+
+/// Declares a group of benchmark functions, optionally with a custom
+/// [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the `main` function of a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("identity", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("group");
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(5);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn harness_shape_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,155 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the [`channel`] module is provided, implemented over
+//! `std::sync::mpsc`. The one semantic difference from real crossbeam
+//! channels — `std` receivers are single-consumer — does not matter here:
+//! every receiver in this workspace is owned by exactly one thread.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! Multi-producer channels with bounded and unbounded flavours.
+
+    use std::fmt;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone; carries
+    /// the unsent message.
+    pub use std::sync::mpsc::SendError;
+    /// Errors returned by the receiving side.
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, TryRecvError};
+
+    enum SenderKind<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for SenderKind<T> {
+        fn clone(&self) -> Self {
+            match self {
+                SenderKind::Unbounded(tx) => SenderKind::Unbounded(tx.clone()),
+                SenderKind::Bounded(tx) => SenderKind::Bounded(tx.clone()),
+            }
+        }
+    }
+
+    /// The sending half of a channel. Cloneable; a send on a full bounded
+    /// channel blocks, matching crossbeam semantics.
+    pub struct Sender<T> {
+        kind: SenderKind<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                kind: self.kind.clone(),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `message`, blocking while a bounded channel is full. Fails
+        /// only when the receiver has been dropped.
+        pub fn send(&self, message: T) -> Result<(), SendError<T>> {
+            match &self.kind {
+                SenderKind::Unbounded(tx) => tx.send(message),
+                SenderKind::Bounded(tx) => tx.send(message),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
+
+        /// Returns a pending message without blocking, if there is one.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Iterates over messages until every sender is dropped.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    /// Creates a channel of unlimited capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                kind: SenderKind::Unbounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+
+    /// Creates a channel holding at most `capacity` in-flight messages
+    /// (`capacity == 0` is a rendezvous channel).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(capacity);
+        (
+            Sender {
+                kind: SenderKind::Bounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_round_trip_across_threads() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let handle = std::thread::spawn(move || {
+            tx2.send(1).unwrap();
+            tx.send(2).unwrap();
+        });
+        let mut got: Vec<i32> = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn bounded_one_shot_reply() {
+        let (tx, rx) = bounded(1);
+        tx.send("reply").unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok("reply"));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

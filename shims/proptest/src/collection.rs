@@ -1,0 +1,95 @@
+//! Collection strategies: `proptest::collection::vec`.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An inclusive-exclusive size window for generated collections.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(self, rng: &mut TestRng) -> usize {
+        assert!(
+            self.lo < self.hi,
+            "cannot generate from an empty size range"
+        );
+        let span = (self.hi - self.lo) as u64;
+        self.lo + rng.below(span) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            lo: exact,
+            hi: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        SizeRange {
+            lo: range.start,
+            hi: range.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *range.start(),
+            hi: *range.end() + 1,
+        }
+    }
+}
+
+/// Strategy generating a `Vec` whose elements come from `element` and whose
+/// length falls in `size`.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates vectors of values from `element` with a length drawn from
+/// `size` (an exact `usize` or a `usize` range).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn vec_respects_size_window() {
+        let mut rng = TestRng::from_name("vec");
+        let strategy = vec(any::<u8>(), 2..5);
+        for _ in 0..500 {
+            let v = strategy.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+        let exact = vec(any::<bool>(), 8).generate(&mut rng);
+        assert_eq!(exact.len(), 8);
+    }
+}

@@ -1,0 +1,157 @@
+//! The [`Strategy`] trait and the strategy forms this workspace uses:
+//! ranges, tuples and [`Just`].
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type. Unlike real proptest there is
+/// no value tree and no shrinking: `generate` produces one value directly.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value from `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// A strategy that always yields a clone of the same value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "cannot generate from an empty range");
+                let span = (hi - lo) as u128;
+                let offset = if span <= u128::from(u64::MAX) {
+                    u128::from(rng.next_u64()) % span
+                } else {
+                    let wide = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+                    wide % span
+                };
+                (lo + offset as i128) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let lo = *self.start() as i128;
+                let hi = *self.end() as i128;
+                assert!(lo <= hi, "cannot generate from an empty range");
+                let span = (hi - lo) as u128 + 1;
+                let offset = if span <= u128::from(u64::MAX) {
+                    u128::from(rng.next_u64()) % span
+                } else {
+                    let wide = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+                    wide % span
+                };
+                (lo + offset as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "cannot generate from an empty range");
+                let unit = (rng.next_u64() >> 11) as $ty / (1u64 << 53) as $ty;
+                let value = self.start + unit * (self.end - self.start);
+                if value < self.end {
+                    value
+                } else {
+                    self.start
+                }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot generate from an empty range");
+                let unit = (rng.next_u64() >> 11) as $ty / ((1u64 << 53) - 1) as $ty;
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..2_000 {
+            let v = (3u8..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (0usize..=4).generate(&mut rng);
+            assert!(w <= 4);
+            let s = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = TestRng::from_name("tuples");
+        let (a, b) = (1u8..3, Just("x")).generate(&mut rng);
+        assert!((1..3).contains(&a));
+        assert_eq!(b, "x");
+    }
+}

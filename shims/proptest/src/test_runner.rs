@@ -1,0 +1,170 @@
+//! Deterministic case generation and the test driver.
+
+use std::fmt;
+
+/// Number of cases per property when `PROPTEST_CASES` is unset.
+const DEFAULT_CASES: u32 = 256;
+
+/// Hard cap on consecutive `prop_assume!` rejections before the test errors
+/// out as too narrow.
+const MAX_REJECTS: u32 = 65_536;
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case violated the property; the whole test fails.
+    Fail(String),
+    /// The case did not satisfy a `prop_assume!` precondition; it is
+    /// discarded and regenerated.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure from any printable reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Builds a rejection from any printable reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(reason) => write!(f, "case failed: {reason}"),
+            TestCaseError::Reject(reason) => write!(f, "case rejected: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The generator handed to strategies: SplitMix64, seeded per test from the
+/// test's name so runs are reproducible.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator deterministically from an arbitrary string.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the test name, so each property gets its own stream.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// Returns the next pseudo-random word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`. Panics when `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample below zero");
+        self.next_u64() % bound
+    }
+}
+
+/// Per-block configuration, settable through
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of passing cases required for the property to hold.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Honours the `PROPTEST_CASES` environment variable like the real
+        // crate.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES);
+        ProptestConfig { cases }
+    }
+}
+
+/// Drives one property: generates inputs and evaluates the case closure
+/// until enough cases pass, a case fails (panic), or too many are rejected.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let target = config.cases;
+    let mut rng = TestRng::from_name(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < target {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected < MAX_REJECTS,
+                    "property `{name}`: too many cases rejected by prop_assume! \
+                     ({rejected} rejections for {passed} passes)"
+                );
+            }
+            Err(TestCaseError::Fail(reason)) => {
+                panic!("property `{name}` failed after {passed} passing case(s): {reason}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::from_name("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failing_case_panics() {
+        run_cases(&ProptestConfig::default(), "always_fails", |_| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    fn rejects_are_skipped() {
+        let config = ProptestConfig::with_cases(50);
+        let mut calls = 0u32;
+        run_cases(&config, "rejects_then_passes", |_| {
+            calls += 1;
+            if calls.is_multiple_of(2) {
+                Err(TestCaseError::reject("odd one out"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls > config.cases);
+    }
+}

@@ -1,0 +1,291 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! the small slice of the `rand 0.8` API it actually uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] extension methods
+//! `gen`, `gen_range` and `gen_bool`. The generator is xoshiro256**, seeded
+//! through SplitMix64 — deterministic for a given seed, which is all the
+//! simulator and the tests rely on.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core trait: a source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    /// Returns the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (SplitMix64 key expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from the generator's full output range
+/// (the `Standard` distribution of the real crate).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn draw(rng: &mut dyn RngCore) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($ty:ty),*) => {$(
+        impl Standard for $ty {
+            fn draw(rng: &mut dyn RngCore) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for i128 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        u128::draw(rng) as i128
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for f32 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        unit_f64(rng.next_u64()) as f32
+    }
+}
+
+/// Maps a random word to `[0, 1)` with 53 bits of precision.
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types with a uniform sampler over half-open / inclusive ranges.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform draw from `[low, high)`, or `[low, high]` when `inclusive`.
+    fn sample_between(rng: &mut dyn RngCore, low: Self, high: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_between(
+                rng: &mut dyn RngCore,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let lo = low as i128;
+                let hi = high as i128;
+                let span = (hi - lo) as u128 + u128::from(inclusive);
+                assert!(span > 0, "cannot sample from an empty range");
+                // Modulo reduction: biased by at most 2^-64 per draw, which is
+                // far below anything the statistical tests can observe.
+                let offset = if span <= u128::from(u64::MAX) {
+                    u128::from(rng.next_u64()) % span
+                } else {
+                    u128::draw(rng) % span
+                };
+                (lo + offset as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between(rng: &mut dyn RngCore, low: Self, high: Self, inclusive: bool) -> Self {
+        if inclusive {
+            // [low, high]: rand 0.8 allows the degenerate low == high case.
+            assert!(low <= high, "cannot sample from an empty range");
+            let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+            low + unit * (high - low)
+        } else {
+            assert!(low < high, "cannot sample from an empty range");
+            let value = low + unit_f64(rng.next_u64()) * (high - low);
+            if value < high {
+                value
+            } else {
+                low
+            }
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_between(rng: &mut dyn RngCore, low: Self, high: Self, inclusive: bool) -> Self {
+        f64::sample_between(rng, f64::from(low), f64::from(high), inclusive) as f32
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single(self, rng: &mut dyn RngCore) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single(self, rng: &mut dyn RngCore) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_between(rng, start, end, true)
+    }
+}
+
+/// Convenience methods layered on any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value of any [`Standard`]-samplable type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// Draws a value uniformly from `range`. Panics on an empty range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `0 <= p <= 1`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 key expansion, as recommended by the xoshiro authors.
+            let mut key = seed;
+            let mut next = || {
+                key = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = key;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                state: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.state = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let i: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&i));
+            let g: f64 = rng.gen_range(0.25..=0.75);
+            assert!((0.25..=0.75).contains(&g));
+        }
+        // Degenerate inclusive float range is valid in rand 0.8.
+        assert_eq!(rng.gen_range(0.5..=0.5), 0.5);
+    }
+
+    #[test]
+    fn unit_interval_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate} too far from 0.3");
+    }
+}

@@ -31,11 +31,7 @@ fn measured_probe_counts_respect_theorem_1() {
                 ids.swap(i, rng.gen_range(0..=i));
             }
             for hash in ids.into_iter().take(total - current) {
-                dht.overwrite_replica(
-                    hash,
-                    &key,
-                    ReplicaValue::new(b"old".to_vec(), Timestamp(1)),
-                );
+                dht.overwrite_replica(hash, &key, ReplicaValue::new(b"old".to_vec(), Timestamp(1)));
             }
             let got = ums::retrieve(&mut dht, &key).unwrap();
             assert!(got.is_current);

@@ -40,8 +40,14 @@ fn ums_beats_brk_on_both_metrics_across_seeds() {
             ums_wins_messages += 1;
         }
     }
-    assert_eq!(ums_wins_time, runs, "UMS-Direct should win on response time in every run");
-    assert_eq!(ums_wins_messages, runs, "UMS-Direct should win on messages in every run");
+    assert_eq!(
+        ums_wins_time, runs,
+        "UMS-Direct should win on response time in every run"
+    );
+    assert_eq!(
+        ums_wins_messages, runs,
+        "UMS-Direct should win on messages in every run"
+    );
 }
 
 #[test]
@@ -66,7 +72,11 @@ fn population_and_replica_invariants_hold_under_churn() {
     let replicas = config.num_replicas;
     let mut simulation = Simulation::new(config);
     let report = simulation.run();
-    assert_eq!(simulation.live_peers(), peers, "population must stay constant");
+    assert_eq!(
+        simulation.live_peers(),
+        peers,
+        "population must stay constant"
+    );
     for sample in &report.samples {
         assert!(sample.replicas_probed <= replicas);
         assert!(sample.messages as usize >= sample.replicas_probed);
@@ -84,7 +94,9 @@ fn disabling_data_handoff_reduces_currency() {
 
     let report_with = Simulation::new(with_handoff).run();
     let report_without = Simulation::new(without_handoff).run();
-    let pt_with = report_with.summary(Algorithm::UmsDirect).mean_currency_availability;
+    let pt_with = report_with
+        .summary(Algorithm::UmsDirect)
+        .mean_currency_availability;
     let pt_without = report_without
         .summary(Algorithm::UmsDirect)
         .mean_currency_availability;

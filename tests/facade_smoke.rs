@@ -1,0 +1,37 @@
+//! Smoke test mirroring the crate-level doc example of `rdht`, so the
+//! facade's re-export paths stay verified even if doctests are skipped.
+
+use rdht::core::{ums, InMemoryDht};
+use rdht::hashing::Key;
+
+#[test]
+fn facade_doc_example_paths_work() {
+    let mut dht = InMemoryDht::new(10, 1);
+    let key = Key::new("quickstart");
+    ums::insert(&mut dht, &key, b"hello".to_vec()).unwrap();
+    assert!(ums::retrieve(&mut dht, &key).unwrap().is_current);
+}
+
+#[test]
+fn top_level_reexports_resolve() {
+    // Types re-exported at the crate root are the same items as the
+    // per-module paths — assignments must type-check both ways.
+    let key: rdht::Key = rdht::hashing::Key::new("alias");
+    let family: rdht::HashFamily = rdht::hashing::HashFamily::new(3, 7);
+    let _position: u64 = family.eval_timestamp(&key);
+
+    let config: rdht::SimConfig = rdht::sim::SimConfig::small_test(16, 1);
+    let _algorithm: rdht::Algorithm = rdht::Algorithm::UmsDirect;
+    let _ = config;
+}
+
+#[test]
+fn facade_retrieve_sees_latest_insert() {
+    let mut dht = InMemoryDht::new(10, 2);
+    let key = Key::new("doc");
+    ums::insert(&mut dht, &key, b"v1".to_vec()).unwrap();
+    ums::insert(&mut dht, &key, b"v2".to_vec()).unwrap();
+    let got = ums::retrieve(&mut dht, &key).unwrap();
+    assert!(got.is_current);
+    assert_eq!(got.data.as_deref(), Some(b"v2".as_slice()));
+}

@@ -42,7 +42,9 @@ fn timestamps_stay_monotonic_across_chord_churn() {
     for round in 0..200 {
         // Generate a timestamp at the current responsible.
         let responsible = overlay.responsible_for(ts_position).unwrap();
-        let node = kts.entry(responsible).or_insert_with(|| KtsNode::new(false));
+        let node = kts
+            .entry(responsible)
+            .or_insert_with(|| KtsNode::new(false));
         let observation = if committed.is_zero() {
             IndirectObservation::nothing()
         } else {
@@ -65,7 +67,9 @@ fn timestamps_stay_monotonic_across_chord_churn() {
             } else {
                 overlay.leave(responsible)
             };
-            let mut departing = kts.remove(&responsible).unwrap_or_else(|| KtsNode::new(false));
+            let mut departing = kts
+                .remove(&responsible)
+                .unwrap_or_else(|| KtsNode::new(false));
             for change in &outcome.changes {
                 if change.handover_possible && change.kind == MembershipEventKind::Leave {
                     let exported = departing
@@ -108,7 +112,9 @@ fn recovery_corrects_underestimated_counters_after_failure() {
     let mut old_responsible = KtsNode::new(false);
     let mut latest = Timestamp::ZERO;
     for _ in 0..10 {
-        latest = old_responsible.gen_ts(&key, IndirectObservation::nothing).timestamp;
+        latest = old_responsible
+            .gen_ts(&key, IndirectObservation::nothing)
+            .timestamp;
     }
 
     // The old responsible fails before the last timestamps reach any replica:
@@ -125,11 +131,13 @@ fn recovery_corrects_underestimated_counters_after_failure() {
 
     // Recovery: the failed responsible restarts and sends its counters; the
     // new responsible corrects itself and reports which keys need re-insertion.
-    let corrections = new_responsible
-        .reconcile_with_recovered_counters(vec![(key.clone(), latest)]);
+    let corrections =
+        new_responsible.reconcile_with_recovered_counters(vec![(key.clone(), latest)]);
     assert_eq!(corrections.len(), 1);
     assert_eq!(corrections[0].corrected_to, latest);
-    let next = new_responsible.gen_ts(&key, || panic!("counter is valid")).timestamp;
+    let next = new_responsible
+        .gen_ts(&key, || panic!("counter is valid"))
+        .timestamp;
     assert!(next > latest);
 }
 
@@ -142,15 +150,12 @@ fn periodic_inspection_catches_up_with_stored_timestamps() {
     let mut responsible = KtsNode::new(false);
     responsible.gen_ts(&key, || IndirectObservation::observed(Timestamp(3)));
     // The DHT actually holds a replica stamped 17 that the indirect scan missed.
-    let corrections = responsible.periodic_inspection(|k| {
-        if k == &key {
-            Some(Timestamp(17))
-        } else {
-            None
-        }
-    });
+    let corrections =
+        responsible.periodic_inspection(|k| if k == &key { Some(Timestamp(17)) } else { None });
     assert_eq!(corrections.len(), 1);
     assert!(responsible.counter_value(&key).unwrap() >= Timestamp(17));
-    let next = responsible.gen_ts(&key, || panic!("counter is valid")).timestamp;
+    let next = responsible
+        .gen_ts(&key, || panic!("counter is valid"))
+        .timestamp;
     assert!(next > Timestamp(17));
 }
