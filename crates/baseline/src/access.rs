@@ -2,7 +2,7 @@
 
 use rdht_hashing::{HashId, Key};
 
-use rdht_core::UmsError;
+use rdht_core::{ReplicationIds, UmsError};
 
 use crate::types::VersionedValue;
 
@@ -28,6 +28,12 @@ pub trait BrkAccess {
         key: &Key,
     ) -> Result<Option<VersionedValue>, UmsError>;
 
-    /// The replication hash function ids, in probe order.
-    fn replication_ids(&self) -> Vec<HashId>;
+    /// Number of replication hash functions, `|Hr|`.
+    fn replication_count(&self) -> usize;
+
+    /// The replication hash function ids, in probe order
+    /// (`HashId(0)..HashId(|Hr|)`). Allocation-free.
+    fn replication_ids(&self) -> ReplicationIds {
+        ReplicationIds::new(self.replication_count())
+    }
 }

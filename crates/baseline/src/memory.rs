@@ -10,11 +10,12 @@ use crate::access::BrkAccess;
 use crate::types::VersionedValue;
 
 /// A single-process BRK store, mirroring [`rdht_core::InMemoryDht`] for the
-/// baseline: used in unit tests, property tests and examples.
+/// baseline: used in unit tests, property tests and examples. Replicas are
+/// grouped per key so that lookups borrow the key without cloning it.
 #[derive(Clone, Debug)]
 pub struct InMemoryBrk {
     family: HashFamily,
-    replicas: HashMap<(HashId, Key), VersionedValue>,
+    replicas: HashMap<Key, Vec<(HashId, VersionedValue)>>,
     fail_puts_for: HashSet<HashId>,
     fail_gets_for: HashSet<HashId>,
 }
@@ -38,7 +39,11 @@ impl InMemoryBrk {
 
     /// Overwrites a replica unconditionally (used to fabricate stale state).
     pub fn overwrite(&mut self, hash: HashId, key: &Key, value: VersionedValue) {
-        self.replicas.insert((hash, key.clone()), value);
+        let slots = self.replicas.entry(key.clone()).or_default();
+        match slots.iter_mut().find(|(h, _)| *h == hash) {
+            Some((_, stored)) => *stored = value,
+            None => slots.push((hash, value)),
+        }
     }
 
     /// Makes writes fail for the given hash functions.
@@ -66,16 +71,14 @@ impl BrkAccess for InMemoryBrk {
         // as large as what it holds — with equal versions (concurrent
         // updates) arrival order decides, which is exactly the inconsistency
         // the paper points out.
-        let entry = self.replicas.entry((hash, key.clone()));
-        match entry {
-            std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(value.clone());
-            }
-            std::collections::hash_map::Entry::Occupied(mut o) => {
-                if value.version >= o.get().version {
-                    o.insert(value.clone());
+        let slots = self.replicas.entry(key.clone()).or_default();
+        match slots.iter_mut().find(|(h, _)| *h == hash) {
+            Some((_, stored)) => {
+                if value.version >= stored.version {
+                    *stored = value.clone();
                 }
             }
+            None => slots.push((hash, value.clone())),
         }
         Ok(())
     }
@@ -88,11 +91,15 @@ impl BrkAccess for InMemoryBrk {
         if self.fail_gets_for.contains(&hash) {
             return Err(UmsError::lookup("replica holder unreachable (injected)"));
         }
-        Ok(self.replicas.get(&(hash, key.clone())).cloned())
+        Ok(self
+            .replicas
+            .get(key)
+            .and_then(|slots| slots.iter().find(|(h, _)| *h == hash))
+            .map(|(_, value)| value.clone()))
     }
 
-    fn replication_ids(&self) -> Vec<HashId> {
-        self.family.replication_ids().collect()
+    fn replication_count(&self) -> usize {
+        self.family.num_replication()
     }
 }
 

@@ -59,9 +59,9 @@ pub fn insert<A: BrkAccess + ?Sized>(
     let ids = access.replication_ids();
     let mut max_version = Version::ZERO;
     let mut replicas_read = 0;
-    for hash in &ids {
+    for hash in ids {
         replicas_read += 1;
-        if let Ok(Some(existing)) = access.get_versioned(*hash, key) {
+        if let Ok(Some(existing)) = access.get_versioned(hash, key) {
             if existing.version > max_version {
                 max_version = existing.version;
             }
@@ -71,8 +71,8 @@ pub fn insert<A: BrkAccess + ?Sized>(
     let value = VersionedValue::new(data, version);
     let mut replicas_written = 0;
     let mut replicas_failed = 0;
-    for hash in &ids {
-        match access.put_versioned(*hash, key, &value) {
+    for hash in ids {
+        match access.put_versioned(hash, key, &value) {
             Ok(()) => replicas_written += 1,
             Err(_) => replicas_failed += 1,
         }
@@ -102,9 +102,9 @@ pub fn retrieve<A: BrkAccess + ?Sized>(
     let mut replicas_probed = 0;
     let mut probes_failed = 0;
 
-    for hash in &ids {
+    for hash in ids {
         replicas_probed += 1;
-        match access.get_versioned(*hash, key) {
+        match access.get_versioned(hash, key) {
             Ok(Some(replica)) => match &best {
                 None => best = Some(replica),
                 Some(current_best) => {

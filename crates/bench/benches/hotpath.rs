@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks for the per-operation hot path: `PeerStore`
+//! put/get/drain, hash-family evaluation, and end-to-end `ums::insert` /
+//! `ums::retrieve` against the in-memory DHT.
+//!
+//! The same operations are timed by the `hotpath` binary, which additionally
+//! emits a machine-readable `BENCH_hotpath.json` for CI artifact tracking.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rdht_bench::workload::{bench_keys as keys, filled_store};
+use rdht_core::{ums, InMemoryDht};
+use rdht_hashing::HashFamily;
+use rdht_overlay::WritePolicy;
+
+fn bench_store(c: &mut Criterion) {
+    let family = HashFamily::new(10, 7);
+    let workload = keys(256);
+    let mut group = c.benchmark_group("peer_store");
+
+    group.bench_function("put_fill_256x10", |b| {
+        b.iter(|| filled_store(&family, &workload).len())
+    });
+
+    let store = filled_store(&family, &workload);
+    group.bench_function("get_all_256x10", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for key in &workload {
+                for h in family.replication_ids() {
+                    if let Some(rec) = store.get(h, black_box(key)) {
+                        acc = acc.wrapping_add(rec.stamp);
+                    }
+                }
+            }
+            acc
+        })
+    });
+
+    group.bench_function("max_stamp_256", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for key in &workload {
+                acc = acc.wrapping_add(store.max_stamp_for_key(black_box(key)).unwrap_or(0));
+            }
+            acc
+        })
+    });
+
+    let mut churn_store = filled_store(&family, &workload);
+    group.bench_function("drain_eighth_and_restore", |b| {
+        b.iter(|| {
+            let moved = churn_store.drain_range(0, u64::MAX / 8);
+            let count = moved.len();
+            for (hash, key, rec) in moved {
+                churn_store.put(hash, key, rec, WritePolicy::Overwrite);
+            }
+            count
+        })
+    });
+    group.finish();
+}
+
+fn bench_hash_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_eval_cached_digest");
+    for &replicas in &[10usize, 40] {
+        let family = HashFamily::new(replicas, 7);
+        let workload = keys(64);
+        group.bench_with_input(BenchmarkId::from_parameter(replicas), &replicas, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for key in &workload {
+                    for h in family.replication_functions() {
+                        acc ^= h.eval(black_box(key));
+                    }
+                    acc ^= family.eval_timestamp(black_box(key));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ums_end_to_end(c: &mut Criterion) {
+    let workload = keys(32);
+    let mut group = c.benchmark_group("ums_inmemory");
+
+    let mut dht = InMemoryDht::new(10, 7);
+    group.bench_function("insert_32", |b| {
+        b.iter(|| {
+            for key in &workload {
+                ums::insert(&mut dht, black_box(key), vec![1u8; 32]).expect("insert");
+            }
+        })
+    });
+
+    let mut dht = InMemoryDht::new(10, 7);
+    for key in &workload {
+        ums::insert(&mut dht, key, vec![1u8; 32]).expect("insert");
+    }
+    group.bench_function("retrieve_32", |b| {
+        b.iter(|| {
+            let mut probed = 0usize;
+            for key in &workload {
+                probed += ums::retrieve(&mut dht, black_box(key))
+                    .expect("retrieve")
+                    .replicas_probed;
+            }
+            probed
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store, bench_hash_eval, bench_ums_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,256 @@
+//! Hot-path benchmark harness: times the per-operation building blocks the
+//! simulator leans on (key digests, hash-family evaluation, `PeerStore`
+//! put/get/drain, end-to-end UMS insert/retrieve) plus one quick-scale
+//! `Simulation::run`, and emits a machine-readable `BENCH_hotpath.json` so
+//! the perf trajectory can be tracked across PRs.
+//!
+//! ```text
+//! cargo run --release -p rdht-bench --bin hotpath                  # full
+//! cargo run --release -p rdht-bench --bin hotpath -- --quick       # CI mode
+//! cargo run --release -p rdht-bench --bin hotpath -- --out out.json
+//! ```
+
+use std::time::Instant;
+
+use rdht_bench::workload::{bench_keys, filled_store};
+use rdht_bench::{experiments, Scale};
+use rdht_core::{ums, InMemoryDht};
+use rdht_hashing::HashFamily;
+use rdht_overlay::WritePolicy;
+use rdht_sim::Simulation;
+
+/// One measured benchmark: mean wall-clock nanoseconds per operation.
+struct BenchLine {
+    name: &'static str,
+    iters: u64,
+    ns_per_op: f64,
+}
+
+/// Times `op_count` operations produced by repeatedly calling `routine`
+/// (which must perform `batch` operations per call).
+fn measure<F: FnMut()>(name: &'static str, calls: u64, batch: u64, mut routine: F) -> BenchLine {
+    // One untimed warm-up call to touch caches and page in the data.
+    routine();
+    let start = Instant::now();
+    for _ in 0..calls {
+        routine();
+    }
+    let elapsed = start.elapsed();
+    let ops = calls * batch;
+    BenchLine {
+        name,
+        iters: ops,
+        ns_per_op: elapsed.as_nanos() as f64 / ops as f64,
+    }
+}
+
+fn bench_key_digest(calls: u64) -> BenchLine {
+    let keys = bench_keys(64);
+    let mut acc = 0u64;
+    let line = measure("key_digest", calls, keys.len() as u64, || {
+        for key in &keys {
+            acc = acc.wrapping_add(key.digest().0);
+        }
+    });
+    std::hint::black_box(acc);
+    line
+}
+
+fn bench_family_eval(calls: u64) -> BenchLine {
+    let family = HashFamily::new(10, 7);
+    let keys = bench_keys(64);
+    let mut acc = 0u64;
+    // One "op" is the full |Hr|+1 evaluation a UMS operation performs.
+    let line = measure("family_eval_hr_plus_ts", calls, keys.len() as u64, || {
+        for key in &keys {
+            for h in family.replication_functions() {
+                acc ^= h.eval(key);
+            }
+            acc ^= family.eval_timestamp(key);
+        }
+    });
+    std::hint::black_box(acc);
+    line
+}
+
+fn bench_store_put(calls: u64) -> BenchLine {
+    let family = HashFamily::new(10, 7);
+    let keys = bench_keys(256);
+    let ops = (keys.len() * family.num_replication()) as u64;
+    measure("store_put", calls, ops, || {
+        let store = filled_store(&family, &keys);
+        std::hint::black_box(store.len());
+    })
+}
+
+fn bench_store_get(calls: u64) -> BenchLine {
+    let family = HashFamily::new(10, 7);
+    let keys = bench_keys(256);
+    let store = filled_store(&family, &keys);
+    let ops = (keys.len() * family.num_replication()) as u64;
+    let mut acc = 0u64;
+    let line = measure("store_get", calls, ops, || {
+        for key in &keys {
+            for h in family.replication_ids() {
+                if let Some(rec) = store.get(h, key) {
+                    acc = acc.wrapping_add(rec.stamp);
+                }
+            }
+        }
+    });
+    std::hint::black_box(acc);
+    line
+}
+
+fn bench_store_max_stamp(calls: u64) -> BenchLine {
+    let family = HashFamily::new(10, 7);
+    let keys = bench_keys(256);
+    let store = filled_store(&family, &keys);
+    let mut acc = 0u64;
+    let line = measure("store_max_stamp_for_key", calls, keys.len() as u64, || {
+        for key in &keys {
+            acc = acc.wrapping_add(store.max_stamp_for_key(key).unwrap_or(0));
+        }
+    });
+    std::hint::black_box(acc);
+    line
+}
+
+fn bench_store_drain(calls: u64) -> BenchLine {
+    let family = HashFamily::new(10, 7);
+    let keys = bench_keys(256);
+    let mut store = filled_store(&family, &keys);
+    // Drain one eighth of the ring and hand the records back, modelling the
+    // join/leave transfer path (records move between two stores under churn).
+    measure("store_drain_transfer", calls, 1, || {
+        let moved = store.drain_range(0, u64::MAX / 8);
+        let count = moved.len();
+        for (hash, key, rec) in moved {
+            store.put(hash, key, rec, WritePolicy::Overwrite);
+        }
+        std::hint::black_box(count);
+    })
+}
+
+fn bench_store_drain_narrow(calls: u64) -> BenchLine {
+    let family = HashFamily::new(10, 7);
+    let keys = bench_keys(2048);
+    let mut store = filled_store(&family, &keys);
+    // The realistic churn shape: one join/leave moves a narrow slice of the
+    // ring (~1/n of the identifier space), not an eighth of it.
+    let mut start = 0u64;
+    measure("store_drain_narrow", calls, 1, || {
+        let moved = store.drain_range(start, start.wrapping_add(u64::MAX / 1024));
+        let count = moved.len();
+        for (hash, key, rec) in moved {
+            store.put(hash, key, rec, WritePolicy::Overwrite);
+        }
+        start = start.wrapping_add(u64::MAX / 512);
+        std::hint::black_box(count);
+    })
+}
+
+fn bench_ums_insert(calls: u64) -> BenchLine {
+    let keys = bench_keys(32);
+    let mut dht = InMemoryDht::new(10, 7);
+    measure("ums_insert", calls, keys.len() as u64, || {
+        for key in &keys {
+            ums::insert(&mut dht, key, vec![1u8; 32]).expect("insert");
+        }
+    })
+}
+
+fn bench_ums_retrieve(calls: u64) -> BenchLine {
+    let keys = bench_keys(32);
+    let mut dht = InMemoryDht::new(10, 7);
+    for key in &keys {
+        ums::insert(&mut dht, key, vec![1u8; 32]).expect("insert");
+    }
+    let mut acc = 0usize;
+    let line = measure("ums_retrieve", calls, keys.len() as u64, || {
+        for key in &keys {
+            let report = ums::retrieve(&mut dht, key).expect("retrieve");
+            acc += report.replicas_probed;
+        }
+    });
+    std::hint::black_box(acc);
+    line
+}
+
+fn bench_sim_quick_run(runs: u32) -> BenchLine {
+    // Best-of-N wall clock: a full simulation is long enough that scheduler
+    // noise dominates the mean, while the minimum tracks the code.
+    let mut best = u128::MAX;
+    for _ in 0..runs {
+        let config = experiments::base_config(Scale::Quick);
+        let start = Instant::now();
+        let report = Simulation::new(config).run();
+        best = best.min(start.elapsed().as_nanos());
+        std::hint::black_box(report.samples.len());
+    }
+    // One op = one full simulation run; the extra repetitions are a
+    // measurement detail, not extra operations.
+    BenchLine {
+        name: "sim_quick_run",
+        iters: 1,
+        ns_per_op: best as f64,
+    }
+}
+
+fn to_json(mode: &str, lines: &[BenchLine]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"rdht-bench-hotpath/v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"benches\": [\n");
+    for (i, line) in lines.iter().enumerate() {
+        let comma = if i + 1 == lines.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"iters\": {}, \"ns_per_op\": {:.2}}}{comma}\n",
+            line.name, line.iters, line.ns_per_op
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+
+    // --quick divides the repetition counts so CI finishes in seconds; the
+    // measured operations are identical.
+    let scale = if quick { 1 } else { 10 };
+    let mut lines = vec![
+        bench_key_digest(2_000 * scale),
+        bench_family_eval(500 * scale),
+        bench_store_put(20 * scale),
+        bench_store_get(100 * scale),
+        bench_store_max_stamp(200 * scale),
+        bench_store_drain(50 * scale),
+        bench_store_drain_narrow(100 * scale),
+        bench_ums_insert(50 * scale),
+        bench_ums_retrieve(50 * scale),
+    ];
+    lines.push(bench_sim_quick_run(if quick { 3 } else { 5 }));
+
+    let mode = if quick { "quick" } else { "full" };
+    for line in &lines {
+        println!(
+            "{:<28} {:>14.2} ns/op  ({} ops)",
+            line.name, line.ns_per_op, line.iters
+        );
+    }
+    let json = to_json(mode, &lines);
+    if let Err(error) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {error}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

@@ -11,6 +11,13 @@ pub fn run_config(config: SimConfig) -> SimulationReport {
     Simulation::new(config).run()
 }
 
+/// Runs a whole sweep, one simulation per configuration, across worker
+/// threads. Reports come back in input order and are bit-identical to a
+/// sequential run (see [`crate::parallel::run_configs`]).
+pub fn run_sweep(configs: Vec<SimConfig>) -> Vec<SimulationReport> {
+    crate::parallel::run_configs(configs)
+}
+
 /// The base configuration for wide-area experiments at the given scale:
 /// Table 1 for [`Scale::Paper`], a shrunk but otherwise identical setup for
 /// [`Scale::Quick`].
@@ -85,16 +92,19 @@ pub fn table1() -> String {
 /// profile (Section 5.2, experimental results).
 pub fn fig6(scale: Scale) -> ExperimentResult {
     let peer_counts = [10usize, 20, 30, 40, 50, 64];
-    let mut reports = Vec::new();
     let xs: Vec<f64> = peer_counts.iter().map(|p| *p as f64).collect();
-    for &peers in &peer_counts {
-        let mut config = SimConfig::cluster(peers);
-        if scale == Scale::Quick {
-            config.duration = 900.0;
-            config.queries = 20;
-        }
-        reports.push(run_config(config));
-    }
+    let configs: Vec<SimConfig> = peer_counts
+        .iter()
+        .map(|&peers| {
+            let mut config = SimConfig::cluster(peers);
+            if scale == Scale::Quick {
+                config.duration = 900.0;
+                config.queries = 20;
+            }
+            config
+        })
+        .collect();
+    let reports = run_sweep(configs);
     let mut result = ExperimentResult::new(
         "fig6",
         "Response time vs. number of peers (cluster, 10-64 peers)",
@@ -118,11 +128,11 @@ pub fn fig7_fig8(scale: Scale) -> (ExperimentResult, ExperimentResult) {
         Scale::Quick => vec![200, 400, 600, 800, 1_000],
     };
     let xs: Vec<f64> = peer_counts.iter().map(|p| *p as f64).collect();
-    let mut reports = Vec::new();
-    for &peers in &peer_counts {
-        let config = base_config(scale).with_num_peers(peers);
-        reports.push(run_config(config));
-    }
+    let configs: Vec<SimConfig> = peer_counts
+        .iter()
+        .map(|&peers| base_config(scale).with_num_peers(peers))
+        .collect();
+    let reports = run_sweep(configs);
     let mut fig7 = ExperimentResult::new(
         "fig7",
         "Response time vs. number of peers (simulation)",
@@ -148,11 +158,11 @@ pub fn fig7_fig8(scale: Scale) -> (ExperimentResult, ExperimentResult) {
 pub fn fig9_fig10(scale: Scale) -> (ExperimentResult, ExperimentResult) {
     let replica_counts = [5usize, 10, 15, 20, 25, 30, 35, 40];
     let xs: Vec<f64> = replica_counts.iter().map(|r| *r as f64).collect();
-    let mut reports = Vec::new();
-    for &replicas in &replica_counts {
-        let config = base_config(scale).with_num_replicas(replicas);
-        reports.push(run_config(config));
-    }
+    let configs: Vec<SimConfig> = replica_counts
+        .iter()
+        .map(|&replicas| base_config(scale).with_num_replicas(replicas))
+        .collect();
+    let reports = run_sweep(configs);
     let mut fig9 = ExperimentResult::new(
         "fig9",
         "Response time vs. number of replicas",
@@ -176,11 +186,11 @@ pub fn fig9_fig10(scale: Scale) -> (ExperimentResult, ExperimentResult) {
 /// Figure 11 — response time vs. failure rate (Section 5.4).
 pub fn fig11(scale: Scale) -> ExperimentResult {
     let failure_rates = [5.0f64, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0];
-    let mut reports = Vec::new();
-    for &rate in &failure_rates {
-        let config = base_config(scale).with_failure_rate(rate / 100.0);
-        reports.push(run_config(config));
-    }
+    let configs: Vec<SimConfig> = failure_rates
+        .iter()
+        .map(|&rate| base_config(scale).with_failure_rate(rate / 100.0))
+        .collect();
+    let reports = run_sweep(configs);
     let mut result = ExperimentResult::new(
         "fig11",
         "Response time vs. failure rate",
@@ -198,11 +208,11 @@ pub fn fig11(scale: Scale) -> ExperimentResult {
 /// paper plots only the two UMS variants here.
 pub fn fig12(scale: Scale) -> ExperimentResult {
     let frequencies = [0.0625f64, 0.125, 0.25, 0.5, 1.0, 2.0, 4.0];
-    let mut reports = Vec::new();
-    for &rate in &frequencies {
-        let config = base_config(scale).with_update_rate(rate);
-        reports.push(run_config(config));
-    }
+    let configs: Vec<SimConfig> = frequencies
+        .iter()
+        .map(|&rate| base_config(scale).with_update_rate(rate))
+        .collect();
+    let reports = run_sweep(configs);
     let mut result = ExperimentResult::new(
         "fig12",
         "Response time vs. frequency of updates",
@@ -239,14 +249,20 @@ pub fn theorem1(scale: Scale) -> ExperimentResult {
     let mut bound = Series::new("1/p_t bound (Thm 1)");
     let mut eq5 = Series::new("min(1/p_t, |Hr|) (Eq.5)");
 
-    for (i, &failure_rate) in failure_rates.iter().enumerate() {
-        let mut config = base
-            .clone()
-            .with_seed(base.seed.wrapping_add(i as u64))
-            .with_failure_rate(failure_rate);
-        config.churn_rate_per_second = base.churn_rate_per_second * 4.0;
-        config.update_rate_per_hour = base.update_rate_per_hour.min(0.5);
-        let report = run_config(config);
+    let configs: Vec<SimConfig> = failure_rates
+        .iter()
+        .enumerate()
+        .map(|(i, &failure_rate)| {
+            let mut config = base
+                .clone()
+                .with_seed(base.seed.wrapping_add(i as u64))
+                .with_failure_rate(failure_rate);
+            config.churn_rate_per_second = base.churn_rate_per_second * 4.0;
+            config.update_rate_per_hour = base.update_rate_per_hour.min(0.5);
+            config
+        })
+        .collect();
+    for report in run_sweep(configs) {
         let samples: Vec<_> = report.samples_for(Algorithm::UmsDirect).collect();
         if samples.is_empty() {
             continue;

@@ -26,7 +26,9 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod parallel;
 mod result;
+pub mod workload;
 
 pub use result::{ExperimentResult, Series};
 

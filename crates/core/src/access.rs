@@ -44,7 +44,52 @@ pub trait UmsAccess {
     /// `Ok(None)` means the responsible peer holds no replica for the key.
     fn get_replica(&mut self, hash: HashId, key: &Key) -> Result<Option<ReplicaValue>, UmsError>;
 
+    /// Number of replication hash functions, `|Hr|`.
+    fn replication_count(&self) -> usize;
+
     /// The ids of the replication hash functions `Hr`, in the order retrieve
-    /// should probe them.
-    fn replication_ids(&self) -> Vec<HashId>;
+    /// should probe them: `HashId(0)..HashId(|Hr|)`. Allocation-free — the
+    /// returned iterator is a counted range.
+    fn replication_ids(&self) -> ReplicationIds {
+        ReplicationIds::new(self.replication_count())
+    }
 }
+
+/// Allocation-free iterator over the ids of the replication hash functions
+/// `Hr`: `HashId(0), HashId(1), …, HashId(|Hr| − 1)`.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplicationIds {
+    next: u32,
+    end: u32,
+}
+
+impl ReplicationIds {
+    /// Iterator over the first `count` replication hash ids.
+    pub fn new(count: usize) -> Self {
+        ReplicationIds {
+            next: 0,
+            end: u32::try_from(count).expect("|Hr| fits in u32"),
+        }
+    }
+}
+
+impl Iterator for ReplicationIds {
+    type Item = HashId;
+
+    #[inline]
+    fn next(&mut self) -> Option<HashId> {
+        if self.next == self.end {
+            return None;
+        }
+        let id = HashId(self.next);
+        self.next += 1;
+        Some(id)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.end - self.next) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for ReplicationIds {}

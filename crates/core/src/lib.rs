@@ -65,7 +65,7 @@ mod memory;
 mod types;
 pub mod ums;
 
-pub use access::UmsAccess;
+pub use access::{ReplicationIds, UmsAccess};
 pub use config::{LastTsInitPolicy, UmsConfig};
 pub use error::UmsError;
 pub use memory::InMemoryDht;

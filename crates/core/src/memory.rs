@@ -23,10 +23,14 @@ use crate::kts::{IndirectObservation, KtsNode};
 use crate::types::{ReplicaValue, Timestamp};
 
 /// An in-memory DHT with UMS/KTS semantics (see the module docs).
+///
+/// Replicas are grouped per key (one small per-hash table each), mirroring
+/// the indexed `PeerStore` of the overlay crate: lookups borrow the key, so
+/// the probe path performs no key clones.
 #[derive(Clone, Debug)]
 pub struct InMemoryDht {
     family: HashFamily,
-    replicas: HashMap<(HashId, Key), ReplicaValue>,
+    replicas: HashMap<Key, Vec<(HashId, ReplicaValue)>>,
     kts: KtsNode,
     last_ts_policy: LastTsInitPolicy,
     fail_all_puts: bool,
@@ -62,19 +66,28 @@ impl InMemoryDht {
     /// Number of replicas currently stored (across all keys and hash
     /// functions).
     pub fn stored_replicas(&self) -> usize {
-        self.replicas.len()
+        self.replicas.values().map(Vec::len).sum()
     }
 
     /// Overwrites a replica unconditionally — used by tests to fabricate
     /// stale replicas (as if the holder had missed updates).
     pub fn overwrite_replica(&mut self, hash: HashId, key: &Key, value: ReplicaValue) {
-        self.replicas.insert((hash, key.clone()), value);
+        let slots = self.replicas.entry(key.clone()).or_default();
+        match slots.iter_mut().find(|(h, _)| *h == hash) {
+            Some((_, stored)) => *stored = value,
+            None => slots.push((hash, value)),
+        }
     }
 
     /// Drops the replica stored under one hash function — as if its holder
     /// had failed and its memory were lost.
     pub fn drop_replica(&mut self, hash: HashId, key: &Key) {
-        self.replicas.remove(&(hash, key.clone()));
+        if let Some(slots) = self.replicas.get_mut(key) {
+            slots.retain(|(h, _)| *h != hash);
+            if slots.is_empty() {
+                self.replicas.remove(key);
+            }
+        }
     }
 
     /// Simulates a crash of the timestamping responsible: all counters are
@@ -108,10 +121,8 @@ impl InMemoryDht {
     fn indirect_observation(&self, key: &Key) -> IndirectObservation {
         let max = self
             .replicas
-            .iter()
-            .filter(|((_, k), _)| k == key)
-            .map(|(_, v)| v.timestamp)
-            .max();
+            .get(key)
+            .and_then(|slots| slots.iter().map(|(_, v)| v.timestamp).max());
         match max {
             Some(ts) => IndirectObservation::observed(ts),
             None => IndirectObservation::nothing(),
@@ -140,16 +151,14 @@ impl UmsAccess for InMemoryDht {
         if self.fail_all_puts || self.fail_puts_for.contains(&hash) {
             return Err(UmsError::lookup("replica holder unreachable (injected)"));
         }
-        let entry = self.replicas.entry((hash, key.clone()));
-        match entry {
-            std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(value.clone());
-            }
-            std::collections::hash_map::Entry::Occupied(mut o) => {
-                if value.timestamp > o.get().timestamp {
-                    o.insert(value.clone());
+        let slots = self.replicas.entry(key.clone()).or_default();
+        match slots.iter_mut().find(|(h, _)| *h == hash) {
+            Some((_, stored)) => {
+                if value.timestamp > stored.timestamp {
+                    *stored = value.clone();
                 }
             }
+            None => slots.push((hash, value.clone())),
         }
         Ok(())
     }
@@ -158,11 +167,15 @@ impl UmsAccess for InMemoryDht {
         if self.fail_gets_for.contains(&hash) {
             return Err(UmsError::lookup("replica holder unreachable (injected)"));
         }
-        Ok(self.replicas.get(&(hash, key.clone())).cloned())
+        Ok(self
+            .replicas
+            .get(key)
+            .and_then(|slots| slots.iter().find(|(h, _)| *h == hash))
+            .map(|(_, value)| value.clone()))
     }
 
-    fn replication_ids(&self) -> Vec<HashId> {
-        self.family.replication_ids().collect()
+    fn replication_count(&self) -> usize {
+        self.family.num_replication()
     }
 }
 

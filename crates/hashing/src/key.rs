@@ -1,7 +1,10 @@
 //! Application-level keys.
 
 use std::borrow::Borrow;
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use crate::mix::fingerprint64;
 
@@ -13,20 +16,24 @@ use crate::mix::fingerprint64;
 /// values stored under them (Section 5.1: "the keys do not depend on the data
 /// values, so changing the value of a data does not change its key").
 ///
-/// `Key` is cheap to clone (it stores the bytes in an `Arc`-free boxed slice,
-/// typically short) and hashable so it can index per-peer stores and counter
-/// sets.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// The bytes are reference-counted (`Arc<[u8]>`) and the 64-bit
+/// [`KeyDigest`] is computed once at construction, so cloning a key is a
+/// refcount bump and evaluating all `|Hr| + 1` hash functions on it never
+/// re-reads the byte string. This is what makes the per-operation probe path
+/// allocation-free: every layer passes `&Key` (or a cheap clone) around and
+/// hashing costs constant time.
+#[derive(Clone)]
 pub struct Key {
-    bytes: Box<[u8]>,
+    bytes: Arc<[u8]>,
+    digest: KeyDigest,
 }
 
 impl Key {
     /// Creates a key from raw bytes.
     pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
-        Key {
-            bytes: bytes.into().into_boxed_slice(),
-        }
+        let bytes: Arc<[u8]> = bytes.into().into();
+        let digest = KeyDigest(fingerprint64(&bytes));
+        Key { bytes, digest }
     }
 
     /// Creates a key from a string.
@@ -40,14 +47,48 @@ impl Key {
     }
 
     /// The 64-bit digest of the key, used as the input `x` of every hash
-    /// function in the family.
+    /// function in the family. Cached at construction — calling this is free.
+    #[inline]
     pub fn digest(&self) -> KeyDigest {
-        KeyDigest(fingerprint64(&self.bytes))
+        self.digest
     }
 
     /// Lossy UTF-8 rendering, for logs and examples.
     pub fn display_lossy(&self) -> String {
         String::from_utf8_lossy(&self.bytes).into_owned()
+    }
+}
+
+// Equality, ordering and hashing are defined on the key bytes alone; the
+// cached digest is a pure function of the bytes, so it can never disagree,
+// but it must not contribute to `Hash` (the `Borrow<[u8]>` impl promises
+// that a `Key` hashes exactly like its byte slice).
+impl PartialEq for Key {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        // The digest comparison rejects almost all non-equal keys in one
+        // word comparison before touching the byte strings.
+        self.digest == other.digest && self.bytes == other.bytes
+    }
+}
+
+impl Eq for Key {}
+
+impl Hash for Key {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.bytes.hash(state);
+    }
+}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bytes.cmp(&other.bytes)
     }
 }
 
@@ -84,8 +125,10 @@ impl Borrow<[u8]> for Key {
 /// The 64-bit fingerprint of a [`Key`].
 ///
 /// All hash functions in a [`crate::HashFamily`] consume this digest rather
-/// than the raw bytes, so that evaluating `|Hr| + 1` functions on a key costs
-/// one byte-string pass plus `|Hr| + 1` constant-time arithmetic evaluations.
+/// than the raw bytes. The digest is computed once when the key is built and
+/// cached inside it, so evaluating `|Hr| + 1` functions on a key costs
+/// `|Hr| + 1` constant-time arithmetic evaluations and zero byte-string
+/// passes.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct KeyDigest(pub u64);
 
@@ -116,6 +159,21 @@ mod tests {
     }
 
     #[test]
+    fn cached_digest_matches_fresh_fingerprint() {
+        let k = Key::new("agenda:room-42");
+        assert_eq!(k.digest().0, fingerprint64(k.as_bytes()));
+        let clone = k.clone();
+        assert_eq!(clone.digest(), k.digest());
+    }
+
+    #[test]
+    fn clone_shares_bytes_without_allocating() {
+        let k = Key::new("shared");
+        let c = k.clone();
+        assert!(std::ptr::eq(k.as_bytes(), c.as_bytes()));
+    }
+
+    #[test]
     fn different_keys_have_different_digests() {
         let a = Key::new("a");
         let b = Key::new("b");
@@ -134,5 +192,16 @@ mod tests {
         let a = Key::new("aaa");
         let b = Key::new("aab");
         assert!(a < b);
+    }
+
+    #[test]
+    fn hash_matches_borrowed_slice_hash() {
+        use std::collections::hash_map::DefaultHasher;
+        let k = Key::new("doc");
+        let mut h1 = DefaultHasher::new();
+        k.hash(&mut h1);
+        let mut h2 = DefaultHasher::new();
+        <[u8] as Hash>::hash(k.as_bytes(), &mut h2);
+        assert_eq!(h1.finish(), h2.finish());
     }
 }

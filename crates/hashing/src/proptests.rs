@@ -20,6 +20,16 @@ proptest! {
         prop_assert_eq!(a.digest(), b.digest());
     }
 
+    /// The digest cached inside a key at construction always equals a fresh
+    /// fingerprint of the key bytes, including after clones (the cache can
+    /// never drift from the bytes it was derived from).
+    #[test]
+    fn cached_digest_equals_fresh_fingerprint(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let key = Key::from_bytes(bytes.clone());
+        prop_assert_eq!(key.digest().0, fingerprint64(&bytes));
+        prop_assert_eq!(key.clone().digest().0, fingerprint64(key.as_bytes()));
+    }
+
     /// Every hash function of a family maps any key into the full u64 range
     /// deterministically, and the family evaluation matches per-function
     /// evaluation.

@@ -158,7 +158,7 @@ impl UmsAccess for ClusterClient {
         }
     }
 
-    fn replication_ids(&self) -> Vec<HashId> {
-        self.directory.family.replication_ids().collect()
+    fn replication_count(&self) -> usize {
+        self.directory.family.num_replication()
     }
 }

@@ -22,7 +22,6 @@ impl CanNetwork {
         let target_point = CanPoint::from_code(position);
         let mut current = origin;
         let mut hops = 0u32;
-        let mut path = Vec::new();
 
         for _ in 0..self.config.max_routing_steps {
             let node = match self.nodes.get(&current) {
@@ -34,7 +33,6 @@ impl CanNetwork {
                     responsible: current,
                     hops,
                     timeouts: 0,
-                    path,
                 });
             }
             let current_distance = node
@@ -63,7 +61,6 @@ impl CanNetwork {
             match next {
                 Some((next_id, next_distance)) if next_distance < current_distance => {
                     hops += 1;
-                    path.push(next_id);
                     current = next_id;
                 }
                 _ => {
@@ -76,12 +73,10 @@ impl CanNetwork {
                         None => break,
                     };
                     hops += 2;
-                    path.push(owner);
                     return Ok(LookupOutcome {
                         responsible: owner,
                         hops,
                         timeouts: 1,
-                        path,
                     });
                 }
             }

@@ -31,14 +31,12 @@ impl ChordNetwork {
                 responsible: origin,
                 hops: 0,
                 timeouts: 0,
-                path: Vec::new(),
             });
         }
 
         let mut current = origin;
         let mut hops = 0u32;
         let mut timeouts = 0u32;
-        let mut path = Vec::new();
         let max_steps = self.config.max_routing_steps;
 
         for _ in 0..max_steps {
@@ -58,12 +56,10 @@ impl ChordNetwork {
             //    successor is the responsible peer.
             if in_open_closed_interval(current.0, successor.0, position) {
                 hops += 1;
-                path.push(successor);
                 return Ok(LookupOutcome {
                     responsible: successor,
                     hops,
                     timeouts,
-                    path,
                 });
             }
 
@@ -73,7 +69,6 @@ impl ChordNetwork {
                 _ => successor,
             };
             hops += 1;
-            path.push(next);
             current = next;
         }
 
@@ -88,10 +83,12 @@ impl ChordNetwork {
     /// back to ground truth (the result of the node running a full repair via
     /// its other neighbors) when the whole list is dead.
     fn live_successor_with_repair(&mut self, id: NodeId, timeouts: &mut u32) -> Option<NodeId> {
-        let believed: Vec<NodeId> = self.nodes.get(&id)?.successors.clone();
+        // Shared borrows only while scanning — the believed list is read in
+        // place, not cloned (this runs once per routing hop).
+        let node = self.nodes.get(&id)?;
         let mut dead_prefix = 0usize;
         let mut live = None;
-        for candidate in &believed {
+        for candidate in &node.successors {
             if self.nodes.contains_key(candidate) {
                 live = Some(*candidate);
                 break;
@@ -138,33 +135,41 @@ impl ChordNetwork {
         position: u64,
         timeouts: &mut u32,
     ) -> Option<NodeId> {
-        let candidates: Vec<(usize, NodeId)> = match self.nodes.get(&id) {
-            Some(node) => node
-                .fingers_high_to_low()
-                .filter(|(_, f)| in_open_open_interval(id.0, position, f.0))
-                .collect(),
-            None => return None,
-        };
-
-        let mut dead_indices = Vec::new();
+        // Scan the finger table in place (no candidate vector); dead fingers
+        // are recorded in a scratch buffer reused across lookups so the hop
+        // path stays allocation-free.
+        let mut dead_indices = std::mem::take(&mut self.dead_finger_scratch);
+        dead_indices.clear();
         let mut chosen = None;
-        for (idx, candidate) in candidates {
-            if self.nodes.contains_key(&candidate) {
-                chosen = Some(candidate);
-                break;
+        match self.nodes.get(&id) {
+            Some(node) => {
+                for (idx, candidate) in node
+                    .fingers_high_to_low()
+                    .filter(|(_, f)| in_open_open_interval(id.0, position, f.0))
+                {
+                    if self.nodes.contains_key(&candidate) {
+                        chosen = Some(candidate);
+                        break;
+                    }
+                    dead_indices.push(idx);
+                }
             }
-            dead_indices.push(idx);
+            None => {
+                self.dead_finger_scratch = dead_indices;
+                return None;
+            }
         }
         *timeouts += dead_indices.len() as u32;
         if !dead_indices.is_empty() {
             if let Some(node) = self.nodes.get_mut(&id) {
-                for idx in dead_indices {
+                for &idx in &dead_indices {
                     if idx < node.fingers.len() {
                         node.fingers[idx] = None;
                     }
                 }
             }
         }
+        self.dead_finger_scratch = dead_indices;
         chosen
     }
 }

@@ -50,7 +50,7 @@ impl ChordNetwork {
             node.predecessor = Some(id);
             node.fingers = vec![Some(id); self.config.finger_bits as usize];
             self.nodes.insert(id, node);
-            self.ring.insert(id);
+            self.ring_insert(id);
             return MembershipOutcome {
                 changes: Vec::new(),
                 messages: 0,
@@ -68,7 +68,7 @@ impl ChordNetwork {
             .truth_predecessor_of_node(successor)
             .expect("non-empty ring has a predecessor");
 
-        self.ring.insert(id);
+        self.ring_insert(id);
         self.nodes.insert(id, ChordNode::new(id));
         self.rebuild_node_routing_state(id);
 
@@ -119,7 +119,7 @@ impl ChordNetwork {
         let successor = self.truth_successor_of_node(id);
         let predecessor = self.truth_predecessor_of_node(id);
 
-        self.ring.remove(&id);
+        self.ring_remove(id);
         self.nodes.remove(&id);
 
         let mut outcome = MembershipOutcome {
@@ -180,7 +180,7 @@ impl ChordNetwork {
         let successor = self.truth_successor_of_node(id);
         let predecessor = self.truth_predecessor_of_node(id);
 
-        self.ring.remove(&id);
+        self.ring_remove(id);
         self.nodes.remove(&id);
 
         let mut outcome = MembershipOutcome::default();
@@ -205,10 +205,17 @@ impl ChordNetwork {
     /// periodic `stabilize` + `fix_fingers` do.
     pub(super) fn do_stabilize(&mut self) -> StabilizeOutcome {
         let mut outcome = StabilizeOutcome::default();
-        let ids: Vec<NodeId> = self.ring.iter().copied().collect();
+        // One memcpy snapshot of the membership (nodes may join/leave midway
+        // through a real round, so each node acts on the round's population).
+        let ids: Vec<NodeId> = self.sorted_ids.clone();
         let succ_len = self.config.successor_list_len;
         let per_round = self.config.fingers_fixed_per_round.max(1);
         let finger_bits = self.config.finger_bits as usize;
+        // Scratch buffers shared by every node in the round: stabilization is
+        // O(n) nodes per round, so per-node allocations dominate without
+        // these.
+        let mut succ_scratch: Vec<NodeId> = Vec::with_capacity(succ_len);
+        let mut refreshed: Vec<(usize, Option<NodeId>)> = Vec::with_capacity(per_round);
 
         for id in ids {
             // Successor verification: count how many known successors are dead.
@@ -231,12 +238,12 @@ impl ChordNetwork {
             outcome.repaired_successors += dead_successors + u32::from(had_dead_pred);
             // The stabilize exchange with the (first live) successor refreshes
             // the whole list and the predecessor pointer.
-            let succ_list = self.truth_successor_list(id, succ_len);
+            self.truth_successor_list_into(id, succ_len, &mut succ_scratch);
             let pred = self.truth_predecessor_of_node(id);
             outcome.messages += 2 + dead_successors; // request/response + one timeout probe per dead entry
 
             // fix_fingers: refresh `per_round` entries round-robin.
-            let mut refreshed = Vec::with_capacity(per_round);
+            refreshed.clear();
             let start_index = self
                 .nodes
                 .get(&id)
@@ -251,12 +258,13 @@ impl ChordNetwork {
             outcome.messages += refreshed.len() as u32;
 
             if let Some(node) = self.nodes.get_mut(&id) {
-                node.successors = succ_list;
+                node.successors.clear();
+                node.successors.extend_from_slice(&succ_scratch);
                 node.predecessor = pred;
                 if node.fingers.len() < finger_bits {
                     node.fingers.resize(finger_bits, None);
                 }
-                for (idx, value) in refreshed {
+                for &(idx, value) in &refreshed {
                     node.fingers[idx] = value;
                 }
                 node.next_finger_to_fix = (start_index + per_round) % finger_bits;

@@ -76,6 +76,13 @@ pub struct ChordNetwork {
     nodes: HashMap<NodeId, ChordNode>,
     /// Ground-truth set of live node ids, ordered on the ring.
     ring: BTreeSet<NodeId>,
+    /// The same ids as `ring`, kept sorted in a dense vector so that
+    /// [`Overlay::sample_alive`] is an `O(1)` index instead of an `O(n)`
+    /// collect; the order matches [`Overlay::alive_ids`] exactly.
+    sorted_ids: Vec<NodeId>,
+    /// Reused by [`ChordNetwork::route_lookup`] to record dead finger slots
+    /// without allocating per hop.
+    dead_finger_scratch: Vec<usize>,
 }
 
 impl ChordNetwork {
@@ -85,6 +92,8 @@ impl ChordNetwork {
             config,
             nodes: HashMap::new(),
             ring: BTreeSet::new(),
+            sorted_ids: Vec::new(),
+            dead_finger_scratch: Vec::new(),
         }
     }
 
@@ -101,8 +110,31 @@ impl ChordNetwork {
                 network.nodes.insert(id, ChordNode::new(id));
             }
         }
+        network.sorted_ids = network.ring.iter().copied().collect();
         network.rebuild_all_routing_state();
         network
+    }
+
+    /// Adds `id` to both ground-truth membership structures. Returns whether
+    /// the id was new.
+    pub(super) fn ring_insert(&mut self, id: NodeId) -> bool {
+        if !self.ring.insert(id) {
+            return false;
+        }
+        let at = self.sorted_ids.partition_point(|n| *n < id);
+        self.sorted_ids.insert(at, id);
+        true
+    }
+
+    /// Removes `id` from both ground-truth membership structures.
+    pub(super) fn ring_remove(&mut self, id: NodeId) -> bool {
+        if !self.ring.remove(&id) {
+            return false;
+        }
+        if let Ok(at) = self.sorted_ids.binary_search(&id) {
+            self.sorted_ids.remove(at);
+        }
+        true
     }
 
     /// The configuration in use.
@@ -158,6 +190,15 @@ impl ChordNetwork {
     /// unless the ring is smaller than `count + 1`).
     fn truth_successor_list(&self, id: NodeId, count: usize) -> Vec<NodeId> {
         let mut out = Vec::with_capacity(count);
+        self.truth_successor_list_into(id, count, &mut out);
+        out
+    }
+
+    /// Fills `out` with the first `count` ground-truth successors of `id`.
+    /// The buffer is cleared first; callers on hot loops (stabilization)
+    /// reuse one buffer across nodes to avoid per-node allocations.
+    fn truth_successor_list_into(&self, id: NodeId, count: usize, out: &mut Vec<NodeId>) {
+        out.clear();
         let mut current = id;
         for _ in 0..count {
             match self.truth_successor_of_node(current) {
@@ -171,7 +212,6 @@ impl ChordNetwork {
                 None => break,
             }
         }
-        out
     }
 
     /// Checks internal consistency of the ground-truth structures; used by
@@ -188,6 +228,11 @@ impl ChordNetwork {
             if !self.nodes.contains_key(id) {
                 return Err(format!("ring member {id} missing from node map"));
             }
+        }
+        if self.sorted_ids.len() != self.ring.len()
+            || !self.sorted_ids.iter().zip(&self.ring).all(|(a, b)| a == b)
+        {
+            return Err("sorted id vector out of sync with ring".to_string());
         }
         Ok(())
     }
@@ -207,7 +252,11 @@ impl Overlay for ChordNetwork {
     }
 
     fn alive_ids(&self) -> Vec<NodeId> {
-        self.ring.iter().copied().collect()
+        self.sorted_ids.clone()
+    }
+
+    fn sample_alive(&self, index: usize) -> Option<NodeId> {
+        self.sorted_ids.get(index).copied()
     }
 
     fn responsible_for(&self, position: u64) -> Option<NodeId> {

@@ -29,6 +29,34 @@ fn small_config() -> ChordConfig {
 }
 
 #[test]
+fn sample_alive_matches_alive_ids_across_churn() {
+    // The O(1) sampler must stay in lockstep with `alive_ids` through joins,
+    // leaves and failures — the simulator relies on identical ordering to
+    // keep seeded runs reproducible.
+    let mut network = ChordNetwork::bootstrap(ids(77, 24), small_config());
+    let mut rng = StdRng::seed_from_u64(99);
+    for round in 0..40 {
+        let members = network.alive_ids();
+        assert_eq!(network.alive_count(), members.len());
+        for (index, id) in members.iter().enumerate() {
+            assert_eq!(network.sample_alive(index), Some(*id));
+        }
+        assert_eq!(network.sample_alive(members.len()), None);
+        if round % 3 == 0 {
+            network.join(NodeId(rng.gen()));
+        } else {
+            let victim = members[rng.gen_range(0..members.len())];
+            if round % 3 == 1 {
+                network.leave(victim);
+            } else {
+                network.fail(victim);
+            }
+        }
+        network.check_invariants().unwrap();
+    }
+}
+
+#[test]
 fn bootstrap_builds_consistent_ring() {
     let network = ChordNetwork::bootstrap(ids(1, 50), small_config());
     assert_eq!(network.len(), 50);

@@ -41,7 +41,10 @@ impl std::fmt::Display for LookupError {
 impl std::error::Error for LookupError {}
 
 /// The result of routing a lookup for some target identifier.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Plain counters only — the record is `Copy` and the routing path is not
+/// materialized, so issuing a lookup performs no allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LookupOutcome {
     /// The live peer currently responsible for the target identifier.
     pub responsible: NodeId,
@@ -51,10 +54,6 @@ pub struct LookupOutcome {
     /// Number of timeouts suffered while probing peers that turned out to be
     /// dead (stale fingers or successors).
     pub timeouts: u32,
-    /// The sequence of peers traversed, excluding the origin, ending with the
-    /// responsible. Useful for tests and debugging; cheap because lookups are
-    /// O(log n) hops.
-    pub path: Vec<NodeId>,
 }
 
 impl LookupOutcome {
@@ -151,7 +150,6 @@ mod tests {
             responsible: NodeId(1),
             hops: 5,
             timeouts: 2,
-            path: vec![NodeId(9), NodeId(1)],
         };
         assert_eq!(outcome.messages(), 7);
     }

@@ -36,6 +36,9 @@ mod id;
 mod store;
 mod traits;
 
+#[cfg(test)]
+mod proptests;
+
 pub use cost::{
     LookupError, LookupOutcome, MembershipEventKind, MembershipOutcome, ResponsibilityChange,
     StabilizeOutcome,

@@ -1,0 +1,233 @@
+//! Property-based tests for the overlay crate.
+//!
+//! The central property: the indexed [`PeerStore`] (per-key record tables +
+//! position-sorted secondary index) is observationally equivalent to the
+//! plain `HashMap<(HashId, Key), Record>` it replaced, under arbitrary
+//! sequences of `put` / `get` / `remove` / `drain_range` /
+//! `max_stamp_for_key` operations.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use rdht_hashing::{HashId, Key};
+
+use crate::id::in_open_closed_interval;
+use crate::store::{PeerStore, Record, WritePolicy};
+
+/// Reference model: the pre-index flat-map implementation of the store.
+#[derive(Default)]
+struct ModelStore {
+    entries: HashMap<(HashId, Key), Record>,
+}
+
+impl ModelStore {
+    fn put(&mut self, hash: HashId, key: Key, record: Record, policy: WritePolicy) -> bool {
+        use std::collections::hash_map::Entry;
+        match self.entries.entry((hash, key)) {
+            Entry::Vacant(v) => {
+                v.insert(record);
+                true
+            }
+            Entry::Occupied(mut o) => match policy {
+                WritePolicy::Overwrite => {
+                    o.insert(record);
+                    true
+                }
+                WritePolicy::KeepNewest => {
+                    if record.stamp > o.get().stamp {
+                        o.insert(record);
+                        true
+                    } else {
+                        false
+                    }
+                }
+            },
+        }
+    }
+
+    fn get(&self, hash: HashId, key: &Key) -> Option<&Record> {
+        self.entries.get(&(hash, key.clone()))
+    }
+
+    fn remove(&mut self, hash: HashId, key: &Key) -> Option<Record> {
+        self.entries.remove(&(hash, key.clone()))
+    }
+
+    fn drain_range(&mut self, range_start: u64, range_end: u64) -> Vec<(HashId, Key, Record)> {
+        let moving: Vec<(HashId, Key)> = self
+            .entries
+            .iter()
+            .filter(|(_, rec)| in_open_closed_interval(range_start, range_end, rec.position))
+            .map(|((h, k), _)| (*h, k.clone()))
+            .collect();
+        moving
+            .into_iter()
+            .map(|(h, k)| {
+                let rec = self.entries.remove(&(h, k.clone())).expect("key just seen");
+                (h, k, rec)
+            })
+            .collect()
+    }
+
+    fn max_stamp_for_key(&self, key: &Key) -> Option<u64> {
+        self.entries
+            .iter()
+            .filter(|((_, k), _)| k == key)
+            .map(|(_, rec)| rec.stamp)
+            .max()
+    }
+}
+
+/// One record flattened to plain comparable data: hash id, key bytes, stamp,
+/// position, payload.
+type FlatRecord = (u32, Vec<u8>, u64, u64, Vec<u8>);
+
+/// Canonical, order-independent rendering of a drained record set.
+fn canonical(mut moved: Vec<(HashId, Key, Record)>) -> Vec<FlatRecord> {
+    moved.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    moved
+        .into_iter()
+        .map(|(h, k, r)| (h.0, k.as_bytes().to_vec(), r.stamp, r.position, r.payload))
+        .collect()
+}
+
+/// Canonical rendering of a full store via its iterator.
+fn canonical_contents(store: &PeerStore) -> Vec<FlatRecord> {
+    let mut all: Vec<_> = store
+        .iter()
+        .map(|(h, k, r)| {
+            (
+                h.0,
+                k.as_bytes().to_vec(),
+                r.stamp,
+                r.position,
+                r.payload.clone(),
+            )
+        })
+        .collect();
+    all.sort();
+    all
+}
+
+fn canonical_model(model: &ModelStore) -> Vec<FlatRecord> {
+    let mut all: Vec<_> = model
+        .entries
+        .iter()
+        .map(|((h, k), r)| {
+            (
+                h.0,
+                k.as_bytes().to_vec(),
+                r.stamp,
+                r.position,
+                r.payload.clone(),
+            )
+        })
+        .collect();
+    all.sort();
+    all
+}
+
+/// Positions are drawn from 16 points spread over the full ring, so that
+/// drain intervals (drawn from the same lattice) regularly cover, miss and
+/// wrap around stored records.
+fn lattice(point: u8) -> u64 {
+    u64::from(point % 16)
+        .wrapping_mul(u64::MAX / 16)
+        .wrapping_add(u64::from(point) << 3)
+}
+
+proptest! {
+    /// The indexed store and the flat-map model agree on every observable
+    /// result of every operation, for arbitrary op sequences.
+    #[test]
+    fn indexed_store_is_observationally_equivalent(
+        ops in proptest::collection::vec(
+            ((0u8..6, 0u8..5, 0u8..4), (0u64..6, 0u8..32, 0u8..32)),
+            0..120,
+        ),
+    ) {
+        let mut store = PeerStore::new();
+        let mut model = ModelStore::default();
+        for ((op, key_id, hash_id), (stamp, a, b)) in ops {
+            let key = Key::new(format!("key-{key_id}"));
+            let hash = HashId(u32::from(hash_id));
+            match op {
+                // put, both policies
+                0 | 1 => {
+                    let policy = if op == 0 {
+                        WritePolicy::KeepNewest
+                    } else {
+                        WritePolicy::Overwrite
+                    };
+                    let record = Record {
+                        payload: vec![key_id, hash_id, stamp as u8],
+                        stamp,
+                        position: lattice(a),
+                    };
+                    let modified = store.put(hash, key.clone(), record.clone(), policy);
+                    let model_modified = model.put(hash, key, record, policy);
+                    prop_assert_eq!(modified, model_modified);
+                }
+                // get
+                2 => {
+                    prop_assert_eq!(store.get(hash, &key), model.get(hash, &key));
+                }
+                // remove
+                3 => {
+                    prop_assert_eq!(store.remove(hash, &key), model.remove(hash, &key));
+                }
+                // max_stamp_for_key
+                4 => {
+                    prop_assert_eq!(store.max_stamp_for_key(&key), model.max_stamp_for_key(&key));
+                }
+                // drain_range (including degenerate and wrapped intervals)
+                _ => {
+                    let (start, end) = (lattice(a), lattice(b));
+                    let moved = store.drain_range(start, end);
+                    let model_moved = model.drain_range(start, end);
+                    prop_assert_eq!(canonical(moved), canonical(model_moved));
+                }
+            }
+            prop_assert_eq!(store.len(), model.entries.len());
+            prop_assert_eq!(store.is_empty(), model.entries.is_empty());
+        }
+        prop_assert_eq!(canonical_contents(&store), canonical_model(&model));
+    }
+
+    /// Draining the full ring in two complementary intervals moves every
+    /// record exactly once, regardless of where the cut lands.
+    #[test]
+    fn complementary_drains_partition_the_store(
+        records in proptest::collection::vec(
+            ((0u8..8, 0u8..4), (0u64..100, 0u8..32)),
+            1..60,
+        ),
+        cut in any::<u64>(),
+    ) {
+        let mut store = PeerStore::new();
+        let mut model = ModelStore::default();
+        for ((key_id, hash_id), (stamp, position)) in records {
+            let key = Key::new(format!("key-{key_id}"));
+            let record = Record {
+                payload: vec![key_id],
+                stamp,
+                position: lattice(position),
+            };
+            store.put(HashId(u32::from(hash_id)), key.clone(), record.clone(), WritePolicy::Overwrite);
+            model.put(HashId(u32::from(hash_id)), key, record, WritePolicy::Overwrite);
+        }
+        let total = store.len();
+        prop_assume!(total > 0);
+        let other = cut.wrapping_add(u64::MAX / 2);
+        let first = store.drain_range(cut, other);
+        let second = store.drain_range(other, cut);
+        prop_assert_eq!(first.len() + second.len(), total);
+        prop_assert!(store.is_empty());
+        let mut both = first;
+        both.extend(second);
+        let mut model_both = model.drain_range(cut, other);
+        model_both.extend(model.drain_range(other, cut));
+        prop_assert_eq!(canonical(both), canonical(model_both));
+    }
+}

@@ -5,8 +5,20 @@
 //! the same key under several replication hash functions). The *stamp* is an
 //! opaque `u64` interpreted by the layer above: UMS stores KTS timestamps in
 //! it, the BRK baseline stores version numbers.
+//!
+//! The store is indexed two ways:
+//!
+//! * a per-key map whose entries hold the (at most `|Hr|`) per-hash records
+//!   of that key — `get`/`remove` are borrowed-key lookups with no clone,
+//!   and `max_stamp_for_key` scans `O(|Hr|)` records instead of the whole
+//!   store;
+//! * a position-sorted secondary index over the identifier ring, so the
+//!   churn/join transfer path ([`PeerStore::drain_range`]) visits only the
+//!   records that actually move: `O(moved · log n)` instead of two full
+//!   `O(store)` passes regardless of how much moves.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::ops::Bound;
 
 use rdht_hashing::{HashId, Key};
 
@@ -36,104 +48,203 @@ pub struct Record {
     pub position: u64,
 }
 
+/// All records a peer holds for one key, one per hash function. `|Hr|` is
+/// small (10 in Table 1), so a linear scan of the vector beats any nested
+/// map.
+#[derive(Clone, Debug, Default)]
+struct KeyRecords {
+    records: Vec<(HashId, Record)>,
+}
+
+impl KeyRecords {
+    fn find(&self, hash: HashId) -> Option<usize> {
+        self.records.iter().position(|(h, _)| *h == hash)
+    }
+}
+
+/// One entry of the position index: the record's ring position first, so a
+/// `BTreeSet` of these is ordered by position (key clones in the index are
+/// refcount bumps — [`Key`] is `Arc`-backed).
+type IndexEntry = (u64, HashId, Key);
+
 /// The replica store of a single peer.
 #[derive(Clone, Debug, Default)]
 pub struct PeerStore {
-    entries: HashMap<(HashId, Key), Record>,
+    /// Per-key record tables; keys are looked up borrowed (no clone).
+    keys: HashMap<Key, KeyRecords>,
+    /// Ring-position index: a flat ordered set of `(position, hash, key)`
+    /// entries, one per stored record.
+    by_position: BTreeSet<IndexEntry>,
+    /// Total number of `(hash, key)` records.
+    len: usize,
+}
+
+/// The smallest possible [`IndexEntry`] with a position `>= position` (the
+/// empty key is the minimum of the key order).
+fn index_floor(position: u64) -> IndexEntry {
+    (position, HashId(0), Key::from_bytes(Vec::new()))
 }
 
 impl PeerStore {
     /// Creates an empty store.
     pub fn new() -> Self {
-        PeerStore {
-            entries: HashMap::new(),
-        }
+        PeerStore::default()
     }
 
     /// Number of stored records.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Whether the store holds no records.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
+    }
+
+    fn index_insert(&mut self, position: u64, key: &Key, hash: HashId) {
+        self.by_position.insert((position, hash, key.clone()));
+    }
+
+    fn index_remove(&mut self, position: u64, key: &Key, hash: HashId) {
+        self.by_position.remove(&(position, hash, key.clone()));
     }
 
     /// Inserts or merges a record according to `policy`. Returns `true` if
     /// the store was modified.
     pub fn put(&mut self, hash: HashId, key: Key, record: Record, policy: WritePolicy) -> bool {
-        use std::collections::hash_map::Entry;
-        match self.entries.entry((hash, key)) {
-            Entry::Vacant(v) => {
-                v.insert(record);
+        let entry = self.keys.entry(key.clone()).or_default();
+        match entry.find(hash) {
+            None => {
+                let position = record.position;
+                entry.records.push((hash, record));
+                self.len += 1;
+                self.index_insert(position, &key, hash);
                 true
             }
-            Entry::Occupied(mut o) => match policy {
-                WritePolicy::Overwrite => {
-                    o.insert(record);
-                    true
+            Some(i) => {
+                let accept = match policy {
+                    WritePolicy::Overwrite => true,
+                    WritePolicy::KeepNewest => record.stamp > entry.records[i].1.stamp,
+                };
+                if !accept {
+                    return false;
                 }
-                WritePolicy::KeepNewest => {
-                    if record.stamp > o.get().stamp {
-                        o.insert(record);
-                        true
-                    } else {
-                        false
-                    }
+                let old_position = entry.records[i].1.position;
+                let new_position = record.position;
+                entry.records[i].1 = record;
+                if old_position != new_position {
+                    self.index_remove(old_position, &key, hash);
+                    self.index_insert(new_position, &key, hash);
                 }
-            },
+                true
+            }
         }
     }
 
-    /// Reads the record stored for `(hash, key)`, if any.
+    /// Reads the record stored for `(hash, key)`, if any. Borrowed lookup —
+    /// never clones the key.
+    #[inline]
     pub fn get(&self, hash: HashId, key: &Key) -> Option<&Record> {
-        self.entries.get(&(hash, key.clone()))
+        let entry = self.keys.get(key)?;
+        entry
+            .records
+            .iter()
+            .find(|(h, _)| *h == hash)
+            .map(|(_, rec)| rec)
     }
 
-    /// Removes the record stored for `(hash, key)`, returning it.
+    /// Removes the record stored for `(hash, key)`, returning it. Borrowed
+    /// lookup — never clones the key.
     pub fn remove(&mut self, hash: HashId, key: &Key) -> Option<Record> {
-        self.entries.remove(&(hash, key.clone()))
+        let entry = self.keys.get_mut(key)?;
+        let i = entry.find(hash)?;
+        let (_, record) = entry.records.swap_remove(i);
+        let now_empty = entry.records.is_empty();
+        if now_empty {
+            self.keys.remove(key);
+        }
+        self.len -= 1;
+        self.index_remove(record.position, key, hash);
+        Some(record)
     }
 
     /// Iterates over all records.
-    pub fn iter(&self) -> impl Iterator<Item = (&(HashId, Key), &Record)> {
-        self.entries.iter()
+    pub fn iter(&self) -> impl Iterator<Item = (HashId, &Key, &Record)> {
+        self.keys.iter().flat_map(|(key, entry)| {
+            entry
+                .records
+                .iter()
+                .map(move |(hash, rec)| (*hash, key, rec))
+        })
     }
 
     /// Drains every record whose position falls inside the half-open ring
     /// interval `(range_start, range_end]`. Used when responsibility for that
     /// interval moves to another peer (join / graceful leave).
+    ///
+    /// Only the position-index entries covered by the interval are visited —
+    /// `O(moved · log n)` total (a range walk to find them, then one map and
+    /// one index removal per moved record) instead of a full `O(store)` scan
+    /// regardless of how much moves — and the drained records come out in
+    /// ascending ring-position order starting after `range_start`, which is
+    /// deterministic (the old full-scan implementation iterated a `HashMap`).
     pub fn drain_range(&mut self, range_start: u64, range_end: u64) -> Vec<(HashId, Key, Record)> {
-        let moving: Vec<(HashId, Key)> = self
-            .entries
-            .iter()
-            .filter(|(_, rec)| {
-                crate::id::in_open_closed_interval(range_start, range_end, rec.position)
-            })
-            .map(|((h, k), _)| (*h, k.clone()))
-            .collect();
+        let mut moving: Vec<(Key, HashId)> = Vec::new();
+        {
+            let mut collect = |entry: &IndexEntry| {
+                let (_, hash, key) = entry;
+                moving.push((key.clone(), *hash));
+            };
+            // `(position, ..]` translates to index entries `>= position + 1`
+            // with the minimal hash/key, since positions sort first.
+            if range_start == range_end {
+                // Degenerate interval: the entire ring (single-node case).
+                self.by_position.iter().for_each(&mut collect);
+            } else if range_start < range_end {
+                let upper = match range_end.checked_add(1) {
+                    Some(next) => Bound::Excluded(index_floor(next)),
+                    None => Bound::Unbounded,
+                };
+                self.by_position
+                    .range((Bound::Included(index_floor(range_start + 1)), upper))
+                    .for_each(&mut collect);
+            } else {
+                // Wrapped interval: (range_start, MAX] then [0, range_end].
+                if range_start < u64::MAX {
+                    self.by_position
+                        .range(index_floor(range_start + 1)..)
+                        .for_each(&mut collect);
+                }
+                self.by_position
+                    .range(..index_floor(range_end + 1))
+                    .for_each(&mut collect);
+            }
+        }
         moving
             .into_iter()
-            .map(|(h, k)| {
-                let rec = self.entries.remove(&(h, k.clone())).expect("key just seen");
-                (h, k, rec)
+            .map(|(key, hash)| {
+                let record = self.remove(hash, &key).expect("indexed record exists");
+                (hash, key, record)
             })
             .collect()
     }
 
     /// Removes every record (used when a peer fails and its memory is lost).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.keys.clear();
+        self.by_position.clear();
+        self.len = 0;
     }
 
     /// The greatest stamp stored for `key` under any hash function, if any.
     /// This is what the *indirect* counter-initialization algorithm inspects
-    /// locally on each replica holder.
+    /// locally on each replica holder. `O(|Hr|)` — only the key's own
+    /// records are visited.
     pub fn max_stamp_for_key(&self, key: &Key) -> Option<u64> {
-        self.entries
+        self.keys
+            .get(key)?
+            .records
             .iter()
-            .filter(|((_, k), _)| k == key)
             .map(|(_, rec)| rec.stamp)
             .max()
     }
@@ -244,6 +355,21 @@ mod tests {
     }
 
     #[test]
+    fn drain_range_degenerate_interval_drains_everything() {
+        let mut store = PeerStore::new();
+        store.put(HashId(0), Key::new("a"), rec(1, 0), WritePolicy::Overwrite);
+        store.put(
+            HashId(1),
+            Key::new("b"),
+            rec(2, u64::MAX),
+            WritePolicy::Overwrite,
+        );
+        let moved = store.drain_range(7, 7);
+        assert_eq!(moved.len(), 2);
+        assert!(store.is_empty());
+    }
+
+    #[test]
     fn max_stamp_for_key_spans_hash_functions() {
         let mut store = PeerStore::new();
         let k = Key::new("doc");
@@ -266,5 +392,56 @@ mod tests {
         assert!(!store.is_empty());
         store.clear();
         assert!(store.is_empty());
+        assert_eq!(store.drain_range(0, u64::MAX).len(), 0);
+    }
+
+    #[test]
+    fn overwrite_with_new_position_moves_index_entry() {
+        let mut store = PeerStore::new();
+        let k = Key::new("doc");
+        store.put(HashId(0), k.clone(), rec(1, 100), WritePolicy::Overwrite);
+        store.put(HashId(0), k.clone(), rec(2, 5000), WritePolicy::Overwrite);
+        assert_eq!(store.len(), 1);
+        // The record is only draining from its new position.
+        assert!(store.clone().drain_range(50, 150).is_empty());
+        let moved = store.drain_range(4000, 6000);
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved[0].2.stamp, 2);
+    }
+
+    #[test]
+    fn remove_cleans_both_indexes() {
+        let mut store = PeerStore::new();
+        let k = Key::new("doc");
+        store.put(HashId(0), k.clone(), rec(1, 10), WritePolicy::Overwrite);
+        store.put(HashId(1), k.clone(), rec(2, 20), WritePolicy::Overwrite);
+        assert_eq!(store.remove(HashId(0), &k).unwrap().stamp, 1);
+        assert_eq!(store.len(), 1);
+        assert!(store.remove(HashId(0), &k).is_none());
+        let moved = store.drain_range(0, u64::MAX - 1);
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved[0].0, HashId(1));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn iter_visits_every_record_once() {
+        let mut store = PeerStore::new();
+        store.put(HashId(0), Key::new("a"), rec(1, 10), WritePolicy::Overwrite);
+        store.put(HashId(1), Key::new("a"), rec(2, 20), WritePolicy::Overwrite);
+        store.put(HashId(0), Key::new("b"), rec(3, 30), WritePolicy::Overwrite);
+        let mut seen: Vec<(u32, String, u64)> = store
+            .iter()
+            .map(|(h, k, r)| (h.0, k.display_lossy(), r.stamp))
+            .collect();
+        seen.sort();
+        assert_eq!(
+            seen,
+            vec![
+                (0, "a".to_string(), 1),
+                (0, "b".to_string(), 3),
+                (1, "a".to_string(), 2),
+            ]
+        );
     }
 }

@@ -44,8 +44,27 @@ pub trait Overlay {
     /// Whether `node` is currently a live member.
     fn is_alive(&self, node: NodeId) -> bool;
 
-    /// All live members (unspecified order).
+    /// All live members (unspecified order). Allocates; hot paths should use
+    /// [`Overlay::alive_count`] + [`Overlay::sample_alive`] instead. Kept for
+    /// tests and diagnostics.
     fn alive_ids(&self) -> Vec<NodeId>;
+
+    /// Number of live members that [`Overlay::sample_alive`] can index into.
+    /// Equals [`Overlay::len`].
+    fn alive_count(&self) -> usize {
+        self.len()
+    }
+
+    /// The live member at `index` (in `0..alive_count()`), in the same
+    /// implementation-defined but stable order as [`Overlay::alive_ids`], so
+    /// callers can pick a uniformly random peer without materializing a
+    /// `Vec`. Returns `None` when `index` is out of range.
+    ///
+    /// The default implementation still allocates; overlays used on hot
+    /// paths override it with an `O(1)`/`O(log n)` lookup.
+    fn sample_alive(&self, index: usize) -> Option<NodeId> {
+        self.alive_ids().get(index).copied()
+    }
 
     /// Ground-truth responsible peer for an identifier-space position — the
     /// value of the mapping function `m(k, h, now)`. Returns `None` for an

@@ -27,7 +27,7 @@ pub struct SimAccess<'a> {
     algorithm: Algorithm,
     elapsed: f64,
     messages: u64,
-    forced_put_failures: HashSet<HashId>,
+    forced_put_failures: Option<&'a HashSet<HashId>>,
 }
 
 impl<'a> SimAccess<'a> {
@@ -40,16 +40,22 @@ impl<'a> SimAccess<'a> {
             algorithm,
             elapsed: 0.0,
             messages: 0,
-            forced_put_failures: HashSet::new(),
+            forced_put_failures: None,
         }
     }
 
     /// Marks a set of replication hash functions whose writes will not reach
     /// their holder (transiently unreachable peers). Used by the update
-    /// workload so that all algorithm universes share the same failure plan.
-    pub fn with_forced_put_failures(mut self, failures: HashSet<HashId>) -> Self {
-        self.forced_put_failures = failures;
+    /// workload so that all algorithm universes share the same failure plan —
+    /// by reference, so one plan serves every universe without clones.
+    pub fn with_forced_put_failures(mut self, failures: &'a HashSet<HashId>) -> Self {
+        self.forced_put_failures = Some(failures);
         self
+    }
+
+    fn put_is_forced_to_fail(&self, hash: HashId) -> bool {
+        self.forced_put_failures
+            .is_some_and(|failures| failures.contains(&hash))
     }
 
     /// The accumulated cost: (simulated seconds, messages).
@@ -108,9 +114,11 @@ impl<'a> SimAccess<'a> {
         responsible: NodeId,
         key: &Key,
     ) -> IndirectObservation {
-        let hashes: Vec<HashId> = self.sim.family.replication_ids().collect();
         let mut max_observed: Option<Timestamp> = None;
-        for hash in hashes {
+        // Iterate by index so the borrow of the family does not outlive the
+        // mutable borrows below (no id vector is materialized).
+        for hash_index in 0..self.sim.family.num_replication() {
+            let hash = HashId(hash_index as u32);
             let position = self.sim.family.eval(hash, key);
             let Ok(holder) = self.lookup_priced(responsible, position) else {
                 continue;
@@ -199,7 +207,7 @@ impl UmsAccess for SimAccess<'_> {
     ) -> Result<(), UmsError> {
         let position = self.sim.family.eval(hash, key);
         let holder = self.lookup_priced(self.origin, position)?;
-        if self.forced_put_failures.contains(&hash) {
+        if self.put_is_forced_to_fail(hash) {
             // The data message is lost; the writer waits for an ack that never
             // arrives.
             self.elapsed += self.sim.network.timeout_penalty();
@@ -250,8 +258,8 @@ impl UmsAccess for SimAccess<'_> {
         }
     }
 
-    fn replication_ids(&self) -> Vec<HashId> {
-        self.sim.family.replication_ids().collect()
+    fn replication_count(&self) -> usize {
+        self.sim.family.num_replication()
     }
 }
 
@@ -264,7 +272,7 @@ impl BrkAccess for SimAccess<'_> {
     ) -> Result<(), UmsError> {
         let position = self.sim.family.eval(hash, key);
         let holder = self.lookup_priced(self.origin, position)?;
-        if self.forced_put_failures.contains(&hash) {
+        if self.put_is_forced_to_fail(hash) {
             self.elapsed += self.sim.network.timeout_penalty();
             self.messages += 1;
             return Err(UmsError::lookup("replica holder transiently unreachable"));
@@ -317,7 +325,7 @@ impl BrkAccess for SimAccess<'_> {
         }
     }
 
-    fn replication_ids(&self) -> Vec<HashId> {
-        self.sim.family.replication_ids().collect()
+    fn replication_count(&self) -> usize {
+        self.sim.family.num_replication()
     }
 }

@@ -111,7 +111,7 @@ impl Simulation {
             return;
         }
 
-        let family = self.family.clone();
+        let family = &self.family;
         let transfer_data = self.config.transfer_data_on_membership_change;
 
         // Extract everything from the previous responsible first, then apply

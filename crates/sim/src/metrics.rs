@@ -79,7 +79,11 @@ pub struct RunStats {
 }
 
 /// The full outcome of a simulation run.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares every sample and counter exactly (including the
+/// `f64` fields bit-for-bit via `==`), which is what the parallel experiment
+/// driver's determinism test relies on.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimulationReport {
     /// Every measured query.
     pub samples: Vec<QuerySample>,

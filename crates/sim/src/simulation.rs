@@ -34,6 +34,13 @@ pub struct Simulation {
     pub(crate) overlay: ChordNetwork,
     pub(crate) peers: HashMap<NodeId, PeerState>,
     pub(crate) keys: Vec<Key>,
+    /// Ring position of each workload key under each replication hash
+    /// function (`key_positions[key_index][hash_index]`). Positions depend
+    /// only on the hash family, so they are computed once at construction
+    /// and reused by every update, query and inspection event.
+    pub(crate) key_positions: Vec<Box<[u64]>>,
+    /// Ring position of each workload key under the timestamping function.
+    pub(crate) ts_positions: Vec<u64>,
     /// Sequence number of the latest update applied to each key.
     pub(crate) update_sequence: Vec<u64>,
     /// Payload of the latest committed update for each key (ground truth for
@@ -74,6 +81,17 @@ impl Simulation {
         let keys: Vec<Key> = (0..config.num_keys)
             .map(|i| Key::new(format!("data-{i}")))
             .collect();
+        let key_positions: Vec<Box<[u64]>> = keys
+            .iter()
+            .map(|key| {
+                family
+                    .replication_functions()
+                    .iter()
+                    .map(|h| h.eval(key))
+                    .collect()
+            })
+            .collect();
+        let ts_positions: Vec<u64> = keys.iter().map(|key| family.eval_timestamp(key)).collect();
         let update_sequence = vec![0; config.num_keys];
         let latest_payload = vec![Vec::new(); config.num_keys];
 
@@ -83,6 +101,8 @@ impl Simulation {
             overlay,
             peers,
             keys,
+            key_positions,
+            ts_positions,
             update_sequence,
             latest_payload,
             rng,
@@ -119,14 +139,16 @@ impl Simulation {
         &self.keys
     }
 
-    /// Picks a uniformly random live peer.
+    /// Picks a uniformly random live peer without materializing the member
+    /// list (the old `alive_ids()` call cloned the whole ring — one `O(n)`
+    /// `Vec` per event at 10k peers).
     pub(crate) fn random_alive_peer(&mut self) -> Option<NodeId> {
-        let members = self.overlay.alive_ids();
-        if members.is_empty() {
+        let count = self.overlay.alive_count();
+        if count == 0 {
             return None;
         }
-        let index = self.rng.gen_range(0..members.len());
-        Some(members[index])
+        let index = self.rng.gen_range(0..count);
+        self.overlay.sample_alive(index)
     }
 
     /// Runs the simulation to completion and returns the collected report.
@@ -214,34 +236,38 @@ impl Simulation {
     /// indirect initialization missed the latest timestamp after a failure.
     fn handle_inspection(&mut self) {
         self.stats.inspection_rounds += 1;
+        const UNIVERSES: [Algorithm; 2] = [Algorithm::UmsDirect, Algorithm::UmsIndirect];
         for key_index in 0..self.keys.len() {
             let key = self.keys[key_index].clone();
-            let ts_position = self.family.eval_timestamp(&key);
-            let Some(responsible) = self.overlay.responsible_for(ts_position) else {
+            let Some(responsible) = self.overlay.responsible_for(self.ts_positions[key_index])
+            else {
                 continue;
             };
-            for algorithm in [Algorithm::UmsDirect, Algorithm::UmsIndirect] {
-                // Largest timestamp stored at the ground-truth replica holders
-                // in this universe.
-                let mut observed: Option<u64> = None;
-                for hash in self.family.replication_ids() {
-                    let position = self.family.eval(hash, &key);
-                    let Some(holder) = self.overlay.responsible_for(position) else {
-                        continue;
-                    };
-                    if let Some(record) = self
-                        .peers
-                        .get(&holder)
-                        .and_then(|peer| peer.store(algorithm).get(hash, &key))
-                    {
-                        observed = Some(observed.map_or(record.stamp, |m| m.max(record.stamp)));
+            // Largest timestamp stored at the ground-truth replica holders in
+            // each UMS universe. Each (key, hash) position and its holder are
+            // resolved once and shared by both universes — both stores live
+            // on the same peer, so the per-hash holder lookup is identical.
+            let mut observed: [Option<u64>; 2] = [None, None];
+            for (hash_index, hash) in self.family.replication_ids().enumerate() {
+                let position = self.key_positions[key_index][hash_index];
+                let Some(holder) = self.overlay.responsible_for(position) else {
+                    continue;
+                };
+                let Some(peer) = self.peers.get(&holder) else {
+                    continue;
+                };
+                for (universe, slot) in UNIVERSES.iter().zip(observed.iter_mut()) {
+                    if let Some(record) = peer.store(*universe).get(hash, &key) {
+                        *slot = Some(slot.map_or(record.stamp, |m| m.max(record.stamp)));
                     }
                 }
-                let Some(observed) = observed else { continue };
+            }
+            for (universe, slot) in UNIVERSES.iter().zip(observed) {
+                let Some(observed) = slot else { continue };
                 if let Some(kts) = self
                     .peers
                     .get_mut(&responsible)
-                    .and_then(|peer| peer.kts_mut(algorithm))
+                    .and_then(|peer| peer.kts_mut(*universe))
                 {
                     if kts
                         .inspect_key(&key, rdht_core::Timestamp(observed))
@@ -269,7 +295,8 @@ impl Simulation {
         let payload = format!("{}#{}", key.display_lossy(), sequence).into_bytes();
 
         // Decide once which replica writes are lost (transiently unreachable
-        // holders), and apply the same plan to every universe.
+        // holders), and share the same plan with every universe by reference
+        // (the set used to be cloned once per universe).
         let failure_probability = self.config.put_failure_probability;
         let forced_failures: std::collections::HashSet<rdht_hashing::HashId> = self
             .family
@@ -279,15 +306,15 @@ impl Simulation {
 
         let mut committed = false;
         for algorithm in [Algorithm::UmsDirect, Algorithm::UmsIndirect] {
-            let mut access = SimAccess::new(self, origin, algorithm)
-                .with_forced_put_failures(forced_failures.clone());
+            let mut access =
+                SimAccess::new(self, origin, algorithm).with_forced_put_failures(&forced_failures);
             if let Ok(report) = ums::insert(&mut access, &key, payload.clone()) {
                 committed |= report.replicas_written > 0;
             }
         }
         {
             let mut access = SimAccess::new(self, origin, Algorithm::Brk)
-                .with_forced_put_failures(forced_failures.clone());
+                .with_forced_put_failures(&forced_failures);
             if let Ok(report) = rdht_baseline::insert(&mut access, &key, payload.clone()) {
                 committed |= report.replicas_written > 0;
             }
@@ -382,9 +409,9 @@ impl Simulation {
         }
         let mut current = 0usize;
         let mut total = 0usize;
-        for hash in self.family.replication_ids() {
+        for (hash_index, hash) in self.family.replication_ids().enumerate() {
             total += 1;
-            let position = self.family.eval(hash, key);
+            let position = self.key_positions[key_index][hash_index];
             let Some(responsible) = self.overlay.responsible_for(position) else {
                 continue;
             };
