@@ -83,6 +83,18 @@ fn bench_store_put(calls: u64) -> BenchLine {
     })
 }
 
+fn bench_store_fill_bulk(calls: u64) -> BenchLine {
+    let family = HashFamily::new(10, 7);
+    let keys = bench_keys(256);
+    let records = rdht_bench::workload::store_records(&family, &keys);
+    let ops = records.len() as u64;
+    measure("store_fill_bulk_load", calls, ops, || {
+        let mut store = rdht_overlay::PeerStore::new();
+        store.bulk_load(records.iter().cloned());
+        std::hint::black_box(store.len());
+    })
+}
+
 fn bench_store_get(calls: u64) -> BenchLine {
     let family = HashFamily::new(10, 7);
     let keys = bench_keys(256);
@@ -231,6 +243,7 @@ fn main() {
         bench_key_digest(2_000 * scale),
         bench_family_eval(500 * scale),
         bench_store_put(20 * scale),
+        bench_store_fill_bulk(20 * scale),
         bench_store_get(100 * scale),
         bench_store_max_stamp(200 * scale),
         bench_store_drain(50 * scale),

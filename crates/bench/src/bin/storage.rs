@@ -1,0 +1,206 @@
+//! Storage benchmark harness: quantifies the durability tax and the
+//! recovery cost of `rdht-storage`, and emits a machine-readable
+//! `BENCH_storage.json` alongside `BENCH_hotpath.json`.
+//!
+//! Measured:
+//!
+//! * `ums_insert` against an in-memory DHT vs the same DHT journaling to a
+//!   write-ahead log under each [`FsyncPolicy`] — the per-operation price of
+//!   durability;
+//! * recovery time (`StorageEngine::recover`) as a function of WAL length,
+//!   and for the same state compacted into a snapshot — why compaction
+//!   exists.
+//!
+//! ```text
+//! cargo run --release -p rdht-bench --bin storage                 # full
+//! cargo run --release -p rdht-bench --bin storage -- --quick      # CI mode
+//! cargo run --release -p rdht-bench --bin storage -- --out out.json
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use rdht_bench::workload::bench_keys;
+use rdht_core::{ums, InMemoryDht, Timestamp};
+use rdht_hashing::{HashId, Key};
+use rdht_storage::{FsyncPolicy, StorageEngine, StorageOp, StorageOptions};
+
+/// One measured benchmark: mean wall-clock nanoseconds per operation.
+struct BenchLine {
+    name: String,
+    iters: u64,
+    ns_per_op: f64,
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rdht-bench-storage-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Times `calls` invocations of `routine` (performing `batch` ops each)
+/// after one untimed warm-up call.
+fn measure(
+    name: impl Into<String>,
+    calls: u64,
+    batch: u64,
+    mut routine: impl FnMut(),
+) -> BenchLine {
+    routine();
+    let start = Instant::now();
+    for _ in 0..calls {
+        routine();
+    }
+    let elapsed = start.elapsed();
+    let ops = calls * batch;
+    BenchLine {
+        name: name.into(),
+        iters: ops,
+        ns_per_op: elapsed.as_nanos() as f64 / ops as f64,
+    }
+}
+
+/// `ums::insert` throughput against a DHT journaling with the given policy
+/// (or not journaling at all when `policy` is `None`).
+fn bench_ums_insert(label: &str, policy: Option<FsyncPolicy>, calls: u64) -> BenchLine {
+    let keys = bench_keys(32);
+    let name = format!("ums_insert_{label}");
+    match policy {
+        None => {
+            let mut dht = InMemoryDht::new(10, 7);
+            measure(name, calls, keys.len() as u64, || {
+                for key in &keys {
+                    ums::insert(&mut dht, key, vec![1u8; 32]).expect("insert");
+                }
+            })
+        }
+        Some(policy) => {
+            let dir = temp_dir(label);
+            let mut options = StorageOptions::with_fsync(policy);
+            // Keep compaction out of this measurement; it is timed separately.
+            options.snapshot_every = 0;
+            let engine = StorageEngine::open(&dir, options).expect("open engine");
+            let mut dht = InMemoryDht::with_durability(10, 7, engine);
+            let line = measure(name, calls, keys.len() as u64, || {
+                for key in &keys {
+                    ums::insert(&mut dht, key, vec![1u8; 32]).expect("insert");
+                }
+            });
+            assert!(
+                !dht.durability_mut().is_poisoned(),
+                "journal must stay healthy during the bench"
+            );
+            drop(dht);
+            let _ = std::fs::remove_dir_all(&dir);
+            line
+        }
+    }
+}
+
+fn sample_put(i: u64) -> StorageOp {
+    // A heavily-overwriting workload (1010 distinct records regardless of
+    // log length): this is the case compaction exists for — the WAL grows
+    // with the op count, the snapshot stays the size of the live state.
+    StorageOp::PutReplica {
+        hash: HashId((i % 10) as u32),
+        key: Key::new(format!("data-{}", i % 101)),
+        payload: vec![0u8; 32],
+        stamp: Timestamp(i + 1),
+        position: i.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    }
+}
+
+/// Recovery wall-clock vs log length: replaying `n_ops` from a pure WAL,
+/// and recovering the same state after compaction into a snapshot.
+fn bench_recovery(n_ops: u64, repeats: u64) -> Vec<BenchLine> {
+    let mut lines = Vec::new();
+    for compacted in [false, true] {
+        let tag = if compacted { "snapshot" } else { "wal" };
+        let dir = temp_dir(&format!("recover-{tag}-{n_ops}"));
+        {
+            let mut engine =
+                StorageEngine::open(&dir, StorageOptions::with_fsync(FsyncPolicy::Never))
+                    .expect("open engine");
+            for i in 0..n_ops {
+                engine.apply(&sample_put(i)).expect("apply");
+            }
+            if compacted {
+                engine.compact().expect("compact");
+            }
+            engine.sync().expect("sync");
+        }
+        let line = measure(format!("recover_{tag}_{n_ops}_ops"), repeats, 1, || {
+            let (replicas, _) = StorageEngine::recover(&dir).expect("recover");
+            std::hint::black_box(replicas.len());
+        });
+        lines.push(line);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    lines
+}
+
+fn to_json(mode: &str, lines: &[BenchLine]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"rdht-bench-storage/v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"benches\": [\n");
+    for (i, line) in lines.iter().enumerate() {
+        let comma = if i + 1 == lines.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"iters\": {}, \"ns_per_op\": {:.2}}}{comma}\n",
+            line.name, line.iters, line.ns_per_op
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_storage.json".to_string());
+
+    let insert_calls = if quick { 3 } else { 20 };
+    // fsync=Always pays a real disk round-trip per op; keep its op count low
+    // enough for CI while still averaging over hundreds of syncs.
+    let always_calls = if quick { 1 } else { 4 };
+    let mut lines = vec![
+        bench_ums_insert("inmem", None, insert_calls),
+        bench_ums_insert("wal_fsync_never", Some(FsyncPolicy::Never), insert_calls),
+        bench_ums_insert(
+            "wal_fsync_every64",
+            Some(FsyncPolicy::EveryN(64)),
+            insert_calls,
+        ),
+        bench_ums_insert("wal_fsync_always", Some(FsyncPolicy::Always), always_calls),
+    ];
+    let recovery_sizes: &[u64] = if quick {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let recovery_repeats = if quick { 2 } else { 5 };
+    for &n_ops in recovery_sizes {
+        lines.extend(bench_recovery(n_ops, recovery_repeats));
+    }
+
+    let mode = if quick { "quick" } else { "full" };
+    for line in &lines {
+        println!(
+            "{:<32} {:>14.2} ns/op  ({} ops)",
+            line.name, line.ns_per_op, line.iters
+        );
+    }
+    let json = to_json(mode, &lines);
+    if let Err(error) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {error}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

@@ -41,3 +41,19 @@ pub fn filled_store(family: &HashFamily, keys: &[Key]) -> PeerStore {
     }
     store
 }
+
+/// The same records as [`filled_store`], as a flat batch — input for the
+/// `bulk_load` fill path (one deferred index build instead of one `O(log n)`
+/// index insert per record).
+pub fn store_records(
+    family: &HashFamily,
+    keys: &[Key],
+) -> Vec<(rdht_hashing::HashId, Key, Record)> {
+    let mut records = Vec::with_capacity(keys.len() * family.num_replication());
+    for (i, key) in keys.iter().enumerate() {
+        for h in family.replication_functions() {
+            records.push((h.id(), key.clone(), bench_record(i as u64 + 1, h.eval(key))));
+        }
+    }
+    records
+}

@@ -4,6 +4,7 @@
 use rdht_hashing::Key;
 
 use crate::config::LastTsInitPolicy;
+use crate::durability::{DurableState, NoDurability};
 use crate::kts::vcs::ValidCounterSet;
 use crate::types::Timestamp;
 
@@ -124,6 +125,18 @@ impl KtsNode {
         key: &Key,
         observe: impl FnOnce() -> IndirectObservation,
     ) -> GenTsOutcome {
+        self.gen_ts_with(key, observe, &mut NoDurability)
+    }
+
+    /// [`KtsNode::gen_ts`] with a durability journal: every counter mutation
+    /// (the post-increment value, and the RLU invalidation when applicable)
+    /// is recorded on `durable` after it is applied.
+    pub fn gen_ts_with<D: DurableState + ?Sized>(
+        &mut self,
+        key: &Key,
+        observe: impl FnOnce() -> IndirectObservation,
+        durable: &mut D,
+    ) -> GenTsOutcome {
         let mut used_indirect_init = false;
         if !self.vcs.contains(key) {
             let observation = observe();
@@ -143,8 +156,13 @@ impl KtsNode {
         if self.rlu_mode {
             // In an RLU DHT the peer cannot detect responsibility loss, so it
             // conservatively assumes it lost responsibility right after
-            // generating (Section 4.3) and invalidates the counter.
+            // generating (Section 4.3) and invalidates the counter. The
+            // generation itself is not journaled: the counter never rests at
+            // the incremented value, and re-initialization is indirect anyway.
             self.vcs.remove(key);
+            durable.record_counter_remove(key);
+        } else {
+            durable.record_counter_set(key, timestamp);
         }
         GenTsOutcome {
             timestamp,
@@ -160,6 +178,19 @@ impl KtsNode {
         policy: LastTsInitPolicy,
         observe: impl FnOnce() -> IndirectObservation,
     ) -> LastTsOutcome {
+        self.last_ts_with(key, policy, observe, &mut NoDurability)
+    }
+
+    /// [`KtsNode::last_ts`] with a durability journal: when the request has
+    /// to initialize the counter, the initialized value is recorded on
+    /// `durable`.
+    pub fn last_ts_with<D: DurableState + ?Sized>(
+        &mut self,
+        key: &Key,
+        policy: LastTsInitPolicy,
+        observe: impl FnOnce() -> IndirectObservation,
+        durable: &mut D,
+    ) -> LastTsOutcome {
         let mut used_indirect_init = false;
         if !self.vcs.contains(key) {
             let observation = observe();
@@ -171,6 +202,7 @@ impl KtsNode {
             self.vcs.initialize(key.clone(), initial);
             self.stats.indirect_initializations += 1;
             used_indirect_init = true;
+            durable.record_counter_set(key, initial);
         }
         let timestamp = self.vcs.value(key).unwrap_or(Timestamp::ZERO);
         self.stats.last_ts_served += 1;
@@ -188,10 +220,25 @@ impl KtsNode {
         &mut self,
         counters: impl IntoIterator<Item = (Key, Timestamp)>,
     ) {
+        self.receive_transferred_counters_with(counters, &mut NoDurability)
+    }
+
+    /// [`KtsNode::receive_transferred_counters`] with a durability journal:
+    /// every counter the transfer actually installed is recorded on
+    /// `durable` (counters rejected because a larger value was already known
+    /// are not).
+    pub fn receive_transferred_counters_with<D: DurableState + ?Sized>(
+        &mut self,
+        counters: impl IntoIterator<Item = (Key, Timestamp)>,
+        durable: &mut D,
+    ) {
         for (key, value) in counters {
             match self.vcs.value(&key) {
                 Some(existing) if existing >= value => {}
-                _ => self.vcs.initialize(key, value),
+                _ => {
+                    durable.record_counter_set(&key, value);
+                    self.vcs.initialize(key, value);
+                }
             }
             self.stats.counters_received_directly += 1;
         }
@@ -205,7 +252,21 @@ impl KtsNode {
         &mut self,
         covers: impl FnMut(&Key) -> bool,
     ) -> Vec<(Key, Timestamp)> {
-        self.vcs.drain_where(covers)
+        self.export_counters_in_range_with(covers, &mut NoDurability)
+    }
+
+    /// [`KtsNode::export_counters_in_range`] with a durability journal: every
+    /// exported (hence invalidated) counter is recorded as removed.
+    pub fn export_counters_in_range_with<D: DurableState + ?Sized>(
+        &mut self,
+        covers: impl FnMut(&Key) -> bool,
+        durable: &mut D,
+    ) -> Vec<(Key, Timestamp)> {
+        let exported = self.vcs.drain_where(covers);
+        for (key, _) in &exported {
+            durable.record_counter_remove(key);
+        }
+        exported
     }
 
     /// RLA enforcement of Rule 3 (Section 4.3): drops every counter whose key
@@ -213,14 +274,35 @@ impl KtsNode {
     /// invalidated.
     pub fn drop_lost_responsibilities(
         &mut self,
-        mut still_responsible: impl FnMut(&Key) -> bool,
+        still_responsible: impl FnMut(&Key) -> bool,
     ) -> usize {
-        self.vcs.drain_where(|k| !still_responsible(k)).len()
+        self.drop_lost_responsibilities_with(still_responsible, &mut NoDurability)
+    }
+
+    /// [`KtsNode::drop_lost_responsibilities`] with a durability journal:
+    /// every dropped counter is recorded as removed.
+    pub fn drop_lost_responsibilities_with<D: DurableState + ?Sized>(
+        &mut self,
+        mut still_responsible: impl FnMut(&Key) -> bool,
+        durable: &mut D,
+    ) -> usize {
+        let dropped = self.vcs.drain_where(|k| !still_responsible(k));
+        for (key, _) in &dropped {
+            durable.record_counter_remove(key);
+        }
+        dropped.len()
     }
 
     /// Rule 1: a peer that rejoins the system starts with an empty VCS.
     pub fn reset(&mut self) {
+        self.reset_with(&mut NoDurability)
+    }
+
+    /// [`KtsNode::reset`] with a durability journal: the wholesale
+    /// invalidation is recorded as a single clear event.
+    pub fn reset_with<D: DurableState + ?Sized>(&mut self, durable: &mut D) {
         self.vcs.clear();
+        durable.record_counters_cleared();
     }
 
     pub(crate) fn vcs_mut(&mut self) -> &mut ValidCounterSet {
@@ -403,5 +485,64 @@ mod tests {
         node.gen_ts(&Key::new("a"), no_observation);
         node.reset();
         assert!(node.vcs().is_empty());
+    }
+
+    #[test]
+    fn journaled_variants_record_resulting_counter_states() {
+        use crate::durability::recording::{Event, RecordingJournal};
+
+        let mut node = KtsNode::new(false);
+        let mut journal = RecordingJournal::default();
+        let k = Key::new("doc");
+
+        let out = node.gen_ts_with(&k, no_observation, &mut journal);
+        assert_eq!(out.timestamp, Timestamp(1));
+        node.gen_ts_with(&k, no_observation, &mut journal);
+        let exported = node.export_counters_in_range_with(|_| true, &mut journal);
+        assert_eq!(exported.len(), 1);
+        node.receive_transferred_counters_with(exported, &mut journal);
+        node.reset_with(&mut journal);
+
+        assert_eq!(
+            journal.events,
+            vec![
+                Event::SetCounter(k.clone(), Timestamp(1)),
+                Event::SetCounter(k.clone(), Timestamp(2)),
+                Event::RemoveCounter(k.clone()),
+                Event::SetCounter(k.clone(), Timestamp(2)),
+                Event::ClearCounters,
+            ]
+        );
+    }
+
+    #[test]
+    fn rejected_transfer_and_last_ts_on_valid_counter_journal_nothing() {
+        use crate::durability::recording::RecordingJournal;
+
+        let mut node = KtsNode::new(false);
+        let k = Key::new("doc");
+        node.vcs_mut().initialize(k.clone(), Timestamp(10));
+        let mut journal = RecordingJournal::default();
+        // Transfer loses against the larger local value: no journal entry.
+        node.receive_transferred_counters_with(vec![(k.clone(), Timestamp(3))], &mut journal);
+        // last_ts on a valid counter does not mutate it: no journal entry.
+        node.last_ts_with(
+            &k,
+            LastTsInitPolicy::ObservedMax,
+            no_observation,
+            &mut journal,
+        );
+        assert!(journal.events.is_empty());
+    }
+
+    #[test]
+    fn rlu_generation_journals_the_invalidation() {
+        use crate::durability::recording::{Event, RecordingJournal};
+
+        let mut node = KtsNode::new(true);
+        let k = Key::new("doc");
+        let mut journal = RecordingJournal::default();
+        node.gen_ts_with(&k, no_observation, &mut journal);
+        assert_eq!(journal.events, vec![Event::RemoveCounter(k.clone())]);
     }
 }

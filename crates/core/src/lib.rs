@@ -59,6 +59,7 @@
 mod access;
 pub mod analysis;
 mod config;
+pub mod durability;
 mod error;
 pub mod kts;
 mod memory;
@@ -67,6 +68,7 @@ pub mod ums;
 
 pub use access::{ReplicationIds, UmsAccess};
 pub use config::{LastTsInitPolicy, UmsConfig};
+pub use durability::{DurableState, NoDurability};
 pub use error::UmsError;
 pub use memory::InMemoryDht;
 pub use types::{ReplicaValue, Timestamp};

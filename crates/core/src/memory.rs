@@ -18,6 +18,7 @@ use rdht_hashing::{HashFamily, HashId, Key};
 
 use crate::access::UmsAccess;
 use crate::config::LastTsInitPolicy;
+use crate::durability::{DurableState, NoDurability};
 use crate::error::UmsError;
 use crate::kts::{IndirectObservation, KtsNode};
 use crate::types::{ReplicaValue, Timestamp};
@@ -27,8 +28,14 @@ use crate::types::{ReplicaValue, Timestamp};
 /// Replicas are grouped per key (one small per-hash table each), mirroring
 /// the indexed `PeerStore` of the overlay crate: lookups borrow the key, so
 /// the probe path performs no key clones.
+///
+/// The second type parameter is the durability backend every accepted
+/// mutation is journaled to. It defaults to [`NoDurability`] (state dies with
+/// the value, the paper's fail-stop model); plugging in a persistent backend
+/// such as `rdht_storage::StorageEngine` via [`InMemoryDht::with_durability`]
+/// turns the same DHT into one whose replicas and counters survive a crash.
 #[derive(Clone, Debug)]
-pub struct InMemoryDht {
+pub struct InMemoryDht<D: DurableState = NoDurability> {
     family: HashFamily,
     replicas: HashMap<Key, Vec<(HashId, ReplicaValue)>>,
     kts: KtsNode,
@@ -36,12 +43,22 @@ pub struct InMemoryDht {
     fail_all_puts: bool,
     fail_puts_for: HashSet<HashId>,
     fail_gets_for: HashSet<HashId>,
+    durability: D,
 }
 
 impl InMemoryDht {
     /// Creates an in-memory DHT with `num_replicas` replication hash
-    /// functions derived from `seed`.
+    /// functions derived from `seed` and no durability (state is lost on
+    /// drop).
     pub fn new(num_replicas: usize, seed: u64) -> Self {
+        InMemoryDht::with_durability(num_replicas, seed, NoDurability)
+    }
+}
+
+impl<D: DurableState> InMemoryDht<D> {
+    /// Creates an in-memory DHT journaling every accepted mutation to
+    /// `durability`.
+    pub fn with_durability(num_replicas: usize, seed: u64, durability: D) -> Self {
         InMemoryDht {
             family: HashFamily::new(num_replicas, seed),
             replicas: HashMap::new(),
@@ -50,7 +67,26 @@ impl InMemoryDht {
             fail_all_puts: false,
             fail_puts_for: HashSet::new(),
             fail_gets_for: HashSet::new(),
+            durability,
         }
+    }
+
+    /// Read access to the durability backend.
+    pub fn durability(&self) -> &D {
+        &self.durability
+    }
+
+    /// Mutable access to the durability backend (to sync it, inspect journal
+    /// health, force a compaction, ...).
+    pub fn durability_mut(&mut self) -> &mut D {
+        &mut self.durability
+    }
+
+    /// Consumes the DHT, returning the durability backend — the in-memory
+    /// state is dropped, which is exactly a crash when the backend is
+    /// persistent.
+    pub fn into_durability(self) -> D {
+        self.durability
     }
 
     /// The hash family in use.
@@ -70,17 +106,18 @@ impl InMemoryDht {
     }
 
     /// Overwrites a replica unconditionally — used by tests to fabricate
-    /// stale replicas (as if the holder had missed updates).
+    /// stale replicas (as if the holder had missed updates). Journaled like
+    /// any accepted write, so a persistent backend replays the fabricated
+    /// state faithfully.
     pub fn overwrite_replica(&mut self, hash: HashId, key: &Key, value: ReplicaValue) {
-        let slots = self.replicas.entry(key.clone()).or_default();
-        match slots.iter_mut().find(|(h, _)| *h == hash) {
-            Some((_, stored)) => *stored = value,
-            None => slots.push((hash, value)),
-        }
+        self.durability
+            .record_replica_put(hash, key, &value, self.family.eval(hash, key));
+        self.load_recovered_replica(hash, key, value);
     }
 
     /// Drops the replica stored under one hash function — as if its holder
-    /// had failed and its memory were lost.
+    /// had failed and its memory were lost. Not journaled: the modelled
+    /// failure loses the holder's durable state too.
     pub fn drop_replica(&mut self, hash: HashId, key: &Key) {
         if let Some(slots) = self.replicas.get_mut(key) {
             slots.retain(|(h, _)| *h != hash);
@@ -92,9 +129,21 @@ impl InMemoryDht {
 
     /// Simulates a crash of the timestamping responsible: all counters are
     /// lost, and the next request will have to use the indirect
-    /// initialization against whatever replicas remain.
+    /// initialization against whatever replicas remain. Not journaled — this
+    /// models the *loss* of volatile state, not a graceful mutation.
     pub fn crash_timestamp_service(&mut self) {
         self.kts = KtsNode::new(false);
+    }
+
+    /// Re-loads a recovered replica into the store without journaling it
+    /// (it is already durable — journaling it again would double it in the
+    /// log). Used when rebuilding a DHT from `rdht-storage` recovered state.
+    pub fn load_recovered_replica(&mut self, hash: HashId, key: &Key, value: ReplicaValue) {
+        let slots = self.replicas.entry(key.clone()).or_default();
+        match slots.iter_mut().find(|(h, _)| *h == hash) {
+            Some((_, stored)) => *stored = value,
+            None => slots.push((hash, value)),
+        }
     }
 
     /// Access to the embedded KTS node (for assertions on VCS state).
@@ -130,16 +179,22 @@ impl InMemoryDht {
     }
 }
 
-impl UmsAccess for InMemoryDht {
+impl<D: DurableState> UmsAccess for InMemoryDht<D> {
     fn kts_gen_ts(&mut self, key: &Key) -> Result<Timestamp, UmsError> {
         let observation = self.indirect_observation(key);
-        Ok(self.kts.gen_ts(key, || observation).timestamp)
+        Ok(self
+            .kts
+            .gen_ts_with(key, || observation, &mut self.durability)
+            .timestamp)
     }
 
     fn kts_last_ts(&mut self, key: &Key) -> Result<Timestamp, UmsError> {
         let observation = self.indirect_observation(key);
         let policy = self.last_ts_policy;
-        Ok(self.kts.last_ts(key, policy, || observation).timestamp)
+        Ok(self
+            .kts
+            .last_ts_with(key, policy, || observation, &mut self.durability)
+            .timestamp)
     }
 
     fn put_replica(
@@ -152,13 +207,23 @@ impl UmsAccess for InMemoryDht {
             return Err(UmsError::lookup("replica holder unreachable (injected)"));
         }
         let slots = self.replicas.entry(key.clone()).or_default();
-        match slots.iter_mut().find(|(h, _)| *h == hash) {
+        let accepted = match slots.iter_mut().find(|(h, _)| *h == hash) {
             Some((_, stored)) => {
                 if value.timestamp > stored.timestamp {
                     *stored = value.clone();
+                    true
+                } else {
+                    false
                 }
             }
-            None => slots.push((hash, value.clone())),
+            None => {
+                slots.push((hash, value.clone()));
+                true
+            }
+        };
+        if accepted {
+            self.durability
+                .record_replica_put(hash, key, value, self.family.eval(hash, key));
         }
         Ok(())
     }
@@ -235,5 +300,48 @@ mod tests {
         ums::insert(&mut dht, &key, b"v".to_vec()).unwrap();
         assert!(dht.kts().has_counter(&key));
         assert_eq!(dht.kts().counter_value(&key), Some(Timestamp(1)));
+    }
+
+    #[test]
+    fn accepted_mutations_are_journaled_in_apply_order() {
+        use crate::durability::recording::{Event, RecordingJournal};
+
+        let mut dht = InMemoryDht::with_durability(3, 15, RecordingJournal::default());
+        let key = Key::new("doc");
+        ums::insert(&mut dht, &key, b"v1".to_vec()).unwrap();
+        let events = dht.durability().events.clone();
+        // One counter mutation (gen_ts), then one accepted put per replica.
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0], Event::SetCounter(key.clone(), Timestamp(1)));
+        for (i, hash) in dht.replication_ids().enumerate() {
+            match &events[1 + i] {
+                Event::Put(h, k, ts, position) => {
+                    assert_eq!(*h, hash);
+                    assert_eq!(k, &key);
+                    assert_eq!(*ts, Timestamp(1));
+                    assert_eq!(*position, dht.family().eval(hash, &key));
+                }
+                other => panic!("expected a put event, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejected_stale_puts_are_not_journaled() {
+        use crate::durability::recording::RecordingJournal;
+
+        let mut dht = InMemoryDht::with_durability(3, 16, RecordingJournal::default());
+        let key = Key::new("doc");
+        ums::insert(&mut dht, &key, b"v1".to_vec()).unwrap();
+        ums::insert(&mut dht, &key, b"v2".to_vec()).unwrap();
+        let journaled_before = dht.durability().events.len();
+        // Replay a stale write: it must neither change state nor be journaled.
+        let hash = dht.replication_ids_vec()[0];
+        let stale = ReplicaValue::new(b"v1".to_vec(), Timestamp(1));
+        dht.put_replica(hash, &key, &stale).unwrap();
+        assert_eq!(dht.durability().events.len(), journaled_before);
+        // Retrieval is also journal-free.
+        ums::retrieve(&mut dht, &key).unwrap();
+        assert_eq!(dht.durability().events.len(), journaled_before);
     }
 }

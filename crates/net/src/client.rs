@@ -25,6 +25,10 @@ pub struct ClusterClient {
     /// Messages sent by this client (request + reply counted separately),
     /// the cluster analogue of the simulator's message metric.
     messages: u64,
+    /// How many times a timestamp request came back `NeedsInitialization`
+    /// and this client ran the indirect initialization (gathered the
+    /// replicas' maximum timestamp) before retrying.
+    indirect_initializations: u64,
 }
 
 impl ClusterClient {
@@ -32,12 +36,21 @@ impl ClusterClient {
         ClusterClient {
             directory,
             messages: 0,
+            indirect_initializations: 0,
         }
     }
 
     /// Number of messages this client has exchanged so far.
     pub fn messages(&self) -> u64 {
         self.messages
+    }
+
+    /// Number of indirect counter initializations this client performed —
+    /// the observable footprint of the Section 4.2.2 recovery path (a
+    /// responsible serving from a valid in-memory counter never triggers
+    /// one).
+    pub fn indirect_initializations(&self) -> u64 {
+        self.indirect_initializations
     }
 
     fn request(
@@ -89,6 +102,7 @@ impl ClusterClient {
             Reply::NeedsInitialization => {
                 // The responsible has no valid counter (it took over after a
                 // crash): run the indirect initialization and retry.
+                self.indirect_initializations += 1;
                 let observed = self.gather_observation(key)?;
                 let second = self.request(position, |reply| Request::Timestamp {
                     key: key.clone(),

@@ -1,7 +1,9 @@
 //! The cluster: peer threads, the shared membership directory and lifecycle
-//! management.
+//! management — including real crash/restart recovery when peers are backed
+//! by `rdht-storage` directories.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -11,9 +13,11 @@ use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use rdht_core::durability::DurableState;
 use rdht_core::kts::{IndirectObservation, KtsNode};
-use rdht_core::{LastTsInitPolicy, Timestamp};
+use rdht_core::{LastTsInitPolicy, ReplicaValue};
 use rdht_hashing::{HashFamily, HashId, Key};
+use rdht_storage::{StorageEngine, StorageOptions};
 
 use crate::client::ClusterClient;
 use crate::message::{Reply, Request};
@@ -22,6 +26,39 @@ use crate::message::{Reply, Request};
 /// hashed into).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PeerId(pub u64);
+
+/// Where (and how) a cluster persists its peers' state.
+#[derive(Clone, Debug)]
+pub struct ClusterStorage {
+    /// Root directory; each peer owns the subdirectory
+    /// `peer-<id:016x>` underneath it.
+    pub root: PathBuf,
+    /// Engine tuning (fsync policy, snapshot cadence) shared by every peer.
+    pub options: StorageOptions,
+}
+
+impl ClusterStorage {
+    /// Storage under `root` with default engine options (fsync `Always`).
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        ClusterStorage {
+            root: root.into(),
+            options: StorageOptions::default(),
+        }
+    }
+
+    /// Storage under `root` with explicit engine options.
+    pub fn with_options(root: impl Into<PathBuf>, options: StorageOptions) -> Self {
+        ClusterStorage {
+            root: root.into(),
+            options,
+        }
+    }
+
+    /// The on-disk directory of one peer.
+    pub fn peer_dir(&self, peer: PeerId) -> PathBuf {
+        self.root.join(format!("peer-{:016x}", peer.0))
+    }
+}
 
 /// Tunables of a cluster deployment.
 #[derive(Clone, Debug)]
@@ -32,21 +69,35 @@ pub struct ClusterConfig {
     pub num_replicas: usize,
     /// Seed for peer identifiers and the hash family.
     pub seed: u64,
-    /// Artificial delay injected before a peer processes each message,
+    /// Artificial delay injected before a peer processes each *data* message,
     /// modelling network latency. Zero by default so tests run fast.
+    /// Lifecycle messages (`Shutdown`, `Crash`) are exempt: tearing a
+    /// cluster down is a local operation, not a network exchange, so
+    /// `Cluster::shutdown` stays prompt regardless of the modelled latency.
     pub message_delay: Duration,
+    /// When set, every peer journals its replicas and counters to its own
+    /// directory under `storage.root`, and [`Cluster::restart_peer`] can
+    /// bring a crashed peer back with its durable state.
+    pub storage: Option<ClusterStorage>,
 }
 
 impl ClusterConfig {
     /// A configuration with `num_peers` peers, `num_replicas` replication
-    /// functions and no artificial delay.
+    /// functions, no artificial delay and no durability.
     pub fn new(num_peers: usize, num_replicas: usize, seed: u64) -> Self {
         ClusterConfig {
             num_peers,
             num_replicas,
             seed,
             message_delay: Duration::ZERO,
+            storage: None,
         }
+    }
+
+    /// Returns a copy with peer-state durability under `storage`.
+    pub fn with_storage(mut self, storage: ClusterStorage) -> Self {
+        self.storage = Some(storage);
+        self
     }
 }
 
@@ -78,6 +129,12 @@ impl Directory {
         }
     }
 
+    /// Re-registers a restarted peer under a fresh mailbox and marks it
+    /// alive again.
+    pub(crate) fn revive(&self, peer: PeerId, sender: Sender<Request>) {
+        self.peers.write().insert(peer, (sender, true));
+    }
+
     /// Number of live peers.
     pub(crate) fn live_count(&self) -> usize {
         self.peers
@@ -88,21 +145,42 @@ impl Directory {
     }
 }
 
+/// What [`Cluster::restart_peer`] recovered from a peer's storage directory.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RestartReport {
+    /// Replicas rebuilt from the snapshot + WAL and served again.
+    pub recovered_replicas: usize,
+    /// Durable counter images found on disk. Per the paper's Rule 1 these
+    /// are **not** resurrected into the live Valid Counter Set (another peer
+    /// may have generated newer timestamps while this one was down); the
+    /// live counters re-initialize indirectly from the replicas.
+    pub recovered_counters: usize,
+    /// Storage generation (snapshot/WAL pair) the state was recovered from.
+    pub generation: u64,
+    /// Whether recovery had to discard a torn WAL tail.
+    pub torn_tail: bool,
+}
+
 /// A running cluster of peer threads.
 pub struct Cluster {
     directory: Arc<Directory>,
-    handles: Vec<(PeerId, JoinHandle<()>)>,
+    handles: BTreeMap<PeerId, JoinHandle<()>>,
     config: ClusterConfig,
 }
 
 impl Cluster {
     /// Spawns a cluster with `num_peers` peers and `num_replicas` replication
-    /// hash functions, with no artificial message delay.
+    /// hash functions, with no artificial message delay and no durability.
     pub fn spawn(num_peers: usize, num_replicas: usize, seed: u64) -> Self {
         Cluster::spawn_with(ClusterConfig::new(num_peers, num_replicas, seed))
     }
 
     /// Spawns a cluster from an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_peers` is zero, or when durability is configured and
+    /// a peer's storage directory cannot be opened.
     pub fn spawn_with(config: ClusterConfig) -> Self {
         assert!(config.num_peers > 0, "a cluster needs at least one peer");
         let family = HashFamily::new(config.num_replicas, config.seed);
@@ -126,8 +204,9 @@ impl Cluster {
         let handles = receivers
             .into_iter()
             .map(|(id, receiver)| {
+                let engine = open_engine(&config.storage, id);
                 let directory = Arc::clone(&directory);
-                let handle = std::thread::spawn(move || peer_main(id, receiver, directory));
+                let handle = std::thread::spawn(move || peer_main(id, receiver, directory, engine));
                 (id, handle)
             })
             .collect();
@@ -174,8 +253,11 @@ impl Cluster {
     }
 
     /// Crashes a peer: it is marked dead in the directory (so it stops being
-    /// responsible for anything) and its thread is told to stop. Its stored
-    /// replicas and counters are lost, exactly like a fail-stop failure.
+    /// responsible for anything) and its thread stops without any final
+    /// flush — a fail-stop failure. Everything in the peer's memory (its
+    /// live counters, and its replicas when the cluster has no storage) is
+    /// lost; what its journal already holds survives on disk and
+    /// [`Cluster::restart_peer`] can recover it.
     pub fn crash_peer(&self, peer: PeerId) {
         let sender = {
             let peers = self.directory.peers.read();
@@ -183,11 +265,57 @@ impl Cluster {
         };
         self.directory.mark_dead(peer);
         if let Some(sender) = sender {
-            let _ = sender.send(Request::Shutdown);
+            let _ = sender.send(Request::Crash);
         }
     }
 
-    /// Stops every peer thread and waits for them to finish.
+    /// Restarts a crashed peer from its on-disk directory: joins the dead
+    /// thread, recovers the storage generation (snapshot + WAL, tolerating a
+    /// torn tail), re-registers the peer alive in the directory and respawns
+    /// its thread over the recovered replicas.
+    ///
+    /// The live Valid Counter Set starts **empty** (Rule 1) — the durable
+    /// counter images are reported in the [`RestartReport`] and cleared from
+    /// the journal, and the first timestamp request for a key re-initializes
+    /// its counter indirectly from the replicas (Section 4.2.2).
+    ///
+    /// On a cluster without storage the peer simply rejoins empty. Returns
+    /// `None` when the peer id is unknown.
+    pub fn restart_peer(&mut self, peer: PeerId) -> Option<RestartReport> {
+        if !self.directory.peers.read().contains_key(&peer) {
+            return None;
+        }
+        // Make sure the old thread is gone before touching its directory:
+        // two threads must never share a WAL.
+        self.crash_peer(peer);
+        if let Some(handle) = self.handles.remove(&peer) {
+            let _ = handle.join();
+        }
+
+        let mut engine = open_engine(&self.config.storage, peer);
+        let report = RestartReport {
+            recovered_replicas: engine.replicas().len(),
+            recovered_counters: engine.counters().len(),
+            generation: engine.generation(),
+            torn_tail: engine.stats().recovered_torn_tail,
+        };
+        // Rule 1, durably: the rejoined peer's VCS is empty, so its durable
+        // image must be too (the recovered values may be stale — another
+        // peer may have generated newer timestamps while this one was down).
+        if report.recovered_counters > 0 {
+            engine.record_counters_cleared();
+        }
+
+        let (sender, receiver) = unbounded();
+        let directory = Arc::clone(&self.directory);
+        let handle = std::thread::spawn(move || peer_main(peer, receiver, directory, engine));
+        self.directory.revive(peer, sender);
+        self.handles.insert(peer, handle);
+        Some(report)
+    }
+
+    /// Stops every peer thread (flushing their journals) and waits for them
+    /// to finish.
     pub fn shutdown(self) {
         {
             let peers = self.directory.peers.read();
@@ -201,20 +329,75 @@ impl Cluster {
     }
 }
 
-/// State owned by one peer thread.
+/// Opens the storage engine backing one peer: a real journaled engine when
+/// the cluster is configured with storage, an ephemeral in-memory one
+/// otherwise.
+fn open_engine(storage: &Option<ClusterStorage>, peer: PeerId) -> StorageEngine {
+    match storage {
+        Some(storage) => {
+            let dir = storage.peer_dir(peer);
+            StorageEngine::open(&dir, storage.options)
+                .unwrap_or_else(|error| panic!("cannot open peer storage at {dir:?}: {error}"))
+        }
+        None => StorageEngine::ephemeral(),
+    }
+}
+
+/// Reports a latched journal failure to stderr, once per peer lifetime.
+fn report_journal_poison(id: PeerId, engine: &StorageEngine, reported: &mut bool) {
+    if *reported {
+        return;
+    }
+    if let Some(error) = engine.poison_error() {
+        eprintln!(
+            "rdht-net peer {:016x}: journal failed ({error}); continuing \
+             WITHOUT durability — state written from here on will not \
+             survive a crash",
+            id.0
+        );
+        *reported = true;
+    }
+}
+
+/// State owned by one peer thread: the storage engine (journaled or
+/// ephemeral) holding its replicas, and its KTS node whose counter mutations
+/// are journaled through the engine.
 struct PeerRuntime {
-    store: BTreeMap<(HashId, Key), (Vec<u8>, Timestamp)>,
+    engine: StorageEngine,
     kts: KtsNode,
 }
 
 /// The peer thread main loop: drain the mailbox, answer requests, stop on
-/// `Shutdown`.
-fn peer_main(_id: PeerId, mailbox: Receiver<Request>, directory: Arc<Directory>) {
+/// `Shutdown` (with a final journal flush) or `Crash` (without one).
+fn peer_main(
+    id: PeerId,
+    mailbox: Receiver<Request>,
+    directory: Arc<Directory>,
+    engine: StorageEngine,
+) {
     let mut runtime = PeerRuntime {
-        store: BTreeMap::new(),
+        engine,
         kts: KtsNode::new(false),
     };
+    // A journal I/O failure (disk full, directory removed, ...) is latched
+    // inside the engine; the peer keeps serving its in-memory state —
+    // availability over durability — but the degradation must not be
+    // silent: report it once.
+    let mut poison_reported = false;
     while let Ok(request) = mailbox.recv() {
+        report_journal_poison(id, &runtime.engine, &mut poison_reported);
+        match request {
+            // Lifecycle messages are exempt from the artificial network
+            // delay: shutting a cluster down is not a network exchange, and
+            // a crash is by definition instantaneous.
+            Request::Shutdown => {
+                runtime.engine.sync_to_durable();
+                report_journal_poison(id, &runtime.engine, &mut poison_reported);
+                break;
+            }
+            Request::Crash => break,
+            _ => {}
+        }
         if !directory.message_delay.is_zero() {
             std::thread::sleep(directory.message_delay);
         }
@@ -226,21 +409,25 @@ fn peer_main(_id: PeerId, mailbox: Receiver<Request>, directory: Arc<Directory>)
                 timestamp,
                 reply,
             } => {
-                let entry = runtime.store.entry((hash, key));
-                match entry {
-                    std::collections::btree_map::Entry::Vacant(v) => {
-                        v.insert((payload, timestamp));
-                    }
-                    std::collections::btree_map::Entry::Occupied(mut o) => {
-                        if timestamp > o.get().1 {
-                            o.insert((payload, timestamp));
-                        }
-                    }
+                let accepted = match runtime.engine.replicas().get(hash, &key) {
+                    Some(existing) => timestamp > existing.stamp,
+                    None => true,
+                };
+                if accepted {
+                    let position = directory.family.eval(hash, &key);
+                    let value = ReplicaValue::new(payload, timestamp);
+                    runtime
+                        .engine
+                        .record_replica_put(hash, &key, &value, position);
                 }
                 let _ = reply.send(Reply::PutAck);
             }
             Request::GetReplica { hash, key, reply } => {
-                let stored = runtime.store.get(&(hash, key)).cloned();
+                let stored = runtime
+                    .engine
+                    .replicas()
+                    .get(hash, &key)
+                    .map(|replica| (replica.payload.clone(), replica.stamp));
                 let _ = reply.send(Reply::Replica(stored));
             }
             Request::Timestamp {
@@ -253,15 +440,16 @@ fn peer_main(_id: PeerId, mailbox: Receiver<Request>, directory: Arc<Directory>)
                     let ts = if generate {
                         runtime
                             .kts
-                            .gen_ts(&key, IndirectObservation::nothing)
+                            .gen_ts_with(&key, IndirectObservation::nothing, &mut runtime.engine)
                             .timestamp
                     } else {
                         runtime
                             .kts
-                            .last_ts(
+                            .last_ts_with(
                                 &key,
                                 LastTsInitPolicy::ObservedMax,
                                 IndirectObservation::nothing,
+                                &mut runtime.engine,
                             )
                             .timestamp
                     };
@@ -276,11 +464,19 @@ fn peer_main(_id: PeerId, mailbox: Receiver<Request>, directory: Arc<Directory>)
                                 IndirectObservation::observed(observed)
                             };
                             let ts = if generate {
-                                runtime.kts.gen_ts(&key, || observation).timestamp
+                                runtime
+                                    .kts
+                                    .gen_ts_with(&key, || observation, &mut runtime.engine)
+                                    .timestamp
                             } else {
                                 runtime
                                     .kts
-                                    .last_ts(&key, LastTsInitPolicy::ObservedMax, || observation)
+                                    .last_ts_with(
+                                        &key,
+                                        LastTsInitPolicy::ObservedMax,
+                                        || observation,
+                                        &mut runtime.engine,
+                                    )
                                     .timestamp
                             };
                             Reply::Timestamp(ts)
@@ -289,7 +485,7 @@ fn peer_main(_id: PeerId, mailbox: Receiver<Request>, directory: Arc<Directory>)
                 };
                 let _ = reply.send(answer);
             }
-            Request::Shutdown => break,
+            Request::Shutdown | Request::Crash => unreachable!("handled above"),
         }
     }
 }

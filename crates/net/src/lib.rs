@@ -26,6 +26,20 @@
 //! algorithm of Section 4.2.2, restructured so that peer threads never block
 //! on each other.
 //!
+//! ## Durability and crash/restart
+//!
+//! With [`ClusterConfig::storage`] set, every peer journals its replicas and
+//! counter mutations to its own `rdht-storage` directory (write-ahead log +
+//! snapshot compaction). [`Cluster::crash_peer`] fail-stops a peer thread
+//! with no final flush; [`Cluster::restart_peer`] recovers the peer's
+//! durable state from disk (tolerating a torn WAL tail) and respawns it. The
+//! restarted peer serves its recovered replicas immediately, but — per the
+//! paper's Rule 1 — its live Valid Counter Set starts empty: the durable
+//! counter images may be stale (another peer may have generated newer
+//! timestamps while it was down), so the first timestamp request per key
+//! takes the observable indirect-initialization path of Section 4.2.2
+//! against the (durable) replicas.
+//!
 //! ```
 //! use rdht_core::ums;
 //! use rdht_hashing::Key;
@@ -50,7 +64,7 @@ mod cluster;
 mod message;
 
 pub use client::ClusterClient;
-pub use cluster::{Cluster, ClusterConfig, PeerId};
+pub use cluster::{Cluster, ClusterConfig, ClusterStorage, PeerId, RestartReport};
 pub use message::{Reply, Request};
 
 #[cfg(test)]

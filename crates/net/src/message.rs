@@ -48,8 +48,13 @@ pub enum Request {
         /// Where to send the timestamp.
         reply: Sender<Reply>,
     },
-    /// Ask the peer to stop after draining its mailbox.
+    /// Ask the peer to stop gracefully: it flushes its journal to stable
+    /// storage before exiting.
     Shutdown,
+    /// Fail-stop the peer: the thread exits immediately, without any final
+    /// journal flush — simulating a crash. Only what the fsync policy
+    /// already pushed to disk survives.
+    Crash,
 }
 
 /// A peer's answer to a [`Request`].

@@ -1,11 +1,29 @@
-//! Tests of the threaded deployment: real concurrency, real failover.
+//! Tests of the threaded deployment: real concurrency, real failover, real
+//! crash/restart recovery from on-disk peer state.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use rdht_core::{ums, UmsAccess};
 use rdht_hashing::Key;
+use rdht_storage::{FsyncPolicy, StorageOptions};
 
-use crate::{Cluster, ClusterConfig};
+use crate::{Cluster, ClusterConfig, ClusterStorage};
+
+static STORAGE_ROOT_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh storage root for one test, removed up-front in case a previous
+/// run left debris.
+fn fresh_storage_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!(
+        "rdht-net-test-{}-{}-{tag}",
+        std::process::id(),
+        STORAGE_ROOT_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
 
 #[test]
 fn insert_and_retrieve_round_trip() {
@@ -192,6 +210,198 @@ fn crash_of_replica_holders_degrades_availability_not_correctness() {
         "surviving replicas still serve the latest value"
     );
     cluster.shutdown();
+}
+
+/// The ISSUE 3 acceptance test: the KTS responsible is crashed (its thread
+/// torn down), restarted from its storage directory, and a subsequent
+/// retrieve is certified current with the pre-crash latest payload — with
+/// the indirect-initialization path (not a counter left in memory)
+/// observably taken.
+#[test]
+fn crash_restart_of_kts_responsible_recovers_indirectly() {
+    let root = fresh_storage_root("kts-responsible");
+    let config = ClusterConfig::new(8, 5, 11).with_storage(ClusterStorage::with_options(
+        &root,
+        StorageOptions::with_fsync(FsyncPolicy::Always),
+    ));
+    let mut cluster = Cluster::spawn_with(config);
+    let key = Key::new("important doc");
+    let mut client = cluster.client();
+    for i in 0..5u32 {
+        ums::insert(&mut client, &key, format!("v{i}").into_bytes()).unwrap();
+    }
+    let before = ums::retrieve(&mut client, &key).unwrap();
+    assert!(before.is_current);
+
+    // Kill the peer that generates timestamps for this key, then bring it
+    // back from its on-disk directory.
+    let responsible = cluster.timestamp_responsible(&key).unwrap();
+    cluster.crash_peer(responsible);
+    assert_eq!(cluster.live_peers(), 7);
+
+    let report = cluster.restart_peer(responsible).unwrap();
+    assert_eq!(cluster.live_peers(), 8);
+    // The peer owns its old ring position again.
+    assert_eq!(cluster.timestamp_responsible(&key), Some(responsible));
+    // Its durable counter image for the key survived the crash…
+    assert!(
+        report.recovered_counters >= 1,
+        "the timestamp responsible journaled at least this key's counter"
+    );
+
+    // …but the live VCS starts empty (Rule 1): the retrieve must take the
+    // indirect-initialization path, observable as a NeedsInitialization
+    // round-trip on a fresh client, and still certify the pre-crash value.
+    let mut fresh = cluster.client();
+    assert_eq!(fresh.indirect_initializations(), 0);
+    let after = ums::retrieve(&mut fresh, &key).unwrap();
+    assert_eq!(
+        fresh.indirect_initializations(),
+        1,
+        "the restarted responsible had no in-memory counter"
+    );
+    assert!(after.is_current, "currency is re-certified after recovery");
+    assert_eq!(after.data.unwrap(), b"v4", "pre-crash latest payload");
+    assert_eq!(after.timestamp, before.timestamp);
+
+    // Updates continue monotonically after the recovery.
+    let next = ums::insert(&mut fresh, &key, b"v5".to_vec()).unwrap();
+    assert!(next.timestamp > before.timestamp);
+    let finally = ums::retrieve(&mut fresh, &key).unwrap();
+    assert!(finally.is_current);
+    assert_eq!(finally.data.unwrap(), b"v5");
+
+    cluster.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// Stronger durability claim: crash *every* peer (all in-memory state gone),
+/// restart them all from disk, and every key still retrieves current. The
+/// data can only have come from the journals.
+#[test]
+fn whole_cluster_crash_restart_serves_current_data_from_disk() {
+    let root = fresh_storage_root("whole-cluster");
+    let config = ClusterConfig::new(6, 4, 12).with_storage(ClusterStorage::with_options(
+        &root,
+        StorageOptions::with_fsync(FsyncPolicy::EveryN(4)),
+    ));
+    let mut cluster = Cluster::spawn_with(config);
+    let keys: Vec<Key> = (0..8).map(|i| Key::new(format!("doc-{i}"))).collect();
+    {
+        let mut client = cluster.client();
+        for (i, key) in keys.iter().enumerate() {
+            for version in 0..=i {
+                let payload = format!("doc-{i}-v{version}").into_bytes();
+                ums::insert(&mut client, key, payload).unwrap();
+            }
+        }
+    }
+
+    let peers = cluster.peer_ids();
+    for &peer in &peers {
+        cluster.crash_peer(peer);
+    }
+    assert_eq!(cluster.live_peers(), 0);
+    let mut recovered_replicas = 0;
+    for &peer in &peers {
+        let report = cluster.restart_peer(peer).unwrap();
+        recovered_replicas += report.recovered_replicas;
+    }
+    assert_eq!(cluster.live_peers(), peers.len());
+    // Every (key, hash) replica written must be back: 8 keys × |Hr| = 4.
+    // (FsyncPolicy::EveryN leaves at most a tail unsynced on a *power*
+    // failure; a thread crash loses nothing already written to the fs.)
+    assert_eq!(recovered_replicas, keys.len() * 4);
+
+    let mut client = cluster.client();
+    for (i, key) in keys.iter().enumerate() {
+        let got = ums::retrieve(&mut client, key).unwrap();
+        assert!(got.is_current, "doc-{i} must re-certify from durable state");
+        assert_eq!(got.data.unwrap(), format!("doc-{i}-v{i}").into_bytes());
+    }
+    assert!(
+        client.indirect_initializations() >= keys.len() as u64,
+        "every key's counter had to be re-initialized indirectly"
+    );
+    cluster.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// Restarting a peer of a storage-less cluster simply rejoins it empty —
+/// the volatile analogue of a rejoin after failure.
+#[test]
+fn restart_without_storage_rejoins_empty() {
+    let mut cluster = Cluster::spawn(5, 3, 13);
+    let key = Key::new("doc");
+    let mut client = cluster.client();
+    ums::insert(&mut client, &key, b"v1".to_vec()).unwrap();
+
+    let victim = cluster.timestamp_responsible(&key).unwrap();
+    cluster.crash_peer(victim);
+    let report = cluster.restart_peer(victim).unwrap();
+    assert_eq!(report.recovered_replicas, 0);
+    assert_eq!(report.recovered_counters, 0);
+    assert_eq!(cluster.live_peers(), 5);
+
+    // The surviving replicas still certify the value through indirect init.
+    let got = ums::retrieve(&mut client, &key).unwrap();
+    assert_eq!(got.data.unwrap(), b"v1");
+    cluster.shutdown();
+}
+
+/// Restarting an unknown peer id is a no-op.
+#[test]
+fn restart_of_unknown_peer_returns_none() {
+    let mut cluster = Cluster::spawn(3, 3, 14);
+    let bogus = crate::PeerId(0xdead_beef);
+    assert!(!cluster.peer_ids().contains(&bogus));
+    assert_eq!(cluster.restart_peer(bogus), None);
+    cluster.shutdown();
+}
+
+/// A durable peer's journal survives a *graceful* shutdown too: a second
+/// cluster spawned over the same root serves the data.
+#[test]
+fn cluster_respawn_over_same_root_keeps_data() {
+    let root = fresh_storage_root("respawn");
+    let storage = ClusterStorage::with_options(
+        &root,
+        StorageOptions::with_fsync(FsyncPolicy::Never), // Shutdown syncs
+    );
+    let key = Key::new("persistent doc");
+    {
+        let cluster =
+            Cluster::spawn_with(ClusterConfig::new(4, 3, 15).with_storage(storage.clone()));
+        let mut client = cluster.client();
+        ums::insert(&mut client, &key, b"kept".to_vec()).unwrap();
+        cluster.shutdown();
+    }
+    {
+        // Same seed -> same peer ids -> same peer directories.
+        let cluster = Cluster::spawn_with(ClusterConfig::new(4, 3, 15).with_storage(storage));
+        let mut client = cluster.client();
+        let got = ums::retrieve(&mut client, &key).unwrap();
+        assert!(got.is_current);
+        assert_eq!(got.data.unwrap(), b"kept");
+        cluster.shutdown();
+    }
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// The ISSUE 3 satellite: the artificial message delay must not apply to
+/// shutdown drains — a delayed cluster shuts down promptly.
+#[test]
+fn delayed_cluster_shuts_down_promptly() {
+    let mut config = ClusterConfig::new(8, 3, 16);
+    config.message_delay = std::time::Duration::from_millis(150);
+    let cluster = Cluster::spawn_with(config);
+    let start = std::time::Instant::now();
+    cluster.shutdown();
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_millis(100),
+        "shutdown must skip the artificial delay, took {elapsed:?}"
+    );
 }
 
 #[test]

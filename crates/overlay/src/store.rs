@@ -111,34 +111,52 @@ impl PeerStore {
 
     /// Inserts or merges a record according to `policy`. Returns `true` if
     /// the store was modified.
+    ///
+    /// Writes against an existing `(hash, key)` record take a fast path that
+    /// never clones the key and touches the position index only when the
+    /// record's ring position actually changed (it almost never does — a
+    /// record's position is a pure function of `(hash, key)`): a rejected
+    /// stale write and the common same-position overwrite are index-free.
+    /// Only the first insert of a record pays the `O(log n)` index insert;
+    /// see README "Performance" for the measured cost.
     pub fn put(&mut self, hash: HashId, key: Key, record: Record, policy: WritePolicy) -> bool {
-        let entry = self.keys.entry(key.clone()).or_default();
-        match entry.find(hash) {
-            None => {
-                let position = record.position;
-                entry.records.push((hash, record));
-                self.len += 1;
-                self.index_insert(position, &key, hash);
-                true
-            }
-            Some(i) => {
-                let accept = match policy {
-                    WritePolicy::Overwrite => true,
-                    WritePolicy::KeepNewest => record.stamp > entry.records[i].1.stamp,
-                };
-                if !accept {
-                    return false;
+        if let Some(entry) = self.keys.get_mut(&key) {
+            match entry.find(hash) {
+                Some(i) => {
+                    let accept = match policy {
+                        WritePolicy::Overwrite => true,
+                        WritePolicy::KeepNewest => record.stamp > entry.records[i].1.stamp,
+                    };
+                    if !accept {
+                        return false;
+                    }
+                    let old_position = entry.records[i].1.position;
+                    let new_position = record.position;
+                    entry.records[i].1 = record;
+                    if old_position != new_position {
+                        self.index_remove(old_position, &key, hash);
+                        self.index_insert(new_position, &key, hash);
+                    }
                 }
-                let old_position = entry.records[i].1.position;
-                let new_position = record.position;
-                entry.records[i].1 = record;
-                if old_position != new_position {
-                    self.index_remove(old_position, &key, hash);
-                    self.index_insert(new_position, &key, hash);
+                None => {
+                    let position = record.position;
+                    entry.records.push((hash, record));
+                    self.len += 1;
+                    self.index_insert(position, &key, hash);
                 }
-                true
             }
+        } else {
+            let position = record.position;
+            self.keys.insert(
+                key.clone(),
+                KeyRecords {
+                    records: vec![(hash, record)],
+                },
+            );
+            self.len += 1;
+            self.index_insert(position, &key, hash);
         }
+        true
     }
 
     /// Reads the record stored for `(hash, key)`, if any. Borrowed lookup —
@@ -234,6 +252,61 @@ impl PeerStore {
         self.keys.clear();
         self.by_position.clear();
         self.len = 0;
+    }
+
+    /// Snapshots every record in deterministic ascending ring-position
+    /// order (the position index's order, independent of `HashMap` seeding).
+    /// Together with [`PeerStore::bulk_load`] this is the journaling /
+    /// state-transfer surface of the store: iterate on the source, bulk-load
+    /// on the destination.
+    pub fn snapshot(&self) -> Vec<(HashId, Key, Record)> {
+        self.by_position
+            .iter()
+            .map(|(_, hash, key)| {
+                let record = self.get(*hash, key).expect("indexed record exists").clone();
+                (*hash, key.clone(), record)
+            })
+            .collect()
+    }
+
+    /// Loads a batch of records (last write wins for duplicate `(hash, key)`
+    /// pairs), rebuilding the position index once at the end instead of
+    /// paying one `O(log n)` index insert per record — the restore half of
+    /// snapshot/restore and the receiving half of a range transfer. Returns
+    /// the number of records ingested.
+    pub fn bulk_load(&mut self, records: impl IntoIterator<Item = (HashId, Key, Record)>) -> usize {
+        let mut loaded = 0;
+        for (hash, key, record) in records {
+            let entry = self.keys.entry(key).or_default();
+            match entry.find(hash) {
+                Some(i) => entry.records[i].1 = record,
+                None => {
+                    entry.records.push((hash, record));
+                    self.len += 1;
+                }
+            }
+            loaded += 1;
+        }
+        self.rebuild_index();
+        loaded
+    }
+
+    /// Rebuilds the position index from the per-key tables: collect, sort,
+    /// bulk-build (a `BTreeSet` built from a sorted iterator is constructed
+    /// bottom-up, cheaper than n root-down inserts).
+    fn rebuild_index(&mut self) {
+        let mut entries: Vec<IndexEntry> = self
+            .keys
+            .iter()
+            .flat_map(|(key, entry)| {
+                entry
+                    .records
+                    .iter()
+                    .map(move |(hash, record)| (record.position, *hash, key.clone()))
+            })
+            .collect();
+        entries.sort_unstable();
+        self.by_position = entries.into_iter().collect();
     }
 
     /// The greatest stamp stored for `key` under any hash function, if any.
@@ -422,6 +495,66 @@ mod tests {
         assert_eq!(moved.len(), 1);
         assert_eq!(moved[0].0, HashId(1));
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn snapshot_bulk_load_round_trips() {
+        let mut store = PeerStore::new();
+        store.put(
+            HashId(0),
+            Key::new("a"),
+            rec(1, 300),
+            WritePolicy::Overwrite,
+        );
+        store.put(
+            HashId(1),
+            Key::new("a"),
+            rec(2, 100),
+            WritePolicy::Overwrite,
+        );
+        store.put(
+            HashId(0),
+            Key::new("b"),
+            rec(3, 200),
+            WritePolicy::Overwrite,
+        );
+        let snapshot = store.snapshot();
+        // Deterministic: ascending ring-position order.
+        let positions: Vec<u64> = snapshot.iter().map(|(_, _, r)| r.position).collect();
+        assert_eq!(positions, vec![100, 200, 300]);
+
+        let mut restored = PeerStore::new();
+        assert_eq!(restored.bulk_load(snapshot.clone()), 3);
+        assert_eq!(restored.len(), 3);
+        assert_eq!(restored.snapshot(), snapshot);
+        // The rebuilt index drives drain correctly.
+        let moved = restored.drain_range(150, 250);
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved[0].1, Key::new("b"));
+    }
+
+    #[test]
+    fn bulk_load_into_populated_store_overwrites_and_reindexes() {
+        let mut store = PeerStore::new();
+        store.put(
+            HashId(0),
+            Key::new("a"),
+            rec(1, 100),
+            WritePolicy::Overwrite,
+        );
+        let loaded = store.bulk_load(vec![
+            (HashId(0), Key::new("a"), rec(9, 5000)), // overwrite, position moves
+            (HashId(2), Key::new("c"), rec(4, 400)),  // fresh record
+            (HashId(2), Key::new("c"), rec(5, 450)),  // duplicate: last wins
+        ]);
+        assert_eq!(loaded, 3);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(HashId(0), &Key::new("a")).unwrap().stamp, 9);
+        assert_eq!(store.get(HashId(2), &Key::new("c")).unwrap().stamp, 5);
+        // Index reflects the final positions only.
+        assert!(store.clone().drain_range(50, 150).is_empty());
+        assert_eq!(store.clone().drain_range(4000, 6000).len(), 1);
+        assert_eq!(store.clone().drain_range(425, 475).len(), 1);
     }
 
     #[test]

@@ -1,0 +1,686 @@
+//! The log-structured storage engine: WAL + snapshot generations + recovery.
+//!
+//! On-disk layout of a peer directory (all numbers are a hex *generation*):
+//!
+//! ```text
+//! peer-dir/
+//!   snapshot-0000000000000002.snap   # state image opening generation 2
+//!   wal-0000000000000002.log         # ops appended since that snapshot
+//!   snapshot-0000000000000003.tmp    # in-progress compaction (ignored)
+//! ```
+//!
+//! Generation `g` means: *state = snapshot-`g` replayed, then wal-`g`
+//! replayed on top*. Generation 0 has no snapshot (a fresh peer starts with
+//! just `wal-0…0.log`). Compaction writes `snapshot-(g+1)` to a `.tmp` file,
+//! fsyncs, renames (the atomic commit point), starts an empty `wal-(g+1)`,
+//! and only then deletes generation `g` — so a crash at any point leaves
+//! either generation fully recoverable.
+//!
+//! Recovery ([`StorageEngine::recover`] / [`StorageEngine::open`]) picks the
+//! newest generation with a *valid* snapshot (generation 0 if none), replays
+//! its WAL tolerating a torn final record, and reports what it found.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rdht_core::durability::DurableState;
+use rdht_core::{ReplicaValue, Timestamp};
+use rdht_hashing::{HashId, Key};
+
+use crate::op::StorageOp;
+use crate::snapshot::{load_snapshot, write_snapshot};
+use crate::state::{CounterSet, MemoryState, ReplicaStore};
+use crate::wal::{replay, FsyncPolicy, WalWriter};
+
+/// Tunables of a [`StorageEngine`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StorageOptions {
+    /// When appended WAL records are fsynced ([`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+    /// Compact (write a snapshot, start a fresh WAL) after this many ops
+    /// have been appended to the current WAL. `0` disables automatic
+    /// compaction ([`StorageEngine::compact`] can still be called manually).
+    pub snapshot_every: u64,
+}
+
+impl Default for StorageOptions {
+    fn default() -> Self {
+        StorageOptions {
+            fsync: FsyncPolicy::Always,
+            snapshot_every: 4096,
+        }
+    }
+}
+
+impl StorageOptions {
+    /// Options with the given fsync policy and default compaction cadence.
+    pub fn with_fsync(fsync: FsyncPolicy) -> Self {
+        StorageOptions {
+            fsync,
+            ..StorageOptions::default()
+        }
+    }
+}
+
+/// Counters describing what an engine has done — used by tests, the
+/// crash/restart walkthrough and the `storage` bench target.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Ops appended to the WAL over this engine's lifetime.
+    pub ops_appended: u64,
+    /// Snapshots written by compaction.
+    pub snapshots_written: u64,
+    /// Ops replayed from the WAL at open.
+    pub recovered_wal_ops: u64,
+    /// Whether open had to discard a torn WAL tail.
+    pub recovered_torn_tail: bool,
+    /// Whether open loaded a snapshot (vs replaying from empty).
+    pub recovered_from_snapshot: bool,
+}
+
+/// What [`StorageEngine::recover`] found in a peer directory.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveredState {
+    /// The recovered replica table.
+    pub replicas: ReplicaStore,
+    /// The recovered counter set (the durable image of the peer's VCS as of
+    /// the crash; per the paper's Rule 1 a *rejoining* peer must still
+    /// re-initialize its live counters indirectly, because another peer may
+    /// have generated newer timestamps while this one was down).
+    pub counters: CounterSet,
+    /// Generation the state was recovered from.
+    pub generation: u64,
+    /// Ops replayed from the generation's WAL.
+    pub wal_ops: u64,
+    /// Whether a torn WAL tail was discarded.
+    pub torn_tail: bool,
+}
+
+/// A durable peer-state engine.
+///
+/// Holds the materialized state (replicas + counters) and, when opened on a
+/// directory, journals every applied op to a CRC-framed WAL with periodic
+/// snapshot compaction. The [`DurableState`] implementation lets `rdht-core`
+/// paths (replica writes, KTS counter mutations) journal through it without
+/// knowing anything about files.
+#[derive(Debug)]
+pub struct StorageEngine {
+    dir: Option<PathBuf>,
+    wal: Option<WalWriter>,
+    generation: u64,
+    ops_in_wal: u64,
+    state: MemoryState,
+    options: StorageOptions,
+    stats: StorageStats,
+    poison: Option<io::Error>,
+}
+
+fn generation_file(dir: &Path, prefix: &str, generation: u64, ext: &str) -> PathBuf {
+    dir.join(format!("{prefix}-{generation:016x}.{ext}"))
+}
+
+/// Parses `prefix-<hex>.<ext>` names back to a generation number.
+fn parse_generation(name: &str, prefix: &str, ext: &str) -> Option<u64> {
+    let rest = name.strip_prefix(prefix)?.strip_prefix('-')?;
+    let hex = rest.strip_suffix(ext)?.strip_suffix('.')?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Everything found while scanning a peer directory.
+struct DirScan {
+    snapshots: Vec<u64>,
+    wals: Vec<u64>,
+    tmp_files: Vec<PathBuf>,
+}
+
+fn scan_dir(dir: &Path) -> io::Result<DirScan> {
+    let mut scan = DirScan {
+        snapshots: Vec::new(),
+        wals: Vec::new(),
+        tmp_files: Vec::new(),
+    };
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.ends_with(".tmp") {
+            scan.tmp_files.push(entry.path());
+        } else if let Some(generation) = parse_generation(name, "snapshot", "snap") {
+            scan.snapshots.push(generation);
+        } else if let Some(generation) = parse_generation(name, "wal", "log") {
+            scan.wals.push(generation);
+        }
+    }
+    scan.snapshots.sort_unstable();
+    scan.wals.sort_unstable();
+    Ok(scan)
+}
+
+/// What [`discover`] rebuilt from a peer directory.
+struct Discovered {
+    state: MemoryState,
+    generation: u64,
+    wal_ops: u64,
+    wal_valid_len: u64,
+    torn_tail: bool,
+    from_snapshot: bool,
+}
+
+/// Picks the newest recoverable generation and rebuilds its state.
+fn discover(dir: &Path) -> io::Result<Discovered> {
+    let scan = scan_dir(dir)?;
+    // Try snapshots newest-first; an invalid one (torn compaction) falls
+    // back to the previous generation, whose files are only deleted after a
+    // newer snapshot is fully durable.
+    let mut state = MemoryState::new();
+    let mut generation = 0u64;
+    let mut from_snapshot = false;
+    for &candidate in scan.snapshots.iter().rev() {
+        if let Some(loaded) = load_snapshot(&generation_file(dir, "snapshot", candidate, "snap"))? {
+            state = loaded;
+            generation = candidate;
+            from_snapshot = true;
+            break;
+        }
+    }
+    if !from_snapshot {
+        // No (valid) snapshot: the only recoverable generation is the oldest
+        // WAL on disk, which for an uncompacted engine is generation 0.
+        generation = scan.wals.first().copied().unwrap_or(0);
+    }
+    let wal_replay = replay(&generation_file(dir, "wal", generation, "log"))?;
+    let wal_ops = wal_replay.ops.len() as u64;
+    let wal_valid_len = wal_replay.valid_len;
+    let torn_tail = wal_replay.torn_tail;
+    for op in wal_replay.ops {
+        state.apply_owned(op);
+    }
+    Ok(Discovered {
+        state,
+        generation,
+        wal_ops,
+        wal_valid_len,
+        torn_tail,
+        from_snapshot,
+    })
+}
+
+/// Fsyncs a directory so the renames, creates and unlinks inside it are
+/// durable — without this, `FsyncPolicy::Always`'s power-loss guarantee
+/// would silently stop at each file's *contents*.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        fs::File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        // Directories cannot be opened for syncing on this platform; the
+        // metadata flush is left to the OS.
+        let _ = dir;
+    }
+    Ok(())
+}
+
+impl StorageEngine {
+    /// An engine with no backing directory: state is memory-only and every
+    /// journaling hook is a cheap in-memory apply. Used for peers configured
+    /// without durability.
+    pub fn ephemeral() -> Self {
+        StorageEngine {
+            dir: None,
+            wal: None,
+            generation: 0,
+            ops_in_wal: 0,
+            state: MemoryState::new(),
+            options: StorageOptions::default(),
+            stats: StorageStats::default(),
+            poison: None,
+        }
+    }
+
+    /// Opens (creating if needed) the engine over `dir`: recovers the newest
+    /// generation, truncates any torn WAL tail, removes leftovers of older
+    /// generations and interrupted compactions, and readies the WAL for
+    /// appending.
+    pub fn open(dir: impl Into<PathBuf>, options: StorageOptions) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let discovered = discover(&dir)?;
+        let generation = discovered.generation;
+
+        // Garbage-collect: interrupted compactions and superseded generations.
+        let scan = scan_dir(&dir)?;
+        for tmp in scan.tmp_files {
+            let _ = fs::remove_file(tmp);
+        }
+        for other in scan.snapshots.into_iter().filter(|&g| g != generation) {
+            let _ = fs::remove_file(generation_file(&dir, "snapshot", other, "snap"));
+        }
+        for other in scan.wals.into_iter().filter(|&g| g != generation) {
+            let _ = fs::remove_file(generation_file(&dir, "wal", other, "log"));
+        }
+
+        let wal = WalWriter::open_after_replay(
+            generation_file(&dir, "wal", generation, "log"),
+            options.fsync,
+            discovered.wal_valid_len,
+        )?;
+        // Make the WAL's directory entry (and the GC unlinks) durable before
+        // acknowledging any append against this generation.
+        sync_dir(&dir)?;
+        let stats = StorageStats {
+            recovered_wal_ops: discovered.wal_ops,
+            recovered_torn_tail: discovered.torn_tail,
+            recovered_from_snapshot: discovered.from_snapshot,
+            ..StorageStats::default()
+        };
+        Ok(StorageEngine {
+            dir: Some(dir),
+            wal: Some(wal),
+            generation,
+            ops_in_wal: discovered.wal_ops,
+            state: discovered.state,
+            options,
+            stats,
+            poison: None,
+        })
+    }
+
+    /// Read-only recovery: rebuilds the durable state of `dir` without
+    /// opening it for writing or garbage-collecting anything.
+    pub fn recover_state(dir: &Path) -> io::Result<RecoveredState> {
+        let discovered = discover(dir)?;
+        Ok(RecoveredState {
+            replicas: discovered.state.replicas,
+            counters: discovered.state.counters,
+            generation: discovered.generation,
+            wal_ops: discovered.wal_ops,
+            torn_tail: discovered.torn_tail,
+        })
+    }
+
+    /// Read-only recovery returning just the two stores — the
+    /// `recover(dir) -> (ReplicaStore, CounterSet)` entry point.
+    pub fn recover(dir: &Path) -> io::Result<(ReplicaStore, CounterSet)> {
+        let recovered = StorageEngine::recover_state(dir)?;
+        Ok((recovered.replicas, recovered.counters))
+    }
+
+    /// The backing directory, if the engine is durable.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// The current generation number.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The materialized replica table.
+    pub fn replicas(&self) -> &ReplicaStore {
+        &self.state.replicas
+    }
+
+    /// The materialized counter set.
+    pub fn counters(&self) -> &CounterSet {
+        &self.state.counters
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> StorageStats {
+        self.stats
+    }
+
+    /// The first I/O error a journaling hook swallowed, if any. A poisoned
+    /// engine keeps serving its in-memory state but stops appending;
+    /// [`StorageEngine::take_poison`] surfaces the error.
+    pub fn is_poisoned(&self) -> bool {
+        self.poison.is_some()
+    }
+
+    /// Takes the latched hook error, clearing the poison flag.
+    pub fn take_poison(&mut self) -> Option<io::Error> {
+        self.poison.take()
+    }
+
+    /// The latched hook error, if any, without clearing it.
+    pub fn poison_error(&self) -> Option<&io::Error> {
+        self.poison.as_ref()
+    }
+
+    /// Applies one op to the in-memory state and journals it. Errors from
+    /// the journal leave the in-memory state applied (serving continues) —
+    /// the caller decides whether to surface or latch them.
+    pub fn apply(&mut self, op: &StorageOp) -> io::Result<()> {
+        self.apply_owned(op.clone())
+    }
+
+    /// [`StorageEngine::apply`] for callers that own the op: the journal
+    /// encodes from a borrow, then the payload moves straight into the
+    /// in-memory store — no clone on the write hot path.
+    pub fn apply_owned(&mut self, op: StorageOp) -> io::Result<()> {
+        let mut journal = Ok(());
+        if let Some(wal) = self.wal.as_mut() {
+            journal = wal.append(&op);
+            if journal.is_ok() {
+                self.stats.ops_appended += 1;
+                self.ops_in_wal += 1;
+            }
+        }
+        self.state.apply_owned(op);
+        journal?;
+        if self.wal.is_some()
+            && self.options.snapshot_every > 0
+            && self.ops_in_wal >= self.options.snapshot_every
+        {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Forces everything journaled so far to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        match self.wal.as_mut() {
+            Some(wal) => wal.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Writes a snapshot of the current state as generation `g+1`, starts a
+    /// fresh WAL for it, and deletes generation `g`.
+    pub fn compact(&mut self) -> io::Result<()> {
+        let Some(dir) = self.dir.clone() else {
+            return Ok(());
+        };
+        let next = self.generation + 1;
+        let tmp = generation_file(&dir, "snapshot", next, "tmp");
+        let fin = generation_file(&dir, "snapshot", next, "snap");
+        write_snapshot(&tmp, &fin, next, &self.state)?;
+        let wal = WalWriter::create(
+            generation_file(&dir, "wal", next, "log"),
+            self.options.fsync,
+        )?;
+        // Persist the snapshot rename and the WAL creation *before* deleting
+        // the old generation — otherwise a power loss could surface a
+        // directory where only the unlinks survived.
+        sync_dir(&dir)?;
+        self.wal = Some(wal);
+        // The new generation is durable; the old one can go.
+        let _ = fs::remove_file(generation_file(&dir, "wal", self.generation, "log"));
+        let _ = fs::remove_file(generation_file(&dir, "snapshot", self.generation, "snap"));
+        self.generation = next;
+        self.ops_in_wal = 0;
+        self.stats.snapshots_written += 1;
+        Ok(())
+    }
+
+    fn apply_latching(&mut self, op: StorageOp) {
+        if self.poison.is_some() {
+            // Already poisoned: keep the in-memory state correct, skip the
+            // journal (it is in an unknown state).
+            self.state.apply_owned(op);
+            return;
+        }
+        if let Err(error) = self.apply_owned(op) {
+            self.poison = Some(error);
+        }
+    }
+}
+
+impl DurableState for StorageEngine {
+    fn record_replica_put(&mut self, hash: HashId, key: &Key, value: &ReplicaValue, position: u64) {
+        self.apply_latching(StorageOp::PutReplica {
+            hash,
+            key: key.clone(),
+            payload: value.data.clone(),
+            stamp: value.timestamp,
+            position,
+        });
+    }
+
+    fn record_replica_remove(&mut self, hash: HashId, key: &Key) {
+        self.apply_latching(StorageOp::RemoveReplica {
+            hash,
+            key: key.clone(),
+        });
+    }
+
+    fn record_counter_set(&mut self, key: &Key, value: Timestamp) {
+        self.apply_latching(StorageOp::SetCounter {
+            key: key.clone(),
+            value,
+        });
+    }
+
+    fn record_counter_remove(&mut self, key: &Key) {
+        self.apply_latching(StorageOp::RemoveCounter { key: key.clone() });
+    }
+
+    fn record_counters_cleared(&mut self) {
+        self.apply_latching(StorageOp::ClearCounters);
+    }
+
+    fn record_range_transfer(&mut self, start: u64, end: u64) {
+        self.apply_latching(StorageOp::TransferRange { start, end });
+    }
+
+    fn sync_to_durable(&mut self) {
+        if self.poison.is_none() {
+            if let Err(error) = self.sync() {
+                self.poison = Some(error);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rdht-engine-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn put(i: u64) -> StorageOp {
+        StorageOp::PutReplica {
+            hash: HashId((i % 3) as u32),
+            key: Key::new(format!("key-{}", i % 17)),
+            payload: vec![i as u8; 24],
+            stamp: Timestamp(i + 1),
+            position: i.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    #[test]
+    fn open_apply_reopen_recovers_identical_state() {
+        let dir = temp_dir("reopen");
+        let expected = {
+            let mut engine =
+                StorageEngine::open(&dir, StorageOptions::with_fsync(FsyncPolicy::Never)).unwrap();
+            for i in 0..200 {
+                engine.apply(&put(i)).unwrap();
+            }
+            engine
+                .apply(&StorageOp::SetCounter {
+                    key: Key::new("key-3"),
+                    value: Timestamp(55),
+                })
+                .unwrap();
+            engine.sync().unwrap();
+            engine.state.clone()
+        };
+        let engine = StorageEngine::open(&dir, StorageOptions::default()).unwrap();
+        assert_eq!(engine.state, expected);
+        assert_eq!(engine.stats().recovered_wal_ops, 201);
+        assert!(!engine.stats().recovered_torn_tail);
+
+        // Read-only recovery agrees.
+        let (replicas, counters) = StorageEngine::recover(&dir).unwrap();
+        assert_eq!(replicas, expected.replicas);
+        assert_eq!(counters, expected.counters);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_state_and_prunes_old_generation() {
+        let dir = temp_dir("compact");
+        let mut options = StorageOptions::with_fsync(FsyncPolicy::Never);
+        options.snapshot_every = 64;
+        let expected = {
+            let mut engine = StorageEngine::open(&dir, options).unwrap();
+            for i in 0..300 {
+                engine.apply(&put(i)).unwrap();
+            }
+            assert!(engine.stats().snapshots_written >= 4);
+            engine.sync().unwrap();
+            engine.state.clone()
+        };
+        // Only one generation remains on disk.
+        let scan = scan_dir(&dir).unwrap();
+        assert_eq!(scan.snapshots.len(), 1);
+        assert_eq!(scan.wals.len(), 1);
+        assert!(scan.tmp_files.is_empty());
+
+        let engine = StorageEngine::open(&dir, StorageOptions::default()).unwrap();
+        assert_eq!(engine.state, expected);
+        assert!(engine.stats().recovered_from_snapshot);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_wal_tail_recovers_the_prefix() {
+        let dir = temp_dir("torn-tail");
+        {
+            let mut engine =
+                StorageEngine::open(&dir, StorageOptions::with_fsync(FsyncPolicy::Never)).unwrap();
+            for i in 0..50 {
+                engine.apply(&put(i)).unwrap();
+            }
+            engine.sync().unwrap();
+        }
+        // Tear the last record.
+        let wal_path = generation_file(&dir, "wal", 0, "log");
+        let len = fs::metadata(&wal_path).unwrap().len();
+        let file = fs::OpenOptions::new().write(true).open(&wal_path).unwrap();
+        file.set_len(len - 5).unwrap();
+        drop(file);
+
+        let engine = StorageEngine::open(&dir, StorageOptions::default()).unwrap();
+        assert_eq!(engine.stats().recovered_wal_ops, 49);
+        assert!(engine.stats().recovered_torn_tail);
+
+        // The engine is usable after the truncation: append and re-recover.
+        let mut engine = engine;
+        engine.apply(&put(1000)).unwrap();
+        engine.sync().unwrap();
+        let recovered = StorageEngine::recover_state(&dir).unwrap();
+        assert_eq!(recovered.wal_ops, 50);
+        assert!(!recovered.torn_tail);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_compaction_falls_back_to_previous_generation() {
+        let dir = temp_dir("interrupted-compaction");
+        let expected = {
+            let mut engine =
+                StorageEngine::open(&dir, StorageOptions::with_fsync(FsyncPolicy::Never)).unwrap();
+            for i in 0..40 {
+                engine.apply(&put(i)).unwrap();
+            }
+            engine.sync().unwrap();
+            engine.state.clone()
+        };
+        // Fake a crash mid-compaction: a *torn* snapshot for generation 1
+        // renamed into place, but no wal-1 and generation 0 not yet deleted.
+        let tmp = generation_file(&dir, "snapshot", 1, "tmp");
+        let fin = generation_file(&dir, "snapshot", 1, "snap");
+        write_snapshot(&tmp, &fin, 1, &expected).unwrap();
+        let len = fs::metadata(&fin).unwrap().len();
+        let file = fs::OpenOptions::new().write(true).open(&fin).unwrap();
+        file.set_len(len / 2).unwrap();
+        drop(file);
+
+        let engine = StorageEngine::open(&dir, StorageOptions::default()).unwrap();
+        assert_eq!(engine.state, expected, "fell back to generation 0");
+        assert_eq!(engine.generation(), 0);
+        // The torn snapshot was garbage-collected.
+        assert!(!fin.exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ephemeral_engine_applies_without_files() {
+        let mut engine = StorageEngine::ephemeral();
+        engine.apply(&put(1)).unwrap();
+        engine.apply(&put(2)).unwrap();
+        assert_eq!(engine.replicas().len(), 2);
+        assert_eq!(engine.stats().ops_appended, 0);
+        assert!(engine.dir().is_none());
+        engine.sync().unwrap();
+    }
+
+    #[test]
+    fn durable_state_hooks_journal_through_the_engine() {
+        let dir = temp_dir("hooks");
+        {
+            let mut engine =
+                StorageEngine::open(&dir, StorageOptions::with_fsync(FsyncPolicy::Never)).unwrap();
+            let key = Key::new("doc");
+            let value = ReplicaValue::new(b"payload".to_vec(), Timestamp(7));
+            engine.record_replica_put(HashId(2), &key, &value, 12345);
+            engine.record_counter_set(&key, Timestamp(7));
+            engine.sync_to_durable();
+            assert!(!engine.is_poisoned());
+        }
+        let (replicas, counters) = StorageEngine::recover(&dir).unwrap();
+        let key = Key::new("doc");
+        let stored = replicas.get(HashId(2), &key).expect("replica recovered");
+        assert_eq!(stored.payload, b"payload");
+        assert_eq!(stored.stamp, Timestamp(7));
+        assert_eq!(stored.position, 12345);
+        assert_eq!(counters.value(&key), Some(Timestamp(7)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn transfer_range_is_journaled_and_replayed() {
+        let dir = temp_dir("transfer");
+        {
+            let mut engine =
+                StorageEngine::open(&dir, StorageOptions::with_fsync(FsyncPolicy::Never)).unwrap();
+            engine
+                .apply(&StorageOp::PutReplica {
+                    hash: HashId(0),
+                    key: Key::new("stays"),
+                    payload: b"a".to_vec(),
+                    stamp: Timestamp(1),
+                    position: 100,
+                })
+                .unwrap();
+            engine
+                .apply(&StorageOp::PutReplica {
+                    hash: HashId(0),
+                    key: Key::new("moves"),
+                    payload: b"b".to_vec(),
+                    stamp: Timestamp(2),
+                    position: 5000,
+                })
+                .unwrap();
+            engine.record_range_transfer(4000, 6000);
+            engine.sync().unwrap();
+        }
+        let (replicas, _) = StorageEngine::recover(&dir).unwrap();
+        assert_eq!(replicas.len(), 1);
+        assert!(replicas.get(HashId(0), &Key::new("stays")).is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -19,6 +19,7 @@
 //! | [`baseline`] | `rdht-baseline` | the BRK (BRICKS-style) baseline |
 //! | [`sim`] | `rdht-sim` | discrete-event simulator and workloads |
 //! | [`net`] | `rdht-net` | threaded in-process cluster deployment |
+//! | [`storage`] | `rdht-storage` | durable peer state: WAL, snapshots, recovery |
 //!
 //! The most common entry points are also re-exported at the top level.
 //!
@@ -41,6 +42,7 @@ pub use rdht_hashing as hashing;
 pub use rdht_net as net;
 pub use rdht_overlay as overlay;
 pub use rdht_sim as sim;
+pub use rdht_storage as storage;
 
 pub use rdht_core::{ums, InMemoryDht, ReplicaValue, Timestamp, UmsAccess, UmsConfig, UmsError};
 pub use rdht_hashing::{HashFamily, HashId, Key};

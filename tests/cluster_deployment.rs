@@ -96,3 +96,32 @@ fn overlays_always_have_a_unique_responsible() {
         }
     }
 }
+
+/// The durable deployment through the facade: a cluster journaling to disk
+/// survives the crash and restart of the timestamping responsible.
+#[test]
+fn cluster_crash_restart_through_facade() {
+    use rdht::net::{ClusterConfig, ClusterStorage};
+
+    let root =
+        std::env::temp_dir().join(format!("rdht-facade-crash-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let config = ClusterConfig::new(6, 4, 2027).with_storage(ClusterStorage::new(&root));
+    let mut cluster = Cluster::spawn_with(config);
+    let key = Key::new("facade-durable");
+    let mut client = cluster.client();
+    ums::insert(&mut client, &key, b"survives".to_vec()).unwrap();
+
+    let victim = cluster.timestamp_responsible(&key).unwrap();
+    cluster.crash_peer(victim);
+    let report = cluster.restart_peer(victim).unwrap();
+    assert!(report.recovered_counters >= 1);
+
+    let mut fresh = cluster.client();
+    let got = ums::retrieve(&mut fresh, &key).unwrap();
+    assert!(got.is_current);
+    assert_eq!(got.data.unwrap(), b"survives");
+    assert!(fresh.indirect_initializations() >= 1);
+    cluster.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
