@@ -1,6 +1,8 @@
 //! Node-side KTS logic: timestamp generation at the responsible of
 //! timestamping.
 
+use std::collections::BTreeMap;
+
 use rdht_hashing::Key;
 
 use crate::config::LastTsInitPolicy;
@@ -71,6 +73,10 @@ pub struct KtsStats {
     pub indirect_initializations: u64,
     /// Counters corrected by recovery or periodic inspection.
     pub corrections: u64,
+    /// Indirect initializations whose starting value was raised by a
+    /// recovered durable counter (the recovery floor exceeded what the
+    /// replica scan observed).
+    pub recovery_floor_seeds: u64,
 }
 
 /// The KTS state of one peer: the valid counters for the keys it is currently
@@ -80,6 +86,16 @@ pub struct KtsNode {
     vcs: ValidCounterSet,
     rlu_mode: bool,
     stats: KtsStats,
+    /// Per-key lower bounds recovered from a durable counter image
+    /// ([`KtsNode::seed_recovery_floors`]). A recovered value is the last
+    /// timestamp this peer *generated* for the key before it crashed — per
+    /// Rule 1 it must not be resurrected into the VCS (another peer may have
+    /// generated newer timestamps meanwhile), but it is a safe **lower
+    /// bound**: the next indirect initialization takes
+    /// `max(observed, recovered)` so the counter cannot regress even when
+    /// every replica holder of the key crashed at once and the observation
+    /// comes back empty (Section 4.2.2's corner case).
+    recovery_floors: BTreeMap<Key, u64>,
 }
 
 impl KtsNode {
@@ -90,7 +106,55 @@ impl KtsNode {
             vcs: ValidCounterSet::new(),
             rlu_mode,
             stats: KtsStats::default(),
+            recovery_floors: BTreeMap::new(),
         }
+    }
+
+    /// Seeds per-key recovery floors from a recovered durable counter image.
+    ///
+    /// Called by a deployment right after crash recovery, **instead of**
+    /// resurrecting the recovered values into the VCS (which Rule 1
+    /// forbids). Each floor is consumed by the first initialization of its
+    /// key — indirect (`gen_ts`/`last_ts`) or direct
+    /// ([`KtsNode::receive_transferred_counters`]) — which takes
+    /// `max(initialized value, floor)`. Duplicate seeds keep the largest
+    /// value.
+    pub fn seed_recovery_floors(&mut self, floors: impl IntoIterator<Item = (Key, Timestamp)>) {
+        for (key, value) in floors {
+            let entry = self.recovery_floors.entry(key).or_insert(0);
+            *entry = (*entry).max(value.0);
+        }
+    }
+
+    /// The pending recovery floor for `key`, if one was seeded and not yet
+    /// consumed by an initialization.
+    pub fn recovery_floor(&self, key: &Key) -> Option<Timestamp> {
+        self.recovery_floors.get(key).map(|v| Timestamp(*v))
+    }
+
+    /// Removes and returns the pending recovery floors of every key selected
+    /// by `covers` — the floor counterpart of
+    /// [`KtsNode::export_counters_in_range`]. When responsibility for a
+    /// range moves before the floors were consumed, they must travel with it
+    /// (re-seeded at the new responsible via
+    /// [`KtsNode::seed_recovery_floors`]), or the regression they guard
+    /// against would reopen at the takeover peer.
+    pub fn drain_recovery_floors(
+        &mut self,
+        mut covers: impl FnMut(&Key) -> bool,
+    ) -> Vec<(Key, Timestamp)> {
+        let keys: Vec<Key> = self
+            .recovery_floors
+            .keys()
+            .filter(|key| covers(key))
+            .cloned()
+            .collect();
+        keys.into_iter()
+            .map(|key| {
+                let value = self.recovery_floors.remove(&key).expect("key just listed");
+                (key, Timestamp(value))
+            })
+            .collect()
     }
 
     /// Read-only access to the valid counter set.
@@ -140,10 +204,20 @@ impl KtsNode {
         let mut used_indirect_init = false;
         if !self.vcs.contains(key) {
             let observation = observe();
-            let initial = match observation.max_observed {
+            let mut initial = match observation.max_observed {
                 Some(ts) => Timestamp(ts.0 + 1),
                 None => Timestamp::ZERO,
             };
+            // Seed with the recovered durable counter: it is the last
+            // timestamp this peer generated before crashing, so the counter
+            // must resume at least there even when the observation missed
+            // every replica (all holders down at once).
+            if let Some(floor) = self.recovery_floors.remove(key) {
+                if floor > initial.0 {
+                    initial = Timestamp(floor);
+                    self.stats.recovery_floor_seeds += 1;
+                }
+            }
             self.vcs.initialize(key.clone(), initial);
             self.stats.indirect_initializations += 1;
             used_indirect_init = true;
@@ -194,11 +268,19 @@ impl KtsNode {
         let mut used_indirect_init = false;
         if !self.vcs.contains(key) {
             let observation = observe();
-            let initial = match (observation.max_observed, policy) {
+            let mut initial = match (observation.max_observed, policy) {
                 (Some(ts), LastTsInitPolicy::ObservedMax) => ts,
                 (Some(ts), LastTsInitPolicy::ObservedMaxPlusOne) => Timestamp(ts.0 + 1),
                 (None, _) => Timestamp::ZERO,
             };
+            // The recovered durable counter was genuinely generated; the
+            // last timestamp reported for the key must not fall below it.
+            if let Some(floor) = self.recovery_floors.remove(key) {
+                if floor > initial.0 {
+                    initial = Timestamp(floor);
+                    self.stats.recovery_floor_seeds += 1;
+                }
+            }
             self.vcs.initialize(key.clone(), initial);
             self.stats.indirect_initializations += 1;
             used_indirect_init = true;
@@ -233,6 +315,17 @@ impl KtsNode {
         durable: &mut D,
     ) {
         for (key, value) in counters {
+            // A pending recovery floor raises a transferred value that is
+            // behind what this peer had already durably generated for the
+            // key (possible when the transferrer initialized from a stale
+            // replica set while this peer was down).
+            let mut value = value;
+            if let Some(floor) = self.recovery_floors.remove(&key) {
+                if floor > value.0 {
+                    value = Timestamp(floor);
+                    self.stats.recovery_floor_seeds += 1;
+                }
+            }
             match self.vcs.value(&key) {
                 Some(existing) if existing >= value => {}
                 _ => {
@@ -485,6 +578,72 @@ mod tests {
         node.gen_ts(&Key::new("a"), no_observation);
         node.reset();
         assert!(node.vcs().is_empty());
+    }
+
+    #[test]
+    fn recovery_floor_prevents_regression_when_observation_is_empty() {
+        // The Section 4.2.2 corner case: the responsible crashed after
+        // generating timestamp 5 and every replica holder crashed too, so
+        // the indirect observation comes back empty. Without the floor, the
+        // counter would restart at zero and re-issue timestamps 1..5.
+        let mut node = KtsNode::new(false);
+        let k = Key::new("doc");
+        node.seed_recovery_floors(vec![(k.clone(), Timestamp(5))]);
+        assert_eq!(node.recovery_floor(&k), Some(Timestamp(5)));
+        let out = node.gen_ts(&k, no_observation);
+        assert_eq!(out.timestamp, Timestamp(6), "resumes after the floor");
+        assert!(out.used_indirect_init);
+        assert_eq!(node.stats().recovery_floor_seeds, 1);
+        assert_eq!(node.recovery_floor(&k), None, "floor consumed");
+    }
+
+    #[test]
+    fn recovery_floor_loses_to_a_fresher_observation() {
+        // Another peer generated newer timestamps while this one was down:
+        // the observation (10) beats the stale floor (5) and the floor does
+        // not distort the normal Figure 5 arithmetic.
+        let mut node = KtsNode::new(false);
+        let k = Key::new("doc");
+        node.seed_recovery_floors(vec![(k.clone(), Timestamp(5))]);
+        let out = node.gen_ts(&k, || IndirectObservation::observed(Timestamp(10)));
+        assert_eq!(out.timestamp, Timestamp(12));
+        assert_eq!(node.stats().recovery_floor_seeds, 0);
+        assert_eq!(node.recovery_floor(&k), None, "still consumed");
+    }
+
+    #[test]
+    fn last_ts_reports_at_least_the_recovery_floor() {
+        let mut node = KtsNode::new(false);
+        let k = Key::new("doc");
+        node.seed_recovery_floors(vec![(k.clone(), Timestamp(7))]);
+        let out = node.last_ts(&k, LastTsInitPolicy::ObservedMax, || {
+            IndirectObservation::observed(Timestamp(3))
+        });
+        assert_eq!(out.timestamp, Timestamp(7));
+        assert_eq!(node.stats().recovery_floor_seeds, 1);
+        // The now-valid counter continues monotonically.
+        assert_eq!(node.gen_ts(&k, no_observation).timestamp, Timestamp(8));
+    }
+
+    #[test]
+    fn recovery_floor_raises_a_stale_direct_transfer() {
+        let mut node = KtsNode::new(false);
+        let k = Key::new("doc");
+        node.seed_recovery_floors(vec![(k.clone(), Timestamp(9))]);
+        node.receive_transferred_counters(vec![(k.clone(), Timestamp(4))]);
+        assert_eq!(node.counter_value(&k), Some(Timestamp(9)));
+        // A fresher transfer is untouched by an already-consumed floor.
+        node.receive_transferred_counters(vec![(k.clone(), Timestamp(20))]);
+        assert_eq!(node.counter_value(&k), Some(Timestamp(20)));
+    }
+
+    #[test]
+    fn duplicate_floor_seeds_keep_the_largest() {
+        let mut node = KtsNode::new(false);
+        let k = Key::new("doc");
+        node.seed_recovery_floors(vec![(k.clone(), Timestamp(3))]);
+        node.seed_recovery_floors(vec![(k.clone(), Timestamp(8)), (k.clone(), Timestamp(2))]);
+        assert_eq!(node.recovery_floor(&k), Some(Timestamp(8)));
     }
 
     #[test]

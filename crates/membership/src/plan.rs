@@ -1,0 +1,260 @@
+//! Pure ring arithmetic: who takes over which interval when the membership
+//! changes.
+//!
+//! All functions operate on a **sorted** slice of live peer identifiers (the
+//! 64-bit ring positions peers share with keys) and allocate nothing. The
+//! deployment layer (`rdht-net`) snapshots its directory into such a slice,
+//! computes a plan, and then drives [`crate::transfer`] with it; the
+//! simulator's overlays compute equivalent ranges through their own
+//! `MembershipOutcome` machinery.
+
+use rdht_overlay::{in_open_closed_interval, merge_ranges, split_range};
+
+use crate::error::MembershipError;
+
+/// The first live id clockwise from `position` (inclusive) — the peer
+/// responsible for `position` under successor-on-the-ring responsibility.
+/// Returns `None` for an empty ring.
+pub fn successor_of(ring: &[u64], position: u64) -> Option<u64> {
+    debug_assert!(ring.windows(2).all(|w| w[0] < w[1]), "ring must be sorted");
+    match ring.binary_search(&position) {
+        Ok(_) => Some(position),
+        Err(i) => ring.get(i).or_else(|| ring.first()).copied(),
+    }
+}
+
+/// The first live id strictly counter-clockwise from `id` — the peer whose
+/// range ends just before `id`'s begins. Returns `None` for an empty ring;
+/// for a single-peer ring the peer is its own predecessor.
+pub fn predecessor_of(ring: &[u64], id: u64) -> Option<u64> {
+    debug_assert!(ring.windows(2).all(|w| w[0] < w[1]), "ring must be sorted");
+    let i = ring.partition_point(|&x| x < id);
+    if i > 0 {
+        Some(ring[i - 1])
+    } else {
+        ring.last().copied()
+    }
+}
+
+/// What a join changes: the joiner splits its successor's range and takes
+/// the counter-clockwise half.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JoinPlan {
+    /// The joining peer's ring position.
+    pub joiner: u64,
+    /// The live successor the joiner splits — the current owner of every
+    /// position in the moved range.
+    pub source: u64,
+    /// Exclusive start of the moved interval `(range_start, range_end]`:
+    /// the joiner's live predecessor.
+    pub range_start: u64,
+    /// Inclusive end of the moved interval: the joiner itself.
+    pub range_end: u64,
+}
+
+impl JoinPlan {
+    /// Whether a ring position falls in the moved interval.
+    pub fn covers(&self, position: u64) -> bool {
+        in_open_closed_interval(self.range_start, self.range_end, position)
+    }
+}
+
+/// What a graceful leave changes: the leaving peer's whole range merges into
+/// its successor's.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeavePlan {
+    /// The departing peer's ring position.
+    pub leaving: u64,
+    /// The live successor that absorbs the departing peer's range — the
+    /// recipient of the direct counter transfer (Section 4.2.1).
+    pub target: u64,
+    /// Exclusive start of the moved interval `(range_start, range_end]`:
+    /// the leaver's live predecessor (excluding the leaver itself).
+    pub range_start: u64,
+    /// Inclusive end of the moved interval: the departing peer.
+    pub range_end: u64,
+}
+
+impl LeavePlan {
+    /// Whether a ring position falls in the moved interval.
+    pub fn covers(&self, position: u64) -> bool {
+        in_open_closed_interval(self.range_start, self.range_end, position)
+    }
+}
+
+/// Plans a join: `joiner` enters a ring whose live members are `alive`
+/// (sorted). The joiner takes `(pred(joiner), joiner]` from its successor —
+/// the counter-clockwise half of [`rdht_overlay::split_range`] applied to
+/// the successor's current range.
+pub fn plan_join(alive: &[u64], joiner: u64) -> Result<JoinPlan, MembershipError> {
+    if alive.binary_search(&joiner).is_ok() {
+        return Err(MembershipError::AlreadyMember(joiner));
+    }
+    let source = successor_of(alive, joiner).ok_or(MembershipError::EmptyRing)?;
+    let range_start = predecessor_of(alive, joiner).expect("ring checked non-empty");
+    let plan = JoinPlan {
+        joiner,
+        source,
+        range_start,
+        range_end: joiner,
+    };
+    // The moved interval is exactly the counter-clockwise half of splitting
+    // the source's range (pred, source] at the joiner (a multi-peer ring;
+    // a single-peer ring's "range" is the degenerate full ring and has no
+    // two-sided split to check).
+    debug_assert!(
+        alive.len() < 2
+            || split_range(range_start, source, joiner)
+                .map(|(taken, _kept)| taken == (range_start, joiner))
+                .unwrap_or(false),
+        "join must take the counter-clockwise half of the source's range"
+    );
+    Ok(plan)
+}
+
+/// Plans a graceful leave: `leaving` departs a ring whose live members are
+/// `alive` (sorted, including `leaving`). Its whole range
+/// `(pred(leaving), leaving]` moves to its live successor, whose resulting
+/// range is the [`rdht_overlay::merge_ranges`] of the two adjacent
+/// intervals.
+pub fn plan_leave(alive: &[u64], leaving: u64) -> Result<LeavePlan, MembershipError> {
+    if alive.binary_search(&leaving).is_err() {
+        return Err(MembershipError::UnknownPeer(leaving));
+    }
+    if alive.len() == 1 {
+        return Err(MembershipError::LastPeer);
+    }
+    // Successor and predecessor among the *other* live peers.
+    let i = alive.partition_point(|&x| x <= leaving);
+    let target = alive.get(i).copied().unwrap_or(alive[0]);
+    let j = alive.partition_point(|&x| x < leaving);
+    let range_start = if j > 0 {
+        alive[j - 1]
+    } else {
+        *alive.last().expect("len >= 2")
+    };
+    let plan = LeavePlan {
+        leaving,
+        target,
+        range_start,
+        range_end: leaving,
+    };
+    debug_assert!(
+        alive.len() < 3
+            || merge_ranges((range_start, leaving), (leaving, target))
+                == Some((range_start, target)),
+        "the target's new range must be the merge of the two adjacent ranges"
+    );
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successor_wraps_and_hits_exact_positions() {
+        let ring = [10, 50, 90];
+        assert_eq!(successor_of(&ring, 5), Some(10));
+        assert_eq!(successor_of(&ring, 10), Some(10));
+        assert_eq!(successor_of(&ring, 11), Some(50));
+        assert_eq!(successor_of(&ring, 91), Some(10), "wraps past the top");
+        assert_eq!(successor_of(&[], 5), None);
+    }
+
+    #[test]
+    fn predecessor_wraps() {
+        let ring = [10, 50, 90];
+        assert_eq!(predecessor_of(&ring, 50), Some(10));
+        assert_eq!(predecessor_of(&ring, 10), Some(90), "wraps to the top");
+        assert_eq!(predecessor_of(&ring, 70), Some(50));
+        assert_eq!(predecessor_of(&[42], 42), Some(42), "self on a 1-ring");
+        assert_eq!(predecessor_of(&[], 7), None);
+    }
+
+    #[test]
+    fn join_splits_the_successors_range() {
+        let plan = plan_join(&[10, 50, 90], 30).unwrap();
+        assert_eq!(plan.source, 50);
+        assert_eq!((plan.range_start, plan.range_end), (10, 30));
+        assert!(plan.covers(30));
+        assert!(plan.covers(11));
+        assert!(!plan.covers(10), "start is exclusive");
+        assert!(!plan.covers(31));
+    }
+
+    #[test]
+    fn join_below_the_smallest_id_wraps() {
+        let plan = plan_join(&[10, 50, 90], 5).unwrap();
+        assert_eq!(plan.source, 10);
+        assert_eq!((plan.range_start, plan.range_end), (90, 5));
+        assert!(plan.covers(u64::MAX));
+        assert!(plan.covers(0));
+        assert!(!plan.covers(10));
+    }
+
+    #[test]
+    fn join_into_single_peer_ring() {
+        let plan = plan_join(&[100], 40).unwrap();
+        assert_eq!(plan.source, 100);
+        assert_eq!((plan.range_start, plan.range_end), (100, 40));
+    }
+
+    #[test]
+    fn join_rejects_duplicates_and_empty_rings() {
+        assert_eq!(
+            plan_join(&[10, 50], 50),
+            Err(MembershipError::AlreadyMember(50))
+        );
+        assert_eq!(plan_join(&[], 5), Err(MembershipError::EmptyRing));
+    }
+
+    #[test]
+    fn leave_hands_the_whole_range_to_the_successor() {
+        let plan = plan_leave(&[10, 50, 90], 50).unwrap();
+        assert_eq!(plan.target, 90);
+        assert_eq!((plan.range_start, plan.range_end), (10, 50));
+    }
+
+    #[test]
+    fn leave_of_the_largest_id_wraps_to_the_smallest() {
+        let plan = plan_leave(&[10, 50, 90], 90).unwrap();
+        assert_eq!(plan.target, 10);
+        assert_eq!((plan.range_start, plan.range_end), (50, 90));
+    }
+
+    #[test]
+    fn leave_of_two_peer_ring_degenerates_to_full_takeover() {
+        let plan = plan_leave(&[10, 90], 90).unwrap();
+        assert_eq!(plan.target, 10);
+        assert_eq!((plan.range_start, plan.range_end), (10, 90));
+    }
+
+    #[test]
+    fn leave_rejects_unknown_and_last_peer() {
+        assert_eq!(
+            plan_leave(&[10, 50], 99),
+            Err(MembershipError::UnknownPeer(99))
+        );
+        assert_eq!(plan_leave(&[10], 10), Err(MembershipError::LastPeer));
+    }
+
+    #[test]
+    fn join_then_leave_round_trips_the_range() {
+        // A peer joining and then gracefully leaving gives the source its
+        // exact old range back (merge undoes split).
+        let ring = [10u64, 50, 90];
+        let join = plan_join(&ring, 30).unwrap();
+        let after_join = [10u64, 30, 50, 90];
+        let leave = plan_leave(&after_join, 30).unwrap();
+        assert_eq!(leave.target, join.source);
+        assert_eq!(
+            merge_ranges(
+                (leave.range_start, leave.range_end),
+                (leave.range_end, leave.target)
+            ),
+            Some((10, 50)),
+            "the source's range is whole again"
+        );
+    }
+}

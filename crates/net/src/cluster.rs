@@ -8,19 +8,30 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use rdht_core::durability::DurableState;
 use rdht_core::kts::{IndirectObservation, KtsNode};
-use rdht_core::{LastTsInitPolicy, ReplicaValue};
+use rdht_core::{LastTsInitPolicy, ReplicaValue, Timestamp};
 use rdht_hashing::{HashFamily, HashId, Key};
+use rdht_membership::{
+    commit_handoff, export_handoff, install_handoff, plan_join, plan_leave, MembershipError,
+};
+use rdht_overlay::in_open_closed_interval;
 use rdht_storage::{StorageEngine, StorageOptions};
 
 use crate::client::ClusterClient;
-use crate::message::{Reply, Request};
+use crate::message::{HandoffFault, HandoffKind, Reply, Request};
+
+/// How long the peer driving a hand-off waits for the target to journal the
+/// shipped bundle before aborting the transfer. This is the only deadline in
+/// the protocol: the coordinator itself waits on channel disconnect rather
+/// than a clock, so a slow-but-alive source can never race a coordinator
+/// timeout into inconsistent directory state.
+const INSTALL_ACK_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Identifier of a peer on the cluster ring (the same 64-bit space keys are
 /// hashed into).
@@ -143,6 +154,17 @@ impl Directory {
             .filter(|(_, alive)| *alive)
             .count()
     }
+
+    /// Sorted ring positions of the live peers — the input the membership
+    /// planner works on.
+    pub(crate) fn alive_ids_sorted(&self) -> Vec<u64> {
+        self.peers
+            .read()
+            .iter()
+            .filter(|(_, (_, alive))| *alive)
+            .map(|(id, _)| id.0)
+            .collect()
+    }
 }
 
 /// What [`Cluster::restart_peer`] recovered from a peer's storage directory.
@@ -152,13 +174,53 @@ pub struct RestartReport {
     pub recovered_replicas: usize,
     /// Durable counter images found on disk. Per the paper's Rule 1 these
     /// are **not** resurrected into the live Valid Counter Set (another peer
-    /// may have generated newer timestamps while this one was down); the
-    /// live counters re-initialize indirectly from the replicas.
+    /// may have generated newer timestamps while this one was down); they
+    /// are seeded as *recovery floors* instead, so the indirect
+    /// re-initialization of Section 4.2.2 takes `max(observed, recovered)`
+    /// and the counter cannot regress even when every replica holder of a
+    /// key crashed at once.
     pub recovered_counters: usize,
     /// Storage generation (snapshot/WAL pair) the state was recovered from.
     pub generation: u64,
     /// Whether recovery had to discard a torn WAL tail.
     pub torn_tail: bool,
+}
+
+/// What [`Cluster::join_peer`] moved to the freshly joined peer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JoinReport {
+    /// The peer that joined.
+    pub peer: PeerId,
+    /// The successor whose range was split (equals `peer` when the joiner
+    /// bootstrapped an empty ring).
+    pub source: PeerId,
+    /// Exclusive start of the interval the joiner took over.
+    pub range_start: u64,
+    /// Inclusive end of the interval the joiner took over.
+    pub range_end: u64,
+    /// Replicas shipped from the source.
+    pub replicas_moved: usize,
+    /// Counters handed over directly (Section 4.2.1).
+    pub counters_moved: usize,
+}
+
+/// What [`Cluster::leave_peer`] moved to the departing peer's successor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeaveReport {
+    /// The peer that left gracefully.
+    pub peer: PeerId,
+    /// The successor that absorbed its range.
+    pub target: PeerId,
+    /// Exclusive start of the interval that moved.
+    pub range_start: u64,
+    /// Inclusive end of the interval that moved.
+    pub range_end: u64,
+    /// Replicas shipped to the successor.
+    pub replicas_moved: usize,
+    /// Counters handed over directly — the direct algorithm of Section
+    /// 4.2.1, which is what makes the graceful path free of indirect
+    /// re-initializations.
+    pub counters_moved: usize,
 }
 
 /// A running cluster of peer threads.
@@ -204,9 +266,11 @@ impl Cluster {
         let handles = receivers
             .into_iter()
             .map(|(id, receiver)| {
-                let engine = open_engine(&config.storage, id);
+                let mut engine = open_engine(&config.storage, id);
+                let kts = kts_from_recovery(&mut engine);
                 let directory = Arc::clone(&directory);
-                let handle = std::thread::spawn(move || peer_main(id, receiver, directory, engine));
+                let handle =
+                    std::thread::spawn(move || peer_main(id, receiver, directory, engine, kts));
                 (id, handle)
             })
             .collect();
@@ -238,6 +302,16 @@ impl Cluster {
         self.directory.live_count()
     }
 
+    /// Whether `peer` is currently alive (`false` for dead or unknown ids).
+    pub fn peer_is_alive(&self, peer: PeerId) -> bool {
+        self.directory
+            .peers
+            .read()
+            .get(&peer)
+            .map(|(_, alive)| *alive)
+            .unwrap_or(false)
+    }
+
     /// The peer currently responsible for timestamping `key` — useful for
     /// tests that want to crash exactly that peer.
     pub fn timestamp_responsible(&self, key: &Key) -> Option<PeerId> {
@@ -258,36 +332,60 @@ impl Cluster {
     /// live counters, and its replicas when the cluster has no storage) is
     /// lost; what its journal already holds survives on disk and
     /// [`Cluster::restart_peer`] can recover it.
-    pub fn crash_peer(&self, peer: PeerId) {
+    ///
+    /// Errors with [`MembershipError::UnknownPeer`] for an id that was never
+    /// a member and [`MembershipError::AlreadyDead`] for one that is already
+    /// down — a crash that silently "succeeds" against the wrong id is how
+    /// failover tests end up testing nothing.
+    pub fn crash_peer(&self, peer: PeerId) -> Result<(), MembershipError> {
         let sender = {
             let peers = self.directory.peers.read();
-            peers.get(&peer).map(|(sender, _)| sender.clone())
+            match peers.get(&peer) {
+                None => return Err(MembershipError::UnknownPeer(peer.0)),
+                Some((_, false)) => return Err(MembershipError::AlreadyDead(peer.0)),
+                Some((sender, true)) => sender.clone(),
+            }
         };
         self.directory.mark_dead(peer);
-        if let Some(sender) = sender {
-            let _ = sender.send(Request::Crash);
-        }
+        let _ = sender.send(Request::Crash);
+        Ok(())
     }
 
     /// Restarts a crashed peer from its on-disk directory: joins the dead
     /// thread, recovers the storage generation (snapshot + WAL, tolerating a
     /// torn tail), re-registers the peer alive in the directory and respawns
-    /// its thread over the recovered replicas.
+    /// its thread over the recovered replicas. An alive peer is crashed
+    /// first (a hard restart).
     ///
     /// The live Valid Counter Set starts **empty** (Rule 1) — the durable
-    /// counter images are reported in the [`RestartReport`] and cleared from
-    /// the journal, and the first timestamp request for a key re-initializes
-    /// its counter indirectly from the replicas (Section 4.2.2).
+    /// counter images are cleared from the journal and seeded as *recovery
+    /// floors*: the first timestamp request per key still takes the indirect
+    /// path of Section 4.2.2, but initializes at `max(observed, recovered)`
+    /// so currency cannot regress when the observation misses replicas.
     ///
-    /// On a cluster without storage the peer simply rejoins empty. Returns
-    /// `None` when the peer id is unknown.
-    pub fn restart_peer(&mut self, peer: PeerId) -> Option<RestartReport> {
+    /// On a cluster without storage the peer simply rejoins empty. Errors
+    /// with [`MembershipError::UnknownPeer`] for an id that was never a
+    /// member.
+    pub fn restart_peer(&mut self, peer: PeerId) -> Result<RestartReport, MembershipError> {
         if !self.directory.peers.read().contains_key(&peer) {
-            return None;
+            return Err(MembershipError::UnknownPeer(peer.0));
         }
         // Make sure the old thread is gone before touching its directory:
-        // two threads must never share a WAL.
-        self.crash_peer(peer);
+        // two threads must never share a WAL. The thread can still be
+        // running even when the peer is marked dead — a gracefully departed
+        // peer lingers as a forwarder — so send the stop signal directly
+        // instead of going through crash_peer's liveness check (which would
+        // skip it and leave handle.join() waiting forever).
+        let sender = self
+            .directory
+            .peers
+            .read()
+            .get(&peer)
+            .map(|(sender, _)| sender.clone());
+        self.directory.mark_dead(peer);
+        if let Some(sender) = sender {
+            let _ = sender.send(Request::Crash);
+        }
         if let Some(handle) = self.handles.remove(&peer) {
             let _ = handle.join();
         }
@@ -299,19 +397,237 @@ impl Cluster {
             generation: engine.generation(),
             torn_tail: engine.stats().recovered_torn_tail,
         };
-        // Rule 1, durably: the rejoined peer's VCS is empty, so its durable
-        // image must be too (the recovered values may be stale — another
-        // peer may have generated newer timestamps while this one was down).
-        if report.recovered_counters > 0 {
-            engine.record_counters_cleared();
-        }
+        let kts = kts_from_recovery(&mut engine);
 
         let (sender, receiver) = unbounded();
         let directory = Arc::clone(&self.directory);
-        let handle = std::thread::spawn(move || peer_main(peer, receiver, directory, engine));
+        let handle = std::thread::spawn(move || peer_main(peer, receiver, directory, engine, kts));
         self.directory.revive(peer, sender);
         self.handles.insert(peer, handle);
-        Some(report)
+        Ok(report)
+    }
+
+    /// Adds a live peer to the running cluster.
+    ///
+    /// The joiner's successor splits its responsibility range
+    /// (`rdht_membership::plan_join`): replicas in `(pred, new_id]` and the
+    /// counters of the keys timestamped there move to the joiner through the
+    /// journaled hand-off protocol, and the successor registers the joiner
+    /// in the shared directory at the commit point — requests that were
+    /// routed to the successor meanwhile are forwarded, so clients never
+    /// observe a half-moved range. On a storage-backed cluster every phase
+    /// is journaled; a crash mid-transfer is recovered by
+    /// [`Cluster::restart_peer`] + a retried `join_peer`.
+    pub fn join_peer(&mut self, new_id: PeerId) -> Result<JoinReport, MembershipError> {
+        self.join_peer_impl(new_id, None)
+    }
+
+    /// [`Cluster::join_peer`] with fault injection: the source peer
+    /// fail-stops at the chosen phase boundary. Crash-recovery tests use
+    /// this to exercise the rollback/completion guarantees of the transfer
+    /// journal.
+    pub fn join_peer_with_fault(
+        &mut self,
+        new_id: PeerId,
+        fault: HandoffFault,
+    ) -> Result<JoinReport, MembershipError> {
+        self.join_peer_impl(new_id, Some(fault))
+    }
+
+    fn join_peer_impl(
+        &mut self,
+        new_id: PeerId,
+        fault: Option<HandoffFault>,
+    ) -> Result<JoinReport, MembershipError> {
+        if self.directory.peers.read().contains_key(&new_id) {
+            return Err(MembershipError::AlreadyMember(new_id.0));
+        }
+        let alive = self.directory.alive_ids_sorted();
+
+        // Spawn the joiner's thread first, unregistered: it must be able to
+        // process the InstallState message, but no client may route to it
+        // until the hand-off commits. Reopening an existing directory (a
+        // retry after a crash mid-transfer) recovers what the previous
+        // attempt already journaled.
+        let mut engine = open_engine(&self.config.storage, new_id);
+        let replicas_recovered = engine.replicas().len();
+        let kts = kts_from_recovery(&mut engine);
+        let (sender, receiver) = unbounded();
+        let directory = Arc::clone(&self.directory);
+        let handle =
+            std::thread::spawn(move || peer_main(new_id, receiver, directory, engine, kts));
+
+        if alive.is_empty() {
+            // Bootstrapping an empty ring: nothing to split.
+            self.directory.revive(new_id, sender);
+            self.handles.insert(new_id, handle);
+            return Ok(JoinReport {
+                peer: new_id,
+                source: new_id,
+                range_start: new_id.0,
+                range_end: new_id.0,
+                replicas_moved: replicas_recovered,
+                counters_moved: 0,
+            });
+        }
+
+        let plan = match plan_join(&alive, new_id.0) {
+            Ok(plan) => plan,
+            Err(error) => {
+                let _ = sender.send(Request::Crash);
+                let _ = handle.join();
+                return Err(error);
+            }
+        };
+        let source = PeerId(plan.source);
+        let source_sender = self
+            .directory
+            .peers
+            .read()
+            .get(&source)
+            .map(|(sender, _)| sender.clone())
+            .expect("the planned source is a live directory member");
+
+        let (reply_tx, reply_rx) = bounded(1);
+        let sent = source_sender.send(Request::HandoffRange {
+            start: plan.range_start,
+            end: plan.range_end,
+            target_id: new_id,
+            target: sender.clone(),
+            kind: HandoffKind::Join,
+            fault,
+            reply: reply_tx,
+        });
+        // Wait on disconnect, not a clock: a slow-but-alive source must
+        // never race a coordinator deadline (it could commit — registering
+        // the joiner — after the coordinator already tore the joiner down).
+        // If the source fail-stops, its mailbox (and the queued reply
+        // sender) is dropped and this recv errors promptly; if it is alive,
+        // its own bounded install-ack wait guarantees it eventually replies.
+        let outcome = match sent {
+            Ok(()) => reply_rx.recv().map_err(|_| ()),
+            Err(_) => Err(()),
+        };
+        match outcome {
+            Ok(Reply::HandoffComplete {
+                replicas_moved,
+                counters_moved,
+            }) => {
+                // The source registered the joiner at its commit point.
+                self.handles.insert(new_id, handle);
+                Ok(JoinReport {
+                    peer: new_id,
+                    source,
+                    range_start: plan.range_start,
+                    range_end: plan.range_end,
+                    replicas_moved,
+                    counters_moved,
+                })
+            }
+            other => {
+                // The hand-off never committed (the source crashed or timed
+                // out): tear the unregistered joiner down. Whatever the
+                // joiner already journaled survives in its directory; a
+                // retried join_peer for the same id recovers it and
+                // completes the transfer.
+                let _ = sender.send(Request::Crash);
+                let _ = handle.join();
+                let reason = match other {
+                    Ok(Reply::HandoffFailed { reason }) => reason,
+                    Ok(reply) => format!("unexpected hand-off reply: {reply:?}"),
+                    Err(()) => "the source peer crashed mid-transfer".to_string(),
+                };
+                Err(MembershipError::TransferFailed(reason))
+            }
+        }
+    }
+
+    /// Gracefully removes a live peer: the direct algorithm of Section
+    /// 4.2.1.
+    ///
+    /// The departing peer ships every replica and counter of its range
+    /// `(pred, leaving]` to its live successor, unregisters itself at the
+    /// commit point and keeps running as a pure forwarder (requests routed
+    /// to it before the flip are re-sent to the successor) until the cluster
+    /// shuts down. Because the counters move directly, subsequent timestamp
+    /// requests at the successor are served from a valid counter — **zero**
+    /// indirect re-initializations, in contrast to a crash.
+    pub fn leave_peer(&mut self, leaving: PeerId) -> Result<LeaveReport, MembershipError> {
+        self.leave_peer_impl(leaving, None)
+    }
+
+    /// [`Cluster::leave_peer`] with fault injection, for crash-recovery
+    /// tests: the departing peer fail-stops at the chosen phase boundary
+    /// instead of completing its hand-off.
+    pub fn leave_peer_with_fault(
+        &mut self,
+        leaving: PeerId,
+        fault: HandoffFault,
+    ) -> Result<LeaveReport, MembershipError> {
+        self.leave_peer_impl(leaving, Some(fault))
+    }
+
+    fn leave_peer_impl(
+        &mut self,
+        leaving: PeerId,
+        fault: Option<HandoffFault>,
+    ) -> Result<LeaveReport, MembershipError> {
+        let leaving_sender = {
+            let peers = self.directory.peers.read();
+            match peers.get(&leaving) {
+                None => return Err(MembershipError::UnknownPeer(leaving.0)),
+                Some((_, false)) => return Err(MembershipError::AlreadyDead(leaving.0)),
+                Some((sender, true)) => sender.clone(),
+            }
+        };
+        let alive = self.directory.alive_ids_sorted();
+        let plan = plan_leave(&alive, leaving.0)?;
+        let target = PeerId(plan.target);
+        let target_sender = self
+            .directory
+            .peers
+            .read()
+            .get(&target)
+            .map(|(sender, _)| sender.clone())
+            .expect("the planned target is a live directory member");
+
+        let (reply_tx, reply_rx) = bounded(1);
+        let sent = leaving_sender.send(Request::HandoffRange {
+            start: plan.range_start,
+            end: plan.range_end,
+            target_id: target,
+            target: target_sender,
+            kind: HandoffKind::Leave,
+            fault,
+            reply: reply_tx,
+        });
+        // Disconnect-aware wait, same reasoning as join_peer: no clock can
+        // race the departing peer into an inconsistent directory.
+        let outcome = match sent {
+            Ok(()) => reply_rx.recv().map_err(|_| ()),
+            Err(_) => Err(()),
+        };
+        match outcome {
+            Ok(Reply::HandoffComplete {
+                replicas_moved,
+                counters_moved,
+            }) => Ok(LeaveReport {
+                peer: leaving,
+                target,
+                range_start: plan.range_start,
+                range_end: plan.range_end,
+                replicas_moved,
+                counters_moved,
+            }),
+            other => {
+                let reason = match other {
+                    Ok(Reply::HandoffFailed { reason }) => reason,
+                    Ok(reply) => format!("unexpected hand-off reply: {reply:?}"),
+                    Err(()) => "the departing peer crashed mid-transfer".to_string(),
+                };
+                Err(MembershipError::TransferFailed(reason))
+            }
+        }
     }
 
     /// Stops every peer thread (flushing their journals) and waits for them
@@ -359,12 +675,76 @@ fn report_journal_poison(id: PeerId, engine: &StorageEngine, reported: &mut bool
     }
 }
 
+/// Rule 1, durably: a (re)starting peer's live VCS is empty, so its durable
+/// counter image must be cleared too — the recovered values may be stale
+/// (another peer may have generated newer timestamps while this one was
+/// down). They are not discarded though: each value is a safe *lower bound*
+/// on the last timestamp this peer generated, so they seed the KTS node's
+/// recovery floors and the next indirect initialization takes
+/// `max(observed, recovered)`.
+fn kts_from_recovery(engine: &mut StorageEngine) -> KtsNode {
+    let mut kts = KtsNode::new(false);
+    if !engine.counters().is_empty() {
+        let floors: Vec<(Key, Timestamp)> = engine
+            .counters()
+            .iter()
+            .map(|(key, value)| (key.clone(), value))
+            .collect();
+        kts.seed_recovery_floors(floors);
+        engine.record_counters_cleared();
+    }
+    kts
+}
+
+/// A forwarding rule a peer installs at the commit point of a hand-off:
+/// requests for positions it is no longer responsible for are re-sent to the
+/// peer that took them over (the request carries the client's reply channel,
+/// so forwarding is transparent). `everything` is set by a graceful leave —
+/// anything still reaching a departed peer was routed before the directory
+/// flip and belongs to its successor.
+struct Forwarding {
+    start: u64,
+    end: u64,
+    everything: bool,
+    target: Sender<Request>,
+}
+
+impl Forwarding {
+    fn covers(&self, position: u64) -> bool {
+        self.everything || in_open_closed_interval(self.start, self.end, position)
+    }
+}
+
+/// Whether two half-open ring intervals share any position (`start == end`
+/// denotes the full ring).
+fn ranges_intersect(a: (u64, u64), b: (u64, u64)) -> bool {
+    a.0 == a.1
+        || b.0 == b.1
+        || in_open_closed_interval(b.0, b.1, a.1)
+        || in_open_closed_interval(a.0, a.1, b.1)
+}
+
+/// The ring position a data request is routed by, `None` for protocol and
+/// lifecycle messages (which are addressed to a specific peer and never
+/// forwarded).
+fn data_position(request: &Request, family: &HashFamily) -> Option<u64> {
+    match request {
+        Request::PutReplica { hash, key, .. } | Request::GetReplica { hash, key, .. } => {
+            Some(family.eval(*hash, key))
+        }
+        Request::Timestamp { key, .. } => Some(family.eval_timestamp(key)),
+        _ => None,
+    }
+}
+
 /// State owned by one peer thread: the storage engine (journaled or
-/// ephemeral) holding its replicas, and its KTS node whose counter mutations
-/// are journaled through the engine.
+/// ephemeral) holding its replicas, its KTS node whose counter mutations
+/// are journaled through the engine, and the forwarding rules installed by
+/// committed hand-offs.
 struct PeerRuntime {
     engine: StorageEngine,
     kts: KtsNode,
+    forwards: Vec<Forwarding>,
 }
 
 /// The peer thread main loop: drain the mailbox, answer requests, stop on
@@ -374,10 +754,12 @@ fn peer_main(
     mailbox: Receiver<Request>,
     directory: Arc<Directory>,
     engine: StorageEngine,
+    kts: KtsNode,
 ) {
     let mut runtime = PeerRuntime {
         engine,
-        kts: KtsNode::new(false),
+        kts,
+        forwards: Vec::new(),
     };
     // A journal I/O failure (disk full, directory removed, ...) is latched
     // inside the engine; the peer keeps serving its in-memory state —
@@ -401,6 +783,40 @@ fn peer_main(
         if !directory.message_delay.is_zero() {
             std::thread::sleep(directory.message_delay);
         }
+        // A request for a position this peer handed away is re-sent to the
+        // peer that took it over: it was routed here through a directory
+        // read that predates the hand-off's commit. Newest rule wins (the
+        // same interval can change hands more than once). A rule whose
+        // target's mailbox is gone (the takeover peer crashed) is retired
+        // and the request served locally — with the takeover peer dead,
+        // this peer is the live successor for the range again, so local
+        // failover is exactly what the ring prescribes.
+        let request = match data_position(&request, &directory.family) {
+            Some(position) => {
+                let mut pending = Some(request);
+                while let Some(index) = runtime
+                    .forwards
+                    .iter()
+                    .rposition(|rule| rule.covers(position))
+                {
+                    match runtime.forwards[index]
+                        .target
+                        .send(pending.take().expect("present until sent"))
+                    {
+                        Ok(()) => break,
+                        Err(failed) => {
+                            runtime.forwards.remove(index);
+                            pending = Some(failed.0);
+                        }
+                    }
+                }
+                match pending {
+                    Some(request) => request,
+                    None => continue, // forwarded
+                }
+            }
+            None => request,
+        };
         match request {
             Request::PutReplica {
                 hash,
@@ -484,6 +900,109 @@ fn peer_main(
                     }
                 };
                 let _ = reply.send(answer);
+            }
+            Request::HandoffRange {
+                start,
+                end,
+                target_id,
+                target,
+                kind,
+                fault,
+                reply,
+            } => {
+                // Phase `Exported`: copy the replicas in range, drain the
+                // counters of the keys timestamped there (removals journaled
+                // — Rule 3 holds durably from here on).
+                let bundle = export_handoff(
+                    &mut runtime.engine,
+                    &mut runtime.kts,
+                    &directory.family,
+                    start,
+                    end,
+                );
+                let replicas_moved = bundle.replicas.len();
+                let counters_moved = bundle.counters.len();
+                if fault == Some(HandoffFault::CrashAfterExport) {
+                    // Fail-stop mid-transfer: the bundle is lost in flight.
+                    // Recovery rolls back — the journal still holds every
+                    // replica, and the drained counters re-initialize
+                    // indirectly.
+                    directory.mark_dead(id);
+                    break;
+                }
+                // Phase `Installed`: ship the bundle and wait for the
+                // target to journal it.
+                let (ack_tx, ack_rx) = bounded(1);
+                let sent = target.send(Request::InstallState {
+                    start,
+                    end,
+                    bundle,
+                    reply: ack_tx,
+                });
+                let acked = sent.is_ok()
+                    && matches!(
+                        ack_rx.recv_timeout(INSTALL_ACK_TIMEOUT),
+                        Ok(Reply::InstallAck { .. })
+                    );
+                if !acked {
+                    // The target died before journaling the bundle: abort
+                    // without committing. This peer keeps its replicas (the
+                    // export only copied them) and keeps serving; the moved
+                    // counters are gone, which only costs indirect re-inits.
+                    let _ = reply.send(Reply::HandoffFailed {
+                        reason: "hand-off target never acknowledged the install".to_string(),
+                    });
+                    continue;
+                }
+                if fault == Some(HandoffFault::CrashAfterInstall) {
+                    // Fail-stop between the target's ack and the commit: the
+                    // target's journal holds the state, so a retried
+                    // join/leave completes the transfer.
+                    directory.mark_dead(id);
+                    break;
+                }
+                // Commit point — all three steps inside one serially
+                // processed request, so no client request interleaves:
+                // flip the directory, prune the moved range from the
+                // journal, start forwarding.
+                match kind {
+                    HandoffKind::Join => directory.revive(target_id, target.clone()),
+                    HandoffKind::Leave => directory.mark_dead(id),
+                }
+                commit_handoff(&mut runtime.engine, start, end);
+                runtime.forwards.push(Forwarding {
+                    start,
+                    end,
+                    everything: kind == HandoffKind::Leave,
+                    target,
+                });
+                if kind == HandoffKind::Leave {
+                    // A departing peer's journal is final: flush it like a
+                    // graceful shutdown would.
+                    runtime.engine.sync_to_durable();
+                }
+                let _ = reply.send(Reply::HandoffComplete {
+                    replicas_moved,
+                    counters_moved,
+                });
+            }
+            Request::InstallState {
+                start,
+                end,
+                bundle,
+                reply,
+            } => {
+                let report = install_handoff(&mut runtime.engine, &mut runtime.kts, bundle);
+                // This peer owns (start, end] again: retire any forwarding
+                // rule that overlaps it, or a former owner and its
+                // round-tripped successor would bounce requests forever.
+                runtime
+                    .forwards
+                    .retain(|rule| !ranges_intersect((rule.start, rule.end), (start, end)));
+                let _ = reply.send(Reply::InstallAck {
+                    replicas_installed: report.replicas_installed,
+                    counters_received: report.counters_received,
+                });
             }
             Request::Shutdown | Request::Crash => unreachable!("handled above"),
         }

@@ -15,16 +15,32 @@
 //!
 //! ## Deployment model
 //!
-//! The cluster uses a static membership list (all peers know the sorted peer
-//! identifiers, as on a real 64-node cluster) with successor-on-the-ring
-//! responsibility, i.e. a one-hop DHT: clients resolve `rsp(k, h)` locally
-//! and send one message. The full multi-hop Chord routing is exercised by
-//! `rdht-overlay` and `rdht-sim`; this crate focuses on real concurrency.
-//! When the KTS responsible finds no valid counter, it answers
-//! `NeedsInitialization` and the *client* gathers the indirect observation
-//! (reading the replicas) before retrying — functionally the indirect
-//! algorithm of Section 4.2.2, restructured so that peer threads never block
-//! on each other.
+//! The cluster uses a shared membership directory (all peers know the sorted
+//! peer identifiers, as on a real 64-node cluster) with
+//! successor-on-the-ring responsibility, i.e. a one-hop DHT: clients resolve
+//! `rsp(k, h)` locally and send one message. The full multi-hop Chord
+//! routing is exercised by `rdht-overlay` and `rdht-sim`; this crate focuses
+//! on real concurrency. When the KTS responsible finds no valid counter, it
+//! answers `NeedsInitialization` and the *client* gathers the indirect
+//! observation (reading the replicas) before retrying — functionally the
+//! indirect algorithm of Section 4.2.2, restructured so that peer threads
+//! never block on each other.
+//!
+//! ## Elastic membership
+//!
+//! The ring is not a fixed deployment: [`Cluster::join_peer`] adds a live
+//! peer (its successor splits its range and ships the covered replicas and
+//! counters through `rdht-membership`'s journaled hand-off protocol) and
+//! [`Cluster::leave_peer`] runs the **direct algorithm** of Section 4.2.1 —
+//! the departing peer hands every counter straight to its successor, so the
+//! graceful path causes **zero** indirect re-initializations. The commit
+//! point of either hand-off flips the shared directory inside the peer's
+//! serial request loop, and requests routed under the old view are
+//! *forwarded* to the new owner, so clients never observe a half-moved
+//! range. A peer killed mid-transfer restarts from its journal and the
+//! transfer either rolls back (nothing shipped: the source still holds every
+//! replica) or completes (the target already journaled the bundle; a
+//! retried join/leave converges).
 //!
 //! ## Durability and crash/restart
 //!
@@ -64,8 +80,11 @@ mod cluster;
 mod message;
 
 pub use client::ClusterClient;
-pub use cluster::{Cluster, ClusterConfig, ClusterStorage, PeerId, RestartReport};
-pub use message::{Reply, Request};
+pub use cluster::{
+    Cluster, ClusterConfig, ClusterStorage, JoinReport, LeaveReport, PeerId, RestartReport,
+};
+pub use message::{HandoffFault, HandoffKind, Reply, Request};
+pub use rdht_membership::MembershipError;
 
 #[cfg(test)]
 mod tests;

@@ -4,6 +4,35 @@ use crossbeam::channel::Sender;
 
 use rdht_core::Timestamp;
 use rdht_hashing::{HashId, Key};
+use rdht_membership::HandoffBundle;
+
+use crate::cluster::PeerId;
+
+/// Which membership operation a [`Request::HandoffRange`] implements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HandoffKind {
+    /// A join: the receiving peer (the joiner's successor) splits its range,
+    /// ships the counter-clockwise half to the joiner, and registers the
+    /// joiner in the directory at the commit point.
+    Join,
+    /// A graceful leave: the receiving peer (the one departing) ships its
+    /// whole range to its successor, unregisters itself at the commit point
+    /// and lingers as a forwarder until the cluster shuts down.
+    Leave,
+}
+
+/// Fault injection for crash-recovery tests: fail-stop the peer driving a
+/// hand-off at a chosen phase boundary, exactly as if it crashed there.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HandoffFault {
+    /// Crash after exporting the bundle (counters durably drained, replicas
+    /// still in place, nothing shipped): the transfer must roll back.
+    CrashAfterExport,
+    /// Crash after the target acknowledged the install but before the
+    /// commit: the target's journal already holds the state and the
+    /// transfer must complete on retry.
+    CrashAfterInstall,
+}
 
 /// A request sent to a peer's mailbox. Every request carries the channel the
 /// peer should answer on (a one-shot reply channel owned by the caller).
@@ -48,6 +77,42 @@ pub enum Request {
         /// Where to send the timestamp.
         reply: Sender<Reply>,
     },
+    /// Drive a membership hand-off: the receiving peer exports the replicas
+    /// and counters of the ring interval `(start, end]`, ships them to
+    /// `target` with [`Request::InstallState`], waits for the ack, and then
+    /// commits — flipping the shared directory and pruning its own journal
+    /// in one serially-processed step, so traffic never observes a
+    /// half-moved range.
+    HandoffRange {
+        /// Exclusive start of the moved interval.
+        start: u64,
+        /// Inclusive end of the moved interval.
+        end: u64,
+        /// Ring identifier of the peer receiving the state.
+        target_id: PeerId,
+        /// Mailbox of the peer receiving the state.
+        target: Sender<Request>,
+        /// Join or graceful leave.
+        kind: HandoffKind,
+        /// Fault injection for crash-recovery tests; `None` in production.
+        fault: Option<HandoffFault>,
+        /// Where to send [`Reply::HandoffComplete`] / [`Reply::HandoffFailed`].
+        reply: Sender<Reply>,
+    },
+    /// Install the state bundle of an in-flight hand-off (sent by the
+    /// exporting peer to the target). Every accepted replica and counter is
+    /// journaled at the target before the ack, which is what makes a crash
+    /// from this point on completable.
+    InstallState {
+        /// Exclusive start of the interval the bundle covers.
+        start: u64,
+        /// Inclusive end of the interval the bundle covers.
+        end: u64,
+        /// Replicas and counters moving in.
+        bundle: HandoffBundle,
+        /// Where to send [`Reply::InstallAck`].
+        reply: Sender<Reply>,
+    },
     /// Ask the peer to stop gracefully: it flushes its journal to stable
     /// storage before exiting.
     Shutdown,
@@ -69,4 +134,26 @@ pub enum Reply {
     /// The peer has no valid counter for the key and needs the client to run
     /// the indirect initialization first.
     NeedsInitialization,
+    /// A hand-off committed: the directory is flipped and the moved state
+    /// pruned from the sender's journal.
+    HandoffComplete {
+        /// Replicas shipped to the target.
+        replicas_moved: usize,
+        /// Counters handed over directly (Section 4.2.1).
+        counters_moved: usize,
+    },
+    /// A hand-off aborted before its commit point (the target died or never
+    /// acknowledged); the directory is unchanged and the transfer rolled
+    /// back.
+    HandoffFailed {
+        /// What went wrong.
+        reason: String,
+    },
+    /// The target journaled the hand-off bundle.
+    InstallAck {
+        /// Replicas accepted (stale duplicates are skipped).
+        replicas_installed: usize,
+        /// Counters received through the direct transfer.
+        counters_received: usize,
+    },
 }

@@ -9,7 +9,7 @@ use rdht_core::{ums, UmsAccess};
 use rdht_hashing::Key;
 use rdht_storage::{FsyncPolicy, StorageOptions};
 
-use crate::{Cluster, ClusterConfig, ClusterStorage};
+use crate::{Cluster, ClusterConfig, ClusterStorage, HandoffFault, MembershipError, PeerId};
 
 static STORAGE_ROOT_COUNTER: AtomicU64 = AtomicU64::new(0);
 
@@ -170,7 +170,7 @@ fn crash_of_timestamp_responsible_triggers_indirect_initialization() {
     // Kill the peer that generates timestamps for this key; its counters die
     // with it. The next responsible must re-initialize from the replicas.
     let responsible = cluster.timestamp_responsible(&key).unwrap();
-    cluster.crash_peer(responsible);
+    cluster.crash_peer(responsible).unwrap();
     assert!(cluster.live_peers() < 10);
 
     let after = ums::retrieve(&mut client, &key).unwrap();
@@ -197,10 +197,11 @@ fn crash_of_replica_holders_degrades_availability_not_correctness() {
     ums::insert(&mut client, &key, b"v1".to_vec()).unwrap();
     ums::insert(&mut client, &key, b"v2".to_vec()).unwrap();
 
-    // Crash holders of the first few replicas.
+    // Crash holders of the first few replicas (two hash functions can map
+    // to the same peer, so an AlreadyDead error here is expected).
     for hash in client.replication_ids().into_iter().take(4) {
         if let Some(peer) = cluster.replica_responsible(hash, &key) {
-            cluster.crash_peer(peer);
+            let _ = cluster.crash_peer(peer);
         }
     }
     let got = ums::retrieve(&mut client, &key).unwrap();
@@ -236,7 +237,7 @@ fn crash_restart_of_kts_responsible_recovers_indirectly() {
     // Kill the peer that generates timestamps for this key, then bring it
     // back from its on-disk directory.
     let responsible = cluster.timestamp_responsible(&key).unwrap();
-    cluster.crash_peer(responsible);
+    cluster.crash_peer(responsible).unwrap();
     assert_eq!(cluster.live_peers(), 7);
 
     let report = cluster.restart_peer(responsible).unwrap();
@@ -299,7 +300,7 @@ fn whole_cluster_crash_restart_serves_current_data_from_disk() {
 
     let peers = cluster.peer_ids();
     for &peer in &peers {
-        cluster.crash_peer(peer);
+        cluster.crash_peer(peer).unwrap();
     }
     assert_eq!(cluster.live_peers(), 0);
     let mut recovered_replicas = 0;
@@ -337,7 +338,7 @@ fn restart_without_storage_rejoins_empty() {
     ums::insert(&mut client, &key, b"v1".to_vec()).unwrap();
 
     let victim = cluster.timestamp_responsible(&key).unwrap();
-    cluster.crash_peer(victim);
+    cluster.crash_peer(victim).unwrap();
     let report = cluster.restart_peer(victim).unwrap();
     assert_eq!(report.recovered_replicas, 0);
     assert_eq!(report.recovered_counters, 0);
@@ -349,13 +350,47 @@ fn restart_without_storage_rejoins_empty() {
     cluster.shutdown();
 }
 
-/// Restarting an unknown peer id is a no-op.
+/// The ISSUE 4 satellite: lifecycle operations against unknown or
+/// already-dead peer ids report errors instead of silently no-op'ing.
 #[test]
-fn restart_of_unknown_peer_returns_none() {
+fn lifecycle_operations_report_unknown_and_dead_peers() {
     let mut cluster = Cluster::spawn(3, 3, 14);
     let bogus = crate::PeerId(0xdead_beef);
     assert!(!cluster.peer_ids().contains(&bogus));
-    assert_eq!(cluster.restart_peer(bogus), None);
+    assert_eq!(
+        cluster.restart_peer(bogus),
+        Err(MembershipError::UnknownPeer(bogus.0))
+    );
+    assert_eq!(
+        cluster.crash_peer(bogus),
+        Err(MembershipError::UnknownPeer(bogus.0))
+    );
+    assert_eq!(
+        cluster.leave_peer(bogus),
+        Err(MembershipError::UnknownPeer(bogus.0))
+    );
+
+    // A double crash is an error too: the second call tested nothing.
+    let victim = cluster.peer_ids()[0];
+    cluster.crash_peer(victim).unwrap();
+    assert_eq!(
+        cluster.crash_peer(victim),
+        Err(MembershipError::AlreadyDead(victim.0))
+    );
+    assert_eq!(
+        cluster.leave_peer(victim),
+        Err(MembershipError::AlreadyDead(victim.0))
+    );
+    // Joining an id that already exists (even dead: its identity is
+    // reserved for restart) is rejected.
+    assert_eq!(
+        cluster.join_peer(victim),
+        Err(MembershipError::AlreadyMember(victim.0))
+    );
+
+    // Restart works on the dead peer and brings the count back.
+    cluster.restart_peer(victim).unwrap();
+    assert_eq!(cluster.live_peers(), 3);
     cluster.shutdown();
 }
 
@@ -442,4 +477,435 @@ fn peer_ids_are_stable_and_sorted() {
 #[should_panic(expected = "at least one peer")]
 fn empty_cluster_is_rejected() {
     let _ = Cluster::spawn(0, 3, 10);
+}
+
+/// A peer id not yet present in the cluster, derived from a fixed seed.
+fn unused_peer_id(cluster: &Cluster, seed: u64) -> PeerId {
+    let mut candidate = seed;
+    while cluster.peer_ids().contains(&PeerId(candidate)) {
+        candidate = candidate.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    }
+    PeerId(candidate)
+}
+
+/// The ISSUE 4 acceptance test: under ongoing UMS traffic, one peer joins
+/// and one peer gracefully leaves a storage-backed cluster; afterwards every
+/// retrieve is certified current and a fresh client reports **zero**
+/// indirect initializations — the direct algorithm of Section 4.2.1 was
+/// taken for every moved counter.
+#[test]
+fn join_and_graceful_leave_under_traffic_stay_current_with_zero_indirect_inits() {
+    use std::sync::atomic::AtomicBool;
+
+    let root = fresh_storage_root("membership-acceptance");
+    let config = ClusterConfig::new(8, 5, 21).with_storage(ClusterStorage::with_options(
+        &root,
+        StorageOptions::with_fsync(FsyncPolicy::EveryN(8)),
+    ));
+    let mut cluster = Cluster::spawn_with(config);
+    let keys: Vec<Key> = (0..6).map(|i| Key::new(format!("doc-{i}"))).collect();
+    {
+        let mut client = cluster.client();
+        for key in &keys {
+            ums::insert(&mut client, key, b"v0".to_vec()).unwrap();
+        }
+    }
+
+    let joiner = unused_peer_id(&cluster, 0x0123_4567_89ab_cdef);
+    let victim = cluster.peer_ids()[3];
+    let stop = AtomicBool::new(false);
+    let (join_report, leave_report) = std::thread::scope(|scope| {
+        for writer in 0..3 {
+            let mut client = cluster.client();
+            let keys = keys.clone();
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut round = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for key in &keys {
+                        let payload = format!("w{writer}-r{round}").into_bytes();
+                        ums::insert(&mut client, key, payload).expect("insert under churn");
+                    }
+                    round += 1;
+                }
+            });
+        }
+        // Membership changes while the writers hammer the same keys.
+        let join_report = cluster.join_peer(joiner).expect("join");
+        let leave_report = cluster.leave_peer(victim).expect("leave");
+        stop.store(true, Ordering::Relaxed);
+        (join_report, leave_report)
+    });
+
+    assert_eq!(join_report.peer, joiner);
+    assert_eq!(leave_report.peer, victim);
+    assert_eq!(cluster.live_peers(), 8, "one in, one out");
+
+    // Every subsequent retrieve is certified current, and none of them needs
+    // the indirect initialization: the join and the leave both handed their
+    // counters over directly.
+    let mut fresh = cluster.client();
+    for key in &keys {
+        let got = ums::retrieve(&mut fresh, key).unwrap();
+        assert!(got.is_current, "{key:?} must re-certify after churn");
+        assert!(got.data.is_some());
+    }
+    assert_eq!(
+        fresh.indirect_initializations(),
+        0,
+        "graceful membership changes must never force the indirect path"
+    );
+    cluster.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// The direct-vs-crash contrast the paper's Section 4.2 draws, measured on
+/// the same cluster shape: a graceful leave leaves zero indirect
+/// initializations behind, a crash of the same peer forces at least one.
+#[test]
+fn graceful_leave_is_free_where_a_crash_pays_indirect_initializations() {
+    let seed = 22;
+    let keys: Vec<Key> = (0..5).map(|i| Key::new(format!("doc-{i}"))).collect();
+
+    // Universe A: the timestamp responsible of doc-0 leaves gracefully.
+    let mut cluster = Cluster::spawn(8, 4, seed);
+    let mut client = cluster.client();
+    for key in &keys {
+        ums::insert(&mut client, key, b"v".to_vec()).unwrap();
+    }
+    let victim = cluster.timestamp_responsible(&keys[0]).unwrap();
+    let report = cluster.leave_peer(victim).unwrap();
+    assert!(
+        report.counters_moved >= 1,
+        "the victim was responsible for at least doc-0's counter"
+    );
+    let mut fresh = cluster.client();
+    for key in &keys {
+        assert!(ums::retrieve(&mut fresh, key).unwrap().is_current);
+    }
+    assert_eq!(fresh.indirect_initializations(), 0);
+    cluster.shutdown();
+
+    // Universe B: same cluster shape, same victim — but it crashes.
+    let cluster = Cluster::spawn(8, 4, seed);
+    let mut client = cluster.client();
+    for key in &keys {
+        ums::insert(&mut client, key, b"v".to_vec()).unwrap();
+    }
+    cluster.crash_peer(victim).unwrap();
+    let mut fresh = cluster.client();
+    for key in &keys {
+        let got = ums::retrieve(&mut fresh, key).unwrap();
+        assert!(got.data.is_some());
+    }
+    assert!(
+        fresh.indirect_initializations() >= 1,
+        "the crashed responsible's counters must re-initialize indirectly"
+    );
+    cluster.shutdown();
+}
+
+/// A join splits the successor's range: the joiner ends up responsible for
+/// ring positions it took over, replicas moved with the range, and no
+/// client ever observes a stale or uncertified value.
+#[test]
+fn join_moves_replicas_and_responsibility_to_the_new_peer() {
+    let root = fresh_storage_root("join-moves-state");
+    let config = ClusterConfig::new(6, 5, 23).with_storage(ClusterStorage::new(&root));
+    let mut cluster = Cluster::spawn_with(config);
+    let keys: Vec<Key> = (0..12).map(|i| Key::new(format!("doc-{i}"))).collect();
+    let mut client = cluster.client();
+    for key in &keys {
+        ums::insert(&mut client, key, b"payload".to_vec()).unwrap();
+    }
+
+    let joiner = unused_peer_id(&cluster, 0x7777_0000_dead_0001);
+    let report = cluster.join_peer(joiner).unwrap();
+    assert_eq!(cluster.live_peers(), 7);
+    assert!(
+        report.replicas_moved > 0,
+        "12 keys x 5 replicas spread over the ring: the moved range holds some"
+    );
+    // The ring now resolves the moved range to the joiner: its own id is
+    // the inclusive end of the interval it took over.
+    assert_eq!(report.range_end, joiner.0);
+    let probe = Key::new("doc-0");
+    let ts_holder = cluster.timestamp_responsible(&probe).unwrap();
+    assert!(cluster.peer_ids().contains(&ts_holder));
+
+    let mut fresh = cluster.client();
+    for key in &keys {
+        let got = ums::retrieve(&mut fresh, key).unwrap();
+        assert!(got.is_current);
+        assert_eq!(got.data.unwrap(), b"payload");
+    }
+    assert_eq!(fresh.indirect_initializations(), 0);
+    cluster.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// Crash mid-transfer, before the bundle ships (`CrashAfterExport`): the
+/// transfer **rolls back**. The crashed source restarts from its journal
+/// with every replica intact; the drained counters re-initialize indirectly
+/// and currency is preserved. A retried join then completes.
+#[test]
+fn crash_after_export_rolls_back_and_a_retried_join_completes() {
+    let root = fresh_storage_root("crash-after-export");
+    let config = ClusterConfig::new(6, 4, 24).with_storage(ClusterStorage::new(&root));
+    let mut cluster = Cluster::spawn_with(config);
+    let keys: Vec<Key> = (0..8).map(|i| Key::new(format!("doc-{i}"))).collect();
+    let mut client = cluster.client();
+    for key in &keys {
+        ums::insert(&mut client, key, b"stable".to_vec()).unwrap();
+    }
+
+    let joiner = unused_peer_id(&cluster, 0x5151_5151_0000_0001);
+    let error = cluster
+        .join_peer_with_fault(joiner, HandoffFault::CrashAfterExport)
+        .unwrap_err();
+    assert!(matches!(error, MembershipError::TransferFailed(_)));
+    assert_eq!(cluster.live_peers(), 5, "the source fail-stopped");
+    assert!(
+        !cluster.peer_ids().contains(&joiner),
+        "the joiner was never registered"
+    );
+
+    // Restart the crashed source from its journal: rollback — every replica
+    // is still there.
+    let crashed = cluster
+        .peer_ids()
+        .into_iter()
+        .find(|&peer| !cluster.peer_is_alive(peer))
+        .expect("exactly one peer died");
+    let report = cluster.restart_peer(crashed).unwrap();
+    assert!(report.recovered_replicas > 0);
+    assert_eq!(cluster.live_peers(), 6);
+
+    // Currency is preserved across the rollback (indirect inits allowed —
+    // that is the price of the crash, not a correctness loss).
+    let mut fresh = cluster.client();
+    for key in &keys {
+        let got = ums::retrieve(&mut fresh, key).unwrap();
+        assert!(got.is_current, "{key:?} after rollback");
+        assert_eq!(got.data.unwrap(), b"stable");
+    }
+
+    // The retried join completes the membership change.
+    let join = cluster.join_peer(joiner).unwrap();
+    assert_eq!(join.peer, joiner);
+    assert_eq!(cluster.live_peers(), 7);
+    let mut after = cluster.client();
+    for key in &keys {
+        assert!(ums::retrieve(&mut after, key).unwrap().is_current);
+    }
+    cluster.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// Crash mid-transfer, after the target journaled the bundle
+/// (`CrashAfterInstall`): the transfer **completes from the journals**. The
+/// joiner's directory already holds the installed state; restarting the
+/// source and retrying the join converges, and every retrieve stays
+/// current.
+#[test]
+fn crash_after_install_completes_from_the_journal_on_retry() {
+    let root = fresh_storage_root("crash-after-install");
+    let config = ClusterConfig::new(6, 4, 25).with_storage(ClusterStorage::new(&root));
+    let mut cluster = Cluster::spawn_with(config);
+    let keys: Vec<Key> = (0..8).map(|i| Key::new(format!("doc-{i}"))).collect();
+    let mut client = cluster.client();
+    for key in &keys {
+        ums::insert(&mut client, key, b"handed".to_vec()).unwrap();
+    }
+
+    let joiner = unused_peer_id(&cluster, 0x6262_6262_0000_0001);
+    let error = cluster
+        .join_peer_with_fault(joiner, HandoffFault::CrashAfterInstall)
+        .unwrap_err();
+    assert!(matches!(error, MembershipError::TransferFailed(_)));
+
+    let crashed = cluster
+        .peer_ids()
+        .into_iter()
+        .find(|&peer| !cluster.peer_is_alive(peer))
+        .expect("exactly one peer died");
+    cluster.restart_peer(crashed).unwrap();
+
+    // Retry: the joiner's engine reopens over the journal the first attempt
+    // wrote (replicas + counters recovered, counters seeded as floors), the
+    // restarted source re-exports its still-present replicas, and the
+    // hand-off commits.
+    let join = cluster.join_peer(joiner).unwrap();
+    assert_eq!(join.peer, joiner);
+    assert_eq!(cluster.live_peers(), 7);
+
+    let mut fresh = cluster.client();
+    for key in &keys {
+        let got = ums::retrieve(&mut fresh, key).unwrap();
+        assert!(got.is_current, "{key:?} after completed retry");
+        assert_eq!(got.data.unwrap(), b"handed");
+    }
+    cluster.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// The ISSUE 4 satellite closing the ROADMAP's currency-regression corner:
+/// the restarted timestamp responsible seeds its indirect initialization
+/// with the recovered durable counter, so even when **every** replica holder
+/// of the key is down (the observation comes back empty) the next timestamp
+/// is strictly larger than everything generated before the crash.
+#[test]
+fn restart_seeds_indirect_init_with_recovered_counter_floor() {
+    let root = fresh_storage_root("recovery-floor");
+    let config = ClusterConfig::new(10, 3, 26).with_storage(ClusterStorage::with_options(
+        &root,
+        StorageOptions::with_fsync(FsyncPolicy::Always),
+    ));
+    let mut cluster = Cluster::spawn_with(config);
+    let key = Key::new("contested doc");
+    let mut client = cluster.client();
+    for i in 0..5u32 {
+        ums::insert(&mut client, &key, format!("v{i}").into_bytes()).unwrap();
+    }
+    let before = ums::retrieve(&mut client, &key).unwrap();
+    assert!(before.is_current);
+    assert_eq!(before.timestamp.0, 5);
+
+    // Crash and restart the timestamp responsible: its durable counter (5)
+    // comes back as a recovery floor.
+    let responsible = cluster.timestamp_responsible(&key).unwrap();
+    cluster.crash_peer(responsible).unwrap();
+    let report = cluster.restart_peer(responsible).unwrap();
+    assert!(report.recovered_counters >= 1);
+
+    // Now crash every replica holder of the key (leaving them down), so the
+    // indirect observation finds nothing at all.
+    for hash in client.replication_ids() {
+        if let Some(holder) = cluster.replica_responsible(hash, &key) {
+            if holder != responsible {
+                let _ = cluster.crash_peer(holder);
+            }
+        }
+    }
+
+    // Without the floor this insert would restart the counter near zero and
+    // re-issue timestamps 1..5, silently shadowing the pre-crash history.
+    let next = ums::insert(&mut client, &key, b"post-crash".to_vec()).unwrap();
+    assert!(
+        next.timestamp > before.timestamp,
+        "the recovered floor must keep timestamps monotonic, got {:?} after {:?}",
+        next.timestamp,
+        before.timestamp
+    );
+
+    let after = ums::retrieve(&mut client, &key).unwrap();
+    assert!(after.is_current);
+    assert_eq!(after.data.unwrap(), b"post-crash");
+    cluster.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// Restarting a gracefully departed peer must terminate: its thread is
+/// still running as a forwarder (not crashed), so the restart path has to
+/// stop it explicitly rather than assume a dead thread.
+#[test]
+fn restart_after_graceful_leave_returns_and_rejoins() {
+    let mut cluster = Cluster::spawn(5, 3, 28);
+    let key = Key::new("doc");
+    let mut client = cluster.client();
+    ums::insert(&mut client, &key, b"v1".to_vec()).unwrap();
+
+    let victim = cluster.peer_ids()[1];
+    cluster.leave_peer(victim).unwrap();
+    assert_eq!(cluster.live_peers(), 4);
+
+    // This used to deadlock: the forwarder thread never got a stop signal
+    // and handle.join() waited forever.
+    let report = cluster.restart_peer(victim).unwrap();
+    assert_eq!(cluster.live_peers(), 5);
+    // A departed peer's journal was pruned at hand-off; it rejoins
+    // (essentially) empty and re-acquires state through later traffic.
+    assert_eq!(report.recovered_counters, 0);
+
+    let got = ums::retrieve(&mut client, &key).unwrap();
+    assert!(got.data.is_some());
+    ums::insert(&mut client, &key, b"v2".to_vec()).unwrap();
+    let got = ums::retrieve(&mut client, &key).unwrap();
+    assert!(got.is_current);
+    assert_eq!(got.data.unwrap(), b"v2");
+    cluster.shutdown();
+}
+
+/// A crash of a freshly joined peer must not black-hole its range: the
+/// source's forwarding rule points at a dead mailbox, so it has to retire
+/// the rule and serve the range itself (it is the live successor again).
+#[test]
+fn crash_of_joined_peer_retires_stale_forwarding_rules() {
+    let mut cluster = Cluster::spawn(6, 5, 29);
+    let keys: Vec<Key> = (0..10).map(|i| Key::new(format!("doc-{i}"))).collect();
+    let mut client = cluster.client();
+    for key in &keys {
+        ums::insert(&mut client, key, b"v1".to_vec()).unwrap();
+    }
+
+    let joiner = unused_peer_id(&cluster, 0x9090_0000_0000_0007);
+    let report = cluster.join_peer(joiner).unwrap();
+    assert!(report.replicas_moved > 0, "the moved range holds replicas");
+    cluster.crash_peer(joiner).unwrap();
+
+    // Every key must still be retrievable promptly — requests for the
+    // moved range route to the source again, whose stale forward-to-the-
+    // dead-joiner rule must not swallow them. (Replicas that died with the
+    // storage-less joiner are restored by the next update; surviving
+    // replicas under other hash functions keep the data available.)
+    let start = std::time::Instant::now();
+    let mut fresh = cluster.client();
+    for key in &keys {
+        let got = ums::retrieve(&mut fresh, key).unwrap();
+        assert!(got.data.is_some(), "{key:?} lost after joiner crash");
+    }
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(2),
+        "retrieves must not run into forwarding black holes, took {:?}",
+        start.elapsed()
+    );
+
+    // Writes re-establish full replication and currency.
+    for key in &keys {
+        ums::insert(&mut fresh, key, b"v2".to_vec()).unwrap();
+        let got = ums::retrieve(&mut fresh, key).unwrap();
+        assert!(got.is_current);
+        assert_eq!(got.data.unwrap(), b"v2");
+    }
+    cluster.shutdown();
+}
+
+/// Bootstrapping: joining peers one at a time grows the cluster from one
+/// peer to many, and a graceful leave shrinks it back — the elastic-ring
+/// lifecycle with no fixed deployment size.
+#[test]
+fn cluster_grows_and_shrinks_one_peer_at_a_time() {
+    let mut cluster = Cluster::spawn(1, 3, 27);
+    let key = Key::new("doc");
+    let mut client = cluster.client();
+    ums::insert(&mut client, &key, b"v1".to_vec()).unwrap();
+
+    let mut joined = Vec::new();
+    for i in 0..4u64 {
+        let id = unused_peer_id(&cluster, 0x4040_0000_0000_0000 + i * 0x0101_0101_0101);
+        cluster.join_peer(id).unwrap();
+        joined.push(id);
+        let got = ums::retrieve(&mut client, &key).unwrap();
+        assert!(got.is_current, "current after join {i}");
+    }
+    assert_eq!(cluster.live_peers(), 5);
+
+    for id in joined {
+        cluster.leave_peer(id).unwrap();
+        let got = ums::retrieve(&mut client, &key).unwrap();
+        assert!(got.is_current, "current after leave of {id:?}");
+        assert_eq!(got.data.as_deref(), Some(b"v1".as_slice()));
+    }
+    assert_eq!(cluster.live_peers(), 1);
+    cluster.shutdown();
 }

@@ -43,6 +43,9 @@ pub use cost::{
     LookupError, LookupOutcome, MembershipEventKind, MembershipOutcome, ResponsibilityChange,
     StabilizeOutcome,
 };
-pub use id::{distance_clockwise, in_open_closed_interval, in_open_open_interval, NodeId};
+pub use id::{
+    distance_clockwise, in_open_closed_interval, in_open_open_interval, merge_ranges, split_range,
+    NodeId,
+};
 pub use store::{PeerStore, Record, WritePolicy};
 pub use traits::{Overlay, OverlayKind};

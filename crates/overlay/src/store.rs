@@ -443,6 +443,90 @@ mod tests {
     }
 
     #[test]
+    fn drain_range_of_uncovered_interval_is_a_no_op() {
+        let mut store = PeerStore::new();
+        store.put(
+            HashId(0),
+            Key::new("a"),
+            rec(1, 100),
+            WritePolicy::Overwrite,
+        );
+        store.put(
+            HashId(0),
+            Key::new("b"),
+            rec(2, 5000),
+            WritePolicy::Overwrite,
+        );
+        // An interval covering no stored position moves nothing...
+        assert!(store.drain_range(200, 400).is_empty());
+        // ...including the smallest possible non-degenerate interval.
+        assert!(store.drain_range(100, 101).is_empty());
+        assert_eq!(store.len(), 2);
+        // The boundary semantics are (start, end]: start stays, end moves.
+        let moved = store.drain_range(99, 100);
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved[0].1, Key::new("a"));
+    }
+
+    #[test]
+    fn drain_range_wrapping_exactly_at_the_ring_origin() {
+        let mut store = PeerStore::new();
+        store.put(
+            HashId(0),
+            Key::new("top"),
+            rec(1, u64::MAX),
+            WritePolicy::Overwrite,
+        );
+        store.put(
+            HashId(0),
+            Key::new("zero"),
+            rec(2, 0),
+            WritePolicy::Overwrite,
+        );
+        store.put(
+            HashId(0),
+            Key::new("mid"),
+            rec(3, 1 << 32),
+            WritePolicy::Overwrite,
+        );
+        // (MAX, 0] wraps across the origin and covers position 0 only.
+        let moved = store.clone().drain_range(u64::MAX, 0);
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved[0].1, Key::new("zero"));
+        // (MAX-1, 0] additionally covers position MAX.
+        let moved = store.drain_range(u64::MAX - 1, 0);
+        let keys: Vec<_> = moved.iter().map(|(_, k, _)| k.clone()).collect();
+        assert!(keys.contains(&Key::new("top")));
+        assert!(keys.contains(&Key::new("zero")));
+        assert_eq!(moved.len(), 2);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn full_ring_drain_empties_the_store_in_position_order() {
+        let mut store = PeerStore::new();
+        store.put(
+            HashId(0),
+            Key::new("c"),
+            rec(3, 9000),
+            WritePolicy::Overwrite,
+        );
+        store.put(HashId(1), Key::new("a"), rec(1, 10), WritePolicy::Overwrite);
+        store.put(
+            HashId(2),
+            Key::new("b"),
+            rec(2, 400),
+            WritePolicy::Overwrite,
+        );
+        // start == end denotes the whole ring; the degenerate drain visits
+        // the position index in ascending order.
+        let moved = store.drain_range(500, 500);
+        assert!(store.is_empty());
+        let positions: Vec<u64> = moved.iter().map(|(_, _, r)| r.position).collect();
+        assert_eq!(positions, vec![10, 400, 9000]);
+    }
+
+    #[test]
     fn max_stamp_for_key_spans_hash_functions() {
         let mut store = PeerStore::new();
         let k = Key::new("doc");

@@ -37,6 +37,22 @@ pub struct SimConfig {
     /// (Table 1: λ = 1/s). Every departure is immediately compensated by a
     /// join so the population stays constant, as in the paper's setup.
     pub churn_rate_per_second: f64,
+    /// Rate of the *uncompensated* join Poisson process, in joins per
+    /// second: each event grows the population by one through the membership
+    /// protocol (range split + direct counter hand-off). `0.0` (the default
+    /// everywhere) disables the process and preserves the constant-population
+    /// model.
+    pub join_rate_per_second: f64,
+    /// Rate of the *uncompensated* graceful-leave Poisson process, in leaves
+    /// per second: each event shrinks the population by one with a direct
+    /// hand-off to the successor. `0.0` disables it.
+    pub graceful_leave_rate_per_second: f64,
+    /// Rate of the *uncompensated* crash Poisson process, in crashes per
+    /// second: each event shrinks the population by one with no hand-off.
+    /// Running the same workload once with this and once with
+    /// `graceful_leave_rate_per_second` isolates the cost gap between the
+    /// direct algorithm and crash-and-indirect recovery. `0.0` disables it.
+    pub crash_rate_per_second: f64,
     /// Fraction of departures that are failures rather than graceful leaves
     /// (Table 1: 5%).
     pub failure_rate: f64,
@@ -87,6 +103,9 @@ impl SimConfig {
             num_replicas: 10,
             num_keys: 64,
             churn_rate_per_second: 1.0,
+            join_rate_per_second: 0.0,
+            graceful_leave_rate_per_second: 0.0,
+            crash_rate_per_second: 0.0,
             failure_rate: 0.05,
             update_rate_per_hour: 1.0,
             duration: 2.0 * 3600.0,
@@ -123,6 +142,9 @@ impl SimConfig {
             num_replicas: 5,
             num_keys: 8,
             churn_rate_per_second: peers as f64 / 2_000.0,
+            join_rate_per_second: 0.0,
+            graceful_leave_rate_per_second: 0.0,
+            crash_rate_per_second: 0.0,
             failure_rate: 0.1,
             update_rate_per_hour: 20.0,
             duration: 900.0,
@@ -154,6 +176,26 @@ impl SimConfig {
     /// that are failures).
     pub fn with_failure_rate(mut self, failure_rate: f64) -> Self {
         self.failure_rate = failure_rate;
+        self
+    }
+
+    /// Returns a copy with a different uncompensated-join rate (per second).
+    pub fn with_join_rate(mut self, join_rate_per_second: f64) -> Self {
+        self.join_rate_per_second = join_rate_per_second;
+        self
+    }
+
+    /// Returns a copy with a different uncompensated graceful-leave rate
+    /// (per second).
+    pub fn with_graceful_leave_rate(mut self, graceful_leave_rate_per_second: f64) -> Self {
+        self.graceful_leave_rate_per_second = graceful_leave_rate_per_second;
+        self
+    }
+
+    /// Returns a copy with a different uncompensated crash rate (per
+    /// second).
+    pub fn with_crash_rate(mut self, crash_rate_per_second: f64) -> Self {
+        self.crash_rate_per_second = crash_rate_per_second;
         self
     }
 
@@ -192,6 +234,15 @@ impl SimConfig {
         }
         if self.churn_rate_per_second < 0.0 {
             return Err("churn_rate_per_second must be non-negative".into());
+        }
+        if self.join_rate_per_second < 0.0 {
+            return Err("join_rate_per_second must be non-negative".into());
+        }
+        if self.graceful_leave_rate_per_second < 0.0 {
+            return Err("graceful_leave_rate_per_second must be non-negative".into());
+        }
+        if self.crash_rate_per_second < 0.0 {
+            return Err("crash_rate_per_second must be non-negative".into());
         }
         if self.update_rate_per_hour < 0.0 {
             return Err("update_rate_per_hour must be non-negative".into());

@@ -26,35 +26,98 @@ impl Simulation {
                 return;
             };
             let is_failure = self.rng.gen_bool(self.config.failure_rate);
-            let departing_state = self.peers.remove(&victim);
-
-            let outcome = if is_failure {
-                self.stats.failures += 1;
-                self.overlay.fail(victim)
+            if is_failure {
+                self.perform_failure(victim);
             } else {
-                self.stats.leaves += 1;
-                self.overlay.leave(victim)
-            };
-
-            if let Some(mut departing_state) = departing_state {
-                for change in &outcome.changes {
-                    self.process_departure_change(change, &mut departing_state);
-                }
+                self.perform_graceful_leave(victim);
             }
-
             // Compensating join with a fresh identifier.
             let new_id = NodeId(self.rng.gen());
-            let join_outcome = self.overlay.join(new_id);
-            self.peers.insert(new_id, PeerState::new());
-            self.stats.joins += 1;
-            for change in &join_outcome.changes {
-                self.process_join_change(change);
-            }
+            self.perform_join(new_id);
         }
 
         if self.config.churn_rate_per_second > 0.0 {
             let inter = Exponential::new(self.config.churn_rate_per_second).sample(&mut self.rng);
             self.queue.schedule_in(inter, Event::PeerDeparture);
+        }
+    }
+
+    /// Handles one uncompensated [`Event::Join`]: a fresh peer enters the
+    /// overlay, splitting its successor's range (counters hand over
+    /// directly, replicas move if the deployment transfers data).
+    pub(crate) fn handle_churn_join(&mut self) {
+        let new_id = NodeId(self.rng.gen());
+        self.perform_join(new_id);
+        if self.config.join_rate_per_second > 0.0 {
+            let inter = Exponential::new(self.config.join_rate_per_second).sample(&mut self.rng);
+            self.queue.schedule_in(inter, Event::Join);
+        }
+    }
+
+    /// Handles one uncompensated [`Event::GracefulLeave`]: a random peer
+    /// departs through the direct algorithm of Section 4.2.1.
+    pub(crate) fn handle_churn_graceful_leave(&mut self) {
+        if self.overlay.len() > 2 {
+            if let Some(victim) = self.random_alive_peer() {
+                self.perform_graceful_leave(victim);
+            }
+        }
+        if self.config.graceful_leave_rate_per_second > 0.0 {
+            let inter =
+                Exponential::new(self.config.graceful_leave_rate_per_second).sample(&mut self.rng);
+            self.queue.schedule_in(inter, Event::GracefulLeave);
+        }
+    }
+
+    /// Handles one uncompensated [`Event::Crash`]: a random peer fail-stops;
+    /// its counters and (non-replicated) state die with it, forcing indirect
+    /// re-initializations later.
+    pub(crate) fn handle_churn_crash(&mut self) {
+        if self.overlay.len() > 2 {
+            if let Some(victim) = self.random_alive_peer() {
+                self.perform_failure(victim);
+            }
+        }
+        if self.config.crash_rate_per_second > 0.0 {
+            let inter = Exponential::new(self.config.crash_rate_per_second).sample(&mut self.rng);
+            self.queue.schedule_in(inter, Event::Crash);
+        }
+    }
+
+    /// A graceful leave of `victim`: the overlay hands its ranges over and
+    /// the departing state is transferred per [`Self::process_departure_change`].
+    pub(crate) fn perform_graceful_leave(&mut self, victim: NodeId) {
+        let departing_state = self.peers.remove(&victim);
+        self.stats.leaves += 1;
+        let outcome = self.overlay.leave(victim);
+        if let Some(mut departing_state) = departing_state {
+            for change in &outcome.changes {
+                self.process_departure_change(change, &mut departing_state);
+            }
+        }
+    }
+
+    /// A fail-stop of `victim`: nothing is handed over.
+    pub(crate) fn perform_failure(&mut self, victim: NodeId) {
+        let departing_state = self.peers.remove(&victim);
+        self.stats.failures += 1;
+        let outcome = self.overlay.fail(victim);
+        if let Some(mut departing_state) = departing_state {
+            for change in &outcome.changes {
+                self.process_departure_change(change, &mut departing_state);
+            }
+        }
+    }
+
+    /// A join of `new_id`: the overlay splits the successor's range and the
+    /// still-alive previous responsible hands state over per
+    /// [`Self::process_join_change`].
+    pub(crate) fn perform_join(&mut self, new_id: NodeId) {
+        let join_outcome = self.overlay.join(new_id);
+        self.peers.insert(new_id, PeerState::new());
+        self.stats.joins += 1;
+        for change in &join_outcome.changes {
+            self.process_join_change(change);
         }
     }
 

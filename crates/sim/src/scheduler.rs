@@ -10,6 +10,20 @@ pub enum Event {
     /// A peer departs (graceful leave or failure, decided when the event
     /// fires) and a fresh peer joins to keep the population constant.
     PeerDeparture,
+    /// A fresh peer joins the overlay, growing the population by one — the
+    /// elastic half of the membership protocol (range split + direct counter
+    /// hand-off from the successor).
+    Join,
+    /// A peer leaves gracefully, shrinking the population by one: it hands
+    /// its replicas and counters to its successor (the direct algorithm of
+    /// Section 4.2.1) before departing.
+    GracefulLeave,
+    /// A peer fail-stops, shrinking the population by one: nothing is handed
+    /// over, and the counters it held must later re-initialize indirectly
+    /// (Section 4.2.2). Scheduling [`Event::GracefulLeave`] and
+    /// [`Event::Crash`] runs at the same rate is how the figure experiments
+    /// compare the direct hand-off against crash-and-indirect recovery.
+    Crash,
     /// The data item with this index is updated by a random peer.
     UpdateData {
         /// Index of the data item in the workload key set.

@@ -139,6 +139,29 @@ impl Simulation {
         &self.keys
     }
 
+    /// Sums the KTS work counters of every live peer in one UMS universe
+    /// (`None` for BRK, which has no timestamping service). Peers that
+    /// already departed took their counters with them, so this measures the
+    /// work the *surviving* population performed — the quantity the direct
+    /// vs crash-and-indirect comparison reads off after a churn run.
+    pub fn total_kts_stats(&self, algorithm: Algorithm) -> Option<rdht_core::kts::KtsStats> {
+        use rdht_core::kts::KtsStats;
+        let mut total = KtsStats::default();
+        let mut any = false;
+        for peer in self.peers.values() {
+            let kts = peer.kts(algorithm)?;
+            let stats = kts.stats();
+            total.timestamps_generated += stats.timestamps_generated;
+            total.last_ts_served += stats.last_ts_served;
+            total.counters_received_directly += stats.counters_received_directly;
+            total.indirect_initializations += stats.indirect_initializations;
+            total.corrections += stats.corrections;
+            total.recovery_floor_seeds += stats.recovery_floor_seeds;
+            any = true;
+        }
+        any.then_some(total)
+    }
+
     /// Picks a uniformly random live peer without materializing the member
     /// list (the old `alive_ids()` call cloned the whole ring — one `O(n)`
     /// `Vec` per event at 10k peers).
@@ -162,6 +185,9 @@ impl Simulation {
             }
             match event {
                 Event::PeerDeparture => self.handle_departure(),
+                Event::Join => self.handle_churn_join(),
+                Event::GracefulLeave => self.handle_churn_graceful_leave(),
+                Event::Crash => self.handle_churn_crash(),
                 Event::UpdateData { key_index } => self.handle_update(key_index),
                 Event::Stabilize => self.handle_stabilize(),
                 Event::PeriodicInspection => self.handle_inspection(),
@@ -195,6 +221,22 @@ impl Simulation {
         if self.config.churn_rate_per_second > 0.0 && self.config.num_peers > 2 {
             let inter = Exponential::new(self.config.churn_rate_per_second).sample(&mut self.rng);
             self.queue.schedule_at(inter, Event::PeerDeparture);
+        }
+        // Uncompensated membership processes (elastic population). Disabled
+        // at the default rate of 0.0, so runs without them consume exactly
+        // the same random sequence as before these events existed.
+        if self.config.join_rate_per_second > 0.0 {
+            let inter = Exponential::new(self.config.join_rate_per_second).sample(&mut self.rng);
+            self.queue.schedule_at(inter, Event::Join);
+        }
+        if self.config.graceful_leave_rate_per_second > 0.0 && self.config.num_peers > 2 {
+            let inter =
+                Exponential::new(self.config.graceful_leave_rate_per_second).sample(&mut self.rng);
+            self.queue.schedule_at(inter, Event::GracefulLeave);
+        }
+        if self.config.crash_rate_per_second > 0.0 && self.config.num_peers > 2 {
+            let inter = Exponential::new(self.config.crash_rate_per_second).sample(&mut self.rng);
+            self.queue.schedule_at(inter, Event::Crash);
         }
         // Update process per data item.
         if self.config.update_rate_per_hour > 0.0 {

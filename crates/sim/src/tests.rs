@@ -230,3 +230,97 @@ fn invalid_configuration_is_rejected() {
     config.num_replicas = 0;
     let _ = Simulation::new(config);
 }
+
+#[test]
+fn uncompensated_joins_grow_the_population() {
+    let mut config = SimConfig::small_test(24, 31);
+    config.churn_rate_per_second = 0.0;
+    config.join_rate_per_second = 24.0 / 300.0; // a few joins over the run
+    let mut simulation = Simulation::new(config);
+    assert_eq!(simulation.live_peers(), 24);
+    let report = simulation.run();
+    assert!(report.stats.joins > 0);
+    assert_eq!(report.stats.leaves + report.stats.failures, 0);
+    assert_eq!(
+        simulation.live_peers(),
+        24 + report.stats.joins as usize,
+        "every Join event grew the ring by one"
+    );
+}
+
+#[test]
+fn uncompensated_graceful_leaves_shrink_and_hand_counters_over() {
+    let mut config = SimConfig::small_test(32, 32);
+    config.churn_rate_per_second = 0.0;
+    config.graceful_leave_rate_per_second = 32.0 / 400.0;
+    let mut simulation = Simulation::new(config);
+    let report = simulation.run();
+    assert!(report.stats.leaves > 0);
+    assert_eq!(report.stats.joins, 0);
+    assert_eq!(simulation.live_peers(), 32 - report.stats.leaves as usize);
+    // The direct universe actually transferred counters on those leaves.
+    let direct = simulation
+        .total_kts_stats(Algorithm::UmsDirect)
+        .expect("UMS universes have KTS state");
+    assert!(
+        direct.counters_received_directly > 0,
+        "graceful leaves must run the direct algorithm"
+    );
+    assert!(simulation.total_kts_stats(Algorithm::Brk).is_none());
+}
+
+#[test]
+fn graceful_leave_churn_needs_fewer_indirect_inits_than_crash_churn() {
+    // The paired experiment the new events exist for: identical workload
+    // and rate, one universe departs gracefully (direct hand-off), the
+    // other crashes (counters lost). The crash run must pay strictly more
+    // indirect initializations in the direct-transfer universe.
+    let base = |seed: u64| {
+        let mut config = SimConfig::small_test(32, seed);
+        config.churn_rate_per_second = 0.0;
+        config.update_rate_per_hour = 60.0;
+        config.queries = 20;
+        config
+    };
+    let rate = 32.0 / 200.0;
+
+    let mut graceful = Simulation::new(base(33).with_graceful_leave_rate(rate));
+    let graceful_report = graceful.run();
+    let graceful_stats = graceful.total_kts_stats(Algorithm::UmsDirect).unwrap();
+
+    let mut crashed = Simulation::new(base(33).with_crash_rate(rate));
+    let crashed_report = crashed.run();
+    let crashed_stats = crashed.total_kts_stats(Algorithm::UmsDirect).unwrap();
+
+    assert!(graceful_report.stats.leaves > 0);
+    assert!(crashed_report.stats.failures > 0);
+    assert!(
+        graceful_stats.indirect_initializations < crashed_stats.indirect_initializations,
+        "direct hand-off ({} indirect inits) must beat crash recovery ({})",
+        graceful_stats.indirect_initializations,
+        crashed_stats.indirect_initializations
+    );
+    assert!(graceful_stats.counters_received_directly > 0);
+}
+
+#[test]
+fn membership_rates_reject_negative_values() {
+    assert!(SimConfig::small_test(8, 1)
+        .with_join_rate(-1.0)
+        .validate()
+        .is_err());
+    assert!(SimConfig::small_test(8, 1)
+        .with_graceful_leave_rate(-0.5)
+        .validate()
+        .is_err());
+    assert!(SimConfig::small_test(8, 1)
+        .with_crash_rate(-2.0)
+        .validate()
+        .is_err());
+    assert!(SimConfig::small_test(8, 1)
+        .with_join_rate(0.1)
+        .with_graceful_leave_rate(0.1)
+        .with_crash_rate(0.1)
+        .validate()
+        .is_ok());
+}

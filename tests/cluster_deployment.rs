@@ -113,7 +113,7 @@ fn cluster_crash_restart_through_facade() {
     ums::insert(&mut client, &key, b"survives".to_vec()).unwrap();
 
     let victim = cluster.timestamp_responsible(&key).unwrap();
-    cluster.crash_peer(victim);
+    cluster.crash_peer(victim).unwrap();
     let report = cluster.restart_peer(victim).unwrap();
     assert!(report.recovered_counters >= 1);
 
