@@ -1,12 +1,23 @@
-//! Storage benchmark harness: quantifies the durability tax and the
-//! recovery cost of `rdht-storage`, and emits a machine-readable
-//! `BENCH_storage.json` alongside `BENCH_hotpath.json`.
+//! Storage benchmark harness: quantifies the durability tax, the
+//! group-commit amortization and the recovery cost of `rdht-storage`, and
+//! emits a machine-readable `BENCH_storage.json` alongside
+//! `BENCH_hotpath.json`.
 //!
 //! Measured:
 //!
 //! * `ums_insert` against an in-memory DHT vs the same DHT journaling to a
 //!   write-ahead log under each [`FsyncPolicy`] — the per-operation price of
 //!   durability;
+//! * `ums_insert` under **group commit**, swept over the number of
+//!   concurrent writers: `w` logical writers each have one insert pending
+//!   per commit round, the round's ops are journaled with deferred syncs and
+//!   made durable by a *single* covering fsync before any of the round's
+//!   inserts is acknowledged (`ums_insert_group_commit_w{w}`) — full
+//!   `Always`-grade ack-after-fsync semantics at a fraction of the fsyncs;
+//! * the same comparison end to end through the threaded deployment
+//!   (`cluster_insert_{always,group_commit}_w{w}`): real writer threads and
+//!   real mailboxes against a single storage-backed peer running the
+//!   drain-apply-sync-reply request loop;
 //! * recovery time (`StorageEngine::recover`) as a function of WAL length,
 //!   and for the same state compacted into a snapshot — why compaction
 //!   exists.
@@ -18,11 +29,13 @@
 //! ```
 
 use std::path::PathBuf;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use rdht_bench::workload::bench_keys;
 use rdht_core::{ums, InMemoryDht, Timestamp};
 use rdht_hashing::{HashId, Key};
+use rdht_net::{Cluster, ClusterConfig, ClusterStorage};
 use rdht_storage::{FsyncPolicy, StorageEngine, StorageOp, StorageOptions};
 
 /// One measured benchmark: mean wall-clock nanoseconds per operation.
@@ -97,6 +110,101 @@ fn bench_ums_insert(label: &str, policy: Option<FsyncPolicy>, calls: u64) -> Ben
     }
 }
 
+/// `ums::insert` throughput under group commit at `writers` concurrent
+/// writers: each commit round journals one pending insert per writer with
+/// deferred syncs, then a single covering fsync makes the whole round
+/// durable before any insert in it is acknowledged — the leader/follower
+/// write-group model at the engine level.
+fn bench_ums_insert_group_commit(writers: usize, calls: u64) -> BenchLine {
+    let keys = bench_keys(64);
+    let name = format!("ums_insert_group_commit_w{writers}");
+    let dir = temp_dir(&format!("group-w{writers}"));
+    let mut options = StorageOptions::with_fsync(FsyncPolicy::group_commit(
+        1 << 20,
+        Duration::from_micros(100),
+    ));
+    options.snapshot_every = 0;
+    let engine = StorageEngine::open(&dir, options).expect("open engine");
+    let mut dht = InMemoryDht::with_durability(10, 7, engine);
+    let line = measure(name, calls, keys.len() as u64, || {
+        for round in keys.chunks(writers) {
+            for key in round {
+                ums::insert(&mut dht, key, vec![1u8; 32]).expect("insert");
+            }
+            // The batch boundary: one fsync covers every op of the round;
+            // only now are the round's inserts acknowledged.
+            dht.durability_mut().sync().expect("covering sync");
+        }
+    });
+    let stats = dht.durability_mut().stats();
+    assert!(
+        !dht.durability_mut().is_poisoned(),
+        "journal must stay healthy during the bench"
+    );
+    assert!(
+        stats.wal_syncs <= stats.ops_appended / writers as u64 + 1,
+        "group commit must amortize syncs over the round"
+    );
+    drop(dht);
+    let _ = std::fs::remove_dir_all(&dir);
+    line
+}
+
+/// End-to-end `ums::insert` through the threaded cluster: `writers` real
+/// writer threads with their own clients against a storage-backed peer.
+/// The deployment is deliberately a single-peer ring — it concentrates all
+/// write concurrency at one WAL, which is exactly the unit the
+/// drain-apply-sync-reply request loop batches over; more peers would just
+/// dilute the per-peer queue depth without changing what is measured. Under
+/// `FsyncPolicy::GroupCommit` the peer drains every queued request, applies
+/// and journals them, issues **one** covering fsync and then sends all the
+/// replies; under `Always` every journaled op pays its own. (Note these
+/// numbers also carry the full message-passing cost — thread wake-ups bound
+/// them long before the fsync amortization runs out, especially on
+/// few-core CI boxes.)
+fn bench_cluster_insert(
+    label: &str,
+    policy: FsyncPolicy,
+    writers: usize,
+    inserts_per_writer: usize,
+) -> BenchLine {
+    let dir = temp_dir(&format!("cluster-{label}-w{writers}"));
+    let mut options = StorageOptions::with_fsync(policy);
+    options.snapshot_every = 0;
+    let config = ClusterConfig::new(1, 8, 0xc0ffee)
+        .with_storage(ClusterStorage::with_options(&dir, options));
+    let cluster = Arc::new(Cluster::spawn_with(config));
+    {
+        // Warm-up outside the clock (thread spin-up, first-touch paths).
+        let mut client = cluster.client();
+        ums::insert(&mut client, &Key::new("warm-up"), vec![0u8; 32]).expect("warm-up");
+    }
+    let ops = (writers * inserts_per_writer) as u64;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let cluster = Arc::clone(&cluster);
+            scope.spawn(move || {
+                let mut client = cluster.client();
+                for i in 0..inserts_per_writer {
+                    let key = Key::new(format!("w{w}-k{i}"));
+                    ums::insert(&mut client, &key, vec![1u8; 32]).expect("insert");
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    if let Ok(cluster) = Arc::try_unwrap(cluster) {
+        cluster.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    BenchLine {
+        name: format!("cluster_insert_{label}_w{writers}"),
+        iters: ops,
+        ns_per_op: elapsed.as_nanos() as f64 / ops as f64,
+    }
+}
+
 fn sample_put(i: u64) -> StorageOp {
     // A heavily-overwriting workload (1010 distinct records regardless of
     // log length): this is the case compaction exists for — the WAL grows
@@ -118,9 +226,13 @@ fn bench_recovery(n_ops: u64, repeats: u64) -> Vec<BenchLine> {
         let tag = if compacted { "snapshot" } else { "wal" };
         let dir = temp_dir(&format!("recover-{tag}-{n_ops}"));
         {
-            let mut engine =
-                StorageEngine::open(&dir, StorageOptions::with_fsync(FsyncPolicy::Never))
-                    .expect("open engine");
+            // Automatic compaction off: the `wal` leg must actually replay
+            // `n_ops` from the log (with the default snapshot cadence a
+            // "10k-op WAL" would silently be a snapshot plus a short tail),
+            // and the `snapshot` leg compacts explicitly below.
+            let mut options = StorageOptions::with_fsync(FsyncPolicy::Never);
+            options.snapshot_every = 0;
+            let mut engine = StorageEngine::open(&dir, options).expect("open engine");
             for i in 0..n_ops {
                 engine.apply(&sample_put(i)).expect("apply");
             }
@@ -170,6 +282,7 @@ fn main() {
     // fsync=Always pays a real disk round-trip per op; keep its op count low
     // enough for CI while still averaging over hundreds of syncs.
     let always_calls = if quick { 1 } else { 4 };
+    let group_calls = if quick { 2 } else { 8 };
     let mut lines = vec![
         bench_ums_insert("inmem", None, insert_calls),
         bench_ums_insert("wal_fsync_never", Some(FsyncPolicy::Never), insert_calls),
@@ -180,6 +293,32 @@ fn main() {
         ),
         bench_ums_insert("wal_fsync_always", Some(FsyncPolicy::Always), always_calls),
     ];
+    // The group-commit sweep: concurrent-writer counts per commit round.
+    for writers in [1usize, 8, 16, 64] {
+        lines.push(bench_ums_insert_group_commit(writers, group_calls));
+    }
+    // End to end through the threaded cluster: per-op Always vs the
+    // drain-apply-sync-reply loop, at 1 and 8+ concurrent writer threads.
+    let cluster_inserts = if quick { 4 } else { 16 };
+    for writers in [1usize, 8, 16, 32, 64] {
+        lines.push(bench_cluster_insert(
+            "always",
+            FsyncPolicy::Always,
+            writers,
+            cluster_inserts,
+        ));
+        // Clients here are closed-loop (each writer has one request in
+        // flight), so every op that can join a batch is already queued when
+        // the leader drains — a straggler window (`max_delay > 0`) would
+        // only add timer latency. Batch size is bounded by the per-peer
+        // write concurrency, which is what the writer sweep varies.
+        lines.push(bench_cluster_insert(
+            "group_commit",
+            FsyncPolicy::group_commit(64, Duration::ZERO),
+            writers,
+            cluster_inserts,
+        ));
+    }
     let recovery_sizes: &[u64] = if quick {
         &[1_000, 10_000]
     } else {

@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::RwLock;
@@ -32,6 +32,13 @@ use crate::message::{HandoffFault, HandoffKind, Reply, Request};
 /// than a clock, so a slow-but-alive source can never race a coordinator
 /// timeout into inconsistent directory state.
 const INSTALL_ACK_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default bounded-idle grace period after which a gracefully departed
+/// peer's forwarder thread is reaped ([`ClusterConfig::forwarder_reap_idle`]).
+/// Requests routed under the pre-departure directory view arrive within
+/// channel latency, so anything still idle after this has nothing left to
+/// forward; the directory serves the range from the successor either way.
+const DEFAULT_FORWARDER_REAP_IDLE: Duration = Duration::from_secs(30);
 
 /// Identifier of a peer on the cluster ring (the same 64-bit space keys are
 /// hashed into).
@@ -88,8 +95,21 @@ pub struct ClusterConfig {
     pub message_delay: Duration,
     /// When set, every peer journals its replicas and counters to its own
     /// directory under `storage.root`, and [`Cluster::restart_peer`] can
-    /// bring a crashed peer back with its durable state.
+    /// bring a crashed peer back with its durable state. With
+    /// `FsyncPolicy::GroupCommit` in the storage options, every peer runs
+    /// its request loop in drain-apply-sync-reply mode: all queued client
+    /// requests (bounded by `max_batch`) are drained, applied and
+    /// journaled, made durable by **one** covering fsync, and only then
+    /// acknowledged — N concurrent writers share one fsync instead of
+    /// paying N.
     pub storage: Option<ClusterStorage>,
+    /// How long a gracefully departed peer lingers as a forwarder after its
+    /// last message before its thread (and channel) is reaped. Requests
+    /// reaching the peer after the reap are re-routed through the shared
+    /// directory by whoever holds a stale forwarding rule, so the range
+    /// keeps serving; the reap just returns the thread early on long-lived
+    /// clusters.
+    pub forwarder_reap_idle: Duration,
 }
 
 impl ClusterConfig {
@@ -102,12 +122,19 @@ impl ClusterConfig {
             seed,
             message_delay: Duration::ZERO,
             storage: None,
+            forwarder_reap_idle: DEFAULT_FORWARDER_REAP_IDLE,
         }
     }
 
     /// Returns a copy with peer-state durability under `storage`.
     pub fn with_storage(mut self, storage: ClusterStorage) -> Self {
         self.storage = Some(storage);
+        self
+    }
+
+    /// Returns a copy with the given forwarder reap grace period.
+    pub fn with_forwarder_reap_idle(mut self, idle: Duration) -> Self {
+        self.forwarder_reap_idle = idle;
         self
     }
 }
@@ -119,6 +146,7 @@ pub(crate) struct Directory {
     /// Peer ring: id -> (mailbox, alive flag).
     pub(crate) peers: RwLock<BTreeMap<PeerId, (Sender<Request>, bool)>>,
     pub(crate) message_delay: Duration,
+    pub(crate) forwarder_reap_idle: Duration,
 }
 
 impl Directory {
@@ -262,6 +290,7 @@ impl Cluster {
             family,
             peers: RwLock::new(ring),
             message_delay: config.message_delay,
+            forwarder_reap_idle: config.forwarder_reap_idle,
         });
         let handles = receivers
             .into_iter()
@@ -300,6 +329,28 @@ impl Cluster {
     /// Number of live peers.
     pub fn live_peers(&self) -> usize {
         self.directory.live_count()
+    }
+
+    /// Whether `peer`'s thread has exited — crashed, shut down, or reaped as
+    /// an idle forwarder after a graceful leave. `true` for unknown ids and
+    /// for peers whose handle was already joined.
+    pub fn peer_thread_finished(&self, peer: PeerId) -> bool {
+        self.handles
+            .get(&peer)
+            .map(|handle| handle.is_finished())
+            .unwrap_or(true)
+    }
+
+    /// The raw mailbox sender of a peer — tests use it to inject requests
+    /// that bypass the directory, modelling messages routed under a stale
+    /// membership view (in flight across a hand-off commit).
+    #[cfg(test)]
+    pub(crate) fn peer_sender(&self, peer: PeerId) -> Option<Sender<Request>> {
+        self.directory
+            .peers
+            .read()
+            .get(&peer)
+            .map(|(sender, _)| sender.clone())
     }
 
     /// Whether `peer` is currently alive (`false` for dead or unknown ids).
@@ -747,8 +798,33 @@ struct PeerRuntime {
     forwards: Vec<Forwarding>,
 }
 
-/// The peer thread main loop: drain the mailbox, answer requests, stop on
-/// `Shutdown` (with a final journal flush) or `Crash` (without one).
+/// Whether a request may ride in a group-commit batch. Only plain data
+/// requests batch; protocol and lifecycle messages are barriers — they are
+/// processed alone so their own ack/sync ordering stays explicit.
+fn batchable(request: &Request) -> bool {
+    matches!(
+        request,
+        Request::PutReplica { .. } | Request::GetReplica { .. } | Request::Timestamp { .. }
+    )
+}
+
+/// The peer thread main loop, in **drain-apply-sync-reply** form.
+///
+/// Each iteration collects a batch: the first request blocks on the mailbox,
+/// and — when the engine's fsync policy is `GroupCommit` — every further
+/// queued data request is drained (up to `max_batch`, waiting at most
+/// `max_delay` for stragglers). The whole batch is then applied and
+/// journaled, made durable by **one** covering fsync at the batch boundary,
+/// and only then acknowledged: N concurrent writers at `Always`-grade
+/// durability share a single fsync instead of paying one each. Under every
+/// other policy the batch is a single request and the loop behaves exactly
+/// as the classic one-request-at-a-time server (appends sync themselves per
+/// policy, the boundary sync is skipped).
+///
+/// Stops on `Shutdown` (with a final journal flush), on `Crash` (without
+/// one), and — once the peer has gracefully departed and only forwards —
+/// after a bounded idle period ([`ClusterConfig::forwarder_reap_idle`]),
+/// returning the thread and its channel to the system.
 fn peer_main(
     id: PeerId,
     mailbox: Receiver<Request>,
@@ -756,6 +832,7 @@ fn peer_main(
     engine: StorageEngine,
     kts: KtsNode,
 ) {
+    let batching = engine.options().fsync.batching();
     let mut runtime = PeerRuntime {
         engine,
         kts,
@@ -766,245 +843,351 @@ fn peer_main(
     // availability over durability — but the degradation must not be
     // silent: report it once.
     let mut poison_reported = false;
-    while let Ok(request) = mailbox.recv() {
+    // Set at the commit point of a graceful leave: the peer is a pure
+    // forwarder from here on and is reaped once idle.
+    let mut departed = false;
+    // Sticky: set once this peer departed or retired a forwarding rule
+    // whose target mailbox died. From then on a data position no rule
+    // covers is re-resolved through the directory before any local
+    // fallback — retiring a rule must not silently turn the *next* stale
+    // request into local service from a store that handed the range away.
+    let mut reroute_uncovered = false;
+    // A non-batchable request encountered while draining a batch: handled
+    // (alone) on the next iteration, preserving arrival order.
+    let mut carry: Option<Request> = None;
+    let mut batch: Vec<Request> = Vec::new();
+    // Replies owed for the current batch, sent only after the covering sync
+    // — durability is acknowledged per op strictly after the fsync that
+    // covers it.
+    let mut deferred: Vec<(Sender<Reply>, Reply)> = Vec::new();
+    'peer: loop {
+        let first = match carry.take() {
+            Some(request) => request,
+            None if departed => match mailbox.recv_timeout(directory.forwarder_reap_idle) {
+                Ok(request) => request,
+                // Idle past the grace period (or every sender is gone):
+                // nothing routed under the old view is still in flight —
+                // reap the forwarder. The directory already resolves the
+                // range to the successor.
+                Err(_) => break 'peer,
+            },
+            None => match mailbox.recv() {
+                Ok(request) => request,
+                Err(_) => break 'peer,
+            },
+        };
         report_journal_poison(id, &runtime.engine, &mut poison_reported);
-        match request {
+        match first {
             // Lifecycle messages are exempt from the artificial network
             // delay: shutting a cluster down is not a network exchange, and
             // a crash is by definition instantaneous.
             Request::Shutdown => {
                 runtime.engine.sync_to_durable();
                 report_journal_poison(id, &runtime.engine, &mut poison_reported);
-                break;
+                break 'peer;
             }
-            Request::Crash => break,
+            Request::Crash => break 'peer,
             _ => {}
         }
-        if !directory.message_delay.is_zero() {
-            std::thread::sleep(directory.message_delay);
-        }
-        // A request for a position this peer handed away is re-sent to the
-        // peer that took it over: it was routed here through a directory
-        // read that predates the hand-off's commit. Newest rule wins (the
-        // same interval can change hands more than once). A rule whose
-        // target's mailbox is gone (the takeover peer crashed) is retired
-        // and the request served locally — with the takeover peer dead,
-        // this peer is the live successor for the range again, so local
-        // failover is exactly what the ring prescribes.
-        let request = match data_position(&request, &directory.family) {
-            Some(position) => {
-                let mut pending = Some(request);
-                while let Some(index) = runtime
-                    .forwards
-                    .iter()
-                    .rposition(|rule| rule.covers(position))
-                {
-                    match runtime.forwards[index]
-                        .target
-                        .send(pending.take().expect("present until sent"))
-                    {
-                        Ok(()) => break,
-                        Err(failed) => {
-                            runtime.forwards.remove(index);
-                            pending = Some(failed.0);
-                        }
-                    }
-                }
-                match pending {
-                    Some(request) => request,
-                    None => continue, // forwarded
-                }
-            }
-            None => request,
-        };
-        match request {
-            Request::PutReplica {
-                hash,
-                key,
-                payload,
-                timestamp,
-                reply,
-            } => {
-                let accepted = match runtime.engine.replicas().get(hash, &key) {
-                    Some(existing) => timestamp > existing.stamp,
-                    None => true,
-                };
-                if accepted {
-                    let position = directory.family.eval(hash, &key);
-                    let value = ReplicaValue::new(payload, timestamp);
-                    runtime
-                        .engine
-                        .record_replica_put(hash, &key, &value, position);
-                }
-                let _ = reply.send(Reply::PutAck);
-            }
-            Request::GetReplica { hash, key, reply } => {
-                let stored = runtime
-                    .engine
-                    .replicas()
-                    .get(hash, &key)
-                    .map(|replica| (replica.payload.clone(), replica.stamp));
-                let _ = reply.send(Reply::Replica(stored));
-            }
-            Request::Timestamp {
-                key,
-                generate,
-                observation_hint,
-                reply,
-            } => {
-                let answer = if runtime.kts.has_counter(&key) {
-                    let ts = if generate {
-                        runtime
-                            .kts
-                            .gen_ts_with(&key, IndirectObservation::nothing, &mut runtime.engine)
-                            .timestamp
+        batch.clear();
+        batch.push(first);
+        if let Some((max_batch, max_delay)) = batching {
+            if batchable(&batch[0]) {
+                // Group-commit drain: this peer is the commit leader for
+                // whatever is queued right now. Followers arriving within
+                // `max_delay` join the batch; a non-batchable request ends
+                // the drain and is carried to the next iteration.
+                let deadline = Instant::now() + max_delay;
+                while (batch.len() as u64) < max_batch {
+                    let now = Instant::now();
+                    let next = if max_delay.is_zero() || now >= deadline {
+                        mailbox.try_recv().map_err(|_| ())
                     } else {
-                        runtime
-                            .kts
-                            .last_ts_with(
-                                &key,
-                                LastTsInitPolicy::ObservedMax,
-                                IndirectObservation::nothing,
-                                &mut runtime.engine,
-                            )
-                            .timestamp
+                        mailbox.recv_timeout(deadline - now).map_err(|_| ())
                     };
-                    Reply::Timestamp(ts)
-                } else {
-                    match observation_hint {
-                        None => Reply::NeedsInitialization,
-                        Some(observed) => {
-                            let observation = if observed.is_zero() {
-                                IndirectObservation::nothing()
-                            } else {
-                                IndirectObservation::observed(observed)
-                            };
-                            let ts = if generate {
-                                runtime
-                                    .kts
-                                    .gen_ts_with(&key, || observation, &mut runtime.engine)
-                                    .timestamp
-                            } else {
-                                runtime
-                                    .kts
-                                    .last_ts_with(
-                                        &key,
-                                        LastTsInitPolicy::ObservedMax,
-                                        || observation,
-                                        &mut runtime.engine,
-                                    )
-                                    .timestamp
-                            };
-                            Reply::Timestamp(ts)
+                    match next {
+                        Ok(request) if batchable(&request) => batch.push(request),
+                        Ok(request) => {
+                            carry = Some(request);
+                            break;
+                        }
+                        Err(()) => break, // empty / timed out / disconnected
+                    }
+                }
+            }
+        }
+        for request in batch.drain(..) {
+            if !directory.message_delay.is_zero() {
+                std::thread::sleep(directory.message_delay);
+            }
+            // A request for a position this peer handed away is re-sent to
+            // the peer that took it over: it was routed here through a
+            // directory read that predates the hand-off's commit. Newest
+            // rule wins (the same interval can change hands more than
+            // once). A rule whose target's mailbox is gone is retired; the
+            // request is then re-resolved through the *directory* — if the
+            // live responsible is another peer (the takeover peer departed
+            // onward and was reaped, so the range lives at its successor
+            // now) it is re-sent there, and only when this peer is the live
+            // successor again (the takeover peer crashed) is it served
+            // locally, which is exactly the failover the ring prescribes.
+            let request = match data_position(&request, &directory.family) {
+                Some(position) => {
+                    let mut pending = Some(request);
+                    while let Some(index) = runtime
+                        .forwards
+                        .iter()
+                        .rposition(|rule| rule.covers(position))
+                    {
+                        match runtime.forwards[index]
+                            .target
+                            .send(pending.take().expect("present until sent"))
+                        {
+                            Ok(()) => break,
+                            Err(failed) => {
+                                runtime.forwards.remove(index);
+                                reroute_uncovered = true;
+                                pending = Some(failed.0);
+                            }
                         }
                     }
-                };
-                let _ = reply.send(answer);
-            }
-            Request::HandoffRange {
-                start,
-                end,
-                target_id,
-                target,
-                kind,
-                fault,
-                reply,
-            } => {
-                // Phase `Exported`: copy the replicas in range, drain the
-                // counters of the keys timestamped there (removals journaled
-                // — Rule 3 holds durably from here on).
-                let bundle = export_handoff(
-                    &mut runtime.engine,
-                    &mut runtime.kts,
-                    &directory.family,
+                    if departed || reroute_uncovered {
+                        if let Some(request) = pending.take() {
+                            match directory.responsible_for(position) {
+                                Some((responsible, sender)) if responsible != id => {
+                                    if let Err(failed) = sender.send(request) {
+                                        pending = Some(failed.0);
+                                    }
+                                }
+                                _ => pending = Some(request),
+                            }
+                        }
+                    }
+                    match pending {
+                        Some(request) => request,
+                        None => continue, // forwarded
+                    }
+                }
+                None => request,
+            };
+            match request {
+                Request::PutReplica {
+                    hash,
+                    key,
+                    payload,
+                    timestamp,
+                    reply,
+                } => {
+                    let accepted = match runtime.engine.replicas().get(hash, &key) {
+                        Some(existing) => timestamp > existing.stamp,
+                        None => true,
+                    };
+                    if accepted {
+                        let position = directory.family.eval(hash, &key);
+                        let value = ReplicaValue::new(payload, timestamp);
+                        runtime
+                            .engine
+                            .record_replica_put(hash, &key, &value, position);
+                    }
+                    deferred.push((reply, Reply::PutAck));
+                }
+                Request::GetReplica { hash, key, reply } => {
+                    let stored = runtime
+                        .engine
+                        .replicas()
+                        .get(hash, &key)
+                        .map(|replica| (replica.payload.clone(), replica.stamp));
+                    deferred.push((reply, Reply::Replica(stored)));
+                }
+                Request::Timestamp {
+                    key,
+                    generate,
+                    observation_hint,
+                    reply,
+                } => {
+                    let answer = if runtime.kts.has_counter(&key) {
+                        let ts = if generate {
+                            runtime
+                                .kts
+                                .gen_ts_with(
+                                    &key,
+                                    IndirectObservation::nothing,
+                                    &mut runtime.engine,
+                                )
+                                .timestamp
+                        } else {
+                            runtime
+                                .kts
+                                .last_ts_with(
+                                    &key,
+                                    LastTsInitPolicy::ObservedMax,
+                                    IndirectObservation::nothing,
+                                    &mut runtime.engine,
+                                )
+                                .timestamp
+                        };
+                        Reply::Timestamp(ts)
+                    } else {
+                        match observation_hint {
+                            None => Reply::NeedsInitialization,
+                            Some(observed) => {
+                                let observation = if observed.is_zero() {
+                                    IndirectObservation::nothing()
+                                } else {
+                                    IndirectObservation::observed(observed)
+                                };
+                                let ts = if generate {
+                                    runtime
+                                        .kts
+                                        .gen_ts_with(&key, || observation, &mut runtime.engine)
+                                        .timestamp
+                                } else {
+                                    runtime
+                                        .kts
+                                        .last_ts_with(
+                                            &key,
+                                            LastTsInitPolicy::ObservedMax,
+                                            || observation,
+                                            &mut runtime.engine,
+                                        )
+                                        .timestamp
+                                };
+                                Reply::Timestamp(ts)
+                            }
+                        }
+                    };
+                    deferred.push((reply, answer));
+                }
+                Request::HandoffRange {
                     start,
                     end,
-                );
-                let replicas_moved = bundle.replicas.len();
-                let counters_moved = bundle.counters.len();
-                if fault == Some(HandoffFault::CrashAfterExport) {
-                    // Fail-stop mid-transfer: the bundle is lost in flight.
-                    // Recovery rolls back — the journal still holds every
-                    // replica, and the drained counters re-initialize
-                    // indirectly.
-                    directory.mark_dead(id);
-                    break;
+                    target_id,
+                    target,
+                    kind,
+                    fault,
+                    reply,
+                } => {
+                    // Phase `Exported`: copy the replicas in range, drain
+                    // the counters of the keys timestamped there. The
+                    // removals are synced before the bundle ships — under a
+                    // deferred-sync policy an unsynced removal could be
+                    // resurrected by a crash *after* the counters moved,
+                    // breaking Rule 3's "at most one live counter" durably.
+                    let bundle = export_handoff(
+                        &mut runtime.engine,
+                        &mut runtime.kts,
+                        &directory.family,
+                        start,
+                        end,
+                    );
+                    runtime.engine.sync_to_durable();
+                    let replicas_moved = bundle.replicas.len();
+                    let counters_moved = bundle.counters.len();
+                    if fault == Some(HandoffFault::CrashAfterExport) {
+                        // Fail-stop mid-transfer: the bundle is lost in
+                        // flight. Recovery rolls back — the journal still
+                        // holds every replica, and the drained counters
+                        // re-initialize indirectly.
+                        directory.mark_dead(id);
+                        break 'peer;
+                    }
+                    // Phase `Installed`: ship the bundle and wait for the
+                    // target to journal it.
+                    let (ack_tx, ack_rx) = bounded(1);
+                    let sent = target.send(Request::InstallState {
+                        start,
+                        end,
+                        bundle,
+                        reply: ack_tx,
+                    });
+                    let acked = sent.is_ok()
+                        && matches!(
+                            ack_rx.recv_timeout(INSTALL_ACK_TIMEOUT),
+                            Ok(Reply::InstallAck { .. })
+                        );
+                    if !acked {
+                        // The target died before journaling the bundle:
+                        // abort without committing. This peer keeps its
+                        // replicas (the export only copied them) and keeps
+                        // serving; the moved counters are gone, which only
+                        // costs indirect re-inits.
+                        let _ = reply.send(Reply::HandoffFailed {
+                            reason: "hand-off target never acknowledged the install".to_string(),
+                        });
+                        continue;
+                    }
+                    if fault == Some(HandoffFault::CrashAfterInstall) {
+                        // Fail-stop between the target's ack and the commit:
+                        // the target's journal holds the state, so a retried
+                        // join/leave completes the transfer.
+                        directory.mark_dead(id);
+                        break 'peer;
+                    }
+                    // Commit point — all three steps inside one serially
+                    // processed request, so no client request interleaves:
+                    // flip the directory, prune the moved range from the
+                    // journal, start forwarding.
+                    match kind {
+                        HandoffKind::Join => directory.revive(target_id, target.clone()),
+                        HandoffKind::Leave => directory.mark_dead(id),
+                    }
+                    commit_handoff(&mut runtime.engine, start, end);
+                    runtime.forwards.push(Forwarding {
+                        start,
+                        end,
+                        everything: kind == HandoffKind::Leave,
+                        target,
+                    });
+                    // The commit record must be durable before the
+                    // coordinator learns of the flip (a crash right after
+                    // the reply must not replay the pruned range back in);
+                    // for a departing peer this is also its final flush.
+                    runtime.engine.sync_to_durable();
+                    if kind == HandoffKind::Leave {
+                        departed = true;
+                    }
+                    let _ = reply.send(Reply::HandoffComplete {
+                        replicas_moved,
+                        counters_moved,
+                    });
                 }
-                // Phase `Installed`: ship the bundle and wait for the
-                // target to journal it.
-                let (ack_tx, ack_rx) = bounded(1);
-                let sent = target.send(Request::InstallState {
+                Request::InstallState {
                     start,
                     end,
                     bundle,
-                    reply: ack_tx,
-                });
-                let acked = sent.is_ok()
-                    && matches!(
-                        ack_rx.recv_timeout(INSTALL_ACK_TIMEOUT),
-                        Ok(Reply::InstallAck { .. })
-                    );
-                if !acked {
-                    // The target died before journaling the bundle: abort
-                    // without committing. This peer keeps its replicas (the
-                    // export only copied them) and keeps serving; the moved
-                    // counters are gone, which only costs indirect re-inits.
-                    let _ = reply.send(Reply::HandoffFailed {
-                        reason: "hand-off target never acknowledged the install".to_string(),
-                    });
-                    continue;
-                }
-                if fault == Some(HandoffFault::CrashAfterInstall) {
-                    // Fail-stop between the target's ack and the commit: the
-                    // target's journal holds the state, so a retried
-                    // join/leave completes the transfer.
-                    directory.mark_dead(id);
-                    break;
-                }
-                // Commit point — all three steps inside one serially
-                // processed request, so no client request interleaves:
-                // flip the directory, prune the moved range from the
-                // journal, start forwarding.
-                match kind {
-                    HandoffKind::Join => directory.revive(target_id, target.clone()),
-                    HandoffKind::Leave => directory.mark_dead(id),
-                }
-                commit_handoff(&mut runtime.engine, start, end);
-                runtime.forwards.push(Forwarding {
-                    start,
-                    end,
-                    everything: kind == HandoffKind::Leave,
-                    target,
-                });
-                if kind == HandoffKind::Leave {
-                    // A departing peer's journal is final: flush it like a
-                    // graceful shutdown would.
+                    reply,
+                } => {
+                    let report = install_handoff(&mut runtime.engine, &mut runtime.kts, bundle);
+                    // This peer owns (start, end] again: retire any
+                    // forwarding rule that overlaps it, or a former owner
+                    // and its round-tripped successor would bounce requests
+                    // forever.
+                    runtime
+                        .forwards
+                        .retain(|rule| !ranges_intersect((rule.start, rule.end), (start, end)));
+                    // The bundle must be durable before the ack: the source
+                    // treats the ack as licence to prune its own copy at
+                    // commit, so an unsynced install journal would be the
+                    // only holder of the moved state.
                     runtime.engine.sync_to_durable();
+                    let _ = reply.send(Reply::InstallAck {
+                        replicas_installed: report.replicas_installed,
+                        counters_received: report.counters_received,
+                    });
                 }
-                let _ = reply.send(Reply::HandoffComplete {
-                    replicas_moved,
-                    counters_moved,
-                });
+                Request::Shutdown | Request::Crash => {
+                    unreachable!("lifecycle requests never enter a batch")
+                }
             }
-            Request::InstallState {
-                start,
-                end,
-                bundle,
-                reply,
-            } => {
-                let report = install_handoff(&mut runtime.engine, &mut runtime.kts, bundle);
-                // This peer owns (start, end] again: retire any forwarding
-                // rule that overlaps it, or a former owner and its
-                // round-tripped successor would bounce requests forever.
-                runtime
-                    .forwards
-                    .retain(|rule| !ranges_intersect((rule.start, rule.end), (start, end)));
-                let _ = reply.send(Reply::InstallAck {
-                    replicas_installed: report.replicas_installed,
-                    counters_received: report.counters_received,
-                });
-            }
-            Request::Shutdown | Request::Crash => unreachable!("handled above"),
+        }
+        // The batch boundary: one covering fsync for everything the batch
+        // journaled (free if the batch was read-only), then the
+        // acknowledgements.
+        if batching.is_some() {
+            runtime.engine.sync_to_durable();
+        }
+        for (reply, answer) in deferred.drain(..) {
+            let _ = reply.send(answer);
         }
     }
 }

@@ -40,7 +40,11 @@
 //! range. A peer killed mid-transfer restarts from its journal and the
 //! transfer either rolls back (nothing shipped: the source still holds every
 //! replica) or completes (the target already journaled the bundle; a
-//! retried join/leave converges).
+//! retried join/leave converges). A departed peer forwards only as long as
+//! requests routed under the old view can still be in flight: after a
+//! bounded idle period ([`ClusterConfig::forwarder_reap_idle`]) its thread
+//! and channel are reaped, and any stale forwarding rule that later finds
+//! its target gone re-resolves through the shared directory.
 //!
 //! ## Durability and crash/restart
 //!
@@ -55,6 +59,15 @@
 //! timestamps while it was down), so the first timestamp request per key
 //! takes the observable indirect-initialization path of Section 4.2.2
 //! against the (durable) replicas.
+//!
+//! With `FsyncPolicy::GroupCommit` in the storage options every peer runs
+//! its request loop in **drain-apply-sync-reply** mode — the group-commit
+//! deployment: all queued data requests (bounded by `max_batch`) are
+//! drained, applied and journaled, made durable by a single covering fsync,
+//! and only then acknowledged. N concurrent writers at `Always`-grade
+//! ack-after-fsync durability share one fsync instead of paying one each;
+//! the `storage` bench bin quantifies the win (tens of times the per-op
+//! `Always` throughput at 8+ writers).
 //!
 //! ```
 //! use rdht_core::ums;

@@ -36,6 +36,13 @@ pub enum HandoffFault {
 
 /// A request sent to a peer's mailbox. Every request carries the channel the
 /// peer should answer on (a one-shot reply channel owned by the caller).
+///
+/// Data requests (`PutReplica`, `GetReplica`, `Timestamp`) may be drained
+/// into a group-commit batch when the peer's storage runs
+/// `FsyncPolicy::GroupCommit`: the peer applies and journals the whole
+/// batch, issues one covering fsync, and only then sends the replies — so
+/// an acknowledgement always means "durable", regardless of how many
+/// requests shared the fsync. Protocol and lifecycle messages never batch.
 #[derive(Debug)]
 pub enum Request {
     /// Store a stamped replica; the peer keeps it only if the stamp is newer
@@ -101,8 +108,10 @@ pub enum Request {
     },
     /// Install the state bundle of an in-flight hand-off (sent by the
     /// exporting peer to the target). Every accepted replica and counter is
-    /// journaled at the target before the ack, which is what makes a crash
-    /// from this point on completable.
+    /// journaled **and fsynced** at the target before the ack (under any
+    /// fsync policy, including deferred-sync group commit), which is what
+    /// makes a crash from this point on completable: the source treats the
+    /// ack as licence to prune its own copy at commit.
     InstallState {
         /// Exclusive start of the interval the bundle covers.
         start: u64,

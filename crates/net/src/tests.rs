@@ -479,6 +479,259 @@ fn empty_cluster_is_rejected() {
     let _ = Cluster::spawn(0, 3, 10);
 }
 
+/// The ISSUE 5 acceptance test: full-durability group commit under real
+/// concurrency. Eight writer threads hammer a storage-backed cluster whose
+/// peers run the drain-apply-sync-reply loop (`FsyncPolicy::GroupCommit`);
+/// every insert is acknowledged only after its covering fsync, and a
+/// whole-cluster crash + restart afterwards recovers every acknowledged
+/// value from the journals alone.
+#[test]
+fn group_commit_concurrent_writers_recover_after_whole_cluster_crash() {
+    let root = fresh_storage_root("group-commit-acceptance");
+    let config = ClusterConfig::new(6, 4, 31).with_storage(ClusterStorage::with_options(
+        &root,
+        StorageOptions::with_fsync(FsyncPolicy::group_commit(
+            64,
+            std::time::Duration::from_micros(100),
+        )),
+    ));
+    let cluster = Arc::new(Cluster::spawn_with(config));
+    let writers = 8;
+    let keys_per_writer = 6;
+
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let cluster = Arc::clone(&cluster);
+            scope.spawn(move || {
+                let mut client = cluster.client();
+                for i in 0..keys_per_writer {
+                    let key = Key::new(format!("w{w}-doc-{i}"));
+                    ums::insert(&mut client, &key, format!("w{w}-v{i}").into_bytes())
+                        .expect("group-commit insert");
+                }
+            });
+        }
+    });
+
+    let mut cluster = match Arc::try_unwrap(cluster) {
+        Ok(cluster) => cluster,
+        Err(_) => panic!("cluster still shared"),
+    };
+    // Every acknowledged write reads back current before the crash…
+    let mut client = cluster.client();
+    for w in 0..writers {
+        for i in 0..keys_per_writer {
+            let key = Key::new(format!("w{w}-doc-{i}"));
+            let got = ums::retrieve(&mut client, &key).unwrap();
+            assert!(got.is_current, "{key:?} current under group commit");
+            assert_eq!(got.data.unwrap(), format!("w{w}-v{i}").into_bytes());
+        }
+    }
+    // …and after a whole-cluster fail-stop, from the journals alone.
+    let peers = cluster.peer_ids();
+    for &peer in &peers {
+        cluster.crash_peer(peer).unwrap();
+    }
+    for &peer in &peers {
+        cluster.restart_peer(peer).unwrap();
+    }
+    let mut recovered = cluster.client();
+    for w in 0..writers {
+        for i in 0..keys_per_writer {
+            let key = Key::new(format!("w{w}-doc-{i}"));
+            let got = ums::retrieve(&mut recovered, &key).unwrap();
+            assert!(got.is_current, "{key:?} recovered after crash");
+            assert_eq!(got.data.unwrap(), format!("w{w}-v{i}").into_bytes());
+        }
+    }
+    cluster.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// The ISSUE 5 satellite, net half: the same deterministic request sequence
+/// issued against a per-op (`Always`) cluster and a group-commit cluster of
+/// the same seed produces **identical replies, reply for reply** — insert
+/// reports, retrieve payloads, certification flags and timestamps — and
+/// identical replica state afterwards. Batching changes syscalls, never
+/// observable semantics.
+#[test]
+fn group_commit_is_reply_for_reply_identical_to_per_op_path() {
+    let roots = [
+        fresh_storage_root("reply-for-reply-always"),
+        fresh_storage_root("reply-for-reply-group"),
+    ];
+    let policies = [
+        FsyncPolicy::Always,
+        FsyncPolicy::group_commit(32, std::time::Duration::from_micros(50)),
+    ];
+    let keys: Vec<Key> = (0..7).map(|i| Key::new(format!("doc-{i}"))).collect();
+
+    let mut transcripts = Vec::new();
+    for (root, policy) in roots.iter().zip(policies) {
+        let config = ClusterConfig::new(5, 4, 33).with_storage(ClusterStorage::with_options(
+            root,
+            StorageOptions::with_fsync(policy),
+        ));
+        let cluster = Cluster::spawn_with(config);
+        let mut client = cluster.client();
+        let mut transcript: Vec<String> = Vec::new();
+        // A fixed mixed workload: interleaved inserts and retrieves whose
+        // pattern exercises overwrites, fresh keys and read-your-writes.
+        for round in 0..4u64 {
+            for (i, key) in keys.iter().enumerate() {
+                if (round + i as u64).is_multiple_of(3) {
+                    let got = ums::retrieve(&mut client, key).unwrap();
+                    transcript.push(format!(
+                        "retrieve {key:?} -> {:?} current={} ts={}",
+                        got.data, got.is_current, got.timestamp.0
+                    ));
+                } else {
+                    let payload = format!("r{round}-{i}").into_bytes();
+                    let report = ums::insert(&mut client, key, payload).unwrap();
+                    transcript.push(format!(
+                        "insert {key:?} -> ts={} written={}",
+                        report.timestamp.0, report.replicas_written
+                    ));
+                }
+            }
+        }
+        // Final state probe: every replica of every key.
+        for key in &keys {
+            for hash in client.replication_ids() {
+                let replica = client.get_replica(hash, key).unwrap();
+                transcript.push(format!("replica {hash:?} {key:?} -> {replica:?}"));
+            }
+        }
+        transcripts.push(transcript);
+        cluster.shutdown();
+        std::fs::remove_dir_all(root).unwrap();
+    }
+    let group = transcripts.pop().unwrap();
+    let per_op = transcripts.pop().unwrap();
+    assert_eq!(per_op.len(), group.len());
+    for (a, b) in per_op.iter().zip(&group) {
+        assert_eq!(a, b, "group commit diverged from the per-op path");
+    }
+}
+
+/// The ISSUE 5 satellite: a gracefully departed peer no longer lingers as a
+/// forwarder until cluster shutdown — after a bounded idle period its thread
+/// is reaped, and the moved range keeps serving through the directory.
+#[test]
+fn departed_forwarder_is_reaped_after_idle_and_range_serves_via_directory() {
+    let mut cluster = Cluster::spawn_with(
+        ClusterConfig::new(6, 4, 34)
+            .with_forwarder_reap_idle(std::time::Duration::from_millis(100)),
+    );
+    let keys: Vec<Key> = (0..8).map(|i| Key::new(format!("doc-{i}"))).collect();
+    let mut client = cluster.client();
+    for key in &keys {
+        ums::insert(&mut client, key, b"kept".to_vec()).unwrap();
+    }
+
+    let victim = cluster.peer_ids()[2];
+    cluster.leave_peer(victim).unwrap();
+    assert!(
+        !cluster.peer_thread_finished(victim),
+        "right after the leave the peer lingers as a forwarder"
+    );
+
+    // Bounded idle: the forwarder thread must exit on its own.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !cluster.peer_thread_finished(victim) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "forwarder was never reaped"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    // The reaped peer's range still serves via the directory: every key is
+    // certified current and the direct hand-off left nothing to
+    // re-initialize.
+    let mut fresh = cluster.client();
+    for key in &keys {
+        let got = ums::retrieve(&mut fresh, key).unwrap();
+        assert!(got.is_current, "{key:?} after the reap");
+        assert_eq!(got.data.unwrap(), b"kept");
+    }
+    assert_eq!(fresh.indirect_initializations(), 0);
+
+    // Lifecycle still behaves: the reaped peer restarts (its thread is
+    // already gone; the restart respawns it) and the cluster shuts down.
+    cluster.restart_peer(victim).unwrap();
+    assert_eq!(cluster.live_peers(), 6);
+    cluster.shutdown();
+}
+
+/// A stale forwarding rule whose target mailbox died must re-resolve through
+/// the directory, not fall back to serving locally: here the departed peer's
+/// forward target is hard-restarted (new mailbox), so the lingering
+/// forwarder holds a rule to a dead channel. An in-flight request injected
+/// at the forwarder must still reach the data — before the fix it was served
+/// from the forwarder's own (pruned) store and returned nothing.
+#[test]
+fn retired_forward_rule_reroutes_through_directory_not_locally() {
+    use crate::{Reply, Request};
+
+    let root = fresh_storage_root("retired-rule-reroute");
+    let config = ClusterConfig::new(6, 4, 35)
+        .with_storage(ClusterStorage::new(&root))
+        .with_forwarder_reap_idle(std::time::Duration::from_secs(30));
+    let mut cluster = Cluster::spawn_with(config);
+    let keys: Vec<Key> = (0..8).map(|i| Key::new(format!("doc-{i}"))).collect();
+    let mut client = cluster.client();
+    for key in &keys {
+        ums::insert(&mut client, key, b"v1".to_vec()).unwrap();
+    }
+
+    // A key/hash pair with a confirmed stored replica, to probe later.
+    let probe_key = &keys[0];
+    let probe_hash = client.replication_ids().next().unwrap();
+    assert!(client.get_replica(probe_hash, probe_key).unwrap().is_some());
+
+    let victim = cluster.peer_ids()[1];
+    let leave = cluster.leave_peer(victim).unwrap();
+    // Hard-restart the peer that absorbed the range: its mailbox is
+    // replaced, so the forwarder's everything-rule now points at a dead
+    // channel.
+    cluster.restart_peer(leave.target).unwrap();
+
+    // Inject requests at the lingering forwarder, as if they had been
+    // routed there under the pre-leave directory view. The first send
+    // retires the dead rule; the second must *still* re-resolve through the
+    // directory — retirement must not leave the forwarder serving stale
+    // requests from its own pruned store.
+    let forwarder = cluster.peer_sender(victim).expect("forwarder mailbox");
+    for attempt in 0..2 {
+        let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
+        forwarder
+            .send(Request::GetReplica {
+                hash: probe_hash,
+                key: probe_key.clone(),
+                reply: reply_tx,
+            })
+            .expect("the forwarder is still alive inside the grace period");
+        match reply_rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("the re-routed request must be answered")
+        {
+            Reply::Replica(stored) => {
+                let (payload, _) = stored.unwrap_or_else(|| {
+                    panic!(
+                        "attempt {attempt}: the directory re-route must reach the live \
+                         holder of the replica, not the forwarder's pruned local store"
+                    )
+                });
+                assert_eq!(payload, b"v1");
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+    cluster.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
 /// A peer id not yet present in the cluster, derived from a fixed seed.
 fn unused_peer_id(cluster: &Cluster, seed: u64) -> PeerId {
     let mut candidate = seed;

@@ -32,7 +32,14 @@
 //!   record is tolerated and truncated away.
 //! * **WAL** ([`wal`]): `wal-<generation:016x>.log`, a sequence of framed
 //!   [`StorageOp`] records in apply order. [`FsyncPolicy`] controls when
-//!   appends reach stable storage (`Always` / `EveryN(n)` / `Never`).
+//!   appends reach stable storage (`Always` / `EveryN(n)` /
+//!   `GroupCommit { max_batch, max_delay }` / `Never`). Group commit is the
+//!   production-fast durable path: many concurrently pending ops are framed
+//!   and written together ([`WalWriter::append_batch`],
+//!   [`StorageEngine::apply_batch`]) and made durable by a **single**
+//!   covering `sync_data` at the batch boundary — each op is acknowledged
+//!   only after the sync that covers it, so the durability guarantee is
+//!   `Always`-grade at a fraction of the fsync count.
 //! * **Snapshots** ([`snapshot`]): `snapshot-<generation:016x>.snap`, a
 //!   framed header (magic `RDHTSNAP`, version, generation), one op per
 //!   replica/counter, and a footer with the op count; rejected as a whole
