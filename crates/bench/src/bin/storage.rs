@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 use rdht_bench::workload::bench_keys;
 use rdht_core::{ums, InMemoryDht, Timestamp};
 use rdht_hashing::{HashId, Key};
-use rdht_net::{Cluster, ClusterConfig, ClusterStorage};
+use rdht_net::{Cluster, ClusterConfig, ClusterStorage, TransportKind};
 use rdht_storage::{FsyncPolicy, StorageEngine, StorageOp, StorageOptions};
 
 /// One measured benchmark: mean wall-clock nanoseconds per operation.
@@ -167,12 +167,14 @@ fn bench_cluster_insert(
     policy: FsyncPolicy,
     writers: usize,
     inserts_per_writer: usize,
+    transport: TransportKind,
 ) -> BenchLine {
     let dir = temp_dir(&format!("cluster-{label}-w{writers}"));
     let mut options = StorageOptions::with_fsync(policy);
     options.snapshot_every = 0;
     let config = ClusterConfig::new(1, 8, 0xc0ffee)
-        .with_storage(ClusterStorage::with_options(&dir, options));
+        .with_storage(ClusterStorage::with_options(&dir, options))
+        .with_transport(transport);
     let cluster = Arc::new(Cluster::spawn_with(config));
     {
         // Warm-up outside the clock (thread spin-up, first-touch paths).
@@ -306,6 +308,7 @@ fn main() {
             FsyncPolicy::Always,
             writers,
             cluster_inserts,
+            TransportKind::Channel,
         ));
         // Clients here are closed-loop (each writer has one request in
         // flight), so every op that can join a batch is already queued when
@@ -317,6 +320,26 @@ fn main() {
             FsyncPolicy::group_commit(64, Duration::ZERO),
             writers,
             cluster_inserts,
+            TransportKind::Channel,
+        ));
+    }
+    // The same end-to-end path over the TCP transport: every insert's
+    // messages cross the wire codec and loopback sockets, so the rows
+    // quantify the framing + socket tax relative to the channel rows.
+    for writers in [1usize, 8, 16] {
+        lines.push(bench_cluster_insert(
+            "tcp_always",
+            FsyncPolicy::Always,
+            writers,
+            cluster_inserts,
+            TransportKind::Tcp,
+        ));
+        lines.push(bench_cluster_insert(
+            "tcp_group_commit",
+            FsyncPolicy::group_commit(64, Duration::ZERO),
+            writers,
+            cluster_inserts,
+            TransportKind::Tcp,
         ));
     }
     let recovery_sizes: &[u64] = if quick {

@@ -44,6 +44,25 @@ pub trait UmsAccess {
     /// `Ok(None)` means the responsible peer holds no replica for the key.
     fn get_replica(&mut self, hash: HashId, key: &Key) -> Result<Option<ReplicaValue>, UmsError>;
 
+    /// Stores the stamped replica at `rsp(k, h)` for **every** replication
+    /// hash function `h ∈ Hr` — the whole fan-out half of one insert as a
+    /// single operation. The default loops [`UmsAccess::put_replica`];
+    /// implementations that talk to remote peers override it to group the
+    /// puts by responsible peer and ship one batched message per peer
+    /// instead of one per hash. Per-put failures are absorbed into the
+    /// outcome's `failed` count rather than aborting the fan-out — an
+    /// insert succeeds as long as *some* replica was written.
+    fn put_replicas(&mut self, key: &Key, value: &ReplicaValue) -> PutReplicasOutcome {
+        let mut outcome = PutReplicasOutcome::default();
+        for hash in self.replication_ids() {
+            match self.put_replica(hash, key, value) {
+                Ok(()) => outcome.written += 1,
+                Err(_) => outcome.failed += 1,
+            }
+        }
+        outcome
+    }
+
     /// Number of replication hash functions, `|Hr|`.
     fn replication_count(&self) -> usize;
 
@@ -53,6 +72,16 @@ pub trait UmsAccess {
     fn replication_ids(&self) -> ReplicationIds {
         ReplicationIds::new(self.replication_count())
     }
+}
+
+/// Outcome of a batched replica fan-out ([`UmsAccess::put_replicas`]): how
+/// many of the `|Hr|` puts were applied and how many were lost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PutReplicasOutcome {
+    /// Puts applied by a responsible peer.
+    pub written: usize,
+    /// Puts that reached no responsible peer.
+    pub failed: usize,
 }
 
 /// Allocation-free iterator over the ids of the replication hash functions

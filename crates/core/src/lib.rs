@@ -66,7 +66,7 @@ mod memory;
 mod types;
 pub mod ums;
 
-pub use access::{ReplicationIds, UmsAccess};
+pub use access::{PutReplicasOutcome, ReplicationIds, UmsAccess};
 pub use config::{LastTsInitPolicy, UmsConfig};
 pub use durability::{DurableState, NoDurability};
 pub use error::UmsError;

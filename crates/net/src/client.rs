@@ -1,25 +1,32 @@
 //! The client handle: implements [`UmsAccess`] over real message exchange.
 
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::bounded;
+use parking_lot::RwLock;
 
-use rdht_core::{ReplicaValue, Timestamp, UmsAccess, UmsError};
-use rdht_hashing::{HashId, Key};
+use rdht_core::{PutReplicasOutcome, ReplicaValue, Timestamp, UmsAccess, UmsError};
+use rdht_hashing::{HashFamily, HashId, Key};
 
-use crate::cluster::Directory;
+use crate::cluster::{Directory, PeerId, DEFAULT_FORWARDER_REAP_IDLE};
 use crate::message::{Reply, Request};
+use crate::tcp::TcpTransport;
+use crate::transport::{CallError, PeerEndpoint, PendingReply, Transport};
 
 /// How long a client waits for a peer's reply before treating it as failed.
 const REPLY_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// A client of a [`crate::Cluster`]: resolves responsibilities from the
-/// shared directory and exchanges request/reply messages with peer threads.
+/// shared directory and exchanges request/reply messages with peers through
+/// their [`PeerEndpoint`]s — the same code path whether the peers are
+/// threads in this process (channel transport) or processes across TCP
+/// ([`ClusterClient::connect_tcp`]).
 ///
 /// `ClusterClient` implements [`UmsAccess`], so the *same* `rdht_core::ums`
 /// insert/retrieve code that runs in the simulator runs here — against real
-/// threads and real races.
+/// threads (or sockets) and real races.
 pub struct ClusterClient {
     directory: Arc<Directory>,
     /// Messages sent by this client (request + reply counted separately),
@@ -31,6 +38,22 @@ pub struct ClusterClient {
     indirect_initializations: u64,
 }
 
+/// Maps a transport-level call failure onto the client's [`UmsError`].
+fn call_failed(error: CallError) -> UmsError {
+    match error {
+        CallError::Timeout => UmsError::lookup("responsible peer did not reply in time"),
+        CallError::Dropped => {
+            UmsError::lookup("responsible peer dropped the request (crashed mid-request)")
+        }
+        CallError::Rejected(reason) => {
+            UmsError::lookup(format!("the request was rejected: {reason}"))
+        }
+        CallError::Transport(error) => {
+            UmsError::lookup(format!("responsible peer is unreachable: {error}"))
+        }
+    }
+}
+
 impl ClusterClient {
     pub(crate) fn new(directory: Arc<Directory>) -> Self {
         ClusterClient {
@@ -38,6 +61,35 @@ impl ClusterClient {
             messages: 0,
             indirect_initializations: 0,
         }
+    }
+
+    /// Connects to a multi-process TCP deployment: `peers` is the static
+    /// address book every [`crate::serve_tcp_peer`] process was configured
+    /// with, and `num_replicas` / `seed` must match the peers' configuration
+    /// too (they determine the hash family, and therefore routing).
+    pub fn connect_tcp(
+        peers: impl IntoIterator<Item = (PeerId, SocketAddr)>,
+        num_replicas: usize,
+        seed: u64,
+    ) -> ClusterClient {
+        let peers: Vec<(PeerId, SocketAddr)> = peers.into_iter().collect();
+        let transport: Arc<dyn Transport> =
+            Arc::new(TcpTransport::with_peers(peers.iter().copied()));
+        let mut ring: BTreeMap<PeerId, (PeerEndpoint, bool)> = BTreeMap::new();
+        for (peer, _) in &peers {
+            let endpoint = transport
+                .endpoint(*peer)
+                .expect("every address-book entry resolves to an endpoint");
+            ring.insert(*peer, (endpoint, true));
+        }
+        let directory = Arc::new(Directory {
+            family: HashFamily::new(num_replicas, seed),
+            transport,
+            peers: RwLock::new(ring),
+            message_delay: Duration::ZERO,
+            forwarder_reap_idle: DEFAULT_FORWARDER_REAP_IDLE,
+        });
+        ClusterClient::new(directory)
     }
 
     /// Number of messages this client has exchanged so far.
@@ -53,23 +105,16 @@ impl ClusterClient {
         self.indirect_initializations
     }
 
-    fn request(
-        &mut self,
-        position: u64,
-        build: impl FnOnce(crossbeam::channel::Sender<Reply>) -> Request,
-    ) -> Result<Reply, UmsError> {
-        let (_peer, mailbox) = self
+    fn request(&mut self, position: u64, request: Request) -> Result<Reply, UmsError> {
+        let (_peer, endpoint) = self
             .directory
             .responsible_for(position)
             .ok_or(UmsError::EmptyOverlay)?;
-        let (reply_tx, reply_rx) = bounded(1);
-        mailbox
-            .send(build(reply_tx))
-            .map_err(|_| UmsError::lookup("responsible peer's mailbox is closed"))?;
+        let pending = endpoint
+            .send(request)
+            .map_err(|error| call_failed(CallError::Transport(error)))?;
         self.messages += 1;
-        let reply = reply_rx
-            .recv_timeout(REPLY_TIMEOUT)
-            .map_err(|_| UmsError::lookup("responsible peer did not reply in time"))?;
+        let reply = pending.wait(REPLY_TIMEOUT).map_err(call_failed)?;
         self.messages += 1;
         Ok(reply)
     }
@@ -91,12 +136,14 @@ impl ClusterClient {
 
     fn timestamp_request(&mut self, key: &Key, generate: bool) -> Result<Timestamp, UmsError> {
         let position = self.directory.family.eval_timestamp(key);
-        let first = self.request(position, |reply| Request::Timestamp {
-            key: key.clone(),
-            generate,
-            observation_hint: None,
-            reply,
-        })?;
+        let first = self.request(
+            position,
+            Request::Timestamp {
+                key: key.clone(),
+                generate,
+                observation_hint: None,
+            },
+        )?;
         match first {
             Reply::Timestamp(ts) => Ok(ts),
             Reply::NeedsInitialization => {
@@ -104,12 +151,14 @@ impl ClusterClient {
                 // crash): run the indirect initialization and retry.
                 self.indirect_initializations += 1;
                 let observed = self.gather_observation(key)?;
-                let second = self.request(position, |reply| Request::Timestamp {
-                    key: key.clone(),
-                    generate,
-                    observation_hint: Some(observed),
-                    reply,
-                })?;
+                let second = self.request(
+                    position,
+                    Request::Timestamp {
+                        key: key.clone(),
+                        generate,
+                        observation_hint: Some(observed),
+                    },
+                )?;
                 match second {
                     Reply::Timestamp(ts) => Ok(ts),
                     other => Err(UmsError::kts(format!(
@@ -140,13 +189,15 @@ impl UmsAccess for ClusterClient {
         value: &ReplicaValue,
     ) -> Result<(), UmsError> {
         let position = self.directory.family.eval(hash, key);
-        let reply = self.request(position, |reply| Request::PutReplica {
-            hash,
-            key: key.clone(),
-            payload: value.data.clone(),
-            timestamp: value.timestamp,
-            reply,
-        })?;
+        let reply = self.request(
+            position,
+            Request::PutReplica {
+                hash,
+                key: key.clone(),
+                payload: value.data.clone(),
+                timestamp: value.timestamp,
+            },
+        )?;
         match reply {
             Reply::PutAck => Ok(()),
             other => Err(UmsError::lookup(format!(
@@ -155,13 +206,68 @@ impl UmsAccess for ClusterClient {
         }
     }
 
+    /// The batched fan-out: the `|Hr|` puts of one insert are grouped by
+    /// responsible peer and shipped as one [`Request::PutReplicas`] per
+    /// peer — over TCP that is one round trip per peer instead of one per
+    /// hash. The groups are sent before any reply is awaited, so the peers
+    /// work in parallel; each answers one [`Reply::PutsAck`] once its last
+    /// constituent put (including any it had to forward under churn)
+    /// completed.
+    fn put_replicas(&mut self, key: &Key, value: &ReplicaValue) -> PutReplicasOutcome {
+        let mut outcome = PutReplicasOutcome::default();
+        let mut groups: BTreeMap<PeerId, (PeerEndpoint, Vec<HashId>)> = BTreeMap::new();
+        for hash in self.replication_ids() {
+            let position = self.directory.family.eval(hash, key);
+            match self.directory.responsible_for(position) {
+                Some((peer, endpoint)) => {
+                    groups
+                        .entry(peer)
+                        .or_insert_with(|| (endpoint, Vec::new()))
+                        .1
+                        .push(hash);
+                }
+                None => outcome.failed += 1,
+            }
+        }
+        let mut waits: Vec<(usize, PendingReply)> = Vec::new();
+        for (_, (endpoint, hashes)) in groups {
+            let count = hashes.len();
+            let request = Request::PutReplicas {
+                hashes,
+                key: key.clone(),
+                payload: value.data.clone(),
+                timestamp: value.timestamp,
+            };
+            match endpoint.send(request) {
+                Ok(pending) => {
+                    self.messages += 1;
+                    waits.push((count, pending));
+                }
+                Err(_) => outcome.failed += count,
+            }
+        }
+        for (count, pending) in waits {
+            match pending.wait(REPLY_TIMEOUT) {
+                Ok(Reply::PutsAck { written, failed }) => {
+                    self.messages += 1;
+                    outcome.written += written as usize;
+                    outcome.failed += failed as usize;
+                }
+                Ok(_) | Err(_) => outcome.failed += count,
+            }
+        }
+        outcome
+    }
+
     fn get_replica(&mut self, hash: HashId, key: &Key) -> Result<Option<ReplicaValue>, UmsError> {
         let position = self.directory.family.eval(hash, key);
-        let reply = self.request(position, |reply| Request::GetReplica {
-            hash,
-            key: key.clone(),
-            reply,
-        })?;
+        let reply = self.request(
+            position,
+            Request::GetReplica {
+                hash,
+                key: key.clone(),
+            },
+        )?;
         match reply {
             Reply::Replica(stored) => {
                 Ok(stored.map(|(payload, timestamp)| ReplicaValue::new(payload, timestamp)))

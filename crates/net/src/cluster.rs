@@ -1,14 +1,24 @@
 //! The cluster: peer threads, the shared membership directory and lifecycle
 //! management — including real crash/restart recovery when peers are backed
 //! by `rdht-storage` directories.
+//!
+//! Since the transport redesign the peer loop, the forwarding rules and the
+//! hand-off protocol are **transport-generic**: peers receive [`Incoming`]
+//! work items from a [`Mailbox`] and answer through [`ReplySink`]s, and
+//! everyone addresses everyone else through [`PeerEndpoint`] handles. The
+//! backend is selected by [`ClusterConfig::with_transport`] — the in-process
+//! [`ChannelTransport`] (deterministic, fast, the default) or the
+//! length-framed [`TcpTransport`] over loopback sockets. Multi-process
+//! deployments run one [`serve_tcp_peer`] per process and connect with
+//! [`crate::ClusterClient::connect_tcp`].
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,10 +35,15 @@ use rdht_storage::{StorageEngine, StorageOptions};
 
 use crate::client::ClusterClient;
 use crate::message::{HandoffFault, HandoffKind, Reply, Request};
+use crate::tcp::TcpTransport;
+use crate::transport::{
+    CallError, ChannelTransport, Incoming, Mailbox, PeerEndpoint, ReplySink, Transport,
+    TransportError,
+};
 
 /// How long the peer driving a hand-off waits for the target to journal the
 /// shipped bundle before aborting the transfer. This is the only deadline in
-/// the protocol: the coordinator itself waits on channel disconnect rather
+/// the protocol: the coordinator itself waits on reply-path teardown rather
 /// than a clock, so a slow-but-alive source can never race a coordinator
 /// timeout into inconsistent directory state.
 const INSTALL_ACK_TIMEOUT: Duration = Duration::from_secs(30);
@@ -36,9 +51,9 @@ const INSTALL_ACK_TIMEOUT: Duration = Duration::from_secs(30);
 /// Default bounded-idle grace period after which a gracefully departed
 /// peer's forwarder thread is reaped ([`ClusterConfig::forwarder_reap_idle`]).
 /// Requests routed under the pre-departure directory view arrive within
-/// channel latency, so anything still idle after this has nothing left to
+/// transport latency, so anything still idle after this has nothing left to
 /// forward; the directory serves the range from the successor either way.
-const DEFAULT_FORWARDER_REAP_IDLE: Duration = Duration::from_secs(30);
+pub(crate) const DEFAULT_FORWARDER_REAP_IDLE: Duration = Duration::from_secs(30);
 
 /// Identifier of a peer on the cluster ring (the same 64-bit space keys are
 /// hashed into).
@@ -78,6 +93,20 @@ impl ClusterStorage {
     }
 }
 
+/// Which transport backend a cluster runs over
+/// ([`ClusterConfig::with_transport`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransportKind {
+    /// The in-process mailbox mesh ([`ChannelTransport`]): no
+    /// serialization, no sockets — deterministic and fast. The default.
+    #[default]
+    Channel,
+    /// Length-framed TCP over loopback sockets ([`TcpTransport`]): every
+    /// request crosses the wire codec and a real socket, so latency and
+    /// framing costs are measured, not modelled.
+    Tcp,
+}
+
 /// Tunables of a cluster deployment.
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
@@ -104,17 +133,20 @@ pub struct ClusterConfig {
     /// paying N.
     pub storage: Option<ClusterStorage>,
     /// How long a gracefully departed peer lingers as a forwarder after its
-    /// last message before its thread (and channel) is reaped. Requests
-    /// reaching the peer after the reap are re-routed through the shared
-    /// directory by whoever holds a stale forwarding rule, so the range
-    /// keeps serving; the reap just returns the thread early on long-lived
-    /// clusters.
+    /// last message before its thread (and transport binding) is reaped.
+    /// Requests reaching the peer after the reap are re-routed through the
+    /// shared directory by whoever holds a stale forwarding rule, so the
+    /// range keeps serving; the reap just returns the thread early on
+    /// long-lived clusters.
     pub forwarder_reap_idle: Duration,
+    /// The transport backend peers and clients communicate over.
+    pub transport: TransportKind,
 }
 
 impl ClusterConfig {
     /// A configuration with `num_peers` peers, `num_replicas` replication
-    /// functions, no artificial delay and no durability.
+    /// functions, no artificial delay, no durability, and the in-process
+    /// channel transport.
     pub fn new(num_peers: usize, num_replicas: usize, seed: u64) -> Self {
         ClusterConfig {
             num_peers,
@@ -123,6 +155,7 @@ impl ClusterConfig {
             message_delay: Duration::ZERO,
             storage: None,
             forwarder_reap_idle: DEFAULT_FORWARDER_REAP_IDLE,
+            transport: TransportKind::Channel,
         }
     }
 
@@ -137,14 +170,24 @@ impl ClusterConfig {
         self.forwarder_reap_idle = idle;
         self
     }
+
+    /// Returns a copy running over the given transport backend.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
 }
 
 /// Shared, read-mostly view of cluster membership: which peers exist, which
-/// are alive, and how to reach them.
+/// are alive, and how to reach them — plus the transport everything travels
+/// over.
 pub(crate) struct Directory {
     pub(crate) family: HashFamily,
-    /// Peer ring: id -> (mailbox, alive flag).
-    pub(crate) peers: RwLock<BTreeMap<PeerId, (Sender<Request>, bool)>>,
+    /// The transport the cluster runs over; peers resolve hand-off targets
+    /// through it (a joiner is bound before it is a directory member).
+    pub(crate) transport: Arc<dyn Transport>,
+    /// Peer ring: id -> (endpoint, alive flag).
+    pub(crate) peers: RwLock<BTreeMap<PeerId, (PeerEndpoint, bool)>>,
     pub(crate) message_delay: Duration,
     pub(crate) forwarder_reap_idle: Duration,
 }
@@ -152,26 +195,27 @@ pub(crate) struct Directory {
 impl Directory {
     /// The peer currently responsible for a position: the first *alive* peer
     /// clockwise from it (successor-on-the-ring responsibility).
-    pub(crate) fn responsible_for(&self, position: u64) -> Option<(PeerId, Sender<Request>)> {
+    pub(crate) fn responsible_for(&self, position: u64) -> Option<(PeerId, PeerEndpoint)> {
         let peers = self.peers.read();
         peers
             .range(PeerId(position)..)
             .chain(peers.iter())
             .find(|(_, (_, alive))| *alive)
-            .map(|(id, (sender, _))| (*id, sender.clone()))
+            .map(|(id, (endpoint, _))| (*id, endpoint.clone()))
     }
 
-    /// Marks a peer as dead (its mailbox stays but is never selected again).
+    /// Marks a peer as dead (its endpoint stays but is never selected
+    /// again).
     pub(crate) fn mark_dead(&self, peer: PeerId) {
         if let Some(entry) = self.peers.write().get_mut(&peer) {
             entry.1 = false;
         }
     }
 
-    /// Re-registers a restarted peer under a fresh mailbox and marks it
+    /// Re-registers a (re)started peer under a fresh endpoint and marks it
     /// alive again.
-    pub(crate) fn revive(&self, peer: PeerId, sender: Sender<Request>) {
-        self.peers.write().insert(peer, (sender, true));
+    pub(crate) fn revive(&self, peer: PeerId, endpoint: PeerEndpoint) {
+        self.peers.write().insert(peer, (endpoint, true));
     }
 
     /// Number of live peers.
@@ -260,7 +304,8 @@ pub struct Cluster {
 
 impl Cluster {
     /// Spawns a cluster with `num_peers` peers and `num_replicas` replication
-    /// hash functions, with no artificial message delay and no durability.
+    /// hash functions, with no artificial message delay, no durability, and
+    /// the in-process channel transport.
     pub fn spawn(num_peers: usize, num_replicas: usize, seed: u64) -> Self {
         Cluster::spawn_with(ClusterConfig::new(num_peers, num_replicas, seed))
     }
@@ -269,37 +314,46 @@ impl Cluster {
     ///
     /// # Panics
     ///
-    /// Panics when `num_peers` is zero, or when durability is configured and
-    /// a peer's storage directory cannot be opened.
+    /// Panics when `num_peers` is zero, when durability is configured and a
+    /// peer's storage directory cannot be opened, or when the transport
+    /// cannot bind a peer.
     pub fn spawn_with(config: ClusterConfig) -> Self {
         assert!(config.num_peers > 0, "a cluster needs at least one peer");
+        let transport: Arc<dyn Transport> = match config.transport {
+            TransportKind::Channel => Arc::new(ChannelTransport::new()),
+            TransportKind::Tcp => Arc::new(TcpTransport::new()),
+        };
         let family = HashFamily::new(config.num_replicas, config.seed);
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0xc1u64);
-        let mut ring: BTreeMap<PeerId, (Sender<Request>, bool)> = BTreeMap::new();
-        let mut receivers: Vec<(PeerId, Receiver<Request>)> = Vec::new();
+        let mut ring: BTreeMap<PeerId, (PeerEndpoint, bool)> = BTreeMap::new();
+        let mut bound: Vec<(PeerId, Mailbox)> = Vec::new();
         while ring.len() < config.num_peers {
             let id = PeerId(rng.gen());
             if ring.contains_key(&id) {
                 continue;
             }
-            let (sender, receiver) = unbounded();
-            ring.insert(id, (sender, true));
-            receivers.push((id, receiver));
+            let mailbox = transport
+                .bind(id)
+                .unwrap_or_else(|error| panic!("cannot bind peer {:016x}: {error}", id.0));
+            let endpoint = transport
+                .endpoint(id)
+                .expect("a just-bound peer resolves to an endpoint");
+            ring.insert(id, (endpoint, true));
+            bound.push((id, mailbox));
         }
         let directory = Arc::new(Directory {
             family,
+            transport,
             peers: RwLock::new(ring),
             message_delay: config.message_delay,
             forwarder_reap_idle: config.forwarder_reap_idle,
         });
-        let handles = receivers
+        let handles = bound
             .into_iter()
-            .map(|(id, receiver)| {
+            .map(|(id, mailbox)| {
                 let mut engine = open_engine(&config.storage, id);
                 let kts = kts_from_recovery(&mut engine);
-                let directory = Arc::clone(&directory);
-                let handle =
-                    std::thread::spawn(move || peer_main(id, receiver, directory, engine, kts));
+                let handle = spawn_peer_thread(id, mailbox, Arc::clone(&directory), engine, kts);
                 (id, handle)
             })
             .collect();
@@ -341,16 +395,16 @@ impl Cluster {
             .unwrap_or(true)
     }
 
-    /// The raw mailbox sender of a peer — tests use it to inject requests
-    /// that bypass the directory, modelling messages routed under a stale
-    /// membership view (in flight across a hand-off commit).
-    #[cfg(test)]
-    pub(crate) fn peer_sender(&self, peer: PeerId) -> Option<Sender<Request>> {
+    /// The transport endpoint of a peer. Requests sent through it bypass
+    /// the directory — tests use this to model messages routed under a
+    /// stale membership view (in flight across a hand-off commit); normal
+    /// clients go through [`Cluster::client`]. `None` for unknown ids.
+    pub fn peer_endpoint(&self, peer: PeerId) -> Option<PeerEndpoint> {
         self.directory
             .peers
             .read()
             .get(&peer)
-            .map(|(sender, _)| sender.clone())
+            .map(|(endpoint, _)| endpoint.clone())
     }
 
     /// Whether `peer` is currently alive (`false` for dead or unknown ids).
@@ -389,16 +443,16 @@ impl Cluster {
     /// down — a crash that silently "succeeds" against the wrong id is how
     /// failover tests end up testing nothing.
     pub fn crash_peer(&self, peer: PeerId) -> Result<(), MembershipError> {
-        let sender = {
+        let endpoint = {
             let peers = self.directory.peers.read();
             match peers.get(&peer) {
                 None => return Err(MembershipError::UnknownPeer(peer.0)),
                 Some((_, false)) => return Err(MembershipError::AlreadyDead(peer.0)),
-                Some((sender, true)) => sender.clone(),
+                Some((endpoint, true)) => endpoint.clone(),
             }
         };
         self.directory.mark_dead(peer);
-        let _ = sender.send(Request::Crash);
+        let _ = endpoint.send_no_reply(Request::Crash);
         Ok(())
     }
 
@@ -426,16 +480,18 @@ impl Cluster {
         // running even when the peer is marked dead — a gracefully departed
         // peer lingers as a forwarder — so send the stop signal directly
         // instead of going through crash_peer's liveness check (which would
-        // skip it and leave handle.join() waiting forever).
-        let sender = self
+        // skip it and leave handle.join() waiting forever). Joining the
+        // handle also guarantees the old transport binding was torn down
+        // (the thread unbinds on exit) before the id is bound again.
+        let endpoint = self
             .directory
             .peers
             .read()
             .get(&peer)
-            .map(|(sender, _)| sender.clone());
+            .map(|(endpoint, _)| endpoint.clone());
         self.directory.mark_dead(peer);
-        if let Some(sender) = sender {
-            let _ = sender.send(Request::Crash);
+        if let Some(endpoint) = endpoint {
+            let _ = endpoint.send_no_reply(Request::Crash);
         }
         if let Some(handle) = self.handles.remove(&peer) {
             let _ = handle.join();
@@ -450,10 +506,18 @@ impl Cluster {
         };
         let kts = kts_from_recovery(&mut engine);
 
-        let (sender, receiver) = unbounded();
-        let directory = Arc::clone(&self.directory);
-        let handle = std::thread::spawn(move || peer_main(peer, receiver, directory, engine, kts));
-        self.directory.revive(peer, sender);
+        let mailbox = self
+            .directory
+            .transport
+            .bind(peer)
+            .unwrap_or_else(|error| panic!("cannot rebind peer {:016x}: {error}", peer.0));
+        let endpoint = self
+            .directory
+            .transport
+            .endpoint(peer)
+            .expect("a just-bound peer resolves to an endpoint");
+        let handle = spawn_peer_thread(peer, mailbox, Arc::clone(&self.directory), engine, kts);
+        self.directory.revive(peer, endpoint);
         self.handles.insert(peer, handle);
         Ok(report)
     }
@@ -495,22 +559,28 @@ impl Cluster {
         }
         let alive = self.directory.alive_ids_sorted();
 
-        // Spawn the joiner's thread first, unregistered: it must be able to
-        // process the InstallState message, but no client may route to it
-        // until the hand-off commits. Reopening an existing directory (a
-        // retry after a crash mid-transfer) recovers what the previous
-        // attempt already journaled.
+        // Bind and spawn the joiner first, unregistered: it must be able to
+        // process the InstallState message (the hand-off source resolves it
+        // through the *transport*), but no client may route to it until the
+        // hand-off commits and registers it in the directory. Reopening an
+        // existing storage directory (a retry after a crash mid-transfer)
+        // recovers what the previous attempt already journaled.
         let mut engine = open_engine(&self.config.storage, new_id);
         let replicas_recovered = engine.replicas().len();
         let kts = kts_from_recovery(&mut engine);
-        let (sender, receiver) = unbounded();
-        let directory = Arc::clone(&self.directory);
-        let handle =
-            std::thread::spawn(move || peer_main(new_id, receiver, directory, engine, kts));
+        let mailbox = self.directory.transport.bind(new_id).map_err(|error| {
+            MembershipError::TransferFailed(format!("cannot bind joiner: {error}"))
+        })?;
+        let joiner = self
+            .directory
+            .transport
+            .endpoint(new_id)
+            .expect("a just-bound peer resolves to an endpoint");
+        let handle = spawn_peer_thread(new_id, mailbox, Arc::clone(&self.directory), engine, kts);
 
         if alive.is_empty() {
             // Bootstrapping an empty ring: nothing to split.
-            self.directory.revive(new_id, sender);
+            self.directory.revive(new_id, joiner);
             self.handles.insert(new_id, handle);
             return Ok(JoinReport {
                 peer: new_id,
@@ -525,39 +595,35 @@ impl Cluster {
         let plan = match plan_join(&alive, new_id.0) {
             Ok(plan) => plan,
             Err(error) => {
-                let _ = sender.send(Request::Crash);
+                let _ = joiner.send_no_reply(Request::Crash);
                 let _ = handle.join();
                 return Err(error);
             }
         };
         let source = PeerId(plan.source);
-        let source_sender = self
+        let source_endpoint = self
             .directory
             .peers
             .read()
             .get(&source)
-            .map(|(sender, _)| sender.clone())
+            .map(|(endpoint, _)| endpoint.clone())
             .expect("the planned source is a live directory member");
 
-        let (reply_tx, reply_rx) = bounded(1);
-        let sent = source_sender.send(Request::HandoffRange {
+        // Wait on reply-path teardown, not a clock: a slow-but-alive source
+        // must never race a coordinator deadline (it could commit —
+        // registering the joiner — after the coordinator already tore the
+        // joiner down). If the source fail-stops, every transport tears the
+        // reply path down and this wait errors promptly; if it is alive,
+        // its own bounded install-ack wait guarantees it eventually replies.
+        let outcome: Result<Reply, CallError> = match source_endpoint.send(Request::HandoffRange {
             start: plan.range_start,
             end: plan.range_end,
             target_id: new_id,
-            target: sender.clone(),
             kind: HandoffKind::Join,
             fault,
-            reply: reply_tx,
-        });
-        // Wait on disconnect, not a clock: a slow-but-alive source must
-        // never race a coordinator deadline (it could commit — registering
-        // the joiner — after the coordinator already tore the joiner down).
-        // If the source fail-stops, its mailbox (and the queued reply
-        // sender) is dropped and this recv errors promptly; if it is alive,
-        // its own bounded install-ack wait guarantees it eventually replies.
-        let outcome = match sent {
-            Ok(()) => reply_rx.recv().map_err(|_| ()),
-            Err(_) => Err(()),
+        }) {
+            Ok(pending) => pending.wait_unbounded(),
+            Err(error) => Err(CallError::Transport(error)),
         };
         match outcome {
             Ok(Reply::HandoffComplete {
@@ -581,12 +647,12 @@ impl Cluster {
                 // joiner already journaled survives in its directory; a
                 // retried join_peer for the same id recovers it and
                 // completes the transfer.
-                let _ = sender.send(Request::Crash);
+                let _ = joiner.send_no_reply(Request::Crash);
                 let _ = handle.join();
                 let reason = match other {
                     Ok(Reply::HandoffFailed { reason }) => reason,
                     Ok(reply) => format!("unexpected hand-off reply: {reply:?}"),
-                    Err(()) => "the source peer crashed mid-transfer".to_string(),
+                    Err(_) => "the source peer crashed mid-transfer".to_string(),
                 };
                 Err(MembershipError::TransferFailed(reason))
             }
@@ -623,40 +689,29 @@ impl Cluster {
         leaving: PeerId,
         fault: Option<HandoffFault>,
     ) -> Result<LeaveReport, MembershipError> {
-        let leaving_sender = {
+        let leaving_endpoint = {
             let peers = self.directory.peers.read();
             match peers.get(&leaving) {
                 None => return Err(MembershipError::UnknownPeer(leaving.0)),
                 Some((_, false)) => return Err(MembershipError::AlreadyDead(leaving.0)),
-                Some((sender, true)) => sender.clone(),
+                Some((endpoint, true)) => endpoint.clone(),
             }
         };
         let alive = self.directory.alive_ids_sorted();
         let plan = plan_leave(&alive, leaving.0)?;
         let target = PeerId(plan.target);
-        let target_sender = self
-            .directory
-            .peers
-            .read()
-            .get(&target)
-            .map(|(sender, _)| sender.clone())
-            .expect("the planned target is a live directory member");
 
-        let (reply_tx, reply_rx) = bounded(1);
-        let sent = leaving_sender.send(Request::HandoffRange {
+        // Disconnect-aware wait, same reasoning as join_peer: no clock can
+        // race the departing peer into an inconsistent directory.
+        let outcome: Result<Reply, CallError> = match leaving_endpoint.send(Request::HandoffRange {
             start: plan.range_start,
             end: plan.range_end,
             target_id: target,
-            target: target_sender,
             kind: HandoffKind::Leave,
             fault,
-            reply: reply_tx,
-        });
-        // Disconnect-aware wait, same reasoning as join_peer: no clock can
-        // race the departing peer into an inconsistent directory.
-        let outcome = match sent {
-            Ok(()) => reply_rx.recv().map_err(|_| ()),
-            Err(_) => Err(()),
+        }) {
+            Ok(pending) => pending.wait_unbounded(),
+            Err(error) => Err(CallError::Transport(error)),
         };
         match outcome {
             Ok(Reply::HandoffComplete {
@@ -674,7 +729,7 @@ impl Cluster {
                 let reason = match other {
                     Ok(Reply::HandoffFailed { reason }) => reason,
                     Ok(reply) => format!("unexpected hand-off reply: {reply:?}"),
-                    Err(()) => "the departing peer crashed mid-transfer".to_string(),
+                    Err(_) => "the departing peer crashed mid-transfer".to_string(),
                 };
                 Err(MembershipError::TransferFailed(reason))
             }
@@ -686,14 +741,101 @@ impl Cluster {
     pub fn shutdown(self) {
         {
             let peers = self.directory.peers.read();
-            for (sender, _) in peers.values() {
-                let _ = sender.send(Request::Shutdown);
+            for (endpoint, _) in peers.values() {
+                let _ = endpoint.send_no_reply(Request::Shutdown);
             }
         }
         for (_, handle) in self.handles {
             let _ = handle.join();
         }
     }
+}
+
+/// Configuration of one stand-alone peer of a multi-process TCP deployment
+/// ([`serve_tcp_peer`]): the peer's own id, the static address book the
+/// whole deployment agrees on, and the cluster parameters every process
+/// must share.
+#[derive(Clone, Debug)]
+pub struct TcpPeerConfig {
+    /// This peer's ring identifier.
+    pub id: PeerId,
+    /// The full static membership: every peer's id and listen address,
+    /// including this peer's own.
+    pub peers: Vec<(PeerId, SocketAddr)>,
+    /// Number of replication hash functions `|Hr|` (must match every other
+    /// process of the deployment).
+    pub num_replicas: usize,
+    /// Seed of the hash family (must match every other process).
+    pub seed: u64,
+    /// Optional durable storage for this peer.
+    pub storage: Option<ClusterStorage>,
+}
+
+/// Runs one peer of a multi-process TCP deployment in the calling thread:
+/// binds the peer's configured listen address, serves requests (including
+/// forwarding and hand-offs, exactly as in-process peers do) until a
+/// `Shutdown` or `Crash` message arrives, then tears the transport down.
+///
+/// Every process of the deployment must be configured with the same address
+/// book, `num_replicas` and `seed`; clients connect with
+/// [`crate::ClusterClient::connect_tcp`]. Errors when the configured
+/// address cannot be bound (it would otherwise silently listen somewhere no
+/// other process knows about).
+pub fn serve_tcp_peer(config: TcpPeerConfig) -> Result<(), TransportError> {
+    let configured = config
+        .peers
+        .iter()
+        .find(|(peer, _)| *peer == config.id)
+        .map(|(_, addr)| *addr)
+        .ok_or(TransportError::UnknownPeer(config.id.0))?;
+    let tcp = TcpTransport::with_peers(config.peers.iter().copied());
+    let mailbox = tcp.bind(config.id)?;
+    if tcp.addr_of(config.id) != Some(configured) {
+        // bind() fell back to an ephemeral port: the configured one is
+        // busy. In-process that is transparent (the shared book is updated)
+        // but across processes nobody would learn the new address.
+        tcp.unbind(config.id);
+        return Err(TransportError::Io(format!(
+            "configured address {configured} is busy"
+        )));
+    }
+    let transport: Arc<dyn Transport> = Arc::new(tcp);
+    let mut ring: BTreeMap<PeerId, (PeerEndpoint, bool)> = BTreeMap::new();
+    for (peer, _) in &config.peers {
+        let endpoint = transport
+            .endpoint(*peer)
+            .expect("every address-book entry resolves to an endpoint");
+        ring.insert(*peer, (endpoint, true));
+    }
+    let directory = Arc::new(Directory {
+        family: HashFamily::new(config.num_replicas, config.seed),
+        transport,
+        peers: RwLock::new(ring),
+        message_delay: Duration::ZERO,
+        forwarder_reap_idle: DEFAULT_FORWARDER_REAP_IDLE,
+    });
+    let mut engine = open_engine(&config.storage, config.id);
+    let kts = kts_from_recovery(&mut engine);
+    peer_main(config.id, mailbox, Arc::clone(&directory), engine, kts);
+    directory.transport.unbind(config.id);
+    Ok(())
+}
+
+/// Spawns a peer thread that serves `peer_main` and tears its transport
+/// binding down on exit — whichever way the loop ends (crash, shutdown,
+/// forwarder reap), senders observe closure instead of silence.
+fn spawn_peer_thread(
+    id: PeerId,
+    mailbox: Mailbox,
+    directory: Arc<Directory>,
+    engine: StorageEngine,
+    kts: KtsNode,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let transport = Arc::clone(&directory.transport);
+        peer_main(id, mailbox, directory, engine, kts);
+        transport.unbind(id);
+    })
 }
 
 /// Opens the storage engine backing one peer: a real journaled engine when
@@ -749,15 +891,16 @@ fn kts_from_recovery(engine: &mut StorageEngine) -> KtsNode {
 
 /// A forwarding rule a peer installs at the commit point of a hand-off:
 /// requests for positions it is no longer responsible for are re-sent to the
-/// peer that took them over (the request carries the client's reply channel,
-/// so forwarding is transparent). `everything` is set by a graceful leave —
-/// anything still reaching a departed peer was routed before the directory
-/// flip and belongs to its successor.
+/// peer that took them over (the forward relays the original reply sink, so
+/// forwarding is transparent to the requester on any transport).
+/// `everything` is set by a graceful leave — anything still reaching a
+/// departed peer was routed before the directory flip and belongs to its
+/// successor.
 struct Forwarding {
     start: u64,
     end: u64,
     everything: bool,
-    target: Sender<Request>,
+    target: PeerEndpoint,
 }
 
 impl Forwarding {
@@ -777,11 +920,15 @@ fn ranges_intersect(a: (u64, u64), b: (u64, u64)) -> bool {
 
 /// The ring position a data request is routed by, `None` for protocol and
 /// lifecycle messages (which are addressed to a specific peer and never
-/// forwarded).
+/// forwarded). A `PutReplicas` has no single position: it is exploded into
+/// per-hash puts *before* routing, and each constituent put forwards
+/// individually. A hash id outside the configured family (possible over
+/// TCP, where any well-formed frame can arrive) also yields `None` — the
+/// request is served locally instead of panicking the peer.
 fn data_position(request: &Request, family: &HashFamily) -> Option<u64> {
     match request {
         Request::PutReplica { hash, key, .. } | Request::GetReplica { hash, key, .. } => {
-            Some(family.eval(*hash, key))
+            family.function(*hash).map(|function| function.eval(key))
         }
         Request::Timestamp { key, .. } => Some(family.eval_timestamp(key)),
         _ => None,
@@ -804,13 +951,19 @@ struct PeerRuntime {
 fn batchable(request: &Request) -> bool {
     matches!(
         request,
-        Request::PutReplica { .. } | Request::GetReplica { .. } | Request::Timestamp { .. }
+        Request::PutReplica { .. }
+            | Request::PutReplicas { .. }
+            | Request::GetReplica { .. }
+            | Request::Timestamp { .. }
     )
 }
 
-/// The peer thread main loop, in **drain-apply-sync-reply** form.
+/// The peer thread main loop, in **drain-apply-sync-reply** form,
+/// transport-generic: work arrives as [`Incoming`] items (request + reply
+/// sink) and every answer goes through the sink, whether that resolves to
+/// an in-process channel or a framed reply on a TCP connection.
 ///
-/// Each iteration collects a batch: the first request blocks on the mailbox,
+/// Each iteration collects a batch: the first item blocks on the mailbox,
 /// and — when the engine's fsync policy is `GroupCommit` — every further
 /// queued data request is drained (up to `max_batch`, waiting at most
 /// `max_delay` for stragglers). The whole batch is then applied and
@@ -821,13 +974,18 @@ fn batchable(request: &Request) -> bool {
 /// as the classic one-request-at-a-time server (appends sync themselves per
 /// policy, the boundary sync is skipped).
 ///
+/// A batched [`Request::PutReplicas`] is exploded here into its per-hash
+/// constituent puts, each carrying a fan-in sink: the puts route (and
+/// forward, under churn) individually, and the original requester gets one
+/// [`Reply::PutsAck`] once the last of them completed.
+///
 /// Stops on `Shutdown` (with a final journal flush), on `Crash` (without
 /// one), and — once the peer has gracefully departed and only forwards —
 /// after a bounded idle period ([`ClusterConfig::forwarder_reap_idle`]),
-/// returning the thread and its channel to the system.
+/// returning the thread (and its transport binding) to the system.
 fn peer_main(
     id: PeerId,
-    mailbox: Receiver<Request>,
+    mailbox: Mailbox,
     directory: Arc<Directory>,
     engine: StorageEngine,
     kts: KtsNode,
@@ -847,37 +1005,37 @@ fn peer_main(
     // forwarder from here on and is reaped once idle.
     let mut departed = false;
     // Sticky: set once this peer departed or retired a forwarding rule
-    // whose target mailbox died. From then on a data position no rule
-    // covers is re-resolved through the directory before any local
-    // fallback — retiring a rule must not silently turn the *next* stale
-    // request into local service from a store that handed the range away.
+    // whose target died. From then on a data position no rule covers is
+    // re-resolved through the directory before any local fallback —
+    // retiring a rule must not silently turn the *next* stale request into
+    // local service from a store that handed the range away.
     let mut reroute_uncovered = false;
     // A non-batchable request encountered while draining a batch: handled
     // (alone) on the next iteration, preserving arrival order.
-    let mut carry: Option<Request> = None;
-    let mut batch: Vec<Request> = Vec::new();
+    let mut carry: Option<Incoming> = None;
+    let mut batch: Vec<Incoming> = Vec::new();
     // Replies owed for the current batch, sent only after the covering sync
     // — durability is acknowledged per op strictly after the fsync that
     // covers it.
-    let mut deferred: Vec<(Sender<Reply>, Reply)> = Vec::new();
+    let mut deferred: Vec<(ReplySink, Reply)> = Vec::new();
     'peer: loop {
         let first = match carry.take() {
-            Some(request) => request,
+            Some(incoming) => incoming,
             None if departed => match mailbox.recv_timeout(directory.forwarder_reap_idle) {
-                Ok(request) => request,
-                // Idle past the grace period (or every sender is gone):
-                // nothing routed under the old view is still in flight —
-                // reap the forwarder. The directory already resolves the
-                // range to the successor.
-                Err(_) => break 'peer,
+                Some(incoming) => incoming,
+                // Idle past the grace period (or the transport side is
+                // gone): nothing routed under the old view is still in
+                // flight — reap the forwarder. The directory already
+                // resolves the range to the successor.
+                None => break 'peer,
             },
             None => match mailbox.recv() {
-                Ok(request) => request,
-                Err(_) => break 'peer,
+                Some(incoming) => incoming,
+                None => break 'peer,
             },
         };
         report_journal_poison(id, &runtime.engine, &mut poison_reported);
-        match first {
+        match first.request {
             // Lifecycle messages are exempt from the artificial network
             // delay: shutting a cluster down is not a network exchange, and
             // a crash is by definition instantaneous.
@@ -892,7 +1050,7 @@ fn peer_main(
         batch.clear();
         batch.push(first);
         if let Some((max_batch, max_delay)) = batching {
-            if batchable(&batch[0]) {
+            if batchable(&batch[0].request) {
                 // Group-commit drain: this peer is the commit leader for
                 // whatever is queued right now. Followers arriving within
                 // `max_delay` join the batch; a non-batchable request ends
@@ -901,282 +1059,331 @@ fn peer_main(
                 while (batch.len() as u64) < max_batch {
                     let now = Instant::now();
                     let next = if max_delay.is_zero() || now >= deadline {
-                        mailbox.try_recv().map_err(|_| ())
+                        mailbox.try_recv()
                     } else {
-                        mailbox.recv_timeout(deadline - now).map_err(|_| ())
+                        mailbox.recv_timeout(deadline - now)
                     };
                     match next {
-                        Ok(request) if batchable(&request) => batch.push(request),
-                        Ok(request) => {
-                            carry = Some(request);
+                        Some(incoming) if batchable(&incoming.request) => batch.push(incoming),
+                        Some(incoming) => {
+                            carry = Some(incoming);
                             break;
                         }
-                        Err(()) => break, // empty / timed out / disconnected
+                        None => break, // empty / timed out / disconnected
                     }
                 }
             }
         }
-        for request in batch.drain(..) {
+        for incoming in batch.drain(..) {
+            // The artificial delay models the *network*: it is paid once
+            // per message that arrived on the transport, not per
+            // constituent put of an exploded batch.
             if !directory.message_delay.is_zero() {
                 std::thread::sleep(directory.message_delay);
             }
-            // A request for a position this peer handed away is re-sent to
-            // the peer that took it over: it was routed here through a
-            // directory read that predates the hand-off's commit. Newest
-            // rule wins (the same interval can change hands more than
-            // once). A rule whose target's mailbox is gone is retired; the
-            // request is then re-resolved through the *directory* — if the
-            // live responsible is another peer (the takeover peer departed
-            // onward and was reaped, so the range lives at its successor
-            // now) it is re-sent there, and only when this peer is the live
-            // successor again (the takeover peer crashed) is it served
-            // locally, which is exactly the failover the ring prescribes.
-            let request = match data_position(&request, &directory.family) {
-                Some(position) => {
-                    let mut pending = Some(request);
-                    while let Some(index) = runtime
-                        .forwards
-                        .iter()
-                        .rposition(|rule| rule.covers(position))
-                    {
-                        match runtime.forwards[index]
-                            .target
-                            .send(pending.take().expect("present until sent"))
-                        {
-                            Ok(()) => break,
-                            Err(failed) => {
-                                runtime.forwards.remove(index);
-                                reroute_uncovered = true;
-                                pending = Some(failed.0);
-                            }
-                        }
-                    }
-                    if departed || reroute_uncovered {
-                        if let Some(request) = pending.take() {
-                            match directory.responsible_for(position) {
-                                Some((responsible, sender)) if responsible != id => {
-                                    if let Err(failed) = sender.send(request) {
-                                        pending = Some(failed.0);
-                                    }
-                                }
-                                _ => pending = Some(request),
-                            }
-                        }
-                    }
-                    match pending {
-                        Some(request) => request,
-                        None => continue, // forwarded
-                    }
-                }
-                None => request,
-            };
-            match request {
-                Request::PutReplica {
-                    hash,
+            let mut units: VecDeque<Incoming> = VecDeque::new();
+            units.push_back(incoming);
+            while let Some(Incoming { request, reply }) = units.pop_front() {
+                // A batched put fans out locally: one constituent put per
+                // replication hash, each with a fan-in sink that answers
+                // the original requester once all of them completed. The
+                // constituents route individually below — under churn some
+                // may forward to the peer now responsible for them.
+                if let Request::PutReplicas {
+                    hashes,
                     key,
                     payload,
                     timestamp,
-                    reply,
-                } => {
-                    let accepted = match runtime.engine.replicas().get(hash, &key) {
-                        Some(existing) => timestamp > existing.stamp,
-                        None => true,
-                    };
-                    if accepted {
-                        let position = directory.family.eval(hash, &key);
-                        let value = ReplicaValue::new(payload, timestamp);
-                        runtime
-                            .engine
-                            .record_replica_put(hash, &key, &value, position);
+                } = request
+                {
+                    let sinks = ReplySink::fanin(hashes.len(), reply);
+                    for (hash, sink) in hashes.into_iter().zip(sinks) {
+                        units.push_back(Incoming {
+                            request: Request::PutReplica {
+                                hash,
+                                key: key.clone(),
+                                payload: payload.clone(),
+                                timestamp,
+                            },
+                            reply: sink,
+                        });
                     }
-                    deferred.push((reply, Reply::PutAck));
+                    continue;
                 }
-                Request::GetReplica { hash, key, reply } => {
-                    let stored = runtime
-                        .engine
-                        .replicas()
-                        .get(hash, &key)
-                        .map(|replica| (replica.payload.clone(), replica.stamp));
-                    deferred.push((reply, Reply::Replica(stored)));
-                }
-                Request::Timestamp {
-                    key,
-                    generate,
-                    observation_hint,
-                    reply,
-                } => {
-                    let answer = if runtime.kts.has_counter(&key) {
-                        let ts = if generate {
-                            runtime
-                                .kts
-                                .gen_ts_with(
-                                    &key,
-                                    IndirectObservation::nothing,
-                                    &mut runtime.engine,
-                                )
-                                .timestamp
-                        } else {
-                            runtime
-                                .kts
-                                .last_ts_with(
-                                    &key,
-                                    LastTsInitPolicy::ObservedMax,
-                                    IndirectObservation::nothing,
-                                    &mut runtime.engine,
-                                )
-                                .timestamp
-                        };
-                        Reply::Timestamp(ts)
-                    } else {
-                        match observation_hint {
-                            None => Reply::NeedsInitialization,
-                            Some(observed) => {
-                                let observation = if observed.is_zero() {
-                                    IndirectObservation::nothing()
-                                } else {
-                                    IndirectObservation::observed(observed)
-                                };
-                                let ts = if generate {
-                                    runtime
-                                        .kts
-                                        .gen_ts_with(&key, || observation, &mut runtime.engine)
-                                        .timestamp
-                                } else {
-                                    runtime
-                                        .kts
-                                        .last_ts_with(
-                                            &key,
-                                            LastTsInitPolicy::ObservedMax,
-                                            || observation,
-                                            &mut runtime.engine,
-                                        )
-                                        .timestamp
-                                };
-                                Reply::Timestamp(ts)
+                // A request for a position this peer handed away is re-sent
+                // to the peer that took it over: it was routed here through
+                // a directory read that predates the hand-off's commit.
+                // Newest rule wins (the same interval can change hands more
+                // than once). A rule whose target is unreachable is
+                // retired; the request is then re-resolved through the
+                // *directory* — if the live responsible is another peer
+                // (the takeover peer departed onward and was reaped, so the
+                // range lives at its successor now) it is re-sent there,
+                // and only when this peer is the live successor again (the
+                // takeover peer crashed) is it served locally, which is
+                // exactly the failover the ring prescribes.
+                let (request, reply) = match data_position(&request, &directory.family) {
+                    Some(position) => {
+                        let mut pending = Some((request, reply));
+                        while let Some(index) = runtime
+                            .forwards
+                            .iter()
+                            .rposition(|rule| rule.covers(position))
+                        {
+                            let (request, sink) = pending.take().expect("present until sent");
+                            match runtime.forwards[index].target.send_with_sink(request, sink) {
+                                Ok(()) => break,
+                                Err(rejected) => {
+                                    runtime.forwards.remove(index);
+                                    reroute_uncovered = true;
+                                    pending = Some((rejected.request, rejected.sink));
+                                }
                             }
                         }
-                    };
-                    deferred.push((reply, answer));
-                }
-                Request::HandoffRange {
-                    start,
-                    end,
-                    target_id,
-                    target,
-                    kind,
-                    fault,
-                    reply,
-                } => {
-                    // Phase `Exported`: copy the replicas in range, drain
-                    // the counters of the keys timestamped there. The
-                    // removals are synced before the bundle ships — under a
-                    // deferred-sync policy an unsynced removal could be
-                    // resurrected by a crash *after* the counters moved,
-                    // breaking Rule 3's "at most one live counter" durably.
-                    let bundle = export_handoff(
-                        &mut runtime.engine,
-                        &mut runtime.kts,
-                        &directory.family,
-                        start,
-                        end,
-                    );
-                    runtime.engine.sync_to_durable();
-                    let replicas_moved = bundle.replicas.len();
-                    let counters_moved = bundle.counters.len();
-                    if fault == Some(HandoffFault::CrashAfterExport) {
-                        // Fail-stop mid-transfer: the bundle is lost in
-                        // flight. Recovery rolls back — the journal still
-                        // holds every replica, and the drained counters
-                        // re-initialize indirectly.
-                        directory.mark_dead(id);
-                        break 'peer;
+                        if departed || reroute_uncovered {
+                            if let Some((request, sink)) = pending.take() {
+                                match directory.responsible_for(position) {
+                                    Some((responsible, endpoint)) if responsible != id => {
+                                        if let Err(rejected) =
+                                            endpoint.send_with_sink(request, sink)
+                                        {
+                                            pending = Some((rejected.request, rejected.sink));
+                                        }
+                                    }
+                                    _ => pending = Some((request, sink)),
+                                }
+                            }
+                        }
+                        match pending {
+                            Some(pair) => pair,
+                            None => continue, // forwarded
+                        }
                     }
-                    // Phase `Installed`: ship the bundle and wait for the
-                    // target to journal it.
-                    let (ack_tx, ack_rx) = bounded(1);
-                    let sent = target.send(Request::InstallState {
+                    None => (request, reply),
+                };
+                match request {
+                    Request::PutReplica {
+                        hash,
+                        key,
+                        payload,
+                        timestamp,
+                    } => {
+                        // A hash outside the configured family has no ring
+                        // position (and can arrive over TCP from any
+                        // client): reject it typed instead of panicking.
+                        let Some(function) = directory.family.function(hash) else {
+                            deferred.push((
+                                reply,
+                                Reply::Error {
+                                    reason: format!("unknown replication hash {hash:?}"),
+                                },
+                            ));
+                            continue;
+                        };
+                        let accepted = match runtime.engine.replicas().get(hash, &key) {
+                            Some(existing) => timestamp > existing.stamp,
+                            None => true,
+                        };
+                        if accepted {
+                            let position = function.eval(&key);
+                            let value = ReplicaValue::new(payload, timestamp);
+                            runtime
+                                .engine
+                                .record_replica_put(hash, &key, &value, position);
+                        }
+                        deferred.push((reply, Reply::PutAck));
+                    }
+                    Request::PutReplicas { .. } => {
+                        unreachable!("batched puts are exploded before routing")
+                    }
+                    Request::GetReplica { hash, key } => {
+                        let stored = runtime
+                            .engine
+                            .replicas()
+                            .get(hash, &key)
+                            .map(|replica| (replica.payload.clone(), replica.stamp));
+                        deferred.push((reply, Reply::Replica(stored)));
+                    }
+                    Request::Timestamp {
+                        key,
+                        generate,
+                        observation_hint,
+                    } => {
+                        let answer = if runtime.kts.has_counter(&key) {
+                            let ts = if generate {
+                                runtime
+                                    .kts
+                                    .gen_ts_with(
+                                        &key,
+                                        IndirectObservation::nothing,
+                                        &mut runtime.engine,
+                                    )
+                                    .timestamp
+                            } else {
+                                runtime
+                                    .kts
+                                    .last_ts_with(
+                                        &key,
+                                        LastTsInitPolicy::ObservedMax,
+                                        IndirectObservation::nothing,
+                                        &mut runtime.engine,
+                                    )
+                                    .timestamp
+                            };
+                            Reply::Timestamp(ts)
+                        } else {
+                            match observation_hint {
+                                None => Reply::NeedsInitialization,
+                                Some(observed) => {
+                                    let observation = if observed.is_zero() {
+                                        IndirectObservation::nothing()
+                                    } else {
+                                        IndirectObservation::observed(observed)
+                                    };
+                                    let ts = if generate {
+                                        runtime
+                                            .kts
+                                            .gen_ts_with(&key, || observation, &mut runtime.engine)
+                                            .timestamp
+                                    } else {
+                                        runtime
+                                            .kts
+                                            .last_ts_with(
+                                                &key,
+                                                LastTsInitPolicy::ObservedMax,
+                                                || observation,
+                                                &mut runtime.engine,
+                                            )
+                                            .timestamp
+                                    };
+                                    Reply::Timestamp(ts)
+                                }
+                            }
+                        };
+                        deferred.push((reply, answer));
+                    }
+                    Request::HandoffRange {
                         start,
                         end,
-                        bundle,
-                        reply: ack_tx,
-                    });
-                    let acked = sent.is_ok()
-                        && matches!(
-                            ack_rx.recv_timeout(INSTALL_ACK_TIMEOUT),
-                            Ok(Reply::InstallAck { .. })
+                        target_id,
+                        kind,
+                        fault,
+                    } => {
+                        // The target is addressed by id and resolved through
+                        // the transport: a joiner is bound there before it
+                        // is a directory member.
+                        let target = match directory.transport.endpoint(target_id) {
+                            Ok(endpoint) => endpoint,
+                            Err(error) => {
+                                reply.send(Reply::HandoffFailed {
+                                    reason: format!("cannot resolve hand-off target: {error}"),
+                                });
+                                continue;
+                            }
+                        };
+                        // Phase `Exported`: copy the replicas in range, drain
+                        // the counters of the keys timestamped there. The
+                        // removals are synced before the bundle ships — under a
+                        // deferred-sync policy an unsynced removal could be
+                        // resurrected by a crash *after* the counters moved,
+                        // breaking Rule 3's "at most one live counter" durably.
+                        let bundle = export_handoff(
+                            &mut runtime.engine,
+                            &mut runtime.kts,
+                            &directory.family,
+                            start,
+                            end,
                         );
-                    if !acked {
-                        // The target died before journaling the bundle:
-                        // abort without committing. This peer keeps its
-                        // replicas (the export only copied them) and keeps
-                        // serving; the moved counters are gone, which only
-                        // costs indirect re-inits.
-                        let _ = reply.send(Reply::HandoffFailed {
-                            reason: "hand-off target never acknowledged the install".to_string(),
+                        runtime.engine.sync_to_durable();
+                        let replicas_moved = bundle.replicas.len();
+                        let counters_moved = bundle.counters.len();
+                        if fault == Some(HandoffFault::CrashAfterExport) {
+                            // Fail-stop mid-transfer: the bundle is lost in
+                            // flight. Recovery rolls back — the journal still
+                            // holds every replica, and the drained counters
+                            // re-initialize indirectly.
+                            directory.mark_dead(id);
+                            break 'peer;
+                        }
+                        // Phase `Installed`: ship the bundle and wait for the
+                        // target to journal it.
+                        let acked = match target.send(Request::InstallState { start, end, bundle })
+                        {
+                            Ok(pending) => matches!(
+                                pending.wait(INSTALL_ACK_TIMEOUT),
+                                Ok(Reply::InstallAck { .. })
+                            ),
+                            Err(_) => false,
+                        };
+                        if !acked {
+                            // The target died before journaling the bundle:
+                            // abort without committing. This peer keeps its
+                            // replicas (the export only copied them) and keeps
+                            // serving; the moved counters are gone, which only
+                            // costs indirect re-inits.
+                            reply.send(Reply::HandoffFailed {
+                                reason: "hand-off target never acknowledged the install"
+                                    .to_string(),
+                            });
+                            continue;
+                        }
+                        if fault == Some(HandoffFault::CrashAfterInstall) {
+                            // Fail-stop between the target's ack and the commit:
+                            // the target's journal holds the state, so a retried
+                            // join/leave completes the transfer.
+                            directory.mark_dead(id);
+                            break 'peer;
+                        }
+                        // Commit point — all three steps inside one serially
+                        // processed request, so no client request interleaves:
+                        // flip the directory, prune the moved range from the
+                        // journal, start forwarding.
+                        match kind {
+                            HandoffKind::Join => directory.revive(target_id, target.clone()),
+                            HandoffKind::Leave => directory.mark_dead(id),
+                        }
+                        commit_handoff(&mut runtime.engine, start, end);
+                        runtime.forwards.push(Forwarding {
+                            start,
+                            end,
+                            everything: kind == HandoffKind::Leave,
+                            target,
                         });
-                        continue;
+                        // The commit record must be durable before the
+                        // coordinator learns of the flip (a crash right after
+                        // the reply must not replay the pruned range back in);
+                        // for a departing peer this is also its final flush.
+                        runtime.engine.sync_to_durable();
+                        if kind == HandoffKind::Leave {
+                            departed = true;
+                        }
+                        reply.send(Reply::HandoffComplete {
+                            replicas_moved,
+                            counters_moved,
+                        });
                     }
-                    if fault == Some(HandoffFault::CrashAfterInstall) {
-                        // Fail-stop between the target's ack and the commit:
-                        // the target's journal holds the state, so a retried
-                        // join/leave completes the transfer.
-                        directory.mark_dead(id);
-                        break 'peer;
+                    Request::InstallState { start, end, bundle } => {
+                        let report = install_handoff(&mut runtime.engine, &mut runtime.kts, bundle);
+                        // This peer owns (start, end] again: retire any
+                        // forwarding rule that overlaps it, or a former owner
+                        // and its round-tripped successor would bounce requests
+                        // forever.
+                        runtime
+                            .forwards
+                            .retain(|rule| !ranges_intersect((rule.start, rule.end), (start, end)));
+                        // The bundle must be durable before the ack: the source
+                        // treats the ack as licence to prune its own copy at
+                        // commit, so an unsynced install journal would be the
+                        // only holder of the moved state.
+                        runtime.engine.sync_to_durable();
+                        reply.send(Reply::InstallAck {
+                            replicas_installed: report.replicas_installed,
+                            counters_received: report.counters_received,
+                        });
                     }
-                    // Commit point — all three steps inside one serially
-                    // processed request, so no client request interleaves:
-                    // flip the directory, prune the moved range from the
-                    // journal, start forwarding.
-                    match kind {
-                        HandoffKind::Join => directory.revive(target_id, target.clone()),
-                        HandoffKind::Leave => directory.mark_dead(id),
+                    Request::Shutdown | Request::Crash => {
+                        unreachable!("lifecycle requests never enter a batch")
                     }
-                    commit_handoff(&mut runtime.engine, start, end);
-                    runtime.forwards.push(Forwarding {
-                        start,
-                        end,
-                        everything: kind == HandoffKind::Leave,
-                        target,
-                    });
-                    // The commit record must be durable before the
-                    // coordinator learns of the flip (a crash right after
-                    // the reply must not replay the pruned range back in);
-                    // for a departing peer this is also its final flush.
-                    runtime.engine.sync_to_durable();
-                    if kind == HandoffKind::Leave {
-                        departed = true;
-                    }
-                    let _ = reply.send(Reply::HandoffComplete {
-                        replicas_moved,
-                        counters_moved,
-                    });
-                }
-                Request::InstallState {
-                    start,
-                    end,
-                    bundle,
-                    reply,
-                } => {
-                    let report = install_handoff(&mut runtime.engine, &mut runtime.kts, bundle);
-                    // This peer owns (start, end] again: retire any
-                    // forwarding rule that overlaps it, or a former owner
-                    // and its round-tripped successor would bounce requests
-                    // forever.
-                    runtime
-                        .forwards
-                        .retain(|rule| !ranges_intersect((rule.start, rule.end), (start, end)));
-                    // The bundle must be durable before the ack: the source
-                    // treats the ack as licence to prune its own copy at
-                    // commit, so an unsynced install journal would be the
-                    // only holder of the moved state.
-                    runtime.engine.sync_to_durable();
-                    let _ = reply.send(Reply::InstallAck {
-                        replicas_installed: report.replicas_installed,
-                        counters_received: report.counters_received,
-                    });
-                }
-                Request::Shutdown | Request::Crash => {
-                    unreachable!("lifecycle requests never enter a batch")
                 }
             }
         }
@@ -1187,7 +1394,7 @@ fn peer_main(
             runtime.engine.sync_to_durable();
         }
         for (reply, answer) in deferred.drain(..) {
-            let _ = reply.send(answer);
+            reply.send(answer);
         }
     }
 }

@@ -1,17 +1,42 @@
 //! A threaded, message-passing deployment of UMS/KTS — the in-process
 //! analogue of the paper's 64-node cluster experiment (Section 5.2).
 //!
-//! Every peer of a [`Cluster`] is a real OS thread with a mailbox
-//! (crossbeam channels). Clients ([`ClusterClient`]) talk to peers only by
-//! sending messages: replica reads and writes go to the peer currently
-//! responsible for the key, timestamp requests go to the responsible of
-//! timestamping, and an optional artificial per-message delay models network
-//! latency. Unlike the discrete-event simulator, nothing here is virtual
-//! time: concurrency, interleavings and races are real, which is what this
-//! crate is for — validating that the UMS/KTS logic (which is the *same*
+//! Every peer of a [`Cluster`] is a real OS thread with a [`Mailbox`], and
+//! everything that reaches a mailbox travels through a pluggable
+//! [`Transport`]. Clients ([`ClusterClient`]) talk to peers only by sending
+//! messages: replica reads and writes go to the peer currently responsible
+//! for the key, timestamp requests go to the responsible of timestamping,
+//! and an optional artificial per-message delay models network latency.
+//! Unlike the discrete-event simulator, nothing here is virtual time:
+//! concurrency, interleavings and races are real, which is what this crate
+//! is for — validating that the UMS/KTS logic (which is the *same*
 //! `rdht-core` code the simulator runs) behaves correctly when updates and
 //! retrievals genuinely race and when the timestamping responsible genuinely
 //! crashes mid-workload.
+//!
+//! ## Transports
+//!
+//! The peer loop, forwarding, hand-offs and crash/restart are written once
+//! against the [`Transport`] trait (bind a peer to get its [`Mailbox`],
+//! resolve a [`PeerEndpoint`] to send and await replies). Two backends
+//! implement it:
+//!
+//! * [`ChannelTransport`] — an in-process mailbox mesh over channels: no
+//!   serialization, no sockets, deterministic and fast. The default
+//!   ([`TransportKind::Channel`]).
+//! * [`TcpTransport`] — length-framed TCP ([`wire`], a deterministic
+//!   versioned binary codec) over loopback or the network: per-peer
+//!   acceptor threads, connection reuse, and typed rejection of garbage or
+//!   oversized frames ([`WireError`]) — a hostile client costs one dropped
+//!   connection, never a peer. Select it with
+//!   [`ClusterConfig::with_transport`], or run real multi-process
+//!   deployments via [`serve_tcp_peer`] + [`ClusterClient::connect_tcp`]
+//!   (see `examples/tcp_cluster.rs`).
+//!
+//! The transport conformance suite (`tests/conformance.rs`) asserts the
+//! same behavioural contract — pipelined request/reply matching, concurrent
+//! clients, typed failures on crash, forwarding through departed peers —
+//! against both backends.
 //!
 //! ## Deployment model
 //!
@@ -91,13 +116,25 @@
 mod client;
 mod cluster;
 mod message;
+mod tcp;
+mod transport;
+pub mod wire;
 
 pub use client::ClusterClient;
 pub use cluster::{
-    Cluster, ClusterConfig, ClusterStorage, JoinReport, LeaveReport, PeerId, RestartReport,
+    serve_tcp_peer, Cluster, ClusterConfig, ClusterStorage, JoinReport, LeaveReport, PeerId,
+    RestartReport, TcpPeerConfig, TransportKind,
 };
 pub use message::{HandoffFault, HandoffKind, Reply, Request};
 pub use rdht_membership::MembershipError;
+pub use tcp::TcpTransport;
+pub use transport::{
+    CallError, ChannelTransport, EndpointImpl, Incoming, Mailbox, PeerEndpoint, PendingReply,
+    ReplySink, ReplyWriter, SendRejected, Transport, TransportError,
+};
+pub use wire::{WireError, MAX_FRAME_LEN, WIRE_VERSION};
 
 #[cfg(test)]
 mod tests;
+#[cfg(test)]
+mod wire_proptests;

@@ -1,6 +1,11 @@
-//! Wire messages exchanged between clients and peer threads.
-
-use crossbeam::channel::Sender;
+//! Protocol messages exchanged between clients and peers.
+//!
+//! Since the transport redesign these are **pure data**: a request names
+//! peers by [`PeerId`] and carries no channels, so the same value can travel
+//! over an in-process mailbox or be encoded onto a TCP stream by the wire
+//! codec ([`crate::wire`]). The reply path travels *next to* the request as
+//! a [`crate::ReplySink`] (in-process) or as the request id of the framed
+//! envelope (on the wire).
 
 use rdht_core::Timestamp;
 use rdht_hashing::{HashId, Key};
@@ -34,16 +39,16 @@ pub enum HandoffFault {
     CrashAfterInstall,
 }
 
-/// A request sent to a peer's mailbox. Every request carries the channel the
-/// peer should answer on (a one-shot reply channel owned by the caller).
+/// A request sent to a peer. Every in-flight request has an associated reply
+/// path — a [`crate::ReplySink`] delivered alongside it by the transport.
 ///
-/// Data requests (`PutReplica`, `GetReplica`, `Timestamp`) may be drained
-/// into a group-commit batch when the peer's storage runs
+/// Data requests (`PutReplica`, `PutReplicas`, `GetReplica`, `Timestamp`)
+/// may be drained into a group-commit batch when the peer's storage runs
 /// `FsyncPolicy::GroupCommit`: the peer applies and journals the whole
 /// batch, issues one covering fsync, and only then sends the replies — so
 /// an acknowledgement always means "durable", regardless of how many
 /// requests shared the fsync. Protocol and lifecycle messages never batch.
-#[derive(Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
     /// Store a stamped replica; the peer keeps it only if the stamp is newer
     /// than what it already holds (UMS `put_h` semantics).
@@ -56,8 +61,23 @@ pub enum Request {
         payload: Vec<u8>,
         /// KTS timestamp of the payload.
         timestamp: Timestamp,
-        /// Where to send the acknowledgement.
-        reply: Sender<Reply>,
+    },
+    /// Store the same stamped payload under several replication hash
+    /// functions in **one** request — the batched fan-out half of a UMS
+    /// insert. The client groups the `|Hr|` replica puts of an insert by
+    /// responsible peer and ships one `PutReplicas` per peer; the receiving
+    /// peer answers a single [`Reply::PutsAck`] once every constituent put
+    /// was applied (or forwarded and acknowledged by the peer now
+    /// responsible for it).
+    PutReplicas {
+        /// The replication hash functions to store the payload under.
+        hashes: Vec<HashId>,
+        /// The application key.
+        key: Key,
+        /// Replica payload (shared by every constituent put).
+        payload: Vec<u8>,
+        /// KTS timestamp of the payload.
+        timestamp: Timestamp,
     },
     /// Read the replica stored under `(hash, key)`.
     GetReplica {
@@ -65,8 +85,6 @@ pub enum Request {
         hash: HashId,
         /// The application key.
         key: Key,
-        /// Where to send the result.
-        reply: Sender<Reply>,
     },
     /// KTS `gen_ts` / `last_ts` request. If the peer has no valid counter for
     /// the key it answers [`Reply::NeedsInitialization`] and the client
@@ -81,15 +99,15 @@ pub enum Request {
         /// (the indirect initialization of Section 4.2.2), if it already
         /// gathered one.
         observation_hint: Option<Timestamp>,
-        /// Where to send the timestamp.
-        reply: Sender<Reply>,
     },
     /// Drive a membership hand-off: the receiving peer exports the replicas
     /// and counters of the ring interval `(start, end]`, ships them to
-    /// `target` with [`Request::InstallState`], waits for the ack, and then
-    /// commits — flipping the shared directory and pruning its own journal
-    /// in one serially-processed step, so traffic never observes a
-    /// half-moved range.
+    /// `target_id` with [`Request::InstallState`], waits for the ack, and
+    /// then commits — flipping the shared directory and pruning its own
+    /// journal in one serially-processed step, so traffic never observes a
+    /// half-moved range. The target is addressed by peer id and resolved
+    /// through the transport (it may not be in the directory yet: a joiner
+    /// is registered only at the commit point).
     HandoffRange {
         /// Exclusive start of the moved interval.
         start: u64,
@@ -97,14 +115,10 @@ pub enum Request {
         end: u64,
         /// Ring identifier of the peer receiving the state.
         target_id: PeerId,
-        /// Mailbox of the peer receiving the state.
-        target: Sender<Request>,
         /// Join or graceful leave.
         kind: HandoffKind,
         /// Fault injection for crash-recovery tests; `None` in production.
         fault: Option<HandoffFault>,
-        /// Where to send [`Reply::HandoffComplete`] / [`Reply::HandoffFailed`].
-        reply: Sender<Reply>,
     },
     /// Install the state bundle of an in-flight hand-off (sent by the
     /// exporting peer to the target). Every accepted replica and counter is
@@ -119,15 +133,13 @@ pub enum Request {
         end: u64,
         /// Replicas and counters moving in.
         bundle: HandoffBundle,
-        /// Where to send [`Reply::InstallAck`].
-        reply: Sender<Reply>,
     },
     /// Ask the peer to stop gracefully: it flushes its journal to stable
-    /// storage before exiting.
+    /// storage before exiting. No reply is sent.
     Shutdown,
     /// Fail-stop the peer: the thread exits immediately, without any final
     /// journal flush — simulating a crash. Only what the fsync policy
-    /// already pushed to disk survives.
+    /// already pushed to disk survives. No reply is sent.
     Crash,
 }
 
@@ -136,6 +148,13 @@ pub enum Request {
 pub enum Reply {
     /// Write acknowledged (whether or not it overwrote existing state).
     PutAck,
+    /// All constituent puts of a [`Request::PutReplicas`] ran to completion.
+    PutsAck {
+        /// Puts applied (locally or by the peer they were forwarded to).
+        written: u32,
+        /// Puts that could not be delivered to any responsible peer.
+        failed: u32,
+    },
     /// Result of a read: the stored payload and timestamp, if any.
     Replica(Option<(Vec<u8>, Timestamp)>),
     /// A timestamp, from `gen_ts` or `last_ts`.
@@ -164,5 +183,13 @@ pub enum Reply {
         replicas_installed: usize,
         /// Counters received through the direct transfer.
         counters_received: usize,
+    },
+    /// The request was received but will never be answered properly — the
+    /// peer dropped it (e.g. it was in flight towards a peer that died, or a
+    /// forward target disappeared). Clients treat this as a failed call
+    /// rather than waiting out their reply timeout.
+    Error {
+        /// What went wrong.
+        reason: String,
     },
 }

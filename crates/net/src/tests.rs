@@ -702,18 +702,16 @@ fn retired_forward_rule_reroutes_through_directory_not_locally() {
     // retires the dead rule; the second must *still* re-resolve through the
     // directory — retirement must not leave the forwarder serving stale
     // requests from its own pruned store.
-    let forwarder = cluster.peer_sender(victim).expect("forwarder mailbox");
+    let forwarder = cluster.peer_endpoint(victim).expect("forwarder endpoint");
     for attempt in 0..2 {
-        let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
-        forwarder
+        let pending = forwarder
             .send(Request::GetReplica {
                 hash: probe_hash,
                 key: probe_key.clone(),
-                reply: reply_tx,
             })
             .expect("the forwarder is still alive inside the grace period");
-        match reply_rx
-            .recv_timeout(std::time::Duration::from_secs(5))
+        match pending
+            .wait(std::time::Duration::from_secs(5))
             .expect("the re-routed request must be answered")
         {
             Reply::Replica(stored) => {

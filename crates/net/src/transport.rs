@@ -1,0 +1,496 @@
+//! The [`Transport`] abstraction: how requests reach peers and how replies
+//! find their way back, independent of whether the peers share a process.
+//!
+//! Three pieces make the peer loop transport-generic:
+//!
+//! * [`Mailbox`] — the receive side of a bound peer: a queue of
+//!   [`Incoming`] work items, each a [`Request`] paired with the
+//!   [`ReplySink`] its answer must be sent into. Over the channel transport
+//!   the sink is the caller's in-process reply channel; over TCP it writes
+//!   a framed reply envelope back onto the connection the request arrived
+//!   on, tagged with the request id.
+//! * [`PeerEndpoint`] — the send side: a cheap, cloneable handle addressing
+//!   one peer. `send` allocates a request id, registers interest and
+//!   returns a [`PendingReply`]; `send_with_sink` relays an existing sink
+//!   (this is what makes request *forwarding* transparent — the forwarded
+//!   request carries the original reply path, whatever transport it came
+//!   in on).
+//! * [`Transport`] — the factory tying both together with per-peer
+//!   addressing: `bind` (accept side), `endpoint` (connect side) and
+//!   `unbind` (teardown).
+//!
+//! Implementations: [`ChannelTransport`] (this module) wraps the in-process
+//! mailbox mesh — deterministic, allocation-light, what every test and the
+//! simulator use; [`crate::TcpTransport`] speaks the length-framed wire
+//! codec over real sockets.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::cluster::PeerId;
+use crate::message::{Reply, Request};
+
+/// A typed transport failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// The transport has no peer registered under this id.
+    UnknownPeer(u64),
+    /// The peer's mailbox, listener or connection is closed — the peer
+    /// crashed, shut down or was unbound.
+    Closed,
+    /// The underlying socket failed (TCP only).
+    Io(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::UnknownPeer(id) => {
+                write!(f, "no peer {id:016x} is registered with the transport")
+            }
+            TransportError::Closed => write!(f, "the peer is no longer reachable"),
+            TransportError::Io(message) => write!(f, "transport I/O failure: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Why a [`PeerEndpoint::call`] produced no usable reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CallError {
+    /// The request could not be delivered at all.
+    Transport(TransportError),
+    /// The request was delivered but its reply path was torn down before an
+    /// answer arrived — the peer crashed mid-request or dropped it.
+    Dropped,
+    /// No reply arrived within the deadline.
+    Timeout,
+    /// The peer (or a forwarder on the path) answered [`Reply::Error`].
+    Rejected(String),
+}
+
+impl fmt::Display for CallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallError::Transport(error) => write!(f, "send failed: {error}"),
+            CallError::Dropped => {
+                write!(f, "the peer dropped the request before answering (crash?)")
+            }
+            CallError::Timeout => write!(f, "the peer did not reply in time"),
+            CallError::Rejected(reason) => write!(f, "the request was rejected: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+/// Where a reply crosses back from in-process representation onto a wire.
+/// Implemented by the TCP transport's per-connection writers; the channel
+/// transport never needs it.
+pub trait ReplyWriter: Send + Sync {
+    /// Writes `reply` for the request `request_id` back to the requester.
+    /// Delivery is best effort: the connection may already be gone.
+    fn write_reply(&self, request_id: u64, reply: &Reply);
+}
+
+/// Shared state of a fan-in sink: counts the acknowledgements of the
+/// constituent puts of a [`Request::PutReplicas`] and answers the original
+/// requester once all of them completed (or were dropped).
+struct FaninState {
+    remaining: usize,
+    written: u32,
+    failed: u32,
+    out: Option<ReplySink>,
+}
+
+impl FaninState {
+    fn absorb(state: &Arc<Mutex<FaninState>>, ok: bool) {
+        let completed = {
+            let mut guard = state.lock();
+            debug_assert!(guard.remaining > 0, "fan-in over-completed");
+            guard.remaining -= 1;
+            if ok {
+                guard.written += 1;
+            } else {
+                guard.failed += 1;
+            }
+            if guard.remaining == 0 {
+                guard
+                    .out
+                    .take()
+                    .map(|out| (out, guard.written, guard.failed))
+            } else {
+                None
+            }
+        };
+        // The final send runs outside the lock: it may itself be a fan-in
+        // (or a socket write) and must not re-enter.
+        if let Some((out, written, failed)) = completed {
+            out.send(Reply::PutsAck { written, failed });
+        }
+    }
+}
+
+enum SinkInner {
+    /// No one is waiting (lifecycle messages).
+    Null,
+    /// An in-process caller waiting on a reply channel.
+    Channel(Sender<Reply>),
+    /// A remote requester: the reply is framed back onto the connection the
+    /// request arrived on, tagged with its request id.
+    Remote {
+        writer: Arc<dyn ReplyWriter>,
+        request_id: u64,
+    },
+    /// One constituent put of a batched [`Request::PutReplicas`].
+    Fanin(Arc<Mutex<FaninState>>),
+}
+
+/// The reply path of one in-flight request. Consume it with
+/// [`ReplySink::send`]; a sink dropped unsent signals failure instead of
+/// leaving the requester to time out (a channel disconnects, a remote
+/// requester receives [`Reply::Error`], a fan-in counts a failed put).
+pub struct ReplySink {
+    inner: SinkInner,
+}
+
+impl fmt::Debug for ReplySink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.inner {
+            SinkInner::Null => "Null",
+            SinkInner::Channel(_) => "Channel",
+            SinkInner::Remote { .. } => "Remote",
+            SinkInner::Fanin(_) => "Fanin",
+        };
+        write!(f, "ReplySink::{kind}")
+    }
+}
+
+impl ReplySink {
+    /// A sink that discards the reply (for requests that answer no one,
+    /// like `Shutdown` and `Crash`).
+    pub fn null() -> Self {
+        ReplySink {
+            inner: SinkInner::Null,
+        }
+    }
+
+    /// A sink delivering into an in-process reply channel.
+    pub fn channel(sender: Sender<Reply>) -> Self {
+        ReplySink {
+            inner: SinkInner::Channel(sender),
+        }
+    }
+
+    /// A sink framing the reply back to a remote requester.
+    pub fn remote(writer: Arc<dyn ReplyWriter>, request_id: u64) -> Self {
+        ReplySink {
+            inner: SinkInner::Remote { writer, request_id },
+        }
+    }
+
+    /// Splits `out` into `count` constituent sinks: each receives the
+    /// acknowledgement of one put, and once all have completed (a
+    /// [`Reply::PutAck`] counts as written, anything else — including being
+    /// dropped — as failed) `out` receives one [`Reply::PutsAck`] totalling
+    /// them. `count == 0` answers `out` immediately.
+    pub fn fanin(count: usize, out: ReplySink) -> Vec<ReplySink> {
+        if count == 0 {
+            out.send(Reply::PutsAck {
+                written: 0,
+                failed: 0,
+            });
+            return Vec::new();
+        }
+        let state = Arc::new(Mutex::new(FaninState {
+            remaining: count,
+            written: 0,
+            failed: 0,
+            out: Some(out),
+        }));
+        (0..count)
+            .map(|_| ReplySink {
+                inner: SinkInner::Fanin(Arc::clone(&state)),
+            })
+            .collect()
+    }
+
+    /// Delivers the reply, consuming the sink.
+    pub fn send(mut self, reply: Reply) {
+        match std::mem::replace(&mut self.inner, SinkInner::Null) {
+            SinkInner::Null => {}
+            SinkInner::Channel(sender) => {
+                let _ = sender.send(reply);
+            }
+            SinkInner::Remote { writer, request_id } => {
+                writer.write_reply(request_id, &reply);
+            }
+            SinkInner::Fanin(state) => {
+                let ok = matches!(reply, Reply::PutAck);
+                FaninState::absorb(&state, ok);
+            }
+        }
+    }
+}
+
+impl Drop for ReplySink {
+    fn drop(&mut self) {
+        match std::mem::replace(&mut self.inner, SinkInner::Null) {
+            SinkInner::Null => {}
+            // Dropping the sender disconnects the caller's reply channel —
+            // it observes a prompt `Dropped` instead of a timeout.
+            SinkInner::Channel(_sender) => {}
+            SinkInner::Remote { writer, request_id } => {
+                writer.write_reply(
+                    request_id,
+                    &Reply::Error {
+                        reason: "the request was dropped before being answered".to_string(),
+                    },
+                );
+            }
+            SinkInner::Fanin(state) => FaninState::absorb(&state, false),
+        }
+    }
+}
+
+/// One unit of work delivered to a bound peer: the request and the sink its
+/// reply belongs in.
+#[derive(Debug)]
+pub struct Incoming {
+    /// The decoded (or in-process) request.
+    pub request: Request,
+    /// Where the answer must go.
+    pub reply: ReplySink,
+}
+
+/// The receive side of a bound peer: a queue of [`Incoming`] work items fed
+/// by the transport (mailbox sends, or decoded TCP frames).
+#[derive(Debug)]
+pub struct Mailbox {
+    receiver: Receiver<Incoming>,
+}
+
+impl Mailbox {
+    /// Wraps a raw receiver (used by transport implementations).
+    pub fn new(receiver: Receiver<Incoming>) -> Self {
+        Mailbox { receiver }
+    }
+
+    /// Blocks for the next work item; `None` when the transport side is
+    /// gone (every sender dropped — the peer was unbound).
+    pub fn recv(&self) -> Option<Incoming> {
+        self.receiver.recv().ok()
+    }
+
+    /// Waits up to `timeout` for the next work item; `None` on timeout *or*
+    /// closure (a peer that only waits bounded time treats both as "nothing
+    /// left to do").
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Incoming> {
+        self.receiver.recv_timeout(timeout).ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Incoming> {
+        self.receiver.try_recv().ok()
+    }
+}
+
+/// A send failure that hands the undelivered request (and its reply sink)
+/// back to the caller, so forwarding logic can re-route instead of losing
+/// the message.
+#[derive(Debug)]
+pub struct SendRejected {
+    /// Why delivery failed.
+    pub error: TransportError,
+    /// The request that was not delivered.
+    pub request: Request,
+    /// Its reply path, still unconsumed.
+    pub sink: ReplySink,
+}
+
+/// Object-safe delivery half of an endpoint; wrapped by [`PeerEndpoint`].
+pub trait EndpointImpl: Send + Sync {
+    /// Delivers `request`, attaching `sink` as its reply path.
+    ///
+    /// The `Err` variant is large on purpose: it carries the undelivered
+    /// request and its sink back so forwarding can re-route without
+    /// cloning every message on the happy path.
+    #[allow(clippy::result_large_err)]
+    fn deliver(&self, request: Request, sink: ReplySink) -> Result<(), SendRejected>;
+}
+
+/// A reply being awaited. Produced by [`PeerEndpoint::send`]; redeemed with
+/// [`PendingReply::wait`]. Dropping it abandons the request (a late reply
+/// is discarded by the transport).
+#[derive(Debug)]
+pub struct PendingReply {
+    receiver: Receiver<Reply>,
+}
+
+impl PendingReply {
+    /// Blocks until the reply arrives, the reply path is torn down, or
+    /// `timeout` elapses.
+    pub fn wait(self, timeout: Duration) -> Result<Reply, CallError> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(Reply::Error { reason }) => Err(CallError::Rejected(reason)),
+            Ok(reply) => Ok(reply),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(CallError::Timeout),
+            Err(_) => Err(CallError::Dropped),
+        }
+    }
+
+    /// Blocks until the reply arrives or its path is torn down — **no
+    /// clock**. Membership coordination waits this way: a deadline could
+    /// race a slow-but-alive peer into committing after the coordinator
+    /// already gave up, whereas a disconnect is unambiguous (every
+    /// transport tears the reply path down when the peer stops).
+    pub fn wait_unbounded(self) -> Result<Reply, CallError> {
+        match self.receiver.recv() {
+            Ok(Reply::Error { reason }) => Err(CallError::Rejected(reason)),
+            Ok(reply) => Ok(reply),
+            Err(_) => Err(CallError::Dropped),
+        }
+    }
+}
+
+/// A cheap, cloneable handle for sending requests to one peer and awaiting
+/// replies matched by request id — identical over channels and TCP. This is
+/// the **only** way to talk to a peer; the pre-transport direct-mailbox
+/// plumbing (`Sender<Request>` with an embedded reply channel) is gone.
+#[derive(Clone)]
+pub struct PeerEndpoint {
+    inner: Arc<dyn EndpointImpl>,
+}
+
+impl fmt::Debug for PeerEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PeerEndpoint")
+    }
+}
+
+impl PeerEndpoint {
+    /// Wraps a transport-specific delivery implementation.
+    pub fn new(inner: Arc<dyn EndpointImpl>) -> Self {
+        PeerEndpoint { inner }
+    }
+
+    /// Delivers `request` with an explicit reply sink — the relay primitive
+    /// forwarding is built on. On failure the request and sink come back in
+    /// the [`SendRejected`] (a deliberately large `Err`: returning the
+    /// message avoids cloning it on every successful send).
+    #[allow(clippy::result_large_err)]
+    pub fn send_with_sink(&self, request: Request, sink: ReplySink) -> Result<(), SendRejected> {
+        self.inner.deliver(request, sink)
+    }
+
+    /// Sends `request` and returns a handle on the awaited reply.
+    pub fn send(&self, request: Request) -> Result<PendingReply, TransportError> {
+        let (tx, rx) = bounded(1);
+        self.send_with_sink(request, ReplySink::channel(tx))
+            .map_err(|rejected| rejected.error)?;
+        Ok(PendingReply { receiver: rx })
+    }
+
+    /// Sends a request that expects no answer (`Shutdown`, `Crash`).
+    pub fn send_no_reply(&self, request: Request) -> Result<(), TransportError> {
+        self.send_with_sink(request, ReplySink::null())
+            .map_err(|rejected| rejected.error)
+    }
+
+    /// Sends `request` and waits up to `timeout` for its reply.
+    pub fn call(&self, request: Request, timeout: Duration) -> Result<Reply, CallError> {
+        let pending = self.send(request).map_err(CallError::Transport)?;
+        pending.wait(timeout)
+    }
+}
+
+/// How requests travel between peers: per-peer addressing with a bind /
+/// connect split (the trait's `bind`/`endpoint` are the accept/connect
+/// halves; [`Mailbox::recv`] and [`PeerEndpoint::send`] are recv/send).
+pub trait Transport: Send + Sync + 'static {
+    /// Binds the receive side of `peer`: registers it with the transport
+    /// and returns the queue its requests arrive on. Binding an id again
+    /// (a restart) replaces the previous registration.
+    fn bind(&self, peer: PeerId) -> Result<Mailbox, TransportError>;
+
+    /// An endpoint addressing `peer`. Resolution only requires the peer to
+    /// be *registered* (bound, or address-configured for TCP) — liveness is
+    /// discovered by sending.
+    fn endpoint(&self, peer: PeerId) -> Result<PeerEndpoint, TransportError>;
+
+    /// Tears down `peer`'s receive side: closes its listener/connections so
+    /// senders observe failure instead of silence. Called by the peer
+    /// thread on exit (crash, shutdown or forwarder reap).
+    fn unbind(&self, peer: PeerId);
+}
+
+// ---------------------------------------------------------------------------
+// ChannelTransport
+// ---------------------------------------------------------------------------
+
+struct ChannelEndpoint {
+    sender: Sender<Incoming>,
+}
+
+impl EndpointImpl for ChannelEndpoint {
+    fn deliver(&self, request: Request, sink: ReplySink) -> Result<(), SendRejected> {
+        self.sender
+            .send(Incoming {
+                request,
+                reply: sink,
+            })
+            .map_err(|failed| {
+                let incoming = failed.0;
+                SendRejected {
+                    error: TransportError::Closed,
+                    request: incoming.request,
+                    sink: incoming.reply,
+                }
+            })
+    }
+}
+
+/// The in-process transport: every bound peer is a mailbox in a shared
+/// registry, endpoints are channel senders, and delivery is a lock-free
+/// queue push. Keeps the whole existing test suite and the simulator
+/// deterministic and fast — no serialization, no sockets, no threads beyond
+/// the peers themselves.
+#[derive(Default)]
+pub struct ChannelTransport {
+    registry: Mutex<HashMap<u64, Sender<Incoming>>>,
+}
+
+impl ChannelTransport {
+    /// An empty mesh.
+    pub fn new() -> Self {
+        ChannelTransport::default()
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn bind(&self, peer: PeerId) -> Result<Mailbox, TransportError> {
+        let (sender, receiver) = unbounded();
+        self.registry.lock().insert(peer.0, sender);
+        Ok(Mailbox::new(receiver))
+    }
+
+    fn endpoint(&self, peer: PeerId) -> Result<PeerEndpoint, TransportError> {
+        let sender = self
+            .registry
+            .lock()
+            .get(&peer.0)
+            .cloned()
+            .ok_or(TransportError::UnknownPeer(peer.0))?;
+        Ok(PeerEndpoint::new(Arc::new(ChannelEndpoint { sender })))
+    }
+
+    fn unbind(&self, peer: PeerId) {
+        self.registry.lock().remove(&peer.0);
+    }
+}

@@ -1,0 +1,711 @@
+//! The wire codec: deterministic, versioned, length-framed binary
+//! encoding of [`Request`]/[`Reply`] envelopes.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! frame   := len: u32 LE | payload               (len = payload byte count)
+//! payload := version: u8                         (WIRE_VERSION, currently 1)
+//!            kind: u8                            (0 = request, 1 = reply)
+//!            request_id: u64 LE                  (matches replies to requests)
+//!            body                                (tagged per message variant)
+//! ```
+//!
+//! Primitive encodings, all little-endian and length-prefixed:
+//!
+//! * `u8`/`u32`/`u64` — fixed-width LE;
+//! * `bytes` — `u32 LE` length, then the raw bytes;
+//! * `string` — `bytes`, validated UTF-8 on decode;
+//! * `Vec<T>` — `u32 LE` element count, then each element;
+//! * `Option<T>` — `u8` tag (0 = none, 1 = some), then the value;
+//! * enums — `u8` tag, then the variant's fields in declaration order.
+//!
+//! Every frame is self-delimiting (the length prefix) and self-describing
+//! (version + kind + body tag), so a reader can reject garbage *typed*:
+//! an oversized length prefix, an unknown version, an unknown tag, a
+//! truncated body or trailing bytes each map to a distinct [`WireError`]
+//! instead of a panic. Decoding is exhaustive — every byte of the payload
+//! must be consumed.
+
+use std::fmt;
+use std::io::{self, Read};
+
+use rdht_core::Timestamp;
+use rdht_hashing::{HashId, Key};
+use rdht_membership::HandoffBundle;
+use rdht_storage::StoredReplica;
+
+use crate::cluster::PeerId;
+use crate::message::{HandoffFault, HandoffKind, Reply, Request};
+
+/// Version byte every frame starts with. Bumped on any incompatible layout
+/// change; decoders reject frames from other versions with
+/// [`WireError::UnsupportedVersion`].
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on a frame's payload length (64 MiB). A length prefix above
+/// this is rejected *before* any allocation — a garbage or hostile prefix
+/// must not make the peer reserve gigabytes.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+const KIND_REQUEST: u8 = 0;
+const KIND_REPLY: u8 = 1;
+
+/// A typed wire-codec failure. Every decode error is one of these — the
+/// codec never panics on garbage input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    FrameTooLarge {
+        /// The advertised payload length.
+        len: u32,
+        /// The configured maximum.
+        max: u32,
+    },
+    /// The payload ended before the announced structure was complete.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        context: &'static str,
+    },
+    /// The frame's version byte is not [`WIRE_VERSION`].
+    UnsupportedVersion(u8),
+    /// An enum tag byte (message kind, variant tag, option/bool tag) has no
+    /// defined meaning.
+    UnknownTag {
+        /// The enum the tag was decoded for.
+        context: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A string field does not hold valid UTF-8.
+    InvalidUtf8 {
+        /// The field being decoded.
+        context: &'static str,
+    },
+    /// The payload holds more bytes than its structure accounts for.
+    TrailingBytes {
+        /// How many bytes were left over.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::FrameTooLarge { len, max } => {
+                write!(
+                    f,
+                    "frame payload of {len} bytes exceeds the {max}-byte limit"
+                )
+            }
+            WireError::Truncated { context } => {
+                write!(f, "payload truncated while decoding {context}")
+            }
+            WireError::UnsupportedVersion(version) => {
+                write!(
+                    f,
+                    "unsupported wire version {version} (expected {WIRE_VERSION})"
+                )
+            }
+            WireError::UnknownTag { context, tag } => {
+                write!(f, "unknown tag {tag} for {context}")
+            }
+            WireError::InvalidUtf8 { context } => {
+                write!(f, "invalid UTF-8 in {context}")
+            }
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after a complete message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A decoded frame payload: either direction of the protocol, with the
+/// request id that matches replies to requests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Envelope {
+    /// A client-to-peer (or peer-to-peer) request.
+    Request {
+        /// Id the eventual reply must echo.
+        request_id: u64,
+        /// The request itself.
+        request: Request,
+    },
+    /// A peer's answer to the request with the same id.
+    Reply {
+        /// Id of the request being answered.
+        request_id: u64,
+        /// The reply itself.
+        reply: Reply,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u8(out: &mut Vec<u8>, value: u8) {
+    out.push(value);
+}
+
+fn put_u32(out: &mut Vec<u8>, value: u32) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(
+        out,
+        u32::try_from(bytes.len()).expect("byte field fits in u32"),
+    );
+    out.extend_from_slice(bytes);
+}
+
+fn put_bool(out: &mut Vec<u8>, value: bool) {
+    put_u8(out, u8::from(value));
+}
+
+fn put_key(out: &mut Vec<u8>, key: &Key) {
+    put_bytes(out, key.as_bytes());
+}
+
+fn put_counters(out: &mut Vec<u8>, counters: &[(Key, Timestamp)]) {
+    put_u32(out, counters.len() as u32);
+    for (key, stamp) in counters {
+        put_key(out, key);
+        put_u64(out, stamp.0);
+    }
+}
+
+fn put_bundle(out: &mut Vec<u8>, bundle: &HandoffBundle) {
+    put_u32(out, bundle.replicas.len() as u32);
+    for (hash, key, replica) in &bundle.replicas {
+        put_u32(out, hash.0);
+        put_key(out, key);
+        put_bytes(out, &replica.payload);
+        put_u64(out, replica.stamp.0);
+        put_u64(out, replica.position);
+    }
+    put_counters(out, &bundle.counters);
+    put_counters(out, &bundle.floors);
+}
+
+fn put_request_body(out: &mut Vec<u8>, request: &Request) {
+    match request {
+        Request::PutReplica {
+            hash,
+            key,
+            payload,
+            timestamp,
+        } => {
+            put_u8(out, 0);
+            put_u32(out, hash.0);
+            put_key(out, key);
+            put_bytes(out, payload);
+            put_u64(out, timestamp.0);
+        }
+        Request::PutReplicas {
+            hashes,
+            key,
+            payload,
+            timestamp,
+        } => {
+            put_u8(out, 1);
+            put_u32(out, hashes.len() as u32);
+            for hash in hashes {
+                put_u32(out, hash.0);
+            }
+            put_key(out, key);
+            put_bytes(out, payload);
+            put_u64(out, timestamp.0);
+        }
+        Request::GetReplica { hash, key } => {
+            put_u8(out, 2);
+            put_u32(out, hash.0);
+            put_key(out, key);
+        }
+        Request::Timestamp {
+            key,
+            generate,
+            observation_hint,
+        } => {
+            put_u8(out, 3);
+            put_key(out, key);
+            put_bool(out, *generate);
+            match observation_hint {
+                None => put_u8(out, 0),
+                Some(hint) => {
+                    put_u8(out, 1);
+                    put_u64(out, hint.0);
+                }
+            }
+        }
+        Request::HandoffRange {
+            start,
+            end,
+            target_id,
+            kind,
+            fault,
+        } => {
+            put_u8(out, 4);
+            put_u64(out, *start);
+            put_u64(out, *end);
+            put_u64(out, target_id.0);
+            put_u8(
+                out,
+                match kind {
+                    HandoffKind::Join => 0,
+                    HandoffKind::Leave => 1,
+                },
+            );
+            put_u8(
+                out,
+                match fault {
+                    None => 0,
+                    Some(HandoffFault::CrashAfterExport) => 1,
+                    Some(HandoffFault::CrashAfterInstall) => 2,
+                },
+            );
+        }
+        Request::InstallState { start, end, bundle } => {
+            put_u8(out, 5);
+            put_u64(out, *start);
+            put_u64(out, *end);
+            put_bundle(out, bundle);
+        }
+        Request::Shutdown => put_u8(out, 6),
+        Request::Crash => put_u8(out, 7),
+    }
+}
+
+fn put_reply_body(out: &mut Vec<u8>, reply: &Reply) {
+    match reply {
+        Reply::PutAck => put_u8(out, 0),
+        Reply::PutsAck { written, failed } => {
+            put_u8(out, 1);
+            put_u32(out, *written);
+            put_u32(out, *failed);
+        }
+        Reply::Replica(stored) => {
+            put_u8(out, 2);
+            match stored {
+                None => put_u8(out, 0),
+                Some((payload, timestamp)) => {
+                    put_u8(out, 1);
+                    put_bytes(out, payload);
+                    put_u64(out, timestamp.0);
+                }
+            }
+        }
+        Reply::Timestamp(ts) => {
+            put_u8(out, 3);
+            put_u64(out, ts.0);
+        }
+        Reply::NeedsInitialization => put_u8(out, 4),
+        Reply::HandoffComplete {
+            replicas_moved,
+            counters_moved,
+        } => {
+            put_u8(out, 5);
+            put_u64(out, *replicas_moved as u64);
+            put_u64(out, *counters_moved as u64);
+        }
+        Reply::HandoffFailed { reason } => {
+            put_u8(out, 6);
+            put_bytes(out, reason.as_bytes());
+        }
+        Reply::InstallAck {
+            replicas_installed,
+            counters_received,
+        } => {
+            put_u8(out, 7);
+            put_u64(out, *replicas_installed as u64);
+            put_u64(out, *counters_received as u64);
+        }
+        Reply::Error { reason } => {
+            put_u8(out, 8);
+            put_bytes(out, reason.as_bytes());
+        }
+    }
+}
+
+fn encode_frame(kind: u8, request_id: u64, body: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    // Placeholder for the length prefix, patched below.
+    out.extend_from_slice(&[0u8; 4]);
+    put_u8(&mut out, WIRE_VERSION);
+    put_u8(&mut out, kind);
+    put_u64(&mut out, request_id);
+    body(&mut out);
+    let payload_len = u32::try_from(out.len() - 4).expect("frame payload fits in u32");
+    assert!(
+        payload_len <= MAX_FRAME_LEN,
+        "encoded frame of {payload_len} bytes exceeds MAX_FRAME_LEN"
+    );
+    out[..4].copy_from_slice(&payload_len.to_le_bytes());
+    out
+}
+
+/// Encodes a request envelope into a complete frame (length prefix
+/// included), ready to be written to a stream.
+pub fn encode_request(request_id: u64, request: &Request) -> Vec<u8> {
+    encode_frame(KIND_REQUEST, request_id, |out| {
+        put_request_body(out, request)
+    })
+}
+
+/// Encodes a reply envelope into a complete frame (length prefix included).
+pub fn encode_reply(request_id: u64, reply: &Reply) -> Vec<u8> {
+    encode_frame(KIND_REPLY, request_id, |out| put_reply_body(out, reply))
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Cursor over a frame payload; every read is bounds-checked and errors are
+/// typed, never panicking on garbage.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or(WireError::Truncated { context })?;
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, context: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, WireError> {
+        let bytes = self.take(4, context)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, WireError> {
+        let bytes = self.take(8, context)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    fn bytes(&mut self, context: &'static str) -> Result<&'a [u8], WireError> {
+        let len = self.u32(context)? as usize;
+        self.take(len, context)
+    }
+
+    fn string(&mut self, context: &'static str) -> Result<String, WireError> {
+        let bytes = self.bytes(context)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::InvalidUtf8 { context })
+    }
+
+    fn bool(&mut self, context: &'static str) -> Result<bool, WireError> {
+        match self.u8(context)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::UnknownTag { context, tag }),
+        }
+    }
+
+    fn key(&mut self, context: &'static str) -> Result<Key, WireError> {
+        Ok(Key::from_bytes(self.bytes(context)?.to_vec()))
+    }
+
+    /// Element count of a length-prefixed vector, sanity-bounded by the
+    /// remaining payload so a garbage count cannot drive a huge
+    /// pre-allocation.
+    fn count(&mut self, min_element: usize, context: &'static str) -> Result<usize, WireError> {
+        let count = self.u32(context)? as usize;
+        let remaining = self.bytes.len() - self.at;
+        if count.saturating_mul(min_element.max(1)) > remaining {
+            return Err(WireError::Truncated { context });
+        }
+        Ok(count)
+    }
+
+    fn counters(&mut self, context: &'static str) -> Result<Vec<(Key, Timestamp)>, WireError> {
+        let count = self.count(4 + 8, context)?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let key = self.key(context)?;
+            let stamp = Timestamp(self.u64(context)?);
+            out.push((key, stamp));
+        }
+        Ok(out)
+    }
+
+    fn bundle(&mut self) -> Result<HandoffBundle, WireError> {
+        let count = self.count(4 + 4 + 4 + 8 + 8, "bundle replicas")?;
+        let mut replicas = Vec::with_capacity(count);
+        for _ in 0..count {
+            let hash = HashId(self.u32("bundle replica hash")?);
+            let key = self.key("bundle replica key")?;
+            let payload = self.bytes("bundle replica payload")?.to_vec();
+            let stamp = Timestamp(self.u64("bundle replica stamp")?);
+            let position = self.u64("bundle replica position")?;
+            replicas.push((
+                hash,
+                key,
+                StoredReplica {
+                    payload,
+                    stamp,
+                    position,
+                },
+            ));
+        }
+        let counters = self.counters("bundle counters")?;
+        let floors = self.counters("bundle floors")?;
+        Ok(HandoffBundle {
+            replicas,
+            counters,
+            floors,
+        })
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        let remaining = self.bytes.len() - self.at;
+        if remaining != 0 {
+            return Err(WireError::TrailingBytes { remaining });
+        }
+        Ok(())
+    }
+}
+
+fn decode_request_body(cursor: &mut Cursor<'_>) -> Result<Request, WireError> {
+    match cursor.u8("request tag")? {
+        0 => Ok(Request::PutReplica {
+            hash: HashId(cursor.u32("put hash")?),
+            key: cursor.key("put key")?,
+            payload: cursor.bytes("put payload")?.to_vec(),
+            timestamp: Timestamp(cursor.u64("put timestamp")?),
+        }),
+        1 => {
+            let count = cursor.count(4, "puts hashes")?;
+            let mut hashes = Vec::with_capacity(count);
+            for _ in 0..count {
+                hashes.push(HashId(cursor.u32("puts hash")?));
+            }
+            Ok(Request::PutReplicas {
+                hashes,
+                key: cursor.key("puts key")?,
+                payload: cursor.bytes("puts payload")?.to_vec(),
+                timestamp: Timestamp(cursor.u64("puts timestamp")?),
+            })
+        }
+        2 => Ok(Request::GetReplica {
+            hash: HashId(cursor.u32("get hash")?),
+            key: cursor.key("get key")?,
+        }),
+        3 => {
+            let key = cursor.key("timestamp key")?;
+            let generate = cursor.bool("timestamp generate flag")?;
+            let observation_hint = match cursor.u8("timestamp hint tag")? {
+                0 => None,
+                1 => Some(Timestamp(cursor.u64("timestamp hint")?)),
+                tag => {
+                    return Err(WireError::UnknownTag {
+                        context: "timestamp hint tag",
+                        tag,
+                    })
+                }
+            };
+            Ok(Request::Timestamp {
+                key,
+                generate,
+                observation_hint,
+            })
+        }
+        4 => {
+            let start = cursor.u64("hand-off start")?;
+            let end = cursor.u64("hand-off end")?;
+            let target_id = PeerId(cursor.u64("hand-off target")?);
+            let kind = match cursor.u8("hand-off kind")? {
+                0 => HandoffKind::Join,
+                1 => HandoffKind::Leave,
+                tag => {
+                    return Err(WireError::UnknownTag {
+                        context: "hand-off kind",
+                        tag,
+                    })
+                }
+            };
+            let fault = match cursor.u8("hand-off fault")? {
+                0 => None,
+                1 => Some(HandoffFault::CrashAfterExport),
+                2 => Some(HandoffFault::CrashAfterInstall),
+                tag => {
+                    return Err(WireError::UnknownTag {
+                        context: "hand-off fault",
+                        tag,
+                    })
+                }
+            };
+            Ok(Request::HandoffRange {
+                start,
+                end,
+                target_id,
+                kind,
+                fault,
+            })
+        }
+        5 => Ok(Request::InstallState {
+            start: cursor.u64("install start")?,
+            end: cursor.u64("install end")?,
+            bundle: cursor.bundle()?,
+        }),
+        6 => Ok(Request::Shutdown),
+        7 => Ok(Request::Crash),
+        tag => Err(WireError::UnknownTag {
+            context: "request tag",
+            tag,
+        }),
+    }
+}
+
+fn decode_reply_body(cursor: &mut Cursor<'_>) -> Result<Reply, WireError> {
+    match cursor.u8("reply tag")? {
+        0 => Ok(Reply::PutAck),
+        1 => Ok(Reply::PutsAck {
+            written: cursor.u32("puts-ack written")?,
+            failed: cursor.u32("puts-ack failed")?,
+        }),
+        2 => {
+            let stored = match cursor.u8("replica option tag")? {
+                0 => None,
+                1 => {
+                    let payload = cursor.bytes("replica payload")?.to_vec();
+                    let timestamp = Timestamp(cursor.u64("replica timestamp")?);
+                    Some((payload, timestamp))
+                }
+                tag => {
+                    return Err(WireError::UnknownTag {
+                        context: "replica option tag",
+                        tag,
+                    })
+                }
+            };
+            Ok(Reply::Replica(stored))
+        }
+        3 => Ok(Reply::Timestamp(Timestamp(cursor.u64("timestamp")?))),
+        4 => Ok(Reply::NeedsInitialization),
+        5 => Ok(Reply::HandoffComplete {
+            replicas_moved: cursor.u64("hand-off replicas moved")? as usize,
+            counters_moved: cursor.u64("hand-off counters moved")? as usize,
+        }),
+        6 => Ok(Reply::HandoffFailed {
+            reason: cursor.string("hand-off failure reason")?,
+        }),
+        7 => Ok(Reply::InstallAck {
+            replicas_installed: cursor.u64("install replicas")? as usize,
+            counters_received: cursor.u64("install counters")? as usize,
+        }),
+        8 => Ok(Reply::Error {
+            reason: cursor.string("error reason")?,
+        }),
+        tag => Err(WireError::UnknownTag {
+            context: "reply tag",
+            tag,
+        }),
+    }
+}
+
+/// Decodes a frame *payload* (the bytes after the length prefix) into an
+/// envelope. Every byte must be accounted for; all failures are typed.
+pub fn decode_payload(payload: &[u8]) -> Result<Envelope, WireError> {
+    let mut cursor = Cursor::new(payload);
+    let version = cursor.u8("version")?;
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let kind = cursor.u8("message kind")?;
+    let request_id = cursor.u64("request id")?;
+    let envelope = match kind {
+        KIND_REQUEST => Envelope::Request {
+            request_id,
+            request: decode_request_body(&mut cursor)?,
+        },
+        KIND_REPLY => Envelope::Reply {
+            request_id,
+            reply: decode_reply_body(&mut cursor)?,
+        },
+        tag => {
+            return Err(WireError::UnknownTag {
+                context: "message kind",
+                tag,
+            })
+        }
+    };
+    cursor.finish()?;
+    Ok(envelope)
+}
+
+/// A failure while reading a frame off a byte stream: either the transport
+/// failed (I/O) or the bytes were not a valid frame (typed wire error).
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed or closed mid-frame.
+    Io(io::Error),
+    /// The bytes read do not form a valid frame.
+    Wire(WireError),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(error) => write!(f, "frame I/O error: {error}"),
+            FrameError::Wire(error) => write!(f, "frame decode error: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Reads one length-prefixed frame payload from `reader`.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (EOF exactly at a frame
+/// boundary); EOF inside a frame is an error. An oversized length prefix is
+/// rejected before any allocation.
+pub fn read_frame(reader: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < len_bytes.len() {
+        match reader.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None), // clean EOF
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed inside a frame length prefix",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(error) if error.kind() == io::ErrorKind::Interrupted => continue,
+            Err(error) => return Err(FrameError::Io(error)),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Wire(WireError::FrameTooLarge {
+            len,
+            max: MAX_FRAME_LEN,
+        }));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload).map_err(FrameError::Io)?;
+    Ok(Some(payload))
+}

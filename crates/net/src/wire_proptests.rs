@@ -1,0 +1,435 @@
+//! Property tests for the wire codec: exhaustive round-trips over every
+//! [`Request`]/[`Reply`] variant (including hand-off bundle payloads),
+//! plus fuzzing properties — random bytes, truncations and corrupted
+//! frames must produce a typed [`WireError`], never a panic.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use rdht_core::Timestamp;
+use rdht_hashing::{HashId, Key};
+use rdht_membership::HandoffBundle;
+use rdht_storage::StoredReplica;
+
+use crate::cluster::PeerId;
+use crate::message::{HandoffFault, HandoffKind, Reply, Request};
+use crate::wire::{
+    decode_payload, encode_reply, encode_request, read_frame, Envelope, FrameError, WireError,
+    MAX_FRAME_LEN, WIRE_VERSION,
+};
+
+/// Raw material for one bundle entry: `(hash, key selector, stamp, position,
+/// payload selector)`. Keys and payloads are derived deterministically so the
+/// same tuple always builds the same entry.
+type BundleRaw = (u32, u8, u64, u64, u8);
+
+fn raw_key(selector: u8) -> Key {
+    // Length 0..=16 with repeated content — covers the empty key too.
+    Key::from_bytes(vec![selector; (selector % 17) as usize])
+}
+
+fn raw_payload(selector: u8, stamp: u64) -> Vec<u8> {
+    stamp
+        .to_le_bytes()
+        .iter()
+        .cycle()
+        .take((selector % 37) as usize)
+        .copied()
+        .collect()
+}
+
+fn make_bundle(raw: &[BundleRaw]) -> HandoffBundle {
+    let mut bundle = HandoffBundle::default();
+    for &(hash, key_sel, stamp, position, pay_sel) in raw {
+        let key = raw_key(key_sel);
+        match pay_sel % 3 {
+            0 => bundle.replicas.push((
+                HashId(hash),
+                key,
+                StoredReplica {
+                    payload: raw_payload(pay_sel, stamp),
+                    stamp: Timestamp(stamp),
+                    position,
+                },
+            )),
+            1 => bundle.counters.push((key, Timestamp(stamp))),
+            _ => bundle.floors.push((key, Timestamp(stamp))),
+        }
+    }
+    bundle
+}
+
+/// Builds one of the eight request variants from raw generated material.
+fn make_request(
+    selector: u8,
+    key_bytes: &[u8],
+    payload: &[u8],
+    hashes: &[u32],
+    nums: (u64, u64, u64, u8, u8),
+    bundle_raw: &[BundleRaw],
+) -> Request {
+    let key = Key::from_bytes(key_bytes.to_vec());
+    let (a, b, c, flag_a, flag_b) = nums;
+    match selector % 8 {
+        0 => Request::PutReplica {
+            hash: HashId(hashes.first().copied().unwrap_or(7)),
+            key,
+            payload: payload.to_vec(),
+            timestamp: Timestamp(a),
+        },
+        1 => Request::PutReplicas {
+            hashes: hashes.iter().copied().map(HashId).collect(),
+            key,
+            payload: payload.to_vec(),
+            timestamp: Timestamp(a),
+        },
+        2 => Request::GetReplica {
+            hash: HashId(hashes.first().copied().unwrap_or(7)),
+            key,
+        },
+        3 => Request::Timestamp {
+            key,
+            generate: flag_a % 2 == 0,
+            observation_hint: if flag_b % 2 == 0 {
+                None
+            } else {
+                Some(Timestamp(b))
+            },
+        },
+        4 => Request::HandoffRange {
+            start: a,
+            end: b,
+            target_id: PeerId(c),
+            kind: if flag_a % 2 == 0 {
+                HandoffKind::Join
+            } else {
+                HandoffKind::Leave
+            },
+            fault: match flag_b % 3 {
+                0 => None,
+                1 => Some(HandoffFault::CrashAfterExport),
+                _ => Some(HandoffFault::CrashAfterInstall),
+            },
+        },
+        5 => Request::InstallState {
+            start: a,
+            end: b,
+            bundle: make_bundle(bundle_raw),
+        },
+        6 => Request::Shutdown,
+        _ => Request::Crash,
+    }
+}
+
+/// Builds one of the nine reply variants from raw generated material.
+fn make_reply(
+    selector: u8,
+    payload: &[u8],
+    reason_bytes: &[u8],
+    nums: (u64, u64, u32, u32),
+) -> Reply {
+    let (a, b, w, f) = nums;
+    let reason = String::from_utf8_lossy(reason_bytes).into_owned();
+    match selector % 9 {
+        0 => Reply::PutAck,
+        1 => Reply::PutsAck {
+            written: w,
+            failed: f,
+        },
+        2 => Reply::Replica(if w % 2 == 0 {
+            None
+        } else {
+            Some((payload.to_vec(), Timestamp(a)))
+        }),
+        3 => Reply::Timestamp(Timestamp(a)),
+        4 => Reply::NeedsInitialization,
+        5 => Reply::HandoffComplete {
+            replicas_moved: a as usize,
+            counters_moved: b as usize,
+        },
+        6 => Reply::HandoffFailed { reason },
+        7 => Reply::InstallAck {
+            replicas_installed: a as usize,
+            counters_received: b as usize,
+        },
+        _ => Reply::Error { reason },
+    }
+}
+
+/// Splits a full frame into its length prefix and payload, checking the
+/// prefix is consistent.
+fn split_frame(frame: &[u8]) -> (usize, &[u8]) {
+    assert!(frame.len() >= 4, "a frame always has a length prefix");
+    let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+    (len, &frame[4..])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Every request variant survives an encode → decode round trip, the
+    /// length prefix matches the payload, and any strict prefix of the
+    /// payload fails with a typed error (never a panic, never a bogus
+    /// success).
+    #[test]
+    fn request_round_trip(
+        selector in any::<u8>(),
+        request_id in any::<u64>(),
+        key_bytes in vec(any::<u8>(), 0..48),
+        payload in vec(any::<u8>(), 0..160),
+        hashes in vec(any::<u32>(), 0..12),
+        nums in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u8>(), any::<u8>()),
+    ) {
+        let request = make_request(selector, &key_bytes, &payload, &hashes, nums, &[]);
+        let frame = encode_request(request_id, &request);
+        let (len, body) = split_frame(&frame);
+        prop_assert_eq!(len, body.len());
+        prop_assert_eq!(
+            decode_payload(body),
+            Ok(Envelope::Request { request_id, request })
+        );
+        for cut in 0..body.len() {
+            prop_assert!(decode_payload(&body[..cut]).is_err());
+        }
+    }
+
+    /// Hand-off bundles — the largest, most nested payload — round-trip with
+    /// every replica, counter and floor intact.
+    #[test]
+    fn install_state_round_trip(
+        request_id in any::<u64>(),
+        start in any::<u64>(),
+        end in any::<u64>(),
+        bundle_raw in vec((any::<u32>(), any::<u8>(), any::<u64>(), any::<u64>(), any::<u8>()), 0..16),
+    ) {
+        let request = Request::InstallState {
+            start,
+            end,
+            bundle: make_bundle(&bundle_raw),
+        };
+        let frame = encode_request(request_id, &request);
+        let (len, body) = split_frame(&frame);
+        prop_assert_eq!(len, body.len());
+        prop_assert_eq!(
+            decode_payload(body),
+            Ok(Envelope::Request { request_id, request })
+        );
+    }
+
+    /// Every reply variant survives an encode → decode round trip, and any
+    /// strict prefix of the payload fails typed.
+    #[test]
+    fn reply_round_trip(
+        selector in any::<u8>(),
+        request_id in any::<u64>(),
+        payload in vec(any::<u8>(), 0..160),
+        reason_bytes in vec(any::<u8>(), 0..48),
+        nums in (any::<u64>(), any::<u64>(), any::<u32>(), any::<u32>()),
+    ) {
+        let reply = make_reply(selector, &payload, &reason_bytes, nums);
+        let frame = encode_reply(request_id, &reply);
+        let (len, body) = split_frame(&frame);
+        prop_assert_eq!(len, body.len());
+        prop_assert_eq!(
+            decode_payload(body),
+            Ok(Envelope::Reply { request_id, reply })
+        );
+        for cut in 0..body.len() {
+            prop_assert!(decode_payload(&body[..cut]).is_err());
+        }
+    }
+
+    /// Decoding arbitrary bytes never panics, and when it *does* succeed the
+    /// bytes must be the canonical encoding of what was decoded (the codec
+    /// has no redundant encodings, so decode is the exact inverse of encode).
+    #[test]
+    fn garbage_decodes_to_typed_error_or_canonical_message(
+        bytes in vec(any::<u8>(), 0..400),
+    ) {
+        match decode_payload(&bytes) {
+            Err(_) => {} // typed rejection is the expected outcome
+            Ok(Envelope::Request { request_id, request }) => {
+                prop_assert_eq!(&encode_request(request_id, &request)[4..], &bytes[..]);
+            }
+            Ok(Envelope::Reply { request_id, reply }) => {
+                prop_assert_eq!(&encode_reply(request_id, &reply)[4..], &bytes[..]);
+            }
+        }
+    }
+
+    /// Corrupting a single byte of a valid payload never panics the decoder:
+    /// it either fails typed or decodes to some message whose canonical
+    /// encoding is the corrupted bytes.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        selector in any::<u8>(),
+        request_id in any::<u64>(),
+        key_bytes in vec(any::<u8>(), 0..24),
+        hashes in vec(any::<u32>(), 0..6),
+        nums in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u8>(), any::<u8>()),
+        corruption in (any::<u16>(), any::<u8>()),
+    ) {
+        let request = make_request(selector, &key_bytes, &[], &hashes, nums, &[]);
+        let frame = encode_request(request_id, &request);
+        let (_, body) = split_frame(&frame);
+        let mut corrupted = body.to_vec();
+        let (at, xor) = corruption;
+        let at = at as usize % corrupted.len();
+        corrupted[at] ^= xor.max(1); // always flips at least one bit
+        let _ = decode_payload(&corrupted); // must not panic
+    }
+
+    /// A stream of several concatenated frames reads back frame by frame,
+    /// ending with a clean EOF — and an arbitrary tail of garbage after the
+    /// last full frame surfaces as an error, not a panic or a bogus frame.
+    #[test]
+    fn framed_stream_reads_back(
+        ids in vec(any::<u64>(), 1..8),
+        tail in vec(any::<u8>(), 0..3),
+    ) {
+        let mut stream = Vec::new();
+        let mut expected = Vec::new();
+        for &id in &ids {
+            let request = Request::GetReplica {
+                hash: HashId(id as u32),
+                key: Key::from_bytes(id.to_le_bytes().to_vec()),
+            };
+            stream.extend_from_slice(&encode_request(id, &request));
+            expected.push((id, request));
+        }
+        let clean_len = stream.len();
+        stream.extend_from_slice(&tail);
+        let mut reader = &stream[..];
+        for (id, request) in expected {
+            let payload = read_frame(&mut reader).unwrap().expect("frame present");
+            prop_assert_eq!(
+                decode_payload(&payload),
+                Ok(Envelope::Request { request_id: id, request })
+            );
+        }
+        if tail.is_empty() {
+            prop_assert_eq!(read_frame(&mut reader).unwrap(), None);
+        } else {
+            // 1–2 stray bytes cannot form a length prefix: EOF mid-prefix.
+            prop_assert!(read_frame(&mut reader).is_err());
+        }
+        prop_assert_eq!(clean_len + tail.len(), stream.len());
+    }
+}
+
+#[cfg(test)]
+mod deterministic {
+    use super::*;
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        // A prefix claiming u32::MAX bytes (≫ MAX_FRAME_LEN) must be refused
+        // from the 4 prefix bytes alone — no buffer allocation, no read of
+        // the (absent) payload.
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut reader = &stream[..];
+        match read_frame(&mut reader) {
+            Err(FrameError::Wire(WireError::FrameTooLarge { len, max })) => {
+                assert_eq!(len, u32::MAX);
+                assert_eq!(max, MAX_FRAME_LEN);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boundary_length_prefix_is_accepted_one_past_is_not() {
+        let over = (MAX_FRAME_LEN + 1).to_le_bytes();
+        let mut reader = &over[..];
+        assert!(matches!(
+            read_frame(&mut reader),
+            Err(FrameError::Wire(WireError::FrameTooLarge { .. }))
+        ));
+        // Exactly MAX_FRAME_LEN passes the prefix check (and then fails as
+        // an incomplete frame, which is an I/O error, not a wire error).
+        let at_max = MAX_FRAME_LEN.to_le_bytes();
+        let mut reader = &at_max[..];
+        assert!(matches!(read_frame(&mut reader), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn eof_inside_a_frame_is_an_io_error() {
+        let frame = encode_request(1, &Request::Shutdown);
+        let truncated = &frame[..frame.len() - 1];
+        let mut reader = truncated;
+        assert!(matches!(read_frame(&mut reader), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut frame = encode_request(1, &Request::Crash);
+        frame[4] = WIRE_VERSION + 1; // version byte is first in the payload
+        assert_eq!(
+            decode_payload(&frame[4..]),
+            Err(WireError::UnsupportedVersion(WIRE_VERSION + 1))
+        );
+    }
+
+    #[test]
+    fn unknown_message_kind_is_rejected() {
+        let mut frame = encode_request(1, &Request::Crash);
+        frame[5] = 9; // kind byte: neither request (0) nor reply (1)
+        assert_eq!(
+            decode_payload(&frame[4..]),
+            Err(WireError::UnknownTag {
+                context: "message kind",
+                tag: 9
+            })
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let frame = encode_request(1, &Request::Shutdown);
+        let mut payload = frame[4..].to_vec();
+        payload.extend_from_slice(&[0, 0, 0]);
+        assert_eq!(
+            decode_payload(&payload),
+            Err(WireError::TrailingBytes { remaining: 3 })
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_in_reason_is_typed() {
+        let frame = encode_reply(
+            1,
+            &Reply::Error {
+                reason: "ab".to_string(),
+            },
+        );
+        let mut payload = frame[4..].to_vec();
+        let len = payload.len();
+        payload[len - 2] = 0xFF; // corrupt the reason's UTF-8 bytes
+        payload[len - 1] = 0xFE;
+        assert_eq!(
+            decode_payload(&payload),
+            Err(WireError::InvalidUtf8 {
+                context: "error reason"
+            })
+        );
+    }
+
+    #[test]
+    fn huge_vector_count_is_rejected_without_allocation() {
+        // A PutReplicas body advertising u32::MAX hashes in a tiny payload
+        // must fail typed before reserving any capacity.
+        let mut payload = Vec::new();
+        payload.push(WIRE_VERSION);
+        payload.push(0); // kind: request
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.push(1); // tag: PutReplicas
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // hash count
+        assert_eq!(
+            decode_payload(&payload),
+            Err(WireError::Truncated {
+                context: "puts hashes"
+            })
+        );
+    }
+}
