@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 use rdht_bench::workload::bench_keys;
 use rdht_core::{ums, InMemoryDht, Timestamp};
 use rdht_hashing::{HashId, Key};
-use rdht_net::{Cluster, ClusterConfig, ClusterStorage, TransportKind};
+use rdht_net::{Cluster, ClusterConfig, ClusterStorage, FaultPlan, RetryPolicy, TransportKind};
 use rdht_storage::{FsyncPolicy, StorageEngine, StorageOp, StorageOptions};
 
 /// One measured benchmark: mean wall-clock nanoseconds per operation.
@@ -207,6 +207,56 @@ fn bench_cluster_insert(
     }
 }
 
+/// End-to-end `ums::insert` on a *lossy* network: a seeded
+/// [`FaultPlan`] drops `percent`% of frames on every directed link (requests
+/// and replies alike) and the aggressive retry policy wins them back. No
+/// storage is attached — the row isolates the **retry tax**: the p0 row is
+/// the same deployment with no faults, so the delta is what timeouts,
+/// backoff and re-sends cost per operation at that loss rate.
+fn bench_cluster_insert_lossy(
+    percent: u32,
+    writers: usize,
+    inserts_per_writer: usize,
+) -> BenchLine {
+    let mut config = ClusterConfig::new(4, 4, 0xfa17).with_transport(TransportKind::Channel);
+    if percent > 0 {
+        let p = f64::from(percent) / 100.0;
+        config = config.with_faults(FaultPlan::lossy(0xbeef + u64::from(percent), p));
+    }
+    let cluster = Arc::new(Cluster::spawn_with(config));
+    {
+        let mut client = cluster
+            .client()
+            .with_retry_policy(RetryPolicy::aggressive());
+        ums::insert(&mut client, &Key::new("warm-up"), vec![0u8; 32]).expect("warm-up");
+    }
+    let ops = (writers * inserts_per_writer) as u64;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let cluster = Arc::clone(&cluster);
+            scope.spawn(move || {
+                let mut client = cluster
+                    .client()
+                    .with_retry_policy(RetryPolicy::aggressive());
+                for i in 0..inserts_per_writer {
+                    let key = Key::new(format!("lossy-w{w}-k{i}"));
+                    ums::insert(&mut client, &key, vec![1u8; 32]).expect("insert");
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    if let Ok(cluster) = Arc::try_unwrap(cluster) {
+        cluster.shutdown();
+    }
+    BenchLine {
+        name: format!("cluster_insert_lossy_p{percent}"),
+        iters: ops,
+        ns_per_op: elapsed.as_nanos() as f64 / ops as f64,
+    }
+}
+
 fn sample_put(i: u64) -> StorageOp {
     // A heavily-overwriting workload (1010 distinct records regardless of
     // log length): this is the case compaction exists for — the WAL grows
@@ -341,6 +391,11 @@ fn main() {
             cluster_inserts,
             TransportKind::Tcp,
         ));
+    }
+    // The retry tax: the same 8-writer insert workload with 0%, 1% and 5%
+    // of frames dropped on every link (p0 is the faultless baseline).
+    for percent in [0u32, 1, 5] {
+        lines.push(bench_cluster_insert_lossy(percent, 8, cluster_inserts));
     }
     let recovery_sizes: &[u64] = if quick {
         &[1_000, 10_000]

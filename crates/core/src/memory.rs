@@ -43,6 +43,7 @@ pub struct InMemoryDht<D: DurableState = NoDurability> {
     fail_all_puts: bool,
     fail_puts_for: HashSet<HashId>,
     fail_gets_for: HashSet<HashId>,
+    fail_kts: bool,
     durability: D,
 }
 
@@ -67,6 +68,7 @@ impl<D: DurableState> InMemoryDht<D> {
             fail_all_puts: false,
             fail_puts_for: HashSet::new(),
             fail_gets_for: HashSet::new(),
+            fail_kts: false,
             durability,
         }
     }
@@ -167,6 +169,13 @@ impl<D: DurableState> InMemoryDht<D> {
         self.fail_gets_for = hashes.into_iter().collect();
     }
 
+    /// Makes every KTS operation fail (simulates the timestamping responsible
+    /// being unreachable, as opposed to crashed-and-restarted). Used to test
+    /// the degraded retrieval path.
+    pub fn fail_kts(&mut self, fail: bool) {
+        self.fail_kts = fail;
+    }
+
     fn indirect_observation(&self, key: &Key) -> IndirectObservation {
         let max = self
             .replicas
@@ -181,6 +190,9 @@ impl<D: DurableState> InMemoryDht<D> {
 
 impl<D: DurableState> UmsAccess for InMemoryDht<D> {
     fn kts_gen_ts(&mut self, key: &Key) -> Result<Timestamp, UmsError> {
+        if self.fail_kts {
+            return Err(UmsError::lookup("timestamping peer unreachable (injected)"));
+        }
         let observation = self.indirect_observation(key);
         Ok(self
             .kts
@@ -189,6 +201,9 @@ impl<D: DurableState> UmsAccess for InMemoryDht<D> {
     }
 
     fn kts_last_ts(&mut self, key: &Key) -> Result<Timestamp, UmsError> {
+        if self.fail_kts {
+            return Err(UmsError::lookup("timestamping peer unreachable (injected)"));
+        }
         let observation = self.indirect_observation(key);
         let policy = self.last_ts_policy;
         Ok(self

@@ -21,6 +21,16 @@ pub enum MembershipError {
     /// The hand-off itself failed mid-flight (a participant crashed or never
     /// answered); the message describes the phase reached.
     TransferFailed(String),
+    /// The coordinator's bounded retry budget for a hand-off expired without
+    /// a definitive answer: the peer driving the transfer stayed silent
+    /// through every re-send. The transfer may still be rolled back or
+    /// completed by the participants; the coordinator just stopped waiting.
+    CoordinationTimeout {
+        /// The peer the coordinator was waiting on.
+        peer: u64,
+        /// How many bounded waits were attempted before giving up.
+        attempts: u32,
+    },
     /// An illegal phase transition was attempted on a [`crate::RangeTransfer`].
     InvalidTransition {
         /// Phase the transfer was in.
@@ -48,6 +58,12 @@ impl std::fmt::Display for MembershipError {
             MembershipError::EmptyRing => write!(f, "the ring has no live members"),
             MembershipError::TransferFailed(reason) => {
                 write!(f, "range transfer failed: {reason}")
+            }
+            MembershipError::CoordinationTimeout { peer, attempts } => {
+                write!(
+                    f,
+                    "peer {peer:#018x} answered none of {attempts} bounded hand-off waits"
+                )
             }
             MembershipError::InvalidTransition { from, to } => {
                 write!(f, "illegal transfer transition {from:?} -> {to:?}")

@@ -1,22 +1,103 @@
-//! The client handle: implements [`UmsAccess`] over real message exchange.
+//! The client handle: implements [`UmsAccess`] over real message exchange,
+//! with deadline + retry + backoff on every call so a lossy network costs
+//! latency instead of failed operations.
 
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use rdht_core::{PutReplicasOutcome, ReplicaValue, Timestamp, UmsAccess, UmsError};
 use rdht_hashing::{HashFamily, HashId, Key};
 
-use crate::cluster::{Directory, PeerId, DEFAULT_FORWARDER_REAP_IDLE};
-use crate::message::{Reply, Request};
+use crate::cluster::{DedupCounters, Directory, PeerId, DEFAULT_FORWARDER_REAP_IDLE};
+use crate::message::{OpId, Reply, Request};
 use crate::tcp::TcpTransport;
 use crate::transport::{CallError, PeerEndpoint, PendingReply, Transport};
 
-/// How long a client waits for a peer's reply before treating it as failed.
-const REPLY_TIMEOUT: Duration = Duration::from_secs(5);
+/// How a client retries a call that produced no usable reply: `attempts`
+/// tries, each waiting `try_timeout` for the reply, with truncated
+/// exponential backoff (± `jitter`) between them. Replaces the old single
+/// hard-coded reply timeout — one lost frame used to be a failed operation;
+/// now it is a re-send, made safe by the peers' dedup windows (every retry
+/// repeats the operation's [`OpId`], so mutations apply exactly once).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = the old no-retry behaviour).
+    pub attempts: u32,
+    /// Per-attempt reply deadline.
+    pub try_timeout: Duration,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_backoff: Duration,
+    /// Cap on the (pre-jitter) backoff.
+    pub max_backoff: Duration,
+    /// Uniform jitter fraction applied to each backoff: the actual sleep is
+    /// `backoff * (1 ± jitter)`. Keeps a fleet of retrying clients from
+    /// re-converging on the same instant.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            try_timeout: Duration::from_secs(5),
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_millis(500),
+            jitter: 0.25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy tuned for fault-plan tests: many quick attempts with short
+    /// deadlines, so a seeded lossy link is ridden out in milliseconds.
+    pub fn aggressive() -> Self {
+        RetryPolicy {
+            attempts: 8,
+            try_timeout: Duration::from_millis(300),
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(80),
+            jitter: 0.25,
+        }
+    }
+
+    fn backoff_for(&self, retry_index: u32) -> Duration {
+        let doubled = self
+            .base_backoff
+            .saturating_mul(1u32 << retry_index.min(16));
+        doubled.min(self.max_backoff)
+    }
+}
+
+static NEXT_ACTOR: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a process-unique (and with high probability deployment-unique)
+/// actor id — the `client` half of the [`OpId`]s an actor issues. Mixes a
+/// process-local counter with wall-clock nanos and the pid so two processes
+/// of a TCP deployment do not collide in the peers' dedup windows.
+pub(crate) fn allocate_actor_id() -> u64 {
+    fn mix(mut x: u64) -> u64 {
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+    let counter = NEXT_ACTOR.fetch_add(1, Ordering::Relaxed);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|since| since.as_nanos() as u64)
+        .unwrap_or(0);
+    let pid = u64::from(std::process::id());
+    mix(counter
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(nanos.rotate_left(17))
+        .wrapping_add(pid << 48))
+}
 
 /// A client of a [`crate::Cluster`]: resolves responsibilities from the
 /// shared directory and exchanges request/reply messages with peers through
@@ -26,9 +107,22 @@ const REPLY_TIMEOUT: Duration = Duration::from_secs(5);
 ///
 /// `ClusterClient` implements [`UmsAccess`], so the *same* `rdht_core::ums`
 /// insert/retrieve code that runs in the simulator runs here — against real
-/// threads (or sockets) and real races.
+/// threads (or sockets) and real races. Every call runs under the client's
+/// [`RetryPolicy`]: responsibility is re-resolved per attempt (churn may
+/// have moved the range between retries) and every retry of a mutation
+/// repeats its [`OpId`], so the peers' dedup windows keep re-sends
+/// exactly-once.
 pub struct ClusterClient {
     directory: Arc<Directory>,
+    retry: RetryPolicy,
+    /// The `client` namespace of this handle's [`OpId`]s.
+    client_id: u64,
+    /// Next fresh `seq`; every *logical* operation gets one, every re-send
+    /// of it repeats it.
+    next_seq: u64,
+    /// Backoff jitter source (seeded from the client id; jitter needs
+    /// decorrelation, not reproducibility).
+    rng: StdRng,
     /// Messages sent by this client (request + reply counted separately),
     /// the cluster analogue of the simulator's message metric.
     messages: u64,
@@ -51,13 +145,21 @@ fn call_failed(error: CallError) -> UmsError {
         CallError::Transport(error) => {
             UmsError::lookup(format!("responsible peer is unreachable: {error}"))
         }
+        CallError::Exhausted { attempts, last } => {
+            UmsError::lookup(format!("all {attempts} attempts failed; last: {last}"))
+        }
     }
 }
 
 impl ClusterClient {
     pub(crate) fn new(directory: Arc<Directory>) -> Self {
+        let client_id = allocate_actor_id();
         ClusterClient {
             directory,
+            retry: RetryPolicy::default(),
+            client_id,
+            next_seq: 0,
+            rng: StdRng::seed_from_u64(client_id),
             messages: 0,
             indirect_initializations: 0,
         }
@@ -88,8 +190,25 @@ impl ClusterClient {
             peers: RwLock::new(ring),
             message_delay: Duration::ZERO,
             forwarder_reap_idle: DEFAULT_FORWARDER_REAP_IDLE,
+            dedup: DedupCounters::default(),
         });
         ClusterClient::new(directory)
+    }
+
+    /// Returns this client with the given retry policy.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Replaces this client's retry policy.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The retry policy calls run under.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Number of messages this client has exchanged so far.
@@ -105,18 +224,68 @@ impl ClusterClient {
         self.indirect_initializations
     }
 
+    /// A fresh [`OpId`] for one logical operation; its retries repeat it.
+    fn next_op(&mut self) -> OpId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        OpId {
+            client: self.client_id,
+            seq,
+        }
+    }
+
+    /// Sleeps the truncated-exponential, jittered backoff before retry
+    /// number `retry_index` (0-based).
+    fn backoff_sleep(&mut self, retry_index: u32) {
+        let backoff = self.retry.backoff_for(retry_index);
+        if backoff.is_zero() {
+            return;
+        }
+        let spread = 1.0 + self.retry.jitter * (self.rng.gen::<f64>() * 2.0 - 1.0);
+        std::thread::sleep(backoff.mul_f64(spread.max(0.0)));
+    }
+
+    /// One call under the retry policy: per attempt, re-resolve the peer
+    /// responsible for `position` (churn may have moved it between
+    /// retries), send, and wait `try_timeout`. *Every* failure kind is
+    /// retried — a timeout may be loss, a teardown may be a crash another
+    /// peer already failed over, a rejection may be a forward that raced a
+    /// reap; re-resolving and re-sending is the answer to all of them, and
+    /// the dedup windows make it safe for mutations.
     fn request(&mut self, position: u64, request: Request) -> Result<Reply, UmsError> {
-        let (_peer, endpoint) = self
-            .directory
-            .responsible_for(position)
-            .ok_or(UmsError::EmptyOverlay)?;
-        let pending = endpoint
-            .send(request)
-            .map_err(|error| call_failed(CallError::Transport(error)))?;
-        self.messages += 1;
-        let reply = pending.wait(REPLY_TIMEOUT).map_err(call_failed)?;
-        self.messages += 1;
-        Ok(reply)
+        let attempts = self.retry.attempts.max(1);
+        let mut last: Option<CallError> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.backoff_sleep(attempt - 1);
+            }
+            let Some((_peer, endpoint)) = self.directory.responsible_for(position) else {
+                return Err(UmsError::EmptyOverlay);
+            };
+            let outcome = match endpoint.send(request.clone()) {
+                Ok(pending) => {
+                    self.messages += 1;
+                    pending.wait(self.retry.try_timeout)
+                }
+                Err(error) => Err(CallError::Transport(error)),
+            };
+            match outcome {
+                Ok(reply) => {
+                    self.messages += 1;
+                    return Ok(reply);
+                }
+                Err(error) => last = Some(error),
+            }
+        }
+        let last = last.unwrap_or(CallError::Timeout);
+        Err(call_failed(if attempts == 1 {
+            last
+        } else {
+            CallError::Exhausted {
+                attempts,
+                last: Box::new(last),
+            }
+        }))
     }
 
     /// Gathers the indirect observation for a key: reads every replica and
@@ -136,9 +305,13 @@ impl ClusterClient {
 
     fn timestamp_request(&mut self, key: &Key, generate: bool) -> Result<Timestamp, UmsError> {
         let position = self.directory.family.eval_timestamp(key);
+        // Only a `gen_ts` is a mutation; `last_ts` is a pure read and needs
+        // no dedup identity.
+        let op = generate.then(|| self.next_op());
         let first = self.request(
             position,
             Request::Timestamp {
+                op,
                 key: key.clone(),
                 generate,
                 observation_hint: None,
@@ -148,12 +321,17 @@ impl ClusterClient {
             Reply::Timestamp(ts) => Ok(ts),
             Reply::NeedsInitialization => {
                 // The responsible has no valid counter (it took over after a
-                // crash): run the indirect initialization and retry.
+                // crash): run the indirect initialization and retry. The
+                // hint-carrying call is a *new* logical operation and MUST
+                // get a fresh op — reusing the first op would be answered
+                // from the cached `NeedsInitialization` forever.
                 self.indirect_initializations += 1;
                 let observed = self.gather_observation(key)?;
+                let op = generate.then(|| self.next_op());
                 let second = self.request(
                     position,
                     Request::Timestamp {
+                        op,
                         key: key.clone(),
                         generate,
                         observation_hint: Some(observed),
@@ -189,9 +367,11 @@ impl UmsAccess for ClusterClient {
         value: &ReplicaValue,
     ) -> Result<(), UmsError> {
         let position = self.directory.family.eval(hash, key);
+        let op = Some(self.next_op());
         let reply = self.request(
             position,
             Request::PutReplica {
+                op,
                 hash,
                 key: key.clone(),
                 payload: value.data.clone(),
@@ -213,47 +393,86 @@ impl UmsAccess for ClusterClient {
     /// work in parallel; each answers one [`Reply::PutsAck`] once its last
     /// constituent put (including any it had to forward under churn)
     /// completed.
+    ///
+    /// Under the retry policy, a group whose ack was lost (or that reported
+    /// partial failure) is re-grouped against the *current* directory view
+    /// and re-sent under the same [`OpId`] — the applying peers re-ack
+    /// already-applied constituents from their dedup caches, so the final
+    /// attempt's counts are correct without double-crediting. Only clean
+    /// acks (`failed == 0`) are credited early; a partially failed group is
+    /// re-queued whole and credited solely by its last attempt.
     fn put_replicas(&mut self, key: &Key, value: &ReplicaValue) -> PutReplicasOutcome {
+        let op = Some(self.next_op());
         let mut outcome = PutReplicasOutcome::default();
-        let mut groups: BTreeMap<PeerId, (PeerEndpoint, Vec<HashId>)> = BTreeMap::new();
-        for hash in self.replication_ids() {
-            let position = self.directory.family.eval(hash, key);
-            match self.directory.responsible_for(position) {
-                Some((peer, endpoint)) => {
-                    groups
-                        .entry(peer)
-                        .or_insert_with(|| (endpoint, Vec::new()))
-                        .1
-                        .push(hash);
-                }
-                None => outcome.failed += 1,
+        let mut remaining: Vec<HashId> = self.replication_ids().collect();
+        let attempts = self.retry.attempts.max(1);
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.backoff_sleep(attempt - 1);
             }
-        }
-        let mut waits: Vec<(usize, PendingReply)> = Vec::new();
-        for (_, (endpoint, hashes)) in groups {
-            let count = hashes.len();
-            let request = Request::PutReplicas {
-                hashes,
-                key: key.clone(),
-                payload: value.data.clone(),
-                timestamp: value.timestamp,
-            };
-            match endpoint.send(request) {
-                Ok(pending) => {
-                    self.messages += 1;
-                    waits.push((count, pending));
+            let final_attempt = attempt + 1 == attempts;
+            let mut groups: BTreeMap<PeerId, (PeerEndpoint, Vec<HashId>)> = BTreeMap::new();
+            let mut unroutable: Vec<HashId> = Vec::new();
+            for hash in remaining.drain(..) {
+                let position = self.directory.family.eval(hash, key);
+                match self.directory.responsible_for(position) {
+                    Some((peer, endpoint)) => {
+                        groups
+                            .entry(peer)
+                            .or_insert_with(|| (endpoint, Vec::new()))
+                            .1
+                            .push(hash);
+                    }
+                    None => unroutable.push(hash),
                 }
-                Err(_) => outcome.failed += count,
             }
-        }
-        for (count, pending) in waits {
-            match pending.wait(REPLY_TIMEOUT) {
-                Ok(Reply::PutsAck { written, failed }) => {
-                    self.messages += 1;
-                    outcome.written += written as usize;
-                    outcome.failed += failed as usize;
+            let mut waits: Vec<(Vec<HashId>, PendingReply)> = Vec::new();
+            for (_, (endpoint, hashes)) in groups {
+                let request = Request::PutReplicas {
+                    op,
+                    hashes: hashes.clone(),
+                    key: key.clone(),
+                    payload: value.data.clone(),
+                    timestamp: value.timestamp,
+                };
+                match endpoint.send(request) {
+                    Ok(pending) => {
+                        self.messages += 1;
+                        waits.push((hashes, pending));
+                    }
+                    Err(_) if final_attempt => outcome.failed += hashes.len(),
+                    Err(_) => remaining.extend(hashes),
                 }
-                Ok(_) | Err(_) => outcome.failed += count,
+            }
+            for (hashes, pending) in waits {
+                match pending.wait(self.retry.try_timeout) {
+                    Ok(Reply::PutsAck { written, failed: 0 }) => {
+                        self.messages += 1;
+                        outcome.written += written as usize;
+                    }
+                    Ok(Reply::PutsAck { written, failed }) if final_attempt => {
+                        self.messages += 1;
+                        outcome.written += written as usize;
+                        outcome.failed += failed as usize;
+                    }
+                    Ok(Reply::PutsAck { .. }) => {
+                        // Partial failure mid-budget: re-queue the whole
+                        // group uncredited — the retry's cached re-acks make
+                        // the final count correct without double-crediting.
+                        self.messages += 1;
+                        remaining.extend(hashes);
+                    }
+                    Ok(_) | Err(_) if final_attempt => outcome.failed += hashes.len(),
+                    Ok(_) | Err(_) => remaining.extend(hashes),
+                }
+            }
+            if final_attempt {
+                outcome.failed += unroutable.len();
+            } else {
+                remaining.extend(unroutable);
+            }
+            if remaining.is_empty() {
+                break;
             }
         }
         outcome

@@ -12,9 +12,10 @@
 //! deployments run one [`serve_tcp_peer`] per process and connect with
 //! [`crate::ClusterClient::connect_tcp`].
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::net::SocketAddr;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -33,8 +34,9 @@ use rdht_membership::{
 use rdht_overlay::in_open_closed_interval;
 use rdht_storage::{StorageEngine, StorageOptions};
 
-use crate::client::ClusterClient;
-use crate::message::{HandoffFault, HandoffKind, Reply, Request};
+use crate::client::{allocate_actor_id, ClusterClient};
+use crate::fault::{set_thread_source, FaultPlan, FaultyTransport};
+use crate::message::{HandoffFault, HandoffKind, OpId, Reply, Request};
 use crate::tcp::TcpTransport;
 use crate::transport::{
     CallError, ChannelTransport, Incoming, Mailbox, PeerEndpoint, ReplySink, Transport,
@@ -42,11 +44,28 @@ use crate::transport::{
 };
 
 /// How long the peer driving a hand-off waits for the target to journal the
-/// shipped bundle before aborting the transfer. This is the only deadline in
-/// the protocol: the coordinator itself waits on reply-path teardown rather
-/// than a clock, so a slow-but-alive source can never race a coordinator
-/// timeout into inconsistent directory state.
-const INSTALL_ACK_TIMEOUT: Duration = Duration::from_secs(30);
+/// shipped bundle before **re-sending** it. A lost install ack is the
+/// textbook lossy-network hang: the target journaled the bundle but the ack
+/// vanished, so the source re-ships under the same [`OpId`] and the target
+/// re-acknowledges from its dedup cache without re-applying.
+const INSTALL_ACK_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// How many times a hand-off source re-ships a bundle whose install ack
+/// never arrived before aborting the transfer.
+const INSTALL_ATTEMPTS: u32 = 5;
+
+/// Per-attempt deadline of the coordinator's hand-off wait. Long enough to
+/// cover the source's full install retry budget
+/// (`INSTALL_ATTEMPTS * INSTALL_ACK_TIMEOUT`), so a coordinator re-send can
+/// only mean the request or the reply was lost — never that the source is
+/// still working.
+const COORDINATION_ATTEMPT_TIMEOUT: Duration = Duration::from_secs(15);
+
+/// How many bounded waits a join/leave coordinator makes before giving up
+/// with [`MembershipError::CoordinationTimeout`]. Re-sends repeat the same
+/// [`OpId`], so a source that already committed re-acknowledges from its
+/// dedup cache instead of driving a second transfer.
+const COORDINATION_ATTEMPTS: u32 = 4;
 
 /// Default bounded-idle grace period after which a gracefully departed
 /// peer's forwarder thread is reaped ([`ClusterConfig::forwarder_reap_idle`]).
@@ -141,6 +160,12 @@ pub struct ClusterConfig {
     pub forwarder_reap_idle: Duration,
     /// The transport backend peers and clients communicate over.
     pub transport: TransportKind,
+    /// When set, the transport is wrapped in a [`FaultyTransport`] applying
+    /// this plan to every frame — drops, duplicates, latency and partitions
+    /// per directed link. The cluster is expected to *survive* it: client
+    /// retries, peer-side dedup and bounded coordinator waits turn a hostile
+    /// network into latency, not lost updates.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ClusterConfig {
@@ -156,6 +181,7 @@ impl ClusterConfig {
             storage: None,
             forwarder_reap_idle: DEFAULT_FORWARDER_REAP_IDLE,
             transport: TransportKind::Channel,
+            faults: None,
         }
     }
 
@@ -176,6 +202,35 @@ impl ClusterConfig {
         self.transport = transport;
         self
     }
+
+    /// Returns a copy whose transport is decorated with the given fault
+    /// plan. Works over either backend.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+}
+
+/// Shared totals of the peers' idempotency windows
+/// ([`Cluster::dedup_stats`]).
+#[derive(Default)]
+pub(crate) struct DedupCounters {
+    pub(crate) applied: AtomicU64,
+    pub(crate) suppressed: AtomicU64,
+}
+
+/// Totals of the peers' request-dedup windows: how many identified
+/// mutations were applied for the first time, and how many arrived again (a
+/// client retry or a duplicated frame) and were answered from the cached
+/// reply instead of being re-applied. `duplicates_suppressed > 0` under a
+/// fault plan is the proof that the network misbehaved *and* that no
+/// mutation ran twice because of it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DedupStats {
+    /// Identified mutations applied exactly once.
+    pub mutations_applied: u64,
+    /// Retried or duplicated mutations answered from the cache.
+    pub duplicates_suppressed: u64,
 }
 
 /// Shared, read-mostly view of cluster membership: which peers exist, which
@@ -190,6 +245,8 @@ pub(crate) struct Directory {
     pub(crate) peers: RwLock<BTreeMap<PeerId, (PeerEndpoint, bool)>>,
     pub(crate) message_delay: Duration,
     pub(crate) forwarder_reap_idle: Duration,
+    /// Cluster-wide dedup totals, fed by every peer's idempotency window.
+    pub(crate) dedup: DedupCounters,
 }
 
 impl Directory {
@@ -300,6 +357,10 @@ pub struct Cluster {
     directory: Arc<Directory>,
     handles: BTreeMap<PeerId, JoinHandle<()>>,
     config: ClusterConfig,
+    /// Dedup namespace of this coordinator's hand-off requests: every
+    /// join/leave gets a fresh `seq`, every re-send repeats it.
+    coordinator_client: u64,
+    next_coordination_seq: u64,
 }
 
 impl Cluster {
@@ -319,9 +380,13 @@ impl Cluster {
     /// cannot bind a peer.
     pub fn spawn_with(config: ClusterConfig) -> Self {
         assert!(config.num_peers > 0, "a cluster needs at least one peer");
-        let transport: Arc<dyn Transport> = match config.transport {
+        let base: Arc<dyn Transport> = match config.transport {
             TransportKind::Channel => Arc::new(ChannelTransport::new()),
             TransportKind::Tcp => Arc::new(TcpTransport::new()),
+        };
+        let transport: Arc<dyn Transport> = match &config.faults {
+            Some(plan) => Arc::new(FaultyTransport::new(base, plan.clone())),
+            None => base,
         };
         let family = HashFamily::new(config.num_replicas, config.seed);
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0xc1u64);
@@ -347,6 +412,7 @@ impl Cluster {
             peers: RwLock::new(ring),
             message_delay: config.message_delay,
             forwarder_reap_idle: config.forwarder_reap_idle,
+            dedup: DedupCounters::default(),
         });
         let handles = bound
             .into_iter()
@@ -361,12 +427,32 @@ impl Cluster {
             directory,
             handles,
             config,
+            coordinator_client: allocate_actor_id(),
+            next_coordination_seq: 0,
         }
     }
 
     /// The configuration the cluster was spawned with.
     pub fn config(&self) -> &ClusterConfig {
         &self.config
+    }
+
+    /// Totals of the peers' idempotency windows: mutations applied exactly
+    /// once vs. retried/duplicated arrivals answered from the cache.
+    pub fn dedup_stats(&self) -> DedupStats {
+        DedupStats {
+            mutations_applied: self.directory.dedup.applied.load(Ordering::Relaxed),
+            duplicates_suppressed: self.directory.dedup.suppressed.load(Ordering::Relaxed),
+        }
+    }
+
+    fn next_coordination_op(&mut self) -> OpId {
+        let seq = self.next_coordination_seq;
+        self.next_coordination_seq += 1;
+        OpId {
+            client: self.coordinator_client,
+            seq,
+        }
     }
 
     /// Creates a client handle. Clients are cheap; create one per thread that
@@ -609,22 +695,23 @@ impl Cluster {
             .map(|(endpoint, _)| endpoint.clone())
             .expect("the planned source is a live directory member");
 
-        // Wait on reply-path teardown, not a clock: a slow-but-alive source
-        // must never race a coordinator deadline (it could commit —
-        // registering the joiner — after the coordinator already tore the
-        // joiner down). If the source fail-stops, every transport tears the
-        // reply path down and this wait errors promptly; if it is alive,
-        // its own bounded install-ack wait guarantees it eventually replies.
-        let outcome: Result<Reply, CallError> = match source_endpoint.send(Request::HandoffRange {
-            start: plan.range_start,
-            end: plan.range_end,
-            target_id: new_id,
-            kind: HandoffKind::Join,
-            fault,
-        }) {
-            Ok(pending) => pending.wait_unbounded(),
-            Err(error) => Err(CallError::Transport(error)),
-        };
+        // Bounded waits with re-sends, not an unbounded wait: a lost
+        // request (or a lost completion reply) is re-sent under the same
+        // OpId, and a source that already committed answers again from its
+        // dedup cache instead of driving a second transfer. A teardown of
+        // the reply path (the source fail-stopped) still surfaces promptly
+        // as `Dropped`.
+        let outcome = coordinate_handoff(
+            &source_endpoint,
+            Request::HandoffRange {
+                op: Some(self.next_coordination_op()),
+                start: plan.range_start,
+                end: plan.range_end,
+                target_id: new_id,
+                kind: HandoffKind::Join,
+                fault,
+            },
+        );
         match outcome {
             Ok(Reply::HandoffComplete {
                 replicas_moved,
@@ -641,20 +728,52 @@ impl Cluster {
                     counters_moved,
                 })
             }
+            Err(CallError::Exhausted { attempts, .. })
+                if self.peer_is_alive(new_id) && fault.is_none() =>
+            {
+                // Every bounded wait timed out, but the directory says the
+                // joiner is registered: the hand-off *committed* and only
+                // the completion replies were lost. The joiner is live and
+                // owns its range — tearing it down now would corrupt the
+                // ring, so report success (the moved counts are unknown;
+                // the state itself is where it belongs).
+                let _ = attempts;
+                self.handles.insert(new_id, handle);
+                Ok(JoinReport {
+                    peer: new_id,
+                    source,
+                    range_start: plan.range_start,
+                    range_end: plan.range_end,
+                    replicas_moved: 0,
+                    counters_moved: 0,
+                })
+            }
             other => {
-                // The hand-off never committed (the source crashed or timed
-                // out): tear the unregistered joiner down. Whatever the
-                // joiner already journaled survives in its directory; a
-                // retried join_peer for the same id recovers it and
-                // completes the transfer.
+                // The hand-off never committed (the source crashed, answered
+                // a failure, or stayed silent through every bounded wait):
+                // tear the unregistered joiner down. Whatever the joiner
+                // already journaled survives in its directory; a retried
+                // join_peer for the same id recovers it and completes the
+                // transfer.
                 let _ = joiner.send_no_reply(Request::Crash);
                 let _ = handle.join();
-                let reason = match other {
-                    Ok(Reply::HandoffFailed { reason }) => reason,
-                    Ok(reply) => format!("unexpected hand-off reply: {reply:?}"),
-                    Err(_) => "the source peer crashed mid-transfer".to_string(),
-                };
-                Err(MembershipError::TransferFailed(reason))
+                Err(match other {
+                    Err(CallError::Exhausted { attempts, .. }) => {
+                        MembershipError::CoordinationTimeout {
+                            peer: source.0,
+                            attempts,
+                        }
+                    }
+                    Ok(Reply::HandoffFailed { reason }) | Err(CallError::Rejected(reason)) => {
+                        MembershipError::TransferFailed(reason)
+                    }
+                    Ok(reply) => MembershipError::TransferFailed(format!(
+                        "unexpected hand-off reply: {reply:?}"
+                    )),
+                    Err(_) => MembershipError::TransferFailed(
+                        "the source peer crashed mid-transfer".to_string(),
+                    ),
+                })
             }
         }
     }
@@ -701,18 +820,20 @@ impl Cluster {
         let plan = plan_leave(&alive, leaving.0)?;
         let target = PeerId(plan.target);
 
-        // Disconnect-aware wait, same reasoning as join_peer: no clock can
-        // race the departing peer into an inconsistent directory.
-        let outcome: Result<Reply, CallError> = match leaving_endpoint.send(Request::HandoffRange {
-            start: plan.range_start,
-            end: plan.range_end,
-            target_id: target,
-            kind: HandoffKind::Leave,
-            fault,
-        }) {
-            Ok(pending) => pending.wait_unbounded(),
-            Err(error) => Err(CallError::Transport(error)),
-        };
+        // Bounded waits with re-sends, same reasoning as join_peer: the
+        // departing peer's dedup cache re-acknowledges a committed hand-off,
+        // so a lost completion reply costs a retry, not a hang.
+        let outcome = coordinate_handoff(
+            &leaving_endpoint,
+            Request::HandoffRange {
+                op: Some(self.next_coordination_op()),
+                start: plan.range_start,
+                end: plan.range_end,
+                target_id: target,
+                kind: HandoffKind::Leave,
+                fault,
+            },
+        );
         match outcome {
             Ok(Reply::HandoffComplete {
                 replicas_moved,
@@ -725,9 +846,35 @@ impl Cluster {
                 replicas_moved,
                 counters_moved,
             }),
+            Err(CallError::Exhausted { attempts, .. })
+                if fault.is_none() && !self.peer_is_alive(leaving) =>
+            {
+                // Silent through every wait, but the directory already shows
+                // the departure: the commit happened (it flips the directory
+                // before the reply) and only the completions were lost. The
+                // successor owns the range; report success with unknown
+                // moved counts. Gated on `fault.is_none()` because injected
+                // crashes also mark the peer dead without committing.
+                let _ = attempts;
+                Ok(LeaveReport {
+                    peer: leaving,
+                    target,
+                    range_start: plan.range_start,
+                    range_end: plan.range_end,
+                    replicas_moved: 0,
+                    counters_moved: 0,
+                })
+            }
+            Err(CallError::Exhausted { attempts, .. }) => {
+                Err(MembershipError::CoordinationTimeout {
+                    peer: leaving.0,
+                    attempts,
+                })
+            }
             other => {
                 let reason = match other {
                     Ok(Reply::HandoffFailed { reason }) => reason,
+                    Err(CallError::Rejected(reason)) => reason,
                     Ok(reply) => format!("unexpected hand-off reply: {reply:?}"),
                     Err(_) => "the departing peer crashed mid-transfer".to_string(),
                 };
@@ -813,12 +960,38 @@ pub fn serve_tcp_peer(config: TcpPeerConfig) -> Result<(), TransportError> {
         peers: RwLock::new(ring),
         message_delay: Duration::ZERO,
         forwarder_reap_idle: DEFAULT_FORWARDER_REAP_IDLE,
+        dedup: DedupCounters::default(),
     });
     let mut engine = open_engine(&config.storage, config.id);
     let kts = kts_from_recovery(&mut engine);
+    set_thread_source(config.id);
     peer_main(config.id, mailbox, Arc::clone(&directory), engine, kts);
     directory.transport.unbind(config.id);
     Ok(())
+}
+
+/// One coordinator hand-off exchange under the bounded retry discipline:
+/// send, wait [`COORDINATION_ATTEMPT_TIMEOUT`], and on a pure timeout
+/// re-send the *same* request (same [`OpId`]) up to
+/// [`COORDINATION_ATTEMPTS`] times. Anything other than a timeout — a
+/// reply, a rejection, a reply-path teardown — is definitive and returned
+/// as-is; spent budgets come back as [`CallError::Exhausted`].
+fn coordinate_handoff(endpoint: &PeerEndpoint, request: Request) -> Result<Reply, CallError> {
+    let mut last = CallError::Timeout;
+    for _ in 0..COORDINATION_ATTEMPTS {
+        let outcome = match endpoint.send(request.clone()) {
+            Ok(pending) => pending.wait(COORDINATION_ATTEMPT_TIMEOUT),
+            Err(error) => Err(CallError::Transport(error)),
+        };
+        match outcome {
+            Err(CallError::Timeout) => last = CallError::Timeout,
+            other => return other,
+        }
+    }
+    Err(CallError::Exhausted {
+        attempts: COORDINATION_ATTEMPTS,
+        last: Box::new(last),
+    })
 }
 
 /// Spawns a peer thread that serves `peer_main` and tears its transport
@@ -832,6 +1005,9 @@ fn spawn_peer_thread(
     kts: KtsNode,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
+        // Frames this thread originates (forwards, install bundles) are
+        // attributed to this peer's directed links by the fault layer.
+        set_thread_source(id);
         let transport = Arc::clone(&directory.transport);
         peer_main(id, mailbox, directory, engine, kts);
         transport.unbind(id);
@@ -935,14 +1111,106 @@ fn data_position(request: &Request, family: &HashFamily) -> Option<u64> {
     }
 }
 
+/// Entries each identified client keeps in a peer's dedup window. Sized
+/// far above any realistic number of in-flight operations per client (a
+/// retry can only arrive while its op is in flight), so an evicted entry
+/// means the op completed long ago.
+const DEDUP_WINDOW_PER_CLIENT: usize = 256;
+
+/// Client namespaces a peer tracks before evicting the least recently
+/// active one.
+const DEDUP_MAX_CLIENTS: usize = 1024;
+
+/// Sub-key of a dedup entry for requests with one unit of effect. The
+/// constituents of a batched put use their replication hash index instead,
+/// which can never collide with this (a `PutReplica` whose hash is not in
+/// the family — `TIMESTAMP_HASH_ID` is `u32::MAX` — is rejected before the
+/// window is consulted).
+const NO_SUB: u32 = u32::MAX;
+
+struct ClientWindow {
+    replies: HashMap<(u64, u32), Reply>,
+    order: VecDeque<(u64, u32)>,
+    last_used: u64,
+}
+
+/// A peer's idempotency window: the cached replies of recently applied
+/// identified mutations, keyed by client namespace and `(seq, sub)`. A
+/// retried or duplicated mutation that hits the window is answered from the
+/// cache without being re-applied — this is what makes client retries and
+/// frame duplication safe for non-idempotent operations (`gen_ts` counter
+/// increments, hand-off installs).
+///
+/// The window is memory-only on purpose: it protects against *network*
+/// duplication within a retry horizon. A peer that crashed lost its live
+/// state anyway, and every protocol op it might re-apply after restart is
+/// guarded by its own on-disk rules (puts by stamp comparison, installs by
+/// the transfer journal).
+#[derive(Default)]
+struct DedupWindow {
+    clients: HashMap<u64, ClientWindow>,
+    tick: u64,
+}
+
+impl DedupWindow {
+    /// The cached reply of `(op, sub)`, if this mutation was already
+    /// applied.
+    fn lookup(&mut self, op: OpId, sub: u32) -> Option<Reply> {
+        self.tick += 1;
+        let tick = self.tick;
+        let window = self.clients.get_mut(&op.client)?;
+        window.last_used = tick;
+        window.replies.get(&(op.seq, sub)).cloned()
+    }
+
+    /// Records the reply of a freshly applied mutation, evicting the oldest
+    /// entry of the client's window (and, when the client cap is hit, the
+    /// least recently active client) as needed.
+    fn record(&mut self, op: OpId, sub: u32, reply: Reply) {
+        self.tick += 1;
+        let tick = self.tick;
+        if !self.clients.contains_key(&op.client) && self.clients.len() >= DEDUP_MAX_CLIENTS {
+            if let Some(stalest) = self
+                .clients
+                .iter()
+                .min_by_key(|(_, window)| window.last_used)
+                .map(|(client, _)| *client)
+            {
+                self.clients.remove(&stalest);
+            }
+        }
+        let window = self
+            .clients
+            .entry(op.client)
+            .or_insert_with(|| ClientWindow {
+                replies: HashMap::new(),
+                order: VecDeque::new(),
+                last_used: tick,
+            });
+        window.last_used = tick;
+        if window.replies.insert((op.seq, sub), reply).is_none() {
+            window.order.push_back((op.seq, sub));
+            if window.order.len() > DEDUP_WINDOW_PER_CLIENT {
+                if let Some(evicted) = window.order.pop_front() {
+                    window.replies.remove(&evicted);
+                }
+            }
+        }
+    }
+}
+
 /// State owned by one peer thread: the storage engine (journaled or
 /// ephemeral) holding its replicas, its KTS node whose counter mutations
-/// are journaled through the engine, and the forwarding rules installed by
-/// committed hand-offs.
+/// are journaled through the engine, the forwarding rules installed by
+/// committed hand-offs, and the idempotency window de-duplicating retried
+/// and duplicated mutations.
 struct PeerRuntime {
     engine: StorageEngine,
     kts: KtsNode,
     forwards: Vec<Forwarding>,
+    dedup: DedupWindow,
+    /// Seq allocator of the ops this peer originates (install bundles).
+    local_seq: u64,
 }
 
 /// Whether a request may ride in a group-commit batch. Only plain data
@@ -995,6 +1263,8 @@ fn peer_main(
         engine,
         kts,
         forwards: Vec::new(),
+        dedup: DedupWindow::default(),
+        local_seq: 0,
     };
     // A journal I/O failure (disk full, directory removed, ...) is latched
     // inside the engine; the peer keeps serving its in-memory state —
@@ -1090,16 +1360,22 @@ fn peer_main(
                 // constituents route individually below — under churn some
                 // may forward to the peer now responsible for them.
                 if let Request::PutReplicas {
+                    op,
                     hashes,
                     key,
                     payload,
                     timestamp,
                 } = request
                 {
+                    // Constituents inherit the batch's op, disambiguated by
+                    // their hash at the applying peer — a retried batch that
+                    // was *regrouped* under a changed directory view still
+                    // deduplicates per constituent.
                     let sinks = ReplySink::fanin(hashes.len(), reply);
                     for (hash, sink) in hashes.into_iter().zip(sinks) {
                         units.push_back(Incoming {
                             request: Request::PutReplica {
+                                op,
                                 hash,
                                 key: key.clone(),
                                 payload: payload.clone(),
@@ -1163,6 +1439,7 @@ fn peer_main(
                 };
                 match request {
                     Request::PutReplica {
+                        op,
                         hash,
                         key,
                         payload,
@@ -1180,6 +1457,13 @@ fn peer_main(
                             ));
                             continue;
                         };
+                        if let Some(op) = op {
+                            if let Some(cached) = runtime.dedup.lookup(op, hash.0) {
+                                directory.dedup.suppressed.fetch_add(1, Ordering::Relaxed);
+                                deferred.push((reply, cached));
+                                continue;
+                            }
+                        }
                         let accepted = match runtime.engine.replicas().get(hash, &key) {
                             Some(existing) => timestamp > existing.stamp,
                             None => true,
@@ -1190,6 +1474,10 @@ fn peer_main(
                             runtime
                                 .engine
                                 .record_replica_put(hash, &key, &value, position);
+                        }
+                        if let Some(op) = op {
+                            runtime.dedup.record(op, hash.0, Reply::PutAck);
+                            directory.dedup.applied.fetch_add(1, Ordering::Relaxed);
                         }
                         deferred.push((reply, Reply::PutAck));
                     }
@@ -1205,10 +1493,23 @@ fn peer_main(
                         deferred.push((reply, Reply::Replica(stored)));
                     }
                     Request::Timestamp {
+                        op,
                         key,
                         generate,
                         observation_hint,
                     } => {
+                        // A retried `gen_ts` must not increment the counter
+                        // again: the cached reply returns the timestamp the
+                        // first application generated. (A cached
+                        // `NeedsInitialization` is safe too — the client
+                        // allocates a fresh op for the hint-carrying call.)
+                        if let Some(op) = op {
+                            if let Some(cached) = runtime.dedup.lookup(op, NO_SUB) {
+                                directory.dedup.suppressed.fetch_add(1, Ordering::Relaxed);
+                                deferred.push((reply, cached));
+                                continue;
+                            }
+                        }
                         let answer = if runtime.kts.has_counter(&key) {
                             let ts = if generate {
                                 runtime
@@ -1260,24 +1561,47 @@ fn peer_main(
                                 }
                             }
                         };
+                        if let Some(op) = op {
+                            runtime.dedup.record(op, NO_SUB, answer.clone());
+                            if matches!(answer, Reply::Timestamp(_)) {
+                                directory.dedup.applied.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
                         deferred.push((reply, answer));
                     }
                     Request::HandoffRange {
+                        op,
                         start,
                         end,
                         target_id,
                         kind,
                         fault,
                     } => {
+                        // A coordinator re-send of a hand-off this peer
+                        // already resolved (committed *or* aborted) is
+                        // answered from the cache: driving a second transfer
+                        // for the same op would re-export a range that may
+                        // already live elsewhere.
+                        if let Some(op) = op {
+                            if let Some(cached) = runtime.dedup.lookup(op, NO_SUB) {
+                                directory.dedup.suppressed.fetch_add(1, Ordering::Relaxed);
+                                reply.send(cached);
+                                continue;
+                            }
+                        }
                         // The target is addressed by id and resolved through
                         // the transport: a joiner is bound there before it
                         // is a directory member.
                         let target = match directory.transport.endpoint(target_id) {
                             Ok(endpoint) => endpoint,
                             Err(error) => {
-                                reply.send(Reply::HandoffFailed {
+                                let answer = Reply::HandoffFailed {
                                     reason: format!("cannot resolve hand-off target: {error}"),
-                                });
+                                };
+                                if let Some(op) = op {
+                                    runtime.dedup.record(op, NO_SUB, answer.clone());
+                                }
+                                reply.send(answer);
                                 continue;
                             }
                         };
@@ -1305,26 +1629,56 @@ fn peer_main(
                             directory.mark_dead(id);
                             break 'peer;
                         }
-                        // Phase `Installed`: ship the bundle and wait for the
-                        // target to journal it.
-                        let acked = match target.send(Request::InstallState { start, end, bundle })
-                        {
-                            Ok(pending) => matches!(
-                                pending.wait(INSTALL_ACK_TIMEOUT),
-                                Ok(Reply::InstallAck { .. })
-                            ),
-                            Err(_) => false,
-                        };
+                        // Phase `Installed`: ship the bundle and wait for
+                        // the target to journal it, re-sending on a pure
+                        // timeout under the *same* install op — a target
+                        // that journaled the bundle but whose ack was lost
+                        // re-acknowledges from its dedup cache instead of
+                        // re-applying a bundle that interleaved counter
+                        // activity may have superseded.
+                        let install_op = Some(OpId {
+                            client: id.0,
+                            seq: runtime.local_seq,
+                        });
+                        runtime.local_seq += 1;
+                        let mut acked = false;
+                        for _ in 0..INSTALL_ATTEMPTS {
+                            let outcome = match target.send(Request::InstallState {
+                                op: install_op,
+                                start,
+                                end,
+                                bundle: bundle.clone(),
+                            }) {
+                                Ok(pending) => pending.wait(INSTALL_ACK_TIMEOUT),
+                                Err(error) => Err(CallError::Transport(error)),
+                            };
+                            match outcome {
+                                Ok(Reply::InstallAck { .. }) => {
+                                    acked = true;
+                                    break;
+                                }
+                                // Only silence warrants a re-send; a
+                                // teardown or rejection means the target is
+                                // gone or refused — definitive either way.
+                                Err(CallError::Timeout) => continue,
+                                _ => break,
+                            }
+                        }
                         if !acked {
-                            // The target died before journaling the bundle:
-                            // abort without committing. This peer keeps its
-                            // replicas (the export only copied them) and keeps
-                            // serving; the moved counters are gone, which only
-                            // costs indirect re-inits.
-                            reply.send(Reply::HandoffFailed {
+                            // The target died (or stayed silent through the
+                            // whole retry budget) before journaling the
+                            // bundle: abort without committing. This peer
+                            // keeps its replicas (the export only copied
+                            // them) and keeps serving; the moved counters
+                            // are gone, which only costs indirect re-inits.
+                            let answer = Reply::HandoffFailed {
                                 reason: "hand-off target never acknowledged the install"
                                     .to_string(),
-                            });
+                            };
+                            if let Some(op) = op {
+                                runtime.dedup.record(op, NO_SUB, answer.clone());
+                            }
+                            reply.send(answer);
                             continue;
                         }
                         if fault == Some(HandoffFault::CrashAfterInstall) {
@@ -1357,12 +1711,33 @@ fn peer_main(
                         if kind == HandoffKind::Leave {
                             departed = true;
                         }
-                        reply.send(Reply::HandoffComplete {
+                        let answer = Reply::HandoffComplete {
                             replicas_moved,
                             counters_moved,
-                        });
+                        };
+                        if let Some(op) = op {
+                            runtime.dedup.record(op, NO_SUB, answer.clone());
+                            directory.dedup.applied.fetch_add(1, Ordering::Relaxed);
+                        }
+                        reply.send(answer);
                     }
-                    Request::InstallState { start, end, bundle } => {
+                    Request::InstallState {
+                        op,
+                        start,
+                        end,
+                        bundle,
+                    } => {
+                        // A re-shipped bundle whose ack was lost must not be
+                        // re-applied: interleaved counter activity may have
+                        // advanced past the bundle's images, and re-installing
+                        // would regress them. The cached ack answers instead.
+                        if let Some(op) = op {
+                            if let Some(cached) = runtime.dedup.lookup(op, NO_SUB) {
+                                directory.dedup.suppressed.fetch_add(1, Ordering::Relaxed);
+                                reply.send(cached);
+                                continue;
+                            }
+                        }
                         let report = install_handoff(&mut runtime.engine, &mut runtime.kts, bundle);
                         // This peer owns (start, end] again: retire any
                         // forwarding rule that overlaps it, or a former owner
@@ -1376,10 +1751,15 @@ fn peer_main(
                         // commit, so an unsynced install journal would be the
                         // only holder of the moved state.
                         runtime.engine.sync_to_durable();
-                        reply.send(Reply::InstallAck {
+                        let answer = Reply::InstallAck {
                             replicas_installed: report.replicas_installed,
                             counters_received: report.counters_received,
-                        });
+                        };
+                        if let Some(op) = op {
+                            runtime.dedup.record(op, NO_SUB, answer.clone());
+                            directory.dedup.applied.fetch_add(1, Ordering::Relaxed);
+                        }
+                        reply.send(answer);
                     }
                     Request::Shutdown | Request::Crash => {
                         unreachable!("lifecycle requests never enter a batch")

@@ -115,22 +115,24 @@
 
 mod client;
 mod cluster;
+pub mod fault;
 mod message;
 mod tcp;
 mod transport;
 pub mod wire;
 
-pub use client::ClusterClient;
+pub use client::{ClusterClient, RetryPolicy};
 pub use cluster::{
-    serve_tcp_peer, Cluster, ClusterConfig, ClusterStorage, JoinReport, LeaveReport, PeerId,
-    RestartReport, TcpPeerConfig, TransportKind,
+    serve_tcp_peer, Cluster, ClusterConfig, ClusterStorage, DedupStats, JoinReport, LeaveReport,
+    PeerId, RestartReport, TcpPeerConfig, TransportKind,
 };
-pub use message::{HandoffFault, HandoffKind, Reply, Request};
+pub use fault::{End, FaultPlan, FaultStats, FaultyTransport, LinkCounters, LinkFaults};
+pub use message::{HandoffFault, HandoffKind, OpId, Reply, Request};
 pub use rdht_membership::MembershipError;
 pub use tcp::TcpTransport;
 pub use transport::{
     CallError, ChannelTransport, EndpointImpl, Incoming, Mailbox, PeerEndpoint, PendingReply,
-    ReplySink, ReplyWriter, SendRejected, Transport, TransportError,
+    ReplyHook, ReplySink, ReplyWriter, SendRejected, Transport, TransportError,
 };
 pub use wire::{WireError, MAX_FRAME_LEN, WIRE_VERSION};
 

@@ -13,6 +13,20 @@ use rdht_membership::HandoffBundle;
 
 use crate::cluster::PeerId;
 
+/// Identity of one logical mutating operation, carried by the request (and
+/// every retry of it) so the receiving peer can deduplicate: a retried or
+/// duplicated mutation is applied once and re-acknowledged from a cached
+/// reply. Clients and coordinating peers each own a `client` namespace and
+/// allocate `seq` monotonically; a *new* logical operation always gets a
+/// fresh `seq`, while every re-send of the *same* operation repeats it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OpId {
+    /// The issuing actor (a client handle, or a peer driving a hand-off).
+    pub client: u64,
+    /// Sequence number of the operation within that actor.
+    pub seq: u64,
+}
+
 /// Which membership operation a [`Request::HandoffRange`] implements.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum HandoffKind {
@@ -53,6 +67,9 @@ pub enum Request {
     /// Store a stamped replica; the peer keeps it only if the stamp is newer
     /// than what it already holds (UMS `put_h` semantics).
     PutReplica {
+        /// Dedup identity of the logical put; `None` for fire-and-forget
+        /// senders that never retry.
+        op: Option<OpId>,
         /// Replication hash function the replica is stored under.
         hash: HashId,
         /// The application key.
@@ -70,6 +87,11 @@ pub enum Request {
     /// was applied (or forwarded and acknowledged by the peer now
     /// responsible for it).
     PutReplicas {
+        /// Dedup identity of the logical batched put. The constituent
+        /// per-hash puts inherit it, each disambiguated by its hash — so a
+        /// retried batch that is *regrouped* under a changed directory view
+        /// still deduplicates per constituent.
+        op: Option<OpId>,
         /// The replication hash functions to store the payload under.
         hashes: Vec<HashId>,
         /// The application key.
@@ -91,6 +113,11 @@ pub enum Request {
     /// gathers the indirect observation before retrying with
     /// `observation_hint`.
     Timestamp {
+        /// Dedup identity of a `gen_ts` (set only when `generate` — a
+        /// counter increment must not be re-applied on a retry; the cached
+        /// reply returns the *same* timestamp instead). `last_ts` is a pure
+        /// read and carries `None`.
+        op: Option<OpId>,
         /// The application key.
         key: Key,
         /// True for `gen_ts`, false for `last_ts`.
@@ -109,6 +136,11 @@ pub enum Request {
     /// through the transport (it may not be in the directory yet: a joiner
     /// is registered only at the commit point).
     HandoffRange {
+        /// Dedup identity of the hand-off, repeated by every coordinator
+        /// re-send: a source that already committed re-acknowledges from its
+        /// cached [`Reply::HandoffComplete`] instead of driving a second
+        /// transfer, which is what makes bounded coordinator deadlines safe.
+        op: Option<OpId>,
         /// Exclusive start of the moved interval.
         start: u64,
         /// Inclusive end of the moved interval.
@@ -127,6 +159,11 @@ pub enum Request {
     /// makes a crash from this point on completable: the source treats the
     /// ack as licence to prune its own copy at commit.
     InstallState {
+        /// Dedup identity of this install attempt. The source re-sends the
+        /// bundle under the *same* id when an install ack is lost; the
+        /// target must not re-apply an old bundle after interleaved counter
+        /// activity, so the cached [`Reply::InstallAck`] answers instead.
+        op: Option<OpId>,
         /// Exclusive start of the interval the bundle covers.
         start: u64,
         /// Inclusive end of the interval the bundle covers.

@@ -33,7 +33,7 @@ use std::io::Write;
 use std::net::{Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
@@ -51,6 +51,20 @@ use crate::Request;
 /// dead port fail immediately (connection refused); this bounds dials that
 /// hang (e.g. a firewalled address).
 const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Total redial budget of one delivery: after the free retry against a
+/// fresh connection, further dials (with capped exponential backoff,
+/// re-resolving the address book each time) run until this deadline. Long
+/// enough to ride out a peer restarting mid-stream — even onto a new port —
+/// short enough that a send to a peer that is really gone still fails as a
+/// prompt typed error rather than a client-timeout-sized hang.
+const REDIAL_DEADLINE: Duration = Duration::from_secs(2);
+
+/// First redial backoff; doubles per redial up to [`REDIAL_BACKOFF_CAP`].
+const REDIAL_BACKOFF_START: Duration = Duration::from_millis(5);
+
+/// Cap on the redial backoff.
+const REDIAL_BACKOFF_CAP: Duration = Duration::from_millis(200);
 
 /// The write half of an accepted connection, shared by every in-flight
 /// request that arrived on it. Replies are framed under the lock so
@@ -150,8 +164,13 @@ impl TcpTransport {
         self.inner.book.lock().get(&peer.0).copied()
     }
 
-    /// Dials `addr`, or reuses the pooled connection to it.
-    fn connection_to(&self, addr: SocketAddr) -> Result<Arc<Connection>, TransportError> {
+    /// Dials `addr` (bounded by `connect_timeout`), or reuses the pooled
+    /// connection to it.
+    fn connection_to(
+        &self,
+        addr: SocketAddr,
+        connect_timeout: Duration,
+    ) -> Result<Arc<Connection>, TransportError> {
         {
             let pool = self.inner.pool.lock();
             if let Some(conn) = pool.get(&addr) {
@@ -160,7 +179,7 @@ impl TcpTransport {
                 }
             }
         }
-        let stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)
+        let stream = TcpStream::connect_timeout(&addr, connect_timeout)
             .map_err(|error| TransportError::Io(format!("dial {addr}: {error}")))?;
         let _ = stream.set_nodelay(true);
         let reader = stream
@@ -261,51 +280,76 @@ struct TcpEndpoint {
 
 impl EndpointImpl for TcpEndpoint {
     fn deliver(&self, request: Request, sink: ReplySink) -> Result<(), SendRejected> {
-        let Some(addr) = self.transport.addr_of(PeerId(self.peer)) else {
-            return Err(SendRejected {
-                error: TransportError::UnknownPeer(self.peer),
-                request,
-                sink,
-            });
+        // Lifecycle messages get the classic two attempts (a pooled
+        // connection may be stale) but no redial budget: a shutdown fanning
+        // out to peers that are already gone must not pay a deadline each.
+        let budget = if matches!(request, Request::Shutdown | Request::Crash) {
+            Duration::ZERO
+        } else {
+            REDIAL_DEADLINE
         };
+        let deadline = Instant::now() + budget;
+        let mut backoff = REDIAL_BACKOFF_START;
         let mut sink = sink;
-        // Two attempts: a pooled connection may have died since its last
-        // use (the peer restarted, an idle timeout); the second attempt
-        // always runs over a freshly dialled connection.
-        for _ in 0..2 {
-            let conn = match self.transport.connection_to(addr) {
-                Ok(conn) => conn,
-                Err(error) => {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            // The address book is re-resolved every attempt: a peer that
+            // restarted on a *new* port publishes it there, and the redial
+            // loop picks it up mid-stream without re-creating endpoints.
+            let Some(addr) = self.transport.addr_of(PeerId(self.peer)) else {
+                return Err(SendRejected {
+                    error: TransportError::UnknownPeer(self.peer),
+                    request,
+                    sink,
+                });
+            };
+            // Redials must not dial past the deadline they serve.
+            let connect_timeout = if attempt == 1 {
+                CONNECT_TIMEOUT
+            } else {
+                CONNECT_TIMEOUT
+                    .min(deadline.saturating_duration_since(Instant::now()))
+                    .max(Duration::from_millis(25))
+            };
+            let failure = match self.transport.connection_to(addr, connect_timeout) {
+                Ok(conn) => match TcpTransport::try_send(&conn, &request, sink) {
+                    Ok(()) => return Ok(()),
+                    Err(Some(recovered)) => {
+                        // Evict the dead connection so the retry dials fresh.
+                        let mut pool = self.transport.inner.pool.lock();
+                        if let Some(current) = pool.get(&addr) {
+                            if Arc::ptr_eq(current, &conn) {
+                                pool.remove(&addr);
+                            }
+                        }
+                        drop(pool);
+                        sink = recovered;
+                        TransportError::Closed
+                    }
+                    // The reader drained the pending table concurrently: the
+                    // sink already signalled its caller, nothing to retry
+                    // with.
+                    Err(None) => return Ok(()),
+                },
+                Err(error) => error,
+            };
+            // The second attempt (fresh dial after evicting a stale pooled
+            // connection) is always free; from there on, redial with capped
+            // backoff until the deadline.
+            if attempt >= 2 {
+                let now = Instant::now();
+                if now >= deadline {
                     return Err(SendRejected {
-                        error,
+                        error: failure,
                         request,
                         sink,
-                    })
+                    });
                 }
-            };
-            match TcpTransport::try_send(&conn, &request, sink) {
-                Ok(()) => return Ok(()),
-                Err(Some(recovered)) => {
-                    // Evict the dead connection so the retry dials fresh.
-                    let mut pool = self.transport.inner.pool.lock();
-                    if let Some(current) = pool.get(&addr) {
-                        if Arc::ptr_eq(current, &conn) {
-                            pool.remove(&addr);
-                        }
-                    }
-                    drop(pool);
-                    sink = recovered;
-                }
-                // The reader drained the pending table concurrently: the
-                // sink already signalled its caller, nothing to retry with.
-                Err(None) => return Ok(()),
+                std::thread::sleep(backoff.min(deadline.saturating_duration_since(now)));
+                backoff = (backoff * 2).min(REDIAL_BACKOFF_CAP);
             }
         }
-        Err(SendRejected {
-            error: TransportError::Closed,
-            request,
-            sink,
-        })
     }
 }
 

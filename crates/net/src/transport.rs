@@ -73,6 +73,15 @@ pub enum CallError {
     Timeout,
     /// The peer (or a forwarder on the path) answered [`Reply::Error`].
     Rejected(String),
+    /// Every attempt of a retrying call failed — the retry budget of a
+    /// [`crate::RetryPolicy`] is spent. `last` is the final attempt's
+    /// failure.
+    Exhausted {
+        /// How many attempts were made.
+        attempts: u32,
+        /// The failure of the last attempt.
+        last: Box<CallError>,
+    },
 }
 
 impl fmt::Display for CallError {
@@ -84,6 +93,9 @@ impl fmt::Display for CallError {
             }
             CallError::Timeout => write!(f, "the peer did not reply in time"),
             CallError::Rejected(reason) => write!(f, "the request was rejected: {reason}"),
+            CallError::Exhausted { attempts, last } => {
+                write!(f, "all {attempts} attempts failed; last: {last}")
+            }
         }
     }
 }
@@ -137,6 +149,19 @@ impl FaninState {
     }
 }
 
+/// Interceptor of one reply path, consumed exactly once — either
+/// [`ReplyHook::deliver`] fires with the peer's answer or
+/// [`ReplyHook::dropped`] fires when the sink is torn down unsent.
+/// Middleware (the fault-injecting decorator) uses this to apply faults on
+/// the *reverse* link of a request without the peer loop knowing.
+pub trait ReplyHook: Send {
+    /// The peer answered; the hook decides what happens to the reply.
+    fn deliver(self: Box<Self>, reply: Reply);
+    /// The sink was dropped unsent — a teardown signal (crash, reap), not a
+    /// network frame; hooks are expected to propagate it promptly.
+    fn dropped(self: Box<Self>);
+}
+
 enum SinkInner {
     /// No one is waiting (lifecycle messages).
     Null,
@@ -150,6 +175,8 @@ enum SinkInner {
     },
     /// One constituent put of a batched [`Request::PutReplicas`].
     Fanin(Arc<Mutex<FaninState>>),
+    /// A middleware interceptor wrapping another sink.
+    Hooked(Box<dyn ReplyHook>),
 }
 
 /// The reply path of one in-flight request. Consume it with
@@ -167,6 +194,7 @@ impl fmt::Debug for ReplySink {
             SinkInner::Channel(_) => "Channel",
             SinkInner::Remote { .. } => "Remote",
             SinkInner::Fanin(_) => "Fanin",
+            SinkInner::Hooked(_) => "Hooked",
         };
         write!(f, "ReplySink::{kind}")
     }
@@ -192,6 +220,14 @@ impl ReplySink {
     pub fn remote(writer: Arc<dyn ReplyWriter>, request_id: u64) -> Self {
         ReplySink {
             inner: SinkInner::Remote { writer, request_id },
+        }
+    }
+
+    /// A sink routing the reply (or the teardown signal) through a
+    /// middleware hook.
+    pub fn hooked(hook: Box<dyn ReplyHook>) -> Self {
+        ReplySink {
+            inner: SinkInner::Hooked(hook),
         }
     }
 
@@ -235,6 +271,7 @@ impl ReplySink {
                 let ok = matches!(reply, Reply::PutAck);
                 FaninState::absorb(&state, ok);
             }
+            SinkInner::Hooked(hook) => hook.deliver(reply),
         }
     }
 }
@@ -255,6 +292,7 @@ impl Drop for ReplySink {
                 );
             }
             SinkInner::Fanin(state) => FaninState::absorb(&state, false),
+            SinkInner::Hooked(hook) => hook.dropped(),
         }
     }
 }

@@ -36,12 +36,15 @@ use rdht_membership::HandoffBundle;
 use rdht_storage::StoredReplica;
 
 use crate::cluster::PeerId;
-use crate::message::{HandoffFault, HandoffKind, Reply, Request};
+use crate::message::{HandoffFault, HandoffKind, OpId, Reply, Request};
 
 /// Version byte every frame starts with. Bumped on any incompatible layout
 /// change; decoders reject frames from other versions with
 /// [`WireError::UnsupportedVersion`].
-pub const WIRE_VERSION: u8 = 1;
+///
+/// Version 2 added the optional [`OpId`] dedup metadata to the mutating
+/// request variants.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Upper bound on a frame's payload length (64 MiB). A length prefix above
 /// this is rejected *before* any allocation — a garbage or hostile prefix
@@ -182,6 +185,17 @@ fn put_counters(out: &mut Vec<u8>, counters: &[(Key, Timestamp)]) {
     }
 }
 
+fn put_op(out: &mut Vec<u8>, op: &Option<OpId>) {
+    match op {
+        None => put_u8(out, 0),
+        Some(op) => {
+            put_u8(out, 1);
+            put_u64(out, op.client);
+            put_u64(out, op.seq);
+        }
+    }
+}
+
 fn put_bundle(out: &mut Vec<u8>, bundle: &HandoffBundle) {
     put_u32(out, bundle.replicas.len() as u32);
     for (hash, key, replica) in &bundle.replicas {
@@ -198,24 +212,28 @@ fn put_bundle(out: &mut Vec<u8>, bundle: &HandoffBundle) {
 fn put_request_body(out: &mut Vec<u8>, request: &Request) {
     match request {
         Request::PutReplica {
+            op,
             hash,
             key,
             payload,
             timestamp,
         } => {
             put_u8(out, 0);
+            put_op(out, op);
             put_u32(out, hash.0);
             put_key(out, key);
             put_bytes(out, payload);
             put_u64(out, timestamp.0);
         }
         Request::PutReplicas {
+            op,
             hashes,
             key,
             payload,
             timestamp,
         } => {
             put_u8(out, 1);
+            put_op(out, op);
             put_u32(out, hashes.len() as u32);
             for hash in hashes {
                 put_u32(out, hash.0);
@@ -230,11 +248,13 @@ fn put_request_body(out: &mut Vec<u8>, request: &Request) {
             put_key(out, key);
         }
         Request::Timestamp {
+            op,
             key,
             generate,
             observation_hint,
         } => {
             put_u8(out, 3);
+            put_op(out, op);
             put_key(out, key);
             put_bool(out, *generate);
             match observation_hint {
@@ -246,6 +266,7 @@ fn put_request_body(out: &mut Vec<u8>, request: &Request) {
             }
         }
         Request::HandoffRange {
+            op,
             start,
             end,
             target_id,
@@ -253,6 +274,7 @@ fn put_request_body(out: &mut Vec<u8>, request: &Request) {
             fault,
         } => {
             put_u8(out, 4);
+            put_op(out, op);
             put_u64(out, *start);
             put_u64(out, *end);
             put_u64(out, target_id.0);
@@ -272,8 +294,14 @@ fn put_request_body(out: &mut Vec<u8>, request: &Request) {
                 },
             );
         }
-        Request::InstallState { start, end, bundle } => {
+        Request::InstallState {
+            op,
+            start,
+            end,
+            bundle,
+        } => {
             put_u8(out, 5);
+            put_op(out, op);
             put_u64(out, *start);
             put_u64(out, *end);
             put_bundle(out, bundle);
@@ -439,6 +467,17 @@ impl<'a> Cursor<'a> {
         Ok(count)
     }
 
+    fn op(&mut self, context: &'static str) -> Result<Option<OpId>, WireError> {
+        match self.u8(context)? {
+            0 => Ok(None),
+            1 => Ok(Some(OpId {
+                client: self.u64(context)?,
+                seq: self.u64(context)?,
+            })),
+            tag => Err(WireError::UnknownTag { context, tag }),
+        }
+    }
+
     fn counters(&mut self, context: &'static str) -> Result<Vec<(Key, Timestamp)>, WireError> {
         let count = self.count(4 + 8, context)?;
         let mut out = Vec::with_capacity(count);
@@ -490,18 +529,21 @@ impl<'a> Cursor<'a> {
 fn decode_request_body(cursor: &mut Cursor<'_>) -> Result<Request, WireError> {
     match cursor.u8("request tag")? {
         0 => Ok(Request::PutReplica {
+            op: cursor.op("put op id")?,
             hash: HashId(cursor.u32("put hash")?),
             key: cursor.key("put key")?,
             payload: cursor.bytes("put payload")?.to_vec(),
             timestamp: Timestamp(cursor.u64("put timestamp")?),
         }),
         1 => {
+            let op = cursor.op("puts op id")?;
             let count = cursor.count(4, "puts hashes")?;
             let mut hashes = Vec::with_capacity(count);
             for _ in 0..count {
                 hashes.push(HashId(cursor.u32("puts hash")?));
             }
             Ok(Request::PutReplicas {
+                op,
                 hashes,
                 key: cursor.key("puts key")?,
                 payload: cursor.bytes("puts payload")?.to_vec(),
@@ -513,6 +555,7 @@ fn decode_request_body(cursor: &mut Cursor<'_>) -> Result<Request, WireError> {
             key: cursor.key("get key")?,
         }),
         3 => {
+            let op = cursor.op("timestamp op id")?;
             let key = cursor.key("timestamp key")?;
             let generate = cursor.bool("timestamp generate flag")?;
             let observation_hint = match cursor.u8("timestamp hint tag")? {
@@ -526,12 +569,14 @@ fn decode_request_body(cursor: &mut Cursor<'_>) -> Result<Request, WireError> {
                 }
             };
             Ok(Request::Timestamp {
+                op,
                 key,
                 generate,
                 observation_hint,
             })
         }
         4 => {
+            let op = cursor.op("hand-off op id")?;
             let start = cursor.u64("hand-off start")?;
             let end = cursor.u64("hand-off end")?;
             let target_id = PeerId(cursor.u64("hand-off target")?);
@@ -557,6 +602,7 @@ fn decode_request_body(cursor: &mut Cursor<'_>) -> Result<Request, WireError> {
                 }
             };
             Ok(Request::HandoffRange {
+                op,
                 start,
                 end,
                 target_id,
@@ -565,6 +611,7 @@ fn decode_request_body(cursor: &mut Cursor<'_>) -> Result<Request, WireError> {
             })
         }
         5 => Ok(Request::InstallState {
+            op: cursor.op("install op id")?,
             start: cursor.u64("install start")?,
             end: cursor.u64("install end")?,
             bundle: cursor.bundle()?,

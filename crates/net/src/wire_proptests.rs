@@ -12,7 +12,7 @@ use rdht_membership::HandoffBundle;
 use rdht_storage::StoredReplica;
 
 use crate::cluster::PeerId;
-use crate::message::{HandoffFault, HandoffKind, Reply, Request};
+use crate::message::{HandoffFault, HandoffKind, OpId, Reply, Request};
 use crate::wire::{
     decode_payload, encode_reply, encode_request, read_frame, Envelope, FrameError, WireError,
     MAX_FRAME_LEN, WIRE_VERSION,
@@ -36,6 +36,12 @@ fn raw_payload(selector: u8, stamp: u64) -> Vec<u8> {
         .take((selector % 37) as usize)
         .copied()
         .collect()
+}
+
+/// Derives an optional operation id from raw material: odd selectors carry
+/// one, even selectors omit it, so both wire encodings are exercised.
+fn raw_op(selector: u8, client: u64, seq: u64) -> Option<OpId> {
+    (selector % 2 == 1).then_some(OpId { client, seq })
 }
 
 fn make_bundle(raw: &[BundleRaw]) -> HandoffBundle {
@@ -72,12 +78,14 @@ fn make_request(
     let (a, b, c, flag_a, flag_b) = nums;
     match selector % 8 {
         0 => Request::PutReplica {
+            op: raw_op(flag_b, b, c),
             hash: HashId(hashes.first().copied().unwrap_or(7)),
             key,
             payload: payload.to_vec(),
             timestamp: Timestamp(a),
         },
         1 => Request::PutReplicas {
+            op: raw_op(flag_b, b, c),
             hashes: hashes.iter().copied().map(HashId).collect(),
             key,
             payload: payload.to_vec(),
@@ -88,6 +96,7 @@ fn make_request(
             key,
         },
         3 => Request::Timestamp {
+            op: raw_op(flag_a.wrapping_shr(1), a, c),
             key,
             generate: flag_a % 2 == 0,
             observation_hint: if flag_b % 2 == 0 {
@@ -97,6 +106,7 @@ fn make_request(
             },
         },
         4 => Request::HandoffRange {
+            op: raw_op(flag_a ^ flag_b, a, b),
             start: a,
             end: b,
             target_id: PeerId(c),
@@ -112,6 +122,7 @@ fn make_request(
             },
         },
         5 => Request::InstallState {
+            op: raw_op(flag_a, a, b),
             start: a,
             end: b,
             bundle: make_bundle(bundle_raw),
@@ -198,11 +209,13 @@ proptest! {
     #[test]
     fn install_state_round_trip(
         request_id in any::<u64>(),
+        op_raw in (any::<u8>(), any::<u64>(), any::<u64>()),
         start in any::<u64>(),
         end in any::<u64>(),
         bundle_raw in vec((any::<u32>(), any::<u8>(), any::<u64>(), any::<u64>(), any::<u8>()), 0..16),
     ) {
         let request = Request::InstallState {
+            op: raw_op(op_raw.0, op_raw.1, op_raw.2),
             start,
             end,
             bundle: make_bundle(&bundle_raw),
@@ -424,6 +437,7 @@ mod deterministic {
         payload.push(0); // kind: request
         payload.extend_from_slice(&1u64.to_le_bytes());
         payload.push(1); // tag: PutReplicas
+        payload.push(0); // op id: absent
         payload.extend_from_slice(&u32::MAX.to_le_bytes()); // hash count
         assert_eq!(
             decode_payload(&payload),

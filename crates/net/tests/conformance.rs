@@ -65,6 +65,7 @@ fn pipelined_requests_match_replies_by_id() {
             .map(|i| {
                 endpoint
                     .send(Request::PutReplica {
+                        op: None,
                         hash: HashId(0),
                         key: Key::new(format!("pipe:{i}")),
                         payload: vec![i; 3],
@@ -158,6 +159,9 @@ fn crashed_peer_yields_typed_error_and_ring_stays_live() {
             Ok(reply) => panic!("{kind:?}: crashed peer answered: {reply:?}"),
             Err(CallError::Timeout) => {
                 panic!("{kind:?}: crash surfaced as a timeout, not a typed failure")
+            }
+            Err(CallError::Exhausted { .. }) => {
+                panic!("{kind:?}: a bare endpoint send never retries")
             }
         }
         assert!(

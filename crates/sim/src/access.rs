@@ -4,6 +4,7 @@
 use std::collections::HashSet;
 
 use rdht_hashing::{HashId, Key};
+use rdht_net::fault::End;
 use rdht_overlay::{LookupError, NodeId, Overlay, Record, WritePolicy};
 
 use rdht_baseline::{BrkAccess, Version, VersionedValue};
@@ -56,6 +57,24 @@ impl<'a> SimAccess<'a> {
     fn put_is_forced_to_fail(&self, hash: HashId) -> bool {
         self.forced_put_failures
             .is_some_and(|failures| failures.contains(&hash))
+    }
+
+    /// Rolls the configured fault plan for the data message
+    /// `origin → holder`. A dropped message costs the sender a full timeout
+    /// (it waits for an ack or response that never comes) — the same penalty
+    /// a transiently unreachable peer incurs.
+    fn data_message_dropped(&mut self, holder: NodeId) -> bool {
+        let dropped = self
+            .sim
+            .config
+            .fault_plan
+            .as_ref()
+            .is_some_and(|plan| plan.roll_drop(End::Peer(self.origin.0), End::Peer(holder.0)));
+        if dropped {
+            self.elapsed += self.sim.network.timeout_penalty();
+            self.messages += 1;
+        }
+        dropped
     }
 
     /// The accumulated cost: (simulated seconds, messages).
@@ -214,6 +233,9 @@ impl UmsAccess for SimAccess<'_> {
             self.messages += 1;
             return Err(UmsError::lookup("replica holder transiently unreachable"));
         }
+        if self.data_message_dropped(holder) {
+            return Err(UmsError::lookup("replica write lost (fault plan)"));
+        }
         self.charge_data();
         self.charge_control();
         let peer = self
@@ -237,6 +259,9 @@ impl UmsAccess for SimAccess<'_> {
     fn get_replica(&mut self, hash: HashId, key: &Key) -> Result<Option<ReplicaValue>, UmsError> {
         let position = self.sim.family.eval(hash, key);
         let holder = self.lookup_priced(self.origin, position)?;
+        if self.data_message_dropped(holder) {
+            return Err(UmsError::lookup("replica probe lost (fault plan)"));
+        }
         let record = self
             .sim
             .peers
@@ -277,6 +302,9 @@ impl BrkAccess for SimAccess<'_> {
             self.messages += 1;
             return Err(UmsError::lookup("replica holder transiently unreachable"));
         }
+        if self.data_message_dropped(holder) {
+            return Err(UmsError::lookup("replica write lost (fault plan)"));
+        }
         self.charge_data();
         self.charge_control();
         let peer = self
@@ -304,6 +332,9 @@ impl BrkAccess for SimAccess<'_> {
     ) -> Result<Option<VersionedValue>, UmsError> {
         let position = self.sim.family.eval(hash, key);
         let holder = self.lookup_priced(self.origin, position)?;
+        if self.data_message_dropped(holder) {
+            return Err(UmsError::lookup("replica probe lost (fault plan)"));
+        }
         let record = self
             .sim
             .peers

@@ -1,5 +1,7 @@
 //! Simulation configuration (Table 1 of the paper plus harness knobs).
 
+use rdht_net::FaultPlan;
+
 use crate::network::NetworkModel;
 
 /// Which network model the simulation prices messages with.
@@ -91,6 +93,13 @@ pub struct SimConfig {
     pub transfer_data_on_membership_change: bool,
     /// Network model to price messages with.
     pub network: NetworkProfile,
+    /// Optional link-fault plan shared with the threaded deployment
+    /// (`rdht_net::FaultPlan`): per-directed-link drop probabilities rolled
+    /// on every simulated data message, so the same lossy-network scenarios
+    /// run in virtual time here and in real time on the cluster. A plan
+    /// carries its own seeded per-link RNG state — give each run a freshly
+    /// constructed plan to keep runs reproducible.
+    pub fault_plan: Option<FaultPlan>,
     /// Random seed; two runs with the same config and seed are identical.
     pub seed: u64,
 }
@@ -117,6 +126,7 @@ impl SimConfig {
             inspection_interval: 600.0,
             transfer_data_on_membership_change: true,
             network: NetworkProfile::Internet,
+            fault_plan: None,
             seed: 0x5103_0d07,
         }
     }
@@ -156,6 +166,7 @@ impl SimConfig {
             inspection_interval: 300.0,
             transfer_data_on_membership_change: true,
             network: NetworkProfile::Internet,
+            fault_plan: None,
             seed,
         }
     }
@@ -208,6 +219,13 @@ impl SimConfig {
     /// Returns a copy with a different seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns a copy dropping simulated data messages per `plan` (see
+    /// [`SimConfig::fault_plan`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 

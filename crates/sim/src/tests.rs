@@ -324,3 +324,42 @@ fn membership_rates_reject_negative_values() {
         .validate()
         .is_ok());
 }
+
+#[test]
+fn lossy_fault_plan_drops_messages_and_stays_deterministic() {
+    use rdht_net::FaultPlan;
+
+    // A fresh plan per run: the plan carries its own per-link RNG state.
+    let run_lossy = |seed| {
+        let plan = FaultPlan::lossy(seed, 0.1);
+        let report = run(SimConfig::small_test(48, 7).with_fault_plan(plan.clone()));
+        (report, plan.stats())
+    };
+    let (a, stats_a) = run_lossy(90);
+    let (b, stats_b) = run_lossy(90);
+    assert!(
+        stats_a.totals.frames_dropped > 0,
+        "a 10% lossy plan must drop some simulated data messages"
+    );
+    assert_eq!(
+        stats_a.totals.frames_dropped, stats_b.totals.frames_dropped,
+        "the same plan seed must drop the same messages"
+    );
+    assert_eq!(a.samples.len(), b.samples.len());
+    for (x, y) in a.samples.iter().zip(&b.samples) {
+        assert_eq!(x.algorithm, y.algorithm);
+        assert_eq!(x.messages, y.messages);
+        assert!((x.response_time - y.response_time).abs() < 1e-9);
+    }
+    assert_eq!(a.stats, b.stats);
+
+    // And the losses are visible: every lost data message costs the sender a
+    // full timeout, so the lossy run responds slower than the clean one.
+    let clean = run(SimConfig::small_test(48, 7));
+    let lossy_rt = a.summary(Algorithm::UmsDirect).mean_response_time;
+    let clean_rt = clean.summary(Algorithm::UmsDirect).mean_response_time;
+    assert!(
+        lossy_rt > clean_rt,
+        "lossy {lossy_rt} should exceed clean {clean_rt}"
+    );
+}
