@@ -1,6 +1,7 @@
 //! Hot-path benchmark harness: times the per-operation building blocks the
 //! simulator leans on (key digests, hash-family evaluation, `PeerStore`
-//! put/get/drain, end-to-end UMS insert/retrieve) plus one quick-scale
+//! put/get/drain, end-to-end UMS insert/retrieve, the `rdht-metrics`
+//! counter/histogram instruments the request loops pay) plus one quick-scale
 //! `Simulation::run`, and emits a machine-readable `BENCH_hotpath.json` so
 //! the perf trajectory can be tracked across PRs.
 //!
@@ -13,9 +14,10 @@
 use std::time::Instant;
 
 use rdht_bench::workload::{bench_keys, filled_store};
-use rdht_bench::{experiments, Scale};
+use rdht_bench::{experiments, BenchMeta, Scale};
 use rdht_core::{ums, InMemoryDht};
 use rdht_hashing::HashFamily;
+use rdht_metrics::{Counter, Histogram};
 use rdht_overlay::WritePolicy;
 use rdht_sim::Simulation;
 
@@ -189,6 +191,39 @@ fn bench_ums_retrieve(calls: u64) -> BenchLine {
     line
 }
 
+/// One `Counter::inc` — the instrument every request-loop hot path pays
+/// per message when metrics are on; the row keeps its cost (one relaxed
+/// atomic add) honest across PRs.
+fn bench_counter_inc(calls: u64) -> BenchLine {
+    const BATCH: u64 = 1024;
+    let counter = Counter::new();
+    let line = measure("counter_inc", calls, BATCH, || {
+        for _ in 0..BATCH {
+            counter.inc();
+        }
+    });
+    std::hint::black_box(counter.get());
+    line
+}
+
+/// One `Histogram::observe` with the default latency buckets — the
+/// service-time instrument's per-request cost (a branchless bucket scan
+/// plus three relaxed atomics).
+fn bench_histogram_observe(calls: u64) -> BenchLine {
+    const BATCH: u64 = 1024;
+    let histogram = Histogram::new();
+    // Values spanning the whole bucket range, so the scan depth averaged
+    // over the batch is representative rather than best-case.
+    let values: Vec<u64> = (0..BATCH).map(|i| 1u64 << (i % 32)).collect();
+    let line = measure("histogram_observe", calls, BATCH, || {
+        for &v in &values {
+            histogram.observe(v);
+        }
+    });
+    std::hint::black_box(histogram.snapshot().count);
+    line
+}
+
 fn bench_sim_quick_run(runs: u32) -> BenchLine {
     // Best-of-N wall clock: a full simulation is long enough that scheduler
     // noise dominates the mean, while the minimum tracks the code.
@@ -210,10 +245,10 @@ fn bench_sim_quick_run(runs: u32) -> BenchLine {
 }
 
 fn to_json(mode: &str, lines: &[BenchLine]) -> String {
+    let meta = BenchMeta::new("rdht-bench-hotpath/v2", mode);
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"rdht-bench-hotpath/v1\",\n");
-    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&meta.header_json());
     out.push_str("  \"benches\": [\n");
     for (i, line) in lines.iter().enumerate() {
         let comma = if i + 1 == lines.len() { "" } else { "," };
@@ -250,6 +285,8 @@ fn main() {
         bench_store_drain_narrow(100 * scale),
         bench_ums_insert(50 * scale),
         bench_ums_retrieve(50 * scale),
+        bench_counter_inc(200 * scale),
+        bench_histogram_observe(200 * scale),
     ];
     lines.push(bench_sim_quick_run(if quick { 3 } else { 5 }));
 

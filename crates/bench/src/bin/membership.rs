@@ -184,10 +184,12 @@ fn to_json(
     recovery: &RecoveryComparison,
     sim: &SimComparison,
 ) -> String {
+    let meta = rdht_bench::BenchMeta::new("rdht-bench-membership/v2", mode)
+        .with_fsync("never")
+        .with_transport("channel");
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"rdht-bench-membership/v1\",\n");
-    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&meta.header_json());
     out.push_str("  \"join_leave_latency\": [\n");
     for (i, point) in points.iter().enumerate() {
         let comma = if i + 1 == points.len() { "" } else { "," };

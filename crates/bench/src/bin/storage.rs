@@ -17,7 +17,10 @@
 //! * the same comparison end to end through the threaded deployment
 //!   (`cluster_insert_{always,group_commit}_w{w}`): real writer threads and
 //!   real mailboxes against a single storage-backed peer running the
-//!   drain-apply-sync-reply request loop;
+//!   drain-apply-sync-reply request loop — plus a
+//!   `cluster_insert_group_commit_nometrics_w8` control with the per-peer
+//!   instruments off (`ClusterConfig::with_metrics(false)`), bounding the
+//!   observability tax;
 //! * recovery time (`StorageEngine::recover`) as a function of WAL length,
 //!   and for the same state compacted into a snapshot — why compaction
 //!   exists.
@@ -33,6 +36,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rdht_bench::workload::bench_keys;
+use rdht_bench::BenchMeta;
 use rdht_core::{ums, InMemoryDht, Timestamp};
 use rdht_hashing::{HashId, Key};
 use rdht_net::{Cluster, ClusterConfig, ClusterStorage, FaultPlan, RetryPolicy, TransportKind};
@@ -168,13 +172,15 @@ fn bench_cluster_insert(
     writers: usize,
     inserts_per_writer: usize,
     transport: TransportKind,
+    metrics: bool,
 ) -> BenchLine {
     let dir = temp_dir(&format!("cluster-{label}-w{writers}"));
     let mut options = StorageOptions::with_fsync(policy);
     options.snapshot_every = 0;
     let config = ClusterConfig::new(1, 8, 0xc0ffee)
         .with_storage(ClusterStorage::with_options(&dir, options))
-        .with_transport(transport);
+        .with_transport(transport)
+        .with_metrics(metrics);
     let cluster = Arc::new(Cluster::spawn_with(config));
     {
         // Warm-up outside the clock (thread spin-up, first-touch paths).
@@ -304,10 +310,12 @@ fn bench_recovery(n_ops: u64, repeats: u64) -> Vec<BenchLine> {
 }
 
 fn to_json(mode: &str, lines: &[BenchLine]) -> String {
+    let meta = BenchMeta::new("rdht-bench-storage/v2", mode)
+        .with_fsync("swept per row (never/every64/always/group_commit)")
+        .with_transport("swept per row (in-process/channel/tcp)");
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"rdht-bench-storage/v1\",\n");
-    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&meta.header_json());
     out.push_str("  \"benches\": [\n");
     for (i, line) in lines.iter().enumerate() {
         let comma = if i + 1 == lines.len() { "" } else { "," };
@@ -359,6 +367,7 @@ fn main() {
             writers,
             cluster_inserts,
             TransportKind::Channel,
+            true,
         ));
         // Clients here are closed-loop (each writer has one request in
         // flight), so every op that can join a batch is already queued when
@@ -371,8 +380,22 @@ fn main() {
             writers,
             cluster_inserts,
             TransportKind::Channel,
+            true,
         ));
     }
+    // The observability tax: the same 8-writer group-commit deployment with
+    // per-peer metrics disabled (`ClusterConfig::with_metrics(false)`). The
+    // delta against `cluster_insert_group_commit_w8` is what the request
+    // counters, queue-depth gauge and service-time histogram cost per
+    // insert end to end — the budget is < 2%.
+    lines.push(bench_cluster_insert(
+        "group_commit_nometrics",
+        FsyncPolicy::group_commit(64, Duration::ZERO),
+        8,
+        cluster_inserts,
+        TransportKind::Channel,
+        false,
+    ));
     // The same end-to-end path over the TCP transport: every insert's
     // messages cross the wire codec and loopback sockets, so the rows
     // quantify the framing + socket tax relative to the channel rows.
@@ -383,6 +406,7 @@ fn main() {
             writers,
             cluster_inserts,
             TransportKind::Tcp,
+            true,
         ));
         lines.push(bench_cluster_insert(
             "tcp_group_commit",
@@ -390,6 +414,7 @@ fn main() {
             writers,
             cluster_inserts,
             TransportKind::Tcp,
+            true,
         ));
     }
     // The retry tax: the same 8-writer insert workload with 0%, 1% and 5%

@@ -30,7 +30,7 @@ pub mod parallel;
 mod result;
 pub mod workload;
 
-pub use result::{ExperimentResult, Series};
+pub use result::{BenchMeta, ExperimentResult, Series};
 
 /// How large an experiment run should be.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

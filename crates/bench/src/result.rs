@@ -2,6 +2,74 @@
 
 use std::fmt::Write as _;
 
+/// Provenance header every `BENCH_*.json` emitter writes ahead of its rows,
+/// so a committed benchmark file records what was actually measured: the
+/// schema version, the run mode (`quick`/`full`), the cargo profile the
+/// binary was compiled with, the fsync policy in effect and the transport
+/// the workload crossed. Numbers from a `debug` build or a different fsync
+/// policy are not comparable — the header makes such mismatches visible
+/// instead of silently poisoning a perf trajectory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchMeta {
+    /// Schema identifier, e.g. `"rdht-bench-storage/v2"`.
+    pub schema: String,
+    /// Repetition scale: `"quick"` (CI) or `"full"`.
+    pub mode: String,
+    /// Cargo profile the emitting binary was compiled with
+    /// (`"release"`/`"debug"`, from `cfg!(debug_assertions)`).
+    pub profile: &'static str,
+    /// Fsync policy the measured workload ran under; `"swept per bench"`
+    /// when individual rows vary it, `"none"` when nothing journals.
+    pub fsync: String,
+    /// Transport the measured operations crossed (`"in-process"`,
+    /// `"channel"`, `"tcp"`, or a per-row note).
+    pub transport: String,
+}
+
+impl BenchMeta {
+    /// A header for `schema`/`mode` with the compile-time profile filled in
+    /// and `fsync`/`transport` at their "nothing journaled, no wire"
+    /// defaults.
+    pub fn new(schema: impl Into<String>, mode: impl Into<String>) -> Self {
+        BenchMeta {
+            schema: schema.into(),
+            mode: mode.into(),
+            profile: if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            },
+            fsync: "none".to_string(),
+            transport: "in-process".to_string(),
+        }
+    }
+
+    /// Sets the fsync-policy note.
+    pub fn with_fsync(mut self, fsync: impl Into<String>) -> Self {
+        self.fsync = fsync.into();
+        self
+    }
+
+    /// Sets the transport note.
+    pub fn with_transport(mut self, transport: impl Into<String>) -> Self {
+        self.transport = transport.into();
+        self
+    }
+
+    /// Renders the header as the opening member lines of a JSON object —
+    /// `"schema"` through `"transport"`, each indented two spaces and
+    /// comma-terminated, ready for the emitter to append its own arrays.
+    pub fn header_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "  \"schema\": \"{}\",", self.schema);
+        let _ = writeln!(out, "  \"mode\": \"{}\",", self.mode);
+        let _ = writeln!(out, "  \"profile\": \"{}\",", self.profile);
+        let _ = writeln!(out, "  \"fsync\": \"{}\",", self.fsync);
+        let _ = writeln!(out, "  \"transport\": \"{}\",", self.transport);
+        out
+    }
+}
+
 /// One plotted series (one line of a paper figure).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Series {
@@ -193,5 +261,32 @@ mod tests {
     fn trim_float_renders_integers_compactly() {
         assert_eq!(trim_float(5.0), "5");
         assert_eq!(trim_float(5.25), "5.250");
+    }
+
+    #[test]
+    fn bench_meta_header_lists_all_provenance_fields() {
+        let meta = BenchMeta::new("rdht-bench-demo/v2", "quick")
+            .with_fsync("group_commit(64, 0ms)")
+            .with_transport("channel");
+        let header = meta.header_json();
+        assert!(header.contains("\"schema\": \"rdht-bench-demo/v2\","));
+        assert!(header.contains("\"mode\": \"quick\","));
+        assert!(header.contains("\"fsync\": \"group_commit(64, 0ms)\","));
+        assert!(header.contains("\"transport\": \"channel\","));
+        // The profile is whatever this test binary was compiled as — just
+        // assert it is one of the two legal values.
+        assert!(
+            header.contains("\"profile\": \"release\",")
+                || header.contains("\"profile\": \"debug\",")
+        );
+        // Every line is a comma-terminated member, ready to be embedded.
+        assert!(header.lines().all(|l| l.ends_with(',')));
+    }
+
+    #[test]
+    fn bench_meta_defaults_describe_no_journal_no_wire() {
+        let meta = BenchMeta::new("s/v2", "full");
+        assert_eq!(meta.fsync, "none");
+        assert_eq!(meta.transport, "in-process");
     }
 }

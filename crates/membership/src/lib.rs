@@ -42,10 +42,12 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod metrics;
 pub mod plan;
 pub mod transfer;
 
 pub use error::MembershipError;
+pub use metrics::TransferMetrics;
 pub use plan::{plan_join, plan_leave, predecessor_of, successor_of, JoinPlan, LeavePlan};
 pub use transfer::{
     commit_handoff, export_handoff, install_handoff, CrashOutcome, HandoffBundle, InstallReport,

@@ -1,0 +1,343 @@
+//! A chrome-trace span recorder.
+//!
+//! [`TraceSink`] accumulates begin/end/complete/instant events and renders
+//! them in the Chrome Trace Event JSON format (`catapult`), loadable by
+//! `chrome://tracing` and <https://ui.perfetto.dev>. Timestamps are
+//! microseconds. Two clock modes coexist:
+//!
+//! * wall clock — [`TraceSink::begin`]/[`TraceSink::end`]/[`TraceSink::span`]
+//!   stamp events relative to the sink's creation instant (the live cluster
+//!   uses these);
+//! * explicit — the `*_at` variants take the timestamp from the caller, so
+//!   the discrete-event simulator records spans in *simulated* time.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The event phase, mirroring the chrome-trace `ph` field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TracePhase {
+    /// Span begin (`B`). Pair with an [`TracePhase::End`] on the same
+    /// pid/tid.
+    Begin,
+    /// Span end (`E`).
+    End,
+    /// A complete span (`X`) carrying its own duration.
+    Complete,
+    /// An instantaneous event (`i`).
+    Instant,
+}
+
+impl TracePhase {
+    fn as_str(self) -> &'static str {
+        match self {
+            TracePhase::Begin => "B",
+            TracePhase::End => "E",
+            TracePhase::Complete => "X",
+            TracePhase::Instant => "i",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event name (span label).
+    pub name: String,
+    /// Phase.
+    pub phase: TracePhase,
+    /// Process lane (a peer, in this workspace's convention).
+    pub pid: u64,
+    /// Thread lane within the process.
+    pub tid: u64,
+    /// Timestamp in microseconds.
+    pub ts_us: u64,
+    /// Duration in microseconds; only meaningful for
+    /// [`TracePhase::Complete`].
+    pub dur_us: u64,
+}
+
+struct SinkInner {
+    epoch: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+/// A shared, clonable recorder of trace events. Cloning shares the buffer.
+#[derive(Clone)]
+pub struct TraceSink {
+    inner: Arc<SinkInner>,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::new()
+    }
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("events", &self.len())
+            .finish()
+    }
+}
+
+impl TraceSink {
+    /// A fresh sink; wall-clock events are stamped relative to now.
+    pub fn new() -> Self {
+        TraceSink {
+            inner: Arc::new(SinkInner {
+                epoch: Instant::now(),
+                events: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.inner.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn push(&self, event: TraceEvent) {
+        self.inner
+            .events
+            .lock()
+            .expect("trace sink mutex poisoned")
+            .push(event);
+    }
+
+    /// Records a span begin at the wall clock.
+    pub fn begin(&self, name: &str, pid: u64, tid: u64) {
+        self.event_at(name, TracePhase::Begin, pid, tid, self.now_us(), 0);
+    }
+
+    /// Records a span end at the wall clock.
+    pub fn end(&self, name: &str, pid: u64, tid: u64) {
+        self.event_at(name, TracePhase::End, pid, tid, self.now_us(), 0);
+    }
+
+    /// Opens a wall-clock span closed by dropping the returned guard (one
+    /// `X` complete event is recorded at drop).
+    pub fn span(&self, name: impl Into<String>, pid: u64, tid: u64) -> SpanGuard {
+        SpanGuard {
+            sink: self.clone(),
+            name: name.into(),
+            pid,
+            tid,
+            start_us: self.now_us(),
+        }
+    }
+
+    /// Records an event with an explicit timestamp (simulated time).
+    pub fn event_at(
+        &self,
+        name: &str,
+        phase: TracePhase,
+        pid: u64,
+        tid: u64,
+        ts_us: u64,
+        dur_us: u64,
+    ) {
+        self.push(TraceEvent {
+            name: name.to_string(),
+            phase,
+            pid,
+            tid,
+            ts_us,
+            dur_us,
+        });
+    }
+
+    /// Records a complete (`X`) span with explicit start and duration.
+    pub fn complete_at(&self, name: &str, pid: u64, tid: u64, ts_us: u64, dur_us: u64) {
+        self.event_at(name, TracePhase::Complete, pid, tid, ts_us, dur_us);
+    }
+
+    /// Records an instantaneous (`i`) event with an explicit timestamp.
+    pub fn instant_at(&self, name: &str, pid: u64, tid: u64, ts_us: u64) {
+        self.event_at(name, TracePhase::Instant, pid, tid, ts_us, 0);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner
+            .events
+            .lock()
+            .expect("trace sink mutex poisoned")
+            .len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the recorded events, in recording order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner
+            .events
+            .lock()
+            .expect("trace sink mutex poisoned")
+            .clone()
+    }
+
+    /// Renders the events as Chrome Trace Event JSON (the
+    /// `{"traceEvents": [...]}` object format).
+    pub fn render_chrome_trace(&self) -> String {
+        let events = self.events();
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, event) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            escape_json(&mut out, &event.name);
+            let _ = write!(
+                out,
+                "\",\"ph\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{}",
+                event.phase.as_str(),
+                event.pid,
+                event.tid,
+                event.ts_us
+            );
+            if event.phase == TracePhase::Complete {
+                let _ = write!(out, ",\"dur\":{}", event.dur_us);
+            }
+            if event.phase == TracePhase::Instant {
+                out.push_str(",\"s\":\"t\"");
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes the rendered trace to `path` (conventionally `trace.json`).
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.render_chrome_trace())
+    }
+}
+
+fn escape_json(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Closes its span with a complete (`X`) event when dropped.
+pub struct SpanGuard {
+    sink: TraceSink,
+    name: String,
+    pid: u64,
+    tid: u64,
+    start_us: u64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let end = self.sink.now_us();
+        self.sink.complete_at(
+            &self.name,
+            self.pid,
+            self.tid,
+            self.start_us,
+            end.saturating_sub(self.start_us),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_timestamps_render_in_order() {
+        let sink = TraceSink::new();
+        sink.complete_at("query", 1, 0, 100, 50);
+        sink.instant_at("drop", 2, 0, 130);
+        let json = sink.render_chrome_trace();
+        assert_eq!(
+            json,
+            "{\"traceEvents\":[\
+             {\"name\":\"query\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":100,\"dur\":50},\
+             {\"name\":\"drop\",\"ph\":\"i\",\"pid\":2,\"tid\":0,\"ts\":130,\"s\":\"t\"}]}"
+        );
+    }
+
+    #[test]
+    fn span_guard_records_a_complete_event() {
+        let sink = TraceSink::new();
+        {
+            let _span = sink.span("work", 0, 7);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].phase, TracePhase::Complete);
+        assert_eq!(events[0].tid, 7);
+        assert!(
+            events[0].dur_us >= 1_000,
+            "slept ~2ms, got {}",
+            events[0].dur_us
+        );
+    }
+
+    #[test]
+    fn begin_end_pairs() {
+        let sink = TraceSink::new();
+        sink.begin("op", 3, 1);
+        sink.end("op", 3, 1);
+        let events = sink.events();
+        assert_eq!(events[0].phase, TracePhase::Begin);
+        assert_eq!(events[1].phase, TracePhase::End);
+        assert!(events[0].ts_us <= events[1].ts_us);
+    }
+
+    #[test]
+    fn names_are_json_escaped() {
+        let sink = TraceSink::new();
+        sink.instant_at("a\"b\\c\nd", 0, 0, 1);
+        let json = sink.render_chrome_trace();
+        assert!(json.contains("a\\\"b\\\\c\\nd"), "{json}");
+    }
+
+    #[test]
+    fn write_to_produces_a_loadable_file() {
+        let sink = TraceSink::new();
+        sink.complete_at("q", 0, 0, 0, 1);
+        let path =
+            std::env::temp_dir().join(format!("rdht-trace-test-{}.json", std::process::id()));
+        sink.write_to(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("{\"traceEvents\":["));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sinks_are_shared_across_threads() {
+        let sink = TraceSink::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let sink = sink.clone();
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        sink.complete_at("op", t, 0, i * 10, 5);
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.len(), 400);
+    }
+}

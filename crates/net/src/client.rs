@@ -14,9 +14,11 @@ use rand::{Rng, SeedableRng};
 
 use rdht_core::{PutReplicasOutcome, ReplicaValue, Timestamp, UmsAccess, UmsError};
 use rdht_hashing::{HashFamily, HashId, Key};
+use rdht_metrics::{Counter, Registry};
 
 use crate::cluster::{DedupCounters, Directory, PeerId, DEFAULT_FORWARDER_REAP_IDLE};
 use crate::message::{OpId, Reply, Request};
+use crate::metrics::names;
 use crate::tcp::TcpTransport;
 use crate::transport::{CallError, PeerEndpoint, PendingReply, Transport};
 
@@ -124,12 +126,18 @@ pub struct ClusterClient {
     /// decorrelation, not reproducibility).
     rng: StdRng,
     /// Messages sent by this client (request + reply counted separately),
-    /// the cluster analogue of the simulator's message metric.
-    messages: u64,
+    /// the cluster analogue of the simulator's message metric. A
+    /// registry-grade handle so [`ClusterClient::attach_metrics`] exposes
+    /// the same atomic the accessor reads.
+    messages: Counter,
     /// How many times a timestamp request came back `NeedsInitialization`
     /// and this client ran the indirect initialization (gathered the
     /// replicas' maximum timestamp) before retrying.
-    indirect_initializations: u64,
+    indirect_initializations: Counter,
+    /// Retry attempts beyond each call's first attempt.
+    retries: Counter,
+    /// Calls that spent their whole retry budget without a usable reply.
+    retry_exhaustions: Counter,
 }
 
 /// Maps a transport-level call failure onto the client's [`UmsError`].
@@ -160,8 +168,10 @@ impl ClusterClient {
             client_id,
             next_seq: 0,
             rng: StdRng::seed_from_u64(client_id),
-            messages: 0,
-            indirect_initializations: 0,
+            messages: Counter::new(),
+            indirect_initializations: Counter::new(),
+            retries: Counter::new(),
+            retry_exhaustions: Counter::new(),
         }
     }
 
@@ -213,7 +223,7 @@ impl ClusterClient {
 
     /// Number of messages this client has exchanged so far.
     pub fn messages(&self) -> u64 {
-        self.messages
+        self.messages.get()
     }
 
     /// Number of indirect counter initializations this client performed —
@@ -221,7 +231,108 @@ impl ClusterClient {
     /// responsible serving from a valid in-memory counter never triggers
     /// one).
     pub fn indirect_initializations(&self) -> u64 {
-        self.indirect_initializations
+        self.indirect_initializations.get()
+    }
+
+    /// Retry attempts this client made beyond each call's first attempt.
+    pub fn retries(&self) -> u64 {
+        self.retries.get()
+    }
+
+    /// Calls that spent their whole retry budget without a usable reply.
+    pub fn retry_exhaustions(&self) -> u64 {
+        self.retry_exhaustions.get()
+    }
+
+    /// Registers this client's counters into `registry` as shared handles:
+    /// the accessors ([`ClusterClient::messages`], ...) and the registry
+    /// read the same atomics. `labels` distinguish handles when several
+    /// clients share one registry (e.g. `&[("client", "writer-0")]`).
+    pub fn attach_metrics(&self, registry: &Registry, labels: &[(&str, &str)]) {
+        registry.register_counter(
+            names::CLIENT_MESSAGES,
+            "messages this client exchanged (requests and replies counted separately)",
+            labels,
+            self.messages.clone(),
+        );
+        registry.register_counter(
+            names::CLIENT_RETRIES,
+            "retry attempts beyond each call's first attempt",
+            labels,
+            self.retries.clone(),
+        );
+        registry.register_counter(
+            names::CLIENT_RETRY_EXHAUSTIONS,
+            "calls that spent their whole retry budget without a usable reply",
+            labels,
+            self.retry_exhaustions.clone(),
+        );
+        registry.register_counter(
+            names::CLIENT_INDIRECT_INITS,
+            "indirect counter initializations this client ran (Section 4.2.2)",
+            labels,
+            self.indirect_initializations.clone(),
+        );
+    }
+
+    /// Scrapes `peer`'s metrics over the wire: sends [`Request::Metrics`]
+    /// and returns the peer's Prometheus text exposition, under the same
+    /// retry policy as every other call. Errors when the peer is unknown,
+    /// stays unreachable through the retry budget, or runs with metrics
+    /// disabled ([`crate::ClusterConfig::with_metrics`]).
+    pub fn scrape_metrics(&mut self, peer: PeerId) -> Result<String, UmsError> {
+        let attempts = self.retry.attempts.max(1);
+        let mut last: Option<CallError> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.retries.inc();
+                self.backoff_sleep(attempt - 1);
+            }
+            let endpoint = self
+                .directory
+                .peers
+                .read()
+                .get(&peer)
+                .map(|(endpoint, _)| endpoint.clone());
+            let Some(endpoint) = endpoint else {
+                return Err(UmsError::lookup(format!(
+                    "unknown scrape target {:016x}",
+                    peer.0
+                )));
+            };
+            let outcome = match endpoint.send(Request::Metrics) {
+                Ok(pending) => {
+                    self.messages.inc();
+                    pending.wait(self.retry.try_timeout)
+                }
+                Err(error) => Err(CallError::Transport(error)),
+            };
+            match outcome {
+                Ok(reply) => {
+                    self.messages.inc();
+                    return match reply {
+                        Reply::Metrics(exposition) => Ok(exposition),
+                        Reply::Error { reason } => Err(UmsError::lookup(format!(
+                            "metrics scrape refused: {reason}"
+                        ))),
+                        other => Err(UmsError::lookup(format!(
+                            "unexpected reply to metrics scrape: {other:?}"
+                        ))),
+                    };
+                }
+                Err(error) => last = Some(error),
+            }
+        }
+        self.retry_exhaustions.inc();
+        let last = last.unwrap_or(CallError::Timeout);
+        Err(call_failed(if attempts == 1 {
+            last
+        } else {
+            CallError::Exhausted {
+                attempts,
+                last: Box::new(last),
+            }
+        }))
     }
 
     /// A fresh [`OpId`] for one logical operation; its retries repeat it.
@@ -257,6 +368,7 @@ impl ClusterClient {
         let mut last: Option<CallError> = None;
         for attempt in 0..attempts {
             if attempt > 0 {
+                self.retries.inc();
                 self.backoff_sleep(attempt - 1);
             }
             let Some((_peer, endpoint)) = self.directory.responsible_for(position) else {
@@ -264,19 +376,20 @@ impl ClusterClient {
             };
             let outcome = match endpoint.send(request.clone()) {
                 Ok(pending) => {
-                    self.messages += 1;
+                    self.messages.inc();
                     pending.wait(self.retry.try_timeout)
                 }
                 Err(error) => Err(CallError::Transport(error)),
             };
             match outcome {
                 Ok(reply) => {
-                    self.messages += 1;
+                    self.messages.inc();
                     return Ok(reply);
                 }
                 Err(error) => last = Some(error),
             }
         }
+        self.retry_exhaustions.inc();
         let last = last.unwrap_or(CallError::Timeout);
         Err(call_failed(if attempts == 1 {
             last
@@ -325,7 +438,7 @@ impl ClusterClient {
                 // hint-carrying call is a *new* logical operation and MUST
                 // get a fresh op — reusing the first op would be answered
                 // from the cached `NeedsInitialization` forever.
-                self.indirect_initializations += 1;
+                self.indirect_initializations.inc();
                 let observed = self.gather_observation(key)?;
                 let op = generate.then(|| self.next_op());
                 let second = self.request(
@@ -408,6 +521,7 @@ impl UmsAccess for ClusterClient {
         let attempts = self.retry.attempts.max(1);
         for attempt in 0..attempts {
             if attempt > 0 {
+                self.retries.inc();
                 self.backoff_sleep(attempt - 1);
             }
             let final_attempt = attempt + 1 == attempts;
@@ -437,7 +551,7 @@ impl UmsAccess for ClusterClient {
                 };
                 match endpoint.send(request) {
                     Ok(pending) => {
-                        self.messages += 1;
+                        self.messages.inc();
                         waits.push((hashes, pending));
                     }
                     Err(_) if final_attempt => outcome.failed += hashes.len(),
@@ -447,11 +561,11 @@ impl UmsAccess for ClusterClient {
             for (hashes, pending) in waits {
                 match pending.wait(self.retry.try_timeout) {
                     Ok(Reply::PutsAck { written, failed: 0 }) => {
-                        self.messages += 1;
+                        self.messages.inc();
                         outcome.written += written as usize;
                     }
                     Ok(Reply::PutsAck { written, failed }) if final_attempt => {
-                        self.messages += 1;
+                        self.messages.inc();
                         outcome.written += written as usize;
                         outcome.failed += failed as usize;
                     }
@@ -459,7 +573,7 @@ impl UmsAccess for ClusterClient {
                         // Partial failure mid-budget: re-queue the whole
                         // group uncredited — the retry's cached re-acks make
                         // the final count correct without double-crediting.
-                        self.messages += 1;
+                        self.messages.inc();
                         remaining.extend(hashes);
                     }
                     Ok(_) | Err(_) if final_attempt => outcome.failed += hashes.len(),

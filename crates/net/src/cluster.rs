@@ -15,7 +15,6 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::net::SocketAddr;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -31,12 +30,14 @@ use rdht_hashing::{HashFamily, HashId, Key};
 use rdht_membership::{
     commit_handoff, export_handoff, install_handoff, plan_join, plan_leave, MembershipError,
 };
+use rdht_metrics::{encode, Counter, Registry};
 use rdht_overlay::in_open_closed_interval;
-use rdht_storage::{StorageEngine, StorageOptions};
+use rdht_storage::{StorageEngine, StorageMetrics, StorageOptions};
 
 use crate::client::{allocate_actor_id, ClusterClient};
 use crate::fault::{set_thread_source, FaultPlan, FaultyTransport};
 use crate::message::{HandoffFault, HandoffKind, OpId, Reply, Request};
+use crate::metrics::{names, PeerMetrics};
 use crate::tcp::TcpTransport;
 use crate::transport::{
     CallError, ChannelTransport, Incoming, Mailbox, PeerEndpoint, ReplySink, Transport,
@@ -166,6 +167,11 @@ pub struct ClusterConfig {
     /// retries, peer-side dedup and bounded coordinator waits turn a hostile
     /// network into latency, not lost updates.
     pub faults: Option<FaultPlan>,
+    /// When true (the default), every peer carries a metrics registry
+    /// ([`crate::PeerMetrics`]) and answers [`Request::Metrics`] scrapes
+    /// with its Prometheus text exposition. Disable to measure the
+    /// instrumentation's own overhead.
+    pub metrics: bool,
 }
 
 impl ClusterConfig {
@@ -182,6 +188,7 @@ impl ClusterConfig {
             forwarder_reap_idle: DEFAULT_FORWARDER_REAP_IDLE,
             transport: TransportKind::Channel,
             faults: None,
+            metrics: true,
         }
     }
 
@@ -209,14 +216,41 @@ impl ClusterConfig {
         self.faults = Some(plan);
         self
     }
+
+    /// Returns a copy with per-peer metrics registries switched on or off.
+    pub fn with_metrics(mut self, metrics: bool) -> Self {
+        self.metrics = metrics;
+        self
+    }
 }
 
 /// Shared totals of the peers' idempotency windows
-/// ([`Cluster::dedup_stats`]).
+/// ([`Cluster::dedup_stats`]), kept as registry-grade [`Counter`] handles:
+/// the same atomics the stats snapshot reads are registered into every
+/// peer's metrics registry, so the two surfaces can never disagree.
 #[derive(Default)]
 pub(crate) struct DedupCounters {
-    pub(crate) applied: AtomicU64,
-    pub(crate) suppressed: AtomicU64,
+    pub(crate) applied: Counter,
+    pub(crate) suppressed: Counter,
+}
+
+impl DedupCounters {
+    /// Registers the shared counters into a peer's registry. The totals are
+    /// cluster-wide — every peer's exposition mirrors the same values.
+    pub(crate) fn register(&self, registry: &Registry, labels: &[(&str, &str)]) {
+        registry.register_counter(
+            names::DEDUP_APPLIED,
+            "identified mutations applied exactly once (cluster-wide)",
+            labels,
+            self.applied.clone(),
+        );
+        registry.register_counter(
+            names::DEDUP_SUPPRESSED,
+            "retried or duplicated mutations answered from the dedup cache (cluster-wide)",
+            labels,
+            self.suppressed.clone(),
+        );
+    }
 }
 
 /// Totals of the peers' request-dedup windows: how many identified
@@ -361,6 +395,9 @@ pub struct Cluster {
     /// join/leave gets a fresh `seq`, every re-send repeats it.
     coordinator_client: u64,
     next_coordination_seq: u64,
+    /// Each live peer's metrics registry (shared handles into the peer
+    /// thread's instruments). Empty when `config.metrics` is off.
+    registries: BTreeMap<PeerId, Registry>,
 }
 
 impl Cluster {
@@ -414,12 +451,20 @@ impl Cluster {
             forwarder_reap_idle: config.forwarder_reap_idle,
             dedup: DedupCounters::default(),
         });
+        let mut registries = BTreeMap::new();
         let handles = bound
             .into_iter()
             .map(|(id, mailbox)| {
                 let mut engine = open_engine(&config.storage, id);
                 let kts = kts_from_recovery(&mut engine);
-                let handle = spawn_peer_thread(id, mailbox, Arc::clone(&directory), engine, kts);
+                let metrics = config.metrics.then(|| {
+                    let (registry, metrics) =
+                        build_peer_metrics(id, &directory, config.faults.as_ref(), &mut engine);
+                    registries.insert(id, registry);
+                    metrics
+                });
+                let handle =
+                    spawn_peer_thread(id, mailbox, Arc::clone(&directory), engine, kts, metrics);
                 (id, handle)
             })
             .collect();
@@ -429,6 +474,7 @@ impl Cluster {
             config,
             coordinator_client: allocate_actor_id(),
             next_coordination_seq: 0,
+            registries,
         }
     }
 
@@ -441,9 +487,23 @@ impl Cluster {
     /// once vs. retried/duplicated arrivals answered from the cache.
     pub fn dedup_stats(&self) -> DedupStats {
         DedupStats {
-            mutations_applied: self.directory.dedup.applied.load(Ordering::Relaxed),
-            duplicates_suppressed: self.directory.dedup.suppressed.load(Ordering::Relaxed),
+            mutations_applied: self.directory.dedup.applied.get(),
+            duplicates_suppressed: self.directory.dedup.suppressed.get(),
         }
+    }
+
+    /// The metrics registry shared with `peer`'s thread, or `None` when
+    /// metrics are disabled or the id is unknown. The returned handle reads
+    /// the live instruments — encode it any time for a fresh snapshot.
+    pub fn registry(&self, peer: PeerId) -> Option<Registry> {
+        self.registries.get(&peer).cloned()
+    }
+
+    /// Renders `peer`'s registry as Prometheus text exposition without a
+    /// message exchange — the in-process twin of a [`Request::Metrics`]
+    /// scrape. `None` when metrics are disabled or the id is unknown.
+    pub fn scrape(&self, peer: PeerId) -> Option<String> {
+        self.registries.get(&peer).map(encode)
     }
 
     fn next_coordination_op(&mut self) -> OpId {
@@ -591,6 +651,16 @@ impl Cluster {
             torn_tail: engine.stats().recovered_torn_tail,
         };
         let kts = kts_from_recovery(&mut engine);
+        let metrics = self.config.metrics.then(|| {
+            let (registry, metrics) = build_peer_metrics(
+                peer,
+                &self.directory,
+                self.config.faults.as_ref(),
+                &mut engine,
+            );
+            self.registries.insert(peer, registry);
+            metrics
+        });
 
         let mailbox = self
             .directory
@@ -602,7 +672,14 @@ impl Cluster {
             .transport
             .endpoint(peer)
             .expect("a just-bound peer resolves to an endpoint");
-        let handle = spawn_peer_thread(peer, mailbox, Arc::clone(&self.directory), engine, kts);
+        let handle = spawn_peer_thread(
+            peer,
+            mailbox,
+            Arc::clone(&self.directory),
+            engine,
+            kts,
+            metrics,
+        );
         self.directory.revive(peer, endpoint);
         self.handles.insert(peer, handle);
         Ok(report)
@@ -654,15 +731,38 @@ impl Cluster {
         let mut engine = open_engine(&self.config.storage, new_id);
         let replicas_recovered = engine.replicas().len();
         let kts = kts_from_recovery(&mut engine);
-        let mailbox = self.directory.transport.bind(new_id).map_err(|error| {
-            MembershipError::TransferFailed(format!("cannot bind joiner: {error}"))
-        })?;
+        let metrics = self.config.metrics.then(|| {
+            let (registry, metrics) = build_peer_metrics(
+                new_id,
+                &self.directory,
+                self.config.faults.as_ref(),
+                &mut engine,
+            );
+            self.registries.insert(new_id, registry);
+            metrics
+        });
+        let mailbox = match self.directory.transport.bind(new_id) {
+            Ok(mailbox) => mailbox,
+            Err(error) => {
+                self.registries.remove(&new_id);
+                return Err(MembershipError::TransferFailed(format!(
+                    "cannot bind joiner: {error}"
+                )));
+            }
+        };
         let joiner = self
             .directory
             .transport
             .endpoint(new_id)
             .expect("a just-bound peer resolves to an endpoint");
-        let handle = spawn_peer_thread(new_id, mailbox, Arc::clone(&self.directory), engine, kts);
+        let handle = spawn_peer_thread(
+            new_id,
+            mailbox,
+            Arc::clone(&self.directory),
+            engine,
+            kts,
+            metrics,
+        );
 
         if alive.is_empty() {
             // Bootstrapping an empty ring: nothing to split.
@@ -683,6 +783,7 @@ impl Cluster {
             Err(error) => {
                 let _ = joiner.send_no_reply(Request::Crash);
                 let _ = handle.join();
+                self.registries.remove(&new_id);
                 return Err(error);
             }
         };
@@ -757,6 +858,7 @@ impl Cluster {
                 // transfer.
                 let _ = joiner.send_no_reply(Request::Crash);
                 let _ = handle.join();
+                self.registries.remove(&new_id);
                 Err(match other {
                     Err(CallError::Exhausted { attempts, .. }) => {
                         MembershipError::CoordinationTimeout {
@@ -964,8 +1066,18 @@ pub fn serve_tcp_peer(config: TcpPeerConfig) -> Result<(), TransportError> {
     });
     let mut engine = open_engine(&config.storage, config.id);
     let kts = kts_from_recovery(&mut engine);
+    // Stand-alone TCP peers always carry metrics: a remote operator's only
+    // window into the process is the wire scrape.
+    let (_registry, metrics) = build_peer_metrics(config.id, &directory, None, &mut engine);
     set_thread_source(config.id);
-    peer_main(config.id, mailbox, Arc::clone(&directory), engine, kts);
+    peer_main(
+        config.id,
+        mailbox,
+        Arc::clone(&directory),
+        engine,
+        kts,
+        Some(metrics),
+    );
     directory.transport.unbind(config.id);
     Ok(())
 }
@@ -1003,15 +1115,39 @@ fn spawn_peer_thread(
     directory: Arc<Directory>,
     engine: StorageEngine,
     kts: KtsNode,
+    metrics: Option<PeerMetrics>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
         // Frames this thread originates (forwards, install bundles) are
         // attributed to this peer's directed links by the fault layer.
         set_thread_source(id);
         let transport = Arc::clone(&directory.transport);
-        peer_main(id, mailbox, directory, engine, kts);
+        peer_main(id, mailbox, directory, engine, kts, metrics);
         transport.unbind(id);
     })
+}
+
+/// Builds one peer's metrics registry: the peer-loop instruments, the
+/// storage engine's WAL/compaction instruments, and — as shared handles —
+/// the cluster-wide dedup totals and (when present) the fault plan
+/// counters. Everything is labeled with the peer's ring id so expositions
+/// from different peers can be concatenated without series collisions.
+fn build_peer_metrics(
+    id: PeerId,
+    directory: &Directory,
+    faults: Option<&FaultPlan>,
+    engine: &mut StorageEngine,
+) -> (Registry, PeerMetrics) {
+    let registry = Registry::new();
+    let peer_label = format!("{:016x}", id.0);
+    let labels = [("peer", peer_label.as_str())];
+    let metrics = PeerMetrics::register(&registry, &labels);
+    directory.dedup.register(&registry, &labels);
+    if let Some(plan) = faults {
+        plan.register_metrics(&registry, &labels);
+    }
+    engine.attach_metrics(StorageMetrics::register(&registry, &labels));
+    (registry, metrics)
 }
 
 /// Opens the storage engine backing one peer: a real journaled engine when
@@ -1257,6 +1393,7 @@ fn peer_main(
     directory: Arc<Directory>,
     engine: StorageEngine,
     kts: KtsNode,
+    metrics: Option<PeerMetrics>,
 ) {
     let batching = engine.options().fsync.batching();
     let mut runtime = PeerRuntime {
@@ -1310,11 +1447,19 @@ fn peer_main(
             // delay: shutting a cluster down is not a network exchange, and
             // a crash is by definition instantaneous.
             Request::Shutdown => {
+                if let Some(m) = &metrics {
+                    m.requests.of(&first.request).inc();
+                }
                 runtime.engine.sync_to_durable();
                 report_journal_poison(id, &runtime.engine, &mut poison_reported);
                 break 'peer;
             }
-            Request::Crash => break 'peer,
+            Request::Crash => {
+                if let Some(m) = &metrics {
+                    m.requests.of(&first.request).inc();
+                }
+                break 'peer;
+            }
             _ => {}
         }
         batch.clear();
@@ -1344,7 +1489,15 @@ fn peer_main(
                 }
             }
         }
+        if let Some(m) = &metrics {
+            m.queue_depth.set(batch.len() as i64);
+            m.drain_batch.observe(batch.len() as u64);
+        }
         for incoming in batch.drain(..) {
+            if let Some(m) = &metrics {
+                m.requests.of(&incoming.request).inc();
+            }
+            let service_started = metrics.is_some().then(Instant::now);
             // The artificial delay models the *network*: it is paid once
             // per message that arrived on the transport, not per
             // constituent put of an exploded batch.
@@ -1459,7 +1612,7 @@ fn peer_main(
                         };
                         if let Some(op) = op {
                             if let Some(cached) = runtime.dedup.lookup(op, hash.0) {
-                                directory.dedup.suppressed.fetch_add(1, Ordering::Relaxed);
+                                directory.dedup.suppressed.inc();
                                 deferred.push((reply, cached));
                                 continue;
                             }
@@ -1477,7 +1630,7 @@ fn peer_main(
                         }
                         if let Some(op) = op {
                             runtime.dedup.record(op, hash.0, Reply::PutAck);
-                            directory.dedup.applied.fetch_add(1, Ordering::Relaxed);
+                            directory.dedup.applied.inc();
                         }
                         deferred.push((reply, Reply::PutAck));
                     }
@@ -1505,7 +1658,7 @@ fn peer_main(
                         // allocates a fresh op for the hint-carrying call.)
                         if let Some(op) = op {
                             if let Some(cached) = runtime.dedup.lookup(op, NO_SUB) {
-                                directory.dedup.suppressed.fetch_add(1, Ordering::Relaxed);
+                                directory.dedup.suppressed.inc();
                                 deferred.push((reply, cached));
                                 continue;
                             }
@@ -1536,6 +1689,12 @@ fn peer_main(
                             match observation_hint {
                                 None => Reply::NeedsInitialization,
                                 Some(observed) => {
+                                    // Section 4.2.2: the counter is (re)born
+                                    // from a gathered observation instead of
+                                    // a direct hand-over.
+                                    if let Some(m) = &metrics {
+                                        m.indirect_initializations.inc();
+                                    }
                                     let observation = if observed.is_zero() {
                                         IndirectObservation::nothing()
                                     } else {
@@ -1564,7 +1723,7 @@ fn peer_main(
                         if let Some(op) = op {
                             runtime.dedup.record(op, NO_SUB, answer.clone());
                             if matches!(answer, Reply::Timestamp(_)) {
-                                directory.dedup.applied.fetch_add(1, Ordering::Relaxed);
+                                directory.dedup.applied.inc();
                             }
                         }
                         deferred.push((reply, answer));
@@ -1584,7 +1743,7 @@ fn peer_main(
                         // already live elsewhere.
                         if let Some(op) = op {
                             if let Some(cached) = runtime.dedup.lookup(op, NO_SUB) {
-                                directory.dedup.suppressed.fetch_add(1, Ordering::Relaxed);
+                                directory.dedup.suppressed.inc();
                                 reply.send(cached);
                                 continue;
                             }
@@ -1611,6 +1770,7 @@ fn peer_main(
                         // deferred-sync policy an unsynced removal could be
                         // resurrected by a crash *after* the counters moved,
                         // breaking Rule 3's "at most one live counter" durably.
+                        let export_started = Instant::now();
                         let bundle = export_handoff(
                             &mut runtime.engine,
                             &mut runtime.kts,
@@ -1619,6 +1779,11 @@ fn peer_main(
                             end,
                         );
                         runtime.engine.sync_to_durable();
+                        if let Some(m) = &metrics {
+                            m.transfer
+                                .export_ns
+                                .observe_duration(export_started.elapsed());
+                        }
                         let replicas_moved = bundle.replicas.len();
                         let counters_moved = bundle.counters.len();
                         if fault == Some(HandoffFault::CrashAfterExport) {
@@ -1642,6 +1807,7 @@ fn peer_main(
                         });
                         runtime.local_seq += 1;
                         let mut acked = false;
+                        let install_started = Instant::now();
                         for _ in 0..INSTALL_ATTEMPTS {
                             let outcome = match target.send(Request::InstallState {
                                 op: install_op,
@@ -1663,6 +1829,15 @@ fn peer_main(
                                 Err(CallError::Timeout) => continue,
                                 _ => break,
                             }
+                        }
+                        // Everything between the export and here is the
+                        // hand-off stall of ROADMAP item 5: the peer loop
+                        // serving nothing while the bundle ships.
+                        let stalled = install_started.elapsed();
+                        if let Some(m) = &metrics {
+                            m.handoff_stall_ns
+                                .add(u64::try_from(stalled.as_nanos()).unwrap_or(u64::MAX));
+                            m.transfer.install_ns.observe_duration(stalled);
                         }
                         if !acked {
                             // The target died (or stayed silent through the
@@ -1692,6 +1867,7 @@ fn peer_main(
                         // processed request, so no client request interleaves:
                         // flip the directory, prune the moved range from the
                         // journal, start forwarding.
+                        let commit_started = Instant::now();
                         match kind {
                             HandoffKind::Join => directory.revive(target_id, target.clone()),
                             HandoffKind::Leave => directory.mark_dead(id),
@@ -1708,6 +1884,11 @@ fn peer_main(
                         // the reply must not replay the pruned range back in);
                         // for a departing peer this is also its final flush.
                         runtime.engine.sync_to_durable();
+                        if let Some(m) = &metrics {
+                            m.transfer
+                                .commit_ns
+                                .observe_duration(commit_started.elapsed());
+                        }
                         if kind == HandoffKind::Leave {
                             departed = true;
                         }
@@ -1717,7 +1898,7 @@ fn peer_main(
                         };
                         if let Some(op) = op {
                             runtime.dedup.record(op, NO_SUB, answer.clone());
-                            directory.dedup.applied.fetch_add(1, Ordering::Relaxed);
+                            directory.dedup.applied.inc();
                         }
                         reply.send(answer);
                     }
@@ -1733,7 +1914,7 @@ fn peer_main(
                         // would regress them. The cached ack answers instead.
                         if let Some(op) = op {
                             if let Some(cached) = runtime.dedup.lookup(op, NO_SUB) {
-                                directory.dedup.suppressed.fetch_add(1, Ordering::Relaxed);
+                                directory.dedup.suppressed.inc();
                                 reply.send(cached);
                                 continue;
                             }
@@ -1757,14 +1938,29 @@ fn peer_main(
                         };
                         if let Some(op) = op {
                             runtime.dedup.record(op, NO_SUB, answer.clone());
-                            directory.dedup.applied.fetch_add(1, Ordering::Relaxed);
+                            directory.dedup.applied.inc();
                         }
+                        reply.send(answer);
+                    }
+                    Request::Metrics => {
+                        // Served locally wherever it lands (a scrape targets
+                        // a peer, not a key) and answered immediately:
+                        // reading instruments has no durability ordering.
+                        let answer = match &metrics {
+                            Some(m) => Reply::Metrics(encode(m.registry())),
+                            None => Reply::Error {
+                                reason: "metrics are disabled on this peer".to_string(),
+                            },
+                        };
                         reply.send(answer);
                     }
                     Request::Shutdown | Request::Crash => {
                         unreachable!("lifecycle requests never enter a batch")
                     }
                 }
+            }
+            if let (Some(m), Some(started)) = (&metrics, service_started) {
+                m.service_ns.observe_duration(started.elapsed());
             }
         }
         // The batch boundary: one covering fsync for everything the batch

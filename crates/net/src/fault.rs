@@ -34,13 +34,13 @@
 use std::cell::Cell;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rdht_metrics::{Counter, Registry};
 
 use crate::cluster::PeerId;
 use crate::message::{Reply, Request};
@@ -219,11 +219,15 @@ struct PlanState {
     black_hole: VecDeque<ReplySink>,
 }
 
+/// The plan-wide totals, kept as registry-grade [`Counter`] handles: the
+/// same atomics [`FaultPlan::stats`] snapshots can be registered into a
+/// peer's metrics registry ([`FaultPlan::register_metrics`]) — one storage
+/// location, whichever way it is read.
 struct Totals {
-    delivered: AtomicU64,
-    dropped: AtomicU64,
-    delayed: AtomicU64,
-    duplicated: AtomicU64,
+    delivered: Counter,
+    dropped: Counter,
+    delayed: Counter,
+    duplicated: Counter,
 }
 
 struct PlanInner {
@@ -268,10 +272,10 @@ impl FaultPlan {
                     black_hole: VecDeque::new(),
                 }),
                 totals: Totals {
-                    delivered: AtomicU64::new(0),
-                    dropped: AtomicU64::new(0),
-                    delayed: AtomicU64::new(0),
-                    duplicated: AtomicU64::new(0),
+                    delivered: Counter::new(),
+                    dropped: Counter::new(),
+                    delayed: Counter::new(),
+                    duplicated: Counter::new(),
                 },
                 scheduler: Scheduler::new(),
             }),
@@ -354,13 +358,46 @@ impl FaultPlan {
         per_link.sort_by_key(|(link, _)| *link);
         FaultStats {
             totals: LinkCounters {
-                frames_delivered: self.inner.totals.delivered.load(Ordering::Relaxed),
-                frames_dropped: self.inner.totals.dropped.load(Ordering::Relaxed),
-                frames_delayed: self.inner.totals.delayed.load(Ordering::Relaxed),
-                frames_duplicated: self.inner.totals.duplicated.load(Ordering::Relaxed),
+                frames_delivered: self.inner.totals.delivered.get(),
+                frames_dropped: self.inner.totals.dropped.get(),
+                frames_delayed: self.inner.totals.delayed.get(),
+                frames_duplicated: self.inner.totals.duplicated.get(),
             },
             per_link,
         }
+    }
+
+    /// Registers the plan-wide totals into a metrics registry as shared
+    /// handles: the registry series and [`FaultPlan::stats`] read the same
+    /// atomics, so the two surfaces can never disagree. Totals are
+    /// plan-wide — on a cluster with one plan, every peer's exposition
+    /// mirrors the same values.
+    pub fn register_metrics(&self, registry: &Registry, labels: &[(&str, &str)]) {
+        use crate::metrics::names;
+        registry.register_counter(
+            names::FAULT_DELIVERED,
+            "frames the fault plan passed through to the real transport",
+            labels,
+            self.inner.totals.delivered.clone(),
+        );
+        registry.register_counter(
+            names::FAULT_DROPPED,
+            "frames the fault plan silently dropped (including partitions)",
+            labels,
+            self.inner.totals.dropped.clone(),
+        );
+        registry.register_counter(
+            names::FAULT_DELAYED,
+            "frames the fault plan held back before delivery",
+            labels,
+            self.inner.totals.delayed.clone(),
+        );
+        registry.register_counter(
+            names::FAULT_DUPLICATED,
+            "frames the fault plan delivered a second time",
+            labels,
+            self.inner.totals.duplicated.clone(),
+        );
     }
 
     fn decide(&self, from: End, to: End) -> Decision {
@@ -372,13 +409,13 @@ impl FaultPlan {
             .any(|partition| partition.separates(from, to))
         {
             state.counters.entry(link).or_default().frames_dropped += 1;
-            self.inner.totals.dropped.fetch_add(1, Ordering::Relaxed);
+            self.inner.totals.dropped.inc();
             return Decision::Drop;
         }
         let faults = *state.links.get(&link).unwrap_or(&state.default_link);
         if faults.is_clean() {
             state.counters.entry(link).or_default().frames_delivered += 1;
-            self.inner.totals.delivered.fetch_add(1, Ordering::Relaxed);
+            self.inner.totals.delivered.inc();
             return Decision::Deliver {
                 delay: None,
                 duplicate: false,
@@ -391,7 +428,7 @@ impl FaultPlan {
             .or_insert_with(|| StdRng::seed_from_u64(seed));
         if faults.drop_probability > 0.0 && rng.gen_bool(faults.drop_probability.min(1.0)) {
             state.counters.entry(link).or_default().frames_dropped += 1;
-            self.inner.totals.dropped.fetch_add(1, Ordering::Relaxed);
+            self.inner.totals.dropped.inc();
             return Decision::Drop;
         }
         let duplicate = faults.duplicate_probability > 0.0
@@ -404,14 +441,14 @@ impl FaultPlan {
         };
         let counters = state.counters.entry(link).or_default();
         counters.frames_delivered += 1;
-        self.inner.totals.delivered.fetch_add(1, Ordering::Relaxed);
+        self.inner.totals.delivered.inc();
         if duplicate {
             counters.frames_duplicated += 1;
-            self.inner.totals.duplicated.fetch_add(1, Ordering::Relaxed);
+            self.inner.totals.duplicated.inc();
         }
         if delay.is_some() {
             counters.frames_delayed += 1;
-            self.inner.totals.delayed.fetch_add(1, Ordering::Relaxed);
+            self.inner.totals.delayed.inc();
         }
         Decision::Deliver { delay, duplicate }
     }

@@ -94,6 +94,20 @@
 //! the `storage` bench bin quantifies the win (tens of times the per-op
 //! `Always` throughput at 8+ writers).
 //!
+//! ## Observability
+//!
+//! Every peer of a metrics-enabled cluster (the default; see
+//! [`ClusterConfig::with_metrics`]) carries an `rdht-metrics` registry
+//! ([`metrics::PeerMetrics`]): request counts by kind, queue depth and
+//! drained batch sizes of the group-commit loop, per-message service-time
+//! histograms, hand-off phase durations and stall time, indirect counter
+//! initializations, the storage engine's WAL instruments, and — as shared
+//! handles — the cluster-wide dedup totals and fault-plan counters. Scrape
+//! a peer in-process with [`Cluster::scrape`], or over the wire (either
+//! transport) with [`ClusterClient::scrape_metrics`], which sends
+//! [`Request::Metrics`] and returns the Prometheus text exposition (see
+//! `examples/metrics.rs`).
+//!
 //! ```
 //! use rdht_core::ums;
 //! use rdht_hashing::Key;
@@ -117,6 +131,7 @@ mod client;
 mod cluster;
 pub mod fault;
 mod message;
+pub mod metrics;
 mod tcp;
 mod transport;
 pub mod wire;
@@ -128,6 +143,7 @@ pub use cluster::{
 };
 pub use fault::{End, FaultPlan, FaultStats, FaultyTransport, LinkCounters, LinkFaults};
 pub use message::{HandoffFault, HandoffKind, OpId, Reply, Request};
+pub use metrics::{PeerMetrics, RequestCounters};
 pub use rdht_membership::MembershipError;
 pub use tcp::TcpTransport;
 pub use transport::{

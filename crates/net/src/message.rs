@@ -171,6 +171,13 @@ pub enum Request {
         /// Replicas and counters moving in.
         bundle: HandoffBundle,
     },
+    /// Scrape the peer's metrics registry: the peer answers
+    /// [`Reply::Metrics`] carrying its full Prometheus text exposition.
+    /// Never batched (a scrape must not wait out a group-commit drain) and
+    /// never forwarded (it is addressed to a specific peer, not a ring
+    /// position). A peer running without a registry answers
+    /// [`Reply::Error`].
+    Metrics,
     /// Ask the peer to stop gracefully: it flushes its journal to stable
     /// storage before exiting. No reply is sent.
     Shutdown,
@@ -229,4 +236,8 @@ pub enum Reply {
         /// What went wrong.
         reason: String,
     },
+    /// Answer to a [`Request::Metrics`] scrape: the peer's registry rendered
+    /// as Prometheus text exposition (`rdht_metrics::encode`), parseable by
+    /// `rdht_metrics::parse`.
+    Metrics(String),
 }

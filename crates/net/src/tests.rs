@@ -1160,3 +1160,111 @@ fn cluster_grows_and_shrinks_one_peer_at_a_time() {
     assert_eq!(cluster.live_peers(), 1);
     cluster.shutdown();
 }
+
+/// A metrics scrape — over the wire via [`crate::ClusterClient::scrape_metrics`]
+/// and in-process via [`Cluster::scrape`] — returns a parseable Prometheus
+/// exposition carrying every roadmap-named instrument, and the stats
+/// accessors read the very same atomics the registry exposes.
+#[test]
+fn metrics_scrape_exposes_roadmap_instruments() {
+    let cluster = Cluster::spawn(3, 3, 91);
+    let mut client = cluster.client();
+    let key = Key::new("observed");
+    ums::insert(&mut client, &key, b"v1".to_vec()).unwrap();
+    ums::retrieve(&mut client, &key).unwrap();
+
+    let required = [
+        crate::metrics::names::REQUESTS,
+        crate::metrics::names::QUEUE_DEPTH,
+        crate::metrics::names::DRAIN_BATCH,
+        crate::metrics::names::SERVICE_NS,
+        crate::metrics::names::DEDUP_APPLIED,
+        crate::metrics::names::DEDUP_SUPPRESSED,
+        crate::metrics::names::HANDOFF_STALL_NS,
+        crate::metrics::names::INDIRECT_INITS,
+        rdht_storage::metrics::names::WAL_SYNCS,
+        rdht_membership::metrics::names::EXPORT_NS,
+    ];
+    for peer in cluster.peer_ids() {
+        let exposition = client.scrape_metrics(peer).expect("scrape answers");
+        let parsed = rdht_metrics::parse::parse(&exposition).expect("exposition parses");
+        assert!(!parsed.samples.is_empty(), "peer {peer:?} exposes series");
+        for name in required {
+            assert!(
+                exposition.contains(name),
+                "peer {peer:?} exposition is missing {name}"
+            );
+        }
+        // The in-process scrape reads the same registry.
+        let local = cluster.scrape(peer).expect("metrics are on by default");
+        for name in required {
+            assert!(local.contains(name), "local scrape is missing {name}");
+        }
+    }
+
+    // Some peer served the insert's writes. The client ships them as
+    // batched `PutReplicas` groups (kind "puts"); constituents that had to
+    // forward under churn would show up as kind "put" at their new owner.
+    let total_puts: u64 = cluster
+        .peer_ids()
+        .into_iter()
+        .filter_map(|peer| cluster.registry(peer))
+        .map(|registry| {
+            rdht_metrics::parse::parse(&rdht_metrics::encode(&registry))
+                .expect("parses")
+                .samples
+                .iter()
+                .filter(|sample| {
+                    sample.name == crate::metrics::names::REQUESTS
+                        && sample
+                            .labels
+                            .iter()
+                            .any(|(k, v)| k == "kind" && (v == "put" || v == "puts"))
+                })
+                .map(|sample| sample.value as u64)
+                .sum::<u64>()
+        })
+        .sum();
+    assert!(total_puts >= 1, "the insert's put groups were counted");
+    cluster.shutdown();
+}
+
+/// With metrics disabled the cluster answers scrapes with a typed error and
+/// exposes no registries, and the workload still completes — the
+/// instrumentation is strictly optional.
+#[test]
+fn metrics_can_be_disabled() {
+    let cluster = Cluster::spawn_with(ClusterConfig::new(2, 3, 92).with_metrics(false));
+    let mut client = cluster.client();
+    let key = Key::new("dark");
+    ums::insert(&mut client, &key, b"v1".to_vec()).unwrap();
+    let got = ums::retrieve(&mut client, &key).unwrap();
+    assert!(got.is_current);
+    for peer in cluster.peer_ids() {
+        assert!(cluster.registry(peer).is_none());
+        assert!(cluster.scrape(peer).is_none());
+        let refused = client.scrape_metrics(peer);
+        assert!(refused.is_err(), "scrape of a dark peer is refused");
+    }
+    cluster.shutdown();
+}
+
+/// The client's own counters are registry-grade: attach_metrics exposes the
+/// same atomics the accessors read.
+#[test]
+fn client_counters_are_registry_handles() {
+    let cluster = Cluster::spawn(2, 3, 93);
+    let mut client = cluster.client();
+    let registry = rdht_metrics::Registry::new();
+    client.attach_metrics(&registry, &[("client", "t")]);
+    let key = Key::new("counted");
+    ums::insert(&mut client, &key, b"v1".to_vec()).unwrap();
+    assert!(client.messages() > 0);
+    let exposition = rdht_metrics::encode(&registry);
+    assert!(exposition.contains(&format!(
+        "{}{{client=\"t\"}} {}",
+        crate::metrics::names::CLIENT_MESSAGES,
+        client.messages()
+    )));
+    cluster.shutdown();
+}

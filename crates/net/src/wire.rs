@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! frame   := len: u32 LE | payload               (len = payload byte count)
-//! payload := version: u8                         (WIRE_VERSION, currently 1)
+//! payload := version: u8                         (WIRE_VERSION, currently 3)
 //!            kind: u8                            (0 = request, 1 = reply)
 //!            request_id: u64 LE                  (matches replies to requests)
 //!            body                                (tagged per message variant)
@@ -43,8 +43,9 @@ use crate::message::{HandoffFault, HandoffKind, OpId, Reply, Request};
 /// [`WireError::UnsupportedVersion`].
 ///
 /// Version 2 added the optional [`OpId`] dedup metadata to the mutating
-/// request variants.
-pub const WIRE_VERSION: u8 = 2;
+/// request variants. Version 3 added the metrics scrape exchange
+/// ([`Request::Metrics`], request tag 8 / [`Reply::Metrics`], reply tag 9).
+pub const WIRE_VERSION: u8 = 3;
 
 /// Upper bound on a frame's payload length (64 MiB). A length prefix above
 /// this is rejected *before* any allocation — a garbage or hostile prefix
@@ -308,6 +309,7 @@ fn put_request_body(out: &mut Vec<u8>, request: &Request) {
         }
         Request::Shutdown => put_u8(out, 6),
         Request::Crash => put_u8(out, 7),
+        Request::Metrics => put_u8(out, 8),
     }
 }
 
@@ -358,6 +360,10 @@ fn put_reply_body(out: &mut Vec<u8>, reply: &Reply) {
         Reply::Error { reason } => {
             put_u8(out, 8);
             put_bytes(out, reason.as_bytes());
+        }
+        Reply::Metrics(exposition) => {
+            put_u8(out, 9);
+            put_bytes(out, exposition.as_bytes());
         }
     }
 }
@@ -618,6 +624,7 @@ fn decode_request_body(cursor: &mut Cursor<'_>) -> Result<Request, WireError> {
         }),
         6 => Ok(Request::Shutdown),
         7 => Ok(Request::Crash),
+        8 => Ok(Request::Metrics),
         tag => Err(WireError::UnknownTag {
             context: "request tag",
             tag,
@@ -665,6 +672,7 @@ fn decode_reply_body(cursor: &mut Cursor<'_>) -> Result<Reply, WireError> {
         8 => Ok(Reply::Error {
             reason: cursor.string("error reason")?,
         }),
+        9 => Ok(Reply::Metrics(cursor.string("metrics exposition")?)),
         tag => Err(WireError::UnknownTag {
             context: "reply tag",
             tag,

@@ -65,7 +65,7 @@ fn make_bundle(raw: &[BundleRaw]) -> HandoffBundle {
     bundle
 }
 
-/// Builds one of the eight request variants from raw generated material.
+/// Builds one of the nine request variants from raw generated material.
 fn make_request(
     selector: u8,
     key_bytes: &[u8],
@@ -76,7 +76,7 @@ fn make_request(
 ) -> Request {
     let key = Key::from_bytes(key_bytes.to_vec());
     let (a, b, c, flag_a, flag_b) = nums;
-    match selector % 8 {
+    match selector % 9 {
         0 => Request::PutReplica {
             op: raw_op(flag_b, b, c),
             hash: HashId(hashes.first().copied().unwrap_or(7)),
@@ -128,11 +128,12 @@ fn make_request(
             bundle: make_bundle(bundle_raw),
         },
         6 => Request::Shutdown,
-        _ => Request::Crash,
+        7 => Request::Crash,
+        _ => Request::Metrics,
     }
 }
 
-/// Builds one of the nine reply variants from raw generated material.
+/// Builds one of the ten reply variants from raw generated material.
 fn make_reply(
     selector: u8,
     payload: &[u8],
@@ -141,7 +142,7 @@ fn make_reply(
 ) -> Reply {
     let (a, b, w, f) = nums;
     let reason = String::from_utf8_lossy(reason_bytes).into_owned();
-    match selector % 9 {
+    match selector % 10 {
         0 => Reply::PutAck,
         1 => Reply::PutsAck {
             written: w,
@@ -163,7 +164,8 @@ fn make_reply(
             replicas_installed: a as usize,
             counters_received: b as usize,
         },
-        _ => Reply::Error { reason },
+        8 => Reply::Error { reason },
+        _ => Reply::Metrics(reason),
     }
 }
 

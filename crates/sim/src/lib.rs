@@ -48,7 +48,7 @@ mod access;
 mod algo;
 mod config;
 mod membership;
-mod metrics;
+pub mod metrics;
 mod network;
 pub mod peer;
 pub mod rng;

@@ -6,6 +6,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use rdht_hashing::{HashFamily, Key};
+use rdht_metrics::{Registry, TraceSink};
 use rdht_overlay::chord::{ChordConfig, ChordNetwork};
 use rdht_overlay::{NodeId, Overlay};
 
@@ -51,6 +52,10 @@ pub struct Simulation {
     pub(crate) stats: RunStats,
     pub(crate) last_ts_policy: LastTsInitPolicy,
     samples: Vec<QuerySample>,
+    /// When attached, every processed event is recorded as a chrome-trace
+    /// event with its **simulated** timestamp — `None` by default, so runs
+    /// carry no instrumentation and reports stay bit-for-bit deterministic.
+    trace: Option<TraceSink>,
 }
 
 impl Simulation {
@@ -110,8 +115,23 @@ impl Simulation {
             stats: RunStats::default(),
             last_ts_policy: LastTsInitPolicy::ObservedMax,
             samples: Vec::new(),
+            trace: None,
             config,
         }
+    }
+
+    /// Attaches a chrome-trace sink: every event the run loop processes is
+    /// recorded at its simulated time (virtual seconds mapped to trace
+    /// microseconds), and each measured query additionally records one
+    /// complete event per algorithm whose duration is the simulated
+    /// response time. Attach before [`Simulation::run`]; render the result
+    /// with [`TraceSink::render_chrome_trace`] or write it to a
+    /// `trace.json` loadable in `chrome://tracing` / Perfetto.
+    ///
+    /// Tracing never touches the workload's random sequence, so a traced
+    /// run returns exactly the report an untraced one does.
+    pub fn attach_trace(&mut self, sink: TraceSink) {
+        self.trace = Some(sink);
     }
 
     /// The configuration this simulation was built from.
@@ -182,6 +202,9 @@ impl Simulation {
         while let Some((time, event)) = self.queue.pop() {
             if time > self.config.duration {
                 break;
+            }
+            if let Some(trace) = &self.trace {
+                trace.instant_at(event_name(&event), TRACE_PID_EVENTS, 0, trace_us(time));
             }
             match event {
                 Event::PeerDeparture => self.handle_departure(),
@@ -435,9 +458,96 @@ impl Simulation {
                 }
             };
             if let Some(sample) = sample {
+                if let Some(trace) = &self.trace {
+                    // One lane per algorithm; the span's length is the
+                    // simulated response time the figures plot.
+                    trace.complete_at(
+                        algorithm.label(),
+                        TRACE_PID_QUERIES,
+                        trace_tid(algorithm),
+                        trace_us(time),
+                        trace_us(sample.response_time),
+                    );
+                }
                 self.samples.push(sample);
             }
         }
+    }
+
+    /// Exports one live peer's state as a metrics registry snapshot:
+    /// per-universe KTS work counters and stored-replica gauges, labeled
+    /// with the peer's overlay id and the universe. Built on demand — the
+    /// run itself carries no instrumentation — and named to mirror the live
+    /// instruments of the threaded deployment (see
+    /// [`crate::metrics::names`]). `None` for an id that is not a live
+    /// member.
+    pub fn peer_registry(&self, id: NodeId) -> Option<Registry> {
+        use crate::metrics::names;
+        let peer = self.peers.get(&id)?;
+        let registry = Registry::new();
+        let peer_label = format!("{:016x}", id.0);
+        for algorithm in Algorithm::ALL {
+            let labels = [
+                ("peer", peer_label.as_str()),
+                ("universe", algorithm.label()),
+            ];
+            registry
+                .gauge(
+                    names::STORED_REPLICAS,
+                    "replicas currently stored by the peer in one universe",
+                    &labels,
+                )
+                .set(peer.store(algorithm).len() as i64);
+            let Some(kts) = peer.kts(algorithm) else {
+                continue;
+            };
+            let stats = kts.stats();
+            let counters = [
+                (
+                    names::KTS_TIMESTAMPS,
+                    "timestamps generated (gen_ts served)",
+                    stats.timestamps_generated,
+                ),
+                (
+                    names::KTS_LAST_TS,
+                    "last_ts requests served",
+                    stats.last_ts_served,
+                ),
+                (
+                    names::KTS_DIRECT_RECEIPTS,
+                    "counters received through the direct transfer",
+                    stats.counters_received_directly,
+                ),
+                (
+                    names::KTS_INDIRECT_INITS,
+                    "counters initialized with the indirect algorithm",
+                    stats.indirect_initializations,
+                ),
+                (
+                    names::KTS_CORRECTIONS,
+                    "counters corrected by recovery or periodic inspection",
+                    stats.corrections,
+                ),
+                (
+                    names::KTS_RECOVERY_FLOORS,
+                    "indirect initializations raised by a recovered durable counter",
+                    stats.recovery_floor_seeds,
+                ),
+            ];
+            for (name, help, value) in counters {
+                registry.counter(name, help, &labels).add(value);
+            }
+        }
+        Some(registry)
+    }
+
+    /// Registry snapshots of every live peer, in overlay-id order.
+    pub fn export_registries(&self) -> Vec<(NodeId, Registry)> {
+        let mut ids: Vec<NodeId> = self.peers.keys().copied().collect();
+        ids.sort();
+        ids.into_iter()
+            .filter_map(|id| Some((id, self.peer_registry(id)?)))
+            .collect()
     }
 
     /// Measures the probability of currency and availability `p_t` for one
@@ -471,5 +581,38 @@ impl Simulation {
         } else {
             current as f64 / total as f64
         }
+    }
+}
+
+/// Trace process id of the run-loop event lane.
+const TRACE_PID_EVENTS: u64 = 0;
+/// Trace process id of the per-algorithm query lanes.
+const TRACE_PID_QUERIES: u64 = 1;
+
+/// Maps virtual seconds onto chrome-trace microseconds.
+fn trace_us(seconds: f64) -> u64 {
+    (seconds * 1_000_000.0) as u64
+}
+
+/// One trace lane (thread id) per algorithm, in the reporting order.
+fn trace_tid(algorithm: Algorithm) -> u64 {
+    match algorithm {
+        Algorithm::Brk => 0,
+        Algorithm::UmsIndirect => 1,
+        Algorithm::UmsDirect => 2,
+    }
+}
+
+/// The chrome-trace name of a workload event.
+fn event_name(event: &Event) -> &'static str {
+    match event {
+        Event::PeerDeparture => "peer_departure",
+        Event::Join => "join",
+        Event::GracefulLeave => "graceful_leave",
+        Event::Crash => "crash",
+        Event::UpdateData { .. } => "update",
+        Event::Stabilize => "stabilize",
+        Event::PeriodicInspection => "inspection",
+        Event::Query => "query",
     }
 }

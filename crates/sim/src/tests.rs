@@ -363,3 +363,75 @@ fn lossy_fault_plan_drops_messages_and_stays_deterministic() {
         "lossy {lossy_rt} should exceed clean {clean_rt}"
     );
 }
+
+/// A traced run records every workload event at its simulated timestamp,
+/// renders a loadable chrome trace, and — because tracing never touches the
+/// random sequence — returns exactly the report an untraced run does.
+#[test]
+fn traced_run_is_deterministic_and_renders_chrome_trace() {
+    let config = SimConfig::small_test(48, 11);
+    let untraced = run(config.clone());
+
+    let mut sim = Simulation::new(config);
+    let sink = rdht_metrics::TraceSink::new();
+    sim.attach_trace(sink.clone());
+    let traced = sim.run();
+    assert_eq!(untraced, traced, "tracing must not perturb the workload");
+
+    assert!(!sink.is_empty(), "the run recorded events");
+    let events = sink.events();
+    assert!(
+        events.iter().any(|e| e.name == "query"),
+        "query events appear in the trace"
+    );
+    assert!(
+        events.iter().any(|e| e.name == "UMS-Direct"),
+        "per-algorithm query spans appear in the trace"
+    );
+    let rendered = sink.render_chrome_trace();
+    assert!(
+        rendered.starts_with("{\"traceEvents\":["),
+        "chrome trace uses the object format"
+    );
+    assert!(rendered.trim_end().ends_with("]}"));
+    // Timestamps are simulated: all inside the configured duration.
+    let duration_us = (sim.config().duration * 1_000_000.0) as u64;
+    assert!(events.iter().all(|e| e.ts_us <= duration_us));
+}
+
+/// The exported per-peer registries carry the KTS work counters and stored
+/// replica gauges of every universe, and the sum over peers matches the
+/// totals the report computes.
+#[test]
+fn exported_peer_registries_mirror_kts_totals() {
+    let config = SimConfig::small_test(48, 12);
+    let mut sim = Simulation::new(config);
+    sim.run();
+
+    let registries = sim.export_registries();
+    assert_eq!(registries.len(), sim.live_peers());
+
+    let mut generated_from_registries = 0u64;
+    for (_, registry) in &registries {
+        let exposition = rdht_metrics::encode(registry);
+        let parsed = rdht_metrics::parse::parse(&exposition).expect("parses");
+        assert!(parsed.has_metric(crate::metrics::names::STORED_REPLICAS));
+        generated_from_registries += parsed
+            .samples
+            .iter()
+            .filter(|s| s.name == crate::metrics::names::KTS_TIMESTAMPS)
+            .map(|s| s.value as u64)
+            .sum::<u64>();
+    }
+    let direct = sim
+        .total_kts_stats(Algorithm::UmsDirect)
+        .expect("UMS universes have KTS state");
+    let indirect = sim
+        .total_kts_stats(Algorithm::UmsIndirect)
+        .expect("UMS universes have KTS state");
+    assert_eq!(
+        generated_from_registries,
+        direct.timestamps_generated + indirect.timestamps_generated,
+        "registry snapshots mirror the live totals"
+    );
+}

@@ -28,6 +28,7 @@ use rdht_core::durability::DurableState;
 use rdht_core::{ReplicaValue, Timestamp};
 use rdht_hashing::{HashId, Key};
 
+use crate::metrics::StorageMetrics;
 use crate::op::StorageOp;
 use crate::snapshot::{load_snapshot, write_snapshot};
 use crate::state::{CounterSet, MemoryState, ReplicaStore};
@@ -75,6 +76,10 @@ pub struct StorageStats {
     /// group commit this grows far slower than `ops_appended` — the ratio is
     /// the measured amortization.
     pub wal_syncs: u64,
+    /// Framed bytes appended to the WAL over this engine's lifetime.
+    pub wal_bytes_appended: u64,
+    /// Wall time the open spent recovering the directory, in nanoseconds.
+    pub recovery_duration_ns: u64,
     /// Ops replayed from the WAL at open.
     pub recovered_wal_ops: u64,
     /// Whether open had to discard a torn WAL tail.
@@ -117,6 +122,7 @@ pub struct StorageEngine {
     state: MemoryState,
     options: StorageOptions,
     stats: StorageStats,
+    metrics: Option<StorageMetrics>,
     poison: Option<io::Error>,
 }
 
@@ -243,6 +249,7 @@ impl StorageEngine {
             state: MemoryState::new(),
             options: StorageOptions::default(),
             stats: StorageStats::default(),
+            metrics: None,
             poison: None,
         }
     }
@@ -253,6 +260,7 @@ impl StorageEngine {
     /// appending.
     pub fn open(dir: impl Into<PathBuf>, options: StorageOptions) -> io::Result<Self> {
         let dir = dir.into();
+        let recovery_started = std::time::Instant::now();
         fs::create_dir_all(&dir)?;
         let discovered = discover(&dir)?;
         let generation = discovered.generation;
@@ -281,6 +289,8 @@ impl StorageEngine {
             recovered_wal_ops: discovered.wal_ops,
             recovered_torn_tail: discovered.torn_tail,
             recovered_from_snapshot: discovered.from_snapshot,
+            recovery_duration_ns: u64::try_from(recovery_started.elapsed().as_nanos())
+                .unwrap_or(u64::MAX),
             ..StorageStats::default()
         };
         Ok(StorageEngine {
@@ -291,6 +301,7 @@ impl StorageEngine {
             state: discovered.state,
             options,
             stats,
+            metrics: None,
             poison: None,
         })
     }
@@ -335,14 +346,45 @@ impl StorageEngine {
         &self.state.counters
     }
 
-    /// Work counters. `wal_syncs` folds in the live WAL's count, so the
-    /// value is current even before the next compaction rolls the writer.
+    /// Work counters. `wal_syncs` and `wal_bytes_appended` fold in the live
+    /// WAL's counts, so the values are current even before the next
+    /// compaction rolls the writer.
     pub fn stats(&self) -> StorageStats {
         let mut stats = self.stats;
         if let Some(wal) = &self.wal {
             stats.wal_syncs += wal.syncs();
+            stats.wal_bytes_appended += wal.bytes_appended();
         }
         stats
+    }
+
+    /// Attaches registry instruments: from now on every journaled operation
+    /// publishes the engine's work counters into `metrics` (see
+    /// [`StorageMetrics`] — the instruments mirror [`StorageEngine::stats`],
+    /// they do not count separately). The recovery duration of the open that
+    /// built this engine is observed once, here.
+    pub fn attach_metrics(&mut self, metrics: StorageMetrics) {
+        if self.stats.recovery_duration_ns > 0 {
+            metrics.recovery_ns.observe(self.stats.recovery_duration_ns);
+        }
+        self.metrics = Some(metrics);
+        self.publish_metrics();
+    }
+
+    /// The attached instruments, if any.
+    pub fn metrics(&self) -> Option<&StorageMetrics> {
+        self.metrics.as_ref()
+    }
+
+    /// Mirrors the current work counters into the attached instruments.
+    /// Monotonic (`record_absolute`), so re-publishing is idempotent.
+    fn publish_metrics(&self) {
+        let Some(metrics) = &self.metrics else { return };
+        let stats = self.stats();
+        metrics.wal_syncs.record_absolute(stats.wal_syncs);
+        metrics.ops_appended.record_absolute(stats.ops_appended);
+        metrics.wal_bytes.record_absolute(stats.wal_bytes_appended);
+        metrics.compactions.record_absolute(stats.snapshots_written);
     }
 
     /// The options this engine was opened with (normalized fsync policy).
@@ -397,6 +439,7 @@ impl StorageEngine {
         {
             self.compact()?;
         }
+        self.publish_metrics();
         Ok(())
     }
 
@@ -409,6 +452,9 @@ impl StorageEngine {
     pub fn apply_batch(&mut self, ops: Vec<StorageOp>) -> io::Result<()> {
         if ops.is_empty() {
             return Ok(());
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.batch_ops.observe(ops.len() as u64);
         }
         let mut journal = Ok(());
         if let Some(wal) = self.wal.as_mut() {
@@ -428,16 +474,19 @@ impl StorageEngine {
         {
             self.compact()?;
         }
+        self.publish_metrics();
         Ok(())
     }
 
     /// Forces everything journaled so far to stable storage — the covering
     /// sync of a group-commit batch boundary. Free when nothing is pending.
     pub fn sync(&mut self) -> io::Result<()> {
-        match self.wal.as_mut() {
+        let result = match self.wal.as_mut() {
             Some(wal) => wal.sync(),
             None => Ok(()),
-        }
+        };
+        self.publish_metrics();
+        result
     }
 
     /// Writes a snapshot of the current state as generation `g+1`, starts a
@@ -459,8 +508,9 @@ impl StorageEngine {
         // directory where only the unlinks survived.
         sync_dir(&dir)?;
         if let Some(old) = self.wal.take() {
-            // The retiring writer's sync count would vanish with it.
+            // The retiring writer's counts would vanish with it.
             self.stats.wal_syncs += old.syncs();
+            self.stats.wal_bytes_appended += old.bytes_appended();
         }
         self.wal = Some(wal);
         // The new generation is durable; the old one can go.
@@ -469,6 +519,7 @@ impl StorageEngine {
         self.generation = next;
         self.ops_in_wal = 0;
         self.stats.snapshots_written += 1;
+        self.publish_metrics();
         Ok(())
     }
 
@@ -775,6 +826,45 @@ mod tests {
         assert_eq!(stored.stamp, Timestamp(7));
         assert_eq!(stored.position, 12345);
         assert_eq!(counters.value(&key), Some(Timestamp(7)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The attached registry instruments always agree with `stats()` — the
+    /// satellite-1 unification: one count, one canonical name.
+    #[test]
+    fn attached_metrics_mirror_stats() {
+        let dir = temp_dir("metrics");
+        let registry = rdht_metrics::Registry::new();
+        let mut options =
+            StorageOptions::with_fsync(FsyncPolicy::group_commit(64, std::time::Duration::ZERO));
+        options.snapshot_every = 32; // force compactions mid-run
+        let mut engine = StorageEngine::open(&dir, options).unwrap();
+        engine.attach_metrics(crate::metrics::StorageMetrics::register(
+            &registry,
+            &[("peer", "7")],
+        ));
+        let ops: Vec<StorageOp> = (0..80).map(put).collect();
+        for batch in ops.chunks(8) {
+            engine.apply_batch(batch.to_vec()).unwrap();
+            engine.sync().unwrap();
+        }
+        let stats = engine.stats();
+        let metrics = engine.metrics().unwrap();
+        assert!(stats.snapshots_written >= 2);
+        assert_eq!(metrics.wal_syncs.get(), stats.wal_syncs);
+        assert_eq!(metrics.ops_appended.get(), stats.ops_appended);
+        assert_eq!(metrics.wal_bytes.get(), stats.wal_bytes_appended);
+        assert_eq!(metrics.compactions.get(), stats.snapshots_written);
+        assert_eq!(metrics.batch_ops.count(), 10, "one observation per batch");
+        let text = rdht_metrics::encode(&registry);
+        assert!(
+            text.contains("storage_wal_syncs_total{peer=\"7\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("storage_batch_ops_bucket{peer=\"7\",le=\"8\"} 10"),
+            "{text}"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -95,6 +95,7 @@
 
 mod crc;
 pub mod frame;
+pub mod metrics;
 mod op;
 mod snapshot;
 mod state;
@@ -103,6 +104,7 @@ mod wal;
 mod engine;
 
 pub use engine::{RecoveredState, StorageEngine, StorageOptions, StorageStats};
+pub use metrics::StorageMetrics;
 pub use op::StorageOp;
 pub use state::{CounterSet, MemoryState, ReplicaStore, StoredReplica};
 pub use wal::{replay, FsyncPolicy, WalReplay, WalWriter};

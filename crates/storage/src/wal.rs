@@ -179,6 +179,7 @@ pub struct WalWriter {
     policy: FsyncPolicy,
     appends_since_sync: u64,
     syncs: u64,
+    bytes_appended: u64,
     scratch: Vec<u8>,
 }
 
@@ -197,6 +198,7 @@ impl WalWriter {
             policy: policy.normalized(),
             appends_since_sync: 0,
             syncs: 0,
+            bytes_appended: 0,
             scratch: Vec::new(),
         })
     }
@@ -227,6 +229,7 @@ impl WalWriter {
             policy: policy.normalized(),
             appends_since_sync: 0,
             syncs: 0,
+            bytes_appended: 0,
             scratch: Vec::new(),
         })
     }
@@ -252,6 +255,12 @@ impl WalWriter {
         self.syncs
     }
 
+    /// Framed bytes this writer has appended (headers included) — the
+    /// numerator of the write-amplification story.
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes_appended
+    }
+
     /// Appends one framed op and applies the fsync policy. The record is
     /// framed in place in the reused scratch buffer (header reserved up
     /// front, sealed after encoding) — no per-append allocation.
@@ -267,6 +276,7 @@ impl WalWriter {
         seal_frame(&mut self.scratch);
         self.file.write_all(&self.scratch)?;
         self.appends_since_sync += 1;
+        self.bytes_appended += self.scratch.len() as u64;
         self.apply_policy()
     }
 
@@ -290,6 +300,7 @@ impl WalWriter {
         }
         self.file.write_all(&self.scratch)?;
         self.appends_since_sync += ops.len() as u64;
+        self.bytes_appended += self.scratch.len() as u64;
         match self.policy {
             // The batch boundary is the covering sync point.
             FsyncPolicy::Always | FsyncPolicy::GroupCommit { .. } => self.sync(),
