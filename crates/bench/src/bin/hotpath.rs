@@ -21,28 +21,40 @@ use rdht_metrics::{Counter, Histogram};
 use rdht_overlay::WritePolicy;
 use rdht_sim::Simulation;
 
-/// One measured benchmark: mean wall-clock nanoseconds per operation.
+/// One measured benchmark: mean wall-clock nanoseconds per operation, plus
+/// the per-op p50/p99 estimated from the per-call latency distribution.
 struct BenchLine {
     name: &'static str,
     iters: u64,
     ns_per_op: f64,
+    p50_ns: f64,
+    p99_ns: f64,
 }
 
 /// Times `op_count` operations produced by repeatedly calling `routine`
-/// (which must perform `batch` operations per call).
+/// (which must perform `batch` operations per call). Each call's wall time
+/// feeds a histogram, so the line carries tail quantiles alongside the
+/// mean — a bench that is fast on average but occasionally stalls (an
+/// allocation spike, a page fault storm) shows up in its p99 row.
 fn measure<F: FnMut()>(name: &'static str, calls: u64, batch: u64, mut routine: F) -> BenchLine {
     // One untimed warm-up call to touch caches and page in the data.
     routine();
+    let latency = Histogram::new();
     let start = Instant::now();
     for _ in 0..calls {
+        let call_start = Instant::now();
         routine();
+        latency.observe(u64::try_from(call_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
     }
     let elapsed = start.elapsed();
     let ops = calls * batch;
+    let per_op = |q: f64| latency.quantile(q).unwrap_or(0.0) / batch as f64;
     BenchLine {
         name,
         iters: ops,
         ns_per_op: elapsed.as_nanos() as f64 / ops as f64,
+        p50_ns: per_op(0.5),
+        p99_ns: per_op(0.99),
     }
 }
 
@@ -241,6 +253,10 @@ fn bench_sim_quick_run(runs: u32) -> BenchLine {
         name: "sim_quick_run",
         iters: 1,
         ns_per_op: best as f64,
+        // A best-of-N single-shot measurement has no distribution to
+        // estimate tails from; report the measured value for both.
+        p50_ns: best as f64,
+        p99_ns: best as f64,
     }
 }
 
@@ -253,8 +269,9 @@ fn to_json(mode: &str, lines: &[BenchLine]) -> String {
     for (i, line) in lines.iter().enumerate() {
         let comma = if i + 1 == lines.len() { "" } else { "," };
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"iters\": {}, \"ns_per_op\": {:.2}}}{comma}\n",
-            line.name, line.iters, line.ns_per_op
+            "    {{\"name\": \"{}\", \"iters\": {}, \"ns_per_op\": {:.2}, \
+             \"p50_ns\": {:.2}, \"p99_ns\": {:.2}}}{comma}\n",
+            line.name, line.iters, line.ns_per_op, line.p50_ns, line.p99_ns
         ));
     }
     out.push_str("  ]\n}\n");
@@ -293,8 +310,8 @@ fn main() {
     let mode = if quick { "quick" } else { "full" };
     for line in &lines {
         println!(
-            "{:<28} {:>14.2} ns/op  ({} ops)",
-            line.name, line.ns_per_op, line.iters
+            "{:<28} {:>14.2} ns/op  p50 {:>12.2}  p99 {:>12.2}  ({} ops)",
+            line.name, line.ns_per_op, line.p50_ns, line.p99_ns, line.iters
         );
     }
     let json = to_json(mode, &lines);

@@ -26,6 +26,7 @@ use std::time::Instant;
 
 use rdht_core::ums;
 use rdht_hashing::Key;
+use rdht_metrics::Histogram;
 use rdht_net::{Cluster, ClusterConfig, ClusterStorage, PeerId};
 use rdht_sim::{Algorithm, SimConfig, Simulation};
 use rdht_storage::{FsyncPolicy, StorageOptions};
@@ -35,6 +36,11 @@ struct MembershipPoint {
     keys_held: usize,
     join_ms: f64,
     leave_ms: f64,
+    /// Median / p99 latency of the point's preload inserts, microseconds —
+    /// the write-path tail while the ring is stable, the baseline the
+    /// join/leave disruption is judged against.
+    insert_p50_us: f64,
+    insert_p99_us: f64,
     replicas_moved_join: usize,
     replicas_moved_leave: usize,
     counters_moved_leave: usize,
@@ -83,9 +89,12 @@ fn bench_membership_point(keys_held: usize, seed: u64) -> MembershipPoint {
         ClusterConfig::new(8, 10, seed).with_storage(ClusterStorage::with_options(&root, options));
     let mut cluster = Cluster::spawn_with(config);
     let mut client = cluster.client();
+    let insert_latency = Histogram::new();
     for i in 0..keys_held {
         let key = Key::new(format!("data-{i}"));
+        let start = Instant::now();
         ums::insert(&mut client, &key, vec![7u8; 32]).expect("insert");
+        insert_latency.observe(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
     }
 
     let joiner = unused_peer_id(&cluster, 0x00c0_ffee_0000_0001 ^ seed);
@@ -103,6 +112,8 @@ fn bench_membership_point(keys_held: usize, seed: u64) -> MembershipPoint {
         keys_held,
         join_ms,
         leave_ms,
+        insert_p50_us: insert_latency.quantile(0.5).unwrap_or(0.0) / 1_000.0,
+        insert_p99_us: insert_latency.quantile(0.99).unwrap_or(0.0) / 1_000.0,
         replicas_moved_join: join.replicas_moved,
         replicas_moved_leave: leave.replicas_moved,
         counters_moved_leave: leave.counters_moved,
@@ -195,11 +206,14 @@ fn to_json(
         let comma = if i + 1 == points.len() { "" } else { "," };
         out.push_str(&format!(
             "    {{\"keys_held\": {}, \"join_ms\": {:.3}, \"leave_ms\": {:.3}, \
+             \"insert_p50_us\": {:.2}, \"insert_p99_us\": {:.2}, \
              \"replicas_moved_join\": {}, \"replicas_moved_leave\": {}, \
              \"counters_moved_leave\": {}}}{comma}\n",
             point.keys_held,
             point.join_ms,
             point.leave_ms,
+            point.insert_p50_us,
+            point.insert_p99_us,
             point.replicas_moved_join,
             point.replicas_moved_leave,
             point.counters_moved_leave
@@ -251,6 +265,10 @@ fn main() {
         println!(
             "leave {:>6} keys: {:>10.3} ms  ({} replicas, {} counters moved)",
             point.keys_held, point.leave_ms, point.replicas_moved_leave, point.counters_moved_leave
+        );
+        println!(
+            "      {:>6} keys: insert p50 {:.2} µs, p99 {:.2} µs (stable ring)",
+            point.keys_held, point.insert_p50_us, point.insert_p99_us
         );
     }
     println!(

@@ -39,14 +39,22 @@ use rdht_bench::workload::bench_keys;
 use rdht_bench::BenchMeta;
 use rdht_core::{ums, InMemoryDht, Timestamp};
 use rdht_hashing::{HashId, Key};
-use rdht_net::{Cluster, ClusterConfig, ClusterStorage, FaultPlan, RetryPolicy, TransportKind};
+use rdht_metrics::Histogram;
+use rdht_net::{
+    Cluster, ClusterConfig, ClusterStorage, FaultPlan, RetryPolicy, TraceConfig, TraceSink,
+    TransportKind,
+};
 use rdht_storage::{FsyncPolicy, StorageEngine, StorageOp, StorageOptions};
 
-/// One measured benchmark: mean wall-clock nanoseconds per operation.
+/// One measured benchmark: mean wall-clock nanoseconds per operation, plus
+/// per-op p50/p99 estimated from the per-call (or, for the cluster rows,
+/// per-insert) latency distribution.
 struct BenchLine {
     name: String,
     iters: u64,
     ns_per_op: f64,
+    p50_ns: f64,
+    p99_ns: f64,
 }
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -64,16 +72,22 @@ fn measure(
     mut routine: impl FnMut(),
 ) -> BenchLine {
     routine();
+    let latency = Histogram::new();
     let start = Instant::now();
     for _ in 0..calls {
+        let call_start = Instant::now();
         routine();
+        latency.observe(u64::try_from(call_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
     }
     let elapsed = start.elapsed();
     let ops = calls * batch;
+    let per_op = |q: f64| latency.quantile(q).unwrap_or(0.0) / batch as f64;
     BenchLine {
         name: name.into(),
         iters: ops,
         ns_per_op: elapsed.as_nanos() as f64 / ops as f64,
+        p50_ns: per_op(0.5),
+        p99_ns: per_op(0.99),
     }
 }
 
@@ -188,15 +202,24 @@ fn bench_cluster_insert(
         ums::insert(&mut client, &Key::new("warm-up"), vec![0u8; 32]).expect("warm-up");
     }
     let ops = (writers * inserts_per_writer) as u64;
+    // Per-insert latencies land in one shared histogram (a handle over
+    // atomics — cloning shares the buckets), so the row's p50/p99 are true
+    // per-op tails across every writer, not per-thread means.
+    let latency = Histogram::new();
     let start = Instant::now();
     std::thread::scope(|scope| {
         for w in 0..writers {
             let cluster = Arc::clone(&cluster);
+            let latency = latency.clone();
             scope.spawn(move || {
                 let mut client = cluster.client();
                 for i in 0..inserts_per_writer {
                     let key = Key::new(format!("w{w}-k{i}"));
+                    let insert_start = Instant::now();
                     ums::insert(&mut client, &key, vec![1u8; 32]).expect("insert");
+                    latency.observe(
+                        u64::try_from(insert_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    );
                 }
             });
         }
@@ -210,6 +233,8 @@ fn bench_cluster_insert(
         name: format!("cluster_insert_{label}_w{writers}"),
         iters: ops,
         ns_per_op: elapsed.as_nanos() as f64 / ops as f64,
+        p50_ns: latency.quantile(0.5).unwrap_or(0.0),
+        p99_ns: latency.quantile(0.99).unwrap_or(0.0),
     }
 }
 
@@ -237,17 +262,23 @@ fn bench_cluster_insert_lossy(
         ums::insert(&mut client, &Key::new("warm-up"), vec![0u8; 32]).expect("warm-up");
     }
     let ops = (writers * inserts_per_writer) as u64;
+    let latency = Histogram::new();
     let start = Instant::now();
     std::thread::scope(|scope| {
         for w in 0..writers {
             let cluster = Arc::clone(&cluster);
+            let latency = latency.clone();
             scope.spawn(move || {
                 let mut client = cluster
                     .client()
                     .with_retry_policy(RetryPolicy::aggressive());
                 for i in 0..inserts_per_writer {
                     let key = Key::new(format!("lossy-w{w}-k{i}"));
+                    let insert_start = Instant::now();
                     ums::insert(&mut client, &key, vec![1u8; 32]).expect("insert");
+                    latency.observe(
+                        u64::try_from(insert_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    );
                 }
             });
         }
@@ -260,7 +291,67 @@ fn bench_cluster_insert_lossy(
         name: format!("cluster_insert_lossy_p{percent}"),
         iters: ops,
         ns_per_op: elapsed.as_nanos() as f64 / ops as f64,
+        p50_ns: latency.quantile(0.5).unwrap_or(0.0),
+        p99_ns: latency.quantile(0.99).unwrap_or(0.0),
     }
+}
+
+/// A traced rerun of the cluster-insert deployment: every insert is
+/// sampled, the peer's slow-request ring attributes each request's wall
+/// time to its phases (queue-wait, apply, batch-wait, fsync, reply), and
+/// the report says where the tail actually goes — e.g.
+/// `p99 = 3.1 ms: 78% queue_wait, 14% fsync`. Run outside the timed sweep:
+/// sampling at rate 1.0 is exactly the overhead the sweep must not carry.
+fn slowlog_report(writers: usize, inserts_per_writer: usize) -> Option<String> {
+    let dir = temp_dir(&format!("slowlog-w{writers}"));
+    let mut options = StorageOptions::with_fsync(FsyncPolicy::group_commit(64, Duration::ZERO));
+    options.snapshot_every = 0;
+    let config = ClusterConfig::new(1, 8, 0x510e)
+        .with_storage(ClusterStorage::with_options(&dir, options))
+        .with_transport(TransportKind::Channel);
+    let cluster = Arc::new(Cluster::spawn_with(config));
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let cluster = Arc::clone(&cluster);
+            scope.spawn(move || {
+                let mut client = cluster.client();
+                client.attach_trace(TraceSink::new(), TraceConfig::always());
+                for i in 0..inserts_per_writer {
+                    let key = Key::new(format!("slow-w{w}-k{i}"));
+                    ums::insert(&mut client, &key, vec![1u8; 32]).expect("insert");
+                }
+            });
+        }
+    });
+    let peer = cluster.peer_ids()[0];
+    let mut scraper = cluster.client();
+    let mut trees = scraper.slow_requests(peer, 128).expect("slowlog scrape");
+    if let Ok(cluster) = Arc::try_unwrap(cluster) {
+        cluster.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    trees.sort_by_key(|tree| std::cmp::Reverse(tree.total_us));
+    // The ~p99 entry: 1% of the recorded population sits above it.
+    let tree = trees.get(trees.len() / 100)?;
+    let total = tree.total_us.max(1);
+    let mut phases: Vec<(&str, u64)> = tree
+        .phases
+        .iter()
+        .map(|(name, us)| (name.as_str(), us * 100 / total))
+        .collect();
+    phases.sort_by_key(|&(_, pct)| std::cmp::Reverse(pct));
+    let breakdown = phases
+        .iter()
+        .filter(|&&(_, pct)| pct > 0)
+        .map(|(name, pct)| format!("{pct}% {name}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    Some(format!(
+        "slowlog cluster_insert_group_commit_w{writers} ({}): p99 = {:.1} ms: {breakdown}",
+        tree.name,
+        tree.total_us as f64 / 1_000.0,
+    ))
 }
 
 fn sample_put(i: u64) -> StorageOp {
@@ -320,8 +411,9 @@ fn to_json(mode: &str, lines: &[BenchLine]) -> String {
     for (i, line) in lines.iter().enumerate() {
         let comma = if i + 1 == lines.len() { "" } else { "," };
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"iters\": {}, \"ns_per_op\": {:.2}}}{comma}\n",
-            line.name, line.iters, line.ns_per_op
+            "    {{\"name\": \"{}\", \"iters\": {}, \"ns_per_op\": {:.2}, \
+             \"p50_ns\": {:.2}, \"p99_ns\": {:.2}}}{comma}\n",
+            line.name, line.iters, line.ns_per_op, line.p50_ns, line.p99_ns
         ));
     }
     out.push_str("  ]\n}\n");
@@ -432,12 +524,19 @@ fn main() {
         lines.extend(bench_recovery(n_ops, recovery_repeats));
     }
 
+    // Where does the insert tail go? A traced rerun of the 8-writer
+    // group-commit deployment, reported from the peer's slow-request ring.
+    let slowlog = slowlog_report(8, cluster_inserts * 4);
+
     let mode = if quick { "quick" } else { "full" };
     for line in &lines {
         println!(
-            "{:<32} {:>14.2} ns/op  ({} ops)",
-            line.name, line.ns_per_op, line.iters
+            "{:<32} {:>14.2} ns/op  p50 {:>12.2}  p99 {:>12.2}  ({} ops)",
+            line.name, line.ns_per_op, line.p50_ns, line.p99_ns, line.iters
         );
+    }
+    if let Some(report) = &slowlog {
+        println!("{report}");
     }
     let json = to_json(mode, &lines);
     if let Err(error) = std::fs::write(&out_path, &json) {

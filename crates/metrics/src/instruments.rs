@@ -220,6 +220,12 @@ impl Histogram {
         self.inner.sum.load(Ordering::Relaxed)
     }
 
+    /// Estimated `q`-quantile of the observed distribution — see
+    /// [`HistogramSnapshot::quantile`].
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.snapshot().quantile(q)
+    }
+
     /// A point-in-time copy of boundaries, per-range counts (including the
     /// trailing overflow bucket), sum and count. Under concurrent writers
     /// the snapshot is a consistent-enough cut: each field is read once,
@@ -266,6 +272,45 @@ impl HistogramSnapshot {
                 total
             })
             .collect()
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) by linear interpolation within
+    /// the bucket holding the target rank — the classic Prometheus
+    /// `histogram_quantile` estimator. The first bucket interpolates from 0;
+    /// a rank landing in the overflow bucket clamps to the last boundary
+    /// (the histogram carries no upper bound to interpolate towards).
+    /// `None` for an empty histogram or a `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // The rank of the target observation, 1-based; q = 0 means the
+        // smallest recorded observation's bucket.
+        let rank = (q * self.count as f64).max(1.0);
+        let mut below = 0u64;
+        for (i, &bucket_count) in self.counts.iter().enumerate() {
+            if bucket_count == 0 {
+                below += bucket_count;
+                continue;
+            }
+            let upto = below + bucket_count;
+            if (upto as f64) >= rank {
+                if i >= self.boundaries.len() {
+                    // Overflow bucket: clamp to the largest finite boundary.
+                    return Some(*self.boundaries.last().expect("non-empty boundaries") as f64);
+                }
+                let lower = if i == 0 {
+                    0.0
+                } else {
+                    self.boundaries[i - 1] as f64
+                };
+                let upper = self.boundaries[i] as f64;
+                let within = (rank - below as f64) / bucket_count as f64;
+                return Some(lower + (upper - lower) * within);
+            }
+            below = upto;
+        }
+        Some(*self.boundaries.last().expect("non-empty boundaries") as f64)
     }
 }
 
@@ -376,5 +421,48 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_boundaries_panic() {
         Histogram::with_buckets(vec![10, 10]);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let h = Histogram::with_buckets(vec![10, 20, 40]);
+        // 10 observations spread evenly through (10, 20].
+        for _ in 0..10 {
+            h.observe(15);
+        }
+        // Median rank 5 of 10 lands halfway through the second bucket.
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((p50 - 15.0).abs() < 1e-9, "p50 = {p50}");
+        // p100 interpolates to the bucket's upper bound.
+        let p100 = h.quantile(1.0).unwrap();
+        assert!((p100 - 20.0).abs() < 1e-9, "p100 = {p100}");
+    }
+
+    #[test]
+    fn quantile_spans_buckets_and_clamps_overflow() {
+        let h = Histogram::with_buckets(vec![10, 100]);
+        for _ in 0..90 {
+            h.observe(5); // first bucket
+        }
+        for _ in 0..9 {
+            h.observe(50); // second bucket
+        }
+        h.observe(1_000_000); // overflow
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 <= 10.0, "p50 within the first bucket, got {p50}");
+        let p95 = h.quantile(0.95).unwrap();
+        assert!((10.0..=100.0).contains(&p95), "p95 = {p95}");
+        // The overflow bucket clamps to the last finite boundary.
+        assert_eq!(h.quantile(1.0).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Histogram::with_buckets(vec![10]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram");
+        h.observe(3);
+        assert!(h.quantile(-0.1).is_none());
+        assert!(h.quantile(1.1).is_none());
+        assert!(h.quantile(0.0).is_some());
     }
 }

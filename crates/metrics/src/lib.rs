@@ -28,23 +28,38 @@
 //!   scrape actually parses.
 //! * [`TraceSink`] — a chrome-trace (`chrome://tracing`, Perfetto) span
 //!   recorder with explicit-timestamp variants so the discrete-event
-//!   simulator can emit spans in *simulated* time.
+//!   simulator can emit spans in *simulated* time. Per-process sink files
+//!   merge with [`merge_chrome_trace_files`].
+//! * [`span`] — causal distributed tracing: the [`TraceContext`] carried
+//!   on the wire, span records, request-tree reassembly and the [`SpanLog`]
+//!   slow-request ring the peers answer tail-attribution queries from.
+//! * [`log`] — a structured, leveled, rate-limited JSONL event log
+//!   (`RDHT_LOG` selects the threshold), replacing ad-hoc `eprintln!`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod encode;
 mod instruments;
+pub mod log;
 pub mod parse;
 mod registry;
+pub mod span;
 mod trace;
 
 pub use encode::encode;
 pub use instruments::{
     default_latency_buckets, exponential_buckets, Counter, Gauge, Histogram, HistogramSnapshot,
 };
+pub use log::{EventLog, Level};
 pub use registry::{Labels, Registry};
-pub use trace::{SpanGuard, TraceEvent, TracePhase, TraceSink};
+pub use span::{
+    assemble_trees, next_span_id, RequestTree, SpanLog, SpanRecord, TraceConfig, TraceContext,
+    FLAG_SAMPLED,
+};
+pub use trace::{
+    merge_chrome_trace_files, merge_chrome_traces, SpanGuard, TraceEvent, TracePhase, TraceSink,
+};
 
 #[cfg(test)]
 mod proptests;

@@ -1,0 +1,390 @@
+//! Causal spans: trace contexts, span records, request trees and the
+//! per-peer slow-request log.
+//!
+//! The workspace's distributed tracing is built from four small pieces:
+//!
+//! * [`TraceContext`] — the identity carried *on the wire* with every
+//!   sampled request (trace id, parent span, flags). It is deliberately
+//!   tiny (17 bytes encoded) so an unsampled deployment pays one option
+//!   tag per frame and nothing else.
+//! * [`TraceConfig`] — the client-side sampling decision: a `sample_rate`
+//!   in `[0, 1]` decides which operations carry a context, and a
+//!   `slow_threshold` force-records any operation that turns out slow even
+//!   when the sampler skipped it.
+//! * [`SpanRecord`] / [`assemble_trees`] — completed spans as flat records
+//!   (each knows its trace, its own span id and its parent), and the pure
+//!   function that reassembles an arbitrary interleaving of them into the
+//!   per-request [`RequestTree`]s that were emitted.
+//! * [`SpanLog`] — a bounded ring of the last N completed request trees a
+//!   peer served, queried by the `SlowRequests` wire exchange to answer
+//!   "where did the p99 go?" with a per-phase breakdown.
+//!
+//! Chrome-trace rendering stays in [`crate::TraceSink`]; spans recorded
+//! there carry their trace id as an `args` entry so per-process sink files
+//! can be merged by trace id.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The sampled-flag bit of [`TraceContext::flags`].
+pub const FLAG_SAMPLED: u8 = 1;
+
+/// The causal identity a sampled request carries across process boundaries.
+///
+/// `trace_id` names the whole end-to-end operation; `parent_span` is the
+/// span id of the sender-side span the receiver's work is causally nested
+/// under (0 = root); `flags` carries the sampling decision so every hop
+/// agrees without re-rolling dice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Identity of the end-to-end operation, shared by every hop.
+    pub trace_id: u64,
+    /// Span id of the causal parent on the sending side (0 for the root).
+    pub parent_span: u64,
+    /// Bit flags; see [`FLAG_SAMPLED`].
+    pub flags: u8,
+}
+
+impl TraceContext {
+    /// A fresh sampled root context with the given trace id.
+    pub fn sampled_root(trace_id: u64) -> Self {
+        TraceContext {
+            trace_id,
+            parent_span: 0,
+            flags: FLAG_SAMPLED,
+        }
+    }
+
+    /// Whether the sampled bit is set — spans should be recorded.
+    pub fn is_sampled(&self) -> bool {
+        self.flags & FLAG_SAMPLED != 0
+    }
+
+    /// The context a child hop should carry: same trace and flags, nested
+    /// under `parent_span`.
+    pub fn child_of(&self, parent_span: u64) -> Self {
+        TraceContext {
+            trace_id: self.trace_id,
+            parent_span,
+            flags: self.flags,
+        }
+    }
+}
+
+/// Client-side sampling knobs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceConfig {
+    /// Fraction of operations in `[0, 1]` that carry a [`TraceContext`].
+    pub sample_rate: f64,
+    /// Operations slower than this are span-recorded at the client even
+    /// when the sampler skipped them, so an unlucky tail is never invisible.
+    pub slow_threshold: Duration,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            sample_rate: 0.0,
+            slow_threshold: Duration::from_millis(100),
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Sample every operation — what tests and the trace example use.
+    pub fn always() -> Self {
+        TraceConfig {
+            sample_rate: 1.0,
+            ..TraceConfig::default()
+        }
+    }
+}
+
+/// Process-global span-id allocator. Ids are unique within a process and
+/// never 0 (0 means "no parent"); cross-process uniqueness is not needed
+/// because spans are always interpreted next to their pid lane.
+pub fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One completed span, as a flat record: enough to rebuild the tree it was
+/// emitted from ([`assemble_trees`]) regardless of completion order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The operation this span belongs to.
+    pub trace_id: u64,
+    /// This span's id (unique within the emitting process, never 0).
+    pub span_id: u64,
+    /// Id of the parent span (0 = this is the root).
+    pub parent_span: u64,
+    /// Phase name (`client.call`, `peer.queue_wait`, `peer.fsync`, ...).
+    pub name: String,
+    /// Start timestamp in microseconds (sink-relative).
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// One completed request as its per-phase breakdown: the root span's name
+/// and total duration plus every descendant phase, in causal order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestTree {
+    /// The operation's trace id.
+    pub trace_id: u64,
+    /// Root span name (the request kind, by convention).
+    pub name: String,
+    /// Root span duration in microseconds — the request's wall time as
+    /// observed by the recording process.
+    pub total_us: u64,
+    /// `(phase name, duration in µs)` of every non-root span, depth-first
+    /// in `(start_us, span_id)` order.
+    pub phases: Vec<(String, u64)>,
+}
+
+impl RequestTree {
+    /// Microseconds attributed to named phases — compare against
+    /// [`RequestTree::total_us`] to see how much of the request's wall time
+    /// the recorded phases explain. Nested phases double-count by design;
+    /// callers wanting a partition should pick one level.
+    pub fn attributed_us(&self) -> u64 {
+        self.phases.iter().map(|(_, us)| *us).sum()
+    }
+}
+
+/// Reassembles an arbitrary interleaving of completed [`SpanRecord`]s into
+/// the [`RequestTree`]s they were emitted from: records are grouped by
+/// trace id, each group's root is the record with `parent_span == 0`, and
+/// descendants are attached by parent id and ordered `(start_us, span_id)`.
+/// Groups without exactly one root are skipped (a half-collected trace has
+/// no meaningful total). Trees come back sorted by trace id.
+pub fn assemble_trees(records: &[SpanRecord]) -> Vec<RequestTree> {
+    let mut by_trace: HashMap<u64, Vec<&SpanRecord>> = HashMap::new();
+    for record in records {
+        by_trace.entry(record.trace_id).or_default().push(record);
+    }
+    let mut trees: Vec<RequestTree> = Vec::new();
+    for (trace_id, group) in by_trace {
+        let mut roots = group.iter().filter(|r| r.parent_span == 0);
+        let (Some(root), None) = (roots.next(), roots.next()) else {
+            continue;
+        };
+        let mut children: HashMap<u64, Vec<&SpanRecord>> = HashMap::new();
+        for record in &group {
+            if record.parent_span != 0 {
+                children.entry(record.parent_span).or_default().push(record);
+            }
+        }
+        for siblings in children.values_mut() {
+            siblings.sort_by_key(|r| (r.start_us, r.span_id));
+        }
+        // Depth-first walk from the root, iterative to stay panic-free on
+        // adversarial (cyclic) parent links: a span is visited at most once.
+        let mut phases = Vec::new();
+        let mut stack: Vec<&SpanRecord> = children
+            .get(&root.span_id)
+            .map(|c| c.iter().rev().copied().collect())
+            .unwrap_or_default();
+        let mut visited: HashMap<u64, ()> = HashMap::new();
+        visited.insert(root.span_id, ());
+        while let Some(record) = stack.pop() {
+            if visited.insert(record.span_id, ()).is_some() {
+                continue;
+            }
+            phases.push((record.name.clone(), record.dur_us));
+            if let Some(grandchildren) = children.get(&record.span_id) {
+                stack.extend(grandchildren.iter().rev().copied());
+            }
+        }
+        trees.push(RequestTree {
+            trace_id,
+            name: root.name.clone(),
+            total_us: root.dur_us,
+            phases,
+        });
+    }
+    trees.sort_by_key(|t| t.trace_id);
+    trees
+}
+
+struct SpanLogInner {
+    capacity: usize,
+    trees: Vec<RequestTree>,
+    /// Next write position of the ring.
+    at: usize,
+}
+
+/// A bounded ring buffer of the last N completed [`RequestTree`]s — the
+/// peer-side slow-request log. Cloning shares the ring.
+#[derive(Clone)]
+pub struct SpanLog {
+    inner: std::sync::Arc<Mutex<SpanLogInner>>,
+}
+
+impl std::fmt::Debug for SpanLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("span log mutex");
+        f.debug_struct("SpanLog")
+            .field("capacity", &inner.capacity)
+            .field("len", &inner.trees.len())
+            .finish()
+    }
+}
+
+impl SpanLog {
+    /// A log keeping the most recent `capacity` trees (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        SpanLog {
+            inner: std::sync::Arc::new(Mutex::new(SpanLogInner {
+                capacity: capacity.max(1),
+                trees: Vec::new(),
+                at: 0,
+            })),
+        }
+    }
+
+    /// Records one completed request tree, evicting the oldest at capacity.
+    pub fn push(&self, tree: RequestTree) {
+        let mut inner = self.inner.lock().expect("span log mutex");
+        if inner.trees.len() < inner.capacity {
+            inner.trees.push(tree);
+        } else {
+            let at = inner.at;
+            inner.trees[at] = tree;
+        }
+        inner.at = (inner.at + 1) % inner.capacity;
+    }
+
+    /// Number of retained trees.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("span log mutex").trees.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `k` slowest retained trees, slowest first (ties broken by trace
+    /// id for determinism).
+    pub fn slowest(&self, k: usize) -> Vec<RequestTree> {
+        let mut trees = self.inner.lock().expect("span log mutex").trees.clone();
+        trees.sort_by(|a, b| {
+            b.total_us
+                .cmp(&a.total_us)
+                .then(a.trace_id.cmp(&b.trace_id))
+        });
+        trees.truncate(k);
+        trees
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(trace: u64, span: u64, parent: u64, name: &str, start: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            trace_id: trace,
+            span_id: span,
+            parent_span: parent,
+            name: name.to_string(),
+            start_us: start,
+            dur_us: dur,
+        }
+    }
+
+    #[test]
+    fn context_flags_and_children() {
+        let root = TraceContext::sampled_root(42);
+        assert!(root.is_sampled());
+        assert_eq!(root.parent_span, 0);
+        let child = root.child_of(7);
+        assert_eq!(child.trace_id, 42);
+        assert_eq!(child.parent_span, 7);
+        assert!(child.is_sampled());
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_nonzero() {
+        let a = next_span_id();
+        let b = next_span_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn trees_reassemble_in_causal_order() {
+        // Emit out of order: fsync completes before queue_wait is pushed.
+        let records = vec![
+            record(9, 4, 2, "peer.fsync", 30, 5),
+            record(9, 1, 0, "peer.request", 0, 50),
+            record(9, 3, 2, "peer.apply", 20, 8),
+            record(9, 2, 1, "peer.batch", 10, 40),
+            record(9, 5, 1, "peer.queue_wait", 0, 10),
+        ];
+        let trees = assemble_trees(&records);
+        assert_eq!(trees.len(), 1);
+        let tree = &trees[0];
+        assert_eq!(tree.trace_id, 9);
+        assert_eq!(tree.name, "peer.request");
+        assert_eq!(tree.total_us, 50);
+        assert_eq!(
+            tree.phases,
+            vec![
+                ("peer.queue_wait".to_string(), 10),
+                ("peer.batch".to_string(), 40),
+                ("peer.apply".to_string(), 8),
+                ("peer.fsync".to_string(), 5),
+            ]
+        );
+        assert_eq!(tree.attributed_us(), 63, "nested phases double-count");
+    }
+
+    #[test]
+    fn rootless_and_multirooted_groups_are_skipped() {
+        let records = vec![
+            record(1, 2, 1, "orphan", 0, 5),
+            record(2, 1, 0, "root-a", 0, 5),
+            record(2, 2, 0, "root-b", 0, 5),
+            record(3, 1, 0, "good", 0, 7),
+        ];
+        let trees = assemble_trees(&records);
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].trace_id, 3);
+    }
+
+    #[test]
+    fn cyclic_parent_links_terminate() {
+        let records = vec![
+            record(5, 1, 0, "root", 0, 10),
+            record(5, 2, 3, "a", 1, 2),
+            record(5, 3, 2, "b", 2, 2),
+        ];
+        // The cycle (2 <-> 3) is unreachable from the root; must not hang.
+        let trees = assemble_trees(&records);
+        assert_eq!(trees.len(), 1);
+        assert!(trees[0].phases.is_empty());
+    }
+
+    #[test]
+    fn span_log_keeps_the_last_n_and_ranks_by_duration() {
+        let log = SpanLog::new(3);
+        for (id, total) in [(1u64, 10u64), (2, 50), (3, 20), (4, 40)] {
+            log.push(RequestTree {
+                trace_id: id,
+                name: "req".into(),
+                total_us: total,
+                phases: vec![],
+            });
+        }
+        // Capacity 3: tree 1 was evicted.
+        assert_eq!(log.len(), 3);
+        let slowest = log.slowest(2);
+        assert_eq!(slowest[0].trace_id, 2);
+        assert_eq!(slowest[1].trace_id, 4);
+        assert_eq!(log.slowest(10).len(), 3);
+    }
+}

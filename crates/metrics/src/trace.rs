@@ -58,6 +58,10 @@ pub struct TraceEvent {
     /// Duration in microseconds; only meaningful for
     /// [`TracePhase::Complete`].
     pub dur_us: u64,
+    /// Free-form `args` members rendered into the chrome-trace event —
+    /// the distributed-tracing layer stores the trace id (and span links)
+    /// here so per-process traces can be correlated after merging.
+    pub args: Vec<(String, String)>,
 }
 
 struct SinkInner {
@@ -96,7 +100,10 @@ impl TraceSink {
         }
     }
 
-    fn now_us(&self) -> u64 {
+    /// Microseconds since the sink was created — the wall-clock timebase
+    /// of every non-`_at` recording method, exposed so callers measuring
+    /// their own intervals can stamp events consistently.
+    pub fn now_us(&self) -> u64 {
         u64::try_from(self.inner.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
     }
 
@@ -147,12 +154,36 @@ impl TraceSink {
             tid,
             ts_us,
             dur_us,
+            args: Vec::new(),
         });
     }
 
     /// Records a complete (`X`) span with explicit start and duration.
     pub fn complete_at(&self, name: &str, pid: u64, tid: u64, ts_us: u64, dur_us: u64) {
         self.event_at(name, TracePhase::Complete, pid, tid, ts_us, dur_us);
+    }
+
+    /// Records a complete (`X`) span carrying `args` members — the
+    /// distributed-tracing layer's entry point: the trace id rides in
+    /// `args`, so merged per-process traces stay correlatable.
+    pub fn complete_with_args(
+        &self,
+        name: &str,
+        pid: u64,
+        tid: u64,
+        ts_us: u64,
+        dur_us: u64,
+        args: Vec<(String, String)>,
+    ) {
+        self.push(TraceEvent {
+            name: name.to_string(),
+            phase: TracePhase::Complete,
+            pid,
+            tid,
+            ts_us,
+            dur_us,
+            args,
+        });
     }
 
     /// Records an instantaneous (`i`) event with an explicit timestamp.
@@ -208,6 +239,20 @@ impl TraceSink {
             if event.phase == TracePhase::Instant {
                 out.push_str(",\"s\":\"t\"");
             }
+            if !event.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (j, (key, value)) in event.args.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_json(&mut out, key);
+                    out.push_str("\":\"");
+                    escape_json(&mut out, value);
+                    out.push('"');
+                }
+                out.push('}');
+            }
             out.push('}');
         }
         out.push_str("]}");
@@ -218,6 +263,47 @@ impl TraceSink {
     pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
         std::fs::write(path, self.render_chrome_trace())
     }
+}
+
+/// Merges several rendered chrome traces (each the `{"traceEvents":[...]}`
+/// object [`TraceSink::render_chrome_trace`] produces) into one: the event
+/// arrays are concatenated, so spans recorded by different OS processes
+/// land in one file and correlate by the `trace_id` entry of their `args`.
+/// Returns `None` if any part is not of the expected shape.
+pub fn merge_chrome_traces<S: AsRef<str>>(parts: &[S]) -> Option<String> {
+    const PREFIX: &str = "{\"traceEvents\":[";
+    const SUFFIX: &str = "]}";
+    let mut out = String::from(PREFIX);
+    let mut wrote_any = false;
+    for part in parts {
+        let part = part.as_ref().trim();
+        let inner = part.strip_prefix(PREFIX)?.strip_suffix(SUFFIX)?;
+        if inner.is_empty() {
+            continue;
+        }
+        if wrote_any {
+            out.push(',');
+        }
+        out.push_str(inner);
+        wrote_any = true;
+    }
+    out.push_str(SUFFIX);
+    Some(out)
+}
+
+/// [`merge_chrome_traces`] over per-process sink files: reads every path
+/// and merges the rendered traces into one loadable JSON document.
+pub fn merge_chrome_trace_files<P: AsRef<Path>>(paths: &[P]) -> io::Result<String> {
+    let mut parts = Vec::with_capacity(paths.len());
+    for path in paths {
+        parts.push(std::fs::read_to_string(path)?);
+    }
+    merge_chrome_traces(&parts).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            "a trace file is not a rendered chrome trace object",
+        )
+    })
 }
 
 fn escape_json(out: &mut String, s: &str) {
@@ -323,6 +409,65 @@ mod tests {
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.starts_with("{\"traceEvents\":["));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn args_render_as_an_object_member() {
+        let sink = TraceSink::new();
+        sink.complete_with_args(
+            "client.call",
+            0,
+            1,
+            10,
+            25,
+            vec![
+                ("trace_id".to_string(), "000000000000002a".to_string()),
+                ("outcome".to_string(), "ok".to_string()),
+            ],
+        );
+        let json = sink.render_chrome_trace();
+        assert!(
+            json.contains("\"args\":{\"trace_id\":\"000000000000002a\",\"outcome\":\"ok\"}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn merging_concatenates_event_arrays() {
+        let a = TraceSink::new();
+        a.complete_at("client", 0, 0, 5, 10);
+        let b = TraceSink::new();
+        b.complete_at("peer", 1, 0, 7, 3);
+        let empty = TraceSink::new();
+        let merged = merge_chrome_traces(&[
+            a.render_chrome_trace(),
+            empty.render_chrome_trace(),
+            b.render_chrome_trace(),
+        ])
+        .expect("all parts well-formed");
+        assert!(merged.starts_with("{\"traceEvents\":["));
+        assert!(merged.contains("\"name\":\"client\""));
+        assert!(merged.contains("\"name\":\"peer\""));
+        assert!(merged.ends_with("]}"));
+        assert!(merge_chrome_traces(&["not a trace"]).is_none());
+    }
+
+    #[test]
+    fn merging_files_round_trips() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let path_a = dir.join(format!("rdht-merge-a-{pid}.json"));
+        let path_b = dir.join(format!("rdht-merge-b-{pid}.json"));
+        let a = TraceSink::new();
+        a.complete_at("x", 0, 0, 0, 1);
+        a.write_to(&path_a).unwrap();
+        let b = TraceSink::new();
+        b.complete_at("y", 1, 0, 2, 1);
+        b.write_to(&path_b).unwrap();
+        let merged = merge_chrome_trace_files(&[&path_a, &path_b]).unwrap();
+        assert!(merged.contains("\"name\":\"x\"") && merged.contains("\"name\":\"y\""));
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
     }
 
     #[test]

@@ -102,6 +102,7 @@ fn main() {
             num_replicas: NUM_REPLICAS,
             seed: SEED,
             storage: Some(storage.clone()),
+            trace_out: None,
         };
         peer_threads.push(thread::spawn(move || serve_tcp_peer(config)));
     }

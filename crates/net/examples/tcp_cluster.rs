@@ -148,6 +148,7 @@ fn run_peer(id: &str, book: &str) {
         num_replicas: NUM_REPLICAS,
         seed: SEED,
         storage: None,
+        trace_out: None,
     }) {
         eprintln!("peer {} failed: {error}", id.0);
         exit(1);

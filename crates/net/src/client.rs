@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
@@ -14,9 +14,12 @@ use rand::{Rng, SeedableRng};
 
 use rdht_core::{PutReplicasOutcome, ReplicaValue, Timestamp, UmsAccess, UmsError};
 use rdht_hashing::{HashFamily, HashId, Key};
-use rdht_metrics::{Counter, Registry};
+use rdht_metrics::{Counter, Registry, RequestTree, SpanLog, TraceConfig, TraceContext, TraceSink};
 
-use crate::cluster::{DedupCounters, Directory, PeerId, DEFAULT_FORWARDER_REAP_IDLE};
+use crate::cluster::{
+    request_kind, sink_ts, traceable, us, DedupCounters, Directory, PeerId,
+    DEFAULT_FORWARDER_REAP_IDLE,
+};
 use crate::message::{OpId, Reply, Request};
 use crate::metrics::names;
 use crate::tcp::TcpTransport;
@@ -138,6 +141,31 @@ pub struct ClusterClient {
     retries: Counter,
     /// Calls that spent their whole retry budget without a usable reply.
     retry_exhaustions: Counter,
+    /// Distributed tracing, when attached ([`ClusterClient::attach_trace`]).
+    tracing: Option<ClientTracing>,
+}
+
+/// Ring capacity of the client-side slowlog ([`ClusterClient::slow_calls`]).
+const CLIENT_SLOWLOG_CAPACITY: usize = 64;
+
+/// The client half of distributed tracing: the sampling knobs, the sink
+/// client-side spans land in, and a local ring of the slowest calls.
+struct ClientTracing {
+    sink: TraceSink,
+    config: TraceConfig,
+    slowlog: SpanLog,
+}
+
+/// Short label of a transport-level attempt outcome, recorded in the
+/// `client.attempt` span args.
+fn outcome_label(error: &CallError) -> &'static str {
+    match error {
+        CallError::Timeout => "timeout",
+        CallError::Dropped => "dropped",
+        CallError::Rejected(_) => "rejected",
+        CallError::Transport(_) => "transport",
+        CallError::Exhausted { .. } => "exhausted",
+    }
 }
 
 /// Maps a transport-level call failure onto the client's [`UmsError`].
@@ -172,6 +200,7 @@ impl ClusterClient {
             indirect_initializations: Counter::new(),
             retries: Counter::new(),
             retry_exhaustions: Counter::new(),
+            tracing: None,
         }
     }
 
@@ -275,6 +304,181 @@ impl ClusterClient {
         );
     }
 
+    /// Attaches distributed tracing to this handle: each logical call rolls
+    /// the sampler ([`TraceConfig::sample_rate`]); sampled calls carry a
+    /// [`TraceContext`] on the wire (the peers record their own span trees
+    /// under the same trace id) and record `client.call` / `client.attempt`
+    /// spans into `sink`. Calls slower than [`TraceConfig::slow_threshold`]
+    /// are recorded even when the sampler skipped them, so an unlucky tail
+    /// is never invisible. Introspection requests (metrics and slowlog
+    /// scrapes) and lifecycle messages bypass the sampler entirely.
+    pub fn attach_trace(&mut self, sink: TraceSink, config: TraceConfig) {
+        self.tracing = Some(ClientTracing {
+            sink,
+            config,
+            slowlog: SpanLog::new(CLIENT_SLOWLOG_CAPACITY),
+        });
+    }
+
+    /// The sink [`ClusterClient::attach_trace`] installed, if any.
+    pub fn trace_sink(&self) -> Option<&TraceSink> {
+        self.tracing.as_ref().map(|tracing| &tracing.sink)
+    }
+
+    /// The `k` slowest calls this handle recorded client-side (sampled
+    /// ones, plus anything over the slow threshold), slowest first. Empty
+    /// without [`ClusterClient::attach_trace`].
+    pub fn slow_calls(&self, k: usize) -> Vec<RequestTree> {
+        self.tracing
+            .as_ref()
+            .map(|tracing| tracing.slowlog.slowest(k))
+            .unwrap_or_default()
+    }
+
+    /// Scrapes `peer`'s slow-request log over the wire: sends
+    /// [`Request::SlowRequests`] and returns the `k` slowest request trees
+    /// the peer completed recently, slowest first, each with its per-phase
+    /// breakdown (queue wait, apply, batch wait, fsync, reply). Runs under
+    /// the same retry policy as every other call; the scrape itself
+    /// bypasses the sampler, so it never appears in the log it reads.
+    pub fn slow_requests(&mut self, peer: PeerId, k: u32) -> Result<Vec<RequestTree>, UmsError> {
+        let attempts = self.retry.attempts.max(1);
+        let mut last: Option<CallError> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.retries.inc();
+                self.backoff_sleep(attempt - 1);
+            }
+            let endpoint = self
+                .directory
+                .peers
+                .read()
+                .get(&peer)
+                .map(|(endpoint, _)| endpoint.clone());
+            let Some(endpoint) = endpoint else {
+                return Err(UmsError::lookup(format!(
+                    "unknown slowlog scrape target {:016x}",
+                    peer.0
+                )));
+            };
+            let outcome = match endpoint.send(Request::SlowRequests { k }) {
+                Ok(pending) => {
+                    self.messages.inc();
+                    pending.wait(self.retry.try_timeout)
+                }
+                Err(error) => Err(CallError::Transport(error)),
+            };
+            match outcome {
+                Ok(reply) => {
+                    self.messages.inc();
+                    return match reply {
+                        Reply::SlowRequests(trees) => Ok(trees),
+                        Reply::Error { reason } => Err(UmsError::lookup(format!(
+                            "slowlog scrape refused: {reason}"
+                        ))),
+                        other => Err(UmsError::lookup(format!(
+                            "unexpected reply to slowlog scrape: {other:?}"
+                        ))),
+                    };
+                }
+                Err(error) => last = Some(error),
+            }
+        }
+        self.retry_exhaustions.inc();
+        let last = last.unwrap_or(CallError::Timeout);
+        Err(call_failed(if attempts == 1 {
+            last
+        } else {
+            CallError::Exhausted {
+                attempts,
+                last: Box::new(last),
+            }
+        }))
+    }
+
+    /// Rolls the sampler for one logical call of a traceable kind: `Some`
+    /// when tracing is attached and the dice say record.
+    fn sample(&mut self) -> Option<TraceContext> {
+        let rate = self.tracing.as_ref()?.config.sample_rate;
+        if rate <= 0.0 {
+            return None;
+        }
+        if rate < 1.0 && self.rng.gen::<f64>() >= rate {
+            return None;
+        }
+        // Trace ids come from the jitter rng (seeded per client), so two
+        // client processes of a deployment do not collide.
+        Some(TraceContext::sampled_root(self.rng.gen::<u64>() | 1))
+    }
+
+    /// Records one finished attempt as a `client.attempt` span, tagged with
+    /// the attempt index, the preceding backoff and the outcome.
+    fn emit_attempt(
+        &self,
+        context: Option<TraceContext>,
+        attempt: u32,
+        start: Instant,
+        backoff: Duration,
+        outcome: &str,
+    ) {
+        let Some(tracing) = &self.tracing else { return };
+        let Some(context) = context else { return };
+        tracing.sink.complete_with_args(
+            "client.attempt",
+            u64::from(std::process::id()),
+            0,
+            sink_ts(&tracing.sink, start),
+            us(start.elapsed()),
+            vec![
+                ("trace_id".to_string(), format!("{:016x}", context.trace_id)),
+                ("attempt".to_string(), attempt.to_string()),
+                ("backoff_us".to_string(), us(backoff).to_string()),
+                ("outcome".to_string(), outcome.to_string()),
+            ],
+        );
+    }
+
+    /// Finalizes one logical call: records the root `client.call` span and
+    /// a client-side [`RequestTree`] when the call was sampled — or when it
+    /// crossed the slow threshold, so unsampled tail calls still surface.
+    fn finish_trace(
+        &mut self,
+        kind: &'static str,
+        context: Option<TraceContext>,
+        started: Option<Instant>,
+        phases: Vec<(String, u64)>,
+        outcome: &str,
+    ) {
+        let Some(started) = started else { return };
+        let Some(tracing) = &self.tracing else { return };
+        let total = started.elapsed();
+        let slow = total >= tracing.config.slow_threshold;
+        if context.is_none() && !slow {
+            return;
+        }
+        let trace_id = context
+            .map(|context| context.trace_id)
+            .unwrap_or_else(rdht_metrics::next_span_id);
+        tracing.sink.complete_with_args(
+            "client.call",
+            u64::from(std::process::id()),
+            0,
+            sink_ts(&tracing.sink, started),
+            us(total),
+            vec![
+                ("trace_id".to_string(), format!("{trace_id:016x}")),
+                ("kind".to_string(), kind.to_string()),
+                ("outcome".to_string(), outcome.to_string()),
+            ],
+        );
+        tracing.slowlog.push(RequestTree {
+            trace_id,
+            name: format!("client.{kind}"),
+            total_us: us(total),
+            phases,
+        });
+    }
+
     /// Scrapes `peer`'s metrics over the wire: sends [`Request::Metrics`]
     /// and returns the peer's Prometheus text exposition, under the same
     /// retry policy as every other call. Errors when the peer is unknown,
@@ -364,17 +568,36 @@ impl ClusterClient {
     /// reap; re-resolving and re-sending is the answer to all of them, and
     /// the dedup windows make it safe for mutations.
     fn request(&mut self, position: u64, request: Request) -> Result<Reply, UmsError> {
+        let kind = request_kind(&request);
+        let context = traceable(&request).then(|| self.sample()).flatten();
+        // Timing is captured whenever tracing is attached (not only when
+        // sampled), so the slow-threshold fallback can surface unsampled
+        // tail calls; without tracing the loop pays nothing.
+        let started = self.tracing.as_ref().map(|_| Instant::now());
+        let mut phases: Vec<(String, u64)> = Vec::new();
         let attempts = self.retry.attempts.max(1);
         let mut last: Option<CallError> = None;
         for attempt in 0..attempts {
+            let mut backoff = Duration::ZERO;
             if attempt > 0 {
                 self.retries.inc();
+                let backoff_start = started.map(|_| Instant::now());
                 self.backoff_sleep(attempt - 1);
+                if let Some(backoff_start) = backoff_start {
+                    backoff = backoff_start.elapsed();
+                    phases.push((format!("backoff{attempt}"), us(backoff)));
+                }
             }
             let Some((_peer, endpoint)) = self.directory.responsible_for(position) else {
+                self.finish_trace(kind, context, started, phases, "empty-overlay");
                 return Err(UmsError::EmptyOverlay);
             };
-            let outcome = match endpoint.send(request.clone()) {
+            let attempt_started = started.map(|_| Instant::now());
+            // Every attempt carries the same trace id; the attempt span is
+            // the wire parent, so peer spans nest under the attempt that
+            // reached them.
+            let wire_context = context.map(|root| root.child_of(rdht_metrics::next_span_id()));
+            let outcome = match endpoint.send_traced(request.clone(), wire_context) {
                 Ok(pending) => {
                     self.messages.inc();
                     pending.wait(self.retry.try_timeout)
@@ -384,13 +607,31 @@ impl ClusterClient {
             match outcome {
                 Ok(reply) => {
                     self.messages.inc();
+                    if let Some(attempt_started) = attempt_started {
+                        phases.push((format!("attempt{attempt}"), us(attempt_started.elapsed())));
+                        self.emit_attempt(context, attempt, attempt_started, backoff, "ok");
+                    }
+                    self.finish_trace(kind, context, started, phases, "ok");
                     return Ok(reply);
                 }
-                Err(error) => last = Some(error),
+                Err(error) => {
+                    if let Some(attempt_started) = attempt_started {
+                        phases.push((format!("attempt{attempt}"), us(attempt_started.elapsed())));
+                        self.emit_attempt(
+                            context,
+                            attempt,
+                            attempt_started,
+                            backoff,
+                            outcome_label(&error),
+                        );
+                    }
+                    last = Some(error);
+                }
             }
         }
         self.retry_exhaustions.inc();
         let last = last.unwrap_or(CallError::Timeout);
+        self.finish_trace(kind, context, started, phases, outcome_label(&last));
         Err(call_failed(if attempts == 1 {
             last
         } else {
@@ -516,14 +757,24 @@ impl UmsAccess for ClusterClient {
     /// re-queued whole and credited solely by its last attempt.
     fn put_replicas(&mut self, key: &Key, value: &ReplicaValue) -> PutReplicasOutcome {
         let op = Some(self.next_op());
+        let context = self.sample();
+        let started = self.tracing.as_ref().map(|_| Instant::now());
+        let mut phases: Vec<(String, u64)> = Vec::new();
         let mut outcome = PutReplicasOutcome::default();
         let mut remaining: Vec<HashId> = self.replication_ids().collect();
         let attempts = self.retry.attempts.max(1);
         for attempt in 0..attempts {
+            let mut backoff = Duration::ZERO;
             if attempt > 0 {
                 self.retries.inc();
+                let backoff_start = started.map(|_| Instant::now());
                 self.backoff_sleep(attempt - 1);
+                if let Some(backoff_start) = backoff_start {
+                    backoff = backoff_start.elapsed();
+                    phases.push((format!("backoff{attempt}"), us(backoff)));
+                }
             }
+            let attempt_started = started.map(|_| Instant::now());
             let final_attempt = attempt + 1 == attempts;
             let mut groups: BTreeMap<PeerId, (PeerEndpoint, Vec<HashId>)> = BTreeMap::new();
             let mut unroutable: Vec<HashId> = Vec::new();
@@ -549,7 +800,11 @@ impl UmsAccess for ClusterClient {
                     payload: value.data.clone(),
                     timestamp: value.timestamp,
                 };
-                match endpoint.send(request) {
+                // Every per-peer group of the fan-out carries the same
+                // trace id, so the applying peers' span trees (one per
+                // constituent put) correlate back to this logical insert.
+                let wire_context = context.map(|root| root.child_of(rdht_metrics::next_span_id()));
+                match endpoint.send_traced(request, wire_context) {
                     Ok(pending) => {
                         self.messages.inc();
                         waits.push((hashes, pending));
@@ -585,10 +840,17 @@ impl UmsAccess for ClusterClient {
             } else {
                 remaining.extend(unroutable);
             }
+            if let Some(attempt_started) = attempt_started {
+                phases.push((format!("attempt{attempt}"), us(attempt_started.elapsed())));
+                let label = if remaining.is_empty() { "ok" } else { "retry" };
+                self.emit_attempt(context, attempt, attempt_started, backoff, label);
+            }
             if remaining.is_empty() {
                 break;
             }
         }
+        let label = if outcome.failed == 0 { "ok" } else { "partial" };
+        self.finish_trace("puts", context, started, phases, label);
         outcome
     }
 

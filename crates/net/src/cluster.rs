@@ -30,7 +30,7 @@ use rdht_hashing::{HashFamily, HashId, Key};
 use rdht_membership::{
     commit_handoff, export_handoff, install_handoff, plan_join, plan_leave, MembershipError,
 };
-use rdht_metrics::{encode, Counter, Registry};
+use rdht_metrics::{encode, Counter, Registry, RequestTree, SpanLog, TraceContext, TraceSink};
 use rdht_overlay::in_open_closed_interval;
 use rdht_storage::{StorageEngine, StorageMetrics, StorageOptions};
 
@@ -172,6 +172,13 @@ pub struct ClusterConfig {
     /// with its Prometheus text exposition. Disable to measure the
     /// instrumentation's own overhead.
     pub metrics: bool,
+    /// When set, every peer records distributed-tracing spans (queue wait,
+    /// apply, covering fsync, reply send, hand-off phases) for requests
+    /// that arrive with a sampled [`TraceContext`] into this shared sink.
+    /// Sampling is decided by the *client*
+    /// ([`crate::ClusterClient::attach_trace`]); with no sampled traffic
+    /// the sink stays empty and the peer loop pays nothing.
+    pub trace: Option<TraceSink>,
 }
 
 impl ClusterConfig {
@@ -189,6 +196,7 @@ impl ClusterConfig {
             transport: TransportKind::Channel,
             faults: None,
             metrics: true,
+            trace: None,
         }
     }
 
@@ -220,6 +228,13 @@ impl ClusterConfig {
     /// Returns a copy with per-peer metrics registries switched on or off.
     pub fn with_metrics(mut self, metrics: bool) -> Self {
         self.metrics = metrics;
+        self
+    }
+
+    /// Returns a copy whose peers record spans for sampled requests into
+    /// `sink`.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.trace = Some(sink);
         self
     }
 }
@@ -463,8 +478,15 @@ impl Cluster {
                     registries.insert(id, registry);
                     metrics
                 });
-                let handle =
-                    spawn_peer_thread(id, mailbox, Arc::clone(&directory), engine, kts, metrics);
+                let handle = spawn_peer_thread(
+                    id,
+                    mailbox,
+                    Arc::clone(&directory),
+                    engine,
+                    kts,
+                    metrics,
+                    config.trace.clone(),
+                );
                 (id, handle)
             })
             .collect();
@@ -679,6 +701,7 @@ impl Cluster {
             engine,
             kts,
             metrics,
+            self.config.trace.clone(),
         );
         self.directory.revive(peer, endpoint);
         self.handles.insert(peer, handle);
@@ -762,6 +785,7 @@ impl Cluster {
             engine,
             kts,
             metrics,
+            self.config.trace.clone(),
         );
 
         if alive.is_empty() {
@@ -1018,6 +1042,12 @@ pub struct TcpPeerConfig {
     pub seed: u64,
     /// Optional durable storage for this peer.
     pub storage: Option<ClusterStorage>,
+    /// When set, the peer records spans for sampled requests and renders
+    /// its chrome trace to this file on clean exit. Per-process files of a
+    /// deployment are merged with
+    /// [`rdht_metrics::merge_chrome_trace_files`]; spans correlate by the
+    /// `trace_id` entry of their `args`.
+    pub trace_out: Option<PathBuf>,
 }
 
 /// Runs one peer of a multi-process TCP deployment in the calling thread:
@@ -1069,6 +1099,7 @@ pub fn serve_tcp_peer(config: TcpPeerConfig) -> Result<(), TransportError> {
     // Stand-alone TCP peers always carry metrics: a remote operator's only
     // window into the process is the wire scrape.
     let (_registry, metrics) = build_peer_metrics(config.id, &directory, None, &mut engine);
+    let trace = config.trace_out.as_ref().map(|_| TraceSink::new());
     set_thread_source(config.id);
     peer_main(
         config.id,
@@ -1077,8 +1108,13 @@ pub fn serve_tcp_peer(config: TcpPeerConfig) -> Result<(), TransportError> {
         engine,
         kts,
         Some(metrics),
+        trace.clone(),
     );
     directory.transport.unbind(config.id);
+    if let (Some(path), Some(sink)) = (&config.trace_out, &trace) {
+        sink.write_to(path)
+            .map_err(|error| TransportError::Io(format!("cannot write trace file: {error}")))?;
+    }
     Ok(())
 }
 
@@ -1116,13 +1152,14 @@ fn spawn_peer_thread(
     engine: StorageEngine,
     kts: KtsNode,
     metrics: Option<PeerMetrics>,
+    trace: Option<TraceSink>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
         // Frames this thread originates (forwards, install bundles) are
         // attributed to this peer's directed links by the fault layer.
         set_thread_source(id);
         let transport = Arc::clone(&directory.transport);
-        peer_main(id, mailbox, directory, engine, kts, metrics);
+        peer_main(id, mailbox, directory, engine, kts, metrics, trace);
         transport.unbind(id);
     })
 }
@@ -1164,17 +1201,21 @@ fn open_engine(storage: &Option<ClusterStorage>, peer: PeerId) -> StorageEngine 
     }
 }
 
-/// Reports a latched journal failure to stderr, once per peer lifetime.
+/// Reports a latched journal failure through the structured event log,
+/// once per peer lifetime.
 fn report_journal_poison(id: PeerId, engine: &StorageEngine, reported: &mut bool) {
     if *reported {
         return;
     }
     if let Some(error) = engine.poison_error() {
-        eprintln!(
-            "rdht-net peer {:016x}: journal failed ({error}); continuing \
-             WITHOUT durability — state written from here on will not \
-             survive a crash",
-            id.0
+        rdht_metrics::log::global().error(
+            "net.cluster",
+            "journal failed; continuing WITHOUT durability — state written \
+             from here on will not survive a crash",
+            &[
+                ("peer", &format!("{:016x}", id.0)),
+                ("error", &error.to_string()),
+            ],
         );
         *reported = true;
     }
@@ -1362,6 +1403,164 @@ fn batchable(request: &Request) -> bool {
     )
 }
 
+/// Ring capacity of the per-peer slow-request log: the last N completed
+/// sampled request trees, scraped by [`Request::SlowRequests`].
+const PEER_SLOWLOG_CAPACITY: usize = 128;
+
+/// Short request-kind label, used as the slowlog tree name and in
+/// chrome-trace span args.
+pub(crate) fn request_kind(request: &Request) -> &'static str {
+    match request {
+        Request::PutReplica { .. } => "put",
+        Request::PutReplicas { .. } => "puts",
+        Request::GetReplica { .. } => "get",
+        Request::Timestamp { .. } => "timestamp",
+        Request::HandoffRange { .. } => "handoff",
+        Request::InstallState { .. } => "install",
+        Request::Metrics => "metrics",
+        Request::SlowRequests { .. } => "slow_requests",
+        Request::Shutdown | Request::Crash => "lifecycle",
+    }
+}
+
+/// Whether a sampled [`TraceContext`] on this request should produce spans
+/// at all. Lifecycle and introspection requests bypass the tracer entirely
+/// — a metrics or slowlog scrape must never appear in the slowlog it
+/// reads, and shutdown is not an operation.
+pub(crate) fn traceable(request: &Request) -> bool {
+    !matches!(
+        request,
+        Request::Metrics | Request::SlowRequests { .. } | Request::Shutdown | Request::Crash
+    )
+}
+
+/// Microseconds of a duration, saturating.
+pub(crate) fn us(duration: Duration) -> u64 {
+    u64::try_from(duration.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The sink-relative timestamp of a past `Instant`, so spans measured with
+/// monotonic clocks land on the sink's timeline.
+pub(crate) fn sink_ts(sink: &TraceSink, at: Instant) -> u64 {
+    sink.now_us().saturating_sub(us(at.elapsed()))
+}
+
+/// Records one completed phase span (started at `start`, ending now),
+/// linked to its operation by the `trace_id` args entry.
+fn emit_phase(sink: &TraceSink, pid: u64, tid: u64, name: &str, start: Instant, trace_id: u64) {
+    sink.complete_with_args(
+        name,
+        pid,
+        tid,
+        sink_ts(sink, start),
+        us(start.elapsed()),
+        vec![("trace_id".to_string(), format!("{trace_id:016x}"))],
+    );
+}
+
+/// Per-request bookkeeping of one sampled unit of the current batch,
+/// finalized into a [`RequestTree`] at the batch boundary (after the
+/// covering fsync and the reply send, so every phase is measured).
+struct TracedUnit {
+    context: TraceContext,
+    name: &'static str,
+    arrived: Instant,
+    apply_start: Instant,
+    apply_end: Instant,
+    /// Index of this unit's deferred reply, to attribute its send time.
+    deferred_at: usize,
+    /// When the deferred reply was sent (start, end).
+    reply: Option<(Instant, Instant)>,
+}
+
+/// Finalizes the batch's traced units: one shared `peer.fsync` span linked
+/// to every traced request of the group-commit batch, then per-request
+/// phase spans and a [`RequestTree`] pushed into the peer's slowlog. The
+/// phases partition the request's wall time (queue wait → apply → batch
+/// wait → fsync → reply), so the slowlog attribution sums to ~100%.
+fn finish_traced_batch(
+    traced: &mut Vec<TracedUnit>,
+    slowlog: &SpanLog,
+    sink: Option<&TraceSink>,
+    pid: u64,
+    tid: u64,
+    sync_start: Instant,
+    sync_end: Instant,
+) {
+    let fsync_us = us(sync_end.saturating_duration_since(sync_start));
+    if let Some(sink) = sink {
+        let ids = traced
+            .iter()
+            .map(|unit| format!("{:016x}", unit.context.trace_id))
+            .collect::<Vec<_>>()
+            .join(",");
+        sink.complete_with_args(
+            "peer.fsync",
+            pid,
+            tid,
+            sink_ts(sink, sync_start),
+            fsync_us,
+            vec![("trace_id".to_string(), ids)],
+        );
+    }
+    for unit in traced.drain(..) {
+        let queue = unit.apply_start.saturating_duration_since(unit.arrived);
+        let apply = unit.apply_end.saturating_duration_since(unit.apply_start);
+        let batch_wait = sync_start.saturating_duration_since(unit.apply_end);
+        let (reply_start, reply_end) = unit.reply.unwrap_or((sync_end, sync_end));
+        let reply = reply_end.saturating_duration_since(reply_start);
+        let total = reply_end.saturating_duration_since(unit.arrived);
+        if let Some(sink) = sink {
+            let args = |extra: bool| {
+                let mut args = vec![(
+                    "trace_id".to_string(),
+                    format!("{:016x}", unit.context.trace_id),
+                )];
+                if extra {
+                    args.push(("kind".to_string(), unit.name.to_string()));
+                }
+                args
+            };
+            sink.complete_with_args(
+                "peer.queue_wait",
+                pid,
+                tid,
+                sink_ts(sink, unit.arrived),
+                us(queue),
+                args(false),
+            );
+            sink.complete_with_args(
+                "peer.apply",
+                pid,
+                tid,
+                sink_ts(sink, unit.apply_start),
+                us(apply),
+                args(true),
+            );
+            sink.complete_with_args(
+                "peer.reply",
+                pid,
+                tid,
+                sink_ts(sink, reply_start),
+                us(reply),
+                args(false),
+            );
+        }
+        slowlog.push(RequestTree {
+            trace_id: unit.context.trace_id,
+            name: unit.name.to_string(),
+            total_us: us(total),
+            phases: vec![
+                ("queue_wait".to_string(), us(queue)),
+                ("apply".to_string(), us(apply)),
+                ("batch_wait".to_string(), us(batch_wait)),
+                ("fsync".to_string(), fsync_us),
+                ("reply".to_string(), us(reply)),
+            ],
+        });
+    }
+}
+
 /// The peer thread main loop, in **drain-apply-sync-reply** form,
 /// transport-generic: work arrives as [`Incoming`] items (request + reply
 /// sink) and every answer goes through the sink, whether that resolves to
@@ -1394,8 +1593,35 @@ fn peer_main(
     engine: StorageEngine,
     kts: KtsNode,
     metrics: Option<PeerMetrics>,
+    trace: Option<TraceSink>,
 ) {
     let batching = engine.options().fsync.batching();
+    // The distributed-tracing state: the ring of completed request trees
+    // every peer keeps (scraped by `SlowRequests`), the per-batch traced
+    // units, and the pid lane spans are recorded under. The slowlog only
+    // fills when *sampled* requests arrive — the client decides sampling —
+    // so an untraced workload pays nothing beyond a few nanoseconds of
+    // batch-boundary clock reads.
+    let slowlog = SpanLog::new(PEER_SLOWLOG_CAPACITY);
+    let mut traced: Vec<TracedUnit> = Vec::new();
+    let trace_pid = u64::from(std::process::id());
+    let mut engine = engine;
+    if let Some(sink) = &trace {
+        // Hang a `storage.fsync` span on every WAL sync via the engine's
+        // observer hook — the storage-level twin of the batch-covering
+        // `peer.fsync` span (which additionally carries the trace ids).
+        let sink = sink.clone();
+        engine.set_sync_observer(rdht_storage::SyncObserver::new(move |elapsed| {
+            let dur = us(elapsed);
+            sink.complete_at(
+                "storage.fsync",
+                trace_pid,
+                id.0,
+                sink.now_us().saturating_sub(dur),
+                dur,
+            );
+        }));
+    }
     let mut runtime = PeerRuntime {
         engine,
         kts,
@@ -1506,456 +1732,538 @@ fn peer_main(
             }
             let mut units: VecDeque<Incoming> = VecDeque::new();
             units.push_back(incoming);
-            while let Some(Incoming { request, reply }) = units.pop_front() {
-                // A batched put fans out locally: one constituent put per
-                // replication hash, each with a fan-in sink that answers
-                // the original requester once all of them completed. The
-                // constituents route individually below — under churn some
-                // may forward to the peer now responsible for them.
-                if let Request::PutReplicas {
-                    op,
-                    hashes,
-                    key,
-                    payload,
-                    timestamp,
-                } = request
-                {
-                    // Constituents inherit the batch's op, disambiguated by
-                    // their hash at the applying peer — a retried batch that
-                    // was *regrouped* under a changed directory view still
-                    // deduplicates per constituent.
-                    let sinks = ReplySink::fanin(hashes.len(), reply);
-                    for (hash, sink) in hashes.into_iter().zip(sinks) {
-                        units.push_back(Incoming {
-                            request: Request::PutReplica {
-                                op,
-                                hash,
-                                key: key.clone(),
-                                payload: payload.clone(),
-                                timestamp,
-                            },
-                            reply: sink,
-                        });
-                    }
-                    continue;
-                }
-                // A request for a position this peer handed away is re-sent
-                // to the peer that took it over: it was routed here through
-                // a directory read that predates the hand-off's commit.
-                // Newest rule wins (the same interval can change hands more
-                // than once). A rule whose target is unreachable is
-                // retired; the request is then re-resolved through the
-                // *directory* — if the live responsible is another peer
-                // (the takeover peer departed onward and was reaped, so the
-                // range lives at its successor now) it is re-sent there,
-                // and only when this peer is the live successor again (the
-                // takeover peer crashed) is it served locally, which is
-                // exactly the failover the ring prescribes.
-                let (request, reply) = match data_position(&request, &directory.family) {
-                    Some(position) => {
-                        let mut pending = Some((request, reply));
-                        while let Some(index) = runtime
-                            .forwards
-                            .iter()
-                            .rposition(|rule| rule.covers(position))
-                        {
-                            let (request, sink) = pending.take().expect("present until sent");
-                            match runtime.forwards[index].target.send_with_sink(request, sink) {
-                                Ok(()) => break,
-                                Err(rejected) => {
-                                    runtime.forwards.remove(index);
-                                    reroute_uncovered = true;
-                                    pending = Some((rejected.request, rejected.sink));
-                                }
-                            }
-                        }
-                        if departed || reroute_uncovered {
-                            if let Some((request, sink)) = pending.take() {
-                                match directory.responsible_for(position) {
-                                    Some((responsible, endpoint)) if responsible != id => {
-                                        if let Err(rejected) =
-                                            endpoint.send_with_sink(request, sink)
-                                        {
-                                            pending = Some((rejected.request, rejected.sink));
-                                        }
-                                    }
-                                    _ => pending = Some((request, sink)),
-                                }
-                            }
-                        }
-                        match pending {
-                            Some(pair) => pair,
-                            None => continue, // forwarded
-                        }
-                    }
-                    None => (request, reply),
-                };
-                match request {
-                    Request::PutReplica {
+            while let Some(unit) = units.pop_front() {
+                let Incoming {
+                    request,
+                    reply,
+                    trace: unit_trace,
+                    arrived,
+                } = unit;
+                // A sampled context makes this unit produce spans and a
+                // slowlog tree at the batch boundary; introspection and
+                // lifecycle kinds never trace.
+                let sampled =
+                    unit_trace.filter(|context| context.is_sampled() && traceable(&request));
+                let kind_label = request_kind(&request);
+                let apply_start = Instant::now();
+                let deferred_mark = deferred.len();
+                'unit: {
+                    // A batched put fans out locally: one constituent put per
+                    // replication hash, each with a fan-in sink that answers
+                    // the original requester once all of them completed. The
+                    // constituents route individually below — under churn some
+                    // may forward to the peer now responsible for them.
+                    if let Request::PutReplicas {
                         op,
-                        hash,
+                        hashes,
                         key,
                         payload,
                         timestamp,
-                    } => {
-                        // A hash outside the configured family has no ring
-                        // position (and can arrive over TCP from any
-                        // client): reject it typed instead of panicking.
-                        let Some(function) = directory.family.function(hash) else {
-                            deferred.push((
-                                reply,
-                                Reply::Error {
-                                    reason: format!("unknown replication hash {hash:?}"),
+                    } = request
+                    {
+                        // Constituents inherit the batch's op, disambiguated by
+                        // their hash at the applying peer — a retried batch that
+                        // was *regrouped* under a changed directory view still
+                        // deduplicates per constituent. They also inherit the
+                        // batch's trace context and *original* arrival instant,
+                        // so queue-wait attribution survives the explosion.
+                        let sinks = ReplySink::fanin(hashes.len(), reply);
+                        for (hash, sink) in hashes.into_iter().zip(sinks) {
+                            units.push_back(Incoming {
+                                request: Request::PutReplica {
+                                    op,
+                                    hash,
+                                    key: key.clone(),
+                                    payload: payload.clone(),
+                                    timestamp,
                                 },
-                            ));
-                            continue;
-                        };
-                        if let Some(op) = op {
-                            if let Some(cached) = runtime.dedup.lookup(op, hash.0) {
-                                directory.dedup.suppressed.inc();
-                                deferred.push((reply, cached));
-                                continue;
-                            }
+                                reply: sink,
+                                trace: unit_trace,
+                                arrived,
+                            });
                         }
-                        let accepted = match runtime.engine.replicas().get(hash, &key) {
-                            Some(existing) => timestamp > existing.stamp,
-                            None => true,
-                        };
-                        if accepted {
-                            let position = function.eval(&key);
-                            let value = ReplicaValue::new(payload, timestamp);
-                            runtime
-                                .engine
-                                .record_replica_put(hash, &key, &value, position);
-                        }
-                        if let Some(op) = op {
-                            runtime.dedup.record(op, hash.0, Reply::PutAck);
-                            directory.dedup.applied.inc();
-                        }
-                        deferred.push((reply, Reply::PutAck));
+                        break 'unit;
                     }
-                    Request::PutReplicas { .. } => {
-                        unreachable!("batched puts are exploded before routing")
-                    }
-                    Request::GetReplica { hash, key } => {
-                        let stored = runtime
-                            .engine
-                            .replicas()
-                            .get(hash, &key)
-                            .map(|replica| (replica.payload.clone(), replica.stamp));
-                        deferred.push((reply, Reply::Replica(stored)));
-                    }
-                    Request::Timestamp {
-                        op,
-                        key,
-                        generate,
-                        observation_hint,
-                    } => {
-                        // A retried `gen_ts` must not increment the counter
-                        // again: the cached reply returns the timestamp the
-                        // first application generated. (A cached
-                        // `NeedsInitialization` is safe too — the client
-                        // allocates a fresh op for the hint-carrying call.)
-                        if let Some(op) = op {
-                            if let Some(cached) = runtime.dedup.lookup(op, NO_SUB) {
-                                directory.dedup.suppressed.inc();
-                                deferred.push((reply, cached));
-                                continue;
-                            }
-                        }
-                        let answer = if runtime.kts.has_counter(&key) {
-                            let ts = if generate {
-                                runtime
-                                    .kts
-                                    .gen_ts_with(
-                                        &key,
-                                        IndirectObservation::nothing,
-                                        &mut runtime.engine,
-                                    )
-                                    .timestamp
-                            } else {
-                                runtime
-                                    .kts
-                                    .last_ts_with(
-                                        &key,
-                                        LastTsInitPolicy::ObservedMax,
-                                        IndirectObservation::nothing,
-                                        &mut runtime.engine,
-                                    )
-                                    .timestamp
-                            };
-                            Reply::Timestamp(ts)
-                        } else {
-                            match observation_hint {
-                                None => Reply::NeedsInitialization,
-                                Some(observed) => {
-                                    // Section 4.2.2: the counter is (re)born
-                                    // from a gathered observation instead of
-                                    // a direct hand-over.
-                                    if let Some(m) = &metrics {
-                                        m.indirect_initializations.inc();
+                    // A request for a position this peer handed away is re-sent
+                    // to the peer that took it over: it was routed here through
+                    // a directory read that predates the hand-off's commit.
+                    // Newest rule wins (the same interval can change hands more
+                    // than once). A rule whose target is unreachable is
+                    // retired; the request is then re-resolved through the
+                    // *directory* — if the live responsible is another peer
+                    // (the takeover peer departed onward and was reaped, so the
+                    // range lives at its successor now) it is re-sent there,
+                    // and only when this peer is the live successor again (the
+                    // takeover peer crashed) is it served locally, which is
+                    // exactly the failover the ring prescribes.
+                    let (request, reply) = match data_position(&request, &directory.family) {
+                        Some(position) => {
+                            let mut pending = Some((request, reply));
+                            while let Some(index) = runtime
+                                .forwards
+                                .iter()
+                                .rposition(|rule| rule.covers(position))
+                            {
+                                let (request, sink) = pending.take().expect("present until sent");
+                                match runtime.forwards[index]
+                                    .target
+                                    .send_with_sink_traced(request, sink, unit_trace)
+                                {
+                                    Ok(()) => break,
+                                    Err(rejected) => {
+                                        runtime.forwards.remove(index);
+                                        reroute_uncovered = true;
+                                        pending = Some((rejected.request, rejected.sink));
                                     }
-                                    let observation = if observed.is_zero() {
-                                        IndirectObservation::nothing()
-                                    } else {
-                                        IndirectObservation::observed(observed)
-                                    };
-                                    let ts = if generate {
-                                        runtime
-                                            .kts
-                                            .gen_ts_with(&key, || observation, &mut runtime.engine)
-                                            .timestamp
-                                    } else {
-                                        runtime
-                                            .kts
-                                            .last_ts_with(
-                                                &key,
-                                                LastTsInitPolicy::ObservedMax,
-                                                || observation,
-                                                &mut runtime.engine,
-                                            )
-                                            .timestamp
-                                    };
-                                    Reply::Timestamp(ts)
                                 }
                             }
-                        };
-                        if let Some(op) = op {
-                            runtime.dedup.record(op, NO_SUB, answer.clone());
-                            if matches!(answer, Reply::Timestamp(_)) {
+                            if departed || reroute_uncovered {
+                                if let Some((request, sink)) = pending.take() {
+                                    match directory.responsible_for(position) {
+                                        Some((responsible, endpoint)) if responsible != id => {
+                                            if let Err(rejected) = endpoint
+                                                .send_with_sink_traced(request, sink, unit_trace)
+                                            {
+                                                pending = Some((rejected.request, rejected.sink));
+                                            }
+                                        }
+                                        _ => pending = Some((request, sink)),
+                                    }
+                                }
+                            }
+                            match pending {
+                                Some(pair) => pair,
+                                None => break 'unit, // forwarded
+                            }
+                        }
+                        None => (request, reply),
+                    };
+                    match request {
+                        Request::PutReplica {
+                            op,
+                            hash,
+                            key,
+                            payload,
+                            timestamp,
+                        } => {
+                            // A hash outside the configured family has no ring
+                            // position (and can arrive over TCP from any
+                            // client): reject it typed instead of panicking.
+                            let Some(function) = directory.family.function(hash) else {
+                                deferred.push((
+                                    reply,
+                                    Reply::Error {
+                                        reason: format!("unknown replication hash {hash:?}"),
+                                    },
+                                ));
+                                break 'unit;
+                            };
+                            if let Some(op) = op {
+                                if let Some(cached) = runtime.dedup.lookup(op, hash.0) {
+                                    directory.dedup.suppressed.inc();
+                                    deferred.push((reply, cached));
+                                    break 'unit;
+                                }
+                            }
+                            let accepted = match runtime.engine.replicas().get(hash, &key) {
+                                Some(existing) => timestamp > existing.stamp,
+                                None => true,
+                            };
+                            if accepted {
+                                let position = function.eval(&key);
+                                let value = ReplicaValue::new(payload, timestamp);
+                                runtime
+                                    .engine
+                                    .record_replica_put(hash, &key, &value, position);
+                            }
+                            if let Some(op) = op {
+                                runtime.dedup.record(op, hash.0, Reply::PutAck);
                                 directory.dedup.applied.inc();
                             }
+                            deferred.push((reply, Reply::PutAck));
                         }
-                        deferred.push((reply, answer));
-                    }
-                    Request::HandoffRange {
-                        op,
-                        start,
-                        end,
-                        target_id,
-                        kind,
-                        fault,
-                    } => {
-                        // A coordinator re-send of a hand-off this peer
-                        // already resolved (committed *or* aborted) is
-                        // answered from the cache: driving a second transfer
-                        // for the same op would re-export a range that may
-                        // already live elsewhere.
-                        if let Some(op) = op {
-                            if let Some(cached) = runtime.dedup.lookup(op, NO_SUB) {
-                                directory.dedup.suppressed.inc();
-                                reply.send(cached);
-                                continue;
+                        Request::PutReplicas { .. } => {
+                            unreachable!("batched puts are exploded before routing")
+                        }
+                        Request::GetReplica { hash, key } => {
+                            let stored = runtime
+                                .engine
+                                .replicas()
+                                .get(hash, &key)
+                                .map(|replica| (replica.payload.clone(), replica.stamp));
+                            deferred.push((reply, Reply::Replica(stored)));
+                        }
+                        Request::Timestamp {
+                            op,
+                            key,
+                            generate,
+                            observation_hint,
+                        } => {
+                            // A retried `gen_ts` must not increment the counter
+                            // again: the cached reply returns the timestamp the
+                            // first application generated. (A cached
+                            // `NeedsInitialization` is safe too — the client
+                            // allocates a fresh op for the hint-carrying call.)
+                            if let Some(op) = op {
+                                if let Some(cached) = runtime.dedup.lookup(op, NO_SUB) {
+                                    directory.dedup.suppressed.inc();
+                                    deferred.push((reply, cached));
+                                    break 'unit;
+                                }
                             }
+                            let answer = if runtime.kts.has_counter(&key) {
+                                let ts = if generate {
+                                    runtime
+                                        .kts
+                                        .gen_ts_with(
+                                            &key,
+                                            IndirectObservation::nothing,
+                                            &mut runtime.engine,
+                                        )
+                                        .timestamp
+                                } else {
+                                    runtime
+                                        .kts
+                                        .last_ts_with(
+                                            &key,
+                                            LastTsInitPolicy::ObservedMax,
+                                            IndirectObservation::nothing,
+                                            &mut runtime.engine,
+                                        )
+                                        .timestamp
+                                };
+                                Reply::Timestamp(ts)
+                            } else {
+                                match observation_hint {
+                                    None => Reply::NeedsInitialization,
+                                    Some(observed) => {
+                                        // Section 4.2.2: the counter is (re)born
+                                        // from a gathered observation instead of
+                                        // a direct hand-over.
+                                        if let Some(m) = &metrics {
+                                            m.indirect_initializations.inc();
+                                        }
+                                        let observation = if observed.is_zero() {
+                                            IndirectObservation::nothing()
+                                        } else {
+                                            IndirectObservation::observed(observed)
+                                        };
+                                        let ts = if generate {
+                                            runtime
+                                                .kts
+                                                .gen_ts_with(
+                                                    &key,
+                                                    || observation,
+                                                    &mut runtime.engine,
+                                                )
+                                                .timestamp
+                                        } else {
+                                            runtime
+                                                .kts
+                                                .last_ts_with(
+                                                    &key,
+                                                    LastTsInitPolicy::ObservedMax,
+                                                    || observation,
+                                                    &mut runtime.engine,
+                                                )
+                                                .timestamp
+                                        };
+                                        Reply::Timestamp(ts)
+                                    }
+                                }
+                            };
+                            if let Some(op) = op {
+                                runtime.dedup.record(op, NO_SUB, answer.clone());
+                                if matches!(answer, Reply::Timestamp(_)) {
+                                    directory.dedup.applied.inc();
+                                }
+                            }
+                            deferred.push((reply, answer));
                         }
-                        // The target is addressed by id and resolved through
-                        // the transport: a joiner is bound there before it
-                        // is a directory member.
-                        let target = match directory.transport.endpoint(target_id) {
-                            Ok(endpoint) => endpoint,
-                            Err(error) => {
+                        Request::HandoffRange {
+                            op,
+                            start,
+                            end,
+                            target_id,
+                            kind,
+                            fault,
+                        } => {
+                            // A coordinator re-send of a hand-off this peer
+                            // already resolved (committed *or* aborted) is
+                            // answered from the cache: driving a second transfer
+                            // for the same op would re-export a range that may
+                            // already live elsewhere.
+                            if let Some(op) = op {
+                                if let Some(cached) = runtime.dedup.lookup(op, NO_SUB) {
+                                    directory.dedup.suppressed.inc();
+                                    reply.send(cached);
+                                    break 'unit;
+                                }
+                            }
+                            // The target is addressed by id and resolved through
+                            // the transport: a joiner is bound there before it
+                            // is a directory member.
+                            let target = match directory.transport.endpoint(target_id) {
+                                Ok(endpoint) => endpoint,
+                                Err(error) => {
+                                    let answer = Reply::HandoffFailed {
+                                        reason: format!("cannot resolve hand-off target: {error}"),
+                                    };
+                                    if let Some(op) = op {
+                                        runtime.dedup.record(op, NO_SUB, answer.clone());
+                                    }
+                                    reply.send(answer);
+                                    break 'unit;
+                                }
+                            };
+                            // Phase `Exported`: copy the replicas in range, drain
+                            // the counters of the keys timestamped there. The
+                            // removals are synced before the bundle ships — under a
+                            // deferred-sync policy an unsynced removal could be
+                            // resurrected by a crash *after* the counters moved,
+                            // breaking Rule 3's "at most one live counter" durably.
+                            let export_started = Instant::now();
+                            let bundle = export_handoff(
+                                &mut runtime.engine,
+                                &mut runtime.kts,
+                                &directory.family,
+                                start,
+                                end,
+                            );
+                            runtime.engine.sync_to_durable();
+                            if let Some(m) = &metrics {
+                                m.transfer
+                                    .export_ns
+                                    .observe_duration(export_started.elapsed());
+                            }
+                            if let (Some(sink), Some(context)) = (&trace, sampled) {
+                                emit_phase(
+                                    sink,
+                                    trace_pid,
+                                    id.0,
+                                    "peer.handoff_export",
+                                    export_started,
+                                    context.trace_id,
+                                );
+                            }
+                            let replicas_moved = bundle.replicas.len();
+                            let counters_moved = bundle.counters.len();
+                            if fault == Some(HandoffFault::CrashAfterExport) {
+                                // Fail-stop mid-transfer: the bundle is lost in
+                                // flight. Recovery rolls back — the journal still
+                                // holds every replica, and the drained counters
+                                // re-initialize indirectly.
+                                directory.mark_dead(id);
+                                break 'peer;
+                            }
+                            // Phase `Installed`: ship the bundle and wait for
+                            // the target to journal it, re-sending on a pure
+                            // timeout under the *same* install op — a target
+                            // that journaled the bundle but whose ack was lost
+                            // re-acknowledges from its dedup cache instead of
+                            // re-applying a bundle that interleaved counter
+                            // activity may have superseded.
+                            let install_op = Some(OpId {
+                                client: id.0,
+                                seq: runtime.local_seq,
+                            });
+                            runtime.local_seq += 1;
+                            let mut acked = false;
+                            let install_started = Instant::now();
+                            for _ in 0..INSTALL_ATTEMPTS {
+                                let outcome = match target.send(Request::InstallState {
+                                    op: install_op,
+                                    start,
+                                    end,
+                                    bundle: bundle.clone(),
+                                }) {
+                                    Ok(pending) => pending.wait(INSTALL_ACK_TIMEOUT),
+                                    Err(error) => Err(CallError::Transport(error)),
+                                };
+                                match outcome {
+                                    Ok(Reply::InstallAck { .. }) => {
+                                        acked = true;
+                                        break;
+                                    }
+                                    // Only silence warrants a re-send; a
+                                    // teardown or rejection means the target is
+                                    // gone or refused — definitive either way.
+                                    Err(CallError::Timeout) => continue,
+                                    _ => break,
+                                }
+                            }
+                            // Everything between the export and here is the
+                            // hand-off stall of ROADMAP item 5: the peer loop
+                            // serving nothing while the bundle ships.
+                            let stalled = install_started.elapsed();
+                            if let Some(m) = &metrics {
+                                m.handoff_stall_ns
+                                    .add(u64::try_from(stalled.as_nanos()).unwrap_or(u64::MAX));
+                                m.transfer.install_ns.observe_duration(stalled);
+                            }
+                            if let (Some(sink), Some(context)) = (&trace, sampled) {
+                                emit_phase(
+                                    sink,
+                                    trace_pid,
+                                    id.0,
+                                    "peer.handoff_install",
+                                    install_started,
+                                    context.trace_id,
+                                );
+                            }
+                            if !acked {
+                                // The target died (or stayed silent through the
+                                // whole retry budget) before journaling the
+                                // bundle: abort without committing. This peer
+                                // keeps its replicas (the export only copied
+                                // them) and keeps serving; the moved counters
+                                // are gone, which only costs indirect re-inits.
                                 let answer = Reply::HandoffFailed {
-                                    reason: format!("cannot resolve hand-off target: {error}"),
+                                    reason: "hand-off target never acknowledged the install"
+                                        .to_string(),
                                 };
                                 if let Some(op) = op {
                                     runtime.dedup.record(op, NO_SUB, answer.clone());
                                 }
                                 reply.send(answer);
-                                continue;
+                                break 'unit;
                             }
-                        };
-                        // Phase `Exported`: copy the replicas in range, drain
-                        // the counters of the keys timestamped there. The
-                        // removals are synced before the bundle ships — under a
-                        // deferred-sync policy an unsynced removal could be
-                        // resurrected by a crash *after* the counters moved,
-                        // breaking Rule 3's "at most one live counter" durably.
-                        let export_started = Instant::now();
-                        let bundle = export_handoff(
-                            &mut runtime.engine,
-                            &mut runtime.kts,
-                            &directory.family,
-                            start,
-                            end,
-                        );
-                        runtime.engine.sync_to_durable();
-                        if let Some(m) = &metrics {
-                            m.transfer
-                                .export_ns
-                                .observe_duration(export_started.elapsed());
-                        }
-                        let replicas_moved = bundle.replicas.len();
-                        let counters_moved = bundle.counters.len();
-                        if fault == Some(HandoffFault::CrashAfterExport) {
-                            // Fail-stop mid-transfer: the bundle is lost in
-                            // flight. Recovery rolls back — the journal still
-                            // holds every replica, and the drained counters
-                            // re-initialize indirectly.
-                            directory.mark_dead(id);
-                            break 'peer;
-                        }
-                        // Phase `Installed`: ship the bundle and wait for
-                        // the target to journal it, re-sending on a pure
-                        // timeout under the *same* install op — a target
-                        // that journaled the bundle but whose ack was lost
-                        // re-acknowledges from its dedup cache instead of
-                        // re-applying a bundle that interleaved counter
-                        // activity may have superseded.
-                        let install_op = Some(OpId {
-                            client: id.0,
-                            seq: runtime.local_seq,
-                        });
-                        runtime.local_seq += 1;
-                        let mut acked = false;
-                        let install_started = Instant::now();
-                        for _ in 0..INSTALL_ATTEMPTS {
-                            let outcome = match target.send(Request::InstallState {
-                                op: install_op,
+                            if fault == Some(HandoffFault::CrashAfterInstall) {
+                                // Fail-stop between the target's ack and the commit:
+                                // the target's journal holds the state, so a retried
+                                // join/leave completes the transfer.
+                                directory.mark_dead(id);
+                                break 'peer;
+                            }
+                            // Commit point — all three steps inside one serially
+                            // processed request, so no client request interleaves:
+                            // flip the directory, prune the moved range from the
+                            // journal, start forwarding.
+                            let commit_started = Instant::now();
+                            match kind {
+                                HandoffKind::Join => directory.revive(target_id, target.clone()),
+                                HandoffKind::Leave => directory.mark_dead(id),
+                            }
+                            commit_handoff(&mut runtime.engine, start, end);
+                            runtime.forwards.push(Forwarding {
                                 start,
                                 end,
-                                bundle: bundle.clone(),
-                            }) {
-                                Ok(pending) => pending.wait(INSTALL_ACK_TIMEOUT),
-                                Err(error) => Err(CallError::Transport(error)),
-                            };
-                            match outcome {
-                                Ok(Reply::InstallAck { .. }) => {
-                                    acked = true;
-                                    break;
-                                }
-                                // Only silence warrants a re-send; a
-                                // teardown or rejection means the target is
-                                // gone or refused — definitive either way.
-                                Err(CallError::Timeout) => continue,
-                                _ => break,
+                                everything: kind == HandoffKind::Leave,
+                                target,
+                            });
+                            // The commit record must be durable before the
+                            // coordinator learns of the flip (a crash right after
+                            // the reply must not replay the pruned range back in);
+                            // for a departing peer this is also its final flush.
+                            runtime.engine.sync_to_durable();
+                            if let Some(m) = &metrics {
+                                m.transfer
+                                    .commit_ns
+                                    .observe_duration(commit_started.elapsed());
                             }
-                        }
-                        // Everything between the export and here is the
-                        // hand-off stall of ROADMAP item 5: the peer loop
-                        // serving nothing while the bundle ships.
-                        let stalled = install_started.elapsed();
-                        if let Some(m) = &metrics {
-                            m.handoff_stall_ns
-                                .add(u64::try_from(stalled.as_nanos()).unwrap_or(u64::MAX));
-                            m.transfer.install_ns.observe_duration(stalled);
-                        }
-                        if !acked {
-                            // The target died (or stayed silent through the
-                            // whole retry budget) before journaling the
-                            // bundle: abort without committing. This peer
-                            // keeps its replicas (the export only copied
-                            // them) and keeps serving; the moved counters
-                            // are gone, which only costs indirect re-inits.
-                            let answer = Reply::HandoffFailed {
-                                reason: "hand-off target never acknowledged the install"
-                                    .to_string(),
+                            if let (Some(sink), Some(context)) = (&trace, sampled) {
+                                emit_phase(
+                                    sink,
+                                    trace_pid,
+                                    id.0,
+                                    "peer.handoff_commit",
+                                    commit_started,
+                                    context.trace_id,
+                                );
+                            }
+                            if kind == HandoffKind::Leave {
+                                departed = true;
+                            }
+                            let answer = Reply::HandoffComplete {
+                                replicas_moved,
+                                counters_moved,
                             };
                             if let Some(op) = op {
                                 runtime.dedup.record(op, NO_SUB, answer.clone());
+                                directory.dedup.applied.inc();
                             }
                             reply.send(answer);
-                            continue;
                         }
-                        if fault == Some(HandoffFault::CrashAfterInstall) {
-                            // Fail-stop between the target's ack and the commit:
-                            // the target's journal holds the state, so a retried
-                            // join/leave completes the transfer.
-                            directory.mark_dead(id);
-                            break 'peer;
-                        }
-                        // Commit point — all three steps inside one serially
-                        // processed request, so no client request interleaves:
-                        // flip the directory, prune the moved range from the
-                        // journal, start forwarding.
-                        let commit_started = Instant::now();
-                        match kind {
-                            HandoffKind::Join => directory.revive(target_id, target.clone()),
-                            HandoffKind::Leave => directory.mark_dead(id),
-                        }
-                        commit_handoff(&mut runtime.engine, start, end);
-                        runtime.forwards.push(Forwarding {
+                        Request::InstallState {
+                            op,
                             start,
                             end,
-                            everything: kind == HandoffKind::Leave,
-                            target,
-                        });
-                        // The commit record must be durable before the
-                        // coordinator learns of the flip (a crash right after
-                        // the reply must not replay the pruned range back in);
-                        // for a departing peer this is also its final flush.
-                        runtime.engine.sync_to_durable();
-                        if let Some(m) = &metrics {
-                            m.transfer
-                                .commit_ns
-                                .observe_duration(commit_started.elapsed());
-                        }
-                        if kind == HandoffKind::Leave {
-                            departed = true;
-                        }
-                        let answer = Reply::HandoffComplete {
-                            replicas_moved,
-                            counters_moved,
-                        };
-                        if let Some(op) = op {
-                            runtime.dedup.record(op, NO_SUB, answer.clone());
-                            directory.dedup.applied.inc();
-                        }
-                        reply.send(answer);
-                    }
-                    Request::InstallState {
-                        op,
-                        start,
-                        end,
-                        bundle,
-                    } => {
-                        // A re-shipped bundle whose ack was lost must not be
-                        // re-applied: interleaved counter activity may have
-                        // advanced past the bundle's images, and re-installing
-                        // would regress them. The cached ack answers instead.
-                        if let Some(op) = op {
-                            if let Some(cached) = runtime.dedup.lookup(op, NO_SUB) {
-                                directory.dedup.suppressed.inc();
-                                reply.send(cached);
-                                continue;
+                            bundle,
+                        } => {
+                            // A re-shipped bundle whose ack was lost must not be
+                            // re-applied: interleaved counter activity may have
+                            // advanced past the bundle's images, and re-installing
+                            // would regress them. The cached ack answers instead.
+                            if let Some(op) = op {
+                                if let Some(cached) = runtime.dedup.lookup(op, NO_SUB) {
+                                    directory.dedup.suppressed.inc();
+                                    reply.send(cached);
+                                    break 'unit;
+                                }
                             }
+                            let report =
+                                install_handoff(&mut runtime.engine, &mut runtime.kts, bundle);
+                            // This peer owns (start, end] again: retire any
+                            // forwarding rule that overlaps it, or a former owner
+                            // and its round-tripped successor would bounce requests
+                            // forever.
+                            runtime.forwards.retain(|rule| {
+                                !ranges_intersect((rule.start, rule.end), (start, end))
+                            });
+                            // The bundle must be durable before the ack: the source
+                            // treats the ack as licence to prune its own copy at
+                            // commit, so an unsynced install journal would be the
+                            // only holder of the moved state.
+                            runtime.engine.sync_to_durable();
+                            let answer = Reply::InstallAck {
+                                replicas_installed: report.replicas_installed,
+                                counters_received: report.counters_received,
+                            };
+                            if let Some(op) = op {
+                                runtime.dedup.record(op, NO_SUB, answer.clone());
+                                directory.dedup.applied.inc();
+                            }
+                            reply.send(answer);
                         }
-                        let report = install_handoff(&mut runtime.engine, &mut runtime.kts, bundle);
-                        // This peer owns (start, end] again: retire any
-                        // forwarding rule that overlaps it, or a former owner
-                        // and its round-tripped successor would bounce requests
-                        // forever.
-                        runtime
-                            .forwards
-                            .retain(|rule| !ranges_intersect((rule.start, rule.end), (start, end)));
-                        // The bundle must be durable before the ack: the source
-                        // treats the ack as licence to prune its own copy at
-                        // commit, so an unsynced install journal would be the
-                        // only holder of the moved state.
-                        runtime.engine.sync_to_durable();
-                        let answer = Reply::InstallAck {
-                            replicas_installed: report.replicas_installed,
-                            counters_received: report.counters_received,
-                        };
-                        if let Some(op) = op {
-                            runtime.dedup.record(op, NO_SUB, answer.clone());
-                            directory.dedup.applied.inc();
+                        Request::Metrics => {
+                            // Served locally wherever it lands (a scrape targets
+                            // a peer, not a key) and answered immediately:
+                            // reading instruments has no durability ordering.
+                            let answer = match &metrics {
+                                Some(m) => Reply::Metrics(encode(m.registry())),
+                                None => Reply::Error {
+                                    reason: "metrics are disabled on this peer".to_string(),
+                                },
+                            };
+                            reply.send(answer);
                         }
-                        reply.send(answer);
+                        Request::SlowRequests { k } => {
+                            // Introspection, like a metrics scrape: served
+                            // wherever it lands, answered immediately, and —
+                            // per the sampler-bypass rule — never traced and
+                            // never entered into the slowlog it reads.
+                            reply.send(Reply::SlowRequests(slowlog.slowest(k as usize)));
+                        }
+                        Request::Shutdown | Request::Crash => {
+                            unreachable!("lifecycle requests never enter a batch")
+                        }
                     }
-                    Request::Metrics => {
-                        // Served locally wherever it lands (a scrape targets
-                        // a peer, not a key) and answered immediately:
-                        // reading instruments has no durability ordering.
-                        let answer = match &metrics {
-                            Some(m) => Reply::Metrics(encode(m.registry())),
-                            None => Reply::Error {
-                                reason: "metrics are disabled on this peer".to_string(),
-                            },
-                        };
-                        reply.send(answer);
-                    }
-                    Request::Shutdown | Request::Crash => {
-                        unreachable!("lifecycle requests never enter a batch")
+                } // 'unit
+                if let Some(context) = sampled {
+                    // Only units that owe a deferred (post-fsync) reply get
+                    // a slowlog tree: forwarded units belong to the peer
+                    // that serves them, and inline-answered protocol
+                    // requests record their own phase spans above.
+                    if deferred.len() > deferred_mark {
+                        traced.push(TracedUnit {
+                            context,
+                            name: kind_label,
+                            arrived,
+                            apply_start,
+                            apply_end: Instant::now(),
+                            deferred_at: deferred_mark,
+                            reply: None,
+                        });
                     }
                 }
             }
@@ -1966,11 +2274,36 @@ fn peer_main(
         // The batch boundary: one covering fsync for everything the batch
         // journaled (free if the batch was read-only), then the
         // acknowledgements.
+        let sync_start = Instant::now();
         if batching.is_some() {
             runtime.engine.sync_to_durable();
         }
-        for (reply, answer) in deferred.drain(..) {
-            reply.send(answer);
+        let sync_end = Instant::now();
+        if traced.is_empty() {
+            for (reply, answer) in deferred.drain(..) {
+                reply.send(answer);
+            }
+        } else {
+            // Traced units in the batch: time each owed reply's send, then
+            // finalize the units into spans and slowlog trees — including
+            // the one covering-fsync span the whole group-commit batch
+            // shares.
+            for (index, (reply, answer)) in deferred.drain(..).enumerate() {
+                let send_start = Instant::now();
+                reply.send(answer);
+                if let Some(unit) = traced.iter_mut().find(|unit| unit.deferred_at == index) {
+                    unit.reply = Some((send_start, Instant::now()));
+                }
+            }
+            finish_traced_batch(
+                &mut traced,
+                &slowlog,
+                trace.as_ref(),
+                trace_pid,
+                id.0,
+                sync_start,
+                sync_end,
+            );
         }
     }
 }

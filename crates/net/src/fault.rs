@@ -662,10 +662,15 @@ struct FaultyEndpoint {
 }
 
 impl crate::transport::EndpointImpl for FaultyEndpoint {
-    fn deliver(&self, request: Request, sink: ReplySink) -> Result<(), SendRejected> {
+    fn deliver(
+        &self,
+        request: Request,
+        sink: ReplySink,
+        trace: Option<rdht_metrics::TraceContext>,
+    ) -> Result<(), SendRejected> {
         // Lifecycle messages are operator actions, not network frames.
         if matches!(request, Request::Shutdown | Request::Crash) {
-            return self.inner.send_with_sink(request, sink);
+            return self.inner.send_with_sink_traced(request, sink, trace);
         }
         let from = current_source();
         let to = End::Peer(self.dst);
@@ -684,15 +689,16 @@ impl crate::transport::EndpointImpl for FaultyEndpoint {
             }
             Decision::Deliver { delay, duplicate } => {
                 if duplicate {
-                    // The duplicate carries the same frame; its reply is
-                    // discarded by the request-id demux, modelled by a null
-                    // sink. Best effort: a dead peer loses the duplicate.
-                    let _ = self
-                        .inner
-                        .send_with_sink(request.clone(), ReplySink::null());
+                    // The duplicate carries the same frame (trace context
+                    // included); its reply is discarded by the request-id
+                    // demux, modelled by a null sink. Best effort: a dead
+                    // peer loses the duplicate.
+                    let _ =
+                        self.inner
+                            .send_with_sink_traced(request.clone(), ReplySink::null(), trace);
                 }
                 match delay {
-                    None => self.inner.send_with_sink(request, sink),
+                    None => self.inner.send_with_sink_traced(request, sink, trace),
                     Some(wait) => {
                         let target = self.inner.clone();
                         self.plan.scheduler().schedule(
@@ -701,7 +707,7 @@ impl crate::transport::EndpointImpl for FaultyEndpoint {
                                 // A rejection at fire time drops the sink:
                                 // the sender gets the prompt teardown it
                                 // would have got from an immediate send.
-                                let _ = target.send_with_sink(request, sink);
+                                let _ = target.send_with_sink_traced(request, sink, trace);
                             }),
                         );
                         Ok(())

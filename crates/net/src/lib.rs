@@ -145,12 +145,15 @@ pub use fault::{End, FaultPlan, FaultStats, FaultyTransport, LinkCounters, LinkF
 pub use message::{HandoffFault, HandoffKind, OpId, Reply, Request};
 pub use metrics::{PeerMetrics, RequestCounters};
 pub use rdht_membership::MembershipError;
+pub use rdht_metrics::{
+    merge_chrome_trace_files, RequestTree, TraceConfig, TraceContext, TraceSink,
+};
 pub use tcp::TcpTransport;
 pub use transport::{
     CallError, ChannelTransport, EndpointImpl, Incoming, Mailbox, PeerEndpoint, PendingReply,
     ReplyHook, ReplySink, ReplyWriter, SendRejected, Transport, TransportError,
 };
-pub use wire::{WireError, MAX_FRAME_LEN, WIRE_VERSION};
+pub use wire::{WireError, MAX_FRAME_LEN, MIN_WIRE_VERSION, WIRE_VERSION};
 
 #[cfg(test)]
 mod tests;

@@ -178,6 +178,17 @@ pub enum Request {
     /// position). A peer running without a registry answers
     /// [`Reply::Error`].
     Metrics,
+    /// Ask the peer for its slowest recently-completed requests: the peer
+    /// answers [`Reply::SlowRequests`] with up to `k` request trees from its
+    /// span-log ring, each broken down into named phases (queue-wait, apply,
+    /// fsync, ...). Like [`Request::Metrics`] it is addressed to a specific
+    /// peer, never batched, never forwarded, and — together with the other
+    /// introspection and lifecycle messages — bypasses the tracing sampler
+    /// itself, so scraping the slow log never pollutes it.
+    SlowRequests {
+        /// Maximum number of request trees to return.
+        k: u32,
+    },
     /// Ask the peer to stop gracefully: it flushes its journal to stable
     /// storage before exiting. No reply is sent.
     Shutdown,
@@ -240,4 +251,8 @@ pub enum Reply {
     /// as Prometheus text exposition (`rdht_metrics::encode`), parseable by
     /// `rdht_metrics::parse`.
     Metrics(String),
+    /// Answer to a [`Request::SlowRequests`] scrape: the peer's slowest
+    /// recently-completed request trees, slowest first, with per-phase
+    /// durations for tail-latency attribution.
+    SlowRequests(Vec<rdht_metrics::RequestTree>),
 }

@@ -113,7 +113,7 @@ impl RequestCounters {
             Request::Timestamp { .. } => &self.timestamp,
             Request::HandoffRange { .. } => &self.handoff,
             Request::InstallState { .. } => &self.install,
-            Request::Metrics => &self.metrics,
+            Request::Metrics | Request::SlowRequests { .. } => &self.metrics,
             Request::Shutdown | Request::Crash => &self.lifecycle,
         }
     }

@@ -37,6 +37,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
+use rdht_metrics::TraceContext;
 
 use crate::cluster::PeerId;
 use crate::message::Reply;
@@ -218,7 +219,15 @@ impl TcpTransport {
                     // misuse; drop the connection.
                     Ok(Envelope::Request { .. }) => break,
                     Err(error) => {
-                        eprintln!("rdht-net: dropping connection to {addr}: {error}");
+                        rdht_metrics::log::global().warn(
+                            "net.tcp",
+                            "dropping dialled connection on a bad frame",
+                            &[
+                                ("peer", &addr.to_string()),
+                                ("error", error.variant()),
+                                ("detail", &error.to_string()),
+                            ],
+                        );
                         break;
                     }
                 }
@@ -241,6 +250,7 @@ impl TcpTransport {
         conn: &Arc<Connection>,
         request: &Request,
         sink: ReplySink,
+        trace: Option<TraceContext>,
     ) -> Result<(), Option<ReplySink>> {
         let request_id = conn.next_id.fetch_add(1, Ordering::Relaxed);
         {
@@ -253,7 +263,7 @@ impl TcpTransport {
                 None => return Err(Some(sink)),
             }
         }
-        let frame = encode_request(request_id, request);
+        let frame = encode_request(request_id, request, trace);
         let wrote = {
             let mut stream = conn.stream.lock();
             stream.write_all(&frame)
@@ -279,7 +289,12 @@ struct TcpEndpoint {
 }
 
 impl EndpointImpl for TcpEndpoint {
-    fn deliver(&self, request: Request, sink: ReplySink) -> Result<(), SendRejected> {
+    fn deliver(
+        &self,
+        request: Request,
+        sink: ReplySink,
+        trace: Option<TraceContext>,
+    ) -> Result<(), SendRejected> {
         // Lifecycle messages get the classic two attempts (a pooled
         // connection may be stale) but no redial budget: a shutdown fanning
         // out to peers that are already gone must not pay a deadline each.
@@ -313,7 +328,7 @@ impl EndpointImpl for TcpEndpoint {
                     .max(Duration::from_millis(25))
             };
             let failure = match self.transport.connection_to(addr, connect_timeout) {
-                Ok(conn) => match TcpTransport::try_send(&conn, &request, sink) {
+                Ok(conn) => match TcpTransport::try_send(&conn, &request, sink, trace) {
                     Ok(()) => return Ok(()),
                     Err(Some(recovered)) => {
                         // Evict the dead connection so the retry dials fresh.
@@ -374,11 +389,13 @@ fn serve_connection(stream: TcpStream, queue: Sender<Incoming>) {
                 Ok(Envelope::Request {
                     request_id,
                     request,
+                    trace,
                 }) => {
-                    let incoming = Incoming {
+                    let incoming = Incoming::new(
                         request,
-                        reply: ReplySink::remote(Arc::clone(&writer), request_id),
-                    };
+                        ReplySink::remote(Arc::clone(&writer), request_id),
+                        trace,
+                    );
                     if queue.send(incoming).is_err() {
                         // The peer stopped receiving (crash/shutdown).
                         break;
@@ -389,14 +406,30 @@ fn serve_connection(stream: TcpStream, queue: Sender<Incoming>) {
                 Err(error) => {
                     // Garbage in, typed error out, connection dropped —
                     // the peer stays live for everyone else.
-                    eprintln!("rdht-net: dropping connection from {peer_desc}: {error}");
+                    rdht_metrics::log::global().warn(
+                        "net.tcp",
+                        "dropping accepted connection on a bad frame",
+                        &[
+                            ("peer", &peer_desc),
+                            ("error", error.variant()),
+                            ("detail", &error.to_string()),
+                        ],
+                    );
                     break;
                 }
             },
             Ok(None) => break, // clean EOF
             Err(error) => {
                 if let FrameError::Wire(wire) = error {
-                    eprintln!("rdht-net: dropping connection from {peer_desc}: {wire}");
+                    rdht_metrics::log::global().warn(
+                        "net.tcp",
+                        "dropping accepted connection on a bad length prefix",
+                        &[
+                            ("peer", &peer_desc),
+                            ("error", wire.variant()),
+                            ("detail", &wire.to_string()),
+                        ],
+                    );
                 }
                 break;
             }

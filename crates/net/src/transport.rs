@@ -27,10 +27,11 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use rdht_metrics::TraceContext;
 
 use crate::cluster::PeerId;
 use crate::message::{Reply, Request};
@@ -297,14 +298,32 @@ impl Drop for ReplySink {
     }
 }
 
-/// One unit of work delivered to a bound peer: the request and the sink its
-/// reply belongs in.
+/// One unit of work delivered to a bound peer: the request, the sink its
+/// reply belongs in, and — when the caller sampled the call — the trace
+/// context its spans continue under.
 #[derive(Debug)]
 pub struct Incoming {
     /// The decoded (or in-process) request.
     pub request: Request,
     /// Where the answer must go.
     pub reply: ReplySink,
+    /// Distributed-tracing context the request arrived with, if any.
+    pub trace: Option<TraceContext>,
+    /// When the transport enqueued the request — the start of its
+    /// queue-wait span (drain time minus `arrived`).
+    pub arrived: Instant,
+}
+
+impl Incoming {
+    /// Packages a request for a peer's mailbox, stamping the arrival time.
+    pub fn new(request: Request, reply: ReplySink, trace: Option<TraceContext>) -> Self {
+        Incoming {
+            request,
+            reply,
+            trace,
+            arrived: Instant::now(),
+        }
+    }
 }
 
 /// The receive side of a bound peer: a queue of [`Incoming`] work items fed
@@ -354,13 +373,21 @@ pub struct SendRejected {
 
 /// Object-safe delivery half of an endpoint; wrapped by [`PeerEndpoint`].
 pub trait EndpointImpl: Send + Sync {
-    /// Delivers `request`, attaching `sink` as its reply path.
+    /// Delivers `request`, attaching `sink` as its reply path and `trace`
+    /// as the context its spans continue under (propagated on the wire by
+    /// the TCP transport, carried in-process by the channel transport).
     ///
     /// The `Err` variant is large on purpose: it carries the undelivered
     /// request and its sink back so forwarding can re-route without
-    /// cloning every message on the happy path.
+    /// cloning every message on the happy path (`TraceContext` is `Copy`,
+    /// so the caller still holds the trace on rejection).
     #[allow(clippy::result_large_err)]
-    fn deliver(&self, request: Request, sink: ReplySink) -> Result<(), SendRejected>;
+    fn deliver(
+        &self,
+        request: Request,
+        sink: ReplySink,
+        trace: Option<TraceContext>,
+    ) -> Result<(), SendRejected>;
 }
 
 /// A reply being awaited. Produced by [`PeerEndpoint::send`]; redeemed with
@@ -424,13 +451,35 @@ impl PeerEndpoint {
     /// message avoids cloning it on every successful send).
     #[allow(clippy::result_large_err)]
     pub fn send_with_sink(&self, request: Request, sink: ReplySink) -> Result<(), SendRejected> {
-        self.inner.deliver(request, sink)
+        self.inner.deliver(request, sink, None)
+    }
+
+    /// [`PeerEndpoint::send_with_sink`] with a trace context propagated to
+    /// the receiving peer.
+    #[allow(clippy::result_large_err)]
+    pub fn send_with_sink_traced(
+        &self,
+        request: Request,
+        sink: ReplySink,
+        trace: Option<TraceContext>,
+    ) -> Result<(), SendRejected> {
+        self.inner.deliver(request, sink, trace)
     }
 
     /// Sends `request` and returns a handle on the awaited reply.
     pub fn send(&self, request: Request) -> Result<PendingReply, TransportError> {
+        self.send_traced(request, None)
+    }
+
+    /// [`PeerEndpoint::send`] with a trace context propagated to the
+    /// receiving peer.
+    pub fn send_traced(
+        &self,
+        request: Request,
+        trace: Option<TraceContext>,
+    ) -> Result<PendingReply, TransportError> {
         let (tx, rx) = bounded(1);
-        self.send_with_sink(request, ReplySink::channel(tx))
+        self.send_with_sink_traced(request, ReplySink::channel(tx), trace)
             .map_err(|rejected| rejected.error)?;
         Ok(PendingReply { receiver: rx })
     }
@@ -443,7 +492,20 @@ impl PeerEndpoint {
 
     /// Sends `request` and waits up to `timeout` for its reply.
     pub fn call(&self, request: Request, timeout: Duration) -> Result<Reply, CallError> {
-        let pending = self.send(request).map_err(CallError::Transport)?;
+        self.call_traced(request, timeout, None)
+    }
+
+    /// [`PeerEndpoint::call`] with a trace context propagated to the
+    /// receiving peer.
+    pub fn call_traced(
+        &self,
+        request: Request,
+        timeout: Duration,
+        trace: Option<TraceContext>,
+    ) -> Result<Reply, CallError> {
+        let pending = self
+            .send_traced(request, trace)
+            .map_err(CallError::Transport)?;
         pending.wait(timeout)
     }
 }
@@ -477,12 +539,14 @@ struct ChannelEndpoint {
 }
 
 impl EndpointImpl for ChannelEndpoint {
-    fn deliver(&self, request: Request, sink: ReplySink) -> Result<(), SendRejected> {
+    fn deliver(
+        &self,
+        request: Request,
+        sink: ReplySink,
+        trace: Option<TraceContext>,
+    ) -> Result<(), SendRejected> {
         self.sender
-            .send(Incoming {
-                request,
-                reply: sink,
-            })
+            .send(Incoming::new(request, sink, trace))
             .map_err(|failed| {
                 let incoming = failed.0;
                 SendRejected {

@@ -5,9 +5,10 @@
 //!
 //! ```text
 //! frame   := len: u32 LE | payload               (len = payload byte count)
-//! payload := version: u8                         (WIRE_VERSION, currently 3)
+//! payload := version: u8                         (WIRE_VERSION, currently 4)
 //!            kind: u8                            (0 = request, 1 = reply)
 //!            request_id: u64 LE                  (matches replies to requests)
+//!            trace: Option<TraceContext>         (requests only, v4+ only)
 //!            body                                (tagged per message variant)
 //! ```
 //!
@@ -33,19 +34,30 @@ use std::io::{self, Read};
 use rdht_core::Timestamp;
 use rdht_hashing::{HashId, Key};
 use rdht_membership::HandoffBundle;
+use rdht_metrics::{RequestTree, TraceContext};
 use rdht_storage::StoredReplica;
 
 use crate::cluster::PeerId;
 use crate::message::{HandoffFault, HandoffKind, OpId, Reply, Request};
 
 /// Version byte every frame starts with. Bumped on any incompatible layout
-/// change; decoders reject frames from other versions with
+/// change; decoders reject frames from versions outside
+/// [`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`] with
 /// [`WireError::UnsupportedVersion`].
 ///
 /// Version 2 added the optional [`OpId`] dedup metadata to the mutating
 /// request variants. Version 3 added the metrics scrape exchange
 /// ([`Request::Metrics`], request tag 8 / [`Reply::Metrics`], reply tag 9).
-pub const WIRE_VERSION: u8 = 3;
+/// Version 4 added the optional [`TraceContext`] to the request envelope
+/// header and the slow-request scrape ([`Request::SlowRequests`], request
+/// tag 9 / [`Reply::SlowRequests`], reply tag 10). v4 is a pure extension:
+/// the bodies of v2/v3 frames decode unchanged (the trace field is simply
+/// absent), so old peers interoperate — they just carry no trace.
+pub const WIRE_VERSION: u8 = 4;
+
+/// Oldest version this decoder still accepts. Frames from
+/// `MIN_WIRE_VERSION..WIRE_VERSION` decode with the trace context absent.
+pub const MIN_WIRE_VERSION: u8 = 2;
 
 /// Upper bound on a frame's payload length (64 MiB). A length prefix above
 /// this is rejected *before* any allocation — a garbage or hostile prefix
@@ -71,7 +83,8 @@ pub enum WireError {
         /// What was being decoded when the bytes ran out.
         context: &'static str,
     },
-    /// The frame's version byte is not [`WIRE_VERSION`].
+    /// The frame's version byte is outside
+    /// [`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`].
     UnsupportedVersion(u8),
     /// An enum tag byte (message kind, variant tag, option/bool tag) has no
     /// defined meaning.
@@ -108,7 +121,8 @@ impl fmt::Display for WireError {
             WireError::UnsupportedVersion(version) => {
                 write!(
                     f,
-                    "unsupported wire version {version} (expected {WIRE_VERSION})"
+                    "unsupported wire version {version} \
+                     (expected {MIN_WIRE_VERSION}..={WIRE_VERSION})"
                 )
             }
             WireError::UnknownTag { context, tag } => {
@@ -120,6 +134,21 @@ impl fmt::Display for WireError {
             WireError::TrailingBytes { remaining } => {
                 write!(f, "{remaining} trailing bytes after a complete message")
             }
+        }
+    }
+}
+
+impl WireError {
+    /// The variant's name — the stable, low-cardinality label structured
+    /// log events carry alongside the full rendered message.
+    pub fn variant(&self) -> &'static str {
+        match self {
+            WireError::FrameTooLarge { .. } => "FrameTooLarge",
+            WireError::Truncated { .. } => "Truncated",
+            WireError::UnsupportedVersion(_) => "UnsupportedVersion",
+            WireError::UnknownTag { .. } => "UnknownTag",
+            WireError::InvalidUtf8 { .. } => "InvalidUtf8",
+            WireError::TrailingBytes { .. } => "TrailingBytes",
         }
     }
 }
@@ -136,6 +165,9 @@ pub enum Envelope {
         request_id: u64,
         /// The request itself.
         request: Request,
+        /// Distributed-tracing context propagated alongside the request;
+        /// `None` when the call is unsampled or the frame predates v4.
+        trace: Option<TraceContext>,
     },
     /// A peer's answer to the request with the same id.
     Reply {
@@ -193,6 +225,32 @@ fn put_op(out: &mut Vec<u8>, op: &Option<OpId>) {
             put_u8(out, 1);
             put_u64(out, op.client);
             put_u64(out, op.seq);
+        }
+    }
+}
+
+fn put_trace(out: &mut Vec<u8>, trace: &Option<TraceContext>) {
+    match trace {
+        None => put_u8(out, 0),
+        Some(context) => {
+            put_u8(out, 1);
+            put_u64(out, context.trace_id);
+            put_u64(out, context.parent_span);
+            put_u8(out, context.flags);
+        }
+    }
+}
+
+fn put_trees(out: &mut Vec<u8>, trees: &[RequestTree]) {
+    put_u32(out, trees.len() as u32);
+    for tree in trees {
+        put_u64(out, tree.trace_id);
+        put_bytes(out, tree.name.as_bytes());
+        put_u64(out, tree.total_us);
+        put_u32(out, tree.phases.len() as u32);
+        for (name, dur_us) in &tree.phases {
+            put_bytes(out, name.as_bytes());
+            put_u64(out, *dur_us);
         }
     }
 }
@@ -310,6 +368,10 @@ fn put_request_body(out: &mut Vec<u8>, request: &Request) {
         Request::Shutdown => put_u8(out, 6),
         Request::Crash => put_u8(out, 7),
         Request::Metrics => put_u8(out, 8),
+        Request::SlowRequests { k } => {
+            put_u8(out, 9);
+            put_u32(out, *k);
+        }
     }
 }
 
@@ -365,6 +427,10 @@ fn put_reply_body(out: &mut Vec<u8>, reply: &Reply) {
             put_u8(out, 9);
             put_bytes(out, exposition.as_bytes());
         }
+        Reply::SlowRequests(trees) => {
+            put_u8(out, 10);
+            put_trees(out, trees);
+        }
     }
 }
 
@@ -386,9 +452,12 @@ fn encode_frame(kind: u8, request_id: u64, body: impl FnOnce(&mut Vec<u8>)) -> V
 }
 
 /// Encodes a request envelope into a complete frame (length prefix
-/// included), ready to be written to a stream.
-pub fn encode_request(request_id: u64, request: &Request) -> Vec<u8> {
+/// included), ready to be written to a stream. The optional trace context
+/// rides in the v4 envelope header, ahead of the body — `None` costs one
+/// tag byte.
+pub fn encode_request(request_id: u64, request: &Request, trace: Option<TraceContext>) -> Vec<u8> {
     encode_frame(KIND_REQUEST, request_id, |out| {
+        put_trace(out, &trace);
         put_request_body(out, request)
     })
 }
@@ -482,6 +551,42 @@ impl<'a> Cursor<'a> {
             })),
             tag => Err(WireError::UnknownTag { context, tag }),
         }
+    }
+
+    fn trace(&mut self, context: &'static str) -> Result<Option<TraceContext>, WireError> {
+        match self.u8(context)? {
+            0 => Ok(None),
+            1 => Ok(Some(TraceContext {
+                trace_id: self.u64(context)?,
+                parent_span: self.u64(context)?,
+                flags: self.u8(context)?,
+            })),
+            tag => Err(WireError::UnknownTag { context, tag }),
+        }
+    }
+
+    fn trees(&mut self) -> Result<Vec<RequestTree>, WireError> {
+        let count = self.count(8 + 4 + 8 + 4, "slow-request trees")?;
+        let mut trees = Vec::with_capacity(count);
+        for _ in 0..count {
+            let trace_id = self.u64("tree trace id")?;
+            let name = self.string("tree name")?;
+            let total_us = self.u64("tree total")?;
+            let phase_count = self.count(4 + 8, "tree phases")?;
+            let mut phases = Vec::with_capacity(phase_count);
+            for _ in 0..phase_count {
+                let phase = self.string("phase name")?;
+                let dur_us = self.u64("phase duration")?;
+                phases.push((phase, dur_us));
+            }
+            trees.push(RequestTree {
+                trace_id,
+                name,
+                total_us,
+                phases,
+            });
+        }
+        Ok(trees)
     }
 
     fn counters(&mut self, context: &'static str) -> Result<Vec<(Key, Timestamp)>, WireError> {
@@ -625,6 +730,9 @@ fn decode_request_body(cursor: &mut Cursor<'_>) -> Result<Request, WireError> {
         6 => Ok(Request::Shutdown),
         7 => Ok(Request::Crash),
         8 => Ok(Request::Metrics),
+        9 => Ok(Request::SlowRequests {
+            k: cursor.u32("slow-requests k")?,
+        }),
         tag => Err(WireError::UnknownTag {
             context: "request tag",
             tag,
@@ -673,6 +781,7 @@ fn decode_reply_body(cursor: &mut Cursor<'_>) -> Result<Reply, WireError> {
             reason: cursor.string("error reason")?,
         }),
         9 => Ok(Reply::Metrics(cursor.string("metrics exposition")?)),
+        10 => Ok(Reply::SlowRequests(cursor.trees()?)),
         tag => Err(WireError::UnknownTag {
             context: "reply tag",
             tag,
@@ -682,19 +791,31 @@ fn decode_reply_body(cursor: &mut Cursor<'_>) -> Result<Reply, WireError> {
 
 /// Decodes a frame *payload* (the bytes after the length prefix) into an
 /// envelope. Every byte must be accounted for; all failures are typed.
+///
+/// Versions [`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`] are accepted: a v2 or
+/// v3 request decodes with `trace: None` (the field did not exist yet), so
+/// a v4 peer interoperates with old senders.
 pub fn decode_payload(payload: &[u8]) -> Result<Envelope, WireError> {
     let mut cursor = Cursor::new(payload);
     let version = cursor.u8("version")?;
-    if version != WIRE_VERSION {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
         return Err(WireError::UnsupportedVersion(version));
     }
     let kind = cursor.u8("message kind")?;
     let request_id = cursor.u64("request id")?;
     let envelope = match kind {
-        KIND_REQUEST => Envelope::Request {
-            request_id,
-            request: decode_request_body(&mut cursor)?,
-        },
+        KIND_REQUEST => {
+            let trace = if version >= 4 {
+                cursor.trace("trace context")?
+            } else {
+                None
+            };
+            Envelope::Request {
+                request_id,
+                request: decode_request_body(&mut cursor)?,
+                trace,
+            }
+        }
         KIND_REPLY => Envelope::Reply {
             request_id,
             reply: decode_reply_body(&mut cursor)?,

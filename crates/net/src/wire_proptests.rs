@@ -9,6 +9,7 @@ use proptest::prelude::*;
 use rdht_core::Timestamp;
 use rdht_hashing::{HashId, Key};
 use rdht_membership::HandoffBundle;
+use rdht_metrics::TraceContext;
 use rdht_storage::StoredReplica;
 
 use crate::cluster::PeerId;
@@ -42,6 +43,19 @@ fn raw_payload(selector: u8, stamp: u64) -> Vec<u8> {
 /// one, even selectors omit it, so both wire encodings are exercised.
 fn raw_op(selector: u8, client: u64, seq: u64) -> Option<OpId> {
     (selector % 2 == 1).then_some(OpId { client, seq })
+}
+
+/// Raw material for an optional trace context: `(presence selector,
+/// trace id, parent span, flags)`. Even selectors omit the context so both
+/// wire encodings (absent tag and full context) are exercised.
+type TraceRaw = (u8, u64, u64, u8);
+
+fn raw_trace((selector, trace_id, parent_span, flags): TraceRaw) -> Option<TraceContext> {
+    (selector % 2 == 1).then_some(TraceContext {
+        trace_id,
+        parent_span,
+        flags,
+    })
 }
 
 fn make_bundle(raw: &[BundleRaw]) -> HandoffBundle {
@@ -192,18 +206,58 @@ proptest! {
         payload in vec(any::<u8>(), 0..160),
         hashes in vec(any::<u32>(), 0..12),
         nums in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u8>(), any::<u8>()),
+        trace_raw in (any::<u8>(), any::<u64>(), any::<u64>(), any::<u8>()),
     ) {
         let request = make_request(selector, &key_bytes, &payload, &hashes, nums, &[]);
-        let frame = encode_request(request_id, &request);
+        let trace = raw_trace(trace_raw);
+        let frame = encode_request(request_id, &request, trace);
         let (len, body) = split_frame(&frame);
         prop_assert_eq!(len, body.len());
         prop_assert_eq!(
             decode_payload(body),
-            Ok(Envelope::Request { request_id, request })
+            Ok(Envelope::Request { request_id, request, trace })
         );
         for cut in 0..body.len() {
             prop_assert!(decode_payload(&body[..cut]).is_err());
         }
+    }
+
+    /// Any trace context — arbitrary trace id, parent span and flag bits —
+    /// survives the v4 round trip bit-for-bit, and a frame rewritten to
+    /// wire v2 or v3 (the pre-trace layout, context bytes stripped) still
+    /// decodes, with the context absent.
+    #[test]
+    fn trace_context_round_trip_and_downlevel_decode(
+        request_id in any::<u64>(),
+        key_bytes in vec(any::<u8>(), 0..24),
+        trace_id in any::<u64>(),
+        parent_span in any::<u64>(),
+        flags in any::<u8>(),
+        old_version in 2u8..=3,
+    ) {
+        let request = Request::GetReplica {
+            hash: HashId(7),
+            key: Key::from_bytes(key_bytes),
+        };
+        let trace = Some(TraceContext { trace_id, parent_span, flags });
+        let frame = encode_request(request_id, &request, trace);
+        let (_, body) = split_frame(&frame);
+        prop_assert_eq!(
+            decode_payload(body),
+            Ok(Envelope::Request { request_id, request: request.clone(), trace })
+        );
+
+        // Rebuild the same frame as an old sender would have written it:
+        // version byte downgraded, the trace bytes (tag + context) gone.
+        // Offset 10 is the first trace byte (version + kind + request id).
+        let untraced = encode_request(request_id, &request, None);
+        let mut old = untraced[4..].to_vec();
+        old.remove(10); // the `absent` trace tag v2/v3 never wrote
+        old[0] = old_version;
+        prop_assert_eq!(
+            decode_payload(&old),
+            Ok(Envelope::Request { request_id, request, trace: None })
+        );
     }
 
     /// Hand-off bundles — the largest, most nested payload — round-trip with
@@ -215,6 +269,7 @@ proptest! {
         start in any::<u64>(),
         end in any::<u64>(),
         bundle_raw in vec((any::<u32>(), any::<u8>(), any::<u64>(), any::<u64>(), any::<u8>()), 0..16),
+        trace_raw in (any::<u8>(), any::<u64>(), any::<u64>(), any::<u8>()),
     ) {
         let request = Request::InstallState {
             op: raw_op(op_raw.0, op_raw.1, op_raw.2),
@@ -222,12 +277,13 @@ proptest! {
             end,
             bundle: make_bundle(&bundle_raw),
         };
-        let frame = encode_request(request_id, &request);
+        let trace = raw_trace(trace_raw);
+        let frame = encode_request(request_id, &request, trace);
         let (len, body) = split_frame(&frame);
         prop_assert_eq!(len, body.len());
         prop_assert_eq!(
             decode_payload(body),
-            Ok(Envelope::Request { request_id, request })
+            Ok(Envelope::Request { request_id, request, trace })
         );
     }
 
@@ -256,18 +312,24 @@ proptest! {
 
     /// Decoding arbitrary bytes never panics, and when it *does* succeed the
     /// bytes must be the canonical encoding of what was decoded (the codec
-    /// has no redundant encodings, so decode is the exact inverse of encode).
+    /// has no redundant encodings, so within one wire version decode is the
+    /// exact inverse of encode; down-level frames re-encode at v4, so the
+    /// inverse claim only applies when the version byte is current).
     #[test]
     fn garbage_decodes_to_typed_error_or_canonical_message(
         bytes in vec(any::<u8>(), 0..400),
     ) {
         match decode_payload(&bytes) {
             Err(_) => {} // typed rejection is the expected outcome
-            Ok(Envelope::Request { request_id, request }) => {
-                prop_assert_eq!(&encode_request(request_id, &request)[4..], &bytes[..]);
+            Ok(Envelope::Request { request_id, request, trace }) => {
+                if bytes[0] == WIRE_VERSION {
+                    prop_assert_eq!(&encode_request(request_id, &request, trace)[4..], &bytes[..]);
+                }
             }
             Ok(Envelope::Reply { request_id, reply }) => {
-                prop_assert_eq!(&encode_reply(request_id, &reply)[4..], &bytes[..]);
+                if bytes[0] == WIRE_VERSION {
+                    prop_assert_eq!(&encode_reply(request_id, &reply)[4..], &bytes[..]);
+                }
             }
         }
     }
@@ -283,9 +345,10 @@ proptest! {
         hashes in vec(any::<u32>(), 0..6),
         nums in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u8>(), any::<u8>()),
         corruption in (any::<u16>(), any::<u8>()),
+        trace_raw in (any::<u8>(), any::<u64>(), any::<u64>(), any::<u8>()),
     ) {
         let request = make_request(selector, &key_bytes, &[], &hashes, nums, &[]);
-        let frame = encode_request(request_id, &request);
+        let frame = encode_request(request_id, &request, raw_trace(trace_raw));
         let (_, body) = split_frame(&frame);
         let mut corrupted = body.to_vec();
         let (at, xor) = corruption;
@@ -309,7 +372,7 @@ proptest! {
                 hash: HashId(id as u32),
                 key: Key::from_bytes(id.to_le_bytes().to_vec()),
             };
-            stream.extend_from_slice(&encode_request(id, &request));
+            stream.extend_from_slice(&encode_request(id, &request, None));
             expected.push((id, request));
         }
         let clean_len = stream.len();
@@ -319,7 +382,7 @@ proptest! {
             let payload = read_frame(&mut reader).unwrap().expect("frame present");
             prop_assert_eq!(
                 decode_payload(&payload),
-                Ok(Envelope::Request { request_id: id, request })
+                Ok(Envelope::Request { request_id: id, request, trace: None })
             );
         }
         if tail.is_empty() {
@@ -370,7 +433,7 @@ mod deterministic {
 
     #[test]
     fn eof_inside_a_frame_is_an_io_error() {
-        let frame = encode_request(1, &Request::Shutdown);
+        let frame = encode_request(1, &Request::Shutdown, None);
         let truncated = &frame[..frame.len() - 1];
         let mut reader = truncated;
         assert!(matches!(read_frame(&mut reader), Err(FrameError::Io(_))));
@@ -378,7 +441,7 @@ mod deterministic {
 
     #[test]
     fn wrong_version_is_rejected() {
-        let mut frame = encode_request(1, &Request::Crash);
+        let mut frame = encode_request(1, &Request::Crash, None);
         frame[4] = WIRE_VERSION + 1; // version byte is first in the payload
         assert_eq!(
             decode_payload(&frame[4..]),
@@ -388,7 +451,7 @@ mod deterministic {
 
     #[test]
     fn unknown_message_kind_is_rejected() {
-        let mut frame = encode_request(1, &Request::Crash);
+        let mut frame = encode_request(1, &Request::Crash, None);
         frame[5] = 9; // kind byte: neither request (0) nor reply (1)
         assert_eq!(
             decode_payload(&frame[4..]),
@@ -400,8 +463,24 @@ mod deterministic {
     }
 
     #[test]
+    fn bogus_trace_tag_is_rejected() {
+        // Offset 10 of the payload is the trace tag (version + kind +
+        // request id precede it); only 0 (absent) and 1 (present) are legal.
+        let frame = encode_request(1, &Request::Shutdown, None);
+        let mut payload = frame[4..].to_vec();
+        payload[10] = 2;
+        assert_eq!(
+            decode_payload(&payload),
+            Err(WireError::UnknownTag {
+                context: "trace context",
+                tag: 2
+            })
+        );
+    }
+
+    #[test]
     fn trailing_bytes_are_rejected() {
-        let frame = encode_request(1, &Request::Shutdown);
+        let frame = encode_request(1, &Request::Shutdown, None);
         let mut payload = frame[4..].to_vec();
         payload.extend_from_slice(&[0, 0, 0]);
         assert_eq!(
@@ -438,6 +517,7 @@ mod deterministic {
         payload.push(WIRE_VERSION);
         payload.push(0); // kind: request
         payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.push(0); // trace context: absent
         payload.push(1); // tag: PutReplicas
         payload.push(0); // op id: absent
         payload.extend_from_slice(&u32::MAX.to_le_bytes()); // hash count

@@ -299,6 +299,7 @@ fn tcp_peer_survives_garbage_and_oversized_frames() {
                     num_replicas: 3,
                     seed: 1106,
                     storage: None,
+                    trace_out: None,
                 })
             })
         })

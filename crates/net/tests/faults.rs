@@ -337,6 +337,7 @@ fn spawn_tcp_peer(id: PeerId, addr: SocketAddr) -> thread::JoinHandle<()> {
             num_replicas: 2,
             seed: 9300,
             storage: None,
+            trace_out: None,
         })
         .unwrap()
     })

@@ -1,0 +1,165 @@
+//! End-to-end distributed-tracing contract: sampled client calls propagate
+//! their context over the wire, peers attribute wall time to named phases,
+//! and the `SlowRequests` scrape returns trees whose phases account for the
+//! request's time. Also pins the negative space: scrapes and lifecycle
+//! messages never enter the sampler, and an untraced cluster records
+//! nothing.
+
+use rdht_core::ums;
+use rdht_hashing::Key;
+use rdht_net::{Cluster, ClusterConfig, RequestTree, TraceConfig, TraceSink, TransportKind};
+
+/// The five phases every peer-side request tree carries, in order.
+const PEER_PHASES: [&str; 5] = ["queue_wait", "apply", "batch_wait", "fsync", "reply"];
+
+fn phase_names(tree: &RequestTree) -> Vec<&str> {
+    tree.phases.iter().map(|(name, _)| name.as_str()).collect()
+}
+
+/// One traced cluster + client over a shared sink, with every call sampled.
+fn traced_cluster(kind: TransportKind, seed: u64) -> (Cluster, TraceSink) {
+    let sink = TraceSink::new();
+    let cluster = Cluster::spawn_with(
+        ClusterConfig::new(4, 3, seed)
+            .with_transport(kind)
+            .with_trace(sink.clone()),
+    );
+    (cluster, sink)
+}
+
+#[test]
+fn sampled_inserts_fill_peer_slowlogs_with_attributed_phases() {
+    let (cluster, sink) = traced_cluster(TransportKind::Channel, 7201);
+    let mut client = cluster.client();
+    client.attach_trace(sink.clone(), TraceConfig::always());
+    for i in 0..16 {
+        let key = Key::new(format!("trace:{i}"));
+        ums::insert(&mut client, &key, format!("v{i}").into_bytes()).unwrap();
+    }
+
+    let mut trees: Vec<RequestTree> = Vec::new();
+    for peer in cluster.peer_ids() {
+        trees.extend(client.slow_requests(peer, 32).unwrap());
+    }
+    assert!(
+        !trees.is_empty(),
+        "sampled inserts must land in at least one peer slowlog"
+    );
+    for tree in &trees {
+        assert_eq!(phase_names(tree), PEER_PHASES, "tree {}", tree.name);
+        assert_ne!(tree.trace_id, 0, "sampled trees carry the client trace id");
+        // The phases partition arrival → reply-sent by construction; each
+        // phase truncates to whole microseconds, so allow one microsecond
+        // of rounding per phase.
+        let attributed = tree.attributed_us();
+        let floor = (tree.total_us * 9) / 10;
+        assert!(
+            attributed + PEER_PHASES.len() as u64 >= floor,
+            "only {attributed}µs of {}µs attributed in {:?}",
+            tree.total_us,
+            tree
+        );
+    }
+
+    // The client kept its own view of the same calls.
+    let calls = client.slow_calls(32);
+    assert!(!calls.is_empty(), "client slowlog records sampled calls");
+    assert!(calls.iter().all(|tree| tree.trace_id != 0));
+
+    cluster.shutdown();
+
+    // One trace id must appear on both sides of the wire: in a client span
+    // and in a peer span of the shared sink.
+    let events = sink.events();
+    let ids_of = |prefix: &str| -> Vec<String> {
+        events
+            .iter()
+            .filter(|event| event.name.starts_with(prefix))
+            .flat_map(|event| {
+                event
+                    .args
+                    .iter()
+                    .filter(|(key, _)| key == "trace_id")
+                    .map(|(_, value)| value.clone())
+            })
+            .flat_map(|joined| joined.split(',').map(str::to_string).collect::<Vec<_>>())
+            .collect()
+    };
+    let client_ids = ids_of("client.");
+    let peer_ids = ids_of("peer.");
+    assert!(!client_ids.is_empty(), "client spans recorded");
+    assert!(!peer_ids.is_empty(), "peer spans recorded");
+    assert!(
+        client_ids.iter().any(|id| peer_ids.contains(id)),
+        "a sampled trace id must span both the client and a peer"
+    );
+    // The storage engine's observer hook fired for the covering syncs.
+    assert!(
+        events.iter().any(|event| event.name == "peer.fsync"),
+        "batch-covering fsync spans recorded"
+    );
+}
+
+#[test]
+fn scrapes_and_lifecycle_bypass_the_sampler() {
+    let (cluster, sink) = traced_cluster(TransportKind::Channel, 7202);
+    let mut client = cluster.client();
+    client.attach_trace(sink.clone(), TraceConfig::always());
+
+    // Protocol-noise requests: metrics scrapes and slowlog scrapes. None of
+    // them may enter a slowlog or emit spans, even at sample rate 1.0.
+    let peer = cluster.peer_ids()[0];
+    for _ in 0..4 {
+        let trees = client.slow_requests(peer, 8).unwrap();
+        assert!(trees.is_empty(), "scrapes must never trace themselves");
+    }
+    assert!(client.slow_calls(8).is_empty());
+    cluster.shutdown();
+    assert!(
+        sink.events().is_empty(),
+        "no data request was made, so nothing may have been traced: {:?}",
+        sink.events()
+    );
+}
+
+#[test]
+fn unsampled_clusters_record_nothing() {
+    let cluster =
+        Cluster::spawn_with(ClusterConfig::new(3, 2, 7203).with_transport(TransportKind::Channel));
+    let mut client = cluster.client();
+    // No attach_trace: the sampler is off, requests carry no context.
+    for i in 0..4 {
+        let key = Key::new(format!("plain:{i}"));
+        ums::insert(&mut client, &key, vec![i]).unwrap();
+    }
+    for peer in cluster.peer_ids() {
+        assert!(
+            client.slow_requests(peer, 8).unwrap().is_empty(),
+            "an untraced workload must leave every peer slowlog empty"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn tracing_works_over_tcp() {
+    let (cluster, sink) = traced_cluster(TransportKind::Tcp, 7204);
+    let mut client = cluster.client();
+    client.attach_trace(sink.clone(), TraceConfig::always());
+    for i in 0..8 {
+        let key = Key::new(format!("tcp-trace:{i}"));
+        ums::insert(&mut client, &key, vec![i]).unwrap();
+    }
+    let mut trees: Vec<RequestTree> = Vec::new();
+    for peer in cluster.peer_ids() {
+        trees.extend(client.slow_requests(peer, 16).unwrap());
+    }
+    assert!(
+        !trees.is_empty(),
+        "trace contexts must survive the TCP wire (v4 frames)"
+    );
+    for tree in &trees {
+        assert_eq!(phase_names(tree), PEER_PHASES);
+    }
+    cluster.shutdown();
+}

@@ -56,6 +56,11 @@ pub struct Simulation {
     /// event with its **simulated** timestamp — `None` by default, so runs
     /// carry no instrumentation and reports stay bit-for-bit deterministic.
     trace: Option<TraceSink>,
+    /// Deterministic trace id of the next traced query span. Derived from a
+    /// plain counter — **never** from the workload RNG — and only advanced
+    /// inside the traced branch, so it cannot perturb an untraced run and a
+    /// traced run with the same seed always assigns the same ids.
+    trace_query_seq: u64,
 }
 
 impl Simulation {
@@ -116,6 +121,7 @@ impl Simulation {
             last_ts_policy: LastTsInitPolicy::ObservedMax,
             samples: Vec::new(),
             trace: None,
+            trace_query_seq: 0,
             config,
         }
     }
@@ -460,13 +466,21 @@ impl Simulation {
             if let Some(sample) = sample {
                 if let Some(trace) = &self.trace {
                     // One lane per algorithm; the span's length is the
-                    // simulated response time the figures plot.
-                    trace.complete_at(
+                    // simulated response time the figures plot. The span
+                    // carries a deterministic trace id (a counter, not the
+                    // RNG) so sim traces merge with live ones on equal
+                    // footing — same `trace_id` args key, same format.
+                    self.trace_query_seq += 1;
+                    trace.complete_with_args(
                         algorithm.label(),
                         TRACE_PID_QUERIES,
                         trace_tid(algorithm),
                         trace_us(time),
                         trace_us(sample.response_time),
+                        vec![(
+                            "trace_id".to_string(),
+                            format!("{:016x}", self.trace_query_seq),
+                        )],
                     );
                 }
                 self.samples.push(sample);

@@ -388,6 +388,16 @@ fn traced_run_is_deterministic_and_renders_chrome_trace() {
         events.iter().any(|e| e.name == "UMS-Direct"),
         "per-algorithm query spans appear in the trace"
     );
+    // Query spans carry deterministic trace ids (counter-derived, never
+    // from the workload RNG) in the same `trace_id` args format live
+    // deployments use, so merged sim + live traces correlate uniformly.
+    assert!(
+        events
+            .iter()
+            .filter(|e| e.name == "UMS-Direct")
+            .all(|e| e.args.iter().any(|(k, v)| k == "trace_id" && v.len() == 16)),
+        "per-algorithm query spans carry a 16-hex-digit trace_id arg"
+    );
     let rendered = sink.render_chrome_trace();
     assert!(
         rendered.starts_with("{\"traceEvents\":["),
@@ -397,6 +407,19 @@ fn traced_run_is_deterministic_and_renders_chrome_trace() {
     // Timestamps are simulated: all inside the configured duration.
     let duration_us = (sim.config().duration * 1_000_000.0) as u64;
     assert!(events.iter().all(|e| e.ts_us <= duration_us));
+
+    // Two traced runs of the same seed render byte-identical traces: span
+    // ids, timestamps and args are all derived from deterministic state.
+    let mut again = Simulation::new(sim.config().clone());
+    let second_sink = rdht_metrics::TraceSink::new();
+    again.attach_trace(second_sink.clone());
+    let second = again.run();
+    assert_eq!(traced, second);
+    assert_eq!(
+        rendered,
+        second_sink.render_chrome_trace(),
+        "a traced rerun must reproduce the trace byte for byte"
+    );
 }
 
 /// The exported per-peer registries carry the KTS work counters and stored

@@ -23,6 +23,8 @@
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
 use rdht_core::durability::DurableState;
 use rdht_core::{ReplicaValue, Timestamp};
@@ -61,6 +63,32 @@ impl StorageOptions {
             fsync,
             ..StorageOptions::default()
         }
+    }
+}
+
+/// A callback the engine invokes with the wall-clock duration of every
+/// covering [`StorageEngine::sync`] that actually reached the WAL — the
+/// hook distributed tracing hangs its `fsync` spans on without the engine
+/// knowing anything about spans. Cheap to clone; invoked synchronously on
+/// the syncing thread, so observers must be fast and non-blocking.
+#[derive(Clone)]
+pub struct SyncObserver(Arc<dyn Fn(Duration) + Send + Sync>);
+
+impl SyncObserver {
+    /// Wraps a callback.
+    pub fn new(callback: impl Fn(Duration) + Send + Sync + 'static) -> Self {
+        SyncObserver(Arc::new(callback))
+    }
+
+    /// Invokes the callback with one observed sync duration.
+    pub fn observe(&self, elapsed: Duration) {
+        (self.0)(elapsed);
+    }
+}
+
+impl std::fmt::Debug for SyncObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SyncObserver(..)")
     }
 }
 
@@ -123,6 +151,7 @@ pub struct StorageEngine {
     options: StorageOptions,
     stats: StorageStats,
     metrics: Option<StorageMetrics>,
+    sync_observer: Option<SyncObserver>,
     poison: Option<io::Error>,
 }
 
@@ -250,6 +279,7 @@ impl StorageEngine {
             options: StorageOptions::default(),
             stats: StorageStats::default(),
             metrics: None,
+            sync_observer: None,
             poison: None,
         }
     }
@@ -302,6 +332,7 @@ impl StorageEngine {
             options,
             stats,
             metrics: None,
+            sync_observer: None,
             poison: None,
         })
     }
@@ -478,11 +509,25 @@ impl StorageEngine {
         Ok(())
     }
 
+    /// Installs the callback [`sync`](StorageEngine::sync) reports its
+    /// duration to — how the tracing layer hangs a covering-fsync span on
+    /// the engine without the engine depending on any span machinery.
+    pub fn set_sync_observer(&mut self, observer: SyncObserver) {
+        self.sync_observer = Some(observer);
+    }
+
     /// Forces everything journaled so far to stable storage — the covering
     /// sync of a group-commit batch boundary. Free when nothing is pending.
     pub fn sync(&mut self) -> io::Result<()> {
         let result = match self.wal.as_mut() {
-            Some(wal) => wal.sync(),
+            Some(wal) => {
+                let started = std::time::Instant::now();
+                let result = wal.sync();
+                if let Some(observer) = &self.sync_observer {
+                    observer.observe(started.elapsed());
+                }
+                result
+            }
             None => Ok(()),
         };
         self.publish_metrics();
@@ -601,6 +646,36 @@ mod tests {
             stamp: Timestamp(i + 1),
             position: i.wrapping_mul(0x9e37_79b9_7f4a_7c15),
         }
+    }
+
+    #[test]
+    fn sync_observer_sees_every_wal_sync_and_nothing_ephemeral() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let dir = temp_dir("sync-observer");
+        let observed = Arc::new(AtomicU64::new(0));
+        {
+            let mut engine =
+                StorageEngine::open(&dir, StorageOptions::with_fsync(FsyncPolicy::Never)).unwrap();
+            let count = Arc::clone(&observed);
+            engine.set_sync_observer(SyncObserver::new(move |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            }));
+            engine.apply(&put(0)).unwrap();
+            engine.sync().unwrap();
+            engine.sync().unwrap();
+        }
+        assert_eq!(observed.load(Ordering::Relaxed), 2);
+
+        // An ephemeral engine has no WAL, so its syncs observe nothing.
+        let mut ephemeral = StorageEngine::ephemeral();
+        let count = Arc::clone(&observed);
+        ephemeral.set_sync_observer(SyncObserver::new(move |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        }));
+        ephemeral.sync().unwrap();
+        assert_eq!(observed.load(Ordering::Relaxed), 2);
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

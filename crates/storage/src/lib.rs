@@ -103,7 +103,7 @@ mod wal;
 
 mod engine;
 
-pub use engine::{RecoveredState, StorageEngine, StorageOptions, StorageStats};
+pub use engine::{RecoveredState, StorageEngine, StorageOptions, StorageStats, SyncObserver};
 pub use metrics::StorageMetrics;
 pub use op::StorageOp;
 pub use state::{CounterSet, MemoryState, ReplicaStore, StoredReplica};
