@@ -91,16 +91,30 @@ fn main() {
 
     if let Some(dir) = csv_dir {
         if let Err(error) = std::fs::create_dir_all(&dir) {
-            eprintln!("cannot create {}: {error}", dir.display());
+            rdht_metrics::log::global().error(
+                "bench.experiments",
+                "cannot create csv directory",
+                &[
+                    ("path", &dir.display().to_string()),
+                    ("error", &error.to_string()),
+                ],
+            );
             std::process::exit(1);
         }
         for result in &results {
             let path = dir.join(format!("{}.csv", result.id));
             if let Err(error) = std::fs::write(&path, result.to_csv()) {
-                eprintln!("cannot write {}: {error}", path.display());
+                rdht_metrics::log::global().error(
+                    "bench.experiments",
+                    "cannot write csv file",
+                    &[
+                        ("path", &path.display().to_string()),
+                        ("error", &error.to_string()),
+                    ],
+                );
                 std::process::exit(1);
             }
-            eprintln!("wrote {}", path.display());
+            println!("wrote {}", path.display());
         }
     }
 }

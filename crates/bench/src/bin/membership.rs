@@ -283,8 +283,12 @@ fn main() {
     let mode = if quick { "quick" } else { "full" };
     let json = to_json(mode, &points, &recovery, &sim);
     if let Err(error) = std::fs::write(&out_path, &json) {
-        eprintln!("cannot write {out_path}: {error}");
+        rdht_metrics::log::global().error(
+            "bench.membership",
+            "cannot write output file",
+            &[("path", &out_path), ("error", &error.to_string())],
+        );
         std::process::exit(1);
     }
-    eprintln!("wrote {out_path}");
+    println!("wrote {out_path}");
 }

@@ -540,8 +540,12 @@ fn main() {
     }
     let json = to_json(mode, &lines);
     if let Err(error) = std::fs::write(&out_path, &json) {
-        eprintln!("cannot write {out_path}: {error}");
+        rdht_metrics::log::global().error(
+            "bench.storage",
+            "cannot write output file",
+            &[("path", &out_path), ("error", &error.to_string())],
+        );
         std::process::exit(1);
     }
-    eprintln!("wrote {out_path}");
+    println!("wrote {out_path}");
 }

@@ -48,6 +48,8 @@ pub fn run_configs_with_threads(configs: Vec<SimConfig>, threads: usize) -> Vec<
             let next = &next;
             let configs = &configs;
             scope.spawn(move || loop {
+                // relaxed: work-claim ticket; only RMW uniqueness matters,
+                // results flow back through the channel (its own sync).
                 let index = next.fetch_add(1, Ordering::Relaxed);
                 if index >= configs.len() {
                     break;

@@ -1,0 +1,82 @@
+//! An instrumented `UnsafeCell` in the loom idiom: data is accessed
+//! through `with`/`with_mut` closures, and every access is checked for
+//! happens-before against concurrent accesses via vector clocks. Two
+//! accesses to the same cell with neither ordered before the other — at
+//! least one being a write — is a data race, reported with both source
+//! locations and the interleaving that produced it.
+//!
+//! This is the primitive that makes seqlock-style structures checkable:
+//! the *atomics* around the cell establish the happens-before edges, and
+//! the cell verifies they are strong enough.
+
+use std::panic::Location;
+
+use crate::exec::{operate, with_active_state, Access, ObjId, OpSig, Outcome};
+
+/// Race-checked cell. The model serializes real memory accesses (one
+/// thread runs at a time), so the `unsafe` here is sound even for
+/// schedules that contain a logical race — the race is *reported*, not
+/// executed.
+pub struct UnsafeCell<T> {
+    obj: ObjId,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: real accesses only happen through `with`/`with_mut` while the
+// calling model thread is the single active thread.
+unsafe impl<T: Send> Send for UnsafeCell<T> {}
+unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    /// Registers a fresh cell holding `data`.
+    #[track_caller]
+    pub fn new(data: T) -> Self {
+        let obj = with_active_state(|st, _tid| st.new_cell());
+        UnsafeCell {
+            obj,
+            data: std::cell::UnsafeCell::new(data),
+        }
+    }
+
+    /// Immutable access; a scheduling point and a race-checked read.
+    #[track_caller]
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        let obj = self.obj;
+        let loc = Location::caller();
+        operate(
+            OpSig {
+                obj: Some(obj),
+                access: Access::Read,
+                desc: "UnsafeCell.read",
+            },
+            loc,
+            move |st, tid| {
+                st.cell_read(obj, tid, loc);
+                Outcome::Done(())
+            },
+            |_| format!("UnsafeCell(#{obj}).read"),
+        );
+        f(self.data.get() as *const T)
+    }
+
+    /// Mutable access; a scheduling point and a race-checked write.
+    #[track_caller]
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        let obj = self.obj;
+        let loc = Location::caller();
+        operate(
+            OpSig {
+                obj: Some(obj),
+                access: Access::Write,
+                desc: "UnsafeCell.write",
+            },
+            loc,
+            move |st, tid| {
+                st.cell_write(obj, tid, loc);
+                Outcome::Done(())
+            },
+            |_| format!("UnsafeCell(#{obj}).write"),
+        );
+        f(self.data.get())
+    }
+}

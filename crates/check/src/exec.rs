@@ -1,0 +1,1246 @@
+//! The bounded exhaustive scheduler: one [`SchedState`] per explored
+//! schedule, a persistent decision [`path`](PathEntry) driving depth-first
+//! replay across schedules, and the vector-clock machinery that gives the
+//! instrumented types their C11-flavoured weak-memory semantics.
+//!
+//! # How an execution runs
+//!
+//! Model threads are real OS threads, but exactly one runs at a time: every
+//! instrumented operation *announces* itself (records its [`OpSig`] as the
+//! thread's pending op), then the currently active thread makes a
+//! *scheduling decision* — which announced op executes next — recorded as a
+//! branch point in the path. The chosen thread executes its effect
+//! atomically under the global lock and keeps running user code until its
+//! own next instrumented op. Replaying a prefix of recorded choices and
+//! taking the first untried alternative at the deepest branch point yields
+//! a depth-first, deterministic enumeration of every schedule (bounded by
+//! the preemption budget and pruned by the sleep set).
+//!
+//! # Weak memory
+//!
+//! Every atomic location keeps its full modification order; a load may read
+//! any store not ruled out by coherence or happens-before, and the choice
+//! is itself a branch point. `Release` stores capture the writer's vector
+//! clock; `Acquire` loads that read them join it. RMWs always read the
+//! latest store (C11 atomicity) and continue release sequences. `SeqCst`
+//! is modeled as `AcqRel` — a sound over-approximation for bug *finding*
+//! (it can only report more behaviours, never fewer).
+
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Model-thread index (0 is the thread that called [`crate::model`]).
+pub type Tid = usize;
+/// Index of an instrumented object (atomic, mutex or cell) in an execution.
+pub type ObjId = usize;
+
+/// Hard cap on model threads per execution; vector clocks are this wide.
+pub const MAX_THREADS: usize = 8;
+
+/// Exploration limits and bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Maximum number of *preemptive* context switches per schedule (a
+    /// switch away from a thread that could have kept running). Voluntary
+    /// switches — blocking, finishing, yielding — are free. `None` removes
+    /// the bound (full exhaustive exploration).
+    pub preemption_bound: Option<u32>,
+    /// Abort with a harness error after this many schedules: the model is
+    /// too large to check exhaustively and should be shrunk.
+    pub max_schedules: u64,
+    /// Abort a single schedule after this many operations: almost always a
+    /// livelock (an uninstrumented spin loop) or an oversized model.
+    pub max_ops: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: Some(3),
+            max_schedules: 500_000,
+            max_ops: 50_000,
+        }
+    }
+}
+
+/// Exploration summary returned by [`crate::model_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Schedules fully explored (including sleep-set-pruned prefixes).
+    pub schedules: u64,
+    /// Instrumented operations executed across all schedules.
+    pub ops: u64,
+}
+
+/// What a thread is doing with an object — the independence relation of
+/// the sleep-set cut is built on this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// Reads the object; independent of other reads of the same object.
+    Read,
+    /// Writes (or read-modify-writes) the object.
+    Write,
+    /// Thread lifecycle (spawn/join/yield/finish): dependent with everything.
+    Thread,
+}
+
+/// An announced operation: what a thread will do next.
+#[derive(Clone, Copy, Debug)]
+pub struct OpSig {
+    /// The object touched, if any.
+    pub obj: Option<ObjId>,
+    /// Kind of access.
+    pub access: Access,
+    /// Human-readable operation name for traces.
+    pub desc: &'static str,
+}
+
+impl OpSig {
+    fn independent(&self, other: &OpSig) -> bool {
+        match (self.obj, other.obj) {
+            (Some(a), Some(b)) => {
+                a != b || (self.access == Access::Read && other.access == Access::Read)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A vector clock over model threads.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u32>);
+
+impl VClock {
+    fn get(&self, tid: Tid) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    fn tick(&mut self, tid: Tid) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, v) in other.0.iter().enumerate() {
+            self.0[i] = self.0[i].max(*v);
+        }
+    }
+}
+
+/// One store in a location's modification order.
+struct StoreRec {
+    value: u64,
+    writer: Tid,
+    /// The writer's own clock component at the store — the happens-before
+    /// test "is this store visible to thread T" is `T.vc[writer] >= time`.
+    time: u32,
+    /// The clock an `Acquire` reader synchronizes with, present when the
+    /// store (or the head of its release sequence) was `Release`.
+    release: Option<VClock>,
+}
+
+enum Object {
+    Atomic {
+        stores: Vec<StoreRec>,
+    },
+    Mutex {
+        owner: Option<Tid>,
+        /// Clock of the last unlock; joined by the next lock.
+        clock: VClock,
+    },
+    Cell {
+        last_write: Option<(Tid, u32, &'static Location<'static>)>,
+        /// Per-thread time of the last read, for write-read race checks.
+        reads: Vec<(u32, &'static Location<'static>)>,
+    },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Blocker {
+    Mutex(ObjId),
+    Join(Tid),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Ready,
+    Blocked(Blocker),
+    Yielded,
+    Finished,
+}
+
+struct ThreadState {
+    status: Status,
+    pending: Option<OpSig>,
+    vc: VClock,
+    /// Per-location floor of the modification order this thread may read
+    /// from (coherence: you never read older than what you already saw).
+    readfront: HashMap<ObjId, usize>,
+    /// Eventual-visibility fairness: `(position, consecutive reads)` of
+    /// this thread's last load per location. A thread may re-read the
+    /// same store only [`REREAD_BOUND`] times in a row before the floor
+    /// advances past it (when a newer store exists) — otherwise a spin
+    /// loop re-reading a stale value forever is a C11-legal but useless
+    /// infinite DFS branch.
+    reread: HashMap<ObjId, (usize, u32)>,
+}
+
+/// Consecutive same-store re-reads allowed per thread and location.
+const REREAD_BOUND: u32 = 2;
+
+impl ThreadState {
+    fn fresh() -> Self {
+        ThreadState {
+            status: Status::Ready,
+            pending: None,
+            vc: VClock::default(),
+            readfront: HashMap::new(),
+            reread: HashMap::new(),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PathEntry {
+    options: u32,
+    chosen: u32,
+}
+
+#[derive(Clone)]
+struct SleepEntry {
+    tid: Tid,
+    sig: OpSig,
+}
+
+struct TraceStep {
+    tid: Tid,
+    desc: String,
+    loc: &'static Location<'static>,
+}
+
+/// Effect outcome: either the op completed, or it must block and be
+/// retried once the blocker clears.
+pub enum Outcome<R> {
+    /// The effect ran; the thread keeps going.
+    Done(R),
+    /// The op cannot run yet (mutex held, join target alive).
+    Block,
+}
+
+/// The per-execution shared state plus its condvar.
+pub struct ExecShared {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+/// Everything one schedule exploration mutates.
+pub struct SchedState {
+    cfg: Config,
+    threads: Vec<ThreadState>,
+    objects: Vec<Object>,
+    /// Per-execution instances of [`crate::lazy::Lazy`] statics, keyed by
+    /// the static's address.
+    lazies: HashMap<usize, Arc<dyn std::any::Any + Send + Sync>>,
+    active: Tid,
+    last_executed: Tid,
+    preemptions: u32,
+    sleep: Vec<SleepEntry>,
+    path: Vec<PathEntry>,
+    cursor: usize,
+    abort: bool,
+    done: bool,
+    failure: Option<String>,
+    trace: Vec<TraceStep>,
+    ops: u64,
+    unfinished: usize,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<ExecShared>, Tid)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Payload of the internal unwind used to tear threads down when an
+/// execution ends early (violation found, or subtree pruned).
+struct AbortToken;
+
+fn abort_panic() -> ! {
+    std::panic::panic_any(AbortToken)
+}
+
+/// Drops the guard, wakes every parked model thread (so they observe the
+/// abort flag), and unwinds the caller with the internal abort token.
+fn abort_exit(exec: &ExecShared, st: MutexGuard<'_, SchedState>) -> ! {
+    drop(st);
+    exec.cv.notify_all();
+    abort_panic()
+}
+
+fn is_abort(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.is::<AbortToken>()
+}
+
+/// Suppresses the default "thread panicked" chatter for the internal
+/// abort unwinds; real (violation) panics keep the default reporting.
+fn install_quiet_abort_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<AbortToken>() {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+impl ExecShared {
+    fn lock(&self) -> MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The execution the calling OS thread belongs to, plus its model tid.
+    /// Panics with a diagnostic when called outside [`crate::model`].
+    pub(crate) fn current() -> (Arc<ExecShared>, Tid) {
+        CURRENT.with(|c| c.borrow().clone()).unwrap_or_else(|| {
+            panic!(
+                "rdht-check instrumented type used outside a model run; \
+                 wrap the test body in rdht_check::model(|| ...)"
+            )
+        })
+    }
+}
+
+impl SchedState {
+    fn new(cfg: Config, path: Vec<PathEntry>) -> Self {
+        let mut root = ThreadState::fresh();
+        root.vc.tick(0);
+        SchedState {
+            cfg,
+            threads: vec![root],
+            objects: Vec::new(),
+            lazies: HashMap::new(),
+            active: 0,
+            last_executed: 0,
+            preemptions: 0,
+            sleep: Vec::new(),
+            path,
+            cursor: 0,
+            abort: false,
+            done: false,
+            failure: None,
+            trace: Vec::new(),
+            ops: 0,
+            unfinished: 1,
+            os_handles: Vec::new(),
+        }
+    }
+
+    /// Records (or replays) a branch point with `options` alternatives and
+    /// returns the chosen one. Single-option points are not recorded.
+    fn branch(&mut self, options: usize) -> usize {
+        debug_assert!(options >= 1);
+        if options == 1 {
+            return 0;
+        }
+        let options = u32::try_from(options).expect("branch fan-out fits u32");
+        if self.cursor < self.path.len() {
+            let entry = self.path[self.cursor];
+            assert!(
+                entry.options == options,
+                "nondeterministic model: replay expected {} alternatives, found {options}; \
+                 the model closure must not consult wall-clock time or process-global state",
+                entry.options,
+            );
+            self.cursor += 1;
+            entry.chosen as usize
+        } else {
+            self.path.push(PathEntry { options, chosen: 0 });
+            self.cursor += 1;
+            0
+        }
+    }
+
+    /// Registers a violation: the execution aborts and the explorer
+    /// reports `reason` together with the interleaving that produced it.
+    fn fail(&mut self, reason: String) {
+        if self.failure.is_none() {
+            self.failure = Some(reason);
+        }
+        self.abort = true;
+    }
+
+    fn render_trace(&self) -> String {
+        let mut out = String::new();
+        for (i, step) in self.trace.iter().enumerate() {
+            out.push_str(&format!(
+                "  {i:>4}. [thread {}] {} at {}:{}\n",
+                step.tid,
+                step.desc,
+                step.loc.file(),
+                step.loc.line()
+            ));
+        }
+        out
+    }
+
+    /// Picks the next thread to run among announced, runnable,
+    /// non-sleeping threads. Applies the preemption bound and maintains
+    /// the sleep set. Sets `done` when everything finished, `fail`s on
+    /// deadlock, aborts (pruned) when the sleep set swallowed every
+    /// candidate.
+    fn decide(&mut self) {
+        loop {
+            if self.abort || self.done {
+                return;
+            }
+            let ready: Vec<Tid> = (0..self.threads.len())
+                .filter(|&t| {
+                    self.threads[t].status == Status::Ready && self.threads[t].pending.is_some()
+                })
+                .collect();
+            if ready.is_empty() {
+                if self.threads.iter().all(|t| t.status == Status::Finished) {
+                    self.done = true;
+                    return;
+                }
+                if self
+                    .threads
+                    .iter()
+                    .any(|t| t.status == Status::Yielded && t.pending.is_some())
+                {
+                    for t in &mut self.threads {
+                        if t.status == Status::Yielded {
+                            t.status = Status::Ready;
+                        }
+                    }
+                    continue;
+                }
+                let held: Vec<String> = self
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, t)| {
+                        let op = t.pending.map(|p| p.desc).unwrap_or("?");
+                        match t.status {
+                            Status::Blocked(Blocker::Mutex(m)) => {
+                                Some(format!("thread {i} blocked in {op} on Mutex(#{m})"))
+                            }
+                            Status::Blocked(Blocker::Join(j)) => {
+                                Some(format!("thread {i} blocked in {op} joining thread {j}"))
+                            }
+                            _ => None,
+                        }
+                    })
+                    .collect();
+                self.fail(format!("deadlock: {}", held.join(", ")));
+                return;
+            }
+
+            // Sleep-set cut: skip threads whose explored alternatives at an
+            // ancestor node have not been woken by a dependent operation.
+            let mut base: Vec<Tid> = Vec::with_capacity(ready.len());
+            // Continue-first order: exploring the non-preempting schedule
+            // first keeps the preemption budget for where it matters.
+            if ready.contains(&self.last_executed) {
+                base.push(self.last_executed);
+            }
+            for &t in &ready {
+                if t != self.last_executed {
+                    base.push(t);
+                }
+            }
+            base.retain(|&t| !self.sleep.iter().any(|e| e.tid == t));
+            if base.is_empty() {
+                // Every enabled transition is asleep: this subtree only
+                // contains interleavings equivalent to already-explored
+                // ones. Prune.
+                self.abort = true;
+                return;
+            }
+
+            let continue_possible = base.contains(&self.last_executed);
+            let candidates: Vec<Tid> = match self.cfg.preemption_bound {
+                Some(bound) if self.preemptions >= bound && continue_possible => {
+                    vec![self.last_executed]
+                }
+                _ => base,
+            };
+
+            let chosen_idx = self.branch(candidates.len());
+            let chosen = candidates[chosen_idx];
+            if continue_possible && chosen != self.last_executed {
+                self.preemptions += 1;
+            }
+            let executed_sig = self.threads[chosen].pending.expect("candidate announced");
+            for &t in &candidates[..chosen_idx] {
+                let sig = self.threads[t].pending.expect("candidate announced");
+                self.sleep.push(SleepEntry { tid: t, sig });
+            }
+            self.sleep
+                .retain(|e| e.tid != chosen && e.sig.independent(&executed_sig));
+            self.active = chosen;
+            return;
+        }
+    }
+
+    fn post_effect(&mut self, tid: Tid, desc: String, loc: &'static Location<'static>) {
+        self.ops += 1;
+        if self.ops > self.cfg.max_ops {
+            self.fail(format!(
+                "operation budget exceeded ({} ops in one schedule): livelock or oversized model \
+                 — shrink thread count / ops, or raise Config::max_ops",
+                self.cfg.max_ops
+            ));
+            return;
+        }
+        self.trace.push(TraceStep { tid, desc, loc });
+        // Any progress by one thread re-arms every spin-yielded thread.
+        for (i, t) in self.threads.iter_mut().enumerate() {
+            if i != tid && t.status == Status::Yielded {
+                t.status = Status::Ready;
+            }
+        }
+        self.last_executed = tid;
+        self.threads[tid].pending = None;
+    }
+
+    // ---- object registration ------------------------------------------
+
+    fn register(&mut self, obj: Object) -> ObjId {
+        self.objects.push(obj);
+        self.objects.len() - 1
+    }
+
+    pub(crate) fn new_atomic(&mut self, init: u64, tid: Tid) -> ObjId {
+        let time = self.threads[tid].vc.get(tid);
+        self.register(Object::Atomic {
+            stores: vec![StoreRec {
+                value: init,
+                writer: tid,
+                time,
+                release: Some(self.threads[tid].vc.clone()),
+            }],
+        })
+    }
+
+    pub(crate) fn new_mutex(&mut self) -> ObjId {
+        self.register(Object::Mutex {
+            owner: None,
+            clock: VClock::default(),
+        })
+    }
+
+    pub(crate) fn new_cell(&mut self) -> ObjId {
+        self.register(Object::Cell {
+            last_write: None,
+            reads: Vec::new(),
+        })
+    }
+
+    // ---- atomic semantics ---------------------------------------------
+
+    fn is_acquire(ordering: std::sync::atomic::Ordering) -> bool {
+        use std::sync::atomic::Ordering::*;
+        matches!(ordering, Acquire | AcqRel | SeqCst)
+    }
+
+    fn is_release(ordering: std::sync::atomic::Ordering) -> bool {
+        use std::sync::atomic::Ordering::*;
+        matches!(ordering, Release | AcqRel | SeqCst)
+    }
+
+    /// A load: picks (and branches over) one of the stores this thread may
+    /// legally observe, applies coherence and acquire synchronization.
+    pub(crate) fn atomic_load(
+        &mut self,
+        obj: ObjId,
+        ordering: std::sync::atomic::Ordering,
+        tid: Tid,
+    ) -> u64 {
+        let front = {
+            let Object::Atomic { stores, .. } = &self.objects[obj] else {
+                unreachable!("object {obj} is not an atomic")
+            };
+            let mut front = self.threads[tid].readfront.get(&obj).copied().unwrap_or(0);
+            for (pos, s) in stores.iter().enumerate() {
+                // A store that happens-before this load supersedes everything
+                // older: coherence forbids reading past it.
+                if self.threads[tid].vc.get(s.writer) >= s.time {
+                    front = front.max(pos);
+                }
+            }
+            // Fairness: after REREAD_BOUND consecutive reads of the same
+            // (non-latest) store, force the floor past it so spin loops
+            // eventually observe progress.
+            if let Some(&(pos, count)) = self.threads[tid].reread.get(&obj) {
+                if pos == front && count >= REREAD_BOUND && front + 1 < stores.len() {
+                    front += 1;
+                }
+            }
+            front
+        };
+        let Object::Atomic { stores, .. } = &self.objects[obj] else {
+            unreachable!()
+        };
+        let eligible = stores.len() - front;
+        let pick = front + self.branch(eligible);
+        let reread = self.threads[tid].reread.entry(obj).or_insert((pick, 0));
+        *reread = if reread.0 == pick {
+            (pick, reread.1 + 1)
+        } else {
+            (pick, 1)
+        };
+        let (value, release) = {
+            let Object::Atomic { stores, .. } = &self.objects[obj] else {
+                unreachable!()
+            };
+            let s = &stores[pick];
+            (s.value, s.release.clone())
+        };
+        self.threads[tid].readfront.insert(obj, pick);
+        if Self::is_acquire(ordering) {
+            if let Some(release) = release {
+                self.threads[tid].vc.join(&release);
+            }
+        }
+        value
+    }
+
+    /// A plain store: appends to the modification order.
+    pub(crate) fn atomic_store(
+        &mut self,
+        obj: ObjId,
+        value: u64,
+        ordering: std::sync::atomic::Ordering,
+        tid: Tid,
+    ) {
+        let time = self.threads[tid].vc.get(tid);
+        let release = Self::is_release(ordering).then(|| self.threads[tid].vc.clone());
+        let Object::Atomic { stores, .. } = &mut self.objects[obj] else {
+            unreachable!("object {obj} is not an atomic")
+        };
+        stores.push(StoreRec {
+            value,
+            writer: tid,
+            time,
+            release,
+        });
+        let pos = stores.len() - 1;
+        self.threads[tid].readfront.insert(obj, pos);
+    }
+
+    /// A read-modify-write: always reads the latest store (C11 RMW
+    /// atomicity), applies `f`, appends the result, and continues the
+    /// release sequence it read from.
+    pub(crate) fn atomic_rmw(
+        &mut self,
+        obj: ObjId,
+        ordering: std::sync::atomic::Ordering,
+        tid: Tid,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        let (old, prior_release) = {
+            let Object::Atomic { stores, .. } = &self.objects[obj] else {
+                unreachable!("object {obj} is not an atomic")
+            };
+            let s = stores.last().expect("atomic has an initial store");
+            (s.value, s.release.clone())
+        };
+        if Self::is_acquire(ordering) {
+            if let Some(release) = &prior_release {
+                self.threads[tid].vc.join(release);
+            }
+        }
+        let mut release = prior_release;
+        if Self::is_release(ordering) {
+            let mut clock = release.take().unwrap_or_default();
+            clock.join(&self.threads[tid].vc);
+            release = Some(clock);
+        }
+        let time = self.threads[tid].vc.get(tid);
+        let new = f(old);
+        let Object::Atomic { stores, .. } = &mut self.objects[obj] else {
+            unreachable!()
+        };
+        stores.push(StoreRec {
+            value: new,
+            writer: tid,
+            time,
+            release,
+        });
+        let pos = stores.len() - 1;
+        self.threads[tid].readfront.insert(obj, pos);
+        old
+    }
+
+    /// A compare-exchange: reads the latest store (RMW atomicity). On a
+    /// value match it is an RMW with the success ordering; on a mismatch
+    /// it is a load of the latest store with the failure ordering and the
+    /// modification order is untouched.
+    pub(crate) fn atomic_cas(
+        &mut self,
+        obj: ObjId,
+        current: u64,
+        new: u64,
+        success: std::sync::atomic::Ordering,
+        failure: std::sync::atomic::Ordering,
+        tid: Tid,
+    ) -> Result<u64, u64> {
+        let (old, prior_release, latest) = {
+            let Object::Atomic { stores, .. } = &self.objects[obj] else {
+                unreachable!("object {obj} is not an atomic")
+            };
+            let s = stores.last().expect("atomic has an initial store");
+            (s.value, s.release.clone(), stores.len() - 1)
+        };
+        if old != current {
+            self.threads[tid].readfront.insert(obj, latest);
+            if Self::is_acquire(failure) {
+                if let Some(release) = &prior_release {
+                    self.threads[tid].vc.join(release);
+                }
+            }
+            return Err(old);
+        }
+        if Self::is_acquire(success) {
+            if let Some(release) = &prior_release {
+                self.threads[tid].vc.join(release);
+            }
+        }
+        let mut release = prior_release;
+        if Self::is_release(success) {
+            let mut clock = release.take().unwrap_or_default();
+            clock.join(&self.threads[tid].vc);
+            release = Some(clock);
+        }
+        let time = self.threads[tid].vc.get(tid);
+        let Object::Atomic { stores, .. } = &mut self.objects[obj] else {
+            unreachable!()
+        };
+        stores.push(StoreRec {
+            value: new,
+            writer: tid,
+            time,
+            release,
+        });
+        let pos = stores.len() - 1;
+        self.threads[tid].readfront.insert(obj, pos);
+        Ok(old)
+    }
+
+    // ---- mutex semantics ----------------------------------------------
+
+    pub(crate) fn mutex_try_acquire(&mut self, obj: ObjId, tid: Tid) -> bool {
+        let clock = {
+            let Object::Mutex { owner, clock } = &mut self.objects[obj] else {
+                unreachable!("object {obj} is not a mutex")
+            };
+            if owner.is_some() {
+                return false;
+            }
+            *owner = Some(tid);
+            clock.clone()
+        };
+        self.threads[tid].vc.join(&clock);
+        true
+    }
+
+    pub(crate) fn mutex_release(&mut self, obj: ObjId, tid: Tid) {
+        let vc = self.threads[tid].vc.clone();
+        let Object::Mutex { owner, clock } = &mut self.objects[obj] else {
+            unreachable!("object {obj} is not a mutex")
+        };
+        debug_assert_eq!(*owner, Some(tid), "unlock by non-owner");
+        *owner = None;
+        *clock = vc;
+        for t in &mut self.threads {
+            if t.status == Status::Blocked(Blocker::Mutex(obj)) {
+                t.status = Status::Ready;
+            }
+        }
+    }
+
+    // ---- cell (data race) semantics -----------------------------------
+
+    pub(crate) fn cell_read(&mut self, obj: ObjId, tid: Tid, loc: &'static Location<'static>) {
+        let vc = self.threads[tid].vc.clone();
+        let time = vc.get(tid);
+        let Object::Cell { last_write, reads } = &mut self.objects[obj] else {
+            unreachable!("object {obj} is not a cell")
+        };
+        if let Some((writer, wtime, wloc)) = last_write {
+            if *writer != tid && vc.get(*writer) < *wtime {
+                let message = format!(
+                    "data race: read at {}:{} (thread {tid}) is concurrent with write at {}:{} (thread {writer})",
+                    loc.file(),
+                    loc.line(),
+                    wloc.file(),
+                    wloc.line()
+                );
+                self.fail(message);
+                return;
+            }
+        }
+        if reads.len() <= tid {
+            reads.resize(tid + 1, (0, Location::caller()));
+        }
+        reads[tid] = (time, loc);
+    }
+
+    pub(crate) fn cell_write(&mut self, obj: ObjId, tid: Tid, loc: &'static Location<'static>) {
+        let vc = self.threads[tid].vc.clone();
+        let time = vc.get(tid);
+        let Object::Cell { last_write, reads } = &mut self.objects[obj] else {
+            unreachable!("object {obj} is not a cell")
+        };
+        if let Some((writer, wtime, wloc)) = last_write {
+            if *writer != tid && vc.get(*writer) < *wtime {
+                let message = format!(
+                    "data race: write at {}:{} (thread {tid}) is concurrent with write at {}:{} (thread {writer})",
+                    loc.file(),
+                    loc.line(),
+                    wloc.file(),
+                    wloc.line()
+                );
+                self.fail(message);
+                return;
+            }
+        }
+        for (reader, &(rtime, rloc)) in reads.iter().enumerate() {
+            if reader != tid && rtime > 0 && vc.get(reader) < rtime {
+                let message = format!(
+                    "data race: write at {}:{} (thread {tid}) is concurrent with read at {}:{} (thread {reader})",
+                    loc.file(),
+                    loc.line(),
+                    rloc.file(),
+                    rloc.line()
+                );
+                self.fail(message);
+                return;
+            }
+        }
+        *last_write = Some((tid, time, loc));
+    }
+
+    // ---- lazy statics --------------------------------------------------
+
+    pub(crate) fn lazy_lookup(&self, key: usize) -> Option<Arc<dyn std::any::Any + Send + Sync>> {
+        self.lazies.get(&key).map(Arc::clone)
+    }
+
+    /// First insert wins; returns the stored value either way. Split from
+    /// lookup so initializers can register model objects (which need the
+    /// state lock) without re-entering it.
+    pub(crate) fn lazy_insert(
+        &mut self,
+        key: usize,
+        value: Arc<dyn std::any::Any + Send + Sync>,
+    ) -> Arc<dyn std::any::Any + Send + Sync> {
+        Arc::clone(self.lazies.entry(key).or_insert(value))
+    }
+}
+
+/// Runs one instrumented operation for the calling model thread: announce,
+/// schedule, execute. `effect` may return [`Outcome::Block`]; the op is
+/// retried when the blocker clears. `describe` renders the op (with its
+/// result) for the failure trace.
+pub(crate) fn operate<R>(
+    sig: OpSig,
+    loc: &'static Location<'static>,
+    mut effect: impl FnMut(&mut SchedState, Tid) -> Outcome<R>,
+    describe: impl FnOnce(&R) -> String,
+) -> R {
+    let (exec, tid) = ExecShared::current();
+    let mut st = exec.lock();
+    if st.abort {
+        abort_exit(&exec, st);
+    }
+    assert_eq!(
+        st.active, tid,
+        "scheduler invariant: only the active thread reaches an instrumented op"
+    );
+    st.threads[tid].pending = Some(sig);
+    st.decide();
+    exec.cv.notify_all();
+    loop {
+        if st.abort {
+            abort_exit(&exec, st);
+        }
+        if st.done {
+            // Can only happen for the root in drain mode; not here.
+            unreachable!("execution finished with an op in flight");
+        }
+        if st.active == tid {
+            st.threads[tid].vc.tick(tid);
+            match effect(&mut st, tid) {
+                Outcome::Done(r) => {
+                    if st.abort {
+                        // The effect itself flagged a violation.
+                        abort_exit(&exec, st);
+                    }
+                    let desc = describe(&r);
+                    st.post_effect(tid, desc, loc);
+                    if st.abort {
+                        abort_exit(&exec, st);
+                    }
+                    return r;
+                }
+                Outcome::Block => {
+                    // Undo the speculative tick — the op has not happened.
+                    // The effect recorded its Blocked status via
+                    // `set_blocked` before returning.
+                    st.threads[tid].vc.0[tid] -= 1;
+                    st.decide();
+                    exec.cv.notify_all();
+                }
+            }
+        }
+        st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// Runs `f` against the execution state *without* a scheduling point:
+/// used by constructors (object registration is invisible to other
+/// threads until the object is shared).
+pub(crate) fn with_active_state<R>(f: impl FnOnce(&mut SchedState, Tid) -> R) -> R {
+    let (exec, tid) = ExecShared::current();
+    let mut st = exec.lock();
+    if st.abort {
+        abort_exit(&exec, st);
+    }
+    assert_eq!(st.active, tid, "constructors run on the active thread");
+    f(&mut st, tid)
+}
+
+/// `operate` with effects that cannot block.
+pub(crate) fn operate_infallible<R>(
+    sig: OpSig,
+    loc: &'static Location<'static>,
+    effect: impl FnOnce(&mut SchedState, Tid) -> R,
+    describe: impl FnOnce(&R) -> String,
+) -> R {
+    let mut effect = Some(effect);
+    operate(
+        sig,
+        loc,
+        move |st, tid| Outcome::Done((effect.take().expect("effect runs once"))(st, tid)),
+        describe,
+    )
+}
+
+/// Blocks the calling model thread with an explicit blocker status set by
+/// the effect (used by `Mutex::lock` and `JoinHandle::join`).
+pub(crate) fn set_blocked(
+    st: &mut SchedState,
+    tid: Tid,
+    on_mutex: Option<ObjId>,
+    on_join: Option<Tid>,
+) {
+    let status = match (on_mutex, on_join) {
+        (Some(m), _) => Status::Blocked(Blocker::Mutex(m)),
+        (_, Some(j)) => Status::Blocked(Blocker::Join(j)),
+        _ => Status::Ready,
+    };
+    st.threads[tid].status = status;
+}
+
+/// Marks the calling thread yielded: it is rescheduled only after another
+/// thread makes progress (this is what bounds CAS spin loops).
+pub(crate) fn yield_now_impl(loc: &'static Location<'static>) {
+    let (exec, tid) = ExecShared::current();
+    let mut st = exec.lock();
+    if st.abort {
+        abort_exit(&exec, st);
+    }
+    assert_eq!(st.active, tid);
+    let others_ready = (0..st.threads.len()).any(|t| {
+        t != tid && st.threads[t].status == Status::Ready && st.threads[t].pending.is_some()
+    });
+    if !others_ready {
+        // Nothing to yield to; treat as a no-op rather than deadlocking.
+        return;
+    }
+    st.threads[tid].pending = Some(OpSig {
+        obj: None,
+        access: Access::Thread,
+        desc: "Thread.yield",
+    });
+    st.threads[tid].vc.tick(tid);
+    st.post_effect(tid, "yield_now()".to_string(), loc);
+    st.threads[tid].status = Status::Yielded;
+    // Re-announce a resume op so the scheduler can pick this thread back
+    // up once another thread's progress re-arms it.
+    st.threads[tid].pending = Some(OpSig {
+        obj: None,
+        access: Access::Thread,
+        desc: "Thread.resume",
+    });
+    st.decide();
+    exec.cv.notify_all();
+    loop {
+        if st.abort {
+            abort_exit(&exec, st);
+        }
+        if st.active == tid && st.threads[tid].status == Status::Ready {
+            st.threads[tid].vc.tick(tid);
+            st.post_effect(tid, "resume".to_string(), loc);
+            if st.abort {
+                abort_exit(&exec, st);
+            }
+            return;
+        }
+        st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// Spawns a model thread running `f`; returns its tid and result slot.
+pub(crate) fn spawn_impl<T: Send + 'static>(
+    f: impl FnOnce() -> T + Send + 'static,
+    loc: &'static Location<'static>,
+) -> (Tid, Arc<Mutex<Option<T>>>) {
+    let (exec, _tid) = ExecShared::current();
+    let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let slot_clone = Arc::clone(&slot);
+    let exec_clone = Arc::clone(&exec);
+    let child = operate_infallible(
+        OpSig {
+            obj: None,
+            access: Access::Thread,
+            desc: "Thread.spawn",
+        },
+        loc,
+        move |st, tid| {
+            let child = st.threads.len();
+            assert!(
+                child < MAX_THREADS,
+                "model thread limit ({MAX_THREADS}) exceeded"
+            );
+            let mut ts = ThreadState::fresh();
+            ts.vc.join(&st.threads[tid].vc);
+            ts.vc.tick(child);
+            ts.pending = Some(OpSig {
+                obj: None,
+                access: Access::Thread,
+                desc: "Thread.start",
+            });
+            st.threads.push(ts);
+            st.unfinished += 1;
+            let handle = std::thread::Builder::new()
+                .name(format!("rdht-check-{child}"))
+                .spawn(move || child_main(exec_clone, child, f, slot_clone))
+                .expect("spawn model OS thread");
+            st.os_handles.push(handle);
+            child
+        },
+        |child| format!("spawn() -> thread {child}"),
+    );
+    (child, slot)
+}
+
+fn child_main<T: Send + 'static>(
+    exec: Arc<ExecShared>,
+    tid: Tid,
+    f: impl FnOnce() -> T + Send + 'static,
+    slot: Arc<Mutex<Option<T>>>,
+) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+    // Park until the scheduler runs this thread's Start op.
+    {
+        let mut st = exec.lock();
+        loop {
+            if st.abort {
+                return;
+            }
+            if st.active == tid {
+                break;
+            }
+            st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.threads[tid].vc.tick(tid);
+        st.post_effect(tid, "start".to_string(), Location::caller());
+    }
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    match result {
+        Ok(value) => {
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+            finish_thread(&exec, tid);
+        }
+        Err(payload) => {
+            if !is_abort(payload.as_ref()) {
+                let mut st = exec.lock();
+                let message = panic_message(payload.as_ref());
+                let trace = st.render_trace();
+                st.fail(format!(
+                    "thread {tid} panicked: {message}\n--- interleaving ---\n{trace}"
+                ));
+                exec.cv.notify_all();
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs the Finish op for `tid`, hands the schedule off, and (for the
+/// root) waits until every thread finished.
+fn finish_thread(exec: &Arc<ExecShared>, tid: Tid) {
+    let mut st = exec.lock();
+    if st.abort {
+        return;
+    }
+    assert_eq!(st.active, tid, "finishing thread must be active");
+    st.threads[tid].pending = Some(OpSig {
+        obj: None,
+        access: Access::Thread,
+        desc: "Thread.finish",
+    });
+    st.threads[tid].vc.tick(tid);
+    st.post_effect(tid, "finish".to_string(), Location::caller());
+    st.threads[tid].status = Status::Finished;
+    st.unfinished -= 1;
+    for t in st.threads.iter_mut() {
+        if t.status == Status::Blocked(Blocker::Join(tid)) {
+            t.status = Status::Ready;
+        }
+    }
+    st.decide();
+    exec.cv.notify_all();
+}
+
+/// Joins a model thread: blocks until it finished, then merges its clock.
+pub(crate) fn join_impl<T: Send + 'static>(
+    child: Tid,
+    slot: &Arc<Mutex<Option<T>>>,
+    loc: &'static Location<'static>,
+) -> T {
+    operate(
+        OpSig {
+            obj: None,
+            access: Access::Thread,
+            desc: "Thread.join",
+        },
+        loc,
+        |st, tid| {
+            if st.threads[child].status == Status::Finished {
+                let child_vc = st.threads[child].vc.clone();
+                st.threads[tid].vc.join(&child_vc);
+                Outcome::Done(())
+            } else {
+                set_blocked(st, tid, None, Some(child));
+                Outcome::Block
+            }
+        },
+        |_| format!("join(thread {child})"),
+    );
+    slot.lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()
+        .expect("joined thread stored its result")
+}
+
+fn advance(path: &mut Vec<PathEntry>) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.chosen + 1 < last.options {
+            last.chosen += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+/// Drives the full DFS exploration. Returns the report and the first
+/// violation (reason + trace), if any.
+pub(crate) fn explore(cfg: Config, f: impl Fn()) -> (Report, Option<String>) {
+    install_quiet_abort_hook();
+    let mut path: Vec<PathEntry> = Vec::new();
+    let mut schedules: u64 = 0;
+    let mut ops: u64 = 0;
+    loop {
+        schedules += 1;
+        if schedules > cfg.max_schedules {
+            panic!(
+                "rdht-check: schedule budget exceeded ({} schedules): the model state space is \
+                 too large to check exhaustively — shrink the model or raise Config::max_schedules",
+                cfg.max_schedules
+            );
+        }
+        let exec = Arc::new(ExecShared {
+            state: Mutex::new(SchedState::new(cfg, std::mem::take(&mut path))),
+            cv: Condvar::new(),
+        });
+        CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), 0)));
+        let root_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        match root_result {
+            Ok(()) => finish_thread(&exec, 0),
+            Err(payload) => {
+                if !is_abort(payload.as_ref()) {
+                    let mut st = exec.lock();
+                    let message = panic_message(payload.as_ref());
+                    let trace = st.render_trace();
+                    st.fail(format!(
+                        "thread 0 panicked: {message}\n--- interleaving ---\n{trace}"
+                    ));
+                    exec.cv.notify_all();
+                }
+            }
+        }
+        // Drain: wait until every model thread finished or the run aborted.
+        {
+            let mut st = exec.lock();
+            while !st.done && !st.abort {
+                st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            exec.cv.notify_all();
+        }
+        CURRENT.with(|c| *c.borrow_mut() = None);
+        // Join the worker OS threads outside the state lock.
+        let handles = {
+            let mut st = exec.lock();
+            std::mem::take(&mut st.os_handles)
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+        let mut st = exec.lock();
+        ops += st.ops;
+        if let Some(reason) = st.failure.take() {
+            let trace = if reason.contains("--- interleaving ---") {
+                String::new()
+            } else {
+                format!("\n--- interleaving ---\n{}", st.render_trace())
+            };
+            let report = Report { schedules, ops };
+            return (
+                report,
+                Some(format!(
+                    "model violation after {} schedule(s): {reason}{trace}",
+                    report.schedules
+                )),
+            );
+        }
+        path = std::mem::take(&mut st.path);
+        drop(st);
+        if !advance(&mut path) {
+            return (Report { schedules, ops }, None);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Per-execution lazy statics. A `static NEXT: AtomicU64` in production
+//! code cannot stay a plain static under the model: model objects belong
+//! to one execution and must be re-created for every explored schedule.
+//! [`Lazy`] keys per-execution instances by the static's address, so the
+//! consuming crate writes
+//!
+//! ```ignore
+//! static NEXT: rdht_check::lazy::Lazy<AtomicU64> =
+//!     rdht_check::lazy::Lazy::new(|| AtomicU64::new(1));
+//! NEXT.get().fetch_add(1, Ordering::Relaxed)
+//! ```
+//!
+//! and each schedule starts from a fresh counter.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use crate::exec::with_active_state;
+
+/// A lazily-initialized, per-model-execution value.
+pub struct Lazy<T> {
+    init: fn() -> T,
+}
+
+impl<T: Send + Sync + 'static> Lazy<T> {
+    /// Creates the lazy holder (const, so it can live in a `static`).
+    pub const fn new(init: fn() -> T) -> Self {
+        Lazy { init }
+    }
+
+    /// The calling execution's instance, created on first use. If two
+    /// model threads race the first use, both construct but the first
+    /// insert wins and the loser's instance is discarded — deterministic
+    /// under replay because construction is not a scheduling point.
+    pub fn get(&self) -> Arc<T> {
+        let key = self as *const Self as usize;
+        if let Some(existing) = with_active_state(|st, _| st.lazy_lookup(key)) {
+            return existing
+                .downcast::<T>()
+                .expect("lazy key maps to its own type");
+        }
+        let value: Arc<T> = Arc::new((self.init)());
+        let erased: Arc<dyn Any + Send + Sync> = value;
+        with_active_state(|st, _| st.lazy_insert(key, erased))
+            .downcast::<T>()
+            .expect("lazy key maps to its own type")
+    }
+}

@@ -1,0 +1,651 @@
+//! Engine 2: the project-invariant linter. Line-level (no AST dep, no
+//! proc macros), enforcing workspace rules clippy cannot express:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `no-eprintln` | all diagnostics flow through `EventLog` (structured, rate-limited, `RDHT_LOG`-gated); `eprintln!` is allowed only inside the `EventLog` implementation itself |
+//! | `blessed-wait-unbounded` | `wait_unbounded` (no-timeout blocking) may be *called* only at sites carrying a `// blessed: wait_unbounded` comment, and at most two such sites exist |
+//! | `sim-virtual-time` | `rdht-sim` runs on virtual time only: no `Instant::now`/`SystemTime::now` under `crates/sim/src` |
+//! | `relaxed-justified` | every `Ordering::Relaxed` carries a `// relaxed:` justification on the same line or in the comment block directly above |
+//! | `wire-exhaustive` | every `Request`/`Reply` variant in `message.rs` has an encode arm and a decode arm in `wire.rs`, and every `Request` variant a `RequestCounters` entry in `metrics.rs` |
+//!
+//! The checker's own crate (`crates/check`) is excluded from the walk: its
+//! sources and test fixtures contain the banned patterns *as data*.
+//!
+//! Matching is done on comment-stripped text (line comments, block
+//! comments and string literals are blanked), so doc comments mentioning
+//! `Request::Metrics` or a log message containing `Relaxed` cannot
+//! confuse the rules.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+// Needles are assembled with `concat!` so this file never contains the
+// banned tokens verbatim — the linter must survive being pointed at
+// itself (or at a vendored copy of itself) without self-reporting.
+const EPRINTLN: &str = concat!("eprint", "ln!");
+const WAIT_UNBOUNDED: &str = concat!("wait_", "unbounded");
+const INSTANT_NOW: &str = concat!("Instant", "::now");
+const SYSTEM_TIME_NOW: &str = concat!("SystemTime", "::now");
+const RELAXED: &str = concat!("Ordering::", "Relaxed");
+const RELAXED_MARKER: &str = concat!("// relaxed", ":");
+const BLESS_MARKER: &str = concat!("// blessed", ": ", "wait_", "unbounded");
+
+/// Maximum number of blessed `wait_unbounded` call sites.
+pub const MAX_BLESSED_WAIT_SITES: usize = 2;
+
+/// A single lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Rule identifier, e.g. `no-eprintln`.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Per-file comment/string stripper state (block comments span lines).
+#[derive(Default)]
+struct Stripper {
+    in_block_comment: bool,
+}
+
+impl Stripper {
+    /// Returns the line with comments and string/char literal *contents*
+    /// blanked (replaced by spaces), so column positions are preserved.
+    /// Heuristic, not a full lexer: multi-line string literals are not
+    /// tracked (the workspace style avoids them in the linted regions).
+    fn code_of(&mut self, line: &str) -> String {
+        let bytes: Vec<char> = line.chars().collect();
+        let mut out = String::with_capacity(line.len());
+        let mut i = 0;
+        while i < bytes.len() {
+            if self.in_block_comment {
+                if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                    self.in_block_comment = false;
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+                continue;
+            }
+            match bytes[i] {
+                '/' if bytes.get(i + 1) == Some(&'/') => {
+                    // Line comment: blank the rest.
+                    while i < bytes.len() {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                '/' if bytes.get(i + 1) == Some(&'*') => {
+                    self.in_block_comment = true;
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    // String literal: keep the quotes, blank the content.
+                    out.push('"');
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            '\\' => {
+                                out.push_str("  ");
+                                i += 2;
+                            }
+                            '"' => {
+                                out.push('"');
+                                i += 1;
+                                break;
+                            }
+                            _ => {
+                                out.push(' ');
+                                i += 1;
+                            }
+                        }
+                    }
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a char literal closes
+                    // within a few chars; a lifetime has no closing quote.
+                    if bytes.get(i + 1) == Some(&'\\') {
+                        out.push('\'');
+                        i += 2;
+                        while i < bytes.len() && bytes[i] != '\'' {
+                            out.push(' ');
+                            i += 1;
+                        }
+                        if i < bytes.len() {
+                            out.push('\'');
+                            i += 1;
+                        }
+                    } else if bytes.get(i + 2) == Some(&'\'') {
+                        out.push_str("   ");
+                        i += 3;
+                    } else {
+                        out.push('\'');
+                        i += 1;
+                    }
+                }
+                c => {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Whether `needle` occurs in `hay` delimited by non-identifier chars —
+/// so `Request::PutReplica` does not match inside `Request::PutReplicas`.
+fn contains_word(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_char(hay[..at].chars().next_back().unwrap_or(' '));
+        let after_ok = hay[at + needle.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !is_ident_char(c));
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// Result of linting one file: findings plus the blessed
+/// `wait_unbounded` sites it contains (counted globally by the caller).
+#[derive(Default)]
+pub struct FileLint {
+    /// Findings in this file.
+    pub findings: Vec<Finding>,
+    /// Lines carrying a blessed `wait_unbounded` call.
+    pub blessed_wait_sites: Vec<usize>,
+}
+
+/// Lints a single file's content. `rel` is the path relative to the
+/// workspace root, '/'-separated.
+pub fn lint_file(rel: &str, content: &str) -> FileLint {
+    let mut out = FileLint::default();
+    let in_sim = rel.starts_with("crates/sim/src/");
+    let is_eventlog = rel == "crates/metrics/src/log.rs";
+    let is_wait_def = rel == "crates/net/src/transport.rs";
+
+    let mut stripper = Stripper::default();
+    let lines: Vec<&str> = content.lines().collect();
+    let mut prev_raw = "";
+    for (idx, raw) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let code = stripper.code_of(raw);
+
+        if !is_eventlog && code.contains(EPRINTLN) {
+            out.findings.push(Finding {
+                file: rel.to_string(),
+                line: line_no,
+                rule: "no-eprintln",
+                message: format!(
+                    "{EPRINTLN}(..) outside the EventLog implementation; use \
+                     rdht_metrics::log (structured, rate-limited, RDHT_LOG-gated)"
+                ),
+            });
+        }
+
+        if !is_wait_def && contains_word(&code, WAIT_UNBOUNDED) {
+            if raw.contains(BLESS_MARKER) || prev_raw.contains(BLESS_MARKER) {
+                out.blessed_wait_sites.push(line_no);
+            } else {
+                out.findings.push(Finding {
+                    file: rel.to_string(),
+                    line: line_no,
+                    rule: "blessed-wait-unbounded",
+                    message: format!(
+                        "{WAIT_UNBOUNDED} call without a `{BLESS_MARKER}` comment on this \
+                         or the preceding line; prefer a bounded wait"
+                    ),
+                });
+            }
+        }
+
+        if in_sim && (code.contains(INSTANT_NOW) || code.contains(SYSTEM_TIME_NOW)) {
+            out.findings.push(Finding {
+                file: rel.to_string(),
+                line: line_no,
+                rule: "sim-virtual-time",
+                message: "wall-clock read in rdht-sim; the simulator runs on virtual \
+                          time only (see sim::Clock)"
+                    .to_string(),
+            });
+        }
+
+        if code.contains(RELAXED) && !raw.contains(RELAXED_MARKER) {
+            // Justifications are often multi-line: accept the marker
+            // anywhere in the contiguous run of `//` comment lines
+            // directly above the site.
+            let justified = lines[..idx]
+                .iter()
+                .rev()
+                .take_while(|l| l.trim_start().starts_with("//"))
+                .any(|l| l.contains(RELAXED_MARKER));
+            if !justified {
+                out.findings.push(Finding {
+                    file: rel.to_string(),
+                    line: line_no,
+                    rule: "relaxed-justified",
+                    message: format!(
+                        "{RELAXED} without a `{RELAXED_MARKER}` justification on this \
+                         line or in the comment block above it; explain why the \
+                         ordering cannot be load-bearing (or upgrade it)"
+                    ),
+                });
+            }
+        }
+
+        prev_raw = raw;
+    }
+    out
+}
+
+/// Extracts the variant names of `pub enum <name>` from comment-stripped
+/// enum source, by brace-depth tracking.
+fn enum_variants(content: &str, name: &str) -> Vec<(String, usize)> {
+    let mut stripper = Stripper::default();
+    let header = format!("enum {name}");
+    let mut variants = Vec::new();
+    let mut depth: i32 = -1; // -1: before the enum; 0+: brace depth inside
+    for (idx, raw) in content.lines().enumerate() {
+        let code = stripper.code_of(raw);
+        if depth < 0 {
+            if contains_word(&code, &header) && code.contains('{') {
+                depth = 0;
+            }
+            continue;
+        }
+        let trimmed = code.trim_start();
+        if depth == 0 {
+            if let Some(first) = trimmed.chars().next() {
+                if first.is_ascii_uppercase() {
+                    let ident: String = trimmed.chars().take_while(|&c| is_ident_char(c)).collect();
+                    if !ident.is_empty() {
+                        variants.push((ident, idx + 1));
+                    }
+                }
+            }
+        }
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return variants;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    variants
+}
+
+/// Maps each line of `content` to the name of the `fn` it falls in.
+fn fn_regions(content: &str) -> Vec<Option<String>> {
+    let mut stripper = Stripper::default();
+    let mut current: Option<String> = None;
+    let mut regions = Vec::new();
+    for raw in content.lines() {
+        let code = stripper.code_of(raw);
+        if let Some(pos) = code.find("fn ") {
+            let boundary_ok =
+                pos == 0 || !is_ident_char(code[..pos].chars().next_back().unwrap_or(' '));
+            if boundary_ok {
+                let name: String = code[pos + 3..]
+                    .chars()
+                    .take_while(|&c| is_ident_char(c))
+                    .collect();
+                if !name.is_empty() {
+                    current = Some(name);
+                }
+            }
+        }
+        regions.push(current.clone());
+    }
+    regions
+}
+
+/// In how many distinct functions of `content` does `needle` occur
+/// (word-delimited, comment-stripped)?
+fn distinct_fn_mentions(content: &str, needle: &str) -> usize {
+    let regions = fn_regions(content);
+    let mut stripper = Stripper::default();
+    let mut fns: Vec<String> = Vec::new();
+    for (idx, raw) in content.lines().enumerate() {
+        let code = stripper.code_of(raw);
+        if contains_word(&code, needle) {
+            if let Some(Some(name)) = regions.get(idx) {
+                if !fns.contains(name) {
+                    fns.push(name.clone());
+                }
+            }
+        }
+    }
+    fns.len()
+}
+
+/// Cross-checks wire-tag exhaustiveness: every `Request`/`Reply` variant
+/// of `message` must be mentioned in at least two distinct functions of
+/// `wire` (its encode arm and its decode arm), and every `Request`
+/// variant must appear in `metrics` (its `RequestCounters` entry).
+pub fn lint_wire_tags(message: &str, wire: &str, metrics: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for enum_name in ["Request", "Reply"] {
+        let variants = enum_variants(message, enum_name);
+        if variants.is_empty() {
+            findings.push(Finding {
+                file: "crates/net/src/message.rs".to_string(),
+                line: 0,
+                rule: "wire-exhaustive",
+                message: format!("found no variants for enum {enum_name}; parser out of sync?"),
+            });
+            continue;
+        }
+        for (variant, line) in &variants {
+            let qualified = format!("{enum_name}::{variant}");
+            let mentions = distinct_fn_mentions(wire, &qualified);
+            if mentions < 2 {
+                findings.push(Finding {
+                    file: "crates/net/src/message.rs".to_string(),
+                    line: *line,
+                    rule: "wire-exhaustive",
+                    message: format!(
+                        "{qualified} appears in {mentions} function(s) of wire.rs; every \
+                         variant needs both an encode arm and a decode arm"
+                    ),
+                });
+            }
+            if enum_name == "Request" && distinct_fn_mentions(metrics, &qualified) == 0 {
+                findings.push(Finding {
+                    file: "crates/net/src/message.rs".to_string(),
+                    line: *line,
+                    rule: "wire-exhaustive",
+                    message: format!(
+                        "{qualified} has no RequestCounters entry in crates/net/src/metrics.rs"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            walk(&path, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root`. Deterministic: files are
+/// visited in sorted path order.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for top in ["crates", "shims", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut blessed: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        // The checker's sources hold the banned patterns as data.
+        if rel.starts_with("crates/check/") {
+            continue;
+        }
+        let content = std::fs::read_to_string(path)?;
+        let file_lint = lint_file(&rel, &content);
+        findings.extend(file_lint.findings);
+        if !file_lint.blessed_wait_sites.is_empty() {
+            blessed.insert(rel, file_lint.blessed_wait_sites);
+        }
+    }
+
+    let blessed_total: usize = blessed.values().map(Vec::len).sum();
+    if blessed_total > MAX_BLESSED_WAIT_SITES {
+        let sites: Vec<String> = blessed
+            .iter()
+            .flat_map(|(f, lines)| lines.iter().map(move |l| format!("{f}:{l}")))
+            .collect();
+        findings.push(Finding {
+            file: sites.first().cloned().unwrap_or_default(),
+            line: 0,
+            rule: "blessed-wait-unbounded",
+            message: format!(
+                "{blessed_total} blessed {WAIT_UNBOUNDED} sites ({}); at most \
+                 {MAX_BLESSED_WAIT_SITES} are allowed — unbless one before adding another",
+                sites.join(", ")
+            ),
+        });
+    }
+
+    let message = std::fs::read_to_string(root.join("crates/net/src/message.rs"));
+    let wire = std::fs::read_to_string(root.join("crates/net/src/wire.rs"));
+    let metrics = std::fs::read_to_string(root.join("crates/net/src/metrics.rs"));
+    match (message, wire, metrics) {
+        (Ok(message), Ok(wire), Ok(metrics)) => {
+            findings.extend(lint_wire_tags(&message, &wire, &metrics));
+        }
+        _ => findings.push(Finding {
+            file: "crates/net/src".to_string(),
+            line: 0,
+            rule: "wire-exhaustive",
+            message: "message.rs / wire.rs / metrics.rs not readable; wire-tag \
+                      cross-check skipped"
+                .to_string(),
+        }),
+    }
+
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eprintln_is_flagged_outside_eventlog() {
+        let src = format!("fn f() {{ {EPRINTLN}(\"x\"); }}\n");
+        let out = lint_file("crates/net/src/peer.rs", &src);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, "no-eprintln");
+        assert_eq!(out.findings[0].line, 1);
+        let ok = lint_file("crates/metrics/src/log.rs", &src);
+        assert!(ok.findings.is_empty());
+    }
+
+    #[test]
+    fn eprintln_in_comment_or_string_is_ignoredonly() {
+        let src = format!("// {EPRINTLN} is banned\nlet s = \"{EPRINTLN}\";\n");
+        let out = lint_file("crates/net/src/peer.rs", &src);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn wait_unbounded_needs_blessing() {
+        let bare = format!("x.{WAIT_UNBOUNDED}();\n");
+        let out = lint_file("crates/net/src/cluster.rs", &bare);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, "blessed-wait-unbounded");
+
+        let blessed = format!("{BLESS_MARKER} drain barrier\nx.{WAIT_UNBOUNDED}();\n");
+        let out = lint_file("crates/net/src/cluster.rs", &blessed);
+        assert!(out.findings.is_empty());
+        assert_eq!(out.blessed_wait_sites, vec![2]);
+
+        let def = format!("pub fn {WAIT_UNBOUNDED}(&self) {{}}\n");
+        let out = lint_file("crates/net/src/transport.rs", &def);
+        assert!(out.findings.is_empty());
+        assert!(out.blessed_wait_sites.is_empty());
+    }
+
+    #[test]
+    fn sim_wall_clock_is_flagged() {
+        let src = format!("let t = {INSTANT_NOW}();\n");
+        let out = lint_file("crates/sim/src/engine.rs", &src);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, "sim-virtual-time");
+        let elsewhere = lint_file("crates/net/src/tcp.rs", &src);
+        assert!(elsewhere.findings.is_empty());
+    }
+
+    #[test]
+    fn relaxed_needs_justification() {
+        let bare = format!("a.load({RELAXED});\n");
+        let out = lint_file("crates/storage/src/engine.rs", &bare);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, "relaxed-justified");
+
+        let same_line = format!("a.load({RELAXED}); {RELAXED_MARKER} monotonic counter\n");
+        assert!(lint_file("x.rs", &same_line).findings.is_empty());
+
+        let prev_line = format!("{RELAXED_MARKER} monotonic counter\na.load({RELAXED});\n");
+        assert!(lint_file("x.rs", &prev_line).findings.is_empty());
+
+        // Multi-line justification: marker anywhere in the contiguous
+        // comment block above the site counts.
+        let block = format!(
+            "{RELAXED_MARKER} monotonic counter;\n// scrapes tolerate stale reads.\na.load({RELAXED});\n"
+        );
+        assert!(lint_file("x.rs", &block).findings.is_empty());
+
+        // ...but a marker separated from the site by code does not.
+        let separated = format!("{RELAXED_MARKER} stale comment\nlet x = 1;\na.load({RELAXED});\n");
+        assert_eq!(lint_file("x.rs", &separated).findings.len(), 1);
+    }
+
+    #[test]
+    fn word_boundaries_distinguish_variant_prefixes() {
+        assert!(contains_word(
+            "Request::PutReplica =>",
+            "Request::PutReplica"
+        ));
+        assert!(!contains_word(
+            "Request::PutReplicas =>",
+            "Request::PutReplica"
+        ));
+        assert!(contains_word(
+            "(Request::PutReplica)",
+            "Request::PutReplica"
+        ));
+    }
+
+    const MESSAGE_FIXTURE: &str = "
+pub enum Request {
+    Put { key: u64, value: Vec<u8> },
+    Get(u64),
+}
+pub enum Reply {
+    Ack,
+    Value(Option<Vec<u8>>),
+}
+";
+
+    #[test]
+    fn wire_tags_pass_when_all_arms_exist() {
+        let wire = "
+fn encode(r: &Request) { match r { Request::Put { .. } => {}, Request::Get(_) => {} } }
+fn encode_reply(r: &Reply) { match r { Reply::Ack => {}, Reply::Value(_) => {} } }
+fn decode() -> Request { if x { Request::Put { key, value } } else { Request::Get(k) } }
+fn decode_reply() -> Reply { if x { Reply::Ack } else { Reply::Value(None) } }
+";
+        let metrics = "
+fn of(r: &Request) { match r { Request::Put { .. } => {}, Request::Get(_) => {} } }
+";
+        let findings = lint_wire_tags(MESSAGE_FIXTURE, wire, metrics);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn wire_tags_flag_missing_decode_and_counter() {
+        let wire = "
+fn encode(r: &Request) { match r { Request::Put { .. } => {}, Request::Get(_) => {} } }
+fn encode_reply(r: &Reply) { match r { Reply::Ack => {}, Reply::Value(_) => {} } }
+fn decode() -> Request { Request::Put { key, value } }
+fn decode_reply() -> Reply { if x { Reply::Ack } else { Reply::Value(None) } }
+";
+        let metrics = "
+fn of(r: &Request) { match r { Request::Put { .. } => {}, _ => {} } }
+";
+        let findings = lint_wire_tags(MESSAGE_FIXTURE, wire, metrics);
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["wire-exhaustive", "wire-exhaustive"]);
+        assert!(findings[0].message.contains("Request::Get"), "{findings:?}");
+        assert!(findings[1].message.contains("Request::Get"), "{findings:?}");
+    }
+
+    #[test]
+    fn enum_parser_sees_through_payload_braces() {
+        let variants = enum_variants(MESSAGE_FIXTURE, "Request");
+        let names: Vec<&str> = variants.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["Put", "Get"]);
+        let variants = enum_variants(MESSAGE_FIXTURE, "Reply");
+        let names: Vec<&str> = variants.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["Ack", "Value"]);
+    }
+
+    #[test]
+    fn doc_comment_mentions_do_not_count_as_arms() {
+        let wire = "
+/// Encodes Request::Put and Request::Get.
+fn encode(r: &Request) { match r { Request::Put { .. } => {}, Request::Get(_) => {} } }
+fn encode_reply(r: &Reply) { match r { Reply::Ack => {}, Reply::Value(_) => {} } }
+/// Decodes Request::Get too (doc mention only).
+fn decode() -> Request { Request::Put { key, value } }
+fn decode_reply() -> Reply { if x { Reply::Ack } else { Reply::Value(None) } }
+";
+        let metrics = "fn of() { Request::Put; Request::Get }";
+        let findings = lint_wire_tags(MESSAGE_FIXTURE, wire, metrics);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("Request::Get"));
+        assert!(findings[0].message.contains("decode"));
+    }
+}

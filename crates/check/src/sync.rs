@@ -1,0 +1,342 @@
+//! Instrumented drop-in replacements for the `std::sync` types the
+//! workspace's lock-free structures are built on. Under `cfg(rdht_model)`
+//! the consuming crates alias these in place of the std types; every
+//! operation becomes a scheduling point of the bounded exhaustive
+//! scheduler in [`crate::model`], and atomics get C11-lite weak-memory
+//! semantics (loads may observe stale stores unless happens-before forbids
+//! it).
+//!
+//! API-compatible subset only: the methods the workspace actually uses.
+//! `compare_exchange_weak` never fails spuriously here — callers loop on
+//! it anyway, and the strong semantics only *remove* behaviours that the
+//! strong `compare_exchange` path already covers.
+
+use std::panic::Location;
+
+use crate::exec::{operate, set_blocked, with_active_state, Access, ObjId, OpSig, Outcome};
+
+pub use std::sync::atomic::Ordering;
+pub use std::sync::Arc;
+
+macro_rules! model_atomic {
+    ($(#[$meta:meta])* $name:ident, $ty:ty) => {
+        $(#[$meta])*
+        pub struct $name {
+            obj: ObjId,
+        }
+
+        impl $name {
+            fn to_bits(v: $ty) -> u64 {
+                v as u64
+            }
+
+            fn from_bits(b: u64) -> $ty {
+                b as $ty
+            }
+
+            /// Registers a fresh atomic initialized to `value`.
+            #[track_caller]
+            pub fn new(value: $ty) -> Self {
+                let bits = Self::to_bits(value);
+                let obj = with_active_state(|st, tid| st.new_atomic(bits, tid));
+                $name { obj }
+            }
+
+            /// An instrumented load; may observe any coherent stale store.
+            #[track_caller]
+            pub fn load(&self, ordering: Ordering) -> $ty {
+                let obj = self.obj;
+                let bits = operate(
+                    OpSig {
+                        obj: Some(obj),
+                        access: Access::Read,
+                        desc: concat!(stringify!($name), ".load"),
+                    },
+                    Location::caller(),
+                    move |st, tid| Outcome::Done(st.atomic_load(obj, ordering, tid)),
+                    |bits| {
+                        format!(
+                            "{}(#{}).load({:?}) -> {}",
+                            stringify!($name),
+                            obj,
+                            ordering,
+                            Self::from_bits(*bits)
+                        )
+                    },
+                );
+                Self::from_bits(bits)
+            }
+
+            /// An instrumented store appended to the modification order.
+            #[track_caller]
+            pub fn store(&self, value: $ty, ordering: Ordering) {
+                let obj = self.obj;
+                let bits = Self::to_bits(value);
+                operate(
+                    OpSig {
+                        obj: Some(obj),
+                        access: Access::Write,
+                        desc: concat!(stringify!($name), ".store"),
+                    },
+                    Location::caller(),
+                    move |st, tid| {
+                        st.atomic_store(obj, bits, ordering, tid);
+                        Outcome::Done(())
+                    },
+                    |_| {
+                        format!(
+                            "{}(#{}).store({}, {:?})",
+                            stringify!($name),
+                            obj,
+                            value,
+                            ordering
+                        )
+                    },
+                );
+            }
+
+            /// Atomic swap; returns the previous value.
+            #[track_caller]
+            pub fn swap(&self, value: $ty, ordering: Ordering) -> $ty {
+                self.rmw("swap", ordering, move |_| value)
+            }
+
+            /// Wrapping atomic add; returns the previous value.
+            #[track_caller]
+            pub fn fetch_add(&self, value: $ty, ordering: Ordering) -> $ty {
+                self.rmw("fetch_add", ordering, move |old| old.wrapping_add(value))
+            }
+
+            /// Wrapping atomic subtract; returns the previous value.
+            #[track_caller]
+            pub fn fetch_sub(&self, value: $ty, ordering: Ordering) -> $ty {
+                self.rmw("fetch_sub", ordering, move |old| old.wrapping_sub(value))
+            }
+
+            /// Atomic maximum; returns the previous value.
+            #[track_caller]
+            pub fn fetch_max(&self, value: $ty, ordering: Ordering) -> $ty {
+                self.rmw("fetch_max", ordering, move |old| {
+                    if value > old {
+                        value
+                    } else {
+                        old
+                    }
+                })
+            }
+
+            #[track_caller]
+            fn rmw(
+                &self,
+                name: &'static str,
+                ordering: Ordering,
+                f: impl Fn($ty) -> $ty,
+            ) -> $ty {
+                let obj = self.obj;
+                let bits = operate(
+                    OpSig {
+                        obj: Some(obj),
+                        access: Access::Write,
+                        desc: concat!(stringify!($name), ".rmw"),
+                    },
+                    Location::caller(),
+                    move |st, tid| {
+                        Outcome::Done(st.atomic_rmw(obj, ordering, tid, |old| {
+                            Self::to_bits(f(Self::from_bits(old)))
+                        }))
+                    },
+                    |bits| {
+                        format!(
+                            "{}(#{}).{}(.., {:?}) -> {}",
+                            stringify!($name),
+                            obj,
+                            name,
+                            ordering,
+                            Self::from_bits(*bits)
+                        )
+                    },
+                );
+                Self::from_bits(bits)
+            }
+
+            /// Strong compare-exchange.
+            #[track_caller]
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                let obj = self.obj;
+                let (cur_bits, new_bits) = (Self::to_bits(current), Self::to_bits(new));
+                let result = operate(
+                    OpSig {
+                        obj: Some(obj),
+                        access: Access::Write,
+                        desc: concat!(stringify!($name), ".compare_exchange"),
+                    },
+                    Location::caller(),
+                    move |st, tid| {
+                        Outcome::Done(st.atomic_cas(obj, cur_bits, new_bits, success, failure, tid))
+                    },
+                    |result| {
+                        format!(
+                            "{}(#{}).compare_exchange({}, {}, {:?}) -> {:?}",
+                            stringify!($name),
+                            obj,
+                            current,
+                            new,
+                            success,
+                            result.map(Self::from_bits).map_err(Self::from_bits)
+                        )
+                    },
+                );
+                result.map(Self::from_bits).map_err(Self::from_bits)
+            }
+
+            /// Weak compare-exchange; modeled without spurious failure
+            /// (see the module docs for why that is sound here).
+            #[track_caller]
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}(#{})", stringify!($name), self.obj)
+            }
+        }
+
+        impl Default for $name {
+            #[track_caller]
+            fn default() -> Self {
+                Self::new(<$ty>::default())
+            }
+        }
+    };
+}
+
+model_atomic!(
+    /// Instrumented `AtomicU64`.
+    AtomicU64,
+    u64
+);
+model_atomic!(
+    /// Instrumented `AtomicUsize`.
+    AtomicUsize,
+    usize
+);
+model_atomic!(
+    /// Instrumented `AtomicI64` (values round-trip through their two's
+    /// complement bit pattern; comparisons stay signed).
+    AtomicI64,
+    i64
+);
+
+/// Instrumented mutex: lock/unlock are scheduling points, contention
+/// blocks the model thread, and the unlock clock release-synchronizes the
+/// next lock. No poisoning — a panicking model thread aborts the whole
+/// execution anyway.
+pub struct Mutex<T> {
+    obj: ObjId,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: the scheduler runs exactly one model thread at a time and the
+// guard only exists while the model-level lock is held, so all access to
+// `data` is serialized twice over.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Registers a fresh unlocked mutex.
+    #[track_caller]
+    pub fn new(data: T) -> Self {
+        let obj = with_active_state(|st, _tid| st.new_mutex());
+        Mutex {
+            obj,
+            data: std::cell::UnsafeCell::new(data),
+        }
+    }
+
+    /// Acquires the model lock, blocking this model thread while another
+    /// holds it. Never returns `Err`: model mutexes do not poison.
+    #[track_caller]
+    pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+        let obj = self.obj;
+        operate(
+            OpSig {
+                obj: Some(obj),
+                access: Access::Write,
+                desc: "Mutex.lock",
+            },
+            Location::caller(),
+            move |st, tid| {
+                if st.mutex_try_acquire(obj, tid) {
+                    Outcome::Done(())
+                } else {
+                    set_blocked(st, tid, Some(obj), None);
+                    Outcome::Block
+                }
+            },
+            |_| format!("Mutex(#{obj}).lock()"),
+        );
+        Ok(MutexGuard { mutex: self })
+    }
+}
+
+/// RAII guard for [`Mutex`]; unlocking is itself a scheduling point.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the model-level lock is held for the guard's lifetime.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref`, plus `&mut self` gives uniqueness.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    #[track_caller]
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // The execution is unwinding (violation found or subtree
+            // pruned); scheduling another op would double-panic. The
+            // whole execution state is discarded, so skipping the unlock
+            // is harmless.
+            return;
+        }
+        let obj = self.mutex.obj;
+        operate(
+            OpSig {
+                obj: Some(obj),
+                access: Access::Write,
+                desc: "Mutex.unlock",
+            },
+            Location::caller(),
+            move |st, tid| {
+                st.mutex_release(obj, tid);
+                Outcome::Done(())
+            },
+            |_| format!("Mutex(#{obj}).unlock()"),
+        );
+    }
+}

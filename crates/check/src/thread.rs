@@ -1,0 +1,44 @@
+//! Instrumented threading: `spawn` creates a *model* thread (a real OS
+//! thread driven cooperatively by the scheduler), `join` is a blocking
+//! scheduling point that merges the child's clock, and `yield_now`
+//! deschedules the caller until another thread makes progress — which is
+//! what keeps CAS spin loops finite under exhaustive exploration.
+
+use std::panic::Location;
+use std::sync::{Arc, Mutex};
+
+use crate::exec::{join_impl, spawn_impl, yield_now_impl, Tid};
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    tid: Tid,
+    slot: Arc<Mutex<Option<T>>>,
+}
+
+impl<T: Send + 'static> JoinHandle<T> {
+    /// Blocks the calling model thread until the child finishes, then
+    /// returns its result. Always `Ok`: a panicking model thread fails
+    /// the whole execution before any join observes it.
+    #[track_caller]
+    pub fn join(self) -> std::thread::Result<T> {
+        Ok(join_impl(self.tid, &self.slot, Location::caller()))
+    }
+}
+
+/// Spawns a model thread running `f`.
+#[track_caller]
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (tid, slot) = spawn_impl(f, Location::caller());
+    JoinHandle { tid, slot }
+}
+
+/// Deschedules the caller until another model thread executes an
+/// operation. A no-op when no other thread is runnable.
+#[track_caller]
+pub fn yield_now() {
+    yield_now_impl(Location::caller());
+}

@@ -1,0 +1,90 @@
+//! Models the idempotency-window protocol from `crates/net` (the
+//! `DedupWindow` a peer consults before applying an identified mutation):
+//! a retried or duplicated request must be applied **exactly once**, with
+//! every duplicate answered from the cached reply.
+//!
+//! In the real peer loop the window lives on a single thread, so the
+//! check-then-act sequence (`lookup` → apply → `record`) is trivially
+//! atomic. These tests pin down *why* that matters: the same protocol
+//! with the window behind a lock but the check and the record in separate
+//! critical sections double-applies under a race — the checker finds the
+//! interleaving — while holding the lock across the whole sequence admits
+//! exactly one of N racing duplicates.
+
+use rdht_check::sync::{Arc, AtomicU64, Mutex, Ordering};
+use rdht_check::{model, model_expect_violation, thread, Config};
+
+/// One client's cached reply slot: `None` until the op is applied, then
+/// `Some(reply)` for the duplicate horizon.
+type Window = Mutex<Option<u64>>;
+
+/// The broken shape: lookup and record are individually locked, but a
+/// second duplicate can slip between them and double-apply.
+fn racy_duplicate(window: &Window, applied: &AtomicU64) -> u64 {
+    let cached = *window.lock().unwrap();
+    if let Some(reply) = cached {
+        return reply;
+    }
+    // relaxed: the count is asserted only after both threads are joined,
+    // and in the model every schedule checks it.
+    let reply = 40 + applied.fetch_add(1, Ordering::Relaxed) + 1;
+    *window.lock().unwrap() = Some(reply);
+    reply
+}
+
+/// The correct shape: check, apply and record under one critical section,
+/// mirroring the single-threaded peer loop's atomicity.
+fn serialized_duplicate(window: &Window, applied: &AtomicU64) -> u64 {
+    let mut slot = window.lock().unwrap();
+    if let Some(reply) = *slot {
+        return reply;
+    }
+    // relaxed: only ever touched while holding the window lock.
+    let reply = 40 + applied.fetch_add(1, Ordering::Relaxed) + 1;
+    *slot = Some(reply);
+    reply
+}
+
+#[test]
+fn split_lookup_record_double_applies() {
+    let failure = model_expect_violation(Config::default(), || {
+        let window: Arc<Window> = Arc::new(Mutex::new(None));
+        let applied = Arc::new(AtomicU64::new(0));
+        let (w2, a2) = (Arc::clone(&window), Arc::clone(&applied));
+        let t = thread::spawn(move || racy_duplicate(&w2, &a2));
+        let mine = racy_duplicate(&window, &applied);
+        let theirs = t.join().unwrap();
+        assert_eq!(
+            applied.load(Ordering::Relaxed),
+            1,
+            "duplicate was applied twice (replies {mine} and {theirs})"
+        );
+    });
+    assert!(
+        failure.contains("applied twice"),
+        "expected the double-apply interleaving, got:\n{failure}"
+    );
+}
+
+#[test]
+fn serialized_window_applies_exactly_once() {
+    model(|| {
+        let window: Arc<Window> = Arc::new(Mutex::new(None));
+        let applied = Arc::new(AtomicU64::new(0));
+        let (w2, a2) = (Arc::clone(&window), Arc::clone(&applied));
+        let (w3, a3) = (Arc::clone(&window), Arc::clone(&applied));
+        let t2 = thread::spawn(move || serialized_duplicate(&w2, &a2));
+        let t3 = thread::spawn(move || serialized_duplicate(&w3, &a3));
+        let mine = serialized_duplicate(&window, &applied);
+        let r2 = t2.join().unwrap();
+        let r3 = t3.join().unwrap();
+        assert_eq!(
+            applied.load(Ordering::Relaxed),
+            1,
+            "not applied exactly once"
+        );
+        assert_eq!(mine, 41, "duplicate answered with a different reply");
+        assert_eq!(r2, 41, "duplicate answered with a different reply");
+        assert_eq!(r3, 41, "duplicate answered with a different reply");
+    });
+}

@@ -1,0 +1,33 @@
+//! The lint gate applied to this workspace itself: `cargo test -p
+//! rdht-check` fails if any project invariant regresses, without waiting
+//! for the CI `analysis` job to run the binary.
+
+use std::path::PathBuf;
+
+use rdht_check::lint::lint_workspace;
+
+#[test]
+fn workspace_passes_its_own_lint() {
+    // crates/check -> crates -> workspace root.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/check has a workspace root two levels up")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "not a workspace root: {}",
+        root.display()
+    );
+    let findings = lint_workspace(&root).expect("walk workspace sources");
+    assert!(
+        findings.is_empty(),
+        "rdht-check lint found {} problem(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

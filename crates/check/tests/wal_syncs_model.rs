@@ -1,0 +1,104 @@
+//! Models the `wal_syncs` accounting pattern from `crates/storage`: the
+//! engine folds a live WAL's sync count into a base total at roll-over
+//! (`stats.wal_syncs += old.syncs()`), and publishes the total into a
+//! metrics counter with `record_absolute` (a `fetch_max` high-water mark)
+//! so re-publication is idempotent and stale publishers cannot regress it.
+//!
+//! Two invariants, each paired with a broken variant the checker flags:
+//!
+//! * roll-over must *move* the live count with a single RMW (`swap`) — a
+//!   load-then-store reset loses syncs recorded in the gap;
+//! * publication must be a `fetch_max` — a plain store lets a stale
+//!   publisher overwrite a newer total.
+
+use rdht_check::sync::{Arc, AtomicU64, Ordering};
+use rdht_check::{model, model_expect_violation, thread, Config};
+
+#[test]
+fn rollover_via_swap_never_loses_a_sync() {
+    model(|| {
+        // relaxed: totals are read only after join; the model proves no
+        // schedule loses an increment.
+        let live = Arc::new(AtomicU64::new(0));
+        let base = Arc::new(AtomicU64::new(0));
+        let l2 = Arc::clone(&live);
+        let writer = thread::spawn(move || {
+            l2.fetch_add(1, Ordering::Relaxed);
+            l2.fetch_add(1, Ordering::Relaxed);
+        });
+        // Roll the WAL: move whatever the live writer has recorded so far
+        // into the base total in one atomic exchange.
+        let folded = live.swap(0, Ordering::Relaxed);
+        base.fetch_add(folded, Ordering::Relaxed);
+        writer.join().unwrap();
+        let total = base.load(Ordering::Relaxed) + live.load(Ordering::Relaxed);
+        assert_eq!(total, 2, "roll-over lost a sync");
+    });
+}
+
+#[test]
+fn rollover_via_load_then_store_loses_syncs() {
+    let failure = model_expect_violation(Config::default(), || {
+        let live = Arc::new(AtomicU64::new(0));
+        let base = Arc::new(AtomicU64::new(0));
+        let l2 = Arc::clone(&live);
+        let writer = thread::spawn(move || {
+            l2.fetch_add(1, Ordering::Relaxed);
+            l2.fetch_add(1, Ordering::Relaxed);
+        });
+        // Broken roll-over: a sync recorded between the load and the
+        // store(0) vanishes from both totals.
+        let folded = live.load(Ordering::Relaxed);
+        live.store(0, Ordering::Relaxed);
+        base.fetch_add(folded, Ordering::Relaxed);
+        writer.join().unwrap();
+        let total = base.load(Ordering::Relaxed) + live.load(Ordering::Relaxed);
+        assert_eq!(total, 2, "roll-over lost a sync");
+    });
+    assert!(
+        failure.contains("lost a sync"),
+        "expected the lost-sync interleaving, got:\n{failure}"
+    );
+}
+
+#[test]
+fn record_absolute_publication_is_monotonic() {
+    model(|| {
+        let published = Arc::new(AtomicU64::new(0));
+        let p2 = Arc::clone(&published);
+        // A stale publisher (total 7) races a fresh one (total 10); the
+        // high-water mark keeps the newer value either way.
+        let t = thread::spawn(move || {
+            p2.fetch_max(7, Ordering::Relaxed);
+        });
+        published.fetch_max(10, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(
+            published.load(Ordering::Relaxed),
+            10,
+            "stale publisher regressed the total"
+        );
+    });
+}
+
+#[test]
+fn store_based_publication_can_regress() {
+    let failure = model_expect_violation(Config::default(), || {
+        let published = Arc::new(AtomicU64::new(0));
+        let p2 = Arc::clone(&published);
+        let t = thread::spawn(move || {
+            p2.store(7, Ordering::Relaxed);
+        });
+        published.store(10, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(
+            published.load(Ordering::Relaxed),
+            10,
+            "stale publisher regressed the total"
+        );
+    });
+    assert!(
+        failure.contains("regressed the total"),
+        "expected the regression interleaving, got:\n{failure}"
+    );
+}

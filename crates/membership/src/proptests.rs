@@ -33,6 +33,7 @@ fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
         "rdht-membership-prop-{}-{}-{tag}",
         std::process::id(),
+        // relaxed: uniqueness needs only RMW atomicity, no ordering.
         DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
     ));
     let _ = std::fs::remove_dir_all(&dir);

@@ -110,7 +110,7 @@ pub fn encode(registry: &Registry) -> String {
     out
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(rdht_model)))]
 mod tests {
     use super::*;
 

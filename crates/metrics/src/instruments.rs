@@ -1,8 +1,12 @@
 //! The three instrument kinds: lock-free handles over shared atomics.
+//!
+//! Built on [`crate::msync`] aliases so the model suite
+//! (`RUSTFLAGS='--cfg rdht_model' cargo test -p rdht-metrics`) checks this
+//! exact source under every bounded interleaving.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
+
+use crate::msync::{Arc, AtomicI64, AtomicU64, Ordering};
 
 /// A monotonically increasing counter.
 ///
@@ -29,6 +33,8 @@ impl Counter {
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // relaxed: single-location RMW; exactness needs atomicity only, and
+        // scrapes tolerate observing the count slightly late.
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -39,12 +45,16 @@ impl Counter {
     /// without double counting.
     #[inline]
     pub fn record_absolute(&self, total: u64) {
+        // relaxed: fetch_max is monotonic under any interleaving of RMWs;
+        // no other location's state is published through this one.
         self.value.fetch_max(total, Ordering::Relaxed);
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
+        // relaxed: a scrape may read a slightly stale count; nothing is
+        // ordered after this load.
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -65,18 +75,22 @@ impl Gauge {
     /// Sets the gauge.
     #[inline]
     pub fn set(&self, v: i64) {
+        // relaxed: last-writer-wins is the intended gauge semantics; no
+        // cross-location ordering rides on it.
         self.value.store(v, Ordering::Relaxed);
     }
 
     /// Adds `n` (may be negative).
     #[inline]
     pub fn add(&self, n: i64) {
+        // relaxed: single-location RMW, exact by atomicity alone.
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> i64 {
+        // relaxed: scrape-path read; staleness is acceptable.
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -196,8 +210,11 @@ impl Histogram {
         // the inclusive-upper-bound bucket. Values above every boundary
         // index one past the end: the overflow bucket.
         let idx = self.inner.boundaries.partition_point(|&b| b < value);
+        // relaxed: bucket and sum are updated by independent RMWs; a scrape
+        // between the two sees a histogram whose sum lags by one
+        // observation, which the exposition format tolerates by design.
         self.inner.counts[idx].fetch_add(1, Ordering::Relaxed);
-        self.inner.sum.fetch_add(value, Ordering::Relaxed);
+        self.inner.sum.fetch_add(value, Ordering::Relaxed); // relaxed: see above
     }
 
     /// Records a duration as nanoseconds (saturating at `u64::MAX`).
@@ -211,12 +228,14 @@ impl Histogram {
         self.inner
             .counts
             .iter()
+            // relaxed: scrape-path read; see `snapshot`.
             .map(|c| c.load(Ordering::Relaxed))
             .sum()
     }
 
     /// Sum of every observed value.
     pub fn sum(&self) -> u64 {
+        // relaxed: scrape-path read; see `snapshot`.
         self.inner.sum.load(Ordering::Relaxed)
     }
 
@@ -235,12 +254,15 @@ impl Histogram {
             .inner
             .counts
             .iter()
+            // relaxed: each bucket is read once, atomically; the snapshot
+            // is documented as a consistent-enough cut, not a linearizable
+            // one, so no cross-bucket ordering is required.
             .map(|c| c.load(Ordering::Relaxed))
             .collect();
         HistogramSnapshot {
             boundaries: self.inner.boundaries.clone(),
             count: counts.iter().sum(),
-            sum: self.inner.sum.load(Ordering::Relaxed),
+            sum: self.inner.sum.load(Ordering::Relaxed), // relaxed: see above
             counts,
         }
     }
@@ -314,7 +336,10 @@ impl HistogramSnapshot {
     }
 }
 
-#[cfg(test)]
+// Gated off under the model cfg: these tests exercise the instruments on
+// real OS threads, while model builds construct them only inside
+// `rdht_check::model` runs (see `crate::model_tests`).
+#[cfg(all(test, not(rdht_model)))]
 mod tests {
     use super::*;
 

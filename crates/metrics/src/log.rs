@@ -245,7 +245,7 @@ pub fn global() -> &'static EventLog {
     GLOBAL.get_or_init(EventLog::stderr)
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(rdht_model)))]
 mod tests {
     use super::*;
 

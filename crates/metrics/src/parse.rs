@@ -252,7 +252,7 @@ pub fn parse(text: &str) -> Result<Exposition, ParseError> {
     Ok(exposition)
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(rdht_model)))]
 mod tests {
     use super::*;
 

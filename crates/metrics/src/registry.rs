@@ -246,7 +246,7 @@ impl std::fmt::Debug for Registry {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(rdht_model)))]
 mod tests {
     use super::*;
 

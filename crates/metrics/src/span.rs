@@ -24,9 +24,9 @@
 //! can be merged by trace id.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
+
+use crate::msync::{spin_yield, Arc, AtomicU64, Ordering, UnsafeCell};
 
 /// The sampled-flag bit of [`TraceContext::flags`].
 pub const FLAG_SAMPLED: u8 = 1;
@@ -105,9 +105,24 @@ impl TraceConfig {
 /// Process-global span-id allocator. Ids are unique within a process and
 /// never 0 (0 means "no parent"); cross-process uniqueness is not needed
 /// because spans are always interpreted next to their pid lane.
+#[cfg(not(rdht_model))]
 pub fn next_span_id() -> u64 {
-    static NEXT: AtomicU64 = AtomicU64::new(1);
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    // relaxed: uniqueness comes from fetch_add atomicity alone; ids carry
+    // no cross-location ordering (verified by the model build's
+    // span_ids_stay_unique_across_threads).
     NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Model-build variant: model atomics are per-execution, so the allocator
+/// lives in a per-execution [`rdht_check::lazy::Lazy`] instead of a plain
+/// static.
+#[cfg(rdht_model)]
+pub fn next_span_id() -> u64 {
+    static NEXT: rdht_check::lazy::Lazy<AtomicU64> =
+        rdht_check::lazy::Lazy::new(|| AtomicU64::new(1));
+    // relaxed: see the production variant above.
+    NEXT.get().fetch_add(1, Ordering::Relaxed)
 }
 
 /// One completed span, as a flat record: enough to rebuild the tree it was
@@ -209,26 +224,80 @@ pub fn assemble_trees(records: &[SpanRecord]) -> Vec<RequestTree> {
     trees
 }
 
-struct SpanLogInner {
-    capacity: usize,
-    trees: Vec<RequestTree>,
-    /// Next write position of the ring.
-    at: usize,
+/// One ring slot: a per-slot sequence lock over the payload.
+///
+/// `seq` is even when the slot is stable and odd while a writer (or a
+/// scraping reader) holds it; it only ever grows. Mutual exclusion comes
+/// from the CAS on `seq` being atomic; *visibility* of the payload comes
+/// from the Acquire CAS / Release publication pair — that pair is exactly
+/// what the model build's mutation test weakens to prove the checker can
+/// catch a torn entry (see `SpanLog::push_weak_publication`).
+struct Slot {
+    seq: AtomicU64,
+    data: UnsafeCell<Option<RequestTree>>,
 }
 
-/// A bounded ring buffer of the last N completed [`RequestTree`]s — the
-/// peer-side slow-request log. Cloning shares the ring.
+struct Ring {
+    slots: Vec<Slot>,
+    /// Ticket counter; ticket `t` maps to slot `t % capacity`, so the ring
+    /// overwrites oldest-first without any shared write cursor state
+    /// beyond this one atomic.
+    head: AtomicU64,
+}
+
+// SAFETY: the payload cells are only touched between a successful
+// even->odd CAS on the owning slot's `seq` and the closing store — a
+// critical section that excludes writers and scrapers alike. The model
+// build proves the claim under every bounded interleaving
+// (`model_tests::ring_never_yields_a_torn_entry`).
+#[allow(unsafe_code)]
+unsafe impl Send for Ring {}
+#[allow(unsafe_code)]
+unsafe impl Sync for Ring {}
+
+#[allow(unsafe_code)]
+impl Ring {
+    /// Runs `f` on the slot's payload while holding its sequence lock.
+    fn with_slot<R>(&self, index: usize, f: impl FnOnce(&mut Option<RequestTree>) -> R) -> R {
+        let slot = &self.slots[index];
+        let seq = loop {
+            // relaxed: a stale (odd or already-bumped) value only costs a
+            // retry; the CAS below re-validates against the live value.
+            let seq = slot.seq.load(Ordering::Relaxed);
+            if seq.is_multiple_of(2)
+                && slot
+                    .seq
+                    // relaxed: failure ordering only — a lost race is just
+                    // a retry.
+                    .compare_exchange(seq, seq + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                break seq;
+            }
+            spin_yield();
+        };
+        // SAFETY contract of `Ring`: `seq` is odd, so this thread is the
+        // slot's only accessor until the closing store.
+        let result = slot.data.with_mut(|p| f(unsafe { &mut *p }));
+        slot.seq.store(seq + 2, Ordering::Release);
+        result
+    }
+}
+
+/// A bounded lock-free ring of the last N completed [`RequestTree`]s —
+/// the peer-side slow-request log. Cloning shares the ring. Writers on
+/// the request path never contend on a global lock: a push takes one
+/// `fetch_add` ticket plus its target slot's sequence lock.
 #[derive(Clone)]
 pub struct SpanLog {
-    inner: std::sync::Arc<Mutex<SpanLogInner>>,
+    ring: Arc<Ring>,
 }
 
 impl std::fmt::Debug for SpanLog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock().expect("span log mutex");
         f.debug_struct("SpanLog")
-            .field("capacity", &inner.capacity)
-            .field("len", &inner.trees.len())
+            .field("capacity", &self.ring.slots.len())
+            .field("len", &self.len())
             .finish()
     }
 }
@@ -236,30 +305,35 @@ impl std::fmt::Debug for SpanLog {
 impl SpanLog {
     /// A log keeping the most recent `capacity` trees (at least 1).
     pub fn new(capacity: usize) -> Self {
+        let slots = (0..capacity.max(1))
+            .map(|_| Slot {
+                seq: AtomicU64::new(0),
+                data: UnsafeCell::new(None),
+            })
+            .collect();
         SpanLog {
-            inner: std::sync::Arc::new(Mutex::new(SpanLogInner {
-                capacity: capacity.max(1),
-                trees: Vec::new(),
-                at: 0,
-            })),
+            ring: Arc::new(Ring {
+                slots,
+                head: AtomicU64::new(0),
+            }),
         }
     }
 
     /// Records one completed request tree, evicting the oldest at capacity.
     pub fn push(&self, tree: RequestTree) {
-        let mut inner = self.inner.lock().expect("span log mutex");
-        if inner.trees.len() < inner.capacity {
-            inner.trees.push(tree);
-        } else {
-            let at = inner.at;
-            inner.trees[at] = tree;
-        }
-        inner.at = (inner.at + 1) % inner.capacity;
+        // relaxed: the ticket needs only fetch_add atomicity for
+        // uniqueness; payload visibility is carried by the slot's
+        // Acquire/Release sequence lock, not by this counter.
+        let ticket = self.ring.head.fetch_add(1, Ordering::Relaxed);
+        let index = (ticket % self.ring.slots.len() as u64) as usize;
+        self.ring.with_slot(index, |slot| *slot = Some(tree));
     }
 
     /// Number of retained trees.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("span log mutex").trees.len()
+        (0..self.ring.slots.len())
+            .filter(|&i| self.ring.with_slot(i, |slot| slot.is_some()))
+            .count()
     }
 
     /// Whether nothing is retained.
@@ -270,7 +344,9 @@ impl SpanLog {
     /// The `k` slowest retained trees, slowest first (ties broken by trace
     /// id for determinism).
     pub fn slowest(&self, k: usize) -> Vec<RequestTree> {
-        let mut trees = self.inner.lock().expect("span log mutex").trees.clone();
+        let mut trees: Vec<RequestTree> = (0..self.ring.slots.len())
+            .filter_map(|i| self.ring.with_slot(i, |slot| slot.clone()))
+            .collect();
         trees.sort_by(|a, b| {
             b.total_us
                 .cmp(&a.total_us)
@@ -281,7 +357,44 @@ impl SpanLog {
     }
 }
 
-#[cfg(test)]
+/// Mutation-test hooks, model build only: deliberately weakened push
+/// variants that `model_tests::weak_publication_is_caught` proves the
+/// checker rejects. Production builds do not compile these.
+#[cfg(rdht_model)]
+#[allow(unsafe_code)]
+impl SpanLog {
+    /// `push` with the closing slot store downgraded to `Relaxed`: the
+    /// payload write is no longer released to the next slot holder, so a
+    /// concurrent scraper may observe a torn entry. The model checker
+    /// reports it as an `UnsafeCell` data race.
+    pub fn push_weak_publication(&self, tree: RequestTree) {
+        // relaxed: ticket draw, same as `push`.
+        let ticket = self.ring.head.fetch_add(1, Ordering::Relaxed);
+        let index = (ticket % self.ring.slots.len() as u64) as usize;
+        let slot = &self.ring.slots[index];
+        let seq = loop {
+            // relaxed: stale reads only cost a retry, same as `with_slot`.
+            let seq = slot.seq.load(Ordering::Relaxed);
+            if seq.is_multiple_of(2)
+                && slot
+                    .seq
+                    // relaxed: failure ordering only, same as `with_slot`.
+                    .compare_exchange(seq, seq + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                break seq;
+            }
+            spin_yield();
+        };
+        slot.data.with_mut(|p| unsafe { *p = Some(tree) });
+        // relaxed: THE SEEDED BUG — the publication store must be Release;
+        // this is the weakening the mutation test proves the checker
+        // catches.
+        slot.seq.store(seq + 2, Ordering::Relaxed);
+    }
+}
+
+#[cfg(all(test, not(rdht_model)))]
 mod tests {
     use super::*;
 

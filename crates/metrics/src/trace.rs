@@ -344,7 +344,7 @@ impl Drop for SpanGuard {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(rdht_model)))]
 mod tests {
     use super::*;
 

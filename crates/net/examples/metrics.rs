@@ -55,7 +55,11 @@ fn wait_until_accepting(addr: &SocketAddr) {
     let deadline = Instant::now() + Duration::from_secs(10);
     while TcpStream::connect(addr).is_err() {
         if Instant::now() >= deadline {
-            eprintln!("peer at {addr} never started accepting connections");
+            rdht_metrics::log::global().error(
+                "example.metrics",
+                "peer never started accepting connections",
+                &[("addr", &addr.to_string())],
+            );
             exit(1);
         }
         thread::sleep(Duration::from_millis(10));
@@ -143,7 +147,11 @@ fn main() {
         println!();
         for name in REQUIRED {
             if !parsed.has_metric(name) {
-                eprintln!("MISSING on peer {:>5}: {name}", id.0);
+                rdht_metrics::log::global().error(
+                    "example.metrics",
+                    "required instrument missing from scrape",
+                    &[("peer", &id.0.to_string()), ("metric", name)],
+                );
                 failures += 1;
             }
         }
@@ -158,14 +166,22 @@ fn main() {
     }
     for handle in peer_threads {
         if let Err(error) = handle.join().expect("peer thread exits") {
-            eprintln!("a peer failed: {error}");
+            rdht_metrics::log::global().error(
+                "example.metrics",
+                "peer failed",
+                &[("error", &error.to_string())],
+            );
             failures += 1;
         }
     }
     let _ = std::fs::remove_dir_all(&storage_root);
 
     if failures > 0 {
-        eprintln!("FAILED: {failures} problems");
+        rdht_metrics::log::global().error(
+            "example.metrics",
+            "metrics validation failed",
+            &[("problems", &failures.to_string())],
+        );
         exit(1);
     }
     println!("all {NUM_PEERS} peers scraped clean: every required instrument present");

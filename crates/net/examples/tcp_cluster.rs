@@ -68,7 +68,11 @@ fn wait_until_accepting(addr: &SocketAddr) {
     let deadline = Instant::now() + Duration::from_secs(10);
     while TcpStream::connect(addr).is_err() {
         if Instant::now() >= deadline {
-            eprintln!("peer at {addr} never started accepting connections");
+            rdht_metrics::log::global().error(
+                "example.tcp_cluster",
+                "peer never started accepting connections",
+                &[("addr", &addr.to_string())],
+            );
             exit(1);
         }
         thread::sleep(Duration::from_millis(10));
@@ -132,7 +136,11 @@ fn orchestrate(num_peers: usize) {
         all_ok &= status.success();
     }
     if !all_ok {
-        eprintln!("FAILED: a peer or the client exited with an error");
+        rdht_metrics::log::global().error(
+            "example.tcp_cluster",
+            "a peer or the client exited with an error",
+            &[],
+        );
         exit(1);
     }
     println!("all processes exited cleanly");
@@ -150,7 +158,11 @@ fn run_peer(id: &str, book: &str) {
         storage: None,
         trace_out: None,
     }) {
-        eprintln!("peer {} failed: {error}", id.0);
+        rdht_metrics::log::global().error(
+            "example.tcp_cluster",
+            "peer failed",
+            &[("peer", &id.0.to_string()), ("error", &error.to_string())],
+        );
         exit(1);
     }
 }

@@ -77,7 +77,11 @@ fn wait_until_accepting(addr: &SocketAddr) {
     let deadline = Instant::now() + Duration::from_secs(10);
     while TcpStream::connect(addr).is_err() {
         if Instant::now() >= deadline {
-            eprintln!("peer at {addr} never started accepting connections");
+            rdht_metrics::log::global().error(
+                "example.trace",
+                "peer never started accepting connections",
+                &[("addr", &addr.to_string())],
+            );
             exit(1);
         }
         thread::sleep(Duration::from_millis(10));
@@ -176,7 +180,11 @@ fn orchestrate(merged_out: &str) {
         all_ok &= peer.wait().expect("wait for peer process").success();
     }
     if !all_ok {
-        eprintln!("FAILED: a peer or the client exited with an error");
+        rdht_metrics::log::global().error(
+            "example.trace",
+            "a peer or the client exited with an error",
+            &[],
+        );
         exit(1);
     }
 
@@ -240,7 +248,11 @@ fn run_peer(id: &str, book: &str, trace_out: &str, slow: bool) {
         storage,
         trace_out: Some(PathBuf::from(trace_out)),
     }) {
-        eprintln!("peer {} failed: {error}", id.0);
+        rdht_metrics::log::global().error(
+            "example.trace",
+            "peer failed",
+            &[("peer", &id.0.to_string()), ("error", &error.to_string())],
+        );
         exit(1);
     }
 }

@@ -92,6 +92,7 @@ pub(crate) fn allocate_actor_id() -> u64 {
         x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         x ^ (x >> 31)
     }
+    // relaxed: uniqueness needs only RMW atomicity, no ordering.
     let counter = NEXT_ACTOR.fetch_add(1, Ordering::Relaxed);
     let nanos = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)

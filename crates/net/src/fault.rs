@@ -524,6 +524,17 @@ struct Scheduler {
     shared: Arc<SchedulerShared>,
 }
 
+/// Scheduler lock with poison recovery. Actions run outside the lock, so
+/// poison means a panic mid-push or mid-pop; the queue state itself is
+/// still coherent (BinaryHeap operations are panic-safe). Recover and log
+/// instead of cascading the panic through every delivery thread.
+fn recover_poison<G>(result: Result<G, std::sync::PoisonError<G>>) -> G {
+    result.unwrap_or_else(|poisoned| {
+        rdht_metrics::log::global().warn("net.fault", "scheduler mutex poisoned; recovering", &[]);
+        poisoned.into_inner()
+    })
+}
+
 impl Scheduler {
     fn new() -> Self {
         Scheduler {
@@ -536,7 +547,7 @@ impl Scheduler {
 
     fn schedule(&self, delay: Duration, action: Box<dyn FnOnce() + Send>) {
         let at = Instant::now() + delay;
-        let mut queue = self.shared.queue.lock().expect("scheduler mutex");
+        let mut queue = recover_poison(self.shared.queue.lock());
         if queue.stop {
             // Teardown raced a late frame: the frame is lost, its sink's
             // drop signals the sender.
@@ -557,7 +568,7 @@ impl Scheduler {
     fn run(shared: Arc<SchedulerShared>) {
         loop {
             let action = {
-                let mut queue = shared.queue.lock().expect("scheduler mutex");
+                let mut queue = recover_poison(shared.queue.lock());
                 loop {
                     if queue.stop {
                         return;
@@ -565,18 +576,23 @@ impl Scheduler {
                     let now = Instant::now();
                     match queue.items.peek() {
                         None => {
-                            queue = shared.wake.wait(queue).expect("scheduler mutex");
+                            queue = recover_poison(shared.wake.wait(queue));
                         }
                         Some(head) if head.at <= now => {
                             break queue.items.pop().expect("peeked item").action;
                         }
                         Some(head) => {
                             let wait = head.at - now;
-                            queue = shared
-                                .wake
-                                .wait_timeout(queue, wait)
-                                .expect("scheduler mutex")
-                                .0;
+                            queue = recover_poison(
+                                shared
+                                    .wake
+                                    .wait_timeout(queue, wait)
+                                    .map(|(guard, _timeout)| guard)
+                                    .map_err(|p| {
+                                        let (guard, _timeout) = p.into_inner();
+                                        std::sync::PoisonError::new(guard)
+                                    }),
+                            );
                         }
                     }
                 }

@@ -252,6 +252,8 @@ impl TcpTransport {
         sink: ReplySink,
         trace: Option<TraceContext>,
     ) -> Result<(), Option<ReplySink>> {
+        // relaxed: the id needs only RMW uniqueness; the pending-table
+        // mutex below is what orders the insert against the reader.
         let request_id = conn.next_id.fetch_add(1, Ordering::Relaxed);
         {
             let mut pending = conn.pending.lock();

@@ -19,6 +19,7 @@ fn fresh_storage_root(tag: &str) -> PathBuf {
     let root = std::env::temp_dir().join(format!(
         "rdht-net-test-{}-{}-{tag}",
         std::process::id(),
+        // relaxed: uniqueness needs only RMW atomicity, no ordering.
         STORAGE_ROOT_COUNTER.fetch_add(1, Ordering::Relaxed)
     ));
     let _ = std::fs::remove_dir_all(&root);
@@ -772,6 +773,8 @@ fn join_and_graceful_leave_under_traffic_stay_current_with_zero_indirect_inits()
             let stop = &stop;
             scope.spawn(move || {
                 let mut round = 0u64;
+                // relaxed: a late-observed stop flag only costs one extra
+                // round; no data is published through it.
                 while !stop.load(Ordering::Relaxed) {
                     for key in &keys {
                         let payload = format!("w{writer}-r{round}").into_bytes();
@@ -784,6 +787,7 @@ fn join_and_graceful_leave_under_traffic_stay_current_with_zero_indirect_inits()
         // Membership changes while the writers hammer the same keys.
         let join_report = cluster.join_peer(joiner).expect("join");
         let leave_report = cluster.leave_peer(victim).expect("leave");
+        // relaxed: pure signal; scope join below is the synchronization.
         stop.store(true, Ordering::Relaxed);
         (join_report, leave_report)
     });

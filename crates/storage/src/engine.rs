@@ -659,21 +659,25 @@ mod tests {
                 StorageEngine::open(&dir, StorageOptions::with_fsync(FsyncPolicy::Never)).unwrap();
             let count = Arc::clone(&observed);
             engine.set_sync_observer(SyncObserver::new(move |_| {
+                // relaxed: single-threaded test; counted, not ordered.
                 count.fetch_add(1, Ordering::Relaxed);
             }));
             engine.apply(&put(0)).unwrap();
             engine.sync().unwrap();
             engine.sync().unwrap();
         }
+        // relaxed: single-threaded test; counted, not ordered.
         assert_eq!(observed.load(Ordering::Relaxed), 2);
 
         // An ephemeral engine has no WAL, so its syncs observe nothing.
         let mut ephemeral = StorageEngine::ephemeral();
         let count = Arc::clone(&observed);
         ephemeral.set_sync_observer(SyncObserver::new(move |_| {
+            // relaxed: single-threaded test; counted, not ordered.
             count.fetch_add(1, Ordering::Relaxed);
         }));
         ephemeral.sync().unwrap();
+        // relaxed: single-threaded test; counted, not ordered.
         assert_eq!(observed.load(Ordering::Relaxed), 2);
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -34,6 +34,7 @@ fn fresh_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
         "rdht-storage-proptest-{}-{}-{tag}",
         std::process::id(),
+        // relaxed: uniqueness needs only RMW atomicity, no ordering.
         DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
     ));
     let _ = std::fs::remove_dir_all(&dir);
